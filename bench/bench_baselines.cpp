@@ -1,0 +1,116 @@
+// Baseline comparison (§I / §VI): our boundary-free extraction vs MAP
+// and CASE, which both REQUIRE boundary input.
+//   1. With a perfect geometric boundary oracle, all three are medial.
+//   2. MAP's pathology: a small boundary bump spawns a long spurious
+//      branch; CASE's windowed corner detector suppresses it; ours never
+//      sees the boundary at all.
+//   3. With realistic (statistical) boundary detection instead of the
+//      oracle, the baselines degrade; ours is unaffected (it takes no
+//      boundary input).
+#include <cstdio>
+
+#include "baseline/case.h"
+#include "baseline/map.h"
+#include "bench_util.h"
+#include "geometry/medial_axis_ref.h"
+
+namespace {
+
+using namespace skelex;
+
+struct BaselineRow {
+  const char* algo;
+  int skeleton_nodes;
+  double medial_mean_R;
+  double medial_max_R;
+  int bump_zone_nodes;
+};
+
+int bump_zone(const net::Graph& g, const core::SkeletonGraph& sk) {
+  int count = 0;
+  for (int v : sk.nodes()) {
+    const geom::Vec2 p = g.position(v);
+    if (p.y > 28.0 && p.x > 38.0 && p.x < 62.0) ++count;
+  }
+  return count;
+}
+
+BaselineRow measure(const char* algo, const net::Graph& g,
+                    const core::SkeletonGraph& sk,
+                    const geom::ReferenceMedialAxis& axis, double range) {
+  const metrics::Medialness med = metrics::medialness(g, sk, axis);
+  return {algo, sk.node_count(), med.mean / range, med.max / range,
+          bump_zone(g, sk)};
+}
+
+void print(const BaselineRow& r) {
+  std::printf("  %-28s %6d %10.2f %9.2f %12d\n", r.algo, r.skeleton_nodes,
+              r.medial_mean_R, r.medial_max_R, r.bump_zone_nodes);
+}
+
+}  // namespace
+
+int main() {
+  const geom::Region bumpy = geom::shapes::bumpy_rect(8.0, 6.0);
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1600;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 63;
+  const deploy::Scenario sc = deploy::make_udg_scenario(bumpy, spec);
+  const net::Graph& g = sc.graph;
+  // Reference axis of the CLEAN rectangle: the bump is boundary noise,
+  // so structure the bump spawns counts as deviation.
+  const geom::Region clean = geom::shapes::rect(100.0, 40.0);
+  geom::MedialAxisParams ap;
+  ap.min_separation = 15.0;
+  const geom::ReferenceMedialAxis axis(clean, ap);
+
+  std::printf("=== Baselines on a rectangle with a boundary bump ===\n");
+  std::printf("  %-28s %6s %10s %9s %12s\n", "algorithm (boundary input)",
+              "skel", "med(R)", "max(R)", "bump_nodes");
+
+  // Ours: no boundary input at all.
+  const core::SkeletonResult ours = core::extract_skeleton(g, core::Params{});
+  print(measure("skelex (none)", g, ours.skeleton, axis, sc.range));
+
+  // Baselines with the perfect oracle.
+  const baseline::BoundaryInfo oracle =
+      baseline::geometric_boundary(g, bumpy, 2.0);
+  baseline::MapParams mp;
+  mp.min_separation = 15.0;
+  const baseline::BaselineSkeleton map_oracle =
+      baseline::map_skeleton(g, oracle, mp);
+  print(measure("MAP (oracle boundary)", g, map_oracle.graph, axis, sc.range));
+
+  baseline::CaseParams cp;
+  cp.corner_window = 44.0;
+  const baseline::BaselineSkeleton case_oracle =
+      baseline::case_skeleton(g, oracle, bumpy, cp);
+  print(measure("CASE (oracle boundary)", g, case_oracle.graph, axis, sc.range));
+
+  // Baselines with realistic statistical boundary detection.
+  const baseline::BoundaryInfo detected = baseline::statistical_boundary(g, 3, 0.2);
+  const baseline::BaselineSkeleton map_det =
+      baseline::map_skeleton(g, detected, mp);
+  print(measure("MAP (detected boundary)", g, map_det.graph, axis, sc.range));
+
+  std::printf("(expect: MAP/oracle grows bump_nodes — the long-branch "
+              "pathology; CASE suppresses it;\n ours needs no boundary and "
+              "stays clean; MAP on detected boundaries degrades further)\n");
+
+  geom::Vec2 lo, hi;
+  bumpy.bounding_box(lo, hi);
+  std::filesystem::create_directories("bench_out");
+  {
+    viz::SvgWriter svg(lo, hi);
+    svg.add_graph_nodes(g);
+    svg.add_region_outline(bumpy);
+    svg.add_skeleton(g, ours.skeleton, "#d62728", 2.0);
+    svg.add_skeleton(g, map_oracle.graph, "#1f77b4", 1.2);
+    svg.add_skeleton(g, case_oracle.graph, "#2ca02c", 1.2);
+    svg.save("bench_out/baselines_bumpy.svg");
+  }
+  std::printf("SVG: bench_out/baselines_bumpy.svg "
+              "(red=ours, blue=MAP, green=CASE)\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Reproduces Fig. 3: the two by-products on the Fig. 1 Window network —
+// (a) the segmentation into Voronoi cells and (b) the network boundaries.
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/boundary_cycles.h"
+
+int main() {
+  using namespace skelex;
+  const geom::Region region = geom::shapes::window();
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 2592;
+  spec.target_avg_deg = 5.96;
+  spec.seed = 7;
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const net::Graph& g = sc.graph;
+  const core::SkeletonResult r = core::extract_skeleton(g, core::Params{});
+
+  std::printf("=== Fig. 3: by-products on the Window network ===\n");
+
+  // (a) Segmentation.
+  const core::Segmentation& seg = r.segmentation;
+  int min_size = g.n(), max_size = 0;
+  for (int s : seg.segment_size) {
+    min_size = std::min(min_size, s);
+    max_size = std::max(max_size, s);
+  }
+  std::printf("(a) segmentation: %d segments over %d nodes "
+              "(sizes %d..%d, mean %.1f)\n",
+              seg.segment_count, g.n(), min_size, max_size,
+              static_cast<double>(g.n()) / seg.segment_count);
+
+  // (b) Boundaries: how well do detected boundary nodes match the true
+  // geometric boundary?
+  const core::BoundaryResult& b = r.boundary;
+  int near_rim = 0;
+  for (int v : b.boundary_nodes) {
+    if (region.distance_to_boundary(g.position(v)) <= 2.0 * sc.range) {
+      ++near_rim;
+    }
+  }
+  std::printf("(b) boundaries: %zu boundary nodes detected, %.0f%% within "
+              "2R of the true region boundary\n",
+              b.boundary_nodes.size(),
+              b.boundary_nodes.empty()
+                  ? 0.0
+                  : 100.0 * near_rim / static_cast<double>(b.boundary_nodes.size()));
+  const core::BoundaryCycles bc = core::group_boundary_nodes(g, b);
+  std::printf("    boundary features: %zu (ideal: 5 = outer rim + 4 panes); "
+              "sizes:",
+              bc.groups.size());
+  for (const auto& grp : bc.groups) std::printf(" %zu", grp.size());
+  std::printf("\n");
+
+  geom::Vec2 lo, hi;
+  region.bounding_box(lo, hi);
+  std::filesystem::create_directories("bench_out");
+  {
+    viz::SvgWriter svg(lo, hi);
+    svg.add_labeled_nodes(g, seg.segment_of, 2.0);
+    svg.add_region_outline(region);
+    svg.save("bench_out/fig3a_segmentation.svg");
+  }
+  {
+    viz::SvgWriter svg(lo, hi);
+    svg.add_graph_nodes(g);
+    svg.add_nodes(g, b.boundary_nodes, "#2ca02c", 2.5);
+    svg.add_region_outline(region);
+    svg.save("bench_out/fig3b_boundaries.svg");
+  }
+  std::printf("SVGs: bench_out/fig3{a,b}_*.svg\n");
+  return 0;
+}

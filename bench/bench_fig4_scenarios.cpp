@@ -1,0 +1,27 @@
+// Reproduces Fig. 4: skeleton extraction on the paper's ten scenarios at
+// (approximately) the paper's node counts and average degrees. The paper
+// reports these visually; we print the quantitative equivalents — the
+// skeleton must be one connected piece, carry one cycle per hole, lie
+// medially, and span the reference axis.
+#include "bench_util.h"
+
+int main() {
+  using namespace skelex;
+  bench::print_header("Fig. 4: ten scenarios (paper n / avg degree)");
+  for (const geom::shapes::NamedShape& s : geom::shapes::paper_scenarios()) {
+    deploy::ScenarioSpec spec;
+    spec.target_nodes = s.paper_nodes;
+    // At the paper's lowest degrees a random deployment sits at the
+    // connectivity threshold; the jittered grid keeps the network whole
+    // at the same density (see DESIGN.md).
+    spec.target_avg_deg = s.paper_avg_deg;
+    spec.seed = 20260704;
+    const deploy::Scenario sc = deploy::make_udg_scenario(s.region, spec);
+    const bench::RunRow row =
+        bench::evaluate(s.name, s.region, sc.graph, sc.range);
+    bench::print_row(row);
+    bench::dump_svg("fig4_" + s.name, s.region, sc.graph, row.result);
+  }
+  std::printf("SVGs: bench_out/fig4_<shape>.svg\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Reproduces Fig. 5: the Window network across node densities. The paper
+// varies the radio range to reach average degrees 9.95 / 14.24 / 19.23 /
+// 22.72 (plus Fig. 1's 5.96 as the reference) and argues the skeleton is
+// "very stable". We additionally measure that stability: the symmetric
+// Hausdorff / mean nearest-neighbor distance between each density's
+// skeleton and the reference skeleton, in units of the shape (field
+// units; the shape spans 100x100).
+#include "bench_util.h"
+#include "metrics/stability.h"
+
+int main() {
+  using namespace skelex;
+  const geom::Region region = geom::shapes::window();
+  const double degrees[] = {5.96, 9.95, 14.24, 19.23, 22.72};
+
+  bench::print_header("Fig. 5: Window under increasing density");
+  std::vector<bench::RunRow> rows;
+  std::vector<net::Graph> graphs;
+  for (double deg : degrees) {
+    deploy::ScenarioSpec spec;
+    spec.target_nodes = 2592;
+    spec.target_avg_deg = deg;
+    spec.seed = 7;
+    const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+    char label[32];
+    std::snprintf(label, sizeof label, "window deg=%.2f", deg);
+    rows.push_back(bench::evaluate(label, region, sc.graph, sc.range));
+    graphs.push_back(sc.graph);
+    bench::print_row(rows.back());
+    bench::dump_svg(std::string("fig5_deg") + std::to_string(static_cast<int>(deg)),
+                    region, sc.graph, rows.back().result);
+  }
+
+  std::printf("\nstability vs the deg=5.96 reference skeleton "
+              "(field units; shape is 100x100):\n");
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    const metrics::PositionSetDistance d = metrics::skeleton_distance(
+        graphs[0], rows[0].result.skeleton, graphs[i], rows[i].result.skeleton);
+    std::printf("  deg %5.2f vs 5.96: hausdorff %5.2f, mean-nearest %5.2f\n",
+                degrees[i], d.hausdorff, d.mean_nearest);
+  }
+  std::printf("SVGs: bench_out/fig5_deg*.svg\n");
+  return 0;
+}

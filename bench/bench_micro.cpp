@@ -1,0 +1,101 @@
+// Hot-path microbenchmarks (google-benchmark): the substrate operations
+// the pipeline spends its time in, across network sizes.
+#include <benchmark/benchmark.h>
+
+#include "core/identify.h"
+#include "core/index.h"
+#include "core/pipeline.h"
+#include "core/voronoi.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/bfs.h"
+#include "net/khop.h"
+#include "net/spatial_hash.h"
+
+namespace {
+
+using namespace skelex;
+
+deploy::Scenario make_network(int n) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = n;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 1;
+  return deploy::make_udg_scenario(geom::shapes::window(), spec);
+}
+
+void BM_SpatialHashBuild(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  const auto& pos = sc.graph.positions();
+  for (auto _ : state) {
+    net::SpatialHash hash(pos, sc.range);
+    benchmark::DoNotOptimize(hash);
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_SpatialHashBuild)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_GraphBuild(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  const auto pos = sc.graph.positions();
+  for (auto _ : state) {
+    net::Graph g = net::build_udg(pos, sc.range);
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_Bfs(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::bfs_distances(sc.graph, 0));
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_Bfs)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_KhopSizes(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net::khop_sizes(sc.graph, 4));
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_KhopSizes)->Arg(1000)->Arg(4000)->Arg(16000);
+
+void BM_IndexAndIdentify(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  const core::Params p;
+  for (auto _ : state) {
+    const core::IndexData idx = core::compute_index(sc.graph, p);
+    benchmark::DoNotOptimize(core::identify_critical_nodes(sc.graph, idx, p));
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_IndexAndIdentify)->Arg(1000)->Arg(4000);
+
+void BM_Voronoi(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  const core::Params p;
+  const core::IndexData idx = core::compute_index(sc.graph, p);
+  const auto crit = core::identify_critical_nodes(sc.graph, idx, p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::build_voronoi(sc.graph, crit, p));
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_Voronoi)->Arg(1000)->Arg(4000);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extract_skeleton(sc.graph, core::Params{}));
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_FullPipeline)->Arg(1000)->Arg(2592)->Arg(8000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

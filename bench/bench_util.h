@@ -1,0 +1,98 @@
+// bench/bench_util.h
+//
+// Shared plumbing for the figure-reproduction benches: run the pipeline
+// on a scenario, collect the quality metrics the paper argues visually,
+// print aligned table rows, and dump SVG figures next to the binary.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/medial_axis_ref.h"
+#include "geometry/shapes.h"
+#include "metrics/homotopy.h"
+#include "metrics/quality.h"
+#include "net/graph.h"
+#include "viz/svg.h"
+
+namespace skelex::bench {
+
+struct RunRow {
+  std::string label;
+  int nodes = 0;
+  double avg_deg = 0.0;
+  double range = 0.0;
+  int sites = 0;
+  int skeleton_nodes = 0;
+  int components = 0;
+  int cycles = 0;
+  int holes = 0;
+  double medial_mean_R = 0.0;  // mean dist to reference axis, in radio ranges
+  double medial_max_R = 0.0;
+  double coverage = 0.0;  // axis coverage at 3R
+  double millis = 0.0;
+  core::SkeletonResult result;
+};
+
+inline RunRow evaluate(const std::string& label, const geom::Region& region,
+                       const net::Graph& g, double range,
+                       const core::Params& params = {}) {
+  RunRow row;
+  row.label = label;
+  row.nodes = g.n();
+  row.avg_deg = g.avg_degree();
+  row.range = range;
+  const auto t0 = std::chrono::steady_clock::now();
+  row.result = core::extract_skeleton(g, params);
+  const auto t1 = std::chrono::steady_clock::now();
+  row.millis = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.sites = static_cast<int>(row.result.critical_nodes.size());
+  row.skeleton_nodes = row.result.skeleton.node_count();
+  row.components = row.result.skeleton.component_count();
+  row.cycles = row.result.skeleton_cycle_rank();
+  row.holes = static_cast<int>(region.hole_count());
+  const geom::ReferenceMedialAxis axis(region);
+  if (!axis.empty() && row.skeleton_nodes > 0) {
+    const metrics::Medialness med = metrics::medialness(g, row.result.skeleton, axis);
+    row.medial_mean_R = med.mean / range;
+    row.medial_max_R = med.max / range;
+    row.coverage = metrics::axis_coverage(g, row.result.skeleton, axis, 3.0 * range);
+  }
+  return row;
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+  std::printf("%-22s %6s %7s %6s %6s %6s %5s %11s %9s %8s %8s %7s\n", "scenario",
+              "nodes", "avg_deg", "sites", "skel", "comps", "cyc", "cyc==holes",
+              "med(R)", "max(R)", "coverage", "ms");
+}
+
+inline void print_row(const RunRow& r) {
+  std::printf("%-22s %6d %7.2f %6d %6d %6d %5d %11s %9.2f %8.2f %8.2f %7.1f\n",
+              r.label.c_str(), r.nodes, r.avg_deg, r.sites, r.skeleton_nodes,
+              r.components, r.cycles,
+              r.cycles == r.holes ? "yes" : "NO", r.medial_mean_R,
+              r.medial_max_R, r.coverage, r.millis);
+}
+
+// Writes an SVG of the network + skeleton into bench_out/<name>.svg.
+inline void dump_svg(const std::string& name, const geom::Region& region,
+                     const net::Graph& g, const core::SkeletonResult& r) {
+  std::filesystem::create_directories("bench_out");
+  geom::Vec2 lo, hi;
+  region.bounding_box(lo, hi);
+  viz::SvgWriter svg(lo, hi);
+  svg.add_graph_edges(g);
+  svg.add_graph_nodes(g);
+  svg.add_region_outline(region);
+  svg.add_nodes(g, r.critical_nodes, "#1f77b4", 3.0);
+  svg.add_skeleton(g, r.skeleton);
+  svg.save("bench_out/" + name + ".svg");
+}
+
+}  // namespace skelex::bench

@@ -1,0 +1,42 @@
+// examples/skeleton_3d.cpp
+//
+// The algorithm never reads positions, so it runs unchanged on 3-D
+// networks (the paper's cited future-work direction). This demo deploys
+// nodes in a solid torus and in a box pierced by a tunnel, extracts the
+// curve skeleton from connectivity alone, and verifies the topology
+// (one skeleton cycle per tunnel).
+//
+//   ./skeleton_3d [nodes] [seed]
+#include <cstdlib>
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "geometry3/deploy3.h"
+
+int main(int argc, char** argv) {
+  using namespace skelex;
+  const int nodes = argc > 1 ? std::atoi(argv[1]) : 2400;
+  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+
+  for (const geom3::Volume& vol :
+       {geom3::torus(), geom3::box_with_tunnel(), geom3::u_duct()}) {
+    const int n = vol.name == "box3_tunnel" ? nodes * 4 / 3 : nodes;
+    const geom3::Scenario3 sc = geom3::make_udg_scenario3(vol, n, 11.0, seed);
+    const core::SkeletonResult r =
+        core::extract_skeleton(sc.graph, core::Params{});
+    std::cout << vol.name << ": " << sc.graph.n() << " nodes (avg degree "
+              << sc.graph.avg_degree() << ", range " << sc.range << ")\n"
+              << "  skeleton: " << r.skeleton.node_count() << " nodes, "
+              << r.skeleton.component_count() << " component(s), "
+              << r.skeleton_cycle_rank() << " cycle(s) [tunnels: "
+              << vol.tunnels << "] "
+              << (r.skeleton_cycle_rank() == vol.tunnels &&
+                          r.skeleton.component_count() == 1
+                      ? "OK"
+                      : "MISMATCH")
+              << "\n";
+  }
+  std::cout << "(connectivity-only: the same pipeline, zero changes, "
+               "correct 3-D topology)\n";
+  return 0;
+}

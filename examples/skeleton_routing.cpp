@@ -1,0 +1,89 @@
+// examples/skeleton_routing.cpp
+//
+// The paper's motivating application (§I): skeleton-aided naming and
+// load-balanced routing via core::SkeletonNaming. Each node is named by
+// its nearest skeleton anchor and hop distance; a message travels
+// source -> anchor -> (along the skeleton) -> anchor -> destination.
+// Compared against plain shortest-path routing over many random pairs:
+//   * stretch — skeleton routes stay near-shortest;
+//   * load profile — skeleton routing drains traffic away from the
+//     boundary nodes that geographic schemes overload.
+//
+//   ./skeleton_routing [seed]
+#include <cstdlib>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "core/naming.h"
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/bfs.h"
+
+int main(int argc, char** argv) {
+  using namespace skelex;
+  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
+  const geom::Region region = geom::shapes::one_hole();
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 2200;
+  spec.target_avg_deg = 8.0;
+  spec.seed = seed;
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const net::Graph& g = sc.graph;
+
+  const core::SkeletonResult r = core::extract_skeleton(g, core::Params{});
+  const core::SkeletonNaming naming(g, r);
+  std::cout << "network: " << g.n() << " nodes; skeleton: "
+            << r.skeleton.node_count() << " nodes ("
+            << naming.anchor_count() << " anchors)\n"
+            << "naming: every node holds (nearest skeleton anchor, hop "
+               "distance) as virtual coordinates\n";
+
+  // Random pairs, routed both ways.
+  deploy::Rng rng(seed ^ 0x9e37);
+  std::vector<std::pair<int, int>> pairs;
+  for (int i = 0; i < 400; ++i) {
+    const int s = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(g.n())));
+    const int t = static_cast<int>(rng.next_below(static_cast<std::uint64_t>(g.n())));
+    if (s != t) pairs.push_back({s, t});
+  }
+  const core::RouteLoad skel = core::route_load(naming, pairs);
+
+  std::vector<long long> load_sp(static_cast<std::size_t>(g.n()), 0);
+  long long hops_sp = 0;
+  for (const auto& [s, t] : pairs) {
+    const std::vector<int> route = net::shortest_path(g, s, t);
+    if (route.empty()) continue;
+    hops_sp += static_cast<long long>(route.size()) - 1;
+    for (int v : route) ++load_sp[static_cast<std::size_t>(v)];
+  }
+
+  std::cout << "routed pairs: " << skel.routed_pairs << '\n'
+            << "avg stretch (skeleton route / shortest path): "
+            << static_cast<double>(skel.total_hops) /
+                   static_cast<double>(hops_sp)
+            << '\n';
+
+  long long b_skel = 0, b_sp = 0, total_skel = 0, total_sp = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    const long long ls =
+        static_cast<std::size_t>(v) < skel.load.size()
+            ? skel.load[static_cast<std::size_t>(v)]
+            : 0;
+    total_skel += ls;
+    total_sp += load_sp[static_cast<std::size_t>(v)];
+    if (r.boundary.is_boundary[static_cast<std::size_t>(v)]) {
+      b_skel += ls;
+      b_sp += load_sp[static_cast<std::size_t>(v)];
+    }
+  }
+  std::cout << "boundary-node share of total load: skeleton routing "
+            << 100.0 * static_cast<double>(b_skel) / static_cast<double>(total_skel)
+            << "%, shortest path "
+            << 100.0 * static_cast<double>(b_sp) / static_cast<double>(total_sp)
+            << "%\n"
+            << "(skeleton routing drains traffic off the rim onto the "
+               "medial axis, at a modest stretch)\n";
+  return 0;
+}

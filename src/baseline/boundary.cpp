@@ -1,0 +1,105 @@
+#include "baseline/boundary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "net/khop.h"
+
+namespace skelex::baseline {
+
+namespace {
+// Distance from p to the ring and the arc-length position of the closest
+// boundary point.
+struct RingHit {
+  double dist = std::numeric_limits<double>::infinity();
+  double arcpos = 0.0;
+};
+
+RingHit ring_hit(const geom::Ring& ring, geom::Vec2 p) {
+  RingHit hit;
+  double acc = 0.0;
+  const auto& pts = ring.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const geom::Vec2 a = pts[i];
+    const geom::Vec2 b = pts[(i + 1) % pts.size()];
+    const geom::Vec2 c = geom::closest_point_on_segment(p, a, b);
+    const double d = geom::dist(p, c);
+    if (d < hit.dist) {
+      hit.dist = d;
+      hit.arcpos = acc + geom::dist(a, c);
+    }
+    acc += geom::dist(a, b);
+  }
+  return hit;
+}
+}  // namespace
+
+BoundaryInfo geometric_boundary(const net::Graph& g,
+                                const geom::Region& region, double band) {
+  if (!g.has_positions()) {
+    throw std::invalid_argument("geometric boundary needs node positions");
+  }
+  if (band <= 0) throw std::invalid_argument("band must be > 0");
+
+  BoundaryInfo info;
+  info.is_boundary.assign(static_cast<std::size_t>(g.n()), 0);
+  info.ring_perimeter.push_back(region.outer().perimeter());
+  for (const geom::Ring& h : region.holes()) {
+    info.ring_perimeter.push_back(h.perimeter());
+  }
+
+  for (int v = 0; v < g.n(); ++v) {
+    const geom::Vec2 p = g.position(v);
+    int best_ring = -1;
+    RingHit best;
+    const RingHit outer = ring_hit(region.outer(), p);
+    if (outer.dist < best.dist) {
+      best = outer;
+      best_ring = 0;
+    }
+    for (std::size_t i = 0; i < region.holes().size(); ++i) {
+      const RingHit h = ring_hit(region.holes()[i], p);
+      if (h.dist < best.dist) {
+        best = h;
+        best_ring = static_cast<int>(i) + 1;
+      }
+    }
+    if (best.dist <= band) {
+      info.nodes.push_back({v, best_ring, best.arcpos});
+      info.is_boundary[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  return info;
+}
+
+BoundaryInfo statistical_boundary(const net::Graph& g, int k, double quantile) {
+  if (quantile <= 0 || quantile >= 1) {
+    throw std::invalid_argument("quantile must be in (0, 1)");
+  }
+  const std::vector<int> sizes = net::khop_sizes(g, k);
+  std::vector<int> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t cut_idx = static_cast<std::size_t>(
+      quantile * static_cast<double>(sorted.size()));
+  const int cut = sorted.empty() ? 0 : sorted[std::min(cut_idx, sorted.size() - 1)];
+
+  BoundaryInfo info;
+  info.is_boundary.assign(static_cast<std::size_t>(g.n()), 0);
+  for (int v = 0; v < g.n(); ++v) {
+    if (sizes[static_cast<std::size_t>(v)] <= cut) {
+      info.nodes.push_back({v, -1, std::numeric_limits<double>::quiet_NaN()});
+      info.is_boundary[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  return info;
+}
+
+double arc_distance(double a, double b, double perimeter) {
+  if (perimeter <= 0) throw std::invalid_argument("perimeter must be > 0");
+  double d = std::fmod(std::abs(a - b), perimeter);
+  return std::min(d, perimeter - d);
+}
+
+}  // namespace skelex::baseline

@@ -1,0 +1,53 @@
+// skelex/baseline/boundary.h
+//
+// Boundary information for the baselines. MAP and CASE both ASSUME the
+// boundary nodes are given (§VI); the paper's contribution is exactly
+// that it needs none. We provide two sources:
+//
+//   * a geometric oracle — nodes within `band` of the true region
+//     boundary, annotated with which ring they belong to and their arc
+//     position along it. This is the most favourable input a baseline
+//     can get (the paper's "boundary nodes are firstly identified
+//     correctly ... manually");
+//   * a Fekete-style statistical detector — nodes whose k-hop
+//     neighborhood size falls in the lowest quantile, the
+//     connectivity-only heuristic of [8]. Used to show how baselines
+//     degrade with realistic boundary input.
+#pragma once
+
+#include <vector>
+
+#include "geometry/polygon.h"
+#include "net/graph.h"
+
+namespace skelex::baseline {
+
+struct BoundaryNode {
+  int node = 0;
+  // Ring index: 0 = outer ring, 1 + i = i-th hole. -1 when unknown
+  // (statistical detector).
+  int ring = -1;
+  // Arc-length position of the node's closest boundary point along its
+  // ring, in [0, ring perimeter). NaN when unknown.
+  double arcpos = 0.0;
+};
+
+struct BoundaryInfo {
+  std::vector<BoundaryNode> nodes;
+  std::vector<char> is_boundary;       // size n
+  std::vector<double> ring_perimeter;  // per ring; empty for detector output
+};
+
+// Oracle: nodes whose position lies within `band` of the region boundary.
+BoundaryInfo geometric_boundary(const net::Graph& g,
+                                const geom::Region& region, double band);
+
+// Statistical detector: nodes whose k-hop size is within the lowest
+// `quantile` of the network (ring/arcpos unknown).
+BoundaryInfo statistical_boundary(const net::Graph& g, int k, double quantile);
+
+// Circular arc distance between two positions on a ring of the given
+// perimeter (helper shared by MAP/CASE).
+double arc_distance(double a, double b, double perimeter);
+
+}  // namespace skelex::baseline

@@ -1,0 +1,157 @@
+#include "baseline/case.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "core/prune.h"
+
+namespace skelex::baseline {
+
+namespace {
+
+struct VertexTurn {
+  double arcpos = 0.0;
+  double turn_deg = 0.0;  // signed exterior angle at the vertex
+};
+
+std::vector<VertexTurn> ring_turns(const geom::Ring& ring) {
+  const auto& pts = ring.points();
+  const std::size_t n = pts.size();
+  std::vector<VertexTurn> turns(n);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const geom::Vec2 prev = pts[(i + n - 1) % n];
+    const geom::Vec2 cur = pts[i];
+    const geom::Vec2 next = pts[(i + 1) % n];
+    const geom::Vec2 a = cur - prev;
+    const geom::Vec2 b = next - cur;
+    turns[i].arcpos = acc;
+    turns[i].turn_deg =
+        std::atan2(a.cross(b), a.dot(b)) * 180.0 / std::numbers::pi;
+    acc += geom::dist(cur, next);
+  }
+  return turns;
+}
+
+std::vector<double> ring_corners(const geom::Ring& ring,
+                                 const CaseParams& params) {
+  const std::vector<VertexTurn> turns = ring_turns(ring);
+  const double perimeter = ring.perimeter();
+  std::vector<double> corners;
+  // Accumulated turning within +-window/2 of each vertex (circular).
+  std::vector<double> window_turn(turns.size(), 0.0);
+  for (std::size_t i = 0; i < turns.size(); ++i) {
+    for (std::size_t j = 0; j < turns.size(); ++j) {
+      if (arc_distance(turns[i].arcpos, turns[j].arcpos, perimeter) <=
+          params.corner_window / 2.0) {
+        window_turn[i] += turns[j].turn_deg;
+      }
+    }
+  }
+  // A corner is a cluster of qualifying vertices (one geometric corner
+  // is often several polygon vertices). The cluster distance is a
+  // fraction of the window — the window itself can span several REAL
+  // corners and must not merge them. Each cluster reports its strongest
+  // member.
+  const double group_dist = std::max(2.0, params.corner_window / 4.0);
+  std::vector<std::size_t> qual;
+  for (std::size_t i = 0; i < turns.size(); ++i) {
+    if (std::abs(window_turn[i]) >= params.corner_threshold_deg) {
+      qual.push_back(i);
+    }
+  }
+  if (qual.empty()) return corners;
+
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t idx : qual) {
+    if (!groups.empty() &&
+        arc_distance(turns[groups.back().back()].arcpos, turns[idx].arcpos,
+                     perimeter) <= group_dist) {
+      groups.back().push_back(idx);
+    } else {
+      groups.push_back({idx});
+    }
+  }
+  // Wrap-around: the last group may continue into the first.
+  if (groups.size() > 1 &&
+      arc_distance(turns[groups.back().back()].arcpos,
+                   turns[groups.front().front()].arcpos,
+                   perimeter) <= group_dist) {
+    for (std::size_t idx : groups.back()) groups.front().push_back(idx);
+    groups.pop_back();
+  }
+  for (const auto& group : groups) {
+    std::size_t best = group.front();
+    for (std::size_t idx : group) {
+      if (std::abs(window_turn[idx]) > std::abs(window_turn[best])) best = idx;
+    }
+    corners.push_back(turns[best].arcpos);
+  }
+  std::sort(corners.begin(), corners.end());
+  return corners;
+}
+
+}  // namespace
+
+std::vector<std::vector<double>> detect_corners(const geom::Region& region,
+                                                const CaseParams& params) {
+  if (params.corner_window <= 0) {
+    throw std::invalid_argument("corner_window must be > 0");
+  }
+  std::vector<std::vector<double>> corners;
+  corners.push_back(ring_corners(region.outer(), params));
+  for (const geom::Ring& h : region.holes()) {
+    corners.push_back(ring_corners(h, params));
+  }
+  return corners;
+}
+
+int branch_of(double arcpos, const std::vector<double>& corners) {
+  if (corners.empty()) return 0;
+  // Interval index: branch b covers [corners[b], corners[b+1]); positions
+  // before the first corner wrap into the last branch.
+  const auto it = std::upper_bound(corners.begin(), corners.end(), arcpos);
+  if (it == corners.begin()) return static_cast<int>(corners.size()) - 1;
+  return static_cast<int>(it - corners.begin()) - 1;
+}
+
+BaselineSkeleton case_skeleton(const net::Graph& g,
+                               const BoundaryInfo& boundary,
+                               const geom::Region& region,
+                               const CaseParams& params) {
+  const std::vector<std::vector<double>> corners =
+      detect_corners(region, params);
+  const DistanceTransform dt =
+      boundary_distance_transform(g, boundary, params.transform);
+
+  BaselineSkeleton result;
+  result.dist_to_boundary = dt.dist;
+  for (int v = 0; v < g.n(); ++v) {
+    if (boundary.is_boundary[static_cast<std::size_t>(v)]) continue;
+    const auto& ws = dt.witnesses[static_cast<std::size_t>(v)];
+    bool is_skel = false;
+    for (std::size_t i = 0; i < ws.size() && !is_skel; ++i) {
+      for (std::size_t j = i + 1; j < ws.size(); ++j) {
+        if (ws[i].ring != ws[j].ring) {
+          is_skel = true;  // different boundary cycles
+          break;
+        }
+        if (ws[i].ring < 0) continue;  // unknown geometry: cannot segment
+        const auto& ring_c = corners[static_cast<std::size_t>(ws[i].ring)];
+        if (branch_of(ws[i].arcpos, ring_c) != branch_of(ws[j].arcpos, ring_c)) {
+          is_skel = true;
+          break;
+        }
+      }
+    }
+    if (is_skel) result.identified.push_back(v);
+  }
+
+  result.graph = connect_node_set(g, result.identified, dt.dist);
+  core::prune_short_branches(result.graph, params.prune_len);
+  return result;
+}
+
+}  // namespace skelex::baseline

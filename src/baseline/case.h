@@ -1,0 +1,53 @@
+// skelex/baseline/case.h
+//
+// CASE baseline (Jiang et al. — INFOCOM'09 / TPDS'10): connectivity-based
+// skeleton extraction *given boundary nodes*. CASE's novelty over MAP is
+// boundary segmentation: corner points split each boundary cycle into
+// branches, and a node is a skeleton node only when its two nearest
+// boundary nodes lie on DIFFERENT branches — which suppresses the
+// small-bump pathology, controlled by the user's corner threshold.
+//
+// Corner detection here accumulates the signed turning angle of the
+// region's polygon over a sliding arc window: a short bump's +90/-90
+// pairs cancel inside the window, while a real corner's turning
+// survives. This mirrors the hop-window curvature estimate CASE runs on
+// boundary cycles, evaluated on the oracle geometry.
+//
+// This module is both the paper's comparison baseline and the machinery
+// the paper itself reuses inside fake-loop pockets (§III-D).
+#pragma once
+
+#include <vector>
+
+#include "baseline/distance_transform.h"
+#include "baseline/map.h"
+#include "geometry/polygon.h"
+#include "net/graph.h"
+
+namespace skelex::baseline {
+
+struct CaseParams {
+  // Arc length of the sliding window for accumulated turning.
+  double corner_window = 12.0;
+  // Accumulated |turning| (degrees) above which a vertex is a corner.
+  double corner_threshold_deg = 60.0;
+  // Leaf branches shorter than this are pruned.
+  int prune_len = 4;
+  TransformParams transform;
+};
+
+// Corner arc positions per ring (ring 0 = outer, 1+i = hole i), sorted.
+std::vector<std::vector<double>> detect_corners(const geom::Region& region,
+                                                const CaseParams& params);
+
+// Branch id of an arc position given the ring's sorted corner positions:
+// interval index between consecutive corners (0 when the ring has no
+// corners — the whole ring is one branch).
+int branch_of(double arcpos, const std::vector<double>& corners);
+
+BaselineSkeleton case_skeleton(const net::Graph& g,
+                               const BoundaryInfo& boundary,
+                               const geom::Region& region,
+                               const CaseParams& params = {});
+
+}  // namespace skelex::baseline

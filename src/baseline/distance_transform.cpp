@@ -1,0 +1,130 @@
+#include "baseline/distance_transform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace skelex::baseline {
+
+namespace {
+
+bool same_feature(const Witness& a, const Witness& b, double merge_eps,
+                  const std::vector<double>& ring_perimeter) {
+  if (a.node == b.node) return true;
+  if (a.ring != b.ring || a.ring < 0) return false;
+  if (std::isnan(a.arcpos) || std::isnan(b.arcpos)) return false;
+  const double per = ring_perimeter[static_cast<std::size_t>(a.ring)];
+  return arc_distance(a.arcpos, b.arcpos, per) < merge_eps;
+}
+
+// Minimum "separation" between two witnesses for diversity ranking:
+// different rings count as maximally separated.
+double separation(const Witness& a, const Witness& b,
+                  const std::vector<double>& ring_perimeter) {
+  if (a.ring != b.ring || a.ring < 0 || std::isnan(a.arcpos) ||
+      std::isnan(b.arcpos)) {
+    return 1e18;
+  }
+  return arc_distance(a.arcpos, b.arcpos,
+                      ring_perimeter[static_cast<std::size_t>(a.ring)]);
+}
+
+// Merge `incoming` into `mine`, dedupe by feature, cap with a greedy
+// max-separation selection.
+void merge_witnesses(std::vector<Witness>& mine,
+                     const std::vector<Witness>& incoming,
+                     const TransformParams& params,
+                     const std::vector<double>& ring_perimeter) {
+  for (const Witness& w : incoming) {
+    bool dup = false;
+    for (const Witness& m : mine) {
+      if (same_feature(m, w, params.merge_eps, ring_perimeter)) {
+        dup = true;
+        break;
+      }
+    }
+    if (!dup) mine.push_back(w);
+  }
+  if (static_cast<int>(mine.size()) <= params.max_witnesses) return;
+
+  // Greedy diversity cap: start from the smallest node id (determinism),
+  // then repeatedly add the witness farthest from the kept set.
+  std::sort(mine.begin(), mine.end(),
+            [](const Witness& a, const Witness& b) { return a.node < b.node; });
+  std::vector<Witness> kept{mine.front()};
+  std::vector<char> used(mine.size(), 0);
+  used[0] = 1;
+  while (static_cast<int>(kept.size()) < params.max_witnesses) {
+    int best = -1;
+    double best_sep = -1.0;
+    for (std::size_t i = 0; i < mine.size(); ++i) {
+      if (used[i]) continue;
+      double sep = 1e18;
+      for (const Witness& k : kept) {
+        sep = std::min(sep, separation(mine[i], k, ring_perimeter));
+      }
+      if (sep > best_sep) {
+        best_sep = sep;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best == -1) break;
+    used[static_cast<std::size_t>(best)] = 1;
+    kept.push_back(mine[static_cast<std::size_t>(best)]);
+  }
+  mine = std::move(kept);
+}
+
+}  // namespace
+
+DistanceTransform boundary_distance_transform(const net::Graph& g,
+                                              const BoundaryInfo& boundary,
+                                              const TransformParams& params) {
+  if (params.max_witnesses < 1) {
+    throw std::invalid_argument("max_witnesses must be >= 1");
+  }
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  DistanceTransform dt;
+  dt.dist.assign(n, -1);
+  dt.witnesses.assign(n, {});
+
+  // Level-synchronized multi-source BFS so each node merges ALL
+  // predecessor witness sets, not just the first one that reached it.
+  std::vector<int> frontier;
+  for (const BoundaryNode& b : boundary.nodes) {
+    dt.dist[static_cast<std::size_t>(b.node)] = 0;
+    dt.witnesses[static_cast<std::size_t>(b.node)].push_back(
+        {b.node, b.ring, b.arcpos});
+    frontier.push_back(b.node);
+  }
+  int level = 0;
+  std::vector<int> next;
+  while (!frontier.empty()) {
+    next.clear();
+    // Discover the next level.
+    for (int v : frontier) {
+      for (int w : g.neighbors(v)) {
+        if (dt.dist[static_cast<std::size_t>(w)] == -1) {
+          dt.dist[static_cast<std::size_t>(w)] = level + 1;
+          next.push_back(w);
+        }
+      }
+    }
+    // Merge witnesses from every predecessor at the previous level.
+    for (int w : next) {
+      for (int u : g.neighbors(w)) {
+        if (dt.dist[static_cast<std::size_t>(u)] == level) {
+          merge_witnesses(dt.witnesses[static_cast<std::size_t>(w)],
+                          dt.witnesses[static_cast<std::size_t>(u)], params,
+                          boundary.ring_perimeter);
+        }
+      }
+    }
+    frontier.swap(next);
+    ++level;
+  }
+  return dt;
+}
+
+}  // namespace skelex::baseline

@@ -1,0 +1,45 @@
+// skelex/baseline/distance_transform.h
+//
+// Hop-distance transform from the boundary with nearest-boundary-node
+// witnesses. MAP and CASE both need, per node, not just the distance to
+// the boundary but WHICH boundary nodes realize it (to test whether two
+// nearest boundary points are far apart / on different branches).
+//
+// Exact nearest-witness sets would need one BFS per boundary node;
+// instead witnesses are propagated along the multi-source BFS: a node's
+// witnesses are the union of its predecessors', deduplicated by boundary
+// feature (same ring within `merge_eps` arc length collapses to one) and
+// capped at `max_witnesses` (a diversity-preserving cap: the kept set
+// maximizes pairwise arc separation greedily).
+#pragma once
+
+#include <vector>
+
+#include "baseline/boundary.h"
+#include "net/graph.h"
+
+namespace skelex::baseline {
+
+struct Witness {
+  int node = 0;      // boundary node id
+  int ring = -1;     // ring of the boundary node
+  double arcpos = 0; // arc position on that ring
+};
+
+struct DistanceTransform {
+  std::vector<int> dist;                    // hops to nearest boundary node
+  std::vector<std::vector<Witness>> witnesses;
+};
+
+struct TransformParams {
+  int max_witnesses = 6;
+  // Two witnesses on the same ring closer than this arc length are one
+  // boundary feature.
+  double merge_eps = 8.0;
+};
+
+DistanceTransform boundary_distance_transform(const net::Graph& g,
+                                              const BoundaryInfo& boundary,
+                                              const TransformParams& params = {});
+
+}  // namespace skelex::baseline

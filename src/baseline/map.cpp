@@ -1,0 +1,122 @@
+#include "baseline/map.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+#include "core/prune.h"
+
+namespace skelex::baseline {
+
+namespace {
+bool well_separated(const Witness& a, const Witness& b, double min_sep,
+                    const std::vector<double>& ring_perimeter) {
+  if (a.ring != b.ring) return true;  // different boundary cycles
+  if (a.ring < 0) return a.node != b.node;  // detector output: ids only
+  return arc_distance(a.arcpos, b.arcpos,
+                      ring_perimeter[static_cast<std::size_t>(a.ring)]) >=
+         min_sep;
+}
+}  // namespace
+
+core::SkeletonGraph connect_node_set(const net::Graph& g,
+                                     const std::vector<int>& nodes,
+                                     const std::vector<int>& dist_to_boundary) {
+  core::SkeletonGraph sk(g.n());
+  for (int v : nodes) sk.add_node(v);
+  // Edges already present among the set.
+  for (int v : nodes) {
+    for (int w : g.neighbors(v)) {
+      if (sk.has_node(w)) sk.add_edge(v, w);
+    }
+  }
+  if (sk.node_count() == 0) return sk;
+
+  int max_d = 0;
+  for (int d : dist_to_boundary) max_d = std::max(max_d, d);
+  const auto node_cost = [&](int v) {
+    return static_cast<long long>(
+        1 + (max_d - std::max(0, dist_to_boundary[static_cast<std::size_t>(v)])));
+  };
+
+  // Repeatedly connect the component containing the smallest node id to
+  // its nearest (cheapest) other component via medial-biased Dijkstra.
+  while (true) {
+    int comp_count = 0;
+    const std::vector<int> label = sk.component_labels(comp_count);
+    if (comp_count <= 1) break;
+    const int root_label = label[static_cast<std::size_t>(sk.nodes().front())];
+
+    std::vector<long long> cost(static_cast<std::size_t>(g.n()),
+                                std::numeric_limits<long long>::max());
+    std::vector<int> parent(static_cast<std::size_t>(g.n()), -1);
+    using Item = std::pair<long long, int>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    for (int v : sk.nodes()) {
+      if (label[static_cast<std::size_t>(v)] == root_label) {
+        cost[static_cast<std::size_t>(v)] = 0;
+        pq.push({0, v});
+      }
+    }
+    int reached = -1;
+    while (!pq.empty()) {
+      const auto [c, v] = pq.top();
+      pq.pop();
+      if (c != cost[static_cast<std::size_t>(v)]) continue;
+      if (sk.has_node(v) && label[static_cast<std::size_t>(v)] != root_label &&
+          label[static_cast<std::size_t>(v)] != -1) {
+        reached = v;
+        break;
+      }
+      for (int w : g.neighbors(v)) {
+        const long long nc = c + node_cost(w);
+        if (nc < cost[static_cast<std::size_t>(w)]) {
+          cost[static_cast<std::size_t>(w)] = nc;
+          parent[static_cast<std::size_t>(w)] = v;
+          pq.push({nc, w});
+        }
+      }
+    }
+    if (reached == -1) break;  // different network components: stop
+    for (int v = reached; parent[static_cast<std::size_t>(v)] != -1;
+         v = parent[static_cast<std::size_t>(v)]) {
+      sk.add_edge(v, parent[static_cast<std::size_t>(v)]);
+    }
+  }
+  return sk;
+}
+
+BaselineSkeleton map_skeleton(const net::Graph& g,
+                              const BoundaryInfo& boundary,
+                              const MapParams& params) {
+  if (params.min_separation < 0) {
+    throw std::invalid_argument("min_separation must be >= 0");
+  }
+  const DistanceTransform dt =
+      boundary_distance_transform(g, boundary, params.transform);
+
+  BaselineSkeleton result;
+  result.dist_to_boundary = dt.dist;
+  for (int v = 0; v < g.n(); ++v) {
+    if (boundary.is_boundary[static_cast<std::size_t>(v)]) continue;
+    const auto& ws = dt.witnesses[static_cast<std::size_t>(v)];
+    bool medial = false;
+    for (std::size_t i = 0; i < ws.size() && !medial; ++i) {
+      for (std::size_t j = i + 1; j < ws.size(); ++j) {
+        if (well_separated(ws[i], ws[j], params.min_separation,
+                           boundary.ring_perimeter)) {
+          medial = true;
+          break;
+        }
+      }
+    }
+    if (medial) result.identified.push_back(v);
+  }
+
+  result.graph = connect_node_set(g, result.identified, dt.dist);
+  core::prune_short_branches(result.graph, params.prune_len);
+  return result;
+}
+
+}  // namespace skelex::baseline

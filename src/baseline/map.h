@@ -1,0 +1,49 @@
+// skelex/baseline/map.h
+//
+// MAP baseline (Bruck, Gao, Jiang — MobiCom'05): medial-axis extraction
+// *given boundary nodes*. A node is a medial node when it has two nearest
+// boundary nodes that are well separated (different boundary cycles, or
+// far apart along the same cycle — the separation threshold is MAP's
+// control against unstable medial nodes). Identified medial nodes are
+// connected into a skeleton graph and short branches are pruned.
+//
+// MAP's known pathology (the motivation for CASE and for this paper): a
+// small bump on the boundary spawns a long skeleton branch, because nodes
+// equidistant to the bump and to the opposite boundary are "well
+// separated" along the cycle. bench_baselines reproduces this on
+// shapes::bumpy_rect.
+#pragma once
+
+#include "baseline/distance_transform.h"
+#include "core/skeleton_graph.h"
+#include "net/graph.h"
+
+namespace skelex::baseline {
+
+struct MapParams {
+  // Minimum arc-length separation between two nearest boundary witnesses
+  // for a node to be a (stable) medial node.
+  double min_separation = 15.0;
+  // Leaf branches shorter than this are pruned from the result.
+  int prune_len = 4;
+  TransformParams transform;
+};
+
+struct BaselineSkeleton {
+  core::SkeletonGraph graph;       // connected skeleton
+  std::vector<int> identified;     // raw identified nodes, pre-connection
+  std::vector<int> dist_to_boundary;  // the transform, for inspection
+};
+
+BaselineSkeleton map_skeleton(const net::Graph& g,
+                              const BoundaryInfo& boundary,
+                              const MapParams& params = {});
+
+// Shared helper: connect the components of a node set through the graph,
+// biased toward large distance-to-boundary (medial) nodes, producing one
+// connected skeleton per network component. Used by MAP, CASE and tests.
+core::SkeletonGraph connect_node_set(const net::Graph& g,
+                                     const std::vector<int>& nodes,
+                                     const std::vector<int>& dist_to_boundary);
+
+}  // namespace skelex::baseline

@@ -1,0 +1,75 @@
+#include "core/boundary_cycles.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace skelex::core {
+
+BoundaryCycles group_boundary_nodes(const net::Graph& g,
+                                    const BoundaryResult& boundary,
+                                    int merge_hops, int min_group) {
+  if (merge_hops < 1) throw std::invalid_argument("merge_hops must be >= 1");
+  if (min_group < 1) throw std::invalid_argument("min_group must be >= 1");
+  if (boundary.is_boundary.size() != static_cast<std::size_t>(g.n())) {
+    throw std::invalid_argument("boundary result does not match graph");
+  }
+
+  BoundaryCycles out;
+  out.group_of.assign(static_cast<std::size_t>(g.n()), -1);
+
+  // Budgeted BFS: a boundary node reached within merge_hops of a group
+  // member joins the group and refreshes the budget.
+  std::vector<int> budget(static_cast<std::size_t>(g.n()), -1);
+  std::vector<std::vector<int>> groups;
+  for (int seed : boundary.boundary_nodes) {
+    if (out.group_of[static_cast<std::size_t>(seed)] != -1) continue;
+    const int id = static_cast<int>(groups.size());
+    groups.push_back({seed});
+    out.group_of[static_cast<std::size_t>(seed)] = id;
+    std::queue<std::pair<int, int>> q;
+    q.push({seed, merge_hops});
+    while (!q.empty()) {
+      const auto [v, rem] = q.front();
+      q.pop();
+      if (rem == 0) continue;
+      for (int w : g.neighbors(v)) {
+        const std::size_t wi = static_cast<std::size_t>(w);
+        if (boundary.is_boundary[wi] && out.group_of[wi] == -1) {
+          out.group_of[wi] = id;
+          groups[static_cast<std::size_t>(id)].push_back(w);
+          budget[wi] = merge_hops;
+          q.push({w, merge_hops});
+        } else if (budget[wi] < rem - 1) {
+          budget[wi] = rem - 1;
+          q.push({w, rem - 1});
+        }
+      }
+    }
+  }
+
+  // Drop noise groups, relabel largest-first.
+  std::vector<int> order(groups.size());
+  for (std::size_t i = 0; i < groups.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return groups[static_cast<std::size_t>(a)].size() >
+           groups[static_cast<std::size_t>(b)].size();
+  });
+  std::vector<int> relabel(groups.size(), -1);
+  for (int old_id : order) {
+    auto& grp = groups[static_cast<std::size_t>(old_id)];
+    if (static_cast<int>(grp.size()) < min_group) continue;
+    relabel[static_cast<std::size_t>(old_id)] =
+        static_cast<int>(out.groups.size());
+    std::sort(grp.begin(), grp.end());
+    out.groups.push_back(std::move(grp));
+  }
+  for (int v = 0; v < g.n(); ++v) {
+    int& gid = out.group_of[static_cast<std::size_t>(v)];
+    if (gid != -1) gid = relabel[static_cast<std::size_t>(gid)];
+  }
+  return out;
+}
+
+}  // namespace skelex::core

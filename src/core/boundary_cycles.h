@@ -1,0 +1,33 @@
+// skelex/core/boundary_cycles.h
+//
+// Extension of the boundary by-product: organize the detected boundary
+// nodes into per-feature groups — one group per hole plus the outer rim —
+// the form downstream users (e.g. CASE-style algorithms, hole-avoiding
+// routing) actually consume. Grouping is connectivity-only: boundary
+// nodes within a small hop radius of each other belong to the same
+// boundary feature.
+#pragma once
+
+#include <vector>
+
+#include "core/byproducts.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+
+struct BoundaryCycles {
+  // One entry per boundary feature, largest first (the outer rim is
+  // normally groups[0]); each is a list of node ids.
+  std::vector<std::vector<int>> groups;
+  // Per node: group index, or -1 for non-boundary nodes.
+  std::vector<int> group_of;
+};
+
+// Groups the boundary nodes of `boundary` into features. Boundary nodes
+// within `merge_hops` hops in g are the same feature; tiny groups
+// (fewer than min_group nodes) are noise and dropped.
+BoundaryCycles group_boundary_nodes(const net::Graph& g,
+                                    const BoundaryResult& boundary,
+                                    int merge_hops = 3, int min_group = 4);
+
+}  // namespace skelex::core

@@ -1,0 +1,94 @@
+#include "core/byproducts.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace skelex::core {
+
+Segmentation segmentation_from_voronoi(const VoronoiResult& vor) {
+  Segmentation s;
+  s.segment_of = vor.site_of;
+  s.segment_count = vor.cell_count();
+  s.segment_size.assign(static_cast<std::size_t>(s.segment_count), 0);
+  for (int seg : s.segment_of) {
+    if (seg >= 0) ++s.segment_size[static_cast<std::size_t>(seg)];
+  }
+  return s;
+}
+
+BoundaryResult extract_boundaries(const net::Graph& g,
+                                  const SkeletonGraph& skeleton, int min_dist,
+                                  const std::vector<int>* khop_sizes,
+                                  double khop_quantile) {
+  if (skeleton.capacity() != g.n()) {
+    throw std::invalid_argument("skeleton capacity does not match graph");
+  }
+  if (khop_sizes != nullptr &&
+      khop_sizes->size() != static_cast<std::size_t>(g.n())) {
+    throw std::invalid_argument("khop_sizes does not match graph");
+  }
+  if (khop_quantile <= 0.0 || khop_quantile > 1.0) {
+    throw std::invalid_argument("khop_quantile must be in (0, 1]");
+  }
+  int khop_cut = std::numeric_limits<int>::max();
+  if (khop_sizes != nullptr && g.n() > 0) {
+    std::vector<int> sorted = *khop_sizes;
+    std::sort(sorted.begin(), sorted.end());
+    khop_cut = sorted[std::min(
+        sorted.size() - 1,
+        static_cast<std::size_t>(khop_quantile *
+                                 static_cast<double>(sorted.size())))];
+  }
+  BoundaryResult r;
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  r.dist_to_skeleton.assign(n, -1);
+  r.is_boundary.assign(n, 0);
+
+  // Multi-source BFS from every skeleton node.
+  std::queue<int> q;
+  for (int v = 0; v < g.n(); ++v) {
+    if (skeleton.has_node(v)) {
+      r.dist_to_skeleton[static_cast<std::size_t>(v)] = 0;
+      q.push(v);
+    }
+  }
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int w : g.neighbors(v)) {
+      if (r.dist_to_skeleton[static_cast<std::size_t>(w)] == -1) {
+        r.dist_to_skeleton[static_cast<std::size_t>(w)] =
+            r.dist_to_skeleton[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+
+  // Boundary = local maxima of the distance transform (no neighbor is
+  // strictly farther). The skeleton lies medially, so distance from it
+  // increases toward and peaks at the network rim.
+  for (int v = 0; v < g.n(); ++v) {
+    const int dv = r.dist_to_skeleton[static_cast<std::size_t>(v)];
+    if (dv < min_dist) continue;
+    if (khop_sizes != nullptr &&
+        (*khop_sizes)[static_cast<std::size_t>(v)] > khop_cut) {
+      continue;  // interior ridge, not a clipped rim disk
+    }
+    bool is_max = true;
+    for (int w : g.neighbors(v)) {
+      if (r.dist_to_skeleton[static_cast<std::size_t>(w)] > dv) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max) {
+      r.is_boundary[static_cast<std::size_t>(v)] = 1;
+      r.boundary_nodes.push_back(v);
+    }
+  }
+  return r;
+}
+
+}  // namespace skelex::core

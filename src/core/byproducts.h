@@ -1,0 +1,55 @@
+// skelex/core/byproducts.h
+//
+// The two by-products the paper gets for free (§III-E, Fig. 3):
+//   * segmentation — the Voronoi cells partition the network into
+//     nicely-shaped sub-regions, one per site;
+//   * network boundaries — nodes farthest from the skeleton in the
+//     direction orthogonal to it. In the paper these fall out of the
+//     end-node flooding during loop identification; the connectivity
+//     signal is identical: boundary nodes are the local maxima of the
+//     hop-distance transform away from the skeleton.
+#pragma once
+
+#include <vector>
+
+#include "core/skeleton_graph.h"
+#include "core/voronoi.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+
+struct Segmentation {
+  // Per node: segment id (== index into VoronoiResult::sites), -1 when
+  // the node was unreachable from every site.
+  std::vector<int> segment_of;
+  int segment_count = 0;
+  std::vector<int> segment_size;
+};
+
+Segmentation segmentation_from_voronoi(const VoronoiResult& vor);
+
+struct BoundaryResult {
+  std::vector<char> is_boundary;
+  std::vector<int> boundary_nodes;
+  // Hop distance from each node to the nearest skeleton node.
+  std::vector<int> dist_to_skeleton;
+};
+
+// Boundary nodes relative to the (final) skeleton: a node is a boundary
+// node when no neighbor is strictly farther from the skeleton and it is
+// at least `min_dist` hops away from it.
+//
+// The distance transform also has interior ridges (plateaus equidistant
+// between two skeleton branches); true boundary nodes additionally have
+// CLIPPED k-hop disks (the paper's own boundary signal, after [8]).
+// When `khop_sizes` is given, detected nodes must also fall in the lower
+// `khop_quantile` of the k-hop size distribution — this removes the
+// interior ridges and sharpens the rim (the pipeline passes its stage-1
+// sizes, so the filter costs nothing extra).
+BoundaryResult extract_boundaries(const net::Graph& g,
+                                  const SkeletonGraph& skeleton,
+                                  int min_dist = 1,
+                                  const std::vector<int>* khop_sizes = nullptr,
+                                  double khop_quantile = 0.5);
+
+}  // namespace skelex::core

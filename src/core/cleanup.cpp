@@ -1,0 +1,510 @@
+#include "core/cleanup.h"
+
+#include "net/bfs.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+namespace skelex::core {
+
+namespace {
+
+// Hop depth (into the pocket) from the pocket boundary, restricted to the
+// pocket region. boundary nodes get 0.
+std::vector<int> pocket_depth(const net::Graph& g, const Pocket& pocket,
+                              const std::vector<char>& in_region) {
+  std::vector<int> depth(static_cast<std::size_t>(g.n()), -1);
+  std::queue<int> q;
+  for (int b : pocket.boundary) {
+    depth[static_cast<std::size_t>(b)] = 0;
+    q.push(b);
+  }
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int w : g.neighbors(v)) {
+      if (in_region[static_cast<std::size_t>(w)] &&
+          depth[static_cast<std::size_t>(w)] == -1) {
+        depth[static_cast<std::size_t>(w)] =
+            depth[static_cast<std::size_t>(v)] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return depth;
+}
+
+// Dijkstra within the pocket region from a set of starting nodes, with
+// node cost biased toward the pocket's medial ridge (deep nodes cheap).
+// Returns the cheapest path from the start set to `target`.
+std::vector<int> medial_biased_path(const net::Graph& g,
+                                    const std::vector<char>& in_region,
+                                    const std::vector<int>& depth,
+                                    const std::vector<int>& starts,
+                                    int target) {
+  int max_depth = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    if (in_region[static_cast<std::size_t>(v)]) {
+      max_depth = std::max(max_depth, depth[static_cast<std::size_t>(v)]);
+    }
+  }
+  const auto node_cost = [&](int v) {
+    // Entering a deep (medial) node is cheap; hugging the loop is dear.
+    return 1 + (max_depth - depth[static_cast<std::size_t>(v)]);
+  };
+  std::vector<long long> cost(static_cast<std::size_t>(g.n()),
+                              std::numeric_limits<long long>::max());
+  std::vector<int> parent(static_cast<std::size_t>(g.n()), -1);
+  using Item = std::pair<long long, int>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+  for (int s : starts) {
+    cost[static_cast<std::size_t>(s)] = 0;
+    pq.push({0, s});
+  }
+  while (!pq.empty()) {
+    const auto [c, v] = pq.top();
+    pq.pop();
+    if (c != cost[static_cast<std::size_t>(v)]) continue;
+    if (v == target) break;
+    for (int w : g.neighbors(v)) {
+      if (!in_region[static_cast<std::size_t>(w)]) continue;
+      const long long nc = c + node_cost(w);
+      if (nc < cost[static_cast<std::size_t>(w)]) {
+        cost[static_cast<std::size_t>(w)] = nc;
+        parent[static_cast<std::size_t>(w)] = v;
+        pq.push({nc, w});
+      }
+    }
+  }
+  std::vector<int> path;
+  if (cost[static_cast<std::size_t>(target)] ==
+      std::numeric_limits<long long>::max()) {
+    return path;
+  }
+  for (int v = target; v != -1; v = parent[static_cast<std::size_t>(v)]) {
+    path.push_back(v);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace
+
+std::vector<Pocket> find_pockets(const net::Graph& g,
+                                 const SkeletonGraph& skeleton) {
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  if (skeleton.capacity() != g.n()) {
+    throw std::invalid_argument("skeleton capacity does not match graph");
+  }
+
+  // Components of G restricted to non-skeleton nodes.
+  std::vector<int> comp(n, -1);
+  int comp_count = 0;
+  std::queue<int> q;
+  for (int s = 0; s < g.n(); ++s) {
+    if (skeleton.has_node(s) || comp[static_cast<std::size_t>(s)] != -1) {
+      continue;
+    }
+    comp[static_cast<std::size_t>(s)] = comp_count;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int w : g.neighbors(v)) {
+        if (!skeleton.has_node(w) && comp[static_cast<std::size_t>(w)] == -1) {
+          comp[static_cast<std::size_t>(w)] = comp_count;
+          q.push(w);
+        }
+      }
+    }
+    ++comp_count;
+  }
+
+  std::vector<std::vector<int>> members(static_cast<std::size_t>(comp_count));
+  for (int v = 0; v < g.n(); ++v) {
+    if (comp[static_cast<std::size_t>(v)] != -1) {
+      members[static_cast<std::size_t>(comp[static_cast<std::size_t>(v)])]
+          .push_back(v);
+    }
+  }
+
+  std::vector<Pocket> pockets;
+  for (auto& interior : members) {
+    // Skeleton nodes adjacent to the component.
+    std::set<int> bound_set;
+    for (int v : interior) {
+      for (int w : g.neighbors(v)) {
+        if (skeleton.has_node(w)) bound_set.insert(w);
+      }
+    }
+    if (bound_set.size() < 3) continue;
+
+    // Close gaps in the bounding loop: a skeleton node with two or more
+    // skeleton-neighbors already in the set bridges two arcs of the
+    // boundary (ring corners, junction apexes) even though it is not
+    // directly adjacent to any pocket node. Expand to a fixpoint.
+    for (bool grown = true; grown;) {
+      grown = false;
+      for (int b : std::vector<int>(bound_set.begin(), bound_set.end())) {
+        for (int w : skeleton.neighbors(b)) {
+          if (bound_set.count(w)) continue;
+          int links = 0;
+          for (int x : skeleton.neighbors(w)) {
+            if (bound_set.count(x)) ++links;
+          }
+          if (links >= 2) {
+            bound_set.insert(w);
+            grown = true;
+          }
+        }
+      }
+    }
+    std::vector<int> boundary(bound_set.begin(), bound_set.end());
+
+    // The boundary must contain an independent cycle of the skeleton and
+    // be connected there, otherwise the component merely lies beside a
+    // skeleton path and encloses nothing.
+    SkeletonGraph induced(g.n());
+    for (int b : boundary) induced.add_node(b);
+    for (int b : boundary) {
+      for (int w : skeleton.neighbors(b)) {
+        if (bound_set.count(w)) induced.add_edge(b, w);
+      }
+    }
+    if (induced.component_count() != 1 || induced.cycle_rank() < 1) continue;
+
+    pockets.push_back({std::move(interior), std::move(boundary), false});
+  }
+  return pockets;
+}
+
+bool pocket_is_fake(const Pocket& pocket, const IndexData& idx,
+                    const Params& params) {
+  params.validate();
+  // Too small to wrap a hole that connectivity could see.
+  if (static_cast<int>(pocket.interior.size()) <=
+      params.effective_fake_pocket_min_size()) {
+    return true;
+  }
+  // Hole signal: a pocket wrapping a hole contains hole-boundary nodes
+  // whose k-hop disks are clipped (small |N_k| relative to the medially
+  // placed bounding skeleton nodes).
+  double bound_mean = 0.0;
+  for (int b : pocket.boundary) {
+    bound_mean += idx.khop_size[static_cast<std::size_t>(b)];
+  }
+  bound_mean /= static_cast<double>(pocket.boundary.size());
+  int interior_min = std::numeric_limits<int>::max();
+  for (int v : pocket.interior) {
+    interior_min =
+        std::min(interior_min, idx.khop_size[static_cast<std::size_t>(v)]);
+  }
+  return static_cast<double>(interior_min) >=
+         params.hole_khop_ratio * bound_mean;
+}
+
+CleanupResult cleanup_loops(const net::Graph& g, const IndexData& idx,
+                            SkeletonGraph coarse, const Params& params,
+                            const VoronoiResult* vor) {
+  params.validate();
+  CleanupResult result;
+  result.graph = std::move(coarse);
+  SkeletonGraph& sk = result.graph;
+
+  // --- Merge adjacent fake loops (§III-D "Merge"): skeleton nodes shared
+  // by two or more fake pockets give up their identity, joining the
+  // pockets; repeat until stable.
+  std::vector<Pocket> pockets;
+  for (int round = 0; round < g.n(); ++round) {
+    pockets = find_pockets(g, sk);
+    std::map<int, int> fake_bound_count;
+    for (Pocket& p : pockets) {
+      p.fake = pocket_is_fake(p, idx, params);
+      if (!p.fake) continue;
+      for (int b : p.boundary) ++fake_bound_count[b];
+    }
+    std::set<int> shared;
+    for (const auto& [node, count] : fake_bound_count) {
+      if (count >= 2) shared.insert(node);
+    }
+    // Demote the interior wall between the pockets but keep its junction
+    // endpoints (nodes that still touch non-shared skeleton): the merged
+    // pocket's contour must remain a closed cycle. This is the paper's
+    // exemption for nodes with >= 3 neighboring skeleton nodes.
+    std::vector<int> demote;
+    for (int v : shared) {
+      bool touches_outside = false;
+      for (int w : sk.neighbors(v)) {
+        if (!shared.count(w)) {
+          touches_outside = true;
+          break;
+        }
+      }
+      if (!touches_outside) demote.push_back(v);
+    }
+    if (demote.empty()) break;
+    for (int v : demote) sk.remove_node(v);
+    ++result.merge_rounds;
+  }
+
+  // --- Delete fake loops: reconnect each fake pocket's attachments
+  // through the pocket, then demote the rest of its loop nodes.
+  for (const Pocket& pocket : pockets) {
+    if (!pocket.fake) continue;
+    ++result.fake_loops_removed;
+    ++result.fake_from_pockets;
+
+    std::vector<char> in_region(static_cast<std::size_t>(g.n()), 0);
+    for (int v : pocket.interior) in_region[static_cast<std::size_t>(v)] = 1;
+    for (int v : pocket.boundary) in_region[static_cast<std::size_t>(v)] = 1;
+    const std::vector<int> depth = pocket_depth(g, pocket, in_region);
+
+    // Attachment nodes: loop nodes where the rest of the skeleton hangs
+    // on (neighbors in the skeleton outside the loop).
+    std::set<int> bound_set(pocket.boundary.begin(), pocket.boundary.end());
+    std::vector<int> attachments;
+    for (int b : pocket.boundary) {
+      for (int w : sk.neighbors(b)) {
+        if (!bound_set.count(w)) {
+          attachments.push_back(b);
+          break;
+        }
+      }
+    }
+    if (attachments.size() < 2) {
+      // Isolated fake loop: replace it with a single path through the
+      // pocket between the two most separated loop nodes.
+      int a = pocket.boundary.front();
+      for (int b : pocket.boundary) {
+        if (idx.index[static_cast<std::size_t>(b)] >
+            idx.index[static_cast<std::size_t>(a)]) {
+          a = b;
+        }
+      }
+      const std::vector<int> d = pocket_depth(
+          g, Pocket{pocket.interior, {a}, true}, in_region);
+      int far = a;
+      for (int b : pocket.boundary) {
+        if (d[static_cast<std::size_t>(b)] > d[static_cast<std::size_t>(far)]) {
+          far = b;
+        }
+      }
+      attachments = {a, far};
+    }
+    std::sort(attachments.begin(), attachments.end());
+    attachments.erase(std::unique(attachments.begin(), attachments.end()),
+                      attachments.end());
+
+    // Greedy Steiner: connect attachments one by one through the pocket,
+    // biased toward the pocket's medial ridge.
+    std::set<int> keep(attachments.begin(), attachments.end());
+    std::vector<std::vector<int>> new_paths;
+    std::vector<int> tree = {attachments.front()};
+    std::set<int> connected = {attachments.front()};
+    while (connected.size() < attachments.size()) {
+      // Nearest unconnected attachment to the current tree.
+      std::vector<int> best_path;
+      int best_target = -1;
+      for (int a : attachments) {
+        if (connected.count(a)) continue;
+        std::vector<int> path =
+            medial_biased_path(g, in_region, depth, tree, a);
+        if (path.empty()) continue;
+        if (best_target == -1 || path.size() < best_path.size()) {
+          best_path = std::move(path);
+          best_target = a;
+        }
+      }
+      if (best_target == -1) break;  // pocket disconnected: give up safely
+      connected.insert(best_target);
+      for (int v : best_path) {
+        keep.insert(v);
+        tree.push_back(v);
+      }
+      new_paths.push_back(std::move(best_path));
+    }
+
+    // Demote loop nodes that are not kept; then install the new paths.
+    for (int b : pocket.boundary) {
+      if (!keep.count(b)) sk.remove_node(b);
+    }
+    for (const std::vector<int>& path : new_paths) {
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        sk.add_edge(path[i], path[i + 1]);
+      }
+    }
+  }
+
+  // --- Voronoi-vertex cycles: a leftover skeleton cycle whose sites ALL
+  // sit within alpha of one node is fake — the cells meet at a single
+  // discrete Voronoi vertex, so the cycle bounds a point-like junction,
+  // not a hole (a hole would put the meeting point inside itself, where
+  // no node exists). The cycle is replaced by a star: each attachment
+  // reconnects to the witness through the interior of the cells. (The
+  // coarse stage already routes junction-covered pairs through their
+  // witness, so this rarely fires; it mops up what slips through.)
+  if (vor != nullptr) {
+    for (bool changed = true; changed;) {
+      changed = false;
+      for (const std::vector<int>& cycle : sk.tight_cycles()) {
+        std::set<int> cycle_sites;  // site indices on this cycle
+        std::set<int> cyc_set(cycle.begin(), cycle.end());
+        for (std::size_t s = 0; s < vor->sites.size(); ++s) {
+          if (cyc_set.count(vor->sites[s])) {
+            cycle_sites.insert(static_cast<int>(s));
+          }
+        }
+        if (cycle_sites.size() < 3) continue;
+
+        // Witness: a node within alpha of EVERY site on the cycle; best
+        // by index, then id.
+        int witness = -1;
+        for (int v = 0; v < g.n(); ++v) {
+          if (!vor->is_voronoi_node[static_cast<std::size_t>(v)]) continue;
+          std::size_t hits = 0;
+          for (const auto& rec : vor->nearby[static_cast<std::size_t>(v)]) {
+            if (cycle_sites.count(rec.site)) ++hits;
+          }
+          if (hits < cycle_sites.size()) continue;
+          if (witness == -1 ||
+              idx.index[static_cast<std::size_t>(v)] >
+                  idx.index[static_cast<std::size_t>(witness)] ||
+              (idx.index[static_cast<std::size_t>(v)] ==
+                   idx.index[static_cast<std::size_t>(witness)] &&
+               v < witness)) {
+            witness = v;
+          }
+        }
+        if (witness == -1) continue;  // no Voronoi vertex: genuine loop
+
+        ++result.fake_loops_removed;
+        ++result.fake_from_witness;
+        changed = true;
+
+        // Region: the union of the involved cells, plus the cycle.
+        std::vector<char> in_region(static_cast<std::size_t>(g.n()), 0);
+        for (int v = 0; v < g.n(); ++v) {
+          if (vor->site_of[static_cast<std::size_t>(v)] != -1 &&
+              cycle_sites.count(vor->site_of[static_cast<std::size_t>(v)])) {
+            in_region[static_cast<std::size_t>(v)] = 1;
+          }
+        }
+        for (int v : cycle) in_region[static_cast<std::size_t>(v)] = 1;
+
+        // Depth away from the cycle biases the star paths inward.
+        Pocket fake_pocket;
+        fake_pocket.boundary = cycle;
+        const std::vector<int> depth = pocket_depth(g, fake_pocket, in_region);
+
+        // Attachments: cycle nodes where the rest of the skeleton hangs
+        // on, plus the sites themselves (they must stay connected).
+        std::set<int> site_nodes(vor->sites.begin(), vor->sites.end());
+        std::vector<int> attachments;
+        for (int b : cycle) {
+          bool keep_it = site_nodes.count(b) > 0;
+          for (int w : sk.neighbors(b)) {
+            if (!cyc_set.count(w)) keep_it = true;
+          }
+          if (keep_it) attachments.push_back(b);
+        }
+        if (attachments.empty()) attachments.push_back(cycle.front());
+
+        std::set<int> keep(attachments.begin(), attachments.end());
+        keep.insert(witness);
+        std::vector<int> tree = {witness};
+        std::vector<std::vector<int>> new_paths;
+        for (int a : attachments) {
+          std::vector<int> path =
+              medial_biased_path(g, in_region, depth, tree, a);
+          if (path.empty()) continue;
+          for (int v : path) {
+            keep.insert(v);
+            tree.push_back(v);
+          }
+          new_paths.push_back(std::move(path));
+        }
+
+        for (int b : cycle) {
+          if (!keep.count(b)) sk.remove_node(b);
+        }
+        for (const std::vector<int>& path : new_paths) {
+          for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+            sk.add_edge(path[i], path[i + 1]);
+          }
+        }
+        break;  // basis is stale after a mutation; recompute
+      }
+    }
+  }
+
+  // --- Collapse thin and braid cycles. Thin: loops that enclose no
+  // nodes at all (two path runs pinched together). Braid: a cycle
+  // passing through at most ONE site cannot wrap a hole — inside a cell
+  // the skeleton follows the BFS parent tree, so a loop needs at least
+  // two cells (two sites) to close around anything; single-site cycles
+  // are bundle artifacts of several connectors entering one cell. Each
+  // is opened by demoting its weakest (lowest-index) degree-2 node
+  // without external attachments; the dangling remainder is pruned later.
+  std::set<int> site_nodes;
+  if (vor != nullptr) site_nodes.insert(vor->sites.begin(), vor->sites.end());
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (const std::vector<int>& cycle : sk.tight_cycles()) {
+      int sites_on_cycle = 0;
+      for (int v : cycle) {
+        if (site_nodes.count(v)) ++sites_on_cycle;
+      }
+      const bool braid = vor != nullptr && sites_on_cycle <= 1;
+      if (!braid && !cycle_is_thin(g, cycle, params)) continue;
+      std::set<int> cyc_set(cycle.begin(), cycle.end());
+      int victim = -1;
+      for (int v : cycle) {
+        if (sk.degree(v) != 2) continue;
+        bool external = false;
+        for (int w : sk.neighbors(v)) {
+          if (!cyc_set.count(w)) external = true;
+        }
+        if (external) continue;
+        if (victim == -1 || idx.index[static_cast<std::size_t>(v)] <
+                                idx.index[static_cast<std::size_t>(victim)]) {
+          victim = v;
+        }
+      }
+      if (victim == -1) continue;  // all cycle nodes are junctions: keep
+      sk.remove_node(victim);
+      ++result.thin_loops_collapsed;
+      changed = true;
+      break;  // the basis is stale after a mutation; recompute
+    }
+  }
+
+  // Final classification snapshot (genuine pockets of the final graph).
+  result.pockets = find_pockets(g, sk);
+  for (Pocket& p : result.pockets) {
+    p.fake = pocket_is_fake(p, idx, params);
+  }
+  return result;
+}
+
+bool cycle_is_thin(const net::Graph& g, const std::vector<int>& cycle,
+                   const Params& params) {
+  params.validate();
+  const std::size_t len = cycle.size();
+  if (len < 3) return true;
+  const int limit = std::max(
+      params.thin_cycle_hops,
+      static_cast<int>(params.thin_cycle_ratio * static_cast<double>(len)));
+  for (std::size_t i = 0; i < len; ++i) {
+    const int a = cycle[i];
+    const int b = cycle[(i + len / 2) % len];
+    const auto d = net::bfs_distances(g, a, limit);
+    if (d[static_cast<std::size_t>(b)] == net::kUnreached) return false;
+  }
+  return true;
+}
+
+}  // namespace skelex::core

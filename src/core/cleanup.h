@@ -1,0 +1,95 @@
+// skelex/core/cleanup.h
+//
+// Stage 4a: loop identification + fake-loop removal (§III-D).
+//
+// A loop in the coarse skeleton is either genuine (it wraps a hole in the
+// deployment region — the skeleton must keep it to stay homotopic to the
+// network) or fake (three or more mutually adjacent Voronoi cells got
+// connected pairwise, enclosing a small pocket of ordinary nodes around a
+// Voronoi vertex).
+//
+// Connectivity-only detection: remove the skeleton nodes from the network
+// and look at the remaining components. A component P whose adjacent
+// skeleton nodes A(P) contain a cycle and are connected is a *pocket*
+// enclosed by the skeleton. The paper classifies loops by flooding from
+// "end nodes" and measuring the resulting end-node loop; our equivalent
+// signals are:
+//   * a tiny pocket cannot wrap a hole -> fake;
+//   * hole-boundary nodes lose about half of their k-hop disk, so a
+//     pocket whose minimum k-hop size is well below that of the bounding
+//     skeleton nodes wraps a hole -> genuine; otherwise fake.
+//
+// Fake loops adjacent to each other are merged first (shared skeleton
+// nodes are demoted — the paper's rule) and each resulting fake pocket is
+// re-skeletonized: its attachment nodes (where branches or sites meet the
+// loop) are re-connected by depth-biased shortest paths THROUGH the
+// pocket (the connectivity analogue of running CASE inside the pocket
+// with the loop as outer boundary), and all other loop nodes give up
+// their skeleton identity.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/index.h"
+#include "core/skeleton_graph.h"
+#include "core/voronoi.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+
+struct Pocket {
+  std::vector<int> interior;  // non-skeleton nodes enclosed
+  std::vector<int> boundary;  // skeleton nodes adjacent to the pocket
+  bool fake = false;
+};
+
+struct CleanupResult {
+  SkeletonGraph graph;          // skeleton after fake-loop removal
+  std::vector<Pocket> pockets;  // final classification (genuine ones kept)
+  int fake_loops_removed = 0;   // total across all mechanisms
+  int merge_rounds = 0;  // rounds of adjacent-fake-loop merging
+  // Cycles with empty enclosure, collapsed by the thinness test.
+  int thin_loops_collapsed = 0;
+  // Per-mechanism attribution (sums to fake_loops_removed).
+  int fake_from_pockets = 0;
+  int fake_from_witness = 0;
+};
+
+// True when `cycle` (a closed node sequence in the skeleton) encloses
+// nothing: every opposite pair of cycle nodes is within
+// params.thin_cycle_hops hops in the full graph. Exposed for tests.
+bool cycle_is_thin(const net::Graph& g, const std::vector<int>& cycle,
+                   const Params& params);
+
+// Finds the pockets enclosed by `skeleton` in `g`. A pocket's boundary is
+// the adjacent skeleton nodes CLOSED UP over skeleton nodes that bridge
+// two of them (ring corners and junction apexes are part of the bounding
+// loop even when not directly adjacent to the pocket). Exposed for tests
+// and for the boundary by-product.
+std::vector<Pocket> find_pockets(const net::Graph& g,
+                                 const SkeletonGraph& skeleton);
+
+// Classifies a pocket as fake or genuine. Exposed for tests.
+bool pocket_is_fake(const Pocket& pocket, const IndexData& idx,
+                    const Params& params);
+
+// Runs the full clean-up on a coarse skeleton. Three mechanisms, in
+// order, each faithful to §III-D's end-node-loop idea in connectivity
+// terms:
+//   1. pocket classification (enclosed node components; works whenever
+//      the cycle seals its interior, e.g. lattice-like deployments);
+//   2. Voronoi-vertex cycles (needs `vor`): a cycle is fake when some
+//      node is within alpha of >= 3 of the cycle's sites — the cells
+//      meet at a discrete Voronoi vertex, so the loop bounds a disk, not
+//      a hole. UDG enclosure "leaks" between crossing links, so this is
+//      the workhorse on random deployments;
+//   3. thin cycles (opposite sides close in G) — loops that enclose
+//      nothing at all.
+// `vor` may be null (mechanism 2 is skipped), e.g. for hand-built
+// skeletons in tests.
+CleanupResult cleanup_loops(const net::Graph& g, const IndexData& idx,
+                            SkeletonGraph coarse, const Params& params,
+                            const VoronoiResult* vor = nullptr);
+
+}  // namespace skelex::core

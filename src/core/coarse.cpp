@@ -1,0 +1,552 @@
+#include "core/coarse.h"
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+namespace skelex::core {
+
+namespace {
+
+void add_path(SkeletonGraph& sk, const std::vector<int>& path) {
+  for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+    sk.add_edge(path[i], path[i + 1]);
+  }
+  if (path.size() == 1) sk.add_node(path.front());
+}
+
+const VoronoiResult::NearbySite* record_for(const VoronoiResult& vor, int v,
+                                            int site) {
+  for (const auto& rec : vor.nearby[static_cast<std::size_t>(v)]) {
+    if (rec.site == site) return &rec;
+  }
+  return nullptr;
+}
+
+// GF(2) vectors over the band set, as bitsets.
+class Gf2Basis {
+ public:
+  explicit Gf2Basis(std::size_t dim) : words_((dim + 63) / 64) {}
+
+  std::vector<std::uint64_t> vec(const std::vector<int>& bits) const {
+    std::vector<std::uint64_t> v(words_, 0);
+    for (int b : bits) {
+      v[static_cast<std::size_t>(b) / 64] |= std::uint64_t{1} << (b % 64);
+    }
+    return v;
+  }
+
+  // Reduces v against the basis; returns true (and inserts) when v is
+  // independent, false when v reduces to zero.
+  bool insert(std::vector<std::uint64_t> v) {
+    for (const auto& b : basis_) {
+      if (leading_bit(v) == leading_bit(b)) xor_into(v, b);
+    }
+    // One pass is not enough in general; do full Gaussian elimination.
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      const int lead = leading_bit(v);
+      if (lead < 0) return false;
+      for (const auto& b : basis_) {
+        if (leading_bit(b) == lead) {
+          xor_into(v, b);
+          changed = true;
+          break;
+        }
+      }
+    }
+    basis_.push_back(std::move(v));
+    return true;
+  }
+
+ private:
+  static void xor_into(std::vector<std::uint64_t>& a,
+                       const std::vector<std::uint64_t>& b) {
+    for (std::size_t i = 0; i < a.size(); ++i) a[i] ^= b[i];
+  }
+  static int leading_bit(const std::vector<std::uint64_t>& v) {
+    for (std::size_t i = v.size(); i-- > 0;) {
+      if (v[i] != 0) {
+        return static_cast<int>(i) * 64 + 63 - std::countl_zero(v[i]);
+      }
+    }
+    return -1;
+  }
+
+  std::size_t words_;
+  std::vector<std::vector<std::uint64_t>> basis_;
+};
+
+}  // namespace
+
+std::vector<std::vector<int>> cluster_within_hops(const net::Graph& g,
+                                                  const std::vector<int>& nodes,
+                                                  int merge_hops) {
+  if (merge_hops < 1) throw std::invalid_argument("merge_hops must be >= 1");
+  std::vector<char> in_set(static_cast<std::size_t>(g.n()), 0);
+  for (int v : nodes) in_set[static_cast<std::size_t>(v)] = 1;
+  std::vector<char> clustered(static_cast<std::size_t>(g.n()), 0);
+  std::vector<int> budget(static_cast<std::size_t>(g.n()), -1);
+
+  std::vector<std::vector<int>> clusters;
+  std::vector<int> sorted = nodes;
+  std::sort(sorted.begin(), sorted.end());
+  for (int seed : sorted) {
+    if (clustered[static_cast<std::size_t>(seed)]) continue;
+    std::vector<int> cluster;
+    std::queue<std::pair<int, int>> q;  // (node, remaining hops)
+    clustered[static_cast<std::size_t>(seed)] = 1;
+    cluster.push_back(seed);
+    q.push({seed, merge_hops});
+    while (!q.empty()) {
+      const auto [v, rem] = q.front();
+      q.pop();
+      if (rem == 0) continue;
+      for (int w : g.neighbors(v)) {
+        const std::size_t wi = static_cast<std::size_t>(w);
+        if (in_set[wi] && !clustered[wi]) {
+          clustered[wi] = 1;
+          cluster.push_back(w);
+          budget[wi] = merge_hops;
+          q.push({w, merge_hops});
+        } else if (budget[wi] < rem - 1) {
+          budget[wi] = rem - 1;
+          q.push({w, rem - 1});
+        }
+      }
+    }
+    std::sort(cluster.begin(), cluster.end());
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+CoarseSkeleton build_coarse_skeleton(const net::Graph& g, const IndexData& idx,
+                                     const VoronoiResult& vor,
+                                     const Params& params) {
+  params.validate();
+  if (idx.index.size() != static_cast<std::size_t>(g.n())) {
+    throw std::invalid_argument("IndexData does not match graph");
+  }
+  CoarseSkeleton coarse;
+  coarse.graph = SkeletonGraph(g.n());
+  for (int s : vor.sites) coarse.graph.add_node(s);
+
+  // --- Bands: the nerve's edges come from the partition's DUAL — two
+  // cells are adjacent wherever a network link crosses between them.
+  // (Segment nodes — the paper's alpha-balanced tie nodes — are a subset
+  // of these crossing spots and still select the connector, but adjacency
+  // itself must not depend on a balanced node existing, or triples of
+  // cells meeting at a skewed junction lose their filling triangle.)
+  // Each pair's crossing endpoints are clustered into bands; two cells
+  // can meet in several places (on both sides of a hole -> two bands).
+  const int merge_hops = 2 * params.alpha + 2;
+  std::map<std::pair<int, int>, std::vector<int>> crossing_nodes;
+  for (int v = 0; v < g.n(); ++v) {
+    const int sv = vor.site_of[static_cast<std::size_t>(v)];
+    if (sv == -1) continue;
+    for (int w : g.neighbors(v)) {
+      if (w < v) continue;
+      const int sw = vor.site_of[static_cast<std::size_t>(w)];
+      if (sw == -1 || sw == sv) continue;
+      auto& nodes = crossing_nodes[{std::min(sv, sw), std::max(sv, sw)}];
+      nodes.push_back(v);
+      nodes.push_back(w);
+    }
+  }
+  std::map<std::pair<int, int>, std::vector<int>> bands_of_pair;
+  for (auto& [pair, nodes] : crossing_nodes) {
+    std::sort(nodes.begin(), nodes.end());
+    nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+    for (std::vector<int>& cluster : cluster_within_hops(g, nodes, merge_hops)) {
+      const int band_id = static_cast<int>(coarse.bands.size());
+      bands_of_pair[pair].push_back(band_id);
+      coarse.bands.push_back({pair.first, pair.second, std::move(cluster)});
+    }
+  }
+  const std::size_t band_count = coarse.bands.size();
+
+  // --- Witnesses: Voronoi nodes seeing >= 3 sites. Each witness maps,
+  // per pair of its sites, to that pair's nearest band (the local
+  // meeting place).
+  struct WitnessInfo {
+    int node = 0;
+    std::vector<int> sites;
+  };
+  std::vector<WitnessInfo> witnesses;
+  for (int v = 0; v < g.n(); ++v) {
+    const auto& nearby = vor.nearby[static_cast<std::size_t>(v)];
+    if (nearby.size() < 3) continue;
+    WitnessInfo w;
+    w.node = v;
+    for (const auto& rec : nearby) w.sites.push_back(rec.site);
+    witnesses.push_back(std::move(w));
+  }
+
+  // Nearest band of `pair` to node v, by truncated BFS; -1 when none is
+  // within reach.
+  const int probe_depth = merge_hops + params.alpha + 2;
+  const auto nearest_band = [&](const std::vector<int>& dist, int a,
+                                int b) -> int {
+    const auto it = bands_of_pair.find({a, b});
+    if (it == bands_of_pair.end()) return -1;
+    int best = -1, best_d = probe_depth + 1;
+    for (int band_id : it->second) {
+      for (int node : coarse.bands[static_cast<std::size_t>(band_id)].nodes) {
+        const int d = dist[static_cast<std::size_t>(node)];
+        if (d >= 0 && d < best_d) {
+          best_d = d;
+          best = band_id;
+        }
+      }
+    }
+    return best;
+  };
+  const auto probe_dist = [&](int v) {
+    std::vector<int> dist(static_cast<std::size_t>(g.n()), -1);
+    std::queue<int> q;
+    dist[static_cast<std::size_t>(v)] = 0;
+    q.push(v);
+    while (!q.empty()) {
+      const int u = q.front();
+      q.pop();
+      if (dist[static_cast<std::size_t>(u)] >= probe_depth) continue;
+      for (int w : g.neighbors(u)) {
+        if (dist[static_cast<std::size_t>(w)] == -1) {
+          dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(u)] + 1;
+          q.push(w);
+        }
+      }
+    }
+    return dist;
+  };
+
+  // Best witness per band (for star routing), and nerve triangles.
+  std::vector<int> band_witness(band_count, -1);
+  for (const WitnessInfo& w : witnesses) {
+    // Only witnesses living in one of the band's own cells may route it:
+    // a witness in a THIRD cell c would physically realize band (a, b)
+    // as the two crossing edges (c, a) + (c, b), silently changing the
+    // homology the band selection below reasons about.
+    const int w_cell = vor.site_of[static_cast<std::size_t>(w.node)];
+    const std::vector<int> dist = probe_dist(w.node);
+    // Star routing candidates: for every pair of the witness's sites,
+    // the nearest band gains this witness.
+    for (std::size_t i = 0; i < w.sites.size(); ++i) {
+      for (std::size_t j = i + 1; j < w.sites.size(); ++j) {
+        if (w_cell != w.sites[i] && w_cell != w.sites[j]) continue;
+        const int band = nearest_band(dist, std::min(w.sites[i], w.sites[j]),
+                                      std::max(w.sites[i], w.sites[j]));
+        if (band < 0) continue;
+        int& cur = band_witness[static_cast<std::size_t>(band)];
+        if (cur == -1 ||
+            idx.index[static_cast<std::size_t>(w.node)] >
+                idx.index[static_cast<std::size_t>(cur)] ||
+            (idx.index[static_cast<std::size_t>(w.node)] ==
+                 idx.index[static_cast<std::size_t>(cur)] &&
+             w.node < cur)) {
+          cur = w.node;
+        }
+      }
+    }
+  }
+
+  // --- Nerve triangles by band convergence. Three cells meet at a point
+  // exactly when their three pairwise bands approach each other: around
+  // a junction the bands' tips converge within a couple of hops, while
+  // around a hole they radiate from spots separated by the hole's
+  // circumference. Node witnesses are a sufficient but too-sparse signal
+  // (a junction needs no node exactly equidistant to three sites);
+  // set-distance between bands is the robust version.
+  const int junction_radius = 2 * params.alpha + 2;
+  // Convergence by co-marking: every band stamps the nodes within
+  // ceil(junction_radius/2) hops of it; two bands converge when they
+  // stamp a common node (set distance <= 2 * half). One truncated BFS
+  // per band instead of one per band pair.
+  const int half_radius = (junction_radius + 1) / 2;
+  std::vector<std::vector<int>> node_bands(static_cast<std::size_t>(g.n()));
+  for (std::size_t e = 0; e < band_count; ++e) {
+    std::vector<int> dist(static_cast<std::size_t>(g.n()), -1);
+    std::queue<int> q;
+    for (int v : coarse.bands[e].nodes) {
+      dist[static_cast<std::size_t>(v)] = 0;
+      q.push(v);
+      node_bands[static_cast<std::size_t>(v)].push_back(static_cast<int>(e));
+    }
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      if (dist[static_cast<std::size_t>(v)] >= half_radius) continue;
+      for (int w : g.neighbors(v)) {
+        if (dist[static_cast<std::size_t>(w)] == -1) {
+          dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
+          node_bands[static_cast<std::size_t>(w)].push_back(static_cast<int>(e));
+          q.push(w);
+        }
+      }
+    }
+  }
+  std::set<std::pair<int, int>> converging;
+  for (int v = 0; v < g.n(); ++v) {
+    const auto& list = node_bands[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      for (std::size_t j = i + 1; j < list.size(); ++j) {
+        converging.insert({std::min(list[i], list[j]), std::max(list[i], list[j])});
+      }
+    }
+  }
+  const auto bands_converge = [&](int a, int b) {
+    return converging.count({std::min(a, b), std::max(a, b)}) > 0;
+  };
+  std::map<std::pair<int, int>, std::vector<int>> pair_bands;
+  for (std::size_t e = 0; e < band_count; ++e) {
+    pair_bands[{coarse.bands[e].site_a, coarse.bands[e].site_b}].push_back(
+        static_cast<int>(e));
+  }
+
+  // Triangles: converging bands sharing a site, closed by a third band
+  // of the outer pair that converges with both.
+  std::set<std::array<int, 3>> seen_triangles;
+  for (const auto& [e1, e2] : converging) {
+    const Band& b1 = coarse.bands[static_cast<std::size_t>(e1)];
+    const Band& b2 = coarse.bands[static_cast<std::size_t>(e2)];
+    int x = -1, y = -1;
+    if (b1.site_a == b2.site_a) {
+      x = b1.site_b;
+      y = b2.site_b;
+    } else if (b1.site_a == b2.site_b) {
+      x = b1.site_b;
+      y = b2.site_a;
+    } else if (b1.site_b == b2.site_a) {
+      x = b1.site_a;
+      y = b2.site_b;
+    } else if (b1.site_b == b2.site_b) {
+      x = b1.site_a;
+      y = b2.site_a;
+    } else {
+      continue;
+    }
+    if (x == y) continue;  // parallel bands of the same pair
+    const auto closing = pair_bands.find({std::min(x, y), std::max(x, y)});
+    if (closing == pair_bands.end()) continue;
+    for (int e3 : closing->second) {
+      if (!bands_converge(e1, e3) || !bands_converge(e2, e3)) continue;
+      std::array<int, 3> tri{e1, e2, e3};
+      std::sort(tri.begin(), tri.end());
+      if (seen_triangles.insert(tri).second) {
+        coarse.triangles.push_back({tri[0], tri[1], tri[2]});
+      }
+    }
+  }
+
+  // Quadrilaterals: four cells meeting at one point have no chord band,
+  // so triangles cannot fill the 4-cycle; when two site-DISJOINT bands
+  // converge (the junction signature), close them with two side bands
+  // converging with both, and fill the quad. Around a hole the opposite
+  // bands are separated by the hole, so genuine 4-cell rings stay open.
+  std::set<std::array<int, 4>> seen_quads;
+  std::vector<std::array<int, 4>> quad_fills;
+  for (const auto& [e1, e2] : converging) {
+    const Band& b1 = coarse.bands[static_cast<std::size_t>(e1)];
+    const Band& b2 = coarse.bands[static_cast<std::size_t>(e2)];
+    const int a = b1.site_a, b = b1.site_b, c = b2.site_a, d = b2.site_b;
+    if (a == c || a == d || b == c || b == d) continue;  // not disjoint
+    // Two ways to close the 4-cycle: (b-c, a-d) or (b-d, a-c).
+    const std::pair<int, int> side_opts[2][2] = {
+        {{std::min(b, c), std::max(b, c)}, {std::min(a, d), std::max(a, d)}},
+        {{std::min(b, d), std::max(b, d)}, {std::min(a, c), std::max(a, c)}}};
+    for (const auto& sides : side_opts) {
+      const auto s1 = pair_bands.find(sides[0]);
+      const auto s2 = pair_bands.find(sides[1]);
+      if (s1 == pair_bands.end() || s2 == pair_bands.end()) continue;
+      for (int e3 : s1->second) {
+        if (!bands_converge(e1, e3) || !bands_converge(e2, e3)) continue;
+        for (int e4 : s2->second) {
+          if (!bands_converge(e1, e4) || !bands_converge(e2, e4) ||
+              !bands_converge(e3, e4)) {
+            continue;
+          }
+          std::array<int, 4> quad{e1, e2, e3, e4};
+          std::sort(quad.begin(), quad.end());
+          if (seen_quads.insert(quad).second) quad_fills.push_back(quad);
+        }
+      }
+    }
+  }
+
+  // --- Homology-guided band selection. Spanning forest bands are always
+  // realized; a non-tree band is realized only when its fundamental
+  // cycle is NOT spanned by the filled-triangle boundaries (plus
+  // already-realized cycles): exactly the genuine (hole) loops survive.
+  const int m = static_cast<int>(vor.sites.size());
+  std::vector<int> uf(static_cast<std::size_t>(m));
+  for (int i = 0; i < m; ++i) uf[static_cast<std::size_t>(i)] = i;
+  const auto find = [&](int x) {
+    while (uf[static_cast<std::size_t>(x)] != x) {
+      uf[static_cast<std::size_t>(x)] =
+          uf[static_cast<std::size_t>(uf[static_cast<std::size_t>(x)])];
+      x = uf[static_cast<std::size_t>(x)];
+    }
+    return x;
+  };
+
+  std::vector<char> is_tree(band_count, 0);
+  // Forest adjacency: site -> (neighbor site, band id).
+  std::vector<std::vector<std::pair<int, int>>> forest(
+      static_cast<std::size_t>(m));
+  for (std::size_t e = 0; e < band_count; ++e) {
+    const int ra = find(coarse.bands[e].site_a);
+    const int rb = find(coarse.bands[e].site_b);
+    if (ra != rb) {
+      uf[static_cast<std::size_t>(ra)] = rb;
+      is_tree[e] = 1;
+      forest[static_cast<std::size_t>(coarse.bands[e].site_a)].push_back(
+          {coarse.bands[e].site_b, static_cast<int>(e)});
+      forest[static_cast<std::size_t>(coarse.bands[e].site_b)].push_back(
+          {coarse.bands[e].site_a, static_cast<int>(e)});
+    }
+  }
+
+  // Tree path between two sites, as band ids.
+  const auto tree_path_bands = [&](int a, int b) {
+    std::vector<int> parent_site(static_cast<std::size_t>(m), -1);
+    std::vector<int> parent_band(static_cast<std::size_t>(m), -1);
+    std::queue<int> q;
+    parent_site[static_cast<std::size_t>(a)] = a;
+    q.push(a);
+    while (!q.empty() && parent_site[static_cast<std::size_t>(b)] == -1) {
+      const int v = q.front();
+      q.pop();
+      for (const auto& [w, band] : forest[static_cast<std::size_t>(v)]) {
+        if (parent_site[static_cast<std::size_t>(w)] == -1) {
+          parent_site[static_cast<std::size_t>(w)] = v;
+          parent_band[static_cast<std::size_t>(w)] = band;
+          q.push(w);
+        }
+      }
+    }
+    std::vector<int> bands;
+    for (int v = b; v != a; v = parent_site[static_cast<std::size_t>(v)]) {
+      bands.push_back(parent_band[static_cast<std::size_t>(v)]);
+    }
+    return bands;
+  };
+
+  Gf2Basis basis(band_count);
+  for (const NerveTriangle& t : coarse.triangles) {
+    basis.insert(basis.vec({t.band_ab, t.band_bc, t.band_ac}));
+  }
+  for (const auto& quad : quad_fills) {
+    basis.insert(basis.vec({quad[0], quad[1], quad[2], quad[3]}));
+  }
+  for (std::size_t e = 0; e < band_count; ++e) {
+    if (is_tree[e]) {
+      coarse.realized_bands.push_back(static_cast<int>(e));
+      continue;
+    }
+    std::vector<int> cycle =
+        tree_path_bands(coarse.bands[e].site_a, coarse.bands[e].site_b);
+    cycle.push_back(static_cast<int>(e));
+    if (basis.insert(basis.vec(cycle))) {
+      coarse.realized_bands.push_back(static_cast<int>(e));
+    }
+  }
+
+  // --- Realize the selected bands.
+  for (int e : coarse.realized_bands) {
+    const Band& band = coarse.bands[static_cast<std::size_t>(e)];
+    const int w = band_witness[static_cast<std::size_t>(e)];
+    if (w != -1) {
+      // Junction star: witness connects to both sites directly.
+      const auto* ra = record_for(vor, w, band.site_a);
+      const auto* rb = record_for(vor, w, band.site_b);
+      if (ra != nullptr && rb != nullptr) {
+        coarse.connectors.push_back(w);
+        add_path(coarse.graph, vor.path_to_nearby(w, *ra));
+        add_path(coarse.graph, vor.path_to_nearby(w, *rb));
+        continue;
+      }
+    }
+    // Plain connector, the paper's rule first: the band's largest-index
+    // SEGMENT node for this pair sends along its two reverse paths
+    // (§III-C). Ties go to the smaller node id.
+    int best_seg = -1;
+    int best_any = -1;
+    for (int v : band.nodes) {
+      const std::size_t vi = static_cast<std::size_t>(v);
+      const auto better = [&](int cur) {
+        return cur == -1 ||
+               idx.index[vi] > idx.index[static_cast<std::size_t>(cur)] ||
+               (idx.index[vi] == idx.index[static_cast<std::size_t>(cur)] &&
+                v < cur);
+      };
+      if (vor.is_segment[vi]) {
+        const int a = std::min(vor.site_of[vi], vor.site2_of[vi]);
+        const int b = std::max(vor.site_of[vi], vor.site2_of[vi]);
+        if (a == band.site_a && b == band.site_b && better(best_seg)) {
+          best_seg = v;
+        }
+      }
+      if (better(best_any)) best_any = v;
+    }
+    if (best_seg != -1) {
+      coarse.connectors.push_back(best_seg);
+      add_path(coarse.graph, vor.path_to_site(best_seg));
+      add_path(coarse.graph, vor.path_to_second_site(best_seg));
+      continue;
+    }
+    // No balanced segment node in this band (skewed meeting): realize
+    // through the band's best crossing edge instead — both endpoints'
+    // reverse paths plus the crossing link.
+    const int u = best_any;
+    const int own = vor.site_of[static_cast<std::size_t>(u)];
+    const int other = own == band.site_a ? band.site_b : band.site_a;
+    int mate = -1;
+    for (int w : g.neighbors(u)) {
+      if (vor.site_of[static_cast<std::size_t>(w)] != other) continue;
+      if (mate == -1 ||
+          idx.index[static_cast<std::size_t>(w)] >
+              idx.index[static_cast<std::size_t>(mate)] ||
+          (idx.index[static_cast<std::size_t>(w)] ==
+               idx.index[static_cast<std::size_t>(mate)] &&
+           w < mate)) {
+        mate = w;
+      }
+    }
+    if (mate == -1) {
+      // u joined the band cluster without a crossing edge of its own
+      // (bridged in); find any band member with one.
+      for (int v : band.nodes) {
+        if (vor.site_of[static_cast<std::size_t>(v)] != own) continue;
+        for (int w : g.neighbors(v)) {
+          if (vor.site_of[static_cast<std::size_t>(w)] == other) {
+            mate = w;
+            break;
+          }
+        }
+        if (mate != -1) {
+          coarse.connectors.push_back(v);
+          add_path(coarse.graph, vor.path_to_site(v));
+          add_path(coarse.graph, vor.path_to_site(mate));
+          coarse.graph.add_edge(v, mate);
+          break;
+        }
+      }
+      if (mate == -1) coarse.connectors.push_back(-1);  // degenerate band
+      continue;
+    }
+    coarse.connectors.push_back(u);
+    add_path(coarse.graph, vor.path_to_site(u));
+    add_path(coarse.graph, vor.path_to_site(mate));
+    coarse.graph.add_edge(u, mate);
+  }
+  return coarse;
+}
+
+}  // namespace skelex::core

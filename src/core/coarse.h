@@ -1,0 +1,71 @@
+// skelex/core/coarse.h
+//
+// Stage 3: coarse skeleton establishment (§III-C), hardened against the
+// fake loops §III-D worries about by building the Voronoi cells' NERVE:
+//
+//   * vertices  — the sites;
+//   * edges     — "bands": connected clusters of a pair's segment nodes.
+//     One pair of cells can meet in several disjoint places (two cells on
+//     opposite sides of a hole!), so the nerve is a multigraph;
+//   * triangles — site triples some Voronoi node is within alpha of:
+//     those three cells meet at a point, so the triangle is filled.
+//
+// By the nerve theorem the region's holes correspond exactly to nerve
+// cycles NOT spanned by filled triangles. The coarse skeleton therefore
+// realizes a spanning forest of the nerve plus exactly those non-tree
+// bands whose fundamental cycles are independent of the triangle
+// boundary space over GF(2) — fake loops never get built, genuine loops
+// always do.
+//
+// Realizing a band follows the paper: the band's largest-index segment
+// node sends messages along its two recorded reverse paths (§III-C). A
+// band whose pair is junction-covered routes through the junction's best
+// witness instead, so bundles of bands meeting at one point merge into a
+// star rather than a braid.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/index.h"
+#include "core/skeleton_graph.h"
+#include "core/voronoi.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+
+// One place where two cells meet: a connected cluster of segment nodes.
+struct Band {
+  int site_a = 0;  // index into VoronoiResult::sites, site_a < site_b
+  int site_b = 0;
+  std::vector<int> nodes;  // the cluster's segment nodes
+};
+
+// A filled nerve triangle: three cells meeting at witness nodes.
+struct NerveTriangle {
+  int band_ab = 0;  // indices into the band list
+  int band_bc = 0;
+  int band_ac = 0;
+};
+
+struct CoarseSkeleton {
+  SkeletonGraph graph;
+  std::vector<Band> bands;
+  std::vector<NerveTriangle> triangles;
+  // Band indices that were realized (tree bands + genuine loop bands).
+  std::vector<int> realized_bands;
+  // Connector node per realized band (segment node or junction witness).
+  std::vector<int> connectors;
+};
+
+// Clusters `nodes` into groups connected within `merge_hops` hops of each
+// other in g. Exposed for tests.
+std::vector<std::vector<int>> cluster_within_hops(const net::Graph& g,
+                                                  const std::vector<int>& nodes,
+                                                  int merge_hops);
+
+CoarseSkeleton build_coarse_skeleton(const net::Graph& g, const IndexData& idx,
+                                     const VoronoiResult& vor,
+                                     const Params& params);
+
+}  // namespace skelex::core

@@ -1,0 +1,29 @@
+#include "core/config.h"
+
+#include <stdexcept>
+
+namespace skelex::core {
+
+void Params::validate() const {
+  if (k < 1) throw std::invalid_argument("Params.k must be >= 1");
+  if (l < 0) throw std::invalid_argument("Params.l must be >= 0");
+  if (local_max_radius < 0) {
+    throw std::invalid_argument("Params.local_max_radius must be >= 0");
+  }
+  if (alpha < 0) throw std::invalid_argument("Params.alpha must be >= 0");
+  if (prune_len < 0) throw std::invalid_argument("Params.prune_len must be >= 0");
+  if (fake_pocket_min_size < 0) {
+    throw std::invalid_argument("Params.fake_pocket_min_size must be >= 0");
+  }
+  if (hole_khop_ratio < 0.0 || hole_khop_ratio > 1.0) {
+    throw std::invalid_argument("Params.hole_khop_ratio must be in [0, 1]");
+  }
+  if (thin_cycle_hops < 0) {
+    throw std::invalid_argument("Params.thin_cycle_hops must be >= 0");
+  }
+  if (thin_cycle_ratio < 0.0 || thin_cycle_ratio >= 0.5) {
+    throw std::invalid_argument("Params.thin_cycle_ratio must be in [0, 0.5)");
+  }
+}
+
+}  // namespace skelex::core

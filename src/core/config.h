@@ -1,0 +1,67 @@
+// skelex/core/config.h
+//
+// Parameters of the skeleton extraction algorithm. Defaults follow the
+// paper: k = l = 4, Voronoi tie threshold alpha = 1. §V-B argues the
+// algorithm is insensitive to k and l; bench_param_sensitivity sweeps them.
+#pragma once
+
+namespace skelex::core {
+
+struct Params {
+  // Radius (hops) of the neighborhood-size flood: |N_k(p)| (§III-A round 1).
+  int k = 4;
+  // Radius (hops) over which k-hop sizes are averaged into the
+  // l-centrality (§III-A round 2).
+  int l = 4;
+  // Whether the node's own k-hop size participates in its l-centrality
+  // average. The paper averages over the l-hop *neighbors* (Def. 3).
+  bool centrality_includes_self = false;
+  // Radius (hops) of the "locally maximal" test for the index (Def. 5).
+  // The paper does not fix the radius; 2 reproduces the site density of
+  // its figures (Fig. 1b) — large enough to suppress density noise,
+  // small enough that thin limbs (wings, petals) still spawn the sites
+  // that pull the skeleton into them. Communication-wise any value up to
+  // l is free: after round 2 a node already knows its l-hop ball.
+  int local_max_radius = 2;
+  // Voronoi tie threshold (§III-B): a node whose hop distances to two
+  // sites differ by at most alpha becomes a segment node.
+  int alpha = 1;
+  // Final-stage pruning: leaf branches shorter than this many hops are
+  // trimmed (§III-D "Pruning").
+  int prune_len = 6;
+  // Fake-loop classification (§III-D): an enclosed pocket with at most
+  // this many nodes is always a fake loop (too small to wrap a hole).
+  // 0 selects the default 2 * k * k.
+  int fake_pocket_min_size = 0;
+  // A pocket containing a node whose k-hop size is below
+  // hole_khop_ratio * (mean k-hop size of the bounding cycle) is treated
+  // as wrapping a hole, i.e. the loop is genuine: hole-boundary nodes
+  // lose a sizable clipped share of their k-hop disk (about half in the
+  // continuum, about a third right at a flat wall in lattice-like
+  // deployments), while the ordinary interior nodes of a fake pocket
+  // keep nearly all of it.
+  double hole_khop_ratio = 0.72;
+
+  // A skeleton cycle that encloses no hole can be crossed through its
+  // inside, so opposite cycle nodes stay close in the full graph; a
+  // genuine hole loop can only be crossed by walking around the hole
+  // (about half the cycle length). A cycle is "thin" — and collapsed —
+  // when every pair of opposite cycle nodes is within
+  //   max(thin_cycle_hops, thin_cycle_ratio * cycle_length)
+  // hops. The absolute floor catches pinched double-paths; the relative
+  // term catches junction loops around open areas.
+  int thin_cycle_hops = 2;
+  double thin_cycle_ratio = 0.2;
+
+  int effective_local_max_radius() const {
+    return local_max_radius > 0 ? local_max_radius : (l > 0 ? l : 1);
+  }
+  int effective_fake_pocket_min_size() const {
+    return fake_pocket_min_size > 0 ? fake_pocket_min_size : 2 * k * k;
+  }
+
+  // Throws std::invalid_argument when a field is out of range.
+  void validate() const;
+};
+
+}  // namespace skelex::core

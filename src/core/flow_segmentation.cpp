@@ -1,0 +1,136 @@
+#include "core/flow_segmentation.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace skelex::core {
+
+FlowSegmentation flow_segmentation(const net::Graph& g,
+                                   const SkeletonGraph& skeleton,
+                                   const std::vector<int>& boundary_dist) {
+  if (skeleton.capacity() != g.n()) {
+    throw std::invalid_argument("skeleton capacity does not match graph");
+  }
+  if (boundary_dist.size() != static_cast<std::size_t>(g.n())) {
+    throw std::invalid_argument("boundary_dist does not match graph");
+  }
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  FlowSegmentation out;
+  out.sink_of.assign(n, -1);
+  out.segment_of.assign(n, -1);
+
+  // --- Sinks: one per skeleton limb (maximal chain of degree <= 2
+  // skeleton nodes). Junction nodes join their largest adjacent chain.
+  int sink_count = 0;
+  for (int s : skeleton.nodes()) {
+    if (skeleton.degree(s) > 2 || out.sink_of[static_cast<std::size_t>(s)] != -1) {
+      continue;
+    }
+    const int id = sink_count++;
+    std::queue<int> q;
+    out.sink_of[static_cast<std::size_t>(s)] = id;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int w : skeleton.neighbors(v)) {
+        if (skeleton.degree(w) <= 2 &&
+            out.sink_of[static_cast<std::size_t>(w)] == -1) {
+          out.sink_of[static_cast<std::size_t>(w)] = id;
+          q.push(w);
+        }
+      }
+    }
+  }
+  // Junctions (and a skeleton that is ALL junctions) join a neighbor
+  // chain; iterate to a fixpoint so junction clusters resolve too.
+  for (bool changed = true; changed;) {
+    changed = false;
+    for (int s : skeleton.nodes()) {
+      if (out.sink_of[static_cast<std::size_t>(s)] != -1) continue;
+      int best = -1;
+      for (int w : skeleton.neighbors(s)) {
+        const int sw = out.sink_of[static_cast<std::size_t>(w)];
+        if (sw != -1 && (best == -1 || sw < best)) best = sw;
+      }
+      if (best != -1) {
+        out.sink_of[static_cast<std::size_t>(s)] = best;
+        changed = true;
+      }
+    }
+  }
+  // Isolated skeleton nodes with no chain at all: own sink.
+  for (int s : skeleton.nodes()) {
+    if (out.sink_of[static_cast<std::size_t>(s)] == -1) {
+      out.sink_of[static_cast<std::size_t>(s)] = sink_count++;
+    }
+  }
+  out.segment_count = sink_count;
+
+  // --- Flow: watershed on the boundary distance transform. Nodes are
+  // claimed in descending distance order by an already-claimed neighbor
+  // at greater-or-equal height (ties by smaller id); plateau islands
+  // that stay unclaimed fall to a final BFS sweep.
+  for (int v = 0; v < g.n(); ++v) {
+    if (skeleton.has_node(v)) {
+      out.segment_of[static_cast<std::size_t>(v)] =
+          out.sink_of[static_cast<std::size_t>(v)];
+    }
+  }
+  std::vector<int> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (boundary_dist[static_cast<std::size_t>(a)] !=
+        boundary_dist[static_cast<std::size_t>(b)]) {
+      return boundary_dist[static_cast<std::size_t>(a)] >
+             boundary_dist[static_cast<std::size_t>(b)];
+    }
+    return a < b;
+  });
+  for (int v : order) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    if (out.segment_of[vi] != -1) continue;
+    int best_w = -1;
+    for (int w : g.neighbors(v)) {
+      const std::size_t wi = static_cast<std::size_t>(w);
+      if (out.segment_of[wi] == -1) continue;
+      if (boundary_dist[wi] < boundary_dist[vi]) continue;  // only ascend
+      if (best_w == -1 ||
+          boundary_dist[wi] > boundary_dist[static_cast<std::size_t>(best_w)] ||
+          (boundary_dist[wi] ==
+               boundary_dist[static_cast<std::size_t>(best_w)] &&
+           w < best_w)) {
+        best_w = w;
+      }
+    }
+    if (best_w != -1) {
+      out.segment_of[vi] = out.segment_of[static_cast<std::size_t>(best_w)];
+    }
+  }
+  // Plateau mop-up: any leftover joins the nearest claimed node.
+  std::queue<int> q;
+  for (int v = 0; v < g.n(); ++v) {
+    if (out.segment_of[static_cast<std::size_t>(v)] != -1) q.push(v);
+  }
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int w : g.neighbors(v)) {
+      if (out.segment_of[static_cast<std::size_t>(w)] == -1) {
+        out.segment_of[static_cast<std::size_t>(w)] =
+            out.segment_of[static_cast<std::size_t>(v)];
+        q.push(w);
+      }
+    }
+  }
+
+  out.segment_size.assign(static_cast<std::size_t>(out.segment_count), 0);
+  for (int v = 0; v < g.n(); ++v) {
+    const int s = out.segment_of[static_cast<std::size_t>(v)];
+    if (s >= 0) ++out.segment_size[static_cast<std::size_t>(s)];
+  }
+  return out;
+}
+
+}  // namespace skelex::core

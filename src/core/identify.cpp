@@ -1,0 +1,34 @@
+#include "core/identify.h"
+
+#include <stdexcept>
+
+#include "net/khop.h"
+
+namespace skelex::core {
+
+bool is_local_max(const net::Graph& g, const std::vector<double>& index, int v,
+                  int radius) {
+  const double iv = index[static_cast<std::size_t>(v)];
+  for (int w : net::khop_neighbors(g, v, radius)) {
+    const double iw = index[static_cast<std::size_t>(w)];
+    if (iw > iv || (iw == iv && w < v)) return false;
+  }
+  return true;
+}
+
+std::vector<int> identify_critical_nodes(const net::Graph& g,
+                                         const IndexData& idx,
+                                         const Params& params) {
+  params.validate();
+  if (idx.index.size() != static_cast<std::size_t>(g.n())) {
+    throw std::invalid_argument("IndexData does not match graph");
+  }
+  const int r = params.effective_local_max_radius();
+  std::vector<int> critical;
+  for (int v = 0; v < g.n(); ++v) {
+    if (is_local_max(g, idx.index, v, r)) critical.push_back(v);
+  }
+  return critical;
+}
+
+}  // namespace skelex::core

@@ -1,0 +1,28 @@
+// skelex/core/identify.h
+//
+// Stage 1b: critical skeleton node identification (Def. 5). A node whose
+// index is maximal over its r-hop neighborhood (r =
+// Params::effective_local_max_radius()) declares itself a critical
+// skeleton node. Exact ties are broken toward the smaller node id so the
+// result is deterministic and one node per tie-group survives.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/index.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+
+// Returns the critical skeleton node ids in ascending order.
+std::vector<int> identify_critical_nodes(const net::Graph& g,
+                                         const IndexData& idx,
+                                         const Params& params);
+
+// True iff `v`'s index beats every node in its r-hop neighborhood (ties
+// lose against smaller ids). Exposed for tests.
+bool is_local_max(const net::Graph& g, const std::vector<double>& index, int v,
+                  int radius);
+
+}  // namespace skelex::core

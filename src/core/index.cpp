@@ -1,0 +1,20 @@
+#include "core/index.h"
+
+#include "net/khop.h"
+
+namespace skelex::core {
+
+IndexData compute_index(const net::Graph& g, const Params& params) {
+  params.validate();
+  IndexData d;
+  d.khop_size = net::khop_sizes(g, params.k);
+  d.centrality = net::l_centrality(g, d.khop_size, params.l,
+                                   params.centrality_includes_self);
+  d.index.resize(static_cast<std::size_t>(g.n()));
+  for (std::size_t v = 0; v < d.index.size(); ++v) {
+    d.index[v] = 0.5 * (static_cast<double>(d.khop_size[v]) + d.centrality[v]);
+  }
+  return d;
+}
+
+}  // namespace skelex::core

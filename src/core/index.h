@@ -1,0 +1,24 @@
+// skelex/core/index.h
+//
+// Stage 1a: per-node index computation (§II-C). For every node p,
+//   |N_k(p)|   — k-hop neighborhood size (discrete intersection area),
+//   c_l(p)     — l-centrality: mean of |N_k| over p's l-hop neighbors,
+//   i(p)       — the index (Def. 4): ( |N_k(p)| + c_l(p) ) / 2.
+#pragma once
+
+#include <vector>
+
+#include "core/config.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+
+struct IndexData {
+  std::vector<int> khop_size;       // |N_k(p)|
+  std::vector<double> centrality;   // c_l(p)
+  std::vector<double> index;        // i(p)
+};
+
+IndexData compute_index(const net::Graph& g, const Params& params);
+
+}  // namespace skelex::core

@@ -1,0 +1,120 @@
+#include "core/naming.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace skelex::core {
+
+SkeletonNaming::SkeletonNaming(const net::Graph& g, const SkeletonResult& r)
+    : g_(g) {
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  if (r.boundary.dist_to_skeleton.size() != n) {
+    throw std::invalid_argument("SkeletonResult does not match graph");
+  }
+  names_.assign(n, {});
+  to_skeleton_.assign(n, -1);
+  on_skeleton_.assign(n, 0);
+  for (int v : r.skeleton.nodes()) {
+    on_skeleton_[static_cast<std::size_t>(v)] = 1;
+  }
+  anchor_count_ = r.skeleton.node_count();
+
+  // Multi-source BFS from the skeleton assigns each node its anchor and
+  // its downhill next hop in one sweep (the recorded parent).
+  std::queue<int> q;
+  for (int v = 0; v < g.n(); ++v) {
+    if (on_skeleton_[static_cast<std::size_t>(v)]) {
+      names_[static_cast<std::size_t>(v)] = {v, 0};
+      q.push(v);
+    } else {
+      names_[static_cast<std::size_t>(v)] = {-1, 0};
+    }
+  }
+  while (!q.empty()) {
+    const int v = q.front();
+    q.pop();
+    for (int w : g.neighbors(v)) {
+      const std::size_t wi = static_cast<std::size_t>(w);
+      if (names_[wi].anchor == -1 && !on_skeleton_[wi]) {
+        names_[wi] = {names_[static_cast<std::size_t>(v)].anchor,
+                      names_[static_cast<std::size_t>(v)].dist + 1};
+        to_skeleton_[wi] = v;
+        q.push(w);
+      }
+    }
+  }
+}
+
+std::vector<int> SkeletonNaming::route(int s, int t) const {
+  if (s < 0 || s >= g_.n() || t < 0 || t >= g_.n()) {
+    throw std::out_of_range("route endpoint");
+  }
+  if (names_[static_cast<std::size_t>(s)].anchor == -1 ||
+      names_[static_cast<std::size_t>(t)].anchor == -1) {
+    return {};
+  }
+  // Climb from s to its anchor.
+  std::vector<int> route{s};
+  int v = s;
+  while (!on_skeleton_[static_cast<std::size_t>(v)]) {
+    v = to_skeleton_[static_cast<std::size_t>(v)];
+    route.push_back(v);
+  }
+  // Descent chain for t (collected uphill, then reversed onto the route).
+  std::vector<int> down{t};
+  int u = t;
+  while (!on_skeleton_[static_cast<std::size_t>(u)]) {
+    u = to_skeleton_[static_cast<std::size_t>(u)];
+    down.push_back(u);
+  }
+  // Skeleton leg: BFS restricted to skeleton nodes.
+  if (u != v) {
+    std::vector<int> parent(static_cast<std::size_t>(g_.n()), -1);
+    std::vector<char> seen(static_cast<std::size_t>(g_.n()), 0);
+    std::queue<int> q;
+    seen[static_cast<std::size_t>(v)] = 1;
+    q.push(v);
+    while (!q.empty() && !seen[static_cast<std::size_t>(u)]) {
+      const int x = q.front();
+      q.pop();
+      for (int w : g_.neighbors(x)) {
+        if (on_skeleton_[static_cast<std::size_t>(w)] &&
+            !seen[static_cast<std::size_t>(w)]) {
+          seen[static_cast<std::size_t>(w)] = 1;
+          parent[static_cast<std::size_t>(w)] = x;
+          q.push(w);
+        }
+      }
+    }
+    if (!seen[static_cast<std::size_t>(u)]) return {};  // split skeleton
+    std::vector<int> leg;
+    for (int x = u; x != v; x = parent[static_cast<std::size_t>(x)]) {
+      leg.push_back(x);
+    }
+    std::reverse(leg.begin(), leg.end());
+    route.insert(route.end(), leg.begin(), leg.end());
+  }
+  route.insert(route.end(), down.rbegin() + 1, down.rend());
+  return route;
+}
+
+RouteLoad route_load(const SkeletonNaming& naming,
+                     const std::vector<std::pair<int, int>>& pairs) {
+  RouteLoad out;
+  for (const auto& [s, t] : pairs) {
+    const std::vector<int> route = naming.route(s, t);
+    if (route.empty()) continue;
+    ++out.routed_pairs;
+    out.total_hops += static_cast<long long>(route.size()) - 1;
+    for (int v : route) {
+      if (out.load.size() <= static_cast<std::size_t>(v)) {
+        out.load.resize(static_cast<std::size_t>(v) + 1, 0);
+      }
+      ++out.load[static_cast<std::size_t>(v)];
+    }
+  }
+  return out;
+}
+
+}  // namespace skelex::core

@@ -1,0 +1,65 @@
+// skelex/core/naming.h
+//
+// Skeleton-aided naming and routing (§I): "for naming scheme, we name
+// each sensor node based on its relative position to the skeleton ...
+// For routing scheme, the routing message is forced to follow a
+// direction almost parallel to the skeleton while maintaining an
+// approximately shortest path".
+//
+// Names are virtual coordinates (anchor = nearest skeleton node, plus
+// the hop distance to it). A route climbs the distance gradient from the
+// source to its anchor, walks the skeleton between the anchors, and
+// descends to the destination — all derivable from the pipeline's
+// outputs with no extra flooding: the distance transform away from the
+// skeleton doubles as the descent gradient.
+#pragma once
+
+#include <vector>
+
+#include "core/pipeline.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+
+struct NodeName {
+  int anchor = -1;  // nearest skeleton node
+  int dist = 0;     // hop distance to it
+};
+
+class SkeletonNaming {
+ public:
+  // Builds names from an extraction result (uses result.skeleton and
+  // result.boundary.dist_to_skeleton).
+  SkeletonNaming(const net::Graph& g, const SkeletonResult& result);
+
+  const NodeName& name_of(int v) const {
+    return names_[static_cast<std::size_t>(v)];
+  }
+
+  // Full route from s to t: s .. anchor(s) .. (skeleton walk) ..
+  // anchor(t) .. t. Empty when s and t are in different components.
+  std::vector<int> route(int s, int t) const;
+
+  // Total skeleton nodes reachable as anchors.
+  int anchor_count() const { return anchor_count_; }
+
+ private:
+  const net::Graph& g_;
+  std::vector<NodeName> names_;
+  std::vector<int> to_skeleton_;  // next hop descending the distance field
+  std::vector<char> on_skeleton_;
+  int anchor_count_ = 0;
+};
+
+// Load statistics over a batch of routes: per-node message counts.
+struct RouteLoad {
+  std::vector<long long> load;
+  long long total_hops = 0;
+  int routed_pairs = 0;
+};
+
+// Routes `pairs` (s, t) node pairs and accumulates per-node load.
+RouteLoad route_load(const SkeletonNaming& naming,
+                     const std::vector<std::pair<int, int>>& pairs);
+
+}  // namespace skelex::core

@@ -1,0 +1,74 @@
+#include "core/pipeline.h"
+
+#include <utility>
+
+namespace skelex::core {
+
+SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
+                                   IndexData index,
+                                   std::vector<int> critical_nodes,
+                                   VoronoiResult voronoi) {
+  params.validate();
+  SkeletonResult r;
+  r.params = params;
+  r.index = std::move(index);
+  r.critical_nodes = std::move(critical_nodes);
+  r.voronoi = std::move(voronoi);
+
+  // Stage 3: coarse skeleton (§III-C).
+  CoarseSkeleton coarse = build_coarse_skeleton(g, r.index, r.voronoi, params);
+  r.coarse = coarse.graph;
+
+  // Stage 4: loop clean-up + pruning (§III-D).
+  CleanupResult cleaned =
+      cleanup_loops(g, r.index, std::move(coarse.graph), params, &r.voronoi);
+  r.fake_loops_removed = cleaned.fake_loops_removed;
+  r.merge_rounds = cleaned.merge_rounds;
+  r.thin_loops_collapsed = cleaned.thin_loops_collapsed;
+  r.pockets = std::move(cleaned.pockets);
+  r.skeleton = std::move(cleaned.graph);
+  r.pruned_nodes = prune_short_branches(r.skeleton, params.prune_len);
+
+  // Post-prune tidy-up with knowledge of the network: drop isolated
+  // skeleton nodes whose network component already has skeleton
+  // structure, but keep a lone site that is its component's only
+  // skeleton (the skeleton of a small blob IS a single node).
+  {
+    const net::Components comps = net::connected_components(g);
+    std::vector<int> skeleton_per_comp(static_cast<std::size_t>(comps.count), 0);
+    for (int v : r.skeleton.nodes()) {
+      ++skeleton_per_comp[static_cast<std::size_t>(
+          comps.label[static_cast<std::size_t>(v)])];
+    }
+    for (int v : r.skeleton.nodes()) {
+      const int c = comps.label[static_cast<std::size_t>(v)];
+      if (r.skeleton.degree(v) == 0 &&
+          skeleton_per_comp[static_cast<std::size_t>(c)] > 1) {
+        r.skeleton.remove_node(v);
+        --skeleton_per_comp[static_cast<std::size_t>(c)];
+        ++r.pruned_nodes;
+      }
+    }
+  }
+
+  // By-products (§III-E).
+  r.segmentation = segmentation_from_voronoi(r.voronoi);
+  r.boundary = extract_boundaries(g, r.skeleton, 1, &r.index.khop_size);
+  return r;
+}
+
+SkeletonResult extract_skeleton(const net::Graph& g, const Params& params) {
+  params.validate();
+
+  // Stage 1: index + critical skeleton nodes (§III-A).
+  IndexData index = compute_index(g, params);
+  std::vector<int> critical = identify_critical_nodes(g, index, params);
+
+  // Stage 2: Voronoi cells + segment nodes (§III-B).
+  VoronoiResult voronoi = build_voronoi(g, critical, params);
+
+  return complete_extraction(g, params, std::move(index), std::move(critical),
+                             std::move(voronoi));
+}
+
+}  // namespace skelex::core

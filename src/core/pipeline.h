@@ -1,0 +1,73 @@
+// skelex/core/pipeline.h
+//
+// Public entry point: run the full boundary-free skeleton extraction of
+// the paper on a connectivity graph.
+//
+//   net::Graph g = ...;                 // connectivity only
+//   core::SkeletonResult r = core::extract_skeleton(g, core::Params{});
+//   r.skeleton;                         // the refined skeleton graph
+//   r.segmentation, r.boundary;         // the two by-products
+//
+// Every intermediate stage (Fig. 1 b-h) is kept in the result so callers
+// can inspect / visualize the pipeline.
+#pragma once
+
+#include "core/byproducts.h"
+#include "core/cleanup.h"
+#include "core/coarse.h"
+#include "core/config.h"
+#include "core/identify.h"
+#include "core/index.h"
+#include "core/prune.h"
+#include "core/skeleton_graph.h"
+#include "core/voronoi.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+
+struct SkeletonResult {
+  Params params;
+
+  // Stage 1 (Fig. 1b): per-node index and the critical skeleton nodes.
+  IndexData index;
+  std::vector<int> critical_nodes;
+
+  // Stage 2 (Fig. 1c): Voronoi cells and segment nodes.
+  VoronoiResult voronoi;
+
+  // Stage 3 (Fig. 1d): coarse skeleton.
+  SkeletonGraph coarse;
+
+  // Stage 4 (Fig. 1e-h): clean-up diagnostics + final skeleton.
+  int fake_loops_removed = 0;
+  int merge_rounds = 0;
+  int thin_loops_collapsed = 0;
+  int pruned_nodes = 0;
+  std::vector<Pocket> pockets;  // final pocket classification
+  SkeletonGraph skeleton;       // the refined skeleton
+
+  // By-products (Fig. 3).
+  Segmentation segmentation;
+  BoundaryResult boundary;
+
+  // Convenience queries.
+  int skeleton_cycle_rank() const { return skeleton.cycle_rank(); }
+  int skeleton_components() const { return skeleton.component_count(); }
+  bool is_skeleton_node(int v) const { return skeleton.has_node(v); }
+};
+
+// Runs stages 1-4 plus by-products. Throws std::invalid_argument on bad
+// params; works on any graph (disconnected graphs are processed
+// per-component implicitly by the floods).
+SkeletonResult extract_skeleton(const net::Graph& g, const Params& params = {});
+
+// Completes the pipeline (stage 3 onward + by-products) from externally
+// computed stage-1/2 results — e.g. the message-passing protocols in
+// core/protocols.h, possibly run under timing jitter. extract_skeleton
+// is exactly compute+identify+build_voronoi followed by this.
+SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
+                                   IndexData index,
+                                   std::vector<int> critical_nodes,
+                                   VoronoiResult voronoi);
+
+}  // namespace skelex::core

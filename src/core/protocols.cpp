@@ -1,0 +1,285 @@
+#include "core/protocols.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+
+namespace skelex::core {
+
+namespace {
+// Message kinds.
+constexpr int kKhop = 0;
+constexpr int kCentrality = 1;
+constexpr int kLocalMax = 2;
+constexpr int kVoronoi = 3;
+
+std::int64_t pack_double(double d) { return std::bit_cast<std::int64_t>(d); }
+double unpack_double(std::int64_t i) { return std::bit_cast<double>(i); }
+}  // namespace
+
+// --- KhopSizeProtocol -------------------------------------------------------
+
+KhopSizeProtocol::KhopSizeProtocol(int n, int ttl)
+    : ttl_(ttl), seen_(static_cast<std::size_t>(n)) {
+  if (ttl < 0) throw std::invalid_argument("ttl must be >= 0");
+}
+
+void KhopSizeProtocol::on_start(sim::NodeContext& ctx) {
+  if (ttl_ == 0) return;
+  ctx.broadcast({kKhop, ctx.node(), 1, 0, -1});
+}
+
+void KhopSizeProtocol::on_message(sim::NodeContext& ctx,
+                                  const sim::Message& m) {
+  const int v = ctx.node();
+  if (m.origin == v) return;
+  auto& seen = seen_[static_cast<std::size_t>(v)];
+  if (!seen.insert(m.origin).second) return;
+  if (m.hops < ttl_) ctx.broadcast({kKhop, m.origin, m.hops + 1, 0, -1});
+}
+
+std::vector<int> KhopSizeProtocol::sizes() const {
+  std::vector<int> out(seen_.size());
+  for (std::size_t v = 0; v < seen_.size(); ++v) {
+    out[v] = static_cast<int>(seen_[v].size());
+  }
+  return out;
+}
+
+// --- CentralityProtocol -----------------------------------------------------
+
+CentralityProtocol::CentralityProtocol(std::vector<int> khop_sizes, int ttl,
+                                       bool include_self)
+    : khop_sizes_(std::move(khop_sizes)),
+      ttl_(ttl),
+      include_self_(include_self),
+      seen_(khop_sizes_.size()),
+      sum_(khop_sizes_.size(), 0),
+      count_(khop_sizes_.size(), 0) {
+  if (ttl < 0) throw std::invalid_argument("ttl must be >= 0");
+}
+
+void CentralityProtocol::on_start(sim::NodeContext& ctx) {
+  if (ttl_ == 0) return;
+  const int v = ctx.node();
+  ctx.broadcast({kCentrality, v, 1, khop_sizes_[static_cast<std::size_t>(v)],
+                 -1});
+}
+
+void CentralityProtocol::on_message(sim::NodeContext& ctx,
+                                    const sim::Message& m) {
+  const int v = ctx.node();
+  if (m.origin == v) return;
+  auto& seen = seen_[static_cast<std::size_t>(v)];
+  if (!seen.insert(m.origin).second) return;
+  sum_[static_cast<std::size_t>(v)] += m.payload;
+  ++count_[static_cast<std::size_t>(v)];
+  if (m.hops < ttl_) {
+    ctx.broadcast({kCentrality, m.origin, m.hops + 1, m.payload, -1});
+  }
+}
+
+std::vector<double> CentralityProtocol::centrality() const {
+  std::vector<double> out(khop_sizes_.size());
+  for (std::size_t v = 0; v < khop_sizes_.size(); ++v) {
+    std::int64_t sum = sum_[v];
+    int count = count_[v];
+    if (include_self_) {
+      sum += khop_sizes_[v];
+      ++count;
+    }
+    out[v] = count > 0 ? static_cast<double>(sum) / count
+                       : static_cast<double>(khop_sizes_[v]);
+  }
+  return out;
+}
+
+// --- LocalMaxProtocol --------------------------------------------------------
+
+LocalMaxProtocol::LocalMaxProtocol(std::vector<double> index, int ttl)
+    : index_(std::move(index)),
+      ttl_(ttl),
+      seen_(index_.size()),
+      critical_(index_.size(), 1) {
+  if (ttl < 1) throw std::invalid_argument("ttl must be >= 1");
+}
+
+void LocalMaxProtocol::on_start(sim::NodeContext& ctx) {
+  const int v = ctx.node();
+  ctx.broadcast({kLocalMax, v, 1,
+                 pack_double(index_[static_cast<std::size_t>(v)]), -1});
+}
+
+void LocalMaxProtocol::on_message(sim::NodeContext& ctx,
+                                  const sim::Message& m) {
+  const int v = ctx.node();
+  if (m.origin == v) return;
+  auto& seen = seen_[static_cast<std::size_t>(v)];
+  if (!seen.insert(m.origin).second) return;
+  const double their = unpack_double(m.payload);
+  const double mine = index_[static_cast<std::size_t>(v)];
+  if (their > mine || (their == mine && m.origin < v)) {
+    critical_[static_cast<std::size_t>(v)] = 0;
+  }
+  if (m.hops < ttl_) ctx.broadcast({kLocalMax, m.origin, m.hops + 1, m.payload, -1});
+}
+
+// --- VoronoiProtocol ----------------------------------------------------------
+
+VoronoiProtocol::VoronoiProtocol(int n, std::vector<int> sites, int alpha)
+    : sites_(std::move(sites)),
+      site_index_of_node_(static_cast<std::size_t>(n), -1),
+      alpha_(alpha),
+      site_of_(static_cast<std::size_t>(n), -1),
+      dist_(static_cast<std::size_t>(n), -1),
+      parent_(static_cast<std::size_t>(n), -1),
+      site2_of_(static_cast<std::size_t>(n), -1),
+      dist2_(static_cast<std::size_t>(n), -1),
+      via2_(static_cast<std::size_t>(n), -1),
+      others_(static_cast<std::size_t>(n)) {
+  if (alpha < 0) throw std::invalid_argument("alpha must be >= 0");
+  std::sort(sites_.begin(), sites_.end());
+  sites_.erase(std::unique(sites_.begin(), sites_.end()), sites_.end());
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i] < 0 || sites_[i] >= n) {
+      throw std::out_of_range("site id out of range");
+    }
+    site_index_of_node_[static_cast<std::size_t>(sites_[i])] =
+        static_cast<int>(i);
+  }
+}
+
+void VoronoiProtocol::on_start(sim::NodeContext& ctx) {
+  const int v = ctx.node();
+  const int idx = site_index_of_node_[static_cast<std::size_t>(v)];
+  if (idx == -1) return;
+  site_of_[static_cast<std::size_t>(v)] = idx;
+  dist_[static_cast<std::size_t>(v)] = 0;
+  ctx.broadcast({kVoronoi, idx, 1, 0, -1});
+}
+
+void VoronoiProtocol::on_message(sim::NodeContext& ctx,
+                                 const sim::Message& m) {
+  const int v = ctx.node();
+  const std::size_t vi = static_cast<std::size_t>(v);
+  const int s = m.origin;
+  const int d = m.hops;
+
+  if (site_of_[vi] == -1) {
+    // First record ever: adopt and forward. Within the adoption round the
+    // engine's sorted delivery guarantees this is the smallest site id
+    // (and smallest sender for it) among simultaneous arrivals.
+    site_of_[vi] = s;
+    dist_[vi] = d;
+    parent_[vi] = m.sender;
+    ctx.broadcast({kVoronoi, s, d + 1, 0, -1});
+    return;
+  }
+  if (s == site_of_[vi]) return;  // duplicate from own cell: drop
+  if (std::abs(d - dist_[vi]) > alpha_) return;  // too unbalanced: drop
+
+  // Keep record (do not forward): the node is nearly equidistant to a
+  // second site.
+  auto [it, inserted] =
+      others_[vi].try_emplace(s, VoronoiResult::NearbySite{s, d, m.sender});
+  if (!inserted && (d < it->second.dist ||
+                    (d == it->second.dist && m.sender < it->second.via))) {
+    it->second = {s, d, m.sender};
+  }
+  const bool better = site2_of_[vi] == -1 || d < dist2_[vi] ||
+                      (d == dist2_[vi] && s < site2_of_[vi]) ||
+                      (d == dist2_[vi] && s == site2_of_[vi] &&
+                       m.sender < via2_[vi]);
+  if (better) {
+    site2_of_[vi] = s;
+    dist2_[vi] = d;
+    via2_[vi] = m.sender;
+  }
+}
+
+VoronoiResult VoronoiProtocol::result() const {
+  VoronoiResult r;
+  r.sites = sites_;
+  r.site_of = site_of_;
+  r.dist = dist_;
+  r.parent = parent_;
+  r.site2_of = site2_of_;
+  r.dist2 = dist2_;
+  r.via2 = via2_;
+  const std::size_t n = site_of_.size();
+  r.is_segment.assign(n, 0);
+  r.is_voronoi_node.assign(n, 0);
+  r.nearby.assign(n, {});
+  for (std::size_t v = 0; v < n; ++v) {
+    if (r.site2_of[v] != -1) r.is_segment[v] = 1;
+    if (others_[v].size() >= 2) r.is_voronoi_node[v] = 1;
+    if (r.site_of[v] != -1) {
+      r.nearby[v].push_back({r.site_of[v], r.dist[v], r.parent[v]});
+      for (const auto& [site, rec] : others_[v]) r.nearby[v].push_back(rec);
+      std::sort(r.nearby[v].begin(), r.nearby[v].end(),
+                [](const auto& a, const auto& b) { return a.site < b.site; });
+    }
+  }
+  return r;
+}
+
+// --- run_distributed_stages ---------------------------------------------------
+
+DistributedRun run_distributed_stages(const net::Graph& g,
+                                      const Params& params) {
+  sim::Engine engine(g);
+  return run_distributed_stages(g, params, engine);
+}
+
+DistributedRun run_distributed_stages(const net::Graph& g, const Params& params,
+                                      sim::Engine& engine) {
+  params.validate();
+  DistributedRun run;
+
+  KhopSizeProtocol khop(g.n(), params.k);
+  run.khop_stats = engine.run(khop);
+  run.index.khop_size = khop.sizes();
+
+  CentralityProtocol cent(run.index.khop_size, params.l,
+                          params.centrality_includes_self);
+  run.centrality_stats = engine.run(cent);
+  run.index.centrality = cent.centrality();
+
+  run.index.index.resize(static_cast<std::size_t>(g.n()));
+  for (std::size_t v = 0; v < run.index.index.size(); ++v) {
+    run.index.index[v] = 0.5 * (static_cast<double>(run.index.khop_size[v]) +
+                                run.index.centrality[v]);
+  }
+
+  LocalMaxProtocol lmax(run.index.index, params.effective_local_max_radius());
+  run.localmax_stats = engine.run(lmax);
+  const std::vector<char> crit = lmax.critical();
+  for (int v = 0; v < g.n(); ++v) {
+    if (crit[static_cast<std::size_t>(v)]) run.critical_nodes.push_back(v);
+  }
+
+  VoronoiProtocol vor(g.n(), run.critical_nodes, params.alpha);
+  run.voronoi_stats = engine.run(vor);
+  run.voronoi = vor.result();
+  return run;
+}
+
+DistributedExtraction extract_skeleton_distributed(const net::Graph& g,
+                                                   const Params& params,
+                                                   int jitter,
+                                                   std::uint64_t jitter_seed,
+                                                   double loss) {
+  sim::Engine engine(g);
+  engine.set_jitter(jitter, jitter_seed);
+  engine.set_loss(loss, jitter_seed ^ 0x10557);
+  DistributedRun run = run_distributed_stages(g, params, engine);
+  DistributedExtraction out;
+  out.stats = run.total();
+  out.result =
+      complete_extraction(g, params, std::move(run.index),
+                          std::move(run.critical_nodes), std::move(run.voronoi));
+  return out;
+}
+
+}  // namespace skelex::core

@@ -1,0 +1,139 @@
+// skelex/core/protocols.h
+//
+// Distributed implementations of the algorithm's communication stages
+// (§III-A, §III-B), expressed as message-passing protocols on
+// sim::Engine. Each protocol is the literal flooding scheme of the
+// paper; tests assert the per-node results are identical to the
+// centralized implementations in core/index.h and core/voronoi.h, and
+// bench_thm5_complexity uses the engine's message/round accounting to
+// reproduce Theorem 5.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/pipeline.h"
+#include "core/index.h"
+#include "core/voronoi.h"
+#include "sim/engine.h"
+
+namespace skelex::core {
+
+// --- Stage 1, round 1: controlled k-hop flood ------------------------------
+// Every node floods its id with a hop counter; receivers record unseen
+// origins and forward while the counter is below the TTL. Afterwards
+// sizes()[v] == |N_k(v)|.
+class KhopSizeProtocol final : public sim::Protocol {
+ public:
+  KhopSizeProtocol(int n, int ttl);
+  void on_start(sim::NodeContext& ctx) override;
+  void on_message(sim::NodeContext& ctx, const sim::Message& m) override;
+  std::vector<int> sizes() const;
+
+ private:
+  int ttl_;
+  std::vector<std::unordered_set<int>> seen_;
+};
+
+// --- Stage 1, round 2: l-hop broadcast of the k-hop sizes ------------------
+// Every node floods (id, |N_k|) with TTL l; receivers average the values.
+// centrality()[v] == c_l(v).
+class CentralityProtocol final : public sim::Protocol {
+ public:
+  CentralityProtocol(std::vector<int> khop_sizes, int ttl, bool include_self);
+  void on_start(sim::NodeContext& ctx) override;
+  void on_message(sim::NodeContext& ctx, const sim::Message& m) override;
+  std::vector<double> centrality() const;
+
+ private:
+  std::vector<int> khop_sizes_;
+  int ttl_;
+  bool include_self_;
+  std::vector<std::unordered_set<int>> seen_;
+  std::vector<std::int64_t> sum_;
+  std::vector<int> count_;
+};
+
+// --- Stage 1, decision: local-max test over r hops --------------------------
+// Every node floods (id, index) with TTL r; a node whose index is beaten
+// (ties: smaller id wins) withdraws. critical()[v] == node v declares
+// itself a critical skeleton node.
+class LocalMaxProtocol final : public sim::Protocol {
+ public:
+  LocalMaxProtocol(std::vector<double> index, int ttl);
+  void on_start(sim::NodeContext& ctx) override;
+  void on_message(sim::NodeContext& ctx, const sim::Message& m) override;
+  std::vector<char> critical() const { return critical_; }
+
+ private:
+  std::vector<double> index_;
+  int ttl_;
+  std::vector<std::unordered_set<int>> seen_;
+  std::vector<char> critical_;
+};
+
+// --- Stage 2: Voronoi flood --------------------------------------------------
+// Sites flood; every node adopts + forwards the first record (within a
+// round, ties resolve to the smallest site id / smallest sender: the
+// engine's deterministic delivery order) and records — without
+// forwarding — a later record from a different site within alpha hops of
+// the adopted distance.
+class VoronoiProtocol final : public sim::Protocol {
+ public:
+  VoronoiProtocol(int n, std::vector<int> sites, int alpha);
+  void on_start(sim::NodeContext& ctx) override;
+  void on_message(sim::NodeContext& ctx, const sim::Message& m) override;
+  // Assembles the same structure the centralized build_voronoi returns.
+  VoronoiResult result() const;
+
+ private:
+  std::vector<int> sites_;
+  std::vector<int> site_index_of_node_;  // -1 for non-sites
+  int alpha_;
+  std::vector<int> site_of_, dist_, parent_;
+  std::vector<int> site2_of_, dist2_, via2_;
+  // Per node: best offer per other site (site -> {site, dist, via}).
+  std::vector<std::map<int, VoronoiResult::NearbySite>> others_;
+};
+
+// --- Whole communication phase ----------------------------------------------
+// Runs the three stage-1 floods and the stage-2 flood back to back on one
+// engine and returns results + per-stage statistics.
+struct DistributedRun {
+  IndexData index;
+  std::vector<int> critical_nodes;
+  VoronoiResult voronoi;
+  sim::RunStats khop_stats;
+  sim::RunStats centrality_stats;
+  sim::RunStats localmax_stats;
+  sim::RunStats voronoi_stats;
+  sim::RunStats total() const {
+    return khop_stats + centrality_stats + localmax_stats + voronoi_stats;
+  }
+};
+
+DistributedRun run_distributed_stages(const net::Graph& g, const Params& params);
+
+// Same, on a caller-provided engine — e.g. one with timing jitter
+// enabled (Engine::set_jitter) to stress the paper's §III-B assumption
+// that floods start simultaneously and travel at the same speed.
+DistributedRun run_distributed_stages(const net::Graph& g, const Params& params,
+                                      sim::Engine& engine);
+
+// Full extraction with stages 1-2 executed as messages (on an engine
+// with `jitter` extra delay rounds per transmission and reception loss
+// probability `loss`) and stages 3+ completed from those per-node
+// results. With jitter = 0 and loss = 0 the output is identical to
+// extract_skeleton.
+struct DistributedExtraction {
+  SkeletonResult result;
+  sim::RunStats stats;  // total radio cost of stages 1-2
+};
+DistributedExtraction extract_skeleton_distributed(
+    const net::Graph& g, const Params& params = {}, int jitter = 0,
+    std::uint64_t jitter_seed = 1, double loss = 0.0);
+
+}  // namespace skelex::core

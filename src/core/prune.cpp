@@ -1,0 +1,71 @@
+#include "core/prune.h"
+
+#include <stdexcept>
+#include <vector>
+
+namespace skelex::core {
+
+namespace {
+// Walks from leaf along the degree-2 chain. Returns the chain (leaf
+// first) and sets `terminal` to the node after the chain (a junction with
+// degree >= 3), or -1 when the whole component is a bare path.
+std::vector<int> walk_branch(const SkeletonGraph& sk, int leaf, int& terminal) {
+  std::vector<int> chain{leaf};
+  int prev = -1;
+  int cur = leaf;
+  while (true) {
+    int next = -1;
+    for (int w : sk.neighbors(cur)) {
+      if (w != prev) {
+        next = w;
+        break;
+      }
+    }
+    if (next == -1) {  // isolated path ended at another leaf
+      terminal = -1;
+      return chain;
+    }
+    if (sk.degree(next) >= 3) {
+      terminal = next;
+      return chain;
+    }
+    chain.push_back(next);
+    prev = cur;
+    cur = next;
+  }
+}
+}  // namespace
+
+int prune_short_branches(SkeletonGraph& sk, int prune_len) {
+  if (prune_len < 0) throw std::invalid_argument("prune_len must be >= 0");
+  int removed = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Batch semantics: decide every branch against the SAME structure,
+    // then delete. Otherwise deleting one branch can turn a junction
+    // into a path mid-pass and spare sibling branches arbitrarily,
+    // making the result depend on leaf iteration order.
+    std::vector<std::vector<int>> doomed;
+    for (int leaf : sk.leaves()) {
+      int terminal = -1;
+      const std::vector<int> chain = walk_branch(sk, leaf, terminal);
+      if (terminal == -1) continue;  // bare path component: keep it
+      if (static_cast<int>(chain.size()) < prune_len) {
+        doomed.push_back(chain);
+      }
+    }
+    for (const std::vector<int>& chain : doomed) {
+      for (int v : chain) {
+        if (sk.has_node(v)) {
+          sk.remove_node(v);
+          ++removed;
+          changed = true;
+        }
+      }
+    }
+  }
+  return removed;
+}
+
+}  // namespace skelex::core

@@ -1,0 +1,20 @@
+// skelex/core/prune.h
+//
+// Stage 4b: pruning (§III-D). Leaf branches of the skeleton shorter than
+// `prune_len` hops are trimmed (they are artifacts of boundary noise or
+// of over-identified critical nodes), in the manner of CASE. Branches
+// between two junctions and loop edges are never removed, and a skeleton
+// component that is a bare path keeps at least its longest path (the
+// skeleton of a corridor IS a short path; deleting it would erase the
+// component).
+#pragma once
+
+#include "core/skeleton_graph.h"
+
+namespace skelex::core {
+
+// Removes short leaf branches in place; returns the number of nodes
+// removed. Runs to a fixpoint.
+int prune_short_branches(SkeletonGraph& sk, int prune_len);
+
+}  // namespace skelex::core

@@ -1,0 +1,246 @@
+#include "core/skeleton_graph.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <queue>
+#include <stdexcept>
+
+namespace skelex::core {
+
+SkeletonGraph::SkeletonGraph(int n) {
+  if (n < 0) throw std::invalid_argument("negative capacity");
+  present_.assign(static_cast<std::size_t>(n), 0);
+  adj_.resize(static_cast<std::size_t>(n));
+}
+
+void SkeletonGraph::check(int v) const {
+  if (v < 0 || v >= capacity()) throw std::out_of_range("skeleton node id");
+}
+
+void SkeletonGraph::add_node(int v) {
+  check(v);
+  if (!present_[static_cast<std::size_t>(v)]) {
+    present_[static_cast<std::size_t>(v)] = 1;
+    ++node_count_;
+  }
+}
+
+void SkeletonGraph::remove_node(int v) {
+  check(v);
+  if (!present_[static_cast<std::size_t>(v)]) return;
+  // Detach from neighbors.
+  for (int w : adj_[static_cast<std::size_t>(v)]) {
+    auto& wa = adj_[static_cast<std::size_t>(w)];
+    wa.erase(std::remove(wa.begin(), wa.end(), v), wa.end());
+    --edge_count_;
+  }
+  adj_[static_cast<std::size_t>(v)].clear();
+  present_[static_cast<std::size_t>(v)] = 0;
+  --node_count_;
+}
+
+bool SkeletonGraph::has_edge(int u, int v) const {
+  check(u);
+  check(v);
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  return std::find(a.begin(), a.end(), v) != a.end();
+}
+
+void SkeletonGraph::add_edge(int u, int v) {
+  check(u);
+  check(v);
+  if (u == v) return;
+  add_node(u);
+  add_node(v);
+  if (has_edge(u, v)) return;
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  ++edge_count_;
+}
+
+void SkeletonGraph::remove_edge(int u, int v) {
+  check(u);
+  check(v);
+  auto& a = adj_[static_cast<std::size_t>(u)];
+  const auto it = std::find(a.begin(), a.end(), v);
+  if (it == a.end()) return;
+  a.erase(it);
+  auto& b = adj_[static_cast<std::size_t>(v)];
+  b.erase(std::remove(b.begin(), b.end(), u), b.end());
+  --edge_count_;
+}
+
+std::vector<int> SkeletonGraph::nodes() const {
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(node_count_));
+  for (int v = 0; v < capacity(); ++v) {
+    if (present_[static_cast<std::size_t>(v)]) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<int> SkeletonGraph::component_labels(int& count) const {
+  std::vector<int> label(present_.size(), -1);
+  count = 0;
+  std::queue<int> q;
+  for (int s = 0; s < capacity(); ++s) {
+    if (!present_[static_cast<std::size_t>(s)] ||
+        label[static_cast<std::size_t>(s)] != -1) {
+      continue;
+    }
+    label[static_cast<std::size_t>(s)] = count;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int w : adj_[static_cast<std::size_t>(v)]) {
+        if (label[static_cast<std::size_t>(w)] == -1) {
+          label[static_cast<std::size_t>(w)] = count;
+          q.push(w);
+        }
+      }
+    }
+    ++count;
+  }
+  return label;
+}
+
+int SkeletonGraph::component_count() const {
+  int count = 0;
+  (void)component_labels(count);
+  return count;
+}
+
+int SkeletonGraph::cycle_rank() const {
+  return edge_count_ - node_count_ + component_count();
+}
+
+std::vector<std::vector<int>> SkeletonGraph::cycle_basis() const {
+  std::vector<std::vector<int>> cycles;
+  std::vector<int> parent(present_.size(), -2);  // -2 unvisited, -1 root
+  std::vector<int> depth(present_.size(), 0);
+  std::queue<int> q;
+  for (int s = 0; s < capacity(); ++s) {
+    if (!present_[static_cast<std::size_t>(s)] ||
+        parent[static_cast<std::size_t>(s)] != -2) {
+      continue;
+    }
+    parent[static_cast<std::size_t>(s)] = -1;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      for (int w : adj_[static_cast<std::size_t>(v)]) {
+        if (parent[static_cast<std::size_t>(w)] == -2) {
+          parent[static_cast<std::size_t>(w)] = v;
+          depth[static_cast<std::size_t>(w)] =
+              depth[static_cast<std::size_t>(v)] + 1;
+          q.push(w);
+        } else if (w != parent[static_cast<std::size_t>(v)] &&
+                   parent[static_cast<std::size_t>(w)] != v && v < w) {
+          // Non-tree edge {v, w}: cycle = tree paths to the LCA.
+          std::vector<int> up_v{v}, up_w{w};
+          int a = v, b = w;
+          while (a != b) {
+            if (depth[static_cast<std::size_t>(a)] >=
+                depth[static_cast<std::size_t>(b)]) {
+              a = parent[static_cast<std::size_t>(a)];
+              up_v.push_back(a);
+            } else {
+              b = parent[static_cast<std::size_t>(b)];
+              up_w.push_back(b);
+            }
+          }
+          // up_v ends at the LCA; append up_w reversed, skipping the LCA.
+          std::vector<int> cycle = std::move(up_v);
+          for (std::size_t i = up_w.size() - 1; i-- > 0;) {
+            cycle.push_back(up_w[i]);
+          }
+          cycles.push_back(std::move(cycle));
+        }
+      }
+    }
+  }
+  return cycles;
+}
+
+std::vector<std::vector<int>> SkeletonGraph::tight_cycles() const {
+  // Non-tree edges of a BFS spanning forest.
+  std::vector<std::pair<int, int>> non_tree;
+  {
+    std::vector<int> parent(present_.size(), -2);
+    std::queue<int> q;
+    for (int s = 0; s < capacity(); ++s) {
+      if (!present_[static_cast<std::size_t>(s)] ||
+          parent[static_cast<std::size_t>(s)] != -2) {
+        continue;
+      }
+      parent[static_cast<std::size_t>(s)] = -1;
+      q.push(s);
+      while (!q.empty()) {
+        const int v = q.front();
+        q.pop();
+        for (int w : adj_[static_cast<std::size_t>(v)]) {
+          if (parent[static_cast<std::size_t>(w)] == -2) {
+            parent[static_cast<std::size_t>(w)] = v;
+            q.push(w);
+          } else if (w != parent[static_cast<std::size_t>(v)] &&
+                     parent[static_cast<std::size_t>(w)] != v && v < w) {
+            non_tree.push_back({v, w});
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<std::vector<int>> cycles;
+  std::set<std::vector<int>> seen;
+  for (const auto& [u, v] : non_tree) {
+    // Shortest u..v path avoiding the direct edge.
+    std::vector<int> dist(present_.size(), -1);
+    std::vector<int> par(present_.size(), -1);
+    std::queue<int> q;
+    dist[static_cast<std::size_t>(u)] = 0;
+    q.push(u);
+    while (!q.empty() && dist[static_cast<std::size_t>(v)] == -1) {
+      const int x = q.front();
+      q.pop();
+      for (int w : adj_[static_cast<std::size_t>(x)]) {
+        if (x == u && w == v) continue;  // skip the non-tree edge itself
+        if (dist[static_cast<std::size_t>(w)] == -1) {
+          dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(x)] + 1;
+          par[static_cast<std::size_t>(w)] = x;
+          q.push(w);
+        }
+      }
+    }
+    if (dist[static_cast<std::size_t>(v)] == -1) continue;  // bridge-like
+    std::vector<int> cycle;
+    for (int x = v; x != -1; x = par[static_cast<std::size_t>(x)]) {
+      cycle.push_back(x);
+    }
+    // Canonical form for dedup: rotate so the smallest node is first,
+    // then pick the lexicographically smaller direction.
+    std::vector<int> canon = cycle;
+    const auto mn = std::min_element(canon.begin(), canon.end());
+    std::rotate(canon.begin(), mn, canon.end());
+    std::vector<int> rev{canon.front()};
+    rev.insert(rev.end(), canon.rbegin(), canon.rend() - 1);
+    if (rev < canon) canon = rev;
+    if (seen.insert(canon).second) cycles.push_back(std::move(cycle));
+  }
+  return cycles;
+}
+
+std::vector<int> SkeletonGraph::leaves() const {
+  std::vector<int> out;
+  for (int v = 0; v < capacity(); ++v) {
+    if (present_[static_cast<std::size_t>(v)] && degree(v) == 1) {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+}  // namespace skelex::core

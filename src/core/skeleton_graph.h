@@ -1,0 +1,80 @@
+// skelex/core/skeleton_graph.h
+//
+// A mutable subgraph over the sensor network's node ids: the coarse and
+// refined skeletons are SkeletonGraphs whose edges are (a subset of)
+// network links. Supports the operations the clean-up stage needs:
+// node/edge removal, degree queries, connected components, and a cycle
+// basis (one cycle per independent loop — the skeleton's homotopy type).
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace skelex::core {
+
+class SkeletonGraph {
+ public:
+  SkeletonGraph() = default;
+  // Capacity for node ids [0, n); starts empty.
+  explicit SkeletonGraph(int n);
+
+  int capacity() const { return static_cast<int>(present_.size()); }
+  int node_count() const { return node_count_; }
+  int edge_count() const { return edge_count_; }
+
+  bool has_node(int v) const { return present_[static_cast<std::size_t>(v)]; }
+  void add_node(int v);
+  // Removes v and all incident edges. No-op when absent.
+  void remove_node(int v);
+
+  bool has_edge(int u, int v) const;
+  // Adds nodes implicitly. Duplicate/self edges ignored.
+  void add_edge(int u, int v);
+  void remove_edge(int u, int v);
+
+  const std::vector<int>& neighbors(int v) const {
+    return adj_[static_cast<std::size_t>(v)];
+  }
+  int degree(int v) const {
+    return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+  }
+
+  // Present node ids, ascending.
+  std::vector<int> nodes() const;
+
+  // Component label per present node (absent nodes get -1) + count.
+  std::vector<int> component_labels(int& count) const;
+  int component_count() const;
+
+  // Independent cycles (cycle-space dimension) = E - V + C.
+  int cycle_rank() const;
+
+  // One representative cycle per independent loop, as closed node
+  // sequences (first node not repeated at the end). Built from a BFS
+  // spanning forest: each non-tree edge contributes the cycle through the
+  // tree paths of its endpoints.
+  std::vector<std::vector<int>> cycle_basis() const;
+
+  // Geometrically tight cycles: for each non-tree edge of a BFS spanning
+  // forest, the SHORTEST cycle through that edge (shortest alternative
+  // path between its endpoints plus the edge), deduplicated. Unlike the
+  // fundamental cycles of cycle_basis() — which can be arbitrary sums of
+  // face loops — these hug individual loops, which is what the clean-up
+  // stage must judge: a fundamental cycle combining a genuine hole loop
+  // with a fake junction loop must never be collapsed as a unit.
+  std::vector<std::vector<int>> tight_cycles() const;
+
+  // Degree-1 nodes.
+  std::vector<int> leaves() const;
+
+ private:
+  std::vector<char> present_;
+  std::vector<std::vector<int>> adj_;
+  int node_count_ = 0;
+  int edge_count_ = 0;
+
+  void check(int v) const;
+};
+
+}  // namespace skelex::core

@@ -1,0 +1,153 @@
+#include "core/voronoi.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+#include "net/bfs.h"
+
+namespace skelex::core {
+
+std::vector<int> VoronoiResult::path_to_site(int v) const {
+  std::vector<int> path;
+  if (site_of[static_cast<std::size_t>(v)] == -1) return path;
+  for (int u = v; u != -1; u = parent[static_cast<std::size_t>(u)]) {
+    path.push_back(u);
+  }
+  return path;
+}
+
+std::vector<int> VoronoiResult::path_to_second_site(int v) const {
+  std::vector<int> path;
+  if (!is_segment[static_cast<std::size_t>(v)]) return path;
+  path.push_back(v);
+  for (int u = via2[static_cast<std::size_t>(v)]; u != -1;
+       u = parent[static_cast<std::size_t>(u)]) {
+    path.push_back(u);
+  }
+  return path;
+}
+
+VoronoiResult build_voronoi(const net::Graph& g, std::vector<int> sites,
+                            const Params& params) {
+  params.validate();
+  std::sort(sites.begin(), sites.end());
+  sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
+  if (!sites.empty() && (sites.front() < 0 || sites.back() >= g.n())) {
+    throw std::out_of_range("site id out of range");
+  }
+
+  VoronoiResult r;
+  r.sites = std::move(sites);
+  const std::size_t n = static_cast<std::size_t>(g.n());
+
+  // Hop distance to the nearest site (well-defined regardless of ties).
+  r.dist = net::multi_source_bfs(g, r.sites).dist;
+
+  // Site adoption in synchronous-flood order: a node at distance d hears,
+  // in the same round, the forwarded records of all its neighbors at
+  // distance d-1 and adopts the smallest site id among them (parent = the
+  // smallest-id neighbor carrying that site). Processing nodes by
+  // increasing distance reproduces this exactly; core/protocols runs the
+  // same rule as real messages.
+  r.site_of.assign(n, -1);
+  r.parent.assign(n, -1);
+  std::vector<int> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    return r.dist[static_cast<std::size_t>(a)] <
+           r.dist[static_cast<std::size_t>(b)];
+  });
+  for (std::size_t i = 0; i < r.sites.size(); ++i) {
+    r.site_of[static_cast<std::size_t>(r.sites[i])] = static_cast<int>(i);
+  }
+  for (int v : order) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    if (r.dist[vi] <= 0) continue;  // site or unreachable
+    for (int w : g.neighbors(v)) {
+      const std::size_t wi = static_cast<std::size_t>(w);
+      if (r.dist[wi] != r.dist[vi] - 1) continue;
+      if (r.site_of[vi] == -1 || r.site_of[wi] < r.site_of[vi] ||
+          (r.site_of[wi] == r.site_of[vi] && w < r.parent[vi])) {
+        r.site_of[vi] = r.site_of[wi];
+        r.parent[vi] = w;
+      }
+    }
+  }
+
+  r.site2_of.assign(n, -1);
+  r.dist2.assign(n, net::kUnreached);
+  r.via2.assign(n, -1);
+  r.is_segment.assign(n, 0);
+  r.is_voronoi_node.assign(n, 0);
+  r.nearby.assign(n, {});
+
+  // A node v would have received, from each neighbor w in another cell,
+  // the message (site_of[w], dist[w] + 1): w forwards only its adopted
+  // record. v keeps, per other site, the best within-alpha record.
+  for (int v = 0; v < g.n(); ++v) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    if (r.site_of[vi] == -1) continue;  // disconnected from all sites
+    std::map<int, VoronoiResult::NearbySite> others;  // site -> best record
+    for (int w : g.neighbors(v)) {
+      const std::size_t wi = static_cast<std::size_t>(w);
+      if (r.site_of[wi] == -1 || r.site_of[wi] == r.site_of[vi]) continue;
+      const int d2 = r.dist[wi] + 1;
+      if (std::abs(d2 - r.dist[vi]) > params.alpha) continue;
+      auto [it, inserted] =
+          others.try_emplace(r.site_of[wi],
+                             VoronoiResult::NearbySite{r.site_of[wi], d2, w});
+      if (!inserted &&
+          (d2 < it->second.dist || (d2 == it->second.dist && w < it->second.via))) {
+        it->second = {r.site_of[wi], d2, w};
+      }
+      const bool better =
+          r.site2_of[vi] == -1 || d2 < r.dist2[vi] ||
+          (d2 == r.dist2[vi] && r.site_of[wi] < r.site2_of[vi]) ||
+          (d2 == r.dist2[vi] && r.site_of[wi] == r.site2_of[vi] &&
+           w < r.via2[vi]);
+      if (better) {
+        r.site2_of[vi] = r.site_of[wi];
+        r.dist2[vi] = d2;
+        r.via2[vi] = w;
+      }
+    }
+    if (r.site2_of[vi] != -1) r.is_segment[vi] = 1;
+    if (others.size() >= 2) r.is_voronoi_node[vi] = 1;
+    r.nearby[vi].push_back({r.site_of[vi], r.dist[vi], r.parent[vi]});
+    for (const auto& [site, rec] : others) r.nearby[vi].push_back(rec);
+    std::sort(r.nearby[vi].begin(), r.nearby[vi].end(),
+              [](const auto& a, const auto& b) { return a.site < b.site; });
+  }
+  return r;
+}
+
+std::vector<int> VoronoiResult::path_to_nearby(
+    int v, const NearbySite& record) const {
+  std::vector<int> path{v};
+  int u = record.via;
+  while (u != -1) {
+    path.push_back(u);
+    u = parent[static_cast<std::size_t>(u)];
+  }
+  return path;
+}
+
+std::vector<AdjacentPair> adjacent_pairs(const VoronoiResult& vor) {
+  std::map<std::pair<int, int>, std::vector<int>> pairs;
+  for (std::size_t v = 0; v < vor.is_segment.size(); ++v) {
+    if (!vor.is_segment[v]) continue;
+    const int a = std::min(vor.site_of[v], vor.site2_of[v]);
+    const int b = std::max(vor.site_of[v], vor.site2_of[v]);
+    pairs[{a, b}].push_back(static_cast<int>(v));
+  }
+  std::vector<AdjacentPair> out;
+  out.reserve(pairs.size());
+  for (auto& [key, nodes] : pairs) {
+    out.push_back({key.first, key.second, std::move(nodes)});
+  }
+  return out;
+}
+
+}  // namespace skelex::core

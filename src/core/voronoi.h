@@ -1,0 +1,94 @@
+// skelex/core/voronoi.h
+//
+// Stage 2: Voronoi cell construction (§III-B). Every critical skeleton
+// node ("site") floods the network; each node adopts and forwards only
+// the FIRST message it receives (its nearest site + reverse path), and
+// additionally *records* — without forwarding — a later message from a
+// different site whose hop count is within alpha of the adopted one.
+// Nodes holding two records are segment nodes; nodes within alpha of
+// three or more sites are Voronoi nodes (discrete Voronoi vertices).
+//
+// This file is the centralized equivalent of that flood: a multi-source
+// BFS gives every node its adopted (first-arrival) record, and the
+// messages a node would additionally have received are exactly the
+// adopted records of its direct neighbors, at one extra hop.
+// core/protocols.cpp runs the same rules as real messages; tests assert
+// the two agree node-for-node.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+
+struct VoronoiResult {
+  // Site index -> node id (ascending node id order).
+  std::vector<int> sites;
+
+  // Per node: index into `sites` of the adopted (nearest) site, hop
+  // distance to it, and the BFS parent on the reverse path toward it
+  // (-1 at the sites themselves and at unreachable nodes).
+  std::vector<int> site_of;
+  std::vector<int> dist;
+  std::vector<int> parent;
+
+  // Per node: the best second record, or -1 when the node saw no
+  // within-alpha message from another site. `via2` is the neighbor whose
+  // forwarded message carried the record (the second reverse path starts
+  // through it).
+  std::vector<int> site2_of;
+  std::vector<int> dist2;
+  std::vector<int> via2;
+
+  std::vector<char> is_segment;       // has a second record
+  std::vector<char> is_voronoi_node;  // within alpha of >= 3 distinct sites
+
+  // One record per site a node is within alpha of: the node's own cell
+  // (via == the BFS parent, -1 at the site itself) plus every other site
+  // it heard a within-alpha offer from (via == the neighbor whose
+  // forwarded record carried it; the reverse path continues along that
+  // neighbor's parent chain). Sorted by site index, one record per site
+  // (the best offer: min dist, then min via). Voronoi nodes are exactly
+  // the nodes with >= 3 records; the coarse-skeleton stage routes
+  // junction-covered site pairs through them so that three mutually
+  // adjacent cells produce a star, not a fake loop.
+  struct NearbySite {
+    int site = -1;  // index into `sites`
+    int dist = -1;  // hop distance along the recorded reverse path
+    int via = -1;   // next hop toward the site (-1: this node is the site)
+    bool operator==(const NearbySite&) const = default;
+  };
+  std::vector<std::vector<NearbySite>> nearby;
+
+  // Reverse path from v to the site of the given record (v first, site
+  // last).
+  std::vector<int> path_to_nearby(int v, const NearbySite& record) const;
+
+  // The reverse path from v to its adopted site (v first, site last).
+  std::vector<int> path_to_site(int v) const;
+  // The reverse path from v through via2[v] to the second site. Empty if
+  // v is not a segment node.
+  std::vector<int> path_to_second_site(int v) const;
+
+  int cell_count() const { return static_cast<int>(sites.size()); }
+};
+
+// Runs the Voronoi construction from the given sites (critical skeleton
+// node ids; they will be sorted and deduplicated).
+VoronoiResult build_voronoi(const net::Graph& g, std::vector<int> sites,
+                            const Params& params);
+
+// All unordered adjacent site pairs (site indices, first < second) with
+// their segment nodes. Two cells are adjacent iff at least one segment
+// node records both sites.
+struct AdjacentPair {
+  int site_a = 0;  // index into VoronoiResult::sites
+  int site_b = 0;
+  std::vector<int> segment_nodes;  // node ids
+};
+std::vector<AdjacentPair> adjacent_pairs(const VoronoiResult& vor);
+
+}  // namespace skelex::core

@@ -1,0 +1,95 @@
+#include "deploy/deployment.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace skelex::deploy {
+
+using geom::Region;
+using geom::Vec2;
+
+namespace {
+// Bounded rejection sampling: draws candidates in the bounding box until
+// `accept` admits one. Throws if the acceptance rate is pathologically low
+// (mis-specified region or density).
+Vec2 sample_until(const Region& region, Rng& rng,
+                  const std::function<bool(Vec2)>& accept) {
+  Vec2 lo, hi;
+  region.bounding_box(lo, hi);
+  for (int attempt = 0; attempt < 1'000'000; ++attempt) {
+    const Vec2 p{rng.uniform(lo.x, hi.x), rng.uniform(lo.y, hi.y)};
+    if (accept(p)) return p;
+  }
+  throw std::runtime_error("deployment rejection sampling failed to accept");
+}
+}  // namespace
+
+std::vector<Vec2> uniform_in_region(const Region& region, int count, Rng& rng) {
+  if (count < 0) throw std::invalid_argument("negative node count");
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    pts.push_back(
+        sample_until(region, rng, [&](Vec2 p) { return region.contains(p); }));
+  }
+  return pts;
+}
+
+std::vector<Vec2> skewed_in_region(const Region& region, int count,
+                                   const DensityFn& density, Rng& rng) {
+  if (count < 0) throw std::invalid_argument("negative node count");
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    pts.push_back(sample_until(region, rng, [&](Vec2 p) {
+      return region.contains(p) && rng.next_double() < density(p);
+    }));
+  }
+  return pts;
+}
+
+DensityFn vertical_split_density(double y_split, double below_keep,
+                                 double above_keep) {
+  return [=](Vec2 p) { return p.y < y_split ? below_keep : above_keep; };
+}
+
+DensityFn horizontal_split_density(double x_split, double left_keep,
+                                   double right_keep) {
+  return [=](Vec2 p) { return p.x < x_split ? left_keep : right_keep; };
+}
+
+std::vector<Vec2> jittered_grid_in_region(const Region& region, double pitch,
+                                          double jitter, Rng& rng) {
+  if (pitch <= 0) throw std::invalid_argument("pitch must be > 0");
+  Vec2 lo, hi;
+  region.bounding_box(lo, hi);
+  std::vector<Vec2> pts;
+  for (double y = lo.y + pitch / 2; y <= hi.y; y += pitch) {
+    for (double x = lo.x + pitch / 2; x <= hi.x; x += pitch) {
+      const Vec2 p{x + rng.uniform(-jitter, jitter) * pitch,
+                   y + rng.uniform(-jitter, jitter) * pitch};
+      if (region.contains(p)) pts.push_back(p);
+    }
+  }
+  return pts;
+}
+
+double range_for_target_degree(const Region& region, int count,
+                               double target_deg) {
+  if (count < 2) throw std::invalid_argument("need >= 2 nodes");
+  if (target_deg <= 0) throw std::invalid_argument("target degree must be > 0");
+  return std::sqrt(target_deg * region.area() /
+                   (std::numbers::pi * (count - 1)));
+}
+
+int count_for_target_degree(const Region& region, double range,
+                            double target_deg) {
+  if (range <= 0) throw std::invalid_argument("range must be > 0");
+  if (target_deg <= 0) throw std::invalid_argument("target degree must be > 0");
+  const double n =
+      target_deg * region.area() / (std::numbers::pi * range * range) + 1.0;
+  return static_cast<int>(std::lround(n));
+}
+
+}  // namespace skelex::deploy

@@ -1,0 +1,58 @@
+// skelex/deploy/deployment.h
+//
+// Node deployment generators. The paper's default (§IV): "nodes are
+// deployed uniformly in the field". Fig. 8 additionally evaluates skewed
+// distributions; we support a density function that biases acceptance.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "deploy/rng.h"
+#include "geometry/polygon.h"
+#include "geometry/vec2.h"
+
+namespace skelex::deploy {
+
+// Relative density at a point; values are compared to a uniform draw in
+// [0, 1], so return values should lie in (0, 1]. 1 everywhere == uniform.
+using DensityFn = std::function<double(geom::Vec2)>;
+
+// `count` points uniformly at random inside `region` (rejection sampling
+// against the bounding box).
+std::vector<geom::Vec2> uniform_in_region(const geom::Region& region,
+                                          int count, Rng& rng);
+
+// Skewed deployment: a uniform candidate at p is kept with probability
+// density(p). Exactly `count` accepted points are returned.
+std::vector<geom::Vec2> skewed_in_region(const geom::Region& region, int count,
+                                         const DensityFn& density, Rng& rng);
+
+// Fig. 8(a): upper half denser than lower half.
+DensityFn vertical_split_density(double y_split, double below_keep,
+                                 double above_keep);
+
+// Fig. 8(b): left part kept with probability `left_keep`, right with
+// `right_keep` (paper: 0.65 / 1.00).
+DensityFn horizontal_split_density(double x_split, double left_keep,
+                                   double right_keep);
+
+// Jittered grid: near-uniform coverage with controlled irregularity
+// (jitter as a fraction of the grid pitch). Used by tests that need a
+// connected low-variance deployment.
+std::vector<geom::Vec2> jittered_grid_in_region(const geom::Region& region,
+                                                double pitch, double jitter,
+                                                Rng& rng);
+
+// The UDG radio range that yields an expected average degree `target_deg`
+// for `count` nodes uniform in `region` (ignoring boundary effects):
+// E[deg] ~= (count - 1) * pi R^2 / area.
+double range_for_target_degree(const geom::Region& region, int count,
+                               double target_deg);
+
+// The node count that yields expected degree `target_deg` at fixed radio
+// range `range`.
+int count_for_target_degree(const geom::Region& region, double range,
+                            double target_deg);
+
+}  // namespace skelex::deploy

@@ -1,0 +1,39 @@
+// skelex/deploy/rng.h
+//
+// Deterministic, seedable random number generation. Every stochastic
+// component of the library (deployments, QUDG/log-normal link decisions)
+// draws from an explicitly threaded Rng so that experiments are exactly
+// reproducible from a seed; nothing reads global state.
+#pragma once
+
+#include <cstdint>
+
+namespace skelex::deploy {
+
+// xoshiro256** — fast, high-quality, and trivially seedable via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [0, n).
+  std::uint64_t next_below(std::uint64_t n);
+
+  // Standard normal via Box-Muller (no cached spare: keeps state minimal).
+  double next_gaussian();
+
+  // Derive an independent stream (for per-component seeding).
+  Rng split();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace skelex::deploy

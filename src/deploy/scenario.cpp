@@ -1,0 +1,86 @@
+#include "deploy/scenario.h"
+
+#include <cmath>
+
+#include "net/spatial_hash.h"
+#include <stdexcept>
+
+namespace skelex::deploy {
+
+std::vector<geom::Vec2> scenario_positions(const geom::Region& region,
+                                           const ScenarioSpec& spec, Rng& rng) {
+  if (spec.target_nodes < 2) throw std::invalid_argument("need >= 2 nodes");
+  if (spec.style == Style::kUniform) {
+    return uniform_in_region(region, spec.target_nodes, rng);
+  }
+  const double pitch = std::sqrt(region.area() / spec.target_nodes);
+  return jittered_grid_in_region(region, pitch, spec.jitter, rng);
+}
+
+double calibrate_range(const std::vector<geom::Vec2>& positions,
+                       double target_avg_deg) {
+  if (positions.size() < 2) throw std::invalid_argument("need >= 2 positions");
+  if (target_avg_deg <= 0) throw std::invalid_argument("bad target degree");
+  const double n = static_cast<double>(positions.size());
+  const auto avg_deg_at = [&](double r) {
+    const net::SpatialHash hash(positions, r);
+    long long pairs = 0;
+    hash.for_each_pair(r, [&](int, int) { ++pairs; });
+    return 2.0 * static_cast<double>(pairs) / n;
+  };
+  // Bracket the target, starting from the mean nearest-grid spacing.
+  geom::Vec2 lo_pt = positions.front(), hi_pt = positions.front();
+  for (const geom::Vec2& p : positions) {
+    lo_pt.x = std::min(lo_pt.x, p.x);
+    lo_pt.y = std::min(lo_pt.y, p.y);
+    hi_pt.x = std::max(hi_pt.x, p.x);
+    hi_pt.y = std::max(hi_pt.y, p.y);
+  }
+  const double extent = std::max(hi_pt.x - lo_pt.x, hi_pt.y - lo_pt.y);
+  const double pitch = std::sqrt(std::max(1e-12, (hi_pt.x - lo_pt.x) *
+                                                     (hi_pt.y - lo_pt.y) / n));
+  double lo = pitch * 0.25, hi = pitch;
+  while (avg_deg_at(hi) < target_avg_deg) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 4.0 * extent) throw std::runtime_error("range calibration diverged");
+  }
+  for (int it = 0; it < 40; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (avg_deg_at(mid) < target_avg_deg ? lo : hi) = mid;
+  }
+  // `hi` is the side whose degree is >= the target; returning it keeps
+  // the calibrated graph at-or-above the requested density.
+  return hi;
+}
+
+Scenario make_udg_scenario(const geom::Region& region,
+                           const ScenarioSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<geom::Vec2> pts = scenario_positions(region, spec, rng);
+  const double range = calibrate_range(pts, spec.target_avg_deg);
+  const radio::UnitDiskModel model(range);
+
+  Scenario s;
+  s.deployed = static_cast<int>(pts.size());
+  s.range = range;
+  net::Graph full = net::build_graph(std::move(pts), model, rng);
+  std::vector<int> orig;
+  s.graph = net::largest_component_subgraph(full, orig);
+  return s;
+}
+
+Scenario make_scenario(const geom::Region& region, const ScenarioSpec& spec,
+                       const radio::RadioModel& model) {
+  Rng rng(spec.seed);
+  std::vector<geom::Vec2> pts = scenario_positions(region, spec, rng);
+  Scenario s;
+  s.deployed = static_cast<int>(pts.size());
+  s.range = model.max_range();
+  net::Graph full = net::build_graph(std::move(pts), model, rng);
+  std::vector<int> orig;
+  s.graph = net::largest_component_subgraph(full, orig);
+  return s;
+}
+
+}  // namespace skelex::deploy

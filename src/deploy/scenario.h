@@ -1,0 +1,65 @@
+// skelex/deploy/scenario.h
+//
+// One-call construction of the paper's experimental networks: deploy
+// nodes in a region, build the connectivity graph under a radio model,
+// and keep the largest connected component (the unit every experiment
+// operates on).
+//
+// Deployment styles:
+//   * kJitterGrid (default) — nodes on a jittered grid. At the paper's
+//     very low average degrees (5.75-6.8) a purely uniform Poisson
+//     deployment fragments into many components; the perturbed grid is
+//     the standard way simulation studies keep such sparse networks
+//     connected while remaining irregular.
+//   * kUniform — uniform at random (use with degree >~ 8, or accept the
+//     largest component being a subset).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "deploy/deployment.h"
+#include "deploy/rng.h"
+#include "geometry/polygon.h"
+#include "net/graph.h"
+#include "radio/radio_model.h"
+
+namespace skelex::deploy {
+
+enum class Style { kJitterGrid, kUniform };
+
+struct ScenarioSpec {
+  int target_nodes = 2000;
+  double target_avg_deg = 6.0;
+  std::uint64_t seed = 1;
+  Style style = Style::kJitterGrid;
+  double jitter = 0.35;  // jitter fraction for kJitterGrid
+};
+
+struct Scenario {
+  net::Graph graph;  // largest connected component, positions included
+  double range = 0;  // the nominal radio range R used
+  int deployed = 0;  // nodes deployed before taking the component
+};
+
+// Node positions only (before any radio model).
+std::vector<geom::Vec2> scenario_positions(const geom::Region& region,
+                                           const ScenarioSpec& spec, Rng& rng);
+
+// The UDG range that gives these positions an average degree of
+// `target_avg_deg`, found by binary search over the actual pair counts
+// (exact for the deployment at hand, unlike the analytic estimate, which
+// ignores boundary effects and grid discretization).
+double calibrate_range(const std::vector<geom::Vec2>& positions,
+                       double target_avg_deg);
+
+// Deploy + UDG + largest component.
+Scenario make_udg_scenario(const geom::Region& region, const ScenarioSpec& spec);
+
+// Deploy + arbitrary radio model + largest component. `range` is the
+// nominal range used when sizing the deployment for target_avg_deg; the
+// model's own max_range governs links.
+Scenario make_scenario(const geom::Region& region, const ScenarioSpec& spec,
+                       const radio::RadioModel& model);
+
+}  // namespace skelex::deploy

@@ -1,0 +1,143 @@
+#include "geometry/medial_axis_ref.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace skelex::geom {
+
+namespace {
+
+// All boundary segments of a region, flattened.
+struct Segment {
+  Vec2 a, b;
+};
+
+std::vector<Segment> boundary_segments(const Region& region) {
+  std::vector<Segment> segs;
+  auto add_ring = [&segs](const Ring& r) {
+    const auto& pts = r.points();
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      segs.push_back({pts[i], pts[(i + 1) % pts.size()]});
+    }
+  };
+  add_ring(region.outer());
+  for (const Ring& h : region.holes()) add_ring(h);
+  return segs;
+}
+
+}  // namespace
+
+ReferenceMedialAxis::ReferenceMedialAxis(const Region& region,
+                                         MedialAxisParams params) {
+  const std::vector<Segment> segs = boundary_segments(region);
+  Vec2 lo, hi;
+  region.bounding_box(lo, hi);
+
+  std::vector<Vec2> touch;  // nearest-boundary candidates, reused per point
+  for (double y = lo.y; y <= hi.y; y += params.grid_step) {
+    for (double x = lo.x; x <= hi.x; x += params.grid_step) {
+      const Vec2 p{x, y};
+      if (!region.contains(p)) continue;
+
+      // Nearest distance to the boundary.
+      double d = std::numeric_limits<double>::infinity();
+      for (const Segment& s : segs) {
+        d = std::min(d, point_segment_distance(p, s.a, s.b));
+      }
+      if (d < params.min_clearance) continue;
+
+      // Gather the boundary points that realize (approximately) that
+      // distance, one candidate per segment close enough.
+      touch.clear();
+      const double limit = d * (1.0 + params.tol);
+      for (const Segment& s : segs) {
+        const Vec2 c = closest_point_on_segment(p, s.a, s.b);
+        if (dist(p, c) <= limit) touch.push_back(c);
+      }
+
+      // Medial when two touch points are far apart (lambda criterion).
+      double max_sep = 0.0;
+      for (std::size_t i = 0; i < touch.size() && max_sep < params.min_separation;
+           ++i) {
+        for (std::size_t j = i + 1; j < touch.size(); ++j) {
+          max_sep = std::max(max_sep, dist(touch[i], touch[j]));
+          if (max_sep >= params.min_separation) break;
+        }
+      }
+      if (max_sep >= params.min_separation) {
+        samples_.push_back({p, d});
+      }
+    }
+  }
+  build_buckets();
+}
+
+void ReferenceMedialAxis::build_buckets() {
+  if (samples_.empty()) return;
+  lo_ = {std::numeric_limits<double>::infinity(),
+         std::numeric_limits<double>::infinity()};
+  hi_ = {-std::numeric_limits<double>::infinity(),
+         -std::numeric_limits<double>::infinity()};
+  for (const MedialSample& s : samples_) {
+    lo_.x = std::min(lo_.x, s.pos.x);
+    lo_.y = std::min(lo_.y, s.pos.y);
+    hi_.x = std::max(hi_.x, s.pos.x);
+    hi_.y = std::max(hi_.y, s.pos.y);
+  }
+  cell_ = 5.0;
+  nx_ = std::max(1, static_cast<int>((hi_.x - lo_.x) / cell_) + 1);
+  ny_ = std::max(1, static_cast<int>((hi_.y - lo_.y) / cell_) + 1);
+  buckets_.assign(static_cast<std::size_t>(nx_) * ny_, {});
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    const int cx = static_cast<int>((samples_[i].pos.x - lo_.x) / cell_);
+    const int cy = static_cast<int>((samples_[i].pos.y - lo_.y) / cell_);
+    buckets_[bucket_index(cx, cy)].push_back(static_cast<int>(i));
+  }
+}
+
+double ReferenceMedialAxis::distance_to_axis(Vec2 p) const {
+  if (samples_.empty()) return std::numeric_limits<double>::infinity();
+  // Expand rings of buckets around p until a candidate is found, then one
+  // extra ring to make the result exact.
+  const int cx = std::clamp(static_cast<int>((p.x - lo_.x) / cell_), 0, nx_ - 1);
+  const int cy = std::clamp(static_cast<int>((p.y - lo_.y) / cell_), 0, ny_ - 1);
+  double best = std::numeric_limits<double>::infinity();
+  const int max_ring = std::max(nx_, ny_);
+  for (int ring = 0; ring <= max_ring; ++ring) {
+    bool any_cell = false;
+    for (int dy = -ring; dy <= ring; ++dy) {
+      for (int dx = -ring; dx <= ring; ++dx) {
+        if (std::max(std::abs(dx), std::abs(dy)) != ring) continue;
+        const int x = cx + dx, y = cy + dy;
+        if (x < 0 || x >= nx_ || y < 0 || y >= ny_) continue;
+        any_cell = true;
+        for (int idx : buckets_[bucket_index(x, y)]) {
+          best = std::min(best, dist(p, samples_[static_cast<std::size_t>(idx)].pos));
+        }
+      }
+    }
+    // Once we have a hit, cells further than (ring-1)*cell_ cannot beat it.
+    if (best < (ring - 1) * cell_) break;
+    if (!any_cell && ring > std::max(nx_, ny_)) break;
+  }
+  return best;
+}
+
+double ReferenceMedialAxis::coverage(const std::vector<Vec2>& points,
+                                     double radius) const {
+  if (samples_.empty()) return 1.0;
+  if (points.empty()) return 0.0;
+  std::size_t covered = 0;
+  for (const MedialSample& s : samples_) {
+    for (const Vec2& p : points) {
+      if (dist2(s.pos, p) <= radius * radius) {
+        ++covered;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(covered) / static_cast<double>(samples_.size());
+}
+
+}  // namespace skelex::geom

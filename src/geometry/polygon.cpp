@@ -1,0 +1,212 @@
+#include "geometry/polygon.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+#include <stdexcept>
+
+namespace skelex::geom {
+
+Ring::Ring(std::vector<Vec2> pts) : pts_(std::move(pts)) {
+  if (pts_.size() < 3) {
+    throw std::invalid_argument("Ring needs at least 3 vertices");
+  }
+}
+
+double Ring::signed_area() const {
+  double a = 0.0;
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    const Vec2& p = pts_[i];
+    const Vec2& q = pts_[(i + 1) % pts_.size()];
+    a += p.cross(q);
+  }
+  return 0.5 * a;
+}
+
+double Ring::perimeter() const {
+  double len = 0.0;
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    len += dist(pts_[i], pts_[(i + 1) % pts_.size()]);
+  }
+  return len;
+}
+
+bool Ring::contains(Vec2 p) const {
+  // Crossing-number test with an on-edge short circuit so boundary points
+  // are classified deterministically as inside.
+  bool inside = false;
+  const std::size_t n = pts_.size();
+  for (std::size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Vec2& a = pts_[j];
+    const Vec2& b = pts_[i];
+    if (point_segment_distance(p, a, b) < 1e-12) return true;
+    if ((b.y > p.y) != (a.y > p.y)) {
+      const double x_cross = b.x + (p.y - b.y) * (a.x - b.x) / (a.y - b.y);
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Ring::distance_to(Vec2 p) const {
+  double best = std::numeric_limits<double>::infinity();
+  const std::size_t n = pts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    best = std::min(best, point_segment_distance(p, pts_[i], pts_[(i + 1) % n]));
+  }
+  return best;
+}
+
+Vec2 Ring::closest_boundary_point(Vec2 p) const {
+  double best = std::numeric_limits<double>::infinity();
+  Vec2 best_pt = pts_.front();
+  const std::size_t n = pts_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Vec2 c = closest_point_on_segment(p, pts_[i], pts_[(i + 1) % n]);
+    const double d = dist2(p, c);
+    if (d < best) {
+      best = d;
+      best_pt = c;
+    }
+  }
+  return best_pt;
+}
+
+Ring Ring::reversed() const {
+  std::vector<Vec2> r(pts_.rbegin(), pts_.rend());
+  return Ring(std::move(r));
+}
+
+void Ring::bounding_box(Vec2& lo, Vec2& hi) const {
+  lo = {std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::infinity()};
+  hi = {-std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity()};
+  for (const Vec2& p : pts_) {
+    lo.x = std::min(lo.x, p.x);
+    lo.y = std::min(lo.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+}
+
+Region::Region(Ring outer, std::vector<Ring> holes, std::string name)
+    : outer_(std::move(outer)), holes_(std::move(holes)), name_(std::move(name)) {
+  for (const Ring& h : holes_) {
+    for (const Vec2& p : h.points()) {
+      if (!outer_.contains(p)) {
+        throw std::invalid_argument("Region hole vertex outside outer ring");
+      }
+    }
+  }
+}
+
+bool Region::contains(Vec2 p) const {
+  if (!outer_.contains(p)) return false;
+  for (const Ring& h : holes_) {
+    // Being exactly on a hole edge counts as inside the region (closed
+    // complement), so only strictly-interior hole points are excluded.
+    if (h.distance_to(p) < 1e-12) return true;
+    if (h.contains(p)) return false;
+  }
+  return true;
+}
+
+double Region::distance_to_boundary(Vec2 p) const {
+  double best = outer_.distance_to(p);
+  for (const Ring& h : holes_) best = std::min(best, h.distance_to(p));
+  return best;
+}
+
+Vec2 Region::closest_boundary_point(Vec2 p) const {
+  Vec2 best_pt = outer_.closest_boundary_point(p);
+  double best = dist2(p, best_pt);
+  for (const Ring& h : holes_) {
+    const Vec2 c = h.closest_boundary_point(p);
+    const double d = dist2(p, c);
+    if (d < best) {
+      best = d;
+      best_pt = c;
+    }
+  }
+  return best_pt;
+}
+
+double Region::area() const {
+  double a = outer_.area();
+  for (const Ring& h : holes_) a -= h.area();
+  return a;
+}
+
+double Region::perimeter() const {
+  double len = outer_.perimeter();
+  for (const Ring& h : holes_) len += h.perimeter();
+  return len;
+}
+
+void Region::bounding_box(Vec2& lo, Vec2& hi) const {
+  outer_.bounding_box(lo, hi);
+}
+
+Ring make_rect(Vec2 lo, Vec2 hi) {
+  return Ring({{lo.x, lo.y}, {hi.x, lo.y}, {hi.x, hi.y}, {lo.x, hi.y}});
+}
+
+Ring make_regular_polygon(Vec2 center, double radius, int sides, double phase) {
+  if (sides < 3) throw std::invalid_argument("need >= 3 sides");
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(sides));
+  for (int i = 0; i < sides; ++i) {
+    const double t = phase + 2.0 * std::numbers::pi * i / sides;
+    pts.push_back(center + Vec2{radius * std::cos(t), radius * std::sin(t)});
+  }
+  return Ring(std::move(pts));
+}
+
+Ring make_flower(Vec2 center, double base, double amp, int petals, int samples) {
+  if (samples < 12) throw std::invalid_argument("need >= 12 samples");
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const double t = 2.0 * std::numbers::pi * i / samples;
+    const double r = base + amp * std::cos(petals * t);
+    pts.push_back(center + Vec2{r * std::cos(t), r * std::sin(t)});
+  }
+  return Ring(std::move(pts));
+}
+
+Ring make_star(Vec2 center, double outer_r, double inner_r, int points,
+               double phase) {
+  if (points < 3) throw std::invalid_argument("need >= 3 star points");
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(2 * points));
+  for (int i = 0; i < 2 * points; ++i) {
+    const double r = (i % 2 == 0) ? outer_r : inner_r;
+    const double t = phase + std::numbers::pi * i / points;
+    pts.push_back(center + Vec2{r * std::cos(t), r * std::sin(t)});
+  }
+  return Ring(std::move(pts));
+}
+
+Ring make_thick_polyline(const std::vector<Vec2>& path, double half_width) {
+  if (path.size() < 2) throw std::invalid_argument("path needs >= 2 points");
+  if (half_width <= 0) throw std::invalid_argument("half_width must be > 0");
+  // Offset each vertex by the averaged normal of its incident edges; walk
+  // the left side forward and the right side backward to close the loop.
+  const std::size_t n = path.size();
+  std::vector<Vec2> normals(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    Vec2 d{};
+    if (i > 0) d += (path[i] - path[i - 1]).normalized();
+    if (i + 1 < n) d += (path[i + 1] - path[i]).normalized();
+    normals[i] = d.normalized().perp();
+  }
+  std::vector<Vec2> pts;
+  pts.reserve(2 * n);
+  for (std::size_t i = 0; i < n; ++i) pts.push_back(path[i] + normals[i] * half_width);
+  for (std::size_t i = n; i-- > 0;) pts.push_back(path[i] - normals[i] * half_width);
+  return Ring(std::move(pts));
+}
+
+}  // namespace skelex::geom

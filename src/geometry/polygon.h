@@ -1,0 +1,106 @@
+// skelex/geometry/polygon.h
+//
+// Polygonal regions with holes. A `Ring` is a simple closed polyline; a
+// `Region` is one outer ring plus zero or more hole rings. Regions are the
+// deployment fields for every experiment in the paper: sensors are
+// scattered uniformly (or skewed) inside a Region, and the reference
+// medial axis is computed against the Region's boundary.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace skelex::geom {
+
+// A simple closed polygon given by its vertices in order (the closing
+// edge last->first is implicit). Orientation is not prescribed; use
+// signed_area() to query it.
+class Ring {
+ public:
+  Ring() = default;
+  explicit Ring(std::vector<Vec2> pts);
+
+  const std::vector<Vec2>& points() const { return pts_; }
+  std::size_t size() const { return pts_.size(); }
+  bool empty() const { return pts_.empty(); }
+  const Vec2& operator[](std::size_t i) const { return pts_[i]; }
+
+  // Positive for counter-clockwise vertex order.
+  double signed_area() const;
+  double area() const { return std::abs(signed_area()); }
+  double perimeter() const;
+
+  // Even-odd (crossing number) test; points exactly on an edge count as
+  // inside (the deployment generator treats the boundary as closed).
+  bool contains(Vec2 p) const;
+
+  // Distance from p to the nearest edge of the ring.
+  double distance_to(Vec2 p) const;
+
+  // The point on the ring's boundary closest to p.
+  Vec2 closest_boundary_point(Vec2 p) const;
+
+  // A ring with the vertex order reversed.
+  Ring reversed() const;
+
+  // Axis-aligned bounding box.
+  void bounding_box(Vec2& lo, Vec2& hi) const;
+
+ private:
+  std::vector<Vec2> pts_;
+};
+
+// An outer boundary with zero or more holes. Invariant (checked on
+// construction): every hole vertex lies inside the outer ring.
+class Region {
+ public:
+  Region() = default;
+  explicit Region(Ring outer, std::vector<Ring> holes = {},
+                  std::string name = "region");
+
+  const Ring& outer() const { return outer_; }
+  const std::vector<Ring>& holes() const { return holes_; }
+  const std::string& name() const { return name_; }
+
+  // Inside the outer ring and outside every hole.
+  bool contains(Vec2 p) const;
+
+  // Euclidean distance to the nearest boundary (outer or any hole).
+  double distance_to_boundary(Vec2 p) const;
+
+  // The boundary point realizing distance_to_boundary(p).
+  Vec2 closest_boundary_point(Vec2 p) const;
+
+  // Area of the outer ring minus the hole areas.
+  double area() const;
+
+  double perimeter() const;
+
+  void bounding_box(Vec2& lo, Vec2& hi) const;
+
+  std::size_t hole_count() const { return holes_.size(); }
+
+ private:
+  Ring outer_;
+  std::vector<Ring> holes_;
+  std::string name_;
+};
+
+// Convenience constructors for rings used by shapes and tests.
+Ring make_rect(Vec2 lo, Vec2 hi);
+Ring make_regular_polygon(Vec2 center, double radius, int sides,
+                          double phase = 0.0);
+// r(theta) = base + amp * cos(petals * theta): flower/blob outlines.
+Ring make_flower(Vec2 center, double base, double amp, int petals,
+                 int samples = 180);
+// n-pointed star alternating outer/inner radius.
+Ring make_star(Vec2 center, double outer_r, double inner_r, int points,
+               double phase = 0.0);
+// A constant-width band around an open polyline (used for spiral/cactus
+// arms): returns the closed outline.
+Ring make_thick_polyline(const std::vector<Vec2>& path, double half_width);
+
+}  // namespace skelex::geom

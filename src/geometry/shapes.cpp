@@ -1,0 +1,261 @@
+#include "geometry/shapes.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace skelex::geom::shapes {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+
+Ring circle(Vec2 c, double r, int sides = 48) {
+  return make_regular_polygon(c, r, sides);
+}
+}  // namespace
+
+Region window() {
+  // 100x100 frame, 2x2 panes. Frame width 14, inner cross bars width 12.
+  Ring outer = make_rect({0, 0}, {100, 100});
+  std::vector<Ring> panes;
+  panes.push_back(make_rect({14, 14}, {44, 44}));
+  panes.push_back(make_rect({56, 14}, {86, 44}));
+  panes.push_back(make_rect({14, 56}, {44, 86}));
+  panes.push_back(make_rect({56, 56}, {86, 86}));
+  return Region(std::move(outer), std::move(panes), "window");
+}
+
+Region one_hole() {
+  Ring outer = make_rect({0, 0}, {100, 90});
+  // Concave, plus-shaped hole centered at (50, 45).
+  Ring hole({{42, 20}, {58, 20}, {58, 37}, {75, 37}, {75, 53}, {58, 53},
+             {58, 70}, {42, 70}, {42, 53}, {25, 53}, {25, 37}, {42, 37}});
+  return Region(std::move(outer), {std::move(hole)}, "one_hole");
+}
+
+Region flower() {
+  return Region(make_flower({50, 50}, 34, 12, 6, 144), {}, "flower");
+}
+
+Region smile() {
+  Ring face = circle({50, 50}, 46, 72);
+  std::vector<Ring> holes;
+  holes.push_back(circle({34, 64}, 8, 24));
+  holes.push_back(circle({66, 64}, 8, 24));
+  // Mouth: a thick smile arc below the eyes.
+  std::vector<Vec2> arc;
+  for (int i = 0; i <= 28; ++i) {
+    const double t = (200.0 + 140.0 * i / 28.0) * kPi / 180.0;
+    arc.push_back(Vec2{50, 58} + Vec2{28 * std::cos(t), 28 * std::sin(t)});
+  }
+  holes.push_back(make_thick_polyline(arc, 5.0));
+  return Region(std::move(face), std::move(holes), "smile");
+}
+
+Region music() {
+  // Eighth note: head (disk at bottom-left), stem, and a flag hook.
+  const Vec2 head_c{32, 20};
+  const double head_r = 15;
+  std::vector<Vec2> pts;
+  // Stem top-right and flag.
+  pts.push_back({47, 82});
+  pts.push_back({58, 74});
+  pts.push_back({64, 62});
+  pts.push_back({58, 64});
+  pts.push_back({49, 60});
+  pts.push_back({47, 56});
+  // Down the right side of the stem to the head's rightmost point (47, 20).
+  pts.push_back({47, 26});
+  // Around the head: from angle 0 down through the bottom and left, up to
+  // the point where the head's rim meets the stem's left edge (x = 41).
+  for (int deg = 0; deg >= -180; deg -= 12) {
+    const double t = deg * kPi / 180.0;
+    pts.push_back(head_c + Vec2{head_r * std::cos(t), head_r * std::sin(t)});
+  }
+  for (int deg = 168; deg >= 60; deg -= 12) {
+    const double t = deg * kPi / 180.0;
+    pts.push_back(head_c + Vec2{head_r * std::cos(t), head_r * std::sin(t)});
+  }
+  // Up the left side of the stem.
+  pts.push_back({41, 34});
+  pts.push_back({41, 82});
+  return Region(Ring(std::move(pts)), {}, "music");
+}
+
+Region airplane() {
+  // Symmetric silhouette about x = 50: nose up, swept wings, tail fins.
+  std::vector<Vec2> left = {
+      {50, 97}, {44, 88}, {44, 64}, {8, 48},  {8, 40},  {44, 49},
+      {44, 26}, {27, 15}, {27, 8},  {44, 12}, {44, 4},  {50, 2},
+  };
+  std::vector<Vec2> pts = left;
+  for (std::size_t i = left.size() - 1; i-- > 1;) {
+    pts.push_back({100 - left[i].x, left[i].y});
+  }
+  return Region(Ring(std::move(pts)), {}, "airplane");
+}
+
+Region cactus() {
+  // Trunk with a right arm (lower) and a left arm (upper), both L-shaped.
+  Ring outline({{44, 6},  {58, 6},  {58, 30}, {86, 30}, {86, 66}, {74, 66},
+                {74, 42}, {58, 42}, {58, 92}, {44, 92}, {44, 62}, {28, 62},
+                {28, 82}, {16, 82}, {16, 50}, {44, 50}});
+  return Region(std::move(outline), {}, "cactus");
+}
+
+Region star_hole() {
+  Ring outer = make_rect({0, 0}, {100, 100});
+  Ring hole = make_star({50, 50}, 32, 14, 5, kPi / 2);
+  return Region(std::move(outer), {std::move(hole)}, "star_hole");
+}
+
+Region spiral() {
+  // Archimedean spiral band r = 10 + 4 * theta, theta in [0, 3pi].
+  std::vector<Vec2> path;
+  for (double t = 0.0; t <= 3.0 * kPi + 1e-9; t += 0.08) {
+    const double r = 10.0 + 4.0 * t;
+    path.push_back(Vec2{50, 50} + Vec2{r * std::cos(t), r * std::sin(t)});
+  }
+  return Region(make_thick_polyline(path, 7.0), {}, "spiral");
+}
+
+Region two_holes() {
+  Ring outer = make_rect({0, 0}, {100, 70});
+  std::vector<Ring> holes;
+  holes.push_back(circle({30, 35}, 13, 32));
+  holes.push_back(circle({70, 35}, 13, 32));
+  return Region(std::move(outer), std::move(holes), "two_holes");
+}
+
+Region star() {
+  return Region(make_star({50, 50}, 46, 19, 5, kPi / 2), {}, "star");
+}
+
+Region disk(double radius) {
+  return Region(circle({50, 50}, radius, 64), {}, "disk");
+}
+
+Region rect(double w, double h) {
+  return Region(make_rect({0, 0}, {w, h}), {}, "rect");
+}
+
+Region annulus(double outer_r, double inner_r) {
+  if (inner_r >= outer_r) throw std::invalid_argument("annulus radii");
+  return Region(circle({50, 50}, outer_r, 64), {circle({50, 50}, inner_r, 48)},
+                "annulus");
+}
+
+Region lshape() {
+  return Region(
+      Ring({{0, 0}, {100, 0}, {100, 30}, {30, 30}, {30, 100}, {0, 100}}), {},
+      "lshape");
+}
+
+Region tshape() {
+  return Region(Ring({{40, 0},
+                      {60, 0},
+                      {60, 70},
+                      {100, 70},
+                      {100, 100},
+                      {0, 100},
+                      {0, 70},
+                      {40, 70}}),
+                {}, "tshape");
+}
+
+Region hshape() {
+  return Region(Ring({{0, 0},
+                      {24, 0},
+                      {24, 40},
+                      {76, 40},
+                      {76, 0},
+                      {100, 0},
+                      {100, 100},
+                      {76, 100},
+                      {76, 60},
+                      {24, 60},
+                      {24, 100},
+                      {0, 100}}),
+                {}, "hshape");
+}
+
+Region ushape() {
+  return Region(Ring({{0, 0},
+                      {100, 0},
+                      {100, 100},
+                      {70, 100},
+                      {70, 30},
+                      {30, 30},
+                      {30, 100},
+                      {0, 100}}),
+                {}, "ushape");
+}
+
+Region cross() {
+  return Region(Ring({{40, 0},
+                      {60, 0},
+                      {60, 40},
+                      {100, 40},
+                      {100, 60},
+                      {60, 60},
+                      {60, 100},
+                      {40, 100},
+                      {40, 60},
+                      {0, 60},
+                      {0, 40},
+                      {40, 40}}),
+                {}, "cross");
+}
+
+Region corridor(double length, double width) {
+  return Region(make_rect({0, 0}, {length, width}), {}, "corridor");
+}
+
+Region bumpy_rect(double bump_height, double bump_width) {
+  const double x0 = 50 - bump_width / 2;
+  const double x1 = 50 + bump_width / 2;
+  return Region(Ring({{0, 0},
+                      {100, 0},
+                      {100, 40},
+                      {x1, 40},
+                      {x1, 40 + bump_height},
+                      {x0, 40 + bump_height},
+                      {x0, 40},
+                      {0, 40}}),
+                {}, "bumpy_rect");
+}
+
+std::vector<NamedShape> paper_scenarios() {
+  return {
+      {"one_hole", one_hole(), 2734, 6.54},
+      {"flower", flower(), 2422, 5.75},
+      {"smile", smile(), 2924, 6.35},
+      {"music", music(), 1301, 6.5},
+      {"airplane", airplane(), 2157, 7.86},
+      {"cactus", cactus(), 2172, 6.70},
+      {"star_hole", star_hole(), 2893, 8.99},
+      {"spiral", spiral(), 2812, 9.60},
+      {"two_holes", two_holes(), 3346, 6.79},
+      {"star", star(), 1394, 6.59},
+  };
+}
+
+std::vector<NamedShape> all_shapes() {
+  std::vector<NamedShape> v = paper_scenarios();
+  v.insert(v.begin(), {"window", window(), 2592, 5.96});
+  for (Region r : {disk(), rect(), annulus(), lshape(), tshape(), hshape(),
+                   ushape(), cross(), corridor(), bumpy_rect()}) {
+    std::string name = r.name();
+    v.push_back({std::move(name), std::move(r), 0, 0.0});
+  }
+  return v;
+}
+
+Region by_name(const std::string& name) {
+  for (NamedShape& s : all_shapes()) {
+    if (s.name == name) return std::move(s.region);
+  }
+  throw std::out_of_range("unknown shape: " + name);
+}
+
+}  // namespace skelex::geom::shapes

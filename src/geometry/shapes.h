@@ -1,0 +1,89 @@
+// skelex/geometry/shapes.h
+//
+// The deployment fields used by the paper's evaluation (Fig. 1, Fig. 4)
+// plus simple geometric regions used by tests. All shapes live in a
+// roughly [0, 100] x [0, 100] coordinate box; the radio range is chosen
+// per-experiment to hit the paper's average node degrees.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "geometry/polygon.h"
+
+namespace skelex::geom::shapes {
+
+// --- Shapes from the paper -------------------------------------------------
+
+// Fig. 1: square frame with a 2x2 grid of square panes (4 holes). The
+// skeleton is the window lattice: frame ring + cross bars.
+Region window();
+
+// Fig. 4(a): rectangle with one large concave (plus-shaped) hole.
+Region one_hole();
+
+// Fig. 4(b): flower with six petals.
+Region flower();
+
+// Fig. 4(c): smiley face — disk with two eye holes and a mouth hole.
+Region smile();
+
+// Fig. 4(d): eighth-note silhouette (head + stem + flag).
+Region music();
+
+// Fig. 4(e): airplane silhouette (fuselage, wings, tail).
+Region airplane();
+
+// Fig. 4(f): saguaro cactus (trunk with two arms).
+Region cactus();
+
+// Fig. 4(g): square with a five-pointed-star hole.
+Region star_hole();
+
+// Fig. 4(h): thick Archimedean spiral band.
+Region spiral();
+
+// Fig. 4(i): rectangle with two round holes.
+Region two_holes();
+
+// Fig. 4(j): five-pointed star.
+Region star();
+
+// --- Simple shapes for unit/property tests ---------------------------------
+
+Region disk(double radius = 40.0);
+Region rect(double w = 100.0, double h = 60.0);
+Region annulus(double outer_r = 45.0, double inner_r = 20.0);
+Region lshape();   // L-shaped corridor
+Region tshape();   // T junction
+Region hshape();   // H: two bars and a crossbar
+Region ushape();   // U corridor
+Region cross();    // plus sign
+Region corridor(double length = 100.0, double width = 14.0);
+
+// A rectangle whose top edge has a small bump: MAP's boundary-noise
+// pathology trigger (a small bump spawns a long spurious branch).
+Region bumpy_rect(double bump_height = 8.0, double bump_width = 6.0);
+
+// --- Registry ---------------------------------------------------------------
+
+struct NamedShape {
+  std::string name;
+  Region region;
+  // Node count the paper reports for this scenario (0 when the paper does
+  // not state one).
+  int paper_nodes = 0;
+  // Average degree the paper reports.
+  double paper_avg_deg = 0.0;
+};
+
+// The ten Fig. 4 scenarios in paper order, with the paper's n / avg-degree
+// annotations.
+std::vector<NamedShape> paper_scenarios();
+
+// Every named shape (paper + test shapes); lookup helper throws
+// std::out_of_range on unknown names.
+std::vector<NamedShape> all_shapes();
+Region by_name(const std::string& name);
+
+}  // namespace skelex::geom::shapes

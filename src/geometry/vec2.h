@@ -1,0 +1,78 @@
+// skelex/geometry/vec2.h
+//
+// Minimal 2-D vector/point type used throughout the library. Kept as a
+// plain aggregate with value semantics: shapes, deployments and the
+// reference medial axis all operate on doubles in "field" coordinates
+// (the same units as the communication radio range R).
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace skelex::geom {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  constexpr Vec2() = default;
+  constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+  constexpr Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  constexpr Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+  constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+  constexpr Vec2 operator-() const { return {-x, -y}; }
+
+  Vec2& operator+=(Vec2 o) {
+    x += o.x;
+    y += o.y;
+    return *this;
+  }
+  Vec2& operator-=(Vec2 o) {
+    x -= o.x;
+    y -= o.y;
+    return *this;
+  }
+  Vec2& operator*=(double s) {
+    x *= s;
+    y *= s;
+    return *this;
+  }
+
+  constexpr bool operator==(const Vec2&) const = default;
+
+  constexpr double dot(Vec2 o) const { return x * o.x + y * o.y; }
+  // z-component of the 3-D cross product; >0 means o is CCW from *this.
+  constexpr double cross(Vec2 o) const { return x * o.y - y * o.x; }
+  constexpr double norm2() const { return x * x + y * y; }
+  double norm() const { return std::sqrt(norm2()); }
+
+  // Unit vector in the same direction; returns {0,0} for the zero vector.
+  Vec2 normalized() const {
+    const double n = norm();
+    return n > 0.0 ? Vec2{x / n, y / n} : Vec2{};
+  }
+  // CCW perpendicular.
+  constexpr Vec2 perp() const { return {-y, x}; }
+  // Rotate by `rad` radians CCW about the origin.
+  Vec2 rotated(double rad) const {
+    const double c = std::cos(rad), s = std::sin(rad);
+    return {c * x - s * y, s * x + c * y};
+  }
+};
+
+constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
+
+inline double dist(Vec2 a, Vec2 b) { return (a - b).norm(); }
+inline constexpr double dist2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
+
+// Distance from point p to the closed segment [a, b].
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+
+// The point on segment [a, b] closest to p.
+Vec2 closest_point_on_segment(Vec2 p, Vec2 a, Vec2 b);
+
+std::ostream& operator<<(std::ostream& os, Vec2 v);
+
+}  // namespace skelex::geom

@@ -1,0 +1,93 @@
+#include "geometry3/deploy3.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace skelex::geom3 {
+
+std::vector<Vec3> jittered_grid_in_volume(const Volume& vol, int target_nodes,
+                                          double jitter, deploy::Rng& rng) {
+  if (target_nodes < 2) throw std::invalid_argument("need >= 2 nodes");
+  // Estimate the fill fraction with a coarse Monte Carlo pass so the
+  // pitch lands near the requested count.
+  const Vec3 span = vol.hi - vol.lo;
+  int inside = 0;
+  const int kProbe = 4000;
+  deploy::Rng probe = rng.split();
+  for (int i = 0; i < kProbe; ++i) {
+    const Vec3 p{vol.lo.x + probe.next_double() * span.x,
+                 vol.lo.y + probe.next_double() * span.y,
+                 vol.lo.z + probe.next_double() * span.z};
+    if (vol.contains(p)) ++inside;
+  }
+  const double fill = std::max(0.01, static_cast<double>(inside) / kProbe);
+  const double volume = span.x * span.y * span.z * fill;
+  const double pitch = std::cbrt(volume / target_nodes);
+
+  std::vector<Vec3> pts;
+  for (double z = vol.lo.z + pitch / 2; z <= vol.hi.z; z += pitch) {
+    for (double y = vol.lo.y + pitch / 2; y <= vol.hi.y; y += pitch) {
+      for (double x = vol.lo.x + pitch / 2; x <= vol.hi.x; x += pitch) {
+        const Vec3 p{x + rng.uniform(-jitter, jitter) * pitch,
+                     y + rng.uniform(-jitter, jitter) * pitch,
+                     z + rng.uniform(-jitter, jitter) * pitch};
+        if (vol.contains(p)) pts.push_back(p);
+      }
+    }
+  }
+  return pts;
+}
+
+double calibrate_range3(const std::vector<Vec3>& pts, double target_avg_deg) {
+  if (pts.size() < 2) throw std::invalid_argument("need >= 2 positions");
+  const double n = static_cast<double>(pts.size());
+  const auto avg_deg_at = [&](double r) {
+    const double r2 = r * r;
+    long long pairs = 0;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      for (std::size_t j = i + 1; j < pts.size(); ++j) {
+        if (dist2(pts[i], pts[j]) <= r2) ++pairs;
+      }
+    }
+    return 2.0 * static_cast<double>(pairs) / n;
+  };
+  double lo = 0.0, hi = 1.0;
+  while (avg_deg_at(hi) < target_avg_deg) {
+    lo = hi;
+    hi *= 2.0;
+    if (hi > 1e6) throw std::runtime_error("range calibration diverged");
+  }
+  for (int it = 0; it < 30; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (avg_deg_at(mid) < target_avg_deg ? lo : hi) = mid;
+  }
+  return hi;
+}
+
+Scenario3 make_udg_scenario3(const Volume& vol, int target_nodes,
+                             double target_avg_deg, std::uint64_t seed) {
+  deploy::Rng rng(seed);
+  std::vector<Vec3> pts =
+      jittered_grid_in_volume(vol, target_nodes, 0.35, rng);
+  const double range = calibrate_range3(pts, target_avg_deg);
+
+  net::Graph full(static_cast<int>(pts.size()));
+  const double r2 = range * range;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (dist2(pts[i], pts[j]) <= r2) {
+        full.add_edge(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  std::vector<int> orig;
+  Scenario3 out;
+  out.graph = net::largest_component_subgraph(full, orig);
+  out.positions.reserve(orig.size());
+  for (int v : orig) out.positions.push_back(pts[static_cast<std::size_t>(v)]);
+  out.range = range;
+  return out;
+}
+
+}  // namespace skelex::geom3

@@ -1,0 +1,39 @@
+// skelex/geometry3/deploy3.h
+//
+// 3-D deployment + UDG construction. Produces a net::Graph (without 2-D
+// positions — the pipeline never needs them) plus the Vec3 positions for
+// inspection. Mirrors deploy::make_udg_scenario: jittered-grid sampling
+// for connectivity at low density, degree calibration by binary search,
+// largest connected component.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "deploy/rng.h"
+#include "geometry3/volume.h"
+#include "net/graph.h"
+
+namespace skelex::geom3 {
+
+struct Scenario3 {
+  net::Graph graph;             // largest component, no 2-D positions
+  std::vector<Vec3> positions;  // aligned with graph node ids
+  double range = 0.0;
+};
+
+// Jittered 3-D grid points inside the volume (pitch derived from the
+// target count and the volume's sampled fill fraction).
+std::vector<Vec3> jittered_grid_in_volume(const Volume& vol, int target_nodes,
+                                          double jitter, deploy::Rng& rng);
+
+// The UDG range giving `target_avg_deg` on these positions (binary
+// search over exact pair counts, brute force).
+double calibrate_range3(const std::vector<Vec3>& pts, double target_avg_deg);
+
+// Full scenario: deploy, calibrate, build the UDG, keep the largest
+// component.
+Scenario3 make_udg_scenario3(const Volume& vol, int target_nodes,
+                             double target_avg_deg, std::uint64_t seed);
+
+}  // namespace skelex::geom3

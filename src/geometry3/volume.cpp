@@ -1,0 +1,82 @@
+#include "geometry3/volume.h"
+
+namespace skelex::geom3 {
+
+namespace {
+bool in_box(Vec3 p, Vec3 lo, Vec3 hi) {
+  return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y &&
+         p.z >= lo.z && p.z <= hi.z;
+}
+}  // namespace
+
+Volume box(double sx, double sy, double sz) {
+  Volume v;
+  v.name = "box3";
+  v.lo = {0, 0, 0};
+  v.hi = {sx, sy, sz};
+  v.tunnels = 0;
+  v.contains = [lo = v.lo, hi = v.hi](Vec3 p) { return in_box(p, lo, hi); };
+  return v;
+}
+
+Volume box_with_tunnel() {
+  Volume v;
+  v.name = "box3_tunnel";
+  v.lo = {0, 0, 0};
+  v.hi = {60, 40, 40};
+  v.tunnels = 1;
+  v.contains = [lo = v.lo, hi = v.hi](Vec3 p) {
+    if (!in_box(p, lo, hi)) return false;
+    // Tunnel through the middle, along y: removed material.
+    return !(p.x > 22 && p.x < 38 && p.z > 12 && p.z < 28);
+  };
+  return v;
+}
+
+Volume box_with_two_tunnels() {
+  Volume v;
+  v.name = "box3_two_tunnels";
+  v.lo = {0, 0, 0};
+  v.hi = {90, 40, 40};
+  v.tunnels = 2;
+  v.contains = [lo = v.lo, hi = v.hi](Vec3 p) {
+    if (!in_box(p, lo, hi)) return false;
+    const bool t1 = p.x > 18 && p.x < 34 && p.z > 12 && p.z < 28;
+    const bool t2 = p.x > 56 && p.x < 72 && p.z > 12 && p.z < 28;
+    return !(t1 || t2);
+  };
+  return v;
+}
+
+Volume torus(double major, double minor) {
+  Volume v;
+  v.name = "torus3";
+  const double c = major + minor + 2;
+  v.lo = {0, 0, c - minor - 1};
+  v.hi = {2 * c, 2 * c, c + minor + 1};
+  v.tunnels = 1;
+  v.contains = [c, major, minor](Vec3 p) {
+    const double dx = p.x - c, dy = p.y - c, dz = p.z - c;
+    const double ring = std::sqrt(dx * dx + dy * dy) - major;
+    return ring * ring + dz * dz <= minor * minor;
+  };
+  return v;
+}
+
+Volume u_duct() {
+  Volume v;
+  v.name = "u_duct3";
+  v.lo = {0, 0, 0};
+  v.hi = {60, 16, 60};
+  v.tunnels = 0;
+  v.contains = [](Vec3 p) {
+    if (p.y < 0 || p.y > 16) return false;
+    const bool left = p.x >= 0 && p.x <= 16 && p.z >= 0 && p.z <= 60;
+    const bool right = p.x >= 44 && p.x <= 60 && p.z >= 0 && p.z <= 60;
+    const bool bottom = p.x >= 0 && p.x <= 60 && p.z >= 0 && p.z <= 16;
+    return left || right || bottom;
+  };
+  return v;
+}
+
+}  // namespace skelex::geom3

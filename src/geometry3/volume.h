@@ -1,0 +1,60 @@
+// skelex/geometry3/volume.h
+//
+// 3-D deployment volumes. The skeleton-extraction pipeline never reads
+// positions — it is purely connectivity-based — so it runs unchanged on
+// 3-D networks; only the deployment substrate is dimensional. The paper
+// leaves 3-D to the CABET/CONSEL line of work; this module provides the
+// volumes on which the algorithm's topological guarantees can be
+// demonstrated in 3-D: tubular and genus-g solids whose curve skeletons
+// are well-defined (a duct network, a torus, a box pierced by tunnels).
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace skelex::geom3 {
+
+struct Vec3 {
+  double x = 0.0, y = 0.0, z = 0.0;
+
+  constexpr Vec3 operator+(Vec3 o) const { return {x + o.x, y + o.y, z + o.z}; }
+  constexpr Vec3 operator-(Vec3 o) const { return {x - o.x, y - o.y, z - o.z}; }
+  constexpr Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  constexpr double dot(Vec3 o) const { return x * o.x + y * o.y + z * o.z; }
+  constexpr double norm2() const { return dot(*this); }
+  double norm() const { return std::sqrt(norm2()); }
+  constexpr bool operator==(const Vec3&) const = default;
+};
+
+inline double dist(Vec3 a, Vec3 b) { return (a - b).norm(); }
+inline constexpr double dist2(Vec3 a, Vec3 b) { return (a - b).norm2(); }
+
+// A volume is a membership predicate plus a bounding box and a known
+// first Betti number (number of independent tunnels) for ground truth.
+struct Volume {
+  std::string name;
+  Vec3 lo, hi;                        // bounding box
+  int tunnels = 0;                    // expected skeleton cycle rank
+  std::function<bool(Vec3)> contains;
+};
+
+// Solid axis-aligned box [0,sx] x [0,sy] x [0,sz]; contractible.
+Volume box(double sx = 60, double sy = 40, double sz = 40);
+
+// Box pierced by a square tunnel along the y axis; one tunnel.
+Volume box_with_tunnel();
+
+// Box pierced by two parallel tunnels; two tunnels.
+Volume box_with_two_tunnels();
+
+// Solid torus (major radius R in the xy plane, minor radius r); one
+// tunnel (its curve skeleton is the core circle).
+Volume torus(double major = 24, double minor = 8);
+
+// A U-shaped duct (three orthogonal square tubes joined); contractible,
+// curve skeleton is a U-shaped path.
+Volume u_duct();
+
+}  // namespace skelex::geom3

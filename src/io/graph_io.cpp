@@ -1,0 +1,135 @@
+#include "io/graph_io.h"
+
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace skelex::io {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("graph input line " + std::to_string(line) + ": " +
+                           what);
+}
+}  // namespace
+
+net::Graph read_graph(std::istream& in) {
+  int n = -1;
+  std::vector<std::pair<int, geom::Vec2>> positions;
+  std::vector<std::pair<int, int>> edges;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string tag;
+    if (!(line >> tag)) continue;  // blank / comment-only line
+    if (tag == "n") {
+      if (n != -1) fail(line_no, "duplicate n directive");
+      if (!(line >> n) || n < 0) fail(line_no, "bad node count");
+    } else if (tag == "p") {
+      int id;
+      double x, y;
+      if (!(line >> id >> x >> y)) fail(line_no, "bad p directive");
+      positions.push_back({id, {x, y}});
+    } else if (tag == "e") {
+      int u, v;
+      if (!(line >> u >> v)) fail(line_no, "bad e directive");
+      edges.push_back({u, v});
+    } else {
+      fail(line_no, "unknown directive '" + tag + "'");
+    }
+  }
+  if (n < 0) fail(line_no, "missing n directive");
+
+  const auto check = [&](int id) {
+    if (id < 0 || id >= n) {
+      throw std::runtime_error("node id " + std::to_string(id) +
+                               " out of range [0, " + std::to_string(n) + ")");
+    }
+  };
+  net::Graph g(n);
+  if (!positions.empty()) {
+    std::vector<geom::Vec2> pos(static_cast<std::size_t>(n));
+    for (const auto& [id, p] : positions) {
+      check(id);
+      pos[static_cast<std::size_t>(id)] = p;
+    }
+    g = net::Graph(std::move(pos));
+  }
+  for (const auto& [u, v] : edges) {
+    check(u);
+    check(v);
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+net::Graph read_graph_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_graph(in);
+}
+
+void write_graph(std::ostream& out, const net::Graph& g) {
+  out << "# skelex network: " << g.n() << " nodes, " << g.edge_count()
+      << " edges\n";
+  // Positions must survive a round trip bit-exactly.
+  out.precision(std::numeric_limits<double>::max_digits10);
+  out << "n " << g.n() << '\n';
+  if (g.has_positions()) {
+    for (int v = 0; v < g.n(); ++v) {
+      const geom::Vec2 p = g.position(v);
+      out << "p " << v << ' ' << p.x << ' ' << p.y << '\n';
+    }
+  }
+  for (int v = 0; v < g.n(); ++v) {
+    for (int w : g.neighbors(v)) {
+      if (w > v) out << "e " << v << ' ' << w << '\n';
+    }
+  }
+}
+
+void write_graph_file(const std::string& path, const net::Graph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  write_graph(out, g);
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+void write_skeleton(std::ostream& out, const core::SkeletonGraph& sk) {
+  out << "# skelex skeleton: " << sk.node_count() << " nodes, "
+      << sk.edge_count() << " edges\n";
+  for (int v : sk.nodes()) {
+    if (sk.degree(v) == 0) out << "v " << v << '\n';
+    for (int w : sk.neighbors(v)) {
+      if (w > v) out << "e " << v << ' ' << w << '\n';
+    }
+  }
+}
+
+void write_skeleton_dot(std::ostream& out, const net::Graph& g,
+                        const core::SkeletonGraph& sk) {
+  out << "graph skeleton {\n  node [shape=point];\n";
+  for (int v : sk.nodes()) {
+    out << "  n" << v;
+    if (g.has_positions()) {
+      const geom::Vec2 p = g.position(v);
+      out << " [pos=\"" << p.x << ',' << p.y << "!\"]";
+    }
+    out << ";\n";
+  }
+  for (int v : sk.nodes()) {
+    for (int w : sk.neighbors(v)) {
+      if (w > v) out << "  n" << v << " -- n" << w << ";\n";
+    }
+  }
+  out << "}\n";
+}
+
+}  // namespace skelex::io

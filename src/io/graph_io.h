@@ -1,0 +1,42 @@
+// skelex/io/graph_io.h
+//
+// Plain-text interchange for networks and skeletons so skelex runs on
+// user-supplied graphs (skelex_cli --input) and its results feed other
+// tools.
+//
+// Network format (whitespace-separated, '#' comments):
+//   n <node-count>
+//   p <id> <x> <y>        optional node positions (any subset)
+//   e <u> <v>             undirected edge
+//
+// Skeleton export: either the same 'e'-line format restricted to
+// skeleton members, or Graphviz DOT for quick visual inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/skeleton_graph.h"
+#include "net/graph.h"
+
+namespace skelex::io {
+
+// Parses the network format. Throws std::runtime_error with a line
+// number on malformed input (unknown directive, edge before n, id out
+// of range).
+net::Graph read_graph(std::istream& in);
+net::Graph read_graph_file(const std::string& path);
+
+// Writes the same format (positions included when the graph has them).
+void write_graph(std::ostream& out, const net::Graph& g);
+void write_graph_file(const std::string& path, const net::Graph& g);
+
+// Skeleton as edge lines ('e u v', plus 'v u' lines for isolated
+// skeleton nodes).
+void write_skeleton(std::ostream& out, const core::SkeletonGraph& sk);
+
+// Graphviz DOT; positions (when available) become pos="x,y!" pins.
+void write_skeleton_dot(std::ostream& out, const net::Graph& g,
+                        const core::SkeletonGraph& sk);
+
+}  // namespace skelex::io

@@ -1,0 +1,19 @@
+#include "metrics/homotopy.h"
+
+namespace skelex::metrics {
+
+HomotopyCheck check_homotopy(const net::Graph& g,
+                             const core::SkeletonGraph& sk,
+                             const geom::Region& region) {
+  HomotopyCheck c;
+  c.skeleton_components = sk.component_count();
+  c.network_components = net::connected_components(g).count;
+  c.skeleton_cycles = sk.cycle_rank();
+  c.region_holes = static_cast<int>(region.hole_count());
+  c.components_match = c.skeleton_components == c.network_components;
+  c.cycles_match = c.skeleton_cycles == c.region_holes;
+  c.ok = c.components_match && c.cycles_match;
+  return c;
+}
+
+}  // namespace skelex::metrics

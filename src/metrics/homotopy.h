@@ -1,0 +1,29 @@
+// skelex/metrics/homotopy.h
+//
+// Topological correctness: the skeleton of a region must be homotopy
+// equivalent to the region (§III-D, [6], [15]). For a connected planar
+// region with h holes that means: one skeleton component per network
+// component and exactly h independent skeleton cycles.
+#pragma once
+
+#include "core/skeleton_graph.h"
+#include "geometry/polygon.h"
+#include "net/graph.h"
+
+namespace skelex::metrics {
+
+struct HomotopyCheck {
+  int skeleton_components = 0;
+  int network_components = 0;
+  int skeleton_cycles = 0;  // cycle-space rank of the skeleton graph
+  int region_holes = 0;
+  bool components_match = false;
+  bool cycles_match = false;
+  bool ok = false;
+};
+
+HomotopyCheck check_homotopy(const net::Graph& g,
+                             const core::SkeletonGraph& sk,
+                             const geom::Region& region);
+
+}  // namespace skelex::metrics

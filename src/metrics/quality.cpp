@@ -1,0 +1,48 @@
+#include "metrics/quality.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+namespace skelex::metrics {
+
+std::vector<geom::Vec2> skeleton_positions(const net::Graph& g,
+                                           const core::SkeletonGraph& sk) {
+  if (!g.has_positions()) {
+    throw std::invalid_argument("graph has no positions");
+  }
+  std::vector<geom::Vec2> pos;
+  for (int v : sk.nodes()) pos.push_back(g.position(v));
+  return pos;
+}
+
+Medialness medialness(const net::Graph& g, const core::SkeletonGraph& sk,
+                      const geom::ReferenceMedialAxis& axis) {
+  Medialness m;
+  double sum = 0.0, sum2 = 0.0;
+  for (const geom::Vec2& p : skeleton_positions(g, sk)) {
+    const double d = axis.distance_to_axis(p);
+    sum += d;
+    sum2 += d * d;
+    m.max = std::max(m.max, d);
+    ++m.node_count;
+  }
+  if (m.node_count > 0) {
+    m.mean = sum / m.node_count;
+    m.rms = std::sqrt(sum2 / m.node_count);
+  }
+  return m;
+}
+
+double axis_coverage(const net::Graph& g, const core::SkeletonGraph& sk,
+                     const geom::ReferenceMedialAxis& axis, double radius) {
+  return axis.coverage(skeleton_positions(g, sk), radius);
+}
+
+std::ostream& operator<<(std::ostream& os, const Medialness& m) {
+  return os << "{mean=" << m.mean << ", max=" << m.max << ", rms=" << m.rms
+            << ", nodes=" << m.node_count << '}';
+}
+
+}  // namespace skelex::metrics

@@ -1,0 +1,43 @@
+// skelex/metrics/quality.h
+//
+// Quantitative skeleton-quality metrics against the continuous-domain
+// reference medial axis. The paper argues quality visually ("the skeleton
+// lies medially", "captures the geometric features"); these metrics make
+// the same claims measurable:
+//   * medialness — how far extracted skeleton nodes sit from the true
+//     medial axis (mean / max / rms, in field units; divide by R for
+//     hop-comparable numbers);
+//   * coverage — fraction of the reference axis within a radius of the
+//     extracted skeleton (does the skeleton span every limb?).
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/skeleton_graph.h"
+#include "geometry/medial_axis_ref.h"
+#include "net/graph.h"
+
+namespace skelex::metrics {
+
+struct Medialness {
+  double mean = 0.0;
+  double max = 0.0;
+  double rms = 0.0;
+  int node_count = 0;
+};
+
+// Positions of the skeleton nodes (graph must carry positions).
+std::vector<geom::Vec2> skeleton_positions(const net::Graph& g,
+                                           const core::SkeletonGraph& sk);
+
+Medialness medialness(const net::Graph& g, const core::SkeletonGraph& sk,
+                      const geom::ReferenceMedialAxis& axis);
+
+// Fraction of reference-axis samples within `radius` of a skeleton node.
+double axis_coverage(const net::Graph& g, const core::SkeletonGraph& sk,
+                     const geom::ReferenceMedialAxis& axis, double radius);
+
+std::ostream& operator<<(std::ostream& os, const Medialness& m);
+
+}  // namespace skelex::metrics

@@ -1,0 +1,89 @@
+#include "metrics/skeleton_stats.h"
+
+#include <algorithm>
+#include <ostream>
+#include <set>
+
+namespace skelex::metrics {
+
+SkeletonStats skeleton_stats(const core::SkeletonGraph& sk) {
+  SkeletonStats s;
+  s.nodes = sk.node_count();
+  s.edges = sk.edge_count();
+  s.components = sk.component_count();
+  s.cycles = sk.cycle_rank();
+  for (int v : sk.nodes()) {
+    const int d = sk.degree(v);
+    if (d >= 3) ++s.junctions;
+    if (d == 1) ++s.leaves;
+  }
+
+  // Branch decomposition: walk every unvisited edge from a non-degree-2
+  // endpoint (junction or leaf) through the degree-2 chain. Pure cycles
+  // (components with only degree-2 nodes) count as one branch each.
+  std::set<std::pair<int, int>> visited;
+  const auto visit = [&](int a, int b) {
+    return visited.insert({std::min(a, b), std::max(a, b)}).second;
+  };
+  long long total_len = 0;
+  const auto record = [&](int len) {
+    ++s.branches;
+    total_len += len;
+    s.longest_branch = std::max(s.longest_branch, len);
+  };
+  for (int v : sk.nodes()) {
+    if (sk.degree(v) == 2) continue;  // chains start at non-chain nodes
+    for (int w : sk.neighbors(v)) {
+      if (!visit(v, w)) continue;
+      int len = 1;
+      int prev = v, cur = w;
+      while (sk.degree(cur) == 2) {
+        int next = -1;
+        for (int x : sk.neighbors(cur)) {
+          if (x != prev) next = x;
+        }
+        if (next == -1) break;  // chain ended at a leaf of degree 1? no:
+                                // degree-2 always has another neighbor
+        visit(cur, next);
+        prev = cur;
+        cur = next;
+        ++len;
+      }
+      record(len);
+    }
+  }
+  // Pure cycles: all-degree-2 components never got walked above.
+  for (int v : sk.nodes()) {
+    if (sk.degree(v) != 2) continue;
+    for (int w : sk.neighbors(v)) {
+      if (!visit(v, w)) continue;
+      int len = 1;
+      int prev = v, cur = w;
+      while (cur != v) {
+        int next = -1;
+        for (int x : sk.neighbors(cur)) {
+          if (x != prev) next = x;
+        }
+        visit(cur, next);
+        prev = cur;
+        cur = next;
+        ++len;
+      }
+      record(len);
+    }
+  }
+  if (s.branches > 0) {
+    s.mean_branch_len = static_cast<double>(total_len) / s.branches;
+  }
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const SkeletonStats& s) {
+  return os << "{nodes=" << s.nodes << ", edges=" << s.edges
+            << ", comps=" << s.components << ", cycles=" << s.cycles
+            << ", junctions=" << s.junctions << ", leaves=" << s.leaves
+            << ", branches=" << s.branches << ", longest=" << s.longest_branch
+            << ", mean_len=" << s.mean_branch_len << '}';
+}
+
+}  // namespace skelex::metrics

@@ -1,0 +1,32 @@
+// skelex/metrics/skeleton_stats.h
+//
+// Structural statistics of a skeleton graph: junctions, leaves, branch
+// decomposition (maximal degree-2 chains), lengths. Used by benches to
+// report skeleton structure and by tests to assert shape expectations
+// ("a cross has 4 branches and 1 junction") without geometry.
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "core/skeleton_graph.h"
+
+namespace skelex::metrics {
+
+struct SkeletonStats {
+  int nodes = 0;
+  int edges = 0;
+  int components = 0;
+  int cycles = 0;       // cycle-space rank
+  int junctions = 0;    // degree >= 3
+  int leaves = 0;       // degree == 1
+  int branches = 0;     // maximal chains between junction/leaf endpoints
+  int longest_branch = 0;   // edges on the longest chain
+  double mean_branch_len = 0.0;
+};
+
+SkeletonStats skeleton_stats(const core::SkeletonGraph& sk);
+
+std::ostream& operator<<(std::ostream& os, const SkeletonStats& s);
+
+}  // namespace skelex::metrics

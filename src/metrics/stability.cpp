@@ -1,0 +1,48 @@
+#include "metrics/stability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "metrics/quality.h"
+
+namespace skelex::metrics {
+
+namespace {
+// One direction: for every point of `from`, the distance to the nearest
+// point of `to`; returns (max, mean).
+std::pair<double, double> directed(const std::vector<geom::Vec2>& from,
+                                   const std::vector<geom::Vec2>& to) {
+  double max_d = 0.0, sum = 0.0;
+  for (const geom::Vec2& p : from) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const geom::Vec2& q : to) best = std::min(best, geom::dist2(p, q));
+    best = std::sqrt(best);
+    max_d = std::max(max_d, best);
+    sum += best;
+  }
+  return {max_d, from.empty() ? 0.0 : sum / static_cast<double>(from.size())};
+}
+}  // namespace
+
+PositionSetDistance position_set_distance(const std::vector<geom::Vec2>& a,
+                                          const std::vector<geom::Vec2>& b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("position sets must be non-empty");
+  }
+  const auto [max_ab, mean_ab] = directed(a, b);
+  const auto [max_ba, mean_ba] = directed(b, a);
+  return {std::max(max_ab, max_ba), 0.5 * (mean_ab + mean_ba)};
+}
+
+PositionSetDistance skeleton_distance(const net::Graph& ga,
+                                      const core::SkeletonGraph& ska,
+                                      const net::Graph& gb,
+                                      const core::SkeletonGraph& skb) {
+  return position_set_distance(skeleton_positions(ga, ska),
+                               skeleton_positions(gb, skb));
+}
+
+}  // namespace skelex::metrics

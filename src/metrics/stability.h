@@ -1,0 +1,34 @@
+// skelex/metrics/stability.h
+//
+// Stability metrics for Fig. 5/6/7: the paper claims "very stable
+// skeletons" as node density or the radio model changes. Two skeletons
+// extracted from *different* deployments of the same region cannot be
+// compared by node ids, so stability is measured geometrically: the
+// (symmetric) Hausdorff distance and the mean nearest-neighbor distance
+// between the two skeletons' node position sets.
+#pragma once
+
+#include <vector>
+
+#include "core/skeleton_graph.h"
+#include "geometry/vec2.h"
+#include "net/graph.h"
+
+namespace skelex::metrics {
+
+struct PositionSetDistance {
+  double hausdorff = 0.0;       // max over both directions
+  double mean_nearest = 0.0;    // symmetric mean nearest-neighbor distance
+};
+
+PositionSetDistance position_set_distance(const std::vector<geom::Vec2>& a,
+                                          const std::vector<geom::Vec2>& b);
+
+// Convenience: compares two skeletons living on (possibly different)
+// graphs with positions.
+PositionSetDistance skeleton_distance(const net::Graph& ga,
+                                      const core::SkeletonGraph& ska,
+                                      const net::Graph& gb,
+                                      const core::SkeletonGraph& skb);
+
+}  // namespace skelex::metrics

@@ -1,0 +1,49 @@
+// skelex/net/bfs.h
+//
+// Hop-distance primitives: single/multi-source BFS, truncated BFS, and
+// shortest-path extraction. These are the centralized equivalents of the
+// paper's flooding operations; the distributed protocol versions live in
+// core/protocols and are tested to agree with these.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "net/graph.h"
+
+namespace skelex::net {
+
+inline constexpr int kUnreached = -1;
+
+// Hop distance from `source` to every node; kUnreached when disconnected.
+// `max_depth < 0` means unbounded.
+std::vector<int> bfs_distances(const Graph& g, int source, int max_depth = -1);
+
+// Multi-source BFS result: per node, the nearest source (first to reach it,
+// ties broken by source order in `sources`), hop distance, and BFS parent
+// (kUnreached for sources/unreached nodes).
+struct MultiSourceBfs {
+  std::vector<int> nearest;  // index INTO `sources`, not node id
+  std::vector<int> dist;
+  std::vector<int> parent;
+};
+MultiSourceBfs multi_source_bfs(const Graph& g, const std::vector<int>& sources);
+
+// Shortest path (sequence of node ids, inclusive of both endpoints).
+// Empty when unreachable; {s} when s == t.
+std::vector<int> shortest_path(const Graph& g, int s, int t);
+
+// BFS restricted to nodes where allowed[v] is true; source must be
+// allowed. Distances to non-allowed nodes are kUnreached.
+std::vector<int> bfs_distances_masked(const Graph& g, int source,
+                                      const std::vector<char>& allowed,
+                                      int max_depth = -1);
+
+// Hop eccentricity of `source` (max finite BFS distance).
+int eccentricity(const Graph& g, int source);
+
+// Graph diameter approximation by double-sweep BFS (exact on trees, a
+// good lower bound generally). Returns 0 for empty graphs.
+int approx_diameter(const Graph& g);
+
+}  // namespace skelex::net

@@ -1,0 +1,119 @@
+#include "net/graph.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+#include "net/spatial_hash.h"
+
+namespace skelex::net {
+
+Graph::Graph(int n) {
+  if (n < 0) throw std::invalid_argument("negative node count");
+  adj_.resize(static_cast<std::size_t>(n));
+}
+
+Graph::Graph(std::vector<geom::Vec2> positions)
+    : adj_(positions.size()), pos_(std::move(positions)) {}
+
+void Graph::add_edge(int u, int v) {
+  if (u < 0 || v < 0 || u >= n() || v >= n()) {
+    throw std::out_of_range("edge endpoint out of range");
+  }
+  if (u == v || has_edge(u, v)) return;
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  ++edges_;
+}
+
+bool Graph::has_edge(int u, int v) const {
+  const auto& a = adj_[static_cast<std::size_t>(u)];
+  const auto& b = adj_[static_cast<std::size_t>(v)];
+  const auto& smaller = a.size() <= b.size() ? a : b;
+  const int target = a.size() <= b.size() ? v : u;
+  return std::find(smaller.begin(), smaller.end(), target) != smaller.end();
+}
+
+double Graph::avg_degree() const {
+  if (n() == 0) return 0.0;
+  return 2.0 * static_cast<double>(edges_) / n();
+}
+
+Graph build_graph(std::vector<geom::Vec2> positions,
+                  const radio::RadioModel& model, deploy::Rng& rng) {
+  const double range = model.max_range();
+  SpatialHash hash(positions, range);
+  Graph g(std::move(positions));
+  hash.for_each_pair(range, [&](int i, int j) {
+    if (model.link(g.position(i), g.position(j), rng)) g.add_edge(i, j);
+  });
+  return g;
+}
+
+Graph build_udg(std::vector<geom::Vec2> positions, double range) {
+  deploy::Rng rng(0);  // UDG is deterministic; rng is unused.
+  radio::UnitDiskModel model(range);
+  return build_graph(std::move(positions), model, rng);
+}
+
+Components connected_components(const Graph& g) {
+  Components c;
+  c.label.assign(static_cast<std::size_t>(g.n()), -1);
+  std::queue<int> q;
+  for (int s = 0; s < g.n(); ++s) {
+    if (c.label[static_cast<std::size_t>(s)] != -1) continue;
+    const int id = c.count++;
+    c.size.push_back(0);
+    c.label[static_cast<std::size_t>(s)] = id;
+    q.push(s);
+    while (!q.empty()) {
+      const int v = q.front();
+      q.pop();
+      ++c.size[static_cast<std::size_t>(id)];
+      for (int w : g.neighbors(v)) {
+        if (c.label[static_cast<std::size_t>(w)] == -1) {
+          c.label[static_cast<std::size_t>(w)] = id;
+          q.push(w);
+        }
+      }
+    }
+  }
+  for (int i = 0; i < c.count; ++i) {
+    if (c.largest == -1 ||
+        c.size[static_cast<std::size_t>(i)] >
+            c.size[static_cast<std::size_t>(c.largest)]) {
+      c.largest = i;
+    }
+  }
+  return c;
+}
+
+Graph largest_component_subgraph(const Graph& g,
+                                 std::vector<int>& orig_of_new) {
+  const Components comps = connected_components(g);
+  orig_of_new.clear();
+  std::vector<int> new_of_orig(static_cast<std::size_t>(g.n()), -1);
+  for (int v = 0; v < g.n(); ++v) {
+    if (comps.label[static_cast<std::size_t>(v)] == comps.largest) {
+      new_of_orig[static_cast<std::size_t>(v)] =
+          static_cast<int>(orig_of_new.size());
+      orig_of_new.push_back(v);
+    }
+  }
+  std::vector<geom::Vec2> pos;
+  if (g.has_positions()) {
+    pos.reserve(orig_of_new.size());
+    for (int v : orig_of_new) pos.push_back(g.position(v));
+  }
+  Graph sub = g.has_positions() ? Graph(std::move(pos))
+                                : Graph(static_cast<int>(orig_of_new.size()));
+  for (std::size_t i = 0; i < orig_of_new.size(); ++i) {
+    for (int w : g.neighbors(orig_of_new[i])) {
+      const int nw = new_of_orig[static_cast<std::size_t>(w)];
+      if (nw > static_cast<int>(i)) sub.add_edge(static_cast<int>(i), nw);
+    }
+  }
+  return sub;
+}
+
+}  // namespace skelex::net

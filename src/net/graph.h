@@ -1,0 +1,78 @@
+// skelex/net/graph.h
+//
+// The sensor-network connectivity graph. Nodes are dense integer ids
+// [0, n); each node optionally carries its deployment position (the
+// *algorithms* never read positions — the paper's method is
+// connectivity-only — but metrics and visualization do).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "deploy/rng.h"
+#include "geometry/vec2.h"
+#include "radio/radio_model.h"
+
+namespace skelex::net {
+
+class Graph {
+ public:
+  Graph() = default;
+  // Graph with `n` isolated nodes and no positions.
+  explicit Graph(int n);
+  // Graph with given node positions and no edges yet.
+  explicit Graph(std::vector<geom::Vec2> positions);
+
+  int n() const { return static_cast<int>(adj_.size()); }
+  long long edge_count() const { return edges_; }
+
+  // Adds the undirected edge {u, v}. Duplicate and self edges are ignored
+  // (idempotent), so probabilistic builders need not dedupe.
+  void add_edge(int u, int v);
+
+  bool has_edge(int u, int v) const;
+
+  std::span<const int> neighbors(int v) const {
+    return {adj_[static_cast<std::size_t>(v)].data(),
+            adj_[static_cast<std::size_t>(v)].size()};
+  }
+  int degree(int v) const {
+    return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
+  }
+  double avg_degree() const;
+
+  bool has_positions() const { return !pos_.empty(); }
+  geom::Vec2 position(int v) const { return pos_[static_cast<std::size_t>(v)]; }
+  const std::vector<geom::Vec2>& positions() const { return pos_; }
+
+ private:
+  std::vector<std::vector<int>> adj_;
+  std::vector<geom::Vec2> pos_;
+  long long edges_ = 0;
+};
+
+// Builds the connectivity graph of `positions` under `model`, using a
+// spatial hash so only candidate pairs within max_range are tested.
+// `rng` feeds probabilistic models (QUDG / log-normal).
+Graph build_graph(std::vector<geom::Vec2> positions,
+                  const radio::RadioModel& model, deploy::Rng& rng);
+
+// Convenience: UDG graph (deterministic).
+Graph build_udg(std::vector<geom::Vec2> positions, double range);
+
+// Component labels (0-based) for every node plus the component count.
+struct Components {
+  std::vector<int> label;
+  int count = 0;
+  // Size of each component.
+  std::vector<int> size;
+  // Index of the largest component.
+  int largest = -1;
+};
+Components connected_components(const Graph& g);
+
+// The subgraph induced by the largest connected component; positions are
+// carried over. `orig_of_new[i]` maps new ids back to the input graph.
+Graph largest_component_subgraph(const Graph& g, std::vector<int>& orig_of_new);
+
+}  // namespace skelex::net

@@ -1,0 +1,29 @@
+// skelex/net/khop.h
+//
+// k-hop neighborhood computations — the quantity at the heart of the
+// paper's index (§II-C): |N_k(p)| is the discrete analogue of the
+// intersection area lambda(D_i(p, kR)).
+#pragma once
+
+#include <vector>
+
+#include "net/graph.h"
+
+namespace skelex::net {
+
+// Nodes at hop distance <= k from v, excluding v itself.
+std::vector<int> khop_neighbors(const Graph& g, int v, int k);
+
+// |N_k(v)| for every node v (k-hop neighborhood size, excluding self).
+// This is what the paper's first controlled flood computes.
+std::vector<int> khop_sizes(const Graph& g, int k);
+
+// Average over w in N_l(v) of sizes[w] — the paper's l-centrality
+// (Def. 3). `include_self` adds v's own k-hop size into the average;
+// the paper averages over the l-hop *neighbors*, so the default is false.
+// Nodes with an empty l-hop neighborhood get their own size.
+std::vector<double> l_centrality(const Graph& g,
+                                 const std::vector<int>& khop_sizes, int l,
+                                 bool include_self = false);
+
+}  // namespace skelex::net

@@ -1,0 +1,107 @@
+#include "net/spatial_hash.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace skelex::net {
+
+using geom::Vec2;
+
+SpatialHash::SpatialHash(const std::vector<Vec2>& points, double cell)
+    : points_(points), cell_(cell) {
+  if (cell <= 0) throw std::invalid_argument("cell size must be > 0");
+  Vec2 hi{-std::numeric_limits<double>::infinity(),
+          -std::numeric_limits<double>::infinity()};
+  lo_ = {std::numeric_limits<double>::infinity(),
+         std::numeric_limits<double>::infinity()};
+  for (const Vec2& p : points_) {
+    lo_.x = std::min(lo_.x, p.x);
+    lo_.y = std::min(lo_.y, p.y);
+    hi.x = std::max(hi.x, p.x);
+    hi.y = std::max(hi.y, p.y);
+  }
+  if (points_.empty()) {
+    lo_ = {0, 0};
+    hi = {0, 0};
+  }
+  // Keep the grid bounded: enlarging cells beyond the query radius is
+  // always safe (queries only get more candidates, never fewer).
+  constexpr int kMaxCellsPerAxis = 4096;
+  cell_ = std::max({cell_, (hi.x - lo_.x) / kMaxCellsPerAxis,
+                    (hi.y - lo_.y) / kMaxCellsPerAxis});
+  nx_ = std::max(1, static_cast<int>((hi.x - lo_.x) / cell_) + 1);
+  ny_ = std::max(1, static_cast<int>((hi.y - lo_.y) / cell_) + 1);
+  cells_.assign(static_cast<std::size_t>(nx_) * ny_, {});
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    cells_[static_cast<std::size_t>(cell_of(points_[i]))].push_back(
+        static_cast<int>(i));
+  }
+}
+
+int SpatialHash::clamp_cx(double x) const {
+  return std::clamp(static_cast<int>((x - lo_.x) / cell_), 0, nx_ - 1);
+}
+int SpatialHash::clamp_cy(double y) const {
+  return std::clamp(static_cast<int>((y - lo_.y) / cell_), 0, ny_ - 1);
+}
+
+int SpatialHash::cell_of(Vec2 p) const {
+  return clamp_cy(p.y) * nx_ + clamp_cx(p.x);
+}
+
+std::vector<int> SpatialHash::query(Vec2 p, double radius) const {
+  std::vector<int> out;
+  const int cx0 = clamp_cx(p.x - radius), cx1 = clamp_cx(p.x + radius);
+  const int cy0 = clamp_cy(p.y - radius), cy1 = clamp_cy(p.y + radius);
+  const double r2 = radius * radius;
+  for (int cy = cy0; cy <= cy1; ++cy) {
+    for (int cx = cx0; cx <= cx1; ++cx) {
+      for (int idx : cells_[static_cast<std::size_t>(cy) * nx_ + cx]) {
+        if (geom::dist2(points_[static_cast<std::size_t>(idx)], p) <= r2) {
+          out.push_back(idx);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void SpatialHash::for_each_pair(double radius,
+                                const std::function<void(int, int)>& fn) const {
+  const double r2 = radius * radius;
+  for (int cy = 0; cy < ny_; ++cy) {
+    for (int cx = 0; cx < nx_; ++cx) {
+      const auto& cell = cells_[static_cast<std::size_t>(cy) * nx_ + cx];
+      // Pairs within the cell.
+      for (std::size_t a = 0; a < cell.size(); ++a) {
+        for (std::size_t b = a + 1; b < cell.size(); ++b) {
+          if (geom::dist2(points_[static_cast<std::size_t>(cell[a])],
+                          points_[static_cast<std::size_t>(cell[b])]) <= r2) {
+            fn(std::min(cell[a], cell[b]), std::max(cell[a], cell[b]));
+          }
+        }
+      }
+      // Pairs against the 4 forward-neighbor cells (E, SW, S, SE pattern
+      // covers each unordered cell pair exactly once).
+      static constexpr int kDx[4] = {1, -1, 0, 1};
+      static constexpr int kDy[4] = {0, 1, 1, 1};
+      for (int d = 0; d < 4; ++d) {
+        const int ox = cx + kDx[d], oy = cy + kDy[d];
+        if (ox < 0 || ox >= nx_ || oy < 0 || oy >= ny_) continue;
+        const auto& other = cells_[static_cast<std::size_t>(oy) * nx_ + ox];
+        for (int i : cell) {
+          for (int j : other) {
+            if (geom::dist2(points_[static_cast<std::size_t>(i)],
+                            points_[static_cast<std::size_t>(j)]) <= r2) {
+              fn(std::min(i, j), std::max(i, j));
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace skelex::net

@@ -1,0 +1,41 @@
+// skelex/net/spatial_hash.h
+//
+// Uniform-grid spatial index over node positions. Turns the O(n^2)
+// all-pairs link test into O(n * expected-neighbors) by only testing
+// pairs within one cell ring of each other (cell size = query radius).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "geometry/vec2.h"
+
+namespace skelex::net {
+
+class SpatialHash {
+ public:
+  // Index `points` with grid cells of size `cell` (normally the radio
+  // model's max range).
+  SpatialHash(const std::vector<geom::Vec2>& points, double cell);
+
+  // All indices j with dist(points[j], p) <= radius. `radius` must be
+  // <= the construction cell size for completeness.
+  std::vector<int> query(geom::Vec2 p, double radius) const;
+
+  // Visit every unordered pair (i, j), i < j, with separation <= radius.
+  void for_each_pair(double radius,
+                     const std::function<void(int, int)>& fn) const;
+
+ private:
+  std::vector<geom::Vec2> points_;
+  geom::Vec2 lo_{};
+  double cell_ = 1.0;
+  int nx_ = 0, ny_ = 0;
+  std::vector<std::vector<int>> cells_;
+
+  int cell_of(geom::Vec2 p) const;
+  int clamp_cx(double x) const;
+  int clamp_cy(double y) const;
+};
+
+}  // namespace skelex::net

@@ -1,0 +1,68 @@
+#include "radio/radio_model.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace skelex::radio {
+
+using geom::Vec2;
+
+UnitDiskModel::UnitDiskModel(double range) : range_(range) {
+  if (range <= 0) throw std::invalid_argument("UDG range must be > 0");
+}
+
+bool UnitDiskModel::link(Vec2 a, Vec2 b, deploy::Rng&) const {
+  return geom::dist2(a, b) <= range_ * range_;
+}
+
+QuasiUnitDiskModel::QuasiUnitDiskModel(double range, double alpha, double p)
+    : range_(range), alpha_(alpha), p_(p) {
+  if (range <= 0) throw std::invalid_argument("QUDG range must be > 0");
+  if (alpha < 0 || alpha >= 1) throw std::invalid_argument("QUDG alpha in [0,1)");
+  if (p <= 0 || p >= 1) throw std::invalid_argument("QUDG p in (0,1)");
+}
+
+bool QuasiUnitDiskModel::link(Vec2 a, Vec2 b, deploy::Rng& rng) const {
+  const double d = geom::dist(a, b);
+  if (d < (1.0 - alpha_) * range_) return true;
+  if (d > (1.0 + alpha_) * range_) return false;
+  return rng.next_double() < p_;
+}
+
+LogNormalModel::LogNormalModel(double range, double xi, double cutoff_factor)
+    : range_(range), xi_(xi), cutoff_(cutoff_factor) {
+  if (range <= 0) throw std::invalid_argument("range must be > 0");
+  if (xi < 0) throw std::invalid_argument("xi must be >= 0");
+  if (cutoff_factor < 1) throw std::invalid_argument("cutoff factor >= 1");
+}
+
+double LogNormalModel::link_probability(double r_hat) const {
+  if (r_hat <= 0) return 1.0;
+  if (xi_ == 0.0) {
+    // Degenerates to UDG: erf(+-inf) = +-1.
+    return r_hat < 1.0 ? 1.0 : (r_hat == 1.0 ? 0.5 : 0.0);
+  }
+  // Eq. (2) of the paper; alpha = 10 / (sqrt(2) * log(10)).
+  static const double kAlpha = 10.0 / (std::sqrt(2.0) * std::log(10.0));
+  return 0.5 * (1.0 - std::erf(kAlpha * std::log10(r_hat) / xi_));
+}
+
+bool LogNormalModel::link(Vec2 a, Vec2 b, deploy::Rng& rng) const {
+  const double d = geom::dist(a, b);
+  if (d > range_ * cutoff_) return false;
+  return rng.next_double() < link_probability(d / range_);
+}
+
+std::unique_ptr<RadioModel> make_udg(double range) {
+  return std::make_unique<UnitDiskModel>(range);
+}
+
+std::unique_ptr<RadioModel> make_qudg(double range, double alpha, double p) {
+  return std::make_unique<QuasiUnitDiskModel>(range, alpha, p);
+}
+
+std::unique_ptr<RadioModel> make_lognormal(double range, double xi) {
+  return std::make_unique<LogNormalModel>(range, xi);
+}
+
+}  // namespace skelex::radio

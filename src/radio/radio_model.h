@@ -1,0 +1,91 @@
+// skelex/radio/radio_model.h
+//
+// Communication radio models (§IV): which pairs of deployed nodes share a
+// link. Three models from the paper:
+//   * UDG      — link iff separation <= R (the default model);
+//   * QUDG     — quasi unit-disk graph with uncertainty band
+//                [(1-alpha)R, (1+alpha)R], link probability p in the band
+//                (Fig. 6: alpha = 0.4, p = 0.3);
+//   * LogNormal— log-normal shadowing (Hekmat & Van Mieghem), Eq. (2):
+//                P(link at normalized distance r^) =
+//                  (1/2) [1 - erf(a * log10(r^) / xi)],
+//                xi = sigma/eta in [0, 6] (Fig. 7: xi = 0, 1, 2, 3).
+//
+// Models are symmetric: the decision for an unordered pair {i, j} is made
+// once, so the produced graph is undirected even for probabilistic models.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "deploy/rng.h"
+#include "geometry/vec2.h"
+
+namespace skelex::radio {
+
+class RadioModel {
+ public:
+  virtual ~RadioModel() = default;
+
+  // Decide whether an (undirected) link exists between positions a and b.
+  // `rng` supplies randomness for probabilistic models; deterministic
+  // models ignore it.
+  virtual bool link(geom::Vec2 a, geom::Vec2 b, deploy::Rng& rng) const = 0;
+
+  // Maximum distance at which link() can possibly return true; the graph
+  // builder uses it to bound neighbor queries.
+  virtual double max_range() const = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class UnitDiskModel final : public RadioModel {
+ public:
+  explicit UnitDiskModel(double range);
+  bool link(geom::Vec2 a, geom::Vec2 b, deploy::Rng& rng) const override;
+  double max_range() const override { return range_; }
+  std::string name() const override { return "UDG"; }
+  double range() const { return range_; }
+
+ private:
+  double range_;
+};
+
+class QuasiUnitDiskModel final : public RadioModel {
+ public:
+  // alpha in [0, 1): width of the uncertainty band; p in (0, 1): link
+  // probability inside the band.
+  QuasiUnitDiskModel(double range, double alpha, double p);
+  bool link(geom::Vec2 a, geom::Vec2 b, deploy::Rng& rng) const override;
+  double max_range() const override { return range_ * (1.0 + alpha_); }
+  std::string name() const override { return "QUDG"; }
+
+ private:
+  double range_;
+  double alpha_;
+  double p_;
+};
+
+class LogNormalModel final : public RadioModel {
+ public:
+  // xi = sigma/eta (paper's ξ); r is normalized by `range`. Links beyond
+  // cutoff_factor * range are truncated (their probability is negligible).
+  LogNormalModel(double range, double xi, double cutoff_factor = 3.0);
+  bool link(geom::Vec2 a, geom::Vec2 b, deploy::Rng& rng) const override;
+  double max_range() const override { return range_ * cutoff_; }
+  std::string name() const override { return "LogNormal"; }
+
+  // Link probability at normalized distance r_hat (exposed for tests).
+  double link_probability(double r_hat) const;
+
+ private:
+  double range_;
+  double xi_;
+  double cutoff_;
+};
+
+std::unique_ptr<RadioModel> make_udg(double range);
+std::unique_ptr<RadioModel> make_qudg(double range, double alpha, double p);
+std::unique_ptr<RadioModel> make_lognormal(double range, double xi);
+
+}  // namespace skelex::radio

@@ -1,0 +1,132 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+namespace skelex::sim {
+
+std::span<const int> NodeContext::neighbors() const {
+  return engine_.graph_.neighbors(node_);
+}
+
+void NodeContext::broadcast(Message m) { engine_.do_broadcast(node_, m); }
+
+void NodeContext::send(int to, Message m) { engine_.do_send(node_, to, m); }
+
+Engine::Engine(const net::Graph& graph) : graph_(graph) {}
+
+void Engine::set_jitter(int max_extra_rounds, std::uint64_t seed) {
+  if (max_extra_rounds < 0) {
+    throw std::invalid_argument("jitter must be >= 0");
+  }
+  max_jitter_ = max_extra_rounds;
+  jitter_state_ = seed | 1;  // splitmix needs nonzero progression anyway
+}
+
+void Engine::set_loss(double p, std::uint64_t seed) {
+  if (p < 0.0 || p >= 1.0) {
+    throw std::invalid_argument("loss probability must be in [0, 1)");
+  }
+  loss_ = p;
+  loss_state_ = seed | 1;
+}
+
+bool Engine::dropped() {
+  if (loss_ == 0.0) return false;
+  loss_state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = loss_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<double>(z >> 11) * 0x1.0p-53 < loss_;
+}
+
+int Engine::delivery_round() {
+  // Deliveries land 1..(1 + max_jitter_) rounds ahead; splitmix64 keeps
+  // the sequence deterministic for a given seed.
+  if (max_jitter_ == 0) return 0;
+  jitter_state_ += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = jitter_state_;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return static_cast<int>(z % static_cast<std::uint64_t>(max_jitter_ + 1));
+}
+
+std::vector<Engine::Envelope>& Engine::bucket(int extra) {
+  while (static_cast<int>(pending_.size()) <= extra) pending_.push_back({});
+  return pending_[static_cast<std::size_t>(extra)];
+}
+
+void Engine::do_broadcast(int from, Message m) {
+  m.sender = from;
+  ++current_.transmissions;
+  // One transmission: all listeners hear the same (possibly delayed)
+  // radio frame, so the delay is drawn once per transmission.
+  const int extra = delivery_round();
+  auto& out = bucket(extra);
+  for (int w : graph_.neighbors(from)) {
+    ++current_.receptions;
+    if (dropped()) continue;
+    out.push_back({w, m});
+  }
+}
+
+void Engine::do_send(int from, int to, Message m) {
+  if (to < 0 || to >= graph_.n()) throw std::out_of_range("send target");
+  m.sender = from;
+  ++current_.transmissions;
+  ++current_.receptions;
+  if (dropped()) return;
+  bucket(delivery_round()).push_back({to, m});
+}
+
+RunStats Engine::run(Protocol& protocol, int max_rounds) {
+  current_ = RunStats{};
+  pending_.clear();
+
+  for (int v = 0; v < graph_.n(); ++v) {
+    NodeContext ctx(*this, v, 0);
+    protocol.on_start(ctx);
+  }
+
+  std::vector<Envelope> inbox;
+  const auto has_pending = [&] {
+    for (const auto& b : pending_) {
+      if (!b.empty()) return true;
+    }
+    return false;
+  };
+  while (has_pending() && current_.rounds < max_rounds) {
+    ++current_.rounds;
+    inbox.clear();
+    if (!pending_.empty()) {
+      inbox.swap(pending_.front());
+      pending_.erase(pending_.begin());
+    }
+    // Deterministic delivery: within a round each node processes its
+    // messages in a canonical order, independent of transmission order.
+    // This makes protocol results reproducible and lets the distributed
+    // stage implementations match their centralized equivalents exactly.
+    std::sort(inbox.begin(), inbox.end(),
+              [](const Envelope& a, const Envelope& b) {
+                return std::tie(a.to, a.msg.kind, a.msg.hops, a.msg.origin,
+                                a.msg.sender, a.msg.payload) <
+                       std::tie(b.to, b.msg.kind, b.msg.hops, b.msg.origin,
+                                b.msg.sender, b.msg.payload);
+              });
+    for (const Envelope& env : inbox) {
+      NodeContext ctx(*this, env.to, current_.rounds);
+      protocol.on_message(ctx, env.msg);
+    }
+  }
+  if (has_pending()) {
+    throw std::runtime_error("sim::Engine hit the round cap before quiescence");
+  }
+  total_ += current_;
+  return current_;
+}
+
+}  // namespace skelex::sim

@@ -1,0 +1,124 @@
+// skelex/sim/engine.h
+//
+// Synchronous round-based message-passing simulator.
+//
+// This is the execution model the paper's complexity analysis (§V-A)
+// assumes: in each round every node processes the messages that reached
+// it at the end of the previous round and may transmit new ones. A
+// wireless *broadcast* to all neighbors counts as ONE transmission (the
+// radio transmits once; all neighbors hear it) — this matches how the
+// paper counts "message complexity O((k+l+1)n)": each node forwards each
+// flood wave at most once.
+//
+// Protocols keep their own per-node state (indexed by node id) and react
+// to two hooks: on_start (round 0) and on_message. The engine runs until
+// quiescence (no messages in flight) or a round cap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/graph.h"
+#include "sim/stats.h"
+
+namespace skelex::sim {
+
+// A compact, protocol-agnostic message. Protocols assign meaning to the
+// fields; keeping it POD makes the engine allocation-free per delivery.
+struct Message {
+  int kind = 0;      // protocol-defined discriminator
+  int origin = 0;    // typically: the node that started the flood
+  int hops = 0;      // hop counter carried by flood messages
+  std::int64_t payload = 0;  // protocol-defined extra data
+  int sender = -1;   // filled in by the engine on delivery
+};
+
+class Engine;
+
+// Handed to protocol hooks; scoped to one (node, round).
+class NodeContext {
+ public:
+  int node() const { return node_; }
+  int round() const { return round_; }
+  std::span<const int> neighbors() const;
+
+  // Transmit to all neighbors: one transmission, degree receptions.
+  void broadcast(Message m);
+  // Transmit to a single neighbor (e.g., reverse-path routing).
+  void send(int to, Message m);
+
+ private:
+  friend class Engine;
+  NodeContext(Engine& e, int node, int round)
+      : engine_(e), node_(node), round_(round) {}
+  Engine& engine_;
+  int node_;
+  int round_;
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+  // Called once per node before round 0's deliveries.
+  virtual void on_start(NodeContext& ctx) = 0;
+  // Called for each message delivered to a node.
+  virtual void on_message(NodeContext& ctx, const Message& m) = 0;
+};
+
+class Engine {
+ public:
+  // The engine borrows `graph`; it must outlive the engine.
+  explicit Engine(const net::Graph& graph);
+
+  // Asynchrony injection: every transmission is delayed by an extra
+  // 0..max_extra_rounds rounds, drawn deterministically from `seed`.
+  // The paper's §III-B assumes floods start "at roughly the same time"
+  // and travel "at approximately the same speed"; jitter breaks that
+  // assumption in a controlled way (messages can overtake each other, a
+  // node's first-arrival record may come along a longer path).
+  // 0 restores the fully synchronous model.
+  void set_jitter(int max_extra_rounds, std::uint64_t seed = 1);
+
+  // Unreliable links: every RECEPTION is independently dropped with
+  // probability `p` (the transmission still costs; distinct listeners of
+  // one broadcast fail independently, as real radios do). 0 restores
+  // reliable delivery. Dropped receptions are counted in
+  // RunStats::receptions ("the radio heard noise") but never delivered.
+  void set_loss(double p, std::uint64_t seed = 2);
+
+  // Runs `protocol` to quiescence (or max_rounds) and returns statistics.
+  // Resets stats at entry, so an Engine can run several protocols in
+  // sequence over the same graph (cumulative stats available via total()).
+  RunStats run(Protocol& protocol, int max_rounds = 1 << 20);
+
+  // Stats accumulated over every run() since construction.
+  const RunStats& total() const { return total_; }
+
+  const net::Graph& graph() const { return graph_; }
+
+ private:
+  friend class NodeContext;
+  struct Envelope {
+    int to;
+    Message msg;
+  };
+
+  void do_broadcast(int from, Message m);
+  void do_send(int from, int to, Message m);
+  int delivery_round();
+  bool dropped();
+  std::vector<Envelope>& bucket(int round);
+
+  const net::Graph& graph_;
+  // Messages scheduled per future round (index = round - current - 1 in
+  // the pending deque).
+  std::vector<std::vector<Envelope>> pending_;
+  int max_jitter_ = 0;
+  std::uint64_t jitter_state_ = 0;
+  double loss_ = 0.0;
+  std::uint64_t loss_state_ = 0;
+  RunStats current_;
+  RunStats total_;
+};
+
+}  // namespace skelex::sim

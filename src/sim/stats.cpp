@@ -1,0 +1,21 @@
+#include "sim/stats.h"
+
+#include <ostream>
+
+namespace skelex::sim {
+
+RunStats& RunStats::operator+=(const RunStats& o) {
+  rounds += o.rounds;
+  transmissions += o.transmissions;
+  receptions += o.receptions;
+  return *this;
+}
+
+RunStats operator+(RunStats a, const RunStats& b) { return a += b; }
+
+std::ostream& operator<<(std::ostream& os, const RunStats& s) {
+  return os << "{rounds=" << s.rounds << ", tx=" << s.transmissions
+            << ", rx=" << s.receptions << '}';
+}
+
+}  // namespace skelex::sim

@@ -1,0 +1,25 @@
+// skelex/sim/stats.h
+//
+// Accounting for distributed runs: rounds to quiescence, transmissions
+// (radio sends; a broadcast is one), receptions (per-listener deliveries).
+// bench_thm5_complexity uses these to reproduce the paper's Theorem 5
+// claims: transmissions = O((k + l + 1) n), rounds = O(sqrt(n)).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace skelex::sim {
+
+struct RunStats {
+  int rounds = 0;
+  std::int64_t transmissions = 0;
+  std::int64_t receptions = 0;
+
+  RunStats& operator+=(const RunStats& o);
+};
+
+RunStats operator+(RunStats a, const RunStats& b);
+std::ostream& operator<<(std::ostream& os, const RunStats& s);
+
+}  // namespace skelex::sim

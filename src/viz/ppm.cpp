@@ -1,0 +1,58 @@
+#include "viz/ppm.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace skelex::viz {
+
+PpmImage::PpmImage(int width, int height, Rgb fill)
+    : w_(width), h_(height),
+      px_(static_cast<std::size_t>(width) * static_cast<std::size_t>(height),
+          fill) {
+  if (width <= 0 || height <= 0) {
+    throw std::invalid_argument("PpmImage dimensions must be positive");
+  }
+}
+
+void PpmImage::set(int x, int y, Rgb c) {
+  if (x < 0 || x >= w_ || y < 0 || y >= h_) return;
+  px_[static_cast<std::size_t>(y) * w_ + x] = c;
+}
+
+Rgb PpmImage::get(int x, int y) const {
+  if (x < 0 || x >= w_ || y < 0 || y >= h_) return {};
+  return px_[static_cast<std::size_t>(y) * w_ + x];
+}
+
+void PpmImage::dot(int cx, int cy, int radius, Rgb c) {
+  for (int dy = -radius; dy <= radius; ++dy) {
+    for (int dx = -radius; dx <= radius; ++dx) {
+      if (dx * dx + dy * dy <= radius * radius) set(cx + dx, cy + dy, c);
+    }
+  }
+}
+
+void PpmImage::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << "P6\n" << w_ << ' ' << h_ << "\n255\n";
+  out.write(reinterpret_cast<const char*>(px_.data()),
+            static_cast<std::streamsize>(px_.size() * sizeof(Rgb)));
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+Rgb heat_color(double t) {
+  t = std::clamp(t, 0.0, 1.0);
+  // Blue (cold) -> white -> red (hot).
+  if (t < 0.5) {
+    const double u = t * 2.0;
+    return {static_cast<std::uint8_t>(60 + 195 * u),
+            static_cast<std::uint8_t>(90 + 165 * u), 255};
+  }
+  const double u = (t - 0.5) * 2.0;
+  return {255, static_cast<std::uint8_t>(255 - 175 * u),
+          static_cast<std::uint8_t>(255 - 215 * u)};
+}
+
+}  // namespace skelex::viz

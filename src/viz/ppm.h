@@ -1,0 +1,41 @@
+// skelex/viz/ppm.h
+//
+// Tiny raster writer (binary PPM, P6). Used for quick density heatmaps
+// (e.g., the index field of stage 1) where SVG would be too heavy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace skelex::viz {
+
+struct Rgb {
+  std::uint8_t r = 0, g = 0, b = 0;
+};
+
+class PpmImage {
+ public:
+  PpmImage(int width, int height, Rgb fill = {255, 255, 255});
+
+  int width() const { return w_; }
+  int height() const { return h_; }
+
+  void set(int x, int y, Rgb c);  // out-of-range pixels are ignored
+  Rgb get(int x, int y) const;
+
+  // Filled disk.
+  void dot(int cx, int cy, int radius, Rgb c);
+
+  // Writes the file; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  int w_, h_;
+  std::vector<Rgb> px_;
+};
+
+// Simple blue->red heat color for t in [0, 1].
+Rgb heat_color(double t);
+
+}  // namespace skelex::viz

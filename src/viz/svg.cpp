@@ -1,0 +1,164 @@
+#include "viz/svg.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace skelex::viz {
+
+namespace {
+constexpr double kMargin = 10.0;
+
+const char* kPalette[] = {
+    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b",
+    "#e377c2", "#7f7f7f", "#bcbd22", "#17becf", "#aec7e8", "#ffbb78",
+    "#98df8a", "#ff9896", "#c5b0d5", "#c49c94", "#f7b6d2", "#c7c7c7",
+};
+constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+}  // namespace
+
+SvgWriter::SvgWriter(geom::Vec2 lo, geom::Vec2 hi, double pixels)
+    : lo_(lo), hi_(hi) {
+  if (hi.x <= lo.x || hi.y <= lo.y) {
+    throw std::invalid_argument("SvgWriter: empty bounding box");
+  }
+  const double wx = hi.x - lo.x, wy = hi.y - lo.y;
+  scale_ = pixels / std::max(wx, wy);
+  w_ = wx * scale_ + 2 * kMargin;
+  h_ = wy * scale_ + 2 * kMargin;
+}
+
+geom::Vec2 SvgWriter::to_canvas(geom::Vec2 p) const {
+  // Flip y: SVG grows downward, world grows upward.
+  return {kMargin + (p.x - lo_.x) * scale_,
+          h_ - kMargin - (p.y - lo_.y) * scale_};
+}
+
+void SvgWriter::add_graph_edges(const net::Graph& g, const std::string& color,
+                                double width) {
+  std::ostringstream os;
+  os << "<g stroke=\"" << color << "\" stroke-width=\"" << width << "\">\n";
+  for (int v = 0; v < g.n(); ++v) {
+    for (int w : g.neighbors(v)) {
+      if (w <= v) continue;
+      const geom::Vec2 a = to_canvas(g.position(v));
+      const geom::Vec2 b = to_canvas(g.position(w));
+      os << "<line x1=\"" << a.x << "\" y1=\"" << a.y << "\" x2=\"" << b.x
+         << "\" y2=\"" << b.y << "\"/>\n";
+    }
+  }
+  os << "</g>\n";
+  body_ += os.str();
+}
+
+void SvgWriter::add_graph_nodes(const net::Graph& g, const std::string& color,
+                                double radius) {
+  std::ostringstream os;
+  os << "<g fill=\"" << color << "\">\n";
+  for (int v = 0; v < g.n(); ++v) {
+    const geom::Vec2 p = to_canvas(g.position(v));
+    os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\"" << radius
+       << "\"/>\n";
+  }
+  os << "</g>\n";
+  body_ += os.str();
+}
+
+void SvgWriter::add_nodes(const net::Graph& g, const std::vector<int>& nodes,
+                          const std::string& color, double radius) {
+  std::ostringstream os;
+  os << "<g fill=\"" << color << "\">\n";
+  for (int v : nodes) {
+    const geom::Vec2 p = to_canvas(g.position(v));
+    os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\"" << radius
+       << "\"/>\n";
+  }
+  os << "</g>\n";
+  body_ += os.str();
+}
+
+void SvgWriter::add_skeleton(const net::Graph& g, const core::SkeletonGraph& sk,
+                             const std::string& color, double width) {
+  std::ostringstream os;
+  os << "<g stroke=\"" << color << "\" stroke-width=\"" << width
+     << "\" fill=\"" << color << "\">\n";
+  for (int v : sk.nodes()) {
+    for (int w : sk.neighbors(v)) {
+      if (w <= v) continue;
+      const geom::Vec2 a = to_canvas(g.position(v));
+      const geom::Vec2 b = to_canvas(g.position(w));
+      os << "<line x1=\"" << a.x << "\" y1=\"" << a.y << "\" x2=\"" << b.x
+         << "\" y2=\"" << b.y << "\"/>\n";
+    }
+    const geom::Vec2 p = to_canvas(g.position(v));
+    os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\""
+       << width * 0.9 << "\"/>\n";
+  }
+  os << "</g>\n";
+  body_ += os.str();
+}
+
+void SvgWriter::add_labeled_nodes(const net::Graph& g,
+                                  const std::vector<int>& label,
+                                  double radius) {
+  std::ostringstream os;
+  os << "<g>\n";
+  for (int v = 0; v < g.n(); ++v) {
+    const int lab = label[static_cast<std::size_t>(v)];
+    if (lab < 0) continue;
+    const geom::Vec2 p = to_canvas(g.position(v));
+    os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\"" << radius
+       << "\" fill=\"" << kPalette[static_cast<std::size_t>(lab) % kPaletteSize]
+       << "\"/>\n";
+  }
+  os << "</g>\n";
+  body_ += os.str();
+}
+
+void SvgWriter::add_region_outline(const geom::Region& region,
+                                   const std::string& color, double width) {
+  std::ostringstream os;
+  os << "<g stroke=\"" << color << "\" stroke-width=\"" << width
+     << "\" fill=\"none\">\n";
+  auto draw_ring = [&](const geom::Ring& ring) {
+    os << "<polygon points=\"";
+    for (const geom::Vec2& p : ring.points()) {
+      const geom::Vec2 c = to_canvas(p);
+      os << c.x << ',' << c.y << ' ';
+    }
+    os << "\"/>\n";
+  };
+  draw_ring(region.outer());
+  for (const geom::Ring& h : region.holes()) draw_ring(h);
+  os << "</g>\n";
+  body_ += os.str();
+}
+
+void SvgWriter::add_text(geom::Vec2 world_pos, const std::string& text,
+                         const std::string& color, double size) {
+  const geom::Vec2 p = to_canvas(world_pos);
+  std::ostringstream os;
+  os << "<text x=\"" << p.x << "\" y=\"" << p.y << "\" fill=\"" << color
+     << "\" font-size=\"" << size << "\" font-family=\"sans-serif\">" << text
+     << "</text>\n";
+  body_ += os.str();
+}
+
+std::string SvgWriter::str() const {
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w_
+     << "\" height=\"" << h_ << "\" viewBox=\"0 0 " << w_ << ' ' << h_
+     << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
+     << body_ << "</svg>\n";
+  return os.str();
+}
+
+void SvgWriter::save(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open " + path);
+  out << str();
+  if (!out) throw std::runtime_error("failed writing " + path);
+}
+
+}  // namespace skelex::viz

@@ -1,0 +1,59 @@
+// skelex/viz/svg.h
+//
+// SVG rendering of networks and skeletons. The paper's results ARE
+// pictures (Figs. 1, 3-8); every bench writes its figures as SVG next to
+// the printed metrics so the shape claims can be inspected directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/skeleton_graph.h"
+#include "geometry/polygon.h"
+#include "net/graph.h"
+
+namespace skelex::viz {
+
+class SvgWriter {
+ public:
+  // Canvas mapped from the world bounding box [lo, hi]; `pixels` is the
+  // width of the longer canvas side.
+  SvgWriter(geom::Vec2 lo, geom::Vec2 hi, double pixels = 800.0);
+
+  // Light rendering of every network link.
+  void add_graph_edges(const net::Graph& g, const std::string& color = "#dddddd",
+                       double width = 0.5);
+  // All nodes as dots.
+  void add_graph_nodes(const net::Graph& g, const std::string& color = "#bbbbbb",
+                       double radius = 1.2);
+  // A subset of nodes (ids) highlighted.
+  void add_nodes(const net::Graph& g, const std::vector<int>& nodes,
+                 const std::string& color, double radius = 2.5);
+  // Skeleton edges (bold) + nodes.
+  void add_skeleton(const net::Graph& g, const core::SkeletonGraph& sk,
+                    const std::string& color = "#d62728", double width = 2.0);
+  // Nodes colored by an integer label (e.g., segmentation), cycling a
+  // categorical palette.
+  void add_labeled_nodes(const net::Graph& g, const std::vector<int>& label,
+                         double radius = 1.6);
+  // Region boundary outline (ground truth, for orientation).
+  void add_region_outline(const geom::Region& region,
+                          const std::string& color = "#999999",
+                          double width = 1.0);
+  void add_text(geom::Vec2 world_pos, const std::string& text,
+                const std::string& color = "#333333", double size = 12.0);
+
+  std::string str() const;
+  // Writes the file; throws std::runtime_error on I/O failure.
+  void save(const std::string& path) const;
+
+ private:
+  geom::Vec2 lo_, hi_;
+  double scale_ = 1.0;
+  double w_ = 0.0, h_ = 0.0;
+  std::string body_;
+
+  geom::Vec2 to_canvas(geom::Vec2 p) const;
+};
+
+}  // namespace skelex::viz

@@ -1,0 +1,84 @@
+// The algorithm is connectivity-only, so it is dimension-agnostic: on
+// 3-D tubular / genus-g volumes the extracted curve skeleton must carry
+// one cycle per tunnel and stay connected. (3-D is the paper's cited
+// future-work direction — CABET/CONSEL [12], [13].)
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "geometry3/deploy3.h"
+
+namespace skelex {
+namespace {
+
+struct VolumeCase {
+  geom3::Volume volume;
+  int nodes;
+  double degree;
+  std::uint64_t seed;
+};
+
+class Volume3Test : public ::testing::TestWithParam<VolumeCase> {};
+
+TEST_P(Volume3Test, SkeletonMatchesTunnelCount) {
+  const VolumeCase& tc = GetParam();
+  const geom3::Scenario3 sc = geom3::make_udg_scenario3(
+      tc.volume, tc.nodes, tc.degree, tc.seed);
+  ASSERT_GT(sc.graph.n(), tc.nodes / 2) << tc.volume.name << " fragmented";
+  ASSERT_EQ(sc.positions.size(), static_cast<std::size_t>(sc.graph.n()));
+
+  const core::SkeletonResult r =
+      core::extract_skeleton(sc.graph, core::Params{});
+  EXPECT_EQ(r.skeleton.component_count(), 1) << tc.volume.name;
+  EXPECT_EQ(r.skeleton_cycle_rank(), tc.volume.tunnels) << tc.volume.name;
+  EXPECT_GT(r.skeleton.node_count(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Volumes, Volume3Test,
+    ::testing::Values(VolumeCase{geom3::box(), 2000, 11.0, 1},
+                      VolumeCase{geom3::box_with_tunnel(), 3200, 11.0, 2},
+                      VolumeCase{geom3::box_with_two_tunnels(), 3200, 11.0, 3},
+                      VolumeCase{geom3::torus(), 2000, 11.0, 4},
+                      VolumeCase{geom3::u_duct(), 1800, 11.0, 5}),
+    [](const auto& info) { return info.param.volume.name; });
+
+TEST(Volume3, TorusSkeletonHugsTheCoreCircle) {
+  const geom3::Volume vol = geom3::torus(24, 8);
+  const geom3::Scenario3 sc = geom3::make_udg_scenario3(vol, 2200, 11.0, 7);
+  const core::SkeletonResult r =
+      core::extract_skeleton(sc.graph, core::Params{});
+  ASSERT_GT(r.skeleton.node_count(), 10);
+  // Every skeleton node lies near the core circle: ring coordinate close
+  // to the major radius, z close to the torus plane.
+  const double c = 24 + 8 + 2;
+  double max_ring_err = 0, max_z_err = 0;
+  for (int v : r.skeleton.nodes()) {
+    const geom3::Vec3 p = sc.positions[static_cast<std::size_t>(v)];
+    const double ring =
+        std::sqrt((p.x - c) * (p.x - c) + (p.y - c) * (p.y - c));
+    max_ring_err = std::max(max_ring_err, std::abs(ring - 24.0));
+    max_z_err = std::max(max_z_err, std::abs(p.z - c));
+  }
+  // Inside the tube (radius 8), and in fact well centered.
+  EXPECT_LT(max_ring_err, 6.5);
+  EXPECT_LT(max_z_err, 6.5);
+}
+
+TEST(Volume3, DeploymentStaysInsideTheVolume) {
+  const geom3::Volume vol = geom3::box_with_tunnel();
+  deploy::Rng rng(3);
+  const auto pts = geom3::jittered_grid_in_volume(vol, 1500, 0.35, rng);
+  EXPECT_NEAR(static_cast<double>(pts.size()), 1500.0, 400.0);
+  for (const geom3::Vec3& p : pts) {
+    EXPECT_TRUE(vol.contains(p));
+  }
+}
+
+TEST(Volume3, CalibrationHitsTargetDegree) {
+  const geom3::Volume vol = geom3::box(40, 40, 40);
+  const geom3::Scenario3 sc = geom3::make_udg_scenario3(vol, 1200, 10.0, 9);
+  EXPECT_NEAR(sc.graph.avg_degree(), 10.0, 1.0);
+}
+
+}  // namespace
+}  // namespace skelex

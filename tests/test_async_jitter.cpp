@@ -1,0 +1,170 @@
+// Asynchrony robustness: the paper's §III-B assumes the site floods
+// start "at roughly the same time" and travel "at approximately the same
+// speed". Engine::set_jitter breaks that assumption with bounded random
+// per-transmission delays; these tests check the degradation is graceful.
+#include <gtest/gtest.h>
+
+#include "core/protocols.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "metrics/homotopy.h"
+#include "sim/engine.h"
+
+namespace skelex {
+namespace {
+
+net::Graph path_graph(int n) {
+  net::Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+// Re-used from the engine tests: a single flood wave.
+class WaveProtocol final : public sim::Protocol {
+ public:
+  explicit WaveProtocol(int n) : heard_round_(static_cast<std::size_t>(n), -1) {}
+  void on_start(sim::NodeContext& ctx) override {
+    if (ctx.node() == 0) {
+      heard_round_[0] = 0;
+      ctx.broadcast({1, 0, 0, 0, -1});
+    }
+  }
+  void on_message(sim::NodeContext& ctx, const sim::Message& m) override {
+    auto& h = heard_round_[static_cast<std::size_t>(ctx.node())];
+    if (h != -1) return;
+    h = ctx.round();
+    ctx.broadcast({1, m.origin, m.hops + 1, 0, -1});
+  }
+  std::vector<int> heard_round_;
+};
+
+TEST(Jitter, ZeroJitterIsSynchronous) {
+  const net::Graph g = path_graph(5);
+  sim::Engine e(g);
+  e.set_jitter(0);
+  WaveProtocol p(5);
+  e.run(p);
+  EXPECT_EQ(p.heard_round_, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Jitter, DelaysAreBoundedAndDeterministic) {
+  const net::Graph g = path_graph(8);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    sim::Engine e1(g), e2(g);
+    e1.set_jitter(2, seed);
+    e2.set_jitter(2, seed);
+    WaveProtocol p1(8), p2(8);
+    e1.run(p1);
+    e2.run(p2);
+    EXPECT_EQ(p1.heard_round_, p2.heard_round_) << "seed " << seed;
+    for (int v = 1; v < 8; ++v) {
+      // Arrival no earlier than the hop distance, no later than
+      // distance * (1 + max_jitter).
+      EXPECT_GE(p1.heard_round_[static_cast<std::size_t>(v)], v);
+      EXPECT_LE(p1.heard_round_[static_cast<std::size_t>(v)], v * 3);
+    }
+  }
+}
+
+TEST(Jitter, NegativeJitterRejected) {
+  const net::Graph g = path_graph(3);
+  sim::Engine e(g);
+  EXPECT_THROW(e.set_jitter(-1), std::invalid_argument);
+}
+
+TEST(Jitter, DistributedExtractionMatchesCentralizedAtZero) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 700;
+  spec.target_avg_deg = 7.5;
+  spec.seed = 8;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::lshape(), spec);
+  const core::SkeletonResult central =
+      core::extract_skeleton(sc.graph, core::Params{});
+  const core::DistributedExtraction dist =
+      core::extract_skeleton_distributed(sc.graph, core::Params{}, 0);
+  EXPECT_EQ(dist.result.skeleton.nodes(), central.skeleton.nodes());
+  EXPECT_EQ(dist.result.skeleton.edge_count(), central.skeleton.edge_count());
+  EXPECT_GT(dist.stats.transmissions, 0);
+}
+
+// Moderate jitter must not destroy the skeleton's topology on the
+// flagship scenario.
+class JitterRobustnessTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JitterRobustnessTest, HomotopySurvivesJitter) {
+  const int jitter = GetParam();
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 2000;
+  spec.target_avg_deg = 7.5;
+  spec.seed = 9;
+  const geom::Region region = geom::shapes::two_holes();
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const core::DistributedExtraction dist =
+      core::extract_skeleton_distributed(sc.graph, core::Params{}, jitter, 42);
+  EXPECT_EQ(dist.result.skeleton.component_count(), 1);
+  const metrics::HomotopyCheck hom =
+      metrics::check_homotopy(sc.graph, dist.result.skeleton, region);
+  EXPECT_TRUE(hom.ok) << "jitter " << jitter << ": cycles "
+                      << hom.skeleton_cycles << " vs holes "
+                      << hom.region_holes;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, JitterRobustnessTest,
+                         ::testing::Values(0, 1, 2));
+
+TEST(Loss, ValidationAndDeterminism) {
+  net::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  sim::Engine e(g);
+  EXPECT_THROW(e.set_loss(-0.1), std::invalid_argument);
+  EXPECT_THROW(e.set_loss(1.0), std::invalid_argument);
+  EXPECT_NO_THROW(e.set_loss(0.5, 7));
+}
+
+TEST(Loss, LossyFloodReachesFewerNodes) {
+  // A 30%-lossy k-hop flood undercounts neighborhoods but never
+  // overcounts them.
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 600;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 3;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::disk(), spec);
+  sim::Engine reliable(sc.graph), lossy(sc.graph);
+  lossy.set_loss(0.3, 11);
+  core::KhopSizeProtocol p1(sc.graph.n(), 4), p2(sc.graph.n(), 4);
+  reliable.run(p1);
+  lossy.run(p2);
+  const auto exact = p1.sizes();
+  const auto rough = p2.sizes();
+  long long exact_sum = 0, rough_sum = 0;
+  for (int v = 0; v < sc.graph.n(); ++v) {
+    EXPECT_LE(rough[static_cast<std::size_t>(v)],
+              exact[static_cast<std::size_t>(v)]);
+    exact_sum += exact[static_cast<std::size_t>(v)];
+    rough_sum += rough[static_cast<std::size_t>(v)];
+  }
+  EXPECT_LT(rough_sum, exact_sum);
+  EXPECT_GT(rough_sum, exact_sum / 4);  // flooding has path diversity
+}
+
+TEST(Loss, ModerateLossKeepsHomotopy) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 2000;
+  spec.target_avg_deg = 7.5;
+  spec.seed = 9;
+  const geom::Region region = geom::shapes::two_holes();
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const core::DistributedExtraction dist = core::extract_skeleton_distributed(
+      sc.graph, core::Params{}, /*jitter=*/0, /*seed=*/42, /*loss=*/0.1);
+  EXPECT_EQ(dist.result.skeleton.component_count(), 1);
+  const metrics::HomotopyCheck hom =
+      metrics::check_homotopy(sc.graph, dist.result.skeleton, region);
+  EXPECT_TRUE(hom.ok) << "cycles " << hom.skeleton_cycles << " vs holes "
+                      << hom.region_holes;
+}
+
+}  // namespace
+}  // namespace skelex

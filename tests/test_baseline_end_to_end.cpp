@@ -1,0 +1,115 @@
+// End-to-end baseline runs on richer shapes: CASE on the Window network
+// (boundary rings with corners, four holes) and the degradation path
+// when baselines consume DETECTED instead of oracle boundaries — the
+// paper's core argument for boundary-free extraction.
+#include <gtest/gtest.h>
+
+#include "baseline/case.h"
+#include "baseline/map.h"
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/medial_axis_ref.h"
+#include "geometry/shapes.h"
+#include "metrics/quality.h"
+
+namespace skelex::baseline {
+namespace {
+
+deploy::Scenario window_scenario(std::uint64_t seed) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 2592;
+  spec.target_avg_deg = 7.5;
+  spec.seed = seed;
+  return deploy::make_udg_scenario(geom::shapes::window(), spec);
+}
+
+TEST(CaseEndToEnd, WindowWithOracleBoundary) {
+  const geom::Region region = geom::shapes::window();
+  const deploy::Scenario sc = window_scenario(71);
+  const BoundaryInfo oracle = geometric_boundary(sc.graph, region, 2.5);
+  // Window has 5 boundary rings; the oracle must cover all of them.
+  bool ring_seen[5] = {};
+  for (const BoundaryNode& b : oracle.nodes) {
+    ASSERT_GE(b.ring, 0);
+    ASSERT_LT(b.ring, 5);
+    ring_seen[b.ring] = true;
+  }
+  for (bool seen : ring_seen) EXPECT_TRUE(seen);
+
+  const BaselineSkeleton cs =
+      case_skeleton(sc.graph, oracle, region, CaseParams{});
+  ASSERT_GT(cs.graph.node_count(), 20);
+  EXPECT_EQ(cs.graph.component_count(), 1);
+  // CASE's skeleton is medial too (it has the luxury of the boundary).
+  const geom::ReferenceMedialAxis axis(region);
+  const metrics::Medialness med = metrics::medialness(sc.graph, cs.graph, axis);
+  EXPECT_LT(med.mean, 2.0 * sc.range);
+}
+
+TEST(MapEndToEnd, WindowWithOracleBoundary) {
+  const geom::Region region = geom::shapes::window();
+  const deploy::Scenario sc = window_scenario(72);
+  const BoundaryInfo oracle = geometric_boundary(sc.graph, region, 2.5);
+  const BaselineSkeleton map = map_skeleton(sc.graph, oracle, MapParams{});
+  ASSERT_GT(map.graph.node_count(), 20);
+  EXPECT_EQ(map.graph.component_count(), 1);
+  const geom::ReferenceMedialAxis axis(region);
+  const metrics::Medialness med =
+      metrics::medialness(sc.graph, map.graph, axis);
+  EXPECT_LT(med.mean, 2.0 * sc.range);
+}
+
+TEST(Baselines, DetectedBoundariesDegradeMap) {
+  // With a statistical detector instead of the oracle, MAP bloats: many
+  // interior nodes read as "equidistant to far-apart boundary nodes"
+  // because the detected boundary is noisy. Ours needs no boundary at
+  // all — the paper's thesis, measured.
+  const geom::Region region = geom::shapes::window();
+  const deploy::Scenario sc = window_scenario(73);
+  const BoundaryInfo oracle = geometric_boundary(sc.graph, region, 2.5);
+  const BoundaryInfo detected = statistical_boundary(sc.graph, 3, 0.2);
+  const BaselineSkeleton map_oracle =
+      map_skeleton(sc.graph, oracle, MapParams{});
+  const BaselineSkeleton map_detected =
+      map_skeleton(sc.graph, detected, MapParams{});
+  EXPECT_GT(map_detected.graph.node_count(),
+            2 * map_oracle.graph.node_count());
+
+  const core::SkeletonResult ours =
+      core::extract_skeleton(sc.graph, core::Params{});
+  const geom::ReferenceMedialAxis axis(region);
+  const double ours_mean =
+      metrics::medialness(sc.graph, ours.skeleton, axis).mean;
+  const double detected_mean =
+      metrics::medialness(sc.graph, map_detected.graph, axis).mean;
+  EXPECT_LT(ours_mean, detected_mean);
+}
+
+TEST(CaseEndToEnd, DistanceTransformExposedForInspection) {
+  const geom::Region region = geom::shapes::rect(60, 30);
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 700;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 74;
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const BoundaryInfo oracle = geometric_boundary(sc.graph, region, 2.0);
+  const BaselineSkeleton cs =
+      case_skeleton(sc.graph, oracle, region, CaseParams{});
+  ASSERT_EQ(cs.dist_to_boundary.size(),
+            static_cast<std::size_t>(sc.graph.n()));
+  // Boundary nodes have distance 0; skeleton nodes are the farthest.
+  for (const BoundaryNode& b : oracle.nodes) {
+    EXPECT_EQ(cs.dist_to_boundary[static_cast<std::size_t>(b.node)], 0);
+  }
+  int max_d = 0;
+  for (int d : cs.dist_to_boundary) max_d = std::max(max_d, d);
+  int skel_max = 0;
+  for (int v : cs.graph.nodes()) {
+    skel_max =
+        std::max(skel_max, cs.dist_to_boundary[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_GE(skel_max, max_d - 1);
+}
+
+}  // namespace
+}  // namespace skelex::baseline

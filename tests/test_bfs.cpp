@@ -1,0 +1,128 @@
+#include "net/bfs.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace skelex::net {
+namespace {
+
+// 0-1-2-3-4 path plus a 5-6-7 triangle hanging off node 2 via 5.
+Graph sample_graph() {
+  Graph g(8);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(2, 5);
+  g.add_edge(5, 6);
+  g.add_edge(6, 7);
+  g.add_edge(5, 7);
+  return g;
+}
+
+TEST(Bfs, DistancesFromSource) {
+  const Graph g = sample_graph();
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4, 3, 4, 4}));
+}
+
+TEST(Bfs, MaxDepthTruncates) {
+  const Graph g = sample_graph();
+  const auto d = bfs_distances(g, 0, 2);
+  EXPECT_EQ(d[2], 2);
+  EXPECT_EQ(d[3], kUnreached);
+  EXPECT_EQ(d[5], kUnreached);
+}
+
+TEST(Bfs, DisconnectedUnreached) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[2], kUnreached);
+  EXPECT_THROW(bfs_distances(g, 5), std::out_of_range);
+}
+
+TEST(MultiSourceBfs, NearestAndParent) {
+  const Graph g = sample_graph();
+  const auto r = multi_source_bfs(g, {0, 4});
+  EXPECT_EQ(r.dist[0], 0);
+  EXPECT_EQ(r.dist[4], 0);
+  EXPECT_EQ(r.dist[2], 2);
+  EXPECT_EQ(r.nearest[1], 0);  // index into sources
+  EXPECT_EQ(r.nearest[3], 1);
+  EXPECT_EQ(r.parent[0], kUnreached);
+  // Parent chains terminate at a source with strictly decreasing dist.
+  for (int v = 0; v < g.n(); ++v) {
+    int u = v;
+    int guard = 0;
+    while (r.parent[static_cast<std::size_t>(u)] != kUnreached) {
+      const int p = r.parent[static_cast<std::size_t>(u)];
+      EXPECT_EQ(r.dist[static_cast<std::size_t>(p)],
+                r.dist[static_cast<std::size_t>(u)] - 1);
+      u = p;
+      ASSERT_LT(++guard, g.n());
+    }
+    EXPECT_EQ(r.dist[static_cast<std::size_t>(u)], 0);
+  }
+}
+
+TEST(MultiSourceBfs, DuplicateSourcesHandled) {
+  const Graph g = sample_graph();
+  const auto r = multi_source_bfs(g, {0, 0, 4});
+  EXPECT_EQ(r.dist[0], 0);
+  EXPECT_EQ(r.nearest[0], 0);
+}
+
+TEST(ShortestPath, EndpointsAndAdjacency) {
+  const Graph g = sample_graph();
+  const auto p = shortest_path(g, 0, 7);
+  ASSERT_FALSE(p.empty());
+  EXPECT_EQ(p.front(), 0);
+  EXPECT_EQ(p.back(), 7);
+  EXPECT_EQ(p.size(), 5u);  // 0-1-2-5-7
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(p[i], p[i + 1]));
+  }
+}
+
+TEST(ShortestPath, TrivialAndUnreachable) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  EXPECT_EQ(shortest_path(g, 0, 0), (std::vector<int>{0}));
+  EXPECT_TRUE(shortest_path(g, 0, 2).empty());
+}
+
+TEST(MaskedBfs, RespectsMask) {
+  const Graph g = sample_graph();
+  std::vector<char> allowed(8, 1);
+  allowed[2] = 0;  // block the cut vertex
+  const auto d = bfs_distances_masked(g, 0, allowed);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], kUnreached);
+  EXPECT_EQ(d[3], kUnreached);  // only reachable through 2
+  EXPECT_EQ(d[5], kUnreached);
+  std::vector<char> blocked_src(8, 1);
+  blocked_src[0] = 0;
+  EXPECT_THROW(bfs_distances_masked(g, 0, blocked_src), std::invalid_argument);
+}
+
+TEST(Eccentricity, OfPathEnd) {
+  const Graph g = sample_graph();
+  EXPECT_EQ(eccentricity(g, 0), 4);
+  EXPECT_EQ(eccentricity(g, 2), 2);
+}
+
+TEST(ApproxDiameter, ExactOnTrees) {
+  Graph g(6);  // star with one long arm: diameter 3
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  EXPECT_EQ(approx_diameter(g), 4);  // leaf 1 .. leaf 5 = 1+3
+  EXPECT_EQ(approx_diameter(Graph(0)), 0);
+}
+
+}  // namespace
+}  // namespace skelex::net

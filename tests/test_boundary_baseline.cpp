@@ -1,0 +1,109 @@
+#include "baseline/boundary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/khop.h"
+
+namespace skelex::baseline {
+namespace {
+
+deploy::Scenario corridor_scenario(std::uint64_t seed) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 900;
+  spec.target_avg_deg = 8.0;
+  spec.seed = seed;
+  return deploy::make_udg_scenario(geom::shapes::corridor(100.0, 16.0), spec);
+}
+
+TEST(GeometricBoundary, SelectsExactlyTheBandNodes) {
+  const geom::Region region = geom::shapes::corridor(100.0, 16.0);
+  const deploy::Scenario sc = corridor_scenario(41);
+  const BoundaryInfo info = geometric_boundary(sc.graph, region, 2.0);
+  ASSERT_FALSE(info.nodes.empty());
+  for (int v = 0; v < sc.graph.n(); ++v) {
+    const double d = region.distance_to_boundary(sc.graph.position(v));
+    EXPECT_EQ(static_cast<bool>(info.is_boundary[static_cast<std::size_t>(v)]),
+              d <= 2.0)
+        << "node " << v << " at boundary distance " << d;
+  }
+}
+
+TEST(GeometricBoundary, RingAttributionAndArcpos) {
+  const geom::Region region = geom::shapes::annulus(45.0, 20.0);
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1200;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 42;
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const BoundaryInfo info = geometric_boundary(sc.graph, region, 2.5);
+  ASSERT_EQ(info.ring_perimeter.size(), 2u);
+  int outer = 0, inner = 0;
+  for (const BoundaryNode& b : info.nodes) {
+    const double r = geom::dist(sc.graph.position(b.node), {50, 50});
+    if (b.ring == 0) {
+      ++outer;
+      EXPECT_GT(r, 40.0);
+    } else {
+      ASSERT_EQ(b.ring, 1);
+      ++inner;
+      EXPECT_LT(r, 25.0);
+    }
+    EXPECT_GE(b.arcpos, 0.0);
+    EXPECT_LT(b.arcpos, info.ring_perimeter[static_cast<std::size_t>(b.ring)]);
+  }
+  EXPECT_GT(outer, 20);
+  EXPECT_GT(inner, 10);
+}
+
+TEST(GeometricBoundary, Validation) {
+  net::Graph no_pos(3);
+  EXPECT_THROW(geometric_boundary(no_pos, geom::shapes::rect(), 1.0),
+               std::invalid_argument);
+  const deploy::Scenario sc = corridor_scenario(43);
+  EXPECT_THROW(
+      geometric_boundary(sc.graph, geom::shapes::corridor(100.0, 16.0), 0.0),
+      std::invalid_argument);
+}
+
+TEST(StatisticalBoundary, PicksLowDegreeNodes) {
+  const deploy::Scenario sc = corridor_scenario(44);
+  const BoundaryInfo info = statistical_boundary(sc.graph, 3, 0.25);
+  ASSERT_FALSE(info.nodes.empty());
+  // Selected nodes sit geometrically nearer the rim than the average
+  // node (the Fekete observation).
+  const geom::Region region = geom::shapes::corridor(100.0, 16.0);
+  double sel_sum = 0, all_sum = 0;
+  for (const BoundaryNode& b : info.nodes) {
+    sel_sum += region.distance_to_boundary(sc.graph.position(b.node));
+  }
+  for (int v = 0; v < sc.graph.n(); ++v) {
+    all_sum += region.distance_to_boundary(sc.graph.position(v));
+  }
+  EXPECT_LT(sel_sum / static_cast<double>(info.nodes.size()),
+            0.8 * all_sum / sc.graph.n());
+  // Detector output has no geometry annotations.
+  EXPECT_EQ(info.nodes.front().ring, -1);
+  EXPECT_TRUE(info.ring_perimeter.empty());
+}
+
+TEST(StatisticalBoundary, QuantileValidation) {
+  const deploy::Scenario sc = corridor_scenario(45);
+  EXPECT_THROW(statistical_boundary(sc.graph, 3, 0.0), std::invalid_argument);
+  EXPECT_THROW(statistical_boundary(sc.graph, 3, 1.0), std::invalid_argument);
+}
+
+TEST(ArcDistance, WrapsAround) {
+  EXPECT_DOUBLE_EQ(arc_distance(1.0, 9.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(arc_distance(9.0, 1.0, 10.0), 2.0);
+  EXPECT_DOUBLE_EQ(arc_distance(2.0, 5.0, 10.0), 3.0);
+  EXPECT_DOUBLE_EQ(arc_distance(0.0, 5.0, 10.0), 5.0);
+  EXPECT_DOUBLE_EQ(arc_distance(3.0, 3.0, 10.0), 0.0);
+  EXPECT_THROW(arc_distance(1.0, 2.0, 0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skelex::baseline

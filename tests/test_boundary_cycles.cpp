@@ -1,0 +1,115 @@
+#include "core/boundary_cycles.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+
+namespace skelex::core {
+namespace {
+
+TEST(BoundaryCycles, Validation) {
+  net::Graph g(4);
+  BoundaryResult b;
+  b.is_boundary.assign(4, 0);
+  EXPECT_THROW(group_boundary_nodes(g, b, 0, 1), std::invalid_argument);
+  EXPECT_THROW(group_boundary_nodes(g, b, 2, 0), std::invalid_argument);
+  BoundaryResult wrong;
+  wrong.is_boundary.assign(3, 0);
+  EXPECT_THROW(group_boundary_nodes(g, wrong), std::invalid_argument);
+}
+
+TEST(BoundaryCycles, TwoSeparatedFeatures) {
+  // Path of 12; boundary nodes at both ends, far apart.
+  net::Graph g(12);
+  for (int i = 0; i < 11; ++i) g.add_edge(i, i + 1);
+  BoundaryResult b;
+  b.is_boundary.assign(12, 0);
+  for (int v : {0, 1, 10, 11}) {
+    b.is_boundary[static_cast<std::size_t>(v)] = 1;
+    b.boundary_nodes.push_back(v);
+  }
+  const BoundaryCycles bc = group_boundary_nodes(g, b, 2, 1);
+  ASSERT_EQ(bc.groups.size(), 2u);
+  EXPECT_EQ(bc.groups[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(bc.groups[1], (std::vector<int>{10, 11}));
+  EXPECT_EQ(bc.group_of[0], bc.group_of[1]);
+  EXPECT_NE(bc.group_of[0], bc.group_of[10]);
+  EXPECT_EQ(bc.group_of[5], -1);
+}
+
+TEST(BoundaryCycles, MergeHopsBridgesGaps) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  BoundaryResult b;
+  b.is_boundary.assign(7, 0);
+  for (int v : {0, 3, 6}) {  // 3 hops apart
+    b.is_boundary[static_cast<std::size_t>(v)] = 1;
+    b.boundary_nodes.push_back(v);
+  }
+  EXPECT_EQ(group_boundary_nodes(g, b, 2, 1).groups.size(), 3u);
+  EXPECT_EQ(group_boundary_nodes(g, b, 3, 1).groups.size(), 1u);
+}
+
+TEST(BoundaryCycles, MinGroupDropsNoise) {
+  net::Graph g(10);
+  for (int i = 0; i < 9; ++i) g.add_edge(i, i + 1);
+  BoundaryResult b;
+  b.is_boundary.assign(10, 0);
+  for (int v : {0, 1, 2, 3, 9}) {
+    b.is_boundary[static_cast<std::size_t>(v)] = 1;
+    b.boundary_nodes.push_back(v);
+  }
+  const BoundaryCycles bc = group_boundary_nodes(g, b, 1, 3);
+  ASSERT_EQ(bc.groups.size(), 1u);  // the lone node 9 is noise
+  EXPECT_EQ(bc.groups[0].size(), 4u);
+  EXPECT_EQ(bc.group_of[9], -1);
+}
+
+TEST(BoundaryCycles, AnnulusYieldsOuterAndInnerFeatures) {
+  // On an annulus network the boundary by-product has two features: the
+  // outer rim (larger) and the hole rim (smaller), and they must be
+  // geometrically separated by radius.
+  const geom::Region region = geom::shapes::annulus(45.0, 20.0);
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 2000;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 77;
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const SkeletonResult r = extract_skeleton(sc.graph, Params{});
+  const BoundaryCycles bc = group_boundary_nodes(sc.graph, r.boundary);
+  ASSERT_GE(bc.groups.size(), 2u);
+  // Group 0 (largest) is the outer rim: mean radius > 35; one of the
+  // following groups hugs the hole: mean radius < 27.
+  const auto mean_radius = [&](const std::vector<int>& grp) {
+    double sum = 0;
+    for (int v : grp) sum += geom::dist(sc.graph.position(v), {50, 50});
+    return sum / static_cast<double>(grp.size());
+  };
+  EXPECT_GT(mean_radius(bc.groups[0]), 35.0);
+  bool found_inner = false;
+  for (std::size_t i = 1; i < bc.groups.size(); ++i) {
+    if (mean_radius(bc.groups[i]) < 27.0) found_inner = true;
+  }
+  EXPECT_TRUE(found_inner);
+}
+
+TEST(BoundaryCycles, WindowHasFivePlusFeatures) {
+  // Window: outer rim + 4 pane rims.
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 2592;
+  spec.target_avg_deg = 7.0;
+  spec.seed = 7;
+  const geom::Region region = geom::shapes::window();
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const SkeletonResult r = extract_skeleton(sc.graph, Params{});
+  const BoundaryCycles bc = group_boundary_nodes(sc.graph, r.boundary);
+  EXPECT_GE(bc.groups.size(), 4u);
+  EXPECT_LE(bc.groups.size(), 8u);
+}
+
+}  // namespace
+}  // namespace skelex::core

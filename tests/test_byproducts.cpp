@@ -1,0 +1,103 @@
+#include "core/byproducts.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+
+namespace skelex::core {
+namespace {
+
+TEST(Segmentation, SizesPartitionTheNetwork) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  const VoronoiResult vor = build_voronoi(g, {0, 6}, Params{});
+  const Segmentation s = segmentation_from_voronoi(vor);
+  EXPECT_EQ(s.segment_count, 2);
+  EXPECT_EQ(std::accumulate(s.segment_size.begin(), s.segment_size.end(), 0),
+            7);
+  for (int v = 0; v < 7; ++v) {
+    EXPECT_GE(s.segment_of[static_cast<std::size_t>(v)], 0);
+    EXPECT_LT(s.segment_of[static_cast<std::size_t>(v)], 2);
+  }
+  // Cell of site 0 holds nodes 0..3 (tie at 3 adopts the smaller site).
+  EXPECT_EQ(s.segment_size[0], 4);
+  EXPECT_EQ(s.segment_size[1], 3);
+}
+
+TEST(ExtractBoundaries, DistanceTransformIsCorrect) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  SkeletonGraph sk(7);
+  sk.add_node(3);
+  const BoundaryResult b = extract_boundaries(g, sk);
+  EXPECT_EQ(b.dist_to_skeleton, (std::vector<int>{3, 2, 1, 0, 1, 2, 3}));
+  // Local maxima of the transform: the two path ends.
+  EXPECT_EQ(b.boundary_nodes, (std::vector<int>{0, 6}));
+}
+
+TEST(ExtractBoundaries, MinDistFiltersSkeletonAdjacentNodes) {
+  net::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  SkeletonGraph sk(3);
+  sk.add_node(1);
+  const BoundaryResult strict = extract_boundaries(g, sk, /*min_dist=*/2);
+  EXPECT_TRUE(strict.boundary_nodes.empty());
+  const BoundaryResult loose = extract_boundaries(g, sk, /*min_dist=*/1);
+  EXPECT_EQ(loose.boundary_nodes, (std::vector<int>{0, 2}));
+}
+
+TEST(ExtractBoundaries, MismatchedCapacityThrows) {
+  net::Graph g(3);
+  SkeletonGraph sk(2);
+  EXPECT_THROW(extract_boundaries(g, sk), std::invalid_argument);
+}
+
+// On a real corridor network, detected boundary nodes hug the true
+// geometric boundary and cover both long walls.
+TEST(ExtractBoundaries, BoundaryNodesAreGeometricallyNearTheRim) {
+  const geom::Region corridor = geom::shapes::corridor(100.0, 16.0);
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1200;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 31;
+  const deploy::Scenario sc = deploy::make_udg_scenario(corridor, spec);
+  const SkeletonResult r = extract_skeleton(sc.graph, Params{});
+  ASSERT_FALSE(r.boundary.boundary_nodes.empty());
+  int near_rim = 0, on_walls[2] = {0, 0};
+  for (int v : r.boundary.boundary_nodes) {
+    const geom::Vec2 p = sc.graph.position(v);
+    if (p.x < 10 || p.x > 90) continue;  // ignore the corridor's ends
+    const double rim_dist = std::min(p.y, 16.0 - p.y);
+    if (rim_dist < 4.0) ++near_rim;
+    ++on_walls[p.y > 8.0 ? 1 : 0];
+  }
+  EXPECT_GT(near_rim, 10);
+  EXPECT_GT(on_walls[0], 3);
+  EXPECT_GT(on_walls[1], 3);
+}
+
+TEST(Segmentation, ByProductOnRealNetworkCoversAllNodes) {
+  const geom::Region region = geom::shapes::smile();
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1500;
+  spec.target_avg_deg = 7.0;
+  spec.seed = 32;
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const SkeletonResult r = extract_skeleton(sc.graph, Params{});
+  EXPECT_EQ(r.segmentation.segment_count,
+            static_cast<int>(r.critical_nodes.size()));
+  EXPECT_EQ(std::accumulate(r.segmentation.segment_size.begin(),
+                            r.segmentation.segment_size.end(), 0),
+            sc.graph.n());
+  // Every segment is non-empty (it contains at least its site).
+  for (int size : r.segmentation.segment_size) EXPECT_GT(size, 0);
+}
+
+}  // namespace
+}  // namespace skelex::core

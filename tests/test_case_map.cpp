@@ -1,0 +1,170 @@
+#include "baseline/case.h"
+#include "baseline/map.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/scenario.h"
+#include "geometry/medial_axis_ref.h"
+#include "geometry/shapes.h"
+
+namespace skelex::baseline {
+namespace {
+
+deploy::Scenario make(const geom::Region& region, int n, std::uint64_t seed) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = n;
+  spec.target_avg_deg = 8.0;
+  spec.seed = seed;
+  return deploy::make_udg_scenario(region, spec);
+}
+
+TEST(CaseCorners, RectangleHasFourCorners) {
+  const geom::Region rect = geom::shapes::rect(100, 60);
+  const auto corners = detect_corners(rect, CaseParams{});
+  ASSERT_EQ(corners.size(), 1u);
+  EXPECT_EQ(corners[0].size(), 4u);
+}
+
+TEST(CaseCorners, DiskHasNone) {
+  const geom::Region disk = geom::shapes::disk(40);
+  const auto corners = detect_corners(disk, CaseParams{});
+  ASSERT_EQ(corners.size(), 1u);
+  EXPECT_TRUE(corners[0].empty());
+}
+
+TEST(CaseCorners, SmallBumpIsSuppressedByTheWindow) {
+  // The bump's four turns span 22 arc units; a window of at least twice
+  // that extent covers the whole bump from any of its vertices, so the
+  // +-90 turns cancel and no corner appears along the top wall except
+  // the rectangle's own corners.
+  const geom::Region bumpy = geom::shapes::bumpy_rect(8.0, 6.0);
+  CaseParams p;
+  p.corner_window = 44.0;
+  const auto corners = detect_corners(bumpy, p);
+  ASSERT_EQ(corners.size(), 1u);
+  EXPECT_EQ(corners[0].size(), 4u) << "bump corners leaked through";
+}
+
+TEST(CaseCorners, NarrowWindowSeesTheBump) {
+  const geom::Region bumpy = geom::shapes::bumpy_rect(8.0, 6.0);
+  CaseParams p;
+  p.corner_window = 2.0;  // window smaller than the bump
+  const auto corners = detect_corners(bumpy, p);
+  EXPECT_GT(corners[0].size(), 4u);
+}
+
+TEST(CaseCorners, HoleRingsGetTheirOwnCorners) {
+  const geom::Region w = geom::shapes::window();
+  const auto corners = detect_corners(w, CaseParams{});
+  ASSERT_EQ(corners.size(), 5u);  // outer + 4 panes
+  for (const auto& ring : corners) EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(BranchOf, IntervalIndexing) {
+  const std::vector<double> corners{10.0, 40.0, 70.0};
+  EXPECT_EQ(branch_of(20.0, corners), 0);
+  EXPECT_EQ(branch_of(50.0, corners), 1);
+  EXPECT_EQ(branch_of(80.0, corners), 2);
+  EXPECT_EQ(branch_of(5.0, corners), 2);  // wraps into the last branch
+  EXPECT_EQ(branch_of(55.0, {}), 0);      // no corners: one branch
+}
+
+TEST(MapSkeleton, RectSkeletonIsMedial) {
+  const geom::Region region = geom::shapes::corridor(100.0, 20.0);
+  const deploy::Scenario sc = make(region, 1200, 61);
+  const BoundaryInfo boundary = geometric_boundary(sc.graph, region, 2.0);
+  const BaselineSkeleton map = map_skeleton(sc.graph, boundary, MapParams{});
+  ASSERT_GT(map.graph.node_count(), 0);
+  EXPECT_EQ(map.graph.component_count(), 1);
+  // Identified nodes hug the midline y = 10 away from the short ends.
+  int off_axis = 0, considered = 0;
+  for (int v : map.graph.nodes()) {
+    const geom::Vec2 p = sc.graph.position(v);
+    if (p.x < 15 || p.x > 85) continue;
+    ++considered;
+    if (std::abs(p.y - 10.0) > 5.0) ++off_axis;
+  }
+  ASSERT_GT(considered, 5);
+  EXPECT_LT(off_axis, considered / 4);
+}
+
+TEST(CaseSkeleton, RectSkeletonIsMedialAndConnected) {
+  const geom::Region region = geom::shapes::corridor(100.0, 20.0);
+  const deploy::Scenario sc = make(region, 1200, 62);
+  const BoundaryInfo boundary = geometric_boundary(sc.graph, region, 2.0);
+  const BaselineSkeleton cs =
+      case_skeleton(sc.graph, boundary, region, CaseParams{});
+  ASSERT_GT(cs.graph.node_count(), 0);
+  EXPECT_EQ(cs.graph.component_count(), 1);
+  const geom::MedialAxisParams map_params{1.0, 0.08, 15.0, 2.0};
+  const geom::ReferenceMedialAxis axis(region, map_params);
+  double mean = 0;
+  for (int v : cs.graph.nodes()) {
+    mean += axis.distance_to_axis(sc.graph.position(v));
+  }
+  mean /= cs.graph.node_count();
+  EXPECT_LT(mean, 2.5 * sc.range);
+}
+
+// MAP's boundary-noise pathology (the paper's §I motivation for CASE):
+// a small bump on the boundary makes MAP grow skeleton structure toward
+// the bump; CASE with a window-smoothed corner detector does not.
+TEST(Baselines, BumpPathologyHitsMapNotCase) {
+  const geom::Region bumpy = geom::shapes::bumpy_rect(8.0, 6.0);
+  const deploy::Scenario sc = make(bumpy, 1400, 63);
+  const BoundaryInfo boundary = geometric_boundary(sc.graph, bumpy, 2.0);
+
+  MapParams mp;
+  mp.min_separation = 15.0;
+  const BaselineSkeleton map = map_skeleton(sc.graph, boundary, mp);
+  CaseParams cp;
+  cp.corner_window = 44.0;
+  const BaselineSkeleton cs = case_skeleton(sc.graph, boundary, bumpy, cp);
+
+  // Count skeleton nodes in the "branch zone" reaching from the midline
+  // toward the bump (y > 28, under the bump at x in [38, 62]).
+  const auto branch_nodes = [&](const core::SkeletonGraph& sk) {
+    int count = 0;
+    for (int v : sk.nodes()) {
+      const geom::Vec2 p = sc.graph.position(v);
+      if (p.y > 28.0 && p.x > 38.0 && p.x < 62.0) ++count;
+    }
+    return count;
+  };
+  EXPECT_GT(branch_nodes(map.graph), 0) << "MAP should reach for the bump";
+  EXPECT_LE(branch_nodes(cs.graph), branch_nodes(map.graph) / 2)
+      << "CASE should suppress the bump branch";
+}
+
+TEST(MapSkeleton, Validation) {
+  net::Graph g(3);
+  BoundaryInfo info;
+  info.is_boundary.assign(3, 0);
+  MapParams p;
+  p.min_separation = -1.0;
+  EXPECT_THROW(map_skeleton(g, info, p), std::invalid_argument);
+}
+
+TEST(ConnectNodeSet, BridgesComponents) {
+  // Path 0-1-2-3-4 with selected {0, 4}: connecting must add the chain.
+  net::Graph g(5);
+  for (int i = 0; i < 4; ++i) g.add_edge(i, i + 1);
+  const std::vector<int> dist{0, 1, 2, 1, 0};
+  const core::SkeletonGraph sk = connect_node_set(g, {0, 4}, dist);
+  EXPECT_EQ(sk.component_count(), 1);
+  EXPECT_TRUE(sk.has_node(2));
+}
+
+TEST(ConnectNodeSet, LeavesSeparateNetworkComponentsAlone) {
+  net::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  const std::vector<int> dist{0, 0, 0, 0};
+  const core::SkeletonGraph sk = connect_node_set(g, {0, 3}, dist);
+  EXPECT_EQ(sk.component_count(), 2);
+}
+
+}  // namespace
+}  // namespace skelex::baseline

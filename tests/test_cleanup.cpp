@@ -1,0 +1,234 @@
+#include "core/cleanup.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/index.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+namespace {
+
+// 4-connected W x H lattice; node id = y * W + x. Cells listed in `holes`
+// (as (x, y) pairs flattened) are omitted from the edge set but keep
+// their ids (isolated); tests only use the connected part.
+struct GridWorld {
+  int w = 0, h = 0;
+  net::Graph g;
+  std::set<int> hole_cells;
+
+  int id(int x, int y) const { return y * w + x; }
+  bool is_hole(int x, int y) const { return hole_cells.count(id(x, y)) > 0; }
+};
+
+GridWorld make_grid(int w, int h, const std::set<std::pair<int, int>>& holes = {}) {
+  GridWorld world;
+  world.w = w;
+  world.h = h;
+  world.g = net::Graph(w * h);
+  for (const auto& [x, y] : holes) world.hole_cells.insert(y * w + x);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (world.is_hole(x, y)) continue;
+      if (x + 1 < w && !world.is_hole(x + 1, y)) {
+        world.g.add_edge(world.id(x, y), world.id(x + 1, y));
+      }
+      if (y + 1 < h && !world.is_hole(x, y + 1)) {
+        world.g.add_edge(world.id(x, y), world.id(x, y + 1));
+      }
+    }
+  }
+  return world;
+}
+
+// Square ring of cells at Chebyshev radius r around (cx, cy), as a
+// skeleton cycle (consecutive ring cells are 4-neighbors).
+SkeletonGraph ring_skeleton(const GridWorld& world, int cx, int cy, int r) {
+  SkeletonGraph sk(world.g.n());
+  std::vector<std::pair<int, int>> ring;
+  for (int x = cx - r; x < cx + r; ++x) ring.push_back({x, cy - r});
+  for (int y = cy - r; y < cy + r; ++y) ring.push_back({cx + r, y});
+  for (int x = cx + r; x > cx - r; --x) ring.push_back({x, cy + r});
+  for (int y = cy + r; y > cy - r; --y) ring.push_back({cx - r, y});
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    const auto [x1, y1] = ring[i];
+    const auto [x2, y2] = ring[(i + 1) % ring.size()];
+    sk.add_edge(world.id(x1, y1), world.id(x2, y2));
+  }
+  return sk;
+}
+
+Params grid_params() {
+  Params p;
+  p.k = 2;
+  p.l = 2;
+  return p;
+}
+
+// For an isolated ring skeleton BOTH sides qualify as pockets (this is
+// what makes the annulus case work: the hole-side annulus is a pocket
+// too). Select the pocket containing a given witness node.
+const Pocket* pocket_containing(const std::vector<Pocket>& pockets, int node) {
+  for (const Pocket& p : pockets) {
+    if (std::find(p.interior.begin(), p.interior.end(), node) !=
+        p.interior.end()) {
+      return &p;
+    }
+  }
+  return nullptr;
+}
+
+TEST(FindPockets, RingEnclosesInterior) {
+  const GridWorld world = make_grid(11, 11);
+  const SkeletonGraph sk = ring_skeleton(world, 5, 5, 3);
+  const auto pockets = find_pockets(world.g, sk);
+  // Both the enclosed interior and the outside are ring-bounded pockets.
+  ASSERT_EQ(pockets.size(), 2u);
+  const Pocket* inner = pocket_containing(pockets, world.id(5, 5));
+  ASSERT_NE(inner, nullptr);
+  // Interior: Chebyshev <= 2 around (5,5) -> 25 cells.
+  EXPECT_EQ(inner->interior.size(), 25u);
+  // Boundary: all 24 ring cells — corners are not pocket-adjacent but the
+  // gap-closing expansion pulls them in to complete the loop.
+  EXPECT_EQ(inner->boundary.size(), 24u);
+  for (int v : inner->interior) {
+    const int x = v % 11, y = v / 11;
+    EXPECT_LE(std::max(std::abs(x - 5), std::abs(y - 5)), 2);
+  }
+  const Pocket* outer = pocket_containing(pockets, world.id(0, 0));
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->interior.size(), 121u - 24u - 25u);
+}
+
+TEST(FindPockets, PathEnclosesNothing) {
+  const GridWorld world = make_grid(9, 9);
+  SkeletonGraph sk(world.g.n());
+  for (int x = 0; x < 8; ++x) sk.add_edge(world.id(x, 4), world.id(x + 1, 4));
+  EXPECT_TRUE(find_pockets(world.g, sk).empty());
+}
+
+TEST(FindPockets, CapacityMismatchThrows) {
+  const GridWorld world = make_grid(4, 4);
+  SkeletonGraph sk(3);
+  EXPECT_THROW(find_pockets(world.g, sk), std::invalid_argument);
+}
+
+TEST(PocketIsFake, UniformInteriorPocketIsFake) {
+  const GridWorld world = make_grid(11, 11);
+  const SkeletonGraph sk = ring_skeleton(world, 5, 5, 3);
+  const Params p = grid_params();
+  const IndexData idx = compute_index(world.g, p);
+  const auto pockets = find_pockets(world.g, sk);
+  const Pocket* inner = pocket_containing(pockets, world.id(5, 5));
+  ASSERT_NE(inner, nullptr);
+  EXPECT_TRUE(pocket_is_fake(*inner, idx, p));
+  // The outside pocket reaches the grid rim whose nodes have clipped
+  // k-hop balls: it reads as genuine (and is left alone).
+  const Pocket* outer = pocket_containing(pockets, world.id(0, 0));
+  ASSERT_NE(outer, nullptr);
+  EXPECT_FALSE(pocket_is_fake(*outer, idx, p));
+}
+
+TEST(PocketIsFake, PocketAroundAHoleIsGenuine) {
+  // 15x15 grid with a 5x5 hole in the middle; ring skeleton at radius 5.
+  std::set<std::pair<int, int>> holes;
+  for (int y = 5; y <= 9; ++y) {
+    for (int x = 5; x <= 9; ++x) holes.insert({x, y});
+  }
+  const GridWorld world = make_grid(15, 15, holes);
+  const SkeletonGraph sk = ring_skeleton(world, 7, 7, 5);
+  const Params p = grid_params();
+  const IndexData idx = compute_index(world.g, p);
+  const auto pockets = find_pockets(world.g, sk);
+  // The annulus between the ring and the hole (hole cells are absent
+  // from the graph's edge set, so they form no pocket of their own).
+  const Pocket* annulus = pocket_containing(pockets, world.id(7, 4));
+  ASSERT_NE(annulus, nullptr);
+  EXPECT_EQ(annulus->interior.size(), 56u);  // cheb 3..4 around (7,7)
+  EXPECT_FALSE(pocket_is_fake(*annulus, idx, p));
+}
+
+TEST(PocketIsFake, TinyPocketAlwaysFake) {
+  const GridWorld world = make_grid(7, 7);
+  const SkeletonGraph sk = ring_skeleton(world, 3, 3, 1);  // encloses 1 cell
+  const Params p = grid_params();
+  const IndexData idx = compute_index(world.g, p);
+  const auto pockets = find_pockets(world.g, sk);
+  const Pocket* inner = pocket_containing(pockets, world.id(3, 3));
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->interior.size(), 1u);
+  EXPECT_TRUE(pocket_is_fake(*inner, idx, p));
+}
+
+TEST(CleanupLoops, FakeLoopIsOpened) {
+  const GridWorld world = make_grid(11, 11);
+  SkeletonGraph coarse = ring_skeleton(world, 5, 5, 3);
+  // Attach two branches so the resolution has endpoints to reconnect.
+  coarse.add_edge(world.id(2, 5), world.id(1, 5));
+  coarse.add_edge(world.id(1, 5), world.id(0, 5));
+  coarse.add_edge(world.id(8, 5), world.id(9, 5));
+  coarse.add_edge(world.id(9, 5), world.id(10, 5));
+  const Params p = grid_params();
+  const IndexData idx = compute_index(world.g, p);
+  const CleanupResult r = cleanup_loops(world.g, idx, std::move(coarse), p);
+  EXPECT_EQ(r.fake_loops_removed, 1);
+  EXPECT_EQ(r.graph.cycle_rank(), 0);
+  EXPECT_EQ(r.graph.component_count(), 1);
+  // Both branch tips still connected through the old pocket.
+  EXPECT_TRUE(r.graph.has_node(world.id(0, 5)));
+  EXPECT_TRUE(r.graph.has_node(world.id(10, 5)));
+}
+
+TEST(CleanupLoops, GenuineLoopSurvives) {
+  std::set<std::pair<int, int>> holes;
+  for (int y = 5; y <= 9; ++y) {
+    for (int x = 5; x <= 9; ++x) holes.insert({x, y});
+  }
+  const GridWorld world = make_grid(15, 15, holes);
+  SkeletonGraph coarse = ring_skeleton(world, 7, 7, 5);
+  const Params p = grid_params();
+  const IndexData idx = compute_index(world.g, p);
+  const CleanupResult r = cleanup_loops(world.g, idx, std::move(coarse), p);
+  EXPECT_EQ(r.fake_loops_removed, 0);
+  EXPECT_EQ(r.graph.cycle_rank(), 1);
+}
+
+TEST(CleanupLoops, IsolatedFakeLoopCollapsesToPath) {
+  const GridWorld world = make_grid(11, 11);
+  SkeletonGraph coarse = ring_skeleton(world, 5, 5, 3);  // no branches
+  const Params p = grid_params();
+  const IndexData idx = compute_index(world.g, p);
+  const CleanupResult r = cleanup_loops(world.g, idx, std::move(coarse), p);
+  EXPECT_EQ(r.fake_loops_removed, 1);
+  EXPECT_EQ(r.graph.cycle_rank(), 0);
+  EXPECT_GE(r.graph.node_count(), 2);
+  EXPECT_EQ(r.graph.component_count(), 1);
+}
+
+TEST(CleanupLoops, AdjacentFakeLoopsAreMerged) {
+  // Two rings sharing a vertical side: nodes on the shared side belong to
+  // both fake loops and must be demoted (merge), then the merged pocket
+  // is resolved; no cycles remain.
+  const GridWorld world = make_grid(17, 11);
+  SkeletonGraph coarse(world.g.n());
+  const SkeletonGraph ring1 = ring_skeleton(world, 5, 5, 3);
+  const SkeletonGraph ring2 = ring_skeleton(world, 11, 5, 3);
+  for (int v : ring1.nodes()) {
+    for (int w : ring1.neighbors(v)) coarse.add_edge(v, w);
+  }
+  for (int v : ring2.nodes()) {
+    for (int w : ring2.neighbors(v)) coarse.add_edge(v, w);
+  }
+  const Params p = grid_params();
+  const IndexData idx = compute_index(world.g, p);
+  const CleanupResult r = cleanup_loops(world.g, idx, std::move(coarse), p);
+  EXPECT_GE(r.merge_rounds, 1);
+  EXPECT_EQ(r.graph.cycle_rank(), 0);
+  EXPECT_EQ(r.graph.component_count(), 1);
+}
+
+}  // namespace
+}  // namespace skelex::core

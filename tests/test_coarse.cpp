@@ -1,0 +1,166 @@
+#include "core/coarse.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/identify.h"
+#include "core/index.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+
+namespace skelex::core {
+namespace {
+
+TEST(ClusterWithinHops, DirectNeighborsMerge) {
+  net::Graph g(6);
+  for (int i = 0; i < 5; ++i) g.add_edge(i, i + 1);
+  const auto clusters = cluster_within_hops(g, {0, 1, 4}, 1);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ(clusters[1], (std::vector<int>{4}));
+}
+
+TEST(ClusterWithinHops, GapBridging) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  // Nodes 0, 2, 6: 0 and 2 are 2 hops apart (bridged at merge_hops=2);
+  // 6 is 4 hops from 2 (separate).
+  auto clusters = cluster_within_hops(g, {0, 2, 6}, 2);
+  ASSERT_EQ(clusters.size(), 2u);
+  EXPECT_EQ(clusters[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ(clusters[1], (std::vector<int>{6}));
+  // merge_hops=4 bridges everything.
+  clusters = cluster_within_hops(g, {0, 2, 6}, 4);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0], (std::vector<int>{0, 2, 6}));
+}
+
+TEST(ClusterWithinHops, Validation) {
+  net::Graph g(3);
+  EXPECT_THROW(cluster_within_hops(g, {0}, 0), std::invalid_argument);
+}
+
+TEST(Coarse, PathGraphConnectsTwoSites) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  Params p;
+  IndexData idx;
+  idx.khop_size.assign(7, 0);
+  idx.centrality.assign(7, 0.0);
+  idx.index = {0, 0, 0, 5, 0, 0, 0};  // segment node 3 wins
+  const VoronoiResult vor = build_voronoi(g, {0, 6}, p);
+  const CoarseSkeleton coarse = build_coarse_skeleton(g, idx, vor, p);
+  // Band 0-1 realized through node 3: the whole path is skeleton.
+  EXPECT_EQ(coarse.bands.size(), 1u);
+  EXPECT_EQ(coarse.realized_bands, (std::vector<int>{0}));
+  EXPECT_EQ(coarse.connectors, (std::vector<int>{3}));
+  EXPECT_EQ(coarse.graph.node_count(), 7);
+  EXPECT_EQ(coarse.graph.component_count(), 1);
+  EXPECT_EQ(coarse.graph.cycle_rank(), 0);
+}
+
+TEST(Coarse, RingGraphTwoSitesTwoBands) {
+  // A 16-cycle with sites at opposite ends: the two cells meet on BOTH
+  // arcs -> two bands (far enough apart not to be cluster-merged) -> the
+  // realized skeleton must keep the ring topology (this is the
+  // two-cells-around-a-hole case).
+  net::Graph g(16);
+  for (int i = 0; i < 16; ++i) g.add_edge(i, (i + 1) % 16);
+  Params p;
+  const VoronoiResult vor = build_voronoi(g, {0, 8}, p);
+  IndexData idx;
+  idx.khop_size.assign(16, 0);
+  idx.centrality.assign(16, 0.0);
+  idx.index.assign(16, 1.0);
+  const CoarseSkeleton coarse = build_coarse_skeleton(g, idx, vor, p);
+  EXPECT_EQ(coarse.bands.size(), 2u);
+  EXPECT_EQ(coarse.realized_bands.size(), 2u);
+  EXPECT_EQ(coarse.graph.cycle_rank(), 1);
+  EXPECT_EQ(coarse.graph.component_count(), 1);
+}
+
+TEST(Coarse, SingleSiteIsItsOwnSkeleton) {
+  net::Graph g(5);
+  for (int i = 0; i < 4; ++i) g.add_edge(i, i + 1);
+  Params p;
+  const VoronoiResult vor = build_voronoi(g, {2}, p);
+  IndexData idx;
+  idx.khop_size.assign(5, 0);
+  idx.centrality.assign(5, 0.0);
+  idx.index.assign(5, 1.0);
+  const CoarseSkeleton coarse = build_coarse_skeleton(g, idx, vor, p);
+  EXPECT_TRUE(coarse.bands.empty());
+  EXPECT_EQ(coarse.graph.node_count(), 1);
+  EXPECT_TRUE(coarse.graph.has_node(2));
+}
+
+// On realistic networks: the coarse skeleton connects all sites of a
+// connected network, and realized bands never exceed total bands.
+TEST(Coarse, RealNetworkInvariants) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1200;
+  spec.target_avg_deg = 7.0;
+  spec.seed = 19;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::smile(), spec);
+  const net::Graph& g = sc.graph;
+  Params p;
+  const IndexData idx = compute_index(g, p);
+  const VoronoiResult vor =
+      build_voronoi(g, identify_critical_nodes(g, idx, p), p);
+  const CoarseSkeleton coarse = build_coarse_skeleton(g, idx, vor, p);
+
+  EXPECT_EQ(coarse.graph.component_count(), 1);
+  for (int s : vor.sites) EXPECT_TRUE(coarse.graph.has_node(s));
+  EXPECT_LE(coarse.realized_bands.size(), coarse.bands.size());
+  EXPECT_EQ(coarse.connectors.size(), coarse.realized_bands.size());
+  // Every skeleton edge is a network link.
+  for (int v : coarse.graph.nodes()) {
+    for (int w : coarse.graph.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(v, w));
+    }
+  }
+  // Triangles reference valid bands.
+  for (const NerveTriangle& t : coarse.triangles) {
+    for (int b : {t.band_ab, t.band_bc, t.band_ac}) {
+      ASSERT_GE(b, 0);
+      ASSERT_LT(b, static_cast<int>(coarse.bands.size()));
+    }
+  }
+}
+
+// The nerve selection realizes a spanning structure: removing ALL
+// non-tree bands can only reduce cycles, never connectivity.
+TEST(Coarse, BandsFormSpanningStructureOverSites) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1500;
+  spec.target_avg_deg = 7.0;
+  spec.seed = 23;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::two_holes(), spec);
+  Params p;
+  const IndexData idx = compute_index(sc.graph, p);
+  const VoronoiResult vor =
+      build_voronoi(sc.graph, identify_critical_nodes(sc.graph, idx, p), p);
+  const CoarseSkeleton coarse = build_coarse_skeleton(sc.graph, idx, vor, p);
+
+  // Union-find over sites using realized bands only: one component.
+  std::vector<int> uf(vor.sites.size());
+  for (std::size_t i = 0; i < uf.size(); ++i) uf[i] = static_cast<int>(i);
+  const auto find = [&](int x) {
+    while (uf[static_cast<std::size_t>(x)] != x) x = uf[static_cast<std::size_t>(x)];
+    return x;
+  };
+  for (int e : coarse.realized_bands) {
+    uf[static_cast<std::size_t>(find(coarse.bands[static_cast<std::size_t>(e)].site_a))] =
+        find(coarse.bands[static_cast<std::size_t>(e)].site_b);
+  }
+  std::set<int> roots;
+  for (std::size_t i = 0; i < uf.size(); ++i) roots.insert(find(static_cast<int>(i)));
+  EXPECT_EQ(roots.size(), 1u);
+}
+
+}  // namespace
+}  // namespace skelex::core

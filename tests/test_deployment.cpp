@@ -1,0 +1,143 @@
+#include "deploy/deployment.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/graph.h"
+
+namespace skelex::deploy {
+namespace {
+
+using geom::Region;
+using geom::Vec2;
+
+TEST(UniformInRegion, AllPointsInside) {
+  const Region r = geom::shapes::smile();
+  Rng rng(3);
+  const auto pts = uniform_in_region(r, 500, rng);
+  ASSERT_EQ(pts.size(), 500u);
+  for (const Vec2& p : pts) EXPECT_TRUE(r.contains(p)) << p;
+}
+
+TEST(UniformInRegion, Deterministic) {
+  const Region r = geom::shapes::rect();
+  Rng a(5), b(5);
+  EXPECT_EQ(uniform_in_region(r, 50, a), uniform_in_region(r, 50, b));
+}
+
+TEST(UniformInRegion, CoversTheWholeRegion) {
+  // Quadrant counts of a rect deployment should be balanced.
+  const Region r = geom::shapes::rect(100, 60);
+  Rng rng(8);
+  const auto pts = uniform_in_region(r, 4000, rng);
+  int q[4] = {0, 0, 0, 0};
+  for (const Vec2& p : pts) {
+    ++q[(p.x > 50 ? 1 : 0) + (p.y > 30 ? 2 : 0)];
+  }
+  for (int c : q) EXPECT_NEAR(c, 1000, 120);
+}
+
+TEST(UniformInRegion, RejectsNegativeCount) {
+  Rng rng(1);
+  EXPECT_THROW(uniform_in_region(geom::shapes::rect(), -1, rng),
+               std::invalid_argument);
+}
+
+TEST(SkewedInRegion, SplitDensityIsSkewed) {
+  const Region r = geom::shapes::rect(100, 100);
+  Rng rng(4);
+  const auto pts = skewed_in_region(
+      r, 4000, vertical_split_density(50.0, 0.25, 1.0), rng);
+  int below = 0;
+  for (const Vec2& p : pts) {
+    if (p.y < 50) ++below;
+  }
+  // Expected fraction below: 0.25 / 1.25 = 0.2.
+  EXPECT_NEAR(below / 4000.0, 0.2, 0.03);
+}
+
+TEST(SkewedInRegion, HorizontalSplit) {
+  const Region r = geom::shapes::rect(100, 100);
+  Rng rng(4);
+  const auto pts = skewed_in_region(
+      r, 4000, horizontal_split_density(50.0, 0.65, 1.0), rng);
+  int left = 0;
+  for (const Vec2& p : pts) {
+    if (p.x < 50) ++left;
+  }
+  EXPECT_NEAR(left / 4000.0, 0.65 / 1.65, 0.03);
+}
+
+TEST(JitteredGrid, PointsInsideAndRoughCount) {
+  const Region r = geom::shapes::window();
+  Rng rng(6);
+  const double pitch = std::sqrt(r.area() / 2000.0);
+  const auto pts = jittered_grid_in_region(r, pitch, 0.35, rng);
+  for (const Vec2& p : pts) EXPECT_TRUE(r.contains(p));
+  EXPECT_NEAR(static_cast<double>(pts.size()), 2000.0, 200.0);
+}
+
+TEST(JitteredGrid, RejectsBadPitch) {
+  Rng rng(1);
+  EXPECT_THROW(jittered_grid_in_region(geom::shapes::rect(), 0.0, 0.1, rng),
+               std::invalid_argument);
+}
+
+TEST(RangeForTargetDegree, MatchesAnalyticFormula) {
+  const Region r = geom::shapes::rect(100, 100);
+  const double range = range_for_target_degree(r, 1001, std::numbers::pi);
+  // deg = (n-1) * pi R^2 / A  =>  R = sqrt(deg * A / (pi (n-1))).
+  EXPECT_NEAR(range, std::sqrt(10000.0 / 1000.0), 1e-9);
+  EXPECT_THROW(range_for_target_degree(r, 1, 5.0), std::invalid_argument);
+  EXPECT_THROW(range_for_target_degree(r, 100, -1.0), std::invalid_argument);
+}
+
+TEST(CountForTargetDegree, InvertsRangeFormula) {
+  const Region r = geom::shapes::rect(100, 100);
+  const double deg = 6.0;
+  const int n = 2000;
+  const double range = range_for_target_degree(r, n, deg);
+  EXPECT_NEAR(count_for_target_degree(r, range, deg), n, 1);
+}
+
+TEST(Scenario, CalibratedRangeHitsTargetDegree) {
+  const Region r = geom::shapes::window();
+  ScenarioSpec spec;
+  spec.target_nodes = 1500;
+  spec.target_avg_deg = 7.0;
+  spec.seed = 2;
+  const Scenario s = make_udg_scenario(r, spec);
+  // Largest component keeps nearly everything at degree 7, and the
+  // calibration hits the degree on the full deployment; the component's
+  // degree may differ slightly.
+  EXPECT_GT(s.graph.n(), 1200);
+  EXPECT_NEAR(s.graph.avg_degree(), 7.0, 0.5);
+  EXPECT_TRUE(s.graph.has_positions());
+}
+
+TEST(Scenario, UniformStyleWorks) {
+  ScenarioSpec spec;
+  spec.target_nodes = 800;
+  spec.target_avg_deg = 10.0;
+  spec.style = Style::kUniform;
+  spec.seed = 3;
+  const Scenario s = make_udg_scenario(geom::shapes::disk(), spec);
+  EXPECT_GT(s.graph.n(), 500);
+  EXPECT_NEAR(s.graph.avg_degree(), 10.0, 1.2);
+}
+
+TEST(CalibrateRange, ExactOnKnownConfiguration) {
+  // 3 collinear points spaced 1 apart: avg degree 2/3 at r in [1,2) and
+  // 2 at r >= 2. Calibrating for degree 1 must land in [1, 2).
+  std::vector<Vec2> pts{{0, 0}, {1, 0}, {2, 0}};
+  const double r = calibrate_range(pts, 1.0);
+  EXPECT_GE(r, 1.0);
+  EXPECT_LT(r, 2.0);
+}
+
+}  // namespace
+}  // namespace skelex::deploy

@@ -1,0 +1,129 @@
+#include "baseline/distance_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/bfs.h"
+
+namespace skelex::baseline {
+namespace {
+
+// Hand-built boundary info for synthetic graphs: every listed node is a
+// boundary node on ring 0 with the given arc positions.
+BoundaryInfo make_info(int n, const std::vector<std::pair<int, double>>& nodes,
+                       double perimeter) {
+  BoundaryInfo info;
+  info.is_boundary.assign(static_cast<std::size_t>(n), 0);
+  info.ring_perimeter.push_back(perimeter);
+  for (const auto& [node, arc] : nodes) {
+    info.nodes.push_back({node, 0, arc});
+    info.is_boundary[static_cast<std::size_t>(node)] = 1;
+  }
+  return info;
+}
+
+TEST(DistanceTransform, DistMatchesMultiSourceBfs) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  const BoundaryInfo info = make_info(7, {{0, 0.0}, {6, 50.0}}, 100.0);
+  const DistanceTransform dt = boundary_distance_transform(g, info);
+  const auto bfs = net::multi_source_bfs(g, {0, 6});
+  EXPECT_EQ(dt.dist, bfs.dist);
+}
+
+TEST(DistanceTransform, WitnessesContainTheNearestBoundaryNode) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  const BoundaryInfo info = make_info(7, {{0, 0.0}, {6, 50.0}}, 100.0);
+  const DistanceTransform dt = boundary_distance_transform(g, info);
+  // Node 1 is nearest to 0 only.
+  ASSERT_EQ(dt.witnesses[1].size(), 1u);
+  EXPECT_EQ(dt.witnesses[1][0].node, 0);
+  // Node 3 is equidistant: both witnesses (arc positions far apart).
+  ASSERT_EQ(dt.witnesses[3].size(), 2u);
+}
+
+TEST(DistanceTransform, MergesSameFeatureWitnesses) {
+  // Two boundary nodes almost at the same arc position: one feature.
+  net::Graph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const BoundaryInfo info = make_info(5, {{0, 10.0}, {1, 11.5}}, 100.0);
+  TransformParams params;
+  params.merge_eps = 8.0;
+  const DistanceTransform dt = boundary_distance_transform(g, info, params);
+  EXPECT_EQ(dt.witnesses[2].size(), 1u);  // merged into one feature
+  EXPECT_EQ(dt.witnesses[4].size(), 1u);
+}
+
+TEST(DistanceTransform, KeepsDistinctFeatures) {
+  net::Graph g(5);
+  g.add_edge(0, 2);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  const BoundaryInfo info = make_info(5, {{0, 10.0}, {1, 60.0}}, 100.0);
+  const DistanceTransform dt = boundary_distance_transform(g, info);
+  EXPECT_EQ(dt.witnesses[2].size(), 2u);
+}
+
+TEST(DistanceTransform, WitnessCapRespected) {
+  // Star: center adjacent to many boundary nodes at distinct positions.
+  net::Graph g(9);
+  for (int i = 1; i < 9; ++i) g.add_edge(0, i);
+  std::vector<std::pair<int, double>> nodes;
+  for (int i = 1; i < 9; ++i) nodes.push_back({i, i * 40.0});
+  const BoundaryInfo info = make_info(9, nodes, 400.0);
+  TransformParams params;
+  params.max_witnesses = 3;
+  const DistanceTransform dt = boundary_distance_transform(g, info, params);
+  EXPECT_LE(dt.witnesses[0].size(), 3u);
+  EXPECT_GE(dt.witnesses[0].size(), 2u);
+  EXPECT_THROW(boundary_distance_transform(g, info, TransformParams{0, 1.0}),
+               std::invalid_argument);
+}
+
+TEST(DistanceTransform, RealNetworkWitnessesAreTrueNearest) {
+  // On a corridor, the witness distance transform must agree with the
+  // BFS distance, and each node's witnesses must include a boundary node
+  // realizing that distance.
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 700;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 51;
+  const geom::Region region = geom::shapes::corridor(80.0, 16.0);
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const BoundaryInfo info = geometric_boundary(sc.graph, region, 2.0);
+  ASSERT_FALSE(info.nodes.empty());
+  const DistanceTransform dt = boundary_distance_transform(sc.graph, info);
+
+  std::vector<int> sources;
+  for (const BoundaryNode& b : info.nodes) sources.push_back(b.node);
+  const auto bfs = net::multi_source_bfs(sc.graph, sources);
+  EXPECT_EQ(dt.dist, bfs.dist);
+
+  for (int v = 0; v < sc.graph.n(); ++v) {
+    if (dt.dist[static_cast<std::size_t>(v)] <= 0) continue;
+    ASSERT_FALSE(dt.witnesses[static_cast<std::size_t>(v)].empty()) << v;
+    // At least one witness is at the BFS distance from v.
+    bool found = false;
+    for (const Witness& w : dt.witnesses[static_cast<std::size_t>(v)]) {
+      const auto d = net::bfs_distances(sc.graph, v,
+                                        dt.dist[static_cast<std::size_t>(v)]);
+      if (d[static_cast<std::size_t>(w.node)] ==
+          dt.dist[static_cast<std::size_t>(v)]) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace skelex::baseline

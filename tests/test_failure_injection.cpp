@@ -1,0 +1,121 @@
+// Failure injection: §III-D notes that loops can be "caused by obstacles
+// (or nodes failure, etc)". Killing all nodes in a disk of a previously
+// hole-free network must make the skeleton grow exactly one genuine loop
+// around the dead zone — and random scattered failures must NOT create
+// spurious loops.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+
+namespace skelex {
+namespace {
+
+// Remove the given nodes from a graph (keeping positions), then take the
+// largest component.
+net::Graph kill_nodes(const net::Graph& g, const std::vector<char>& dead) {
+  std::vector<geom::Vec2> pos;
+  std::vector<int> new_id(static_cast<std::size_t>(g.n()), -1);
+  for (int v = 0; v < g.n(); ++v) {
+    if (!dead[static_cast<std::size_t>(v)]) {
+      new_id[static_cast<std::size_t>(v)] = static_cast<int>(pos.size());
+      pos.push_back(g.position(v));
+    }
+  }
+  net::Graph out(std::move(pos));
+  for (int v = 0; v < g.n(); ++v) {
+    if (dead[static_cast<std::size_t>(v)]) continue;
+    for (int w : g.neighbors(v)) {
+      if (w > v && !dead[static_cast<std::size_t>(w)]) {
+        out.add_edge(new_id[static_cast<std::size_t>(v)],
+                     new_id[static_cast<std::size_t>(w)]);
+      }
+    }
+  }
+  std::vector<int> orig;
+  return net::largest_component_subgraph(out, orig);
+}
+
+net::Graph base_network(std::uint64_t seed) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 2400;
+  spec.target_avg_deg = 8.0;
+  spec.seed = seed;
+  return deploy::make_udg_scenario(geom::shapes::rect(100, 70), spec).graph;
+}
+
+TEST(FailureInjection, DeadZoneCreatesExactlyOneLoop) {
+  const net::Graph g = base_network(41);
+  // Baseline: hole-free rectangle -> no loops.
+  const core::SkeletonResult before = core::extract_skeleton(g, core::Params{});
+  ASSERT_EQ(before.skeleton_cycle_rank(), 0);
+
+  // Kill a disk of radius 14 in the middle.
+  std::vector<char> dead(static_cast<std::size_t>(g.n()), 0);
+  int killed = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    if (geom::dist(g.position(v), {50, 35}) < 14.0) {
+      dead[static_cast<std::size_t>(v)] = 1;
+      ++killed;
+    }
+  }
+  ASSERT_GT(killed, 50);
+  const net::Graph broken = kill_nodes(g, dead);
+  const core::SkeletonResult after =
+      core::extract_skeleton(broken, core::Params{});
+  EXPECT_EQ(after.skeleton.component_count(), 1);
+  EXPECT_EQ(after.skeleton_cycle_rank(), 1)
+      << "the dead zone must read as one hole";
+  // The loop actually encircles the dead zone: some skeleton node on
+  // every side of it.
+  bool left = false, right = false, above = false, below = false;
+  for (int v : after.skeleton.nodes()) {
+    const geom::Vec2 p = broken.position(v);
+    if (std::abs(p.y - 35) < 12) {
+      left |= p.x < 50 - 14;
+      right |= p.x > 50 + 14;
+    }
+    if (std::abs(p.x - 50) < 12) {
+      below |= p.y < 35 - 14;
+      above |= p.y > 35 + 14;
+    }
+  }
+  EXPECT_TRUE(left && right && above && below);
+}
+
+TEST(FailureInjection, ScatteredFailuresKeepTopology) {
+  const net::Graph g = base_network(42);
+  deploy::Rng rng(99);
+  std::vector<char> dead(static_cast<std::size_t>(g.n()), 0);
+  // 8% random failures.
+  for (int v = 0; v < g.n(); ++v) {
+    if (rng.next_double() < 0.08) dead[static_cast<std::size_t>(v)] = 1;
+  }
+  const net::Graph broken = kill_nodes(g, dead);
+  ASSERT_GT(broken.n(), g.n() * 4 / 5);
+  const core::SkeletonResult r = core::extract_skeleton(broken, core::Params{});
+  EXPECT_EQ(r.skeleton.component_count(), 1);
+  EXPECT_EQ(r.skeleton_cycle_rank(), 0)
+      << "scattered failures are not holes";
+}
+
+TEST(FailureInjection, TwoDeadZonesTwoLoops) {
+  const net::Graph g = base_network(43);
+  std::vector<char> dead(static_cast<std::size_t>(g.n()), 0);
+  for (int v = 0; v < g.n(); ++v) {
+    const geom::Vec2 p = g.position(v);
+    if (geom::dist(p, {28, 35}) < 11.0 || geom::dist(p, {72, 35}) < 11.0) {
+      dead[static_cast<std::size_t>(v)] = 1;
+    }
+  }
+  const net::Graph broken = kill_nodes(g, dead);
+  const core::SkeletonResult r = core::extract_skeleton(broken, core::Params{});
+  EXPECT_EQ(r.skeleton.component_count(), 1);
+  EXPECT_EQ(r.skeleton_cycle_rank(), 2);
+}
+
+}  // namespace
+}  // namespace skelex

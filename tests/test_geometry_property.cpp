@@ -1,0 +1,72 @@
+// Cross-validation of the geometric kernel: the crossing-number
+// point-in-polygon test against an independent winding-number
+// implementation, over random points and every library shape.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/rng.h"
+#include "geometry/shapes.h"
+
+namespace skelex::geom {
+namespace {
+
+// Independent reference: signed winding number by summing subtended
+// angles. Slow but a genuinely different algorithm.
+bool winding_contains(const Ring& ring, Vec2 p) {
+  double angle = 0.0;
+  const auto& pts = ring.points();
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const Vec2 a = pts[i] - p;
+    const Vec2 b = pts[(i + 1) % pts.size()] - p;
+    angle += std::atan2(a.cross(b), a.dot(b));
+  }
+  return std::abs(angle) > 3.0;  // ~2*pi inside, ~0 outside
+}
+
+class ContainsCrossValidation
+    : public ::testing::TestWithParam<shapes::NamedShape> {};
+
+TEST_P(ContainsCrossValidation, CrossingMatchesWinding) {
+  const Region& region = GetParam().region;
+  Vec2 lo, hi;
+  region.bounding_box(lo, hi);
+  deploy::Rng rng(0xfeed);
+  int checked = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const Vec2 p{rng.uniform(lo.x - 2, hi.x + 2),
+                 rng.uniform(lo.y - 2, hi.y + 2)};
+    // Skip points within epsilon of any boundary: the two algorithms may
+    // legitimately disagree on exact-boundary classification.
+    if (region.distance_to_boundary(p) < 1e-6) continue;
+    bool expected = winding_contains(region.outer(), p);
+    for (const Ring& h : region.holes()) {
+      if (winding_contains(h, p)) expected = false;
+    }
+    EXPECT_EQ(region.contains(p), expected)
+        << GetParam().name << " at " << p;
+    ++checked;
+  }
+  EXPECT_GT(checked, 2500);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllShapes, ContainsCrossValidation,
+                         ::testing::ValuesIn(shapes::all_shapes()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(ClosestBoundaryPoint, IsOnTheBoundaryAndRealizesTheDistance) {
+  const Region region = shapes::smile();
+  deploy::Rng rng(0xbead);
+  Vec2 lo, hi;
+  region.bounding_box(lo, hi);
+  for (int i = 0; i < 400; ++i) {
+    const Vec2 p{rng.uniform(lo.x, hi.x), rng.uniform(lo.y, hi.y)};
+    const Vec2 c = region.closest_boundary_point(p);
+    const double d = region.distance_to_boundary(p);
+    EXPECT_NEAR(dist(p, c), d, 1e-9);
+    EXPECT_LT(region.distance_to_boundary(c), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace skelex::geom

@@ -1,0 +1,129 @@
+#include "net/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "deploy/deployment.h"
+#include "geometry/shapes.h"
+
+namespace skelex::net {
+namespace {
+
+using geom::Vec2;
+
+TEST(Graph, EmptyAndIsolated) {
+  Graph g(5);
+  EXPECT_EQ(g.n(), 5);
+  EXPECT_EQ(g.edge_count(), 0);
+  EXPECT_EQ(g.degree(0), 0);
+  EXPECT_FALSE(g.has_positions());
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 0.0);
+  EXPECT_THROW(Graph(-1), std::invalid_argument);
+}
+
+TEST(Graph, AddEdgeIdempotentAndUndirected) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);  // duplicate in reverse
+  g.add_edge(0, 1);  // duplicate
+  g.add_edge(0, 0);  // self edge ignored
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_THROW(g.add_edge(0, 7), std::out_of_range);
+}
+
+TEST(Graph, AvgDegree) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  EXPECT_DOUBLE_EQ(g.avg_degree(), 6.0 / 4.0);
+}
+
+TEST(Graph, PositionsCarried) {
+  Graph g(std::vector<Vec2>{{0, 0}, {1, 1}});
+  EXPECT_TRUE(g.has_positions());
+  EXPECT_EQ(g.position(1), Vec2(1, 1));
+  EXPECT_EQ(g.n(), 2);
+}
+
+TEST(BuildUdg, MatchesPairwiseDistances) {
+  std::vector<Vec2> pts{{0, 0}, {1, 0}, {2.5, 0}, {2.5, 0.5}};
+  Graph g = build_udg(pts, 1.2);
+  EXPECT_TRUE(g.has_edge(0, 1));   // dist 1
+  EXPECT_FALSE(g.has_edge(1, 2));  // dist 1.5
+  EXPECT_TRUE(g.has_edge(2, 3));   // dist 0.5
+  EXPECT_FALSE(g.has_edge(0, 3));
+  EXPECT_EQ(g.edge_count(), 2);
+}
+
+TEST(BuildGraph, ProbabilisticModelsAreSymmetric) {
+  // The link decision is made once per unordered pair, so the graph is
+  // undirected by construction; verify adjacency symmetry on a QUDG.
+  const geom::Region r = geom::shapes::rect(40, 40);
+  deploy::Rng rng(17);
+  auto pts = deploy::uniform_in_region(r, 300, rng);
+  radio::QuasiUnitDiskModel model(4.0, 0.4, 0.3);
+  Graph g = build_graph(std::move(pts), model, rng);
+  for (int v = 0; v < g.n(); ++v) {
+    for (int w : g.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(w, v));
+    }
+  }
+  EXPECT_GT(g.edge_count(), 0);
+}
+
+TEST(ConnectedComponents, LabelsAndSizes) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(3, 4);
+  // node 5 isolated
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 3);
+  EXPECT_EQ(c.label[0], c.label[1]);
+  EXPECT_EQ(c.label[1], c.label[2]);
+  EXPECT_EQ(c.label[3], c.label[4]);
+  EXPECT_NE(c.label[0], c.label[3]);
+  EXPECT_NE(c.label[0], c.label[5]);
+  std::vector<int> sizes = c.size;
+  std::sort(sizes.begin(), sizes.end());
+  EXPECT_EQ(sizes, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(c.size[static_cast<std::size_t>(c.largest)], 3);
+}
+
+TEST(LargestComponentSubgraph, KeepsEdgesAndPositions) {
+  Graph g(std::vector<Vec2>{{0, 0}, {1, 0}, {2, 0}, {10, 10}, {11, 10}});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(3, 4);
+  std::vector<int> orig;
+  Graph sub = largest_component_subgraph(g, orig);
+  EXPECT_EQ(sub.n(), 3);
+  EXPECT_EQ(sub.edge_count(), 3);
+  ASSERT_EQ(orig.size(), 3u);
+  EXPECT_EQ(orig, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(sub.has_positions());
+  EXPECT_EQ(sub.position(2), Vec2(2, 0));
+}
+
+TEST(LargestComponentSubgraph, WholeGraphWhenConnected) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  std::vector<int> orig;
+  Graph sub = largest_component_subgraph(g, orig);
+  EXPECT_EQ(sub.n(), 3);
+  EXPECT_EQ(sub.edge_count(), 2);
+  EXPECT_FALSE(sub.has_positions());
+}
+
+}  // namespace
+}  // namespace skelex::net

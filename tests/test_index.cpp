@@ -1,0 +1,112 @@
+#include "core/index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/khop.h"
+
+namespace skelex::core {
+namespace {
+
+TEST(Params, Validation) {
+  Params p;
+  EXPECT_NO_THROW(p.validate());
+  p.k = 0;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = Params{};
+  p.alpha = -1;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = Params{};
+  p.hole_khop_ratio = 1.5;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+  p = Params{};
+  p.prune_len = -2;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, EffectiveDefaults) {
+  Params p;
+  EXPECT_EQ(p.effective_local_max_radius(), 2);  // documented default
+  p.local_max_radius = 3;
+  EXPECT_EQ(p.effective_local_max_radius(), 3);
+  p.l = 4;
+  p.local_max_radius = 0;  // 0 = derive from l
+  EXPECT_EQ(p.effective_local_max_radius(), 4);
+  p.l = 0;
+  EXPECT_EQ(p.effective_local_max_radius(), 1);
+  p.k = 3;
+  EXPECT_EQ(p.effective_fake_pocket_min_size(), 18);
+  p.fake_pocket_min_size = 5;
+  EXPECT_EQ(p.effective_fake_pocket_min_size(), 5);
+}
+
+TEST(ComputeIndex, IsAverageOfSizeAndCentrality) {
+  net::Graph g(5);  // path
+  for (int i = 0; i < 4; ++i) g.add_edge(i, i + 1);
+  Params p;
+  p.k = 2;
+  p.l = 1;
+  const IndexData d = compute_index(g, p);
+  const auto sizes = net::khop_sizes(g, 2);
+  const auto cent = net::l_centrality(g, sizes, 1, false);
+  ASSERT_EQ(d.index.size(), 5u);
+  for (std::size_t v = 0; v < 5; ++v) {
+    EXPECT_EQ(d.khop_size[v], sizes[v]);
+    EXPECT_DOUBLE_EQ(d.centrality[v], cent[v]);
+    EXPECT_DOUBLE_EQ(d.index[v], 0.5 * (sizes[v] + cent[v]));
+  }
+}
+
+// Observation 1 & 2 of the paper: in a corridor, nodes near the medial
+// line have higher k-hop sizes / centrality / index than nodes hugging
+// the boundary.
+TEST(ComputeIndex, MedialNodesBeatBoundaryNodesInACorridor) {
+  const geom::Region corridor = geom::shapes::corridor(100.0, 16.0);
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1200;
+  spec.target_avg_deg = 9.0;
+  spec.seed = 21;
+  const deploy::Scenario sc = deploy::make_udg_scenario(corridor, spec);
+  const net::Graph& g = sc.graph;
+  const IndexData d = compute_index(g, Params{});
+
+  // Average index of mid-band nodes vs rim-band nodes, away from the
+  // corridor's short ends (x in [25, 75]).
+  double mid_sum = 0, rim_sum = 0;
+  int mid_n = 0, rim_n = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    const geom::Vec2 p = g.position(v);
+    if (p.x < 25 || p.x > 75) continue;
+    const double band = std::abs(p.y - 8.0);
+    if (band < 2.0) {
+      mid_sum += d.index[static_cast<std::size_t>(v)];
+      ++mid_n;
+    } else if (band > 6.0) {
+      rim_sum += d.index[static_cast<std::size_t>(v)];
+      ++rim_n;
+    }
+  }
+  ASSERT_GT(mid_n, 10);
+  ASSERT_GT(rim_n, 10);
+  EXPECT_GT(mid_sum / mid_n, 1.2 * (rim_sum / rim_n));
+}
+
+TEST(ComputeIndex, LZeroUsesOwnSizeAsCentrality) {
+  net::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  Params p;
+  p.k = 1;
+  p.l = 0;
+  const IndexData d = compute_index(g, p);
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_DOUBLE_EQ(d.centrality[v], d.khop_size[v]);
+    EXPECT_DOUBLE_EQ(d.index[v], d.khop_size[v]);
+  }
+}
+
+}  // namespace
+}  // namespace skelex::core

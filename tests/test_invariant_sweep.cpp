@@ -1,0 +1,97 @@
+// Broad invariant sweep: the pipeline's structural guarantees must hold
+// for every shape x seed combination, not just the tuned scenarios.
+// Each instance is small (fast); the value is in the breadth.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/bfs.h"
+
+namespace skelex {
+namespace {
+
+struct SweepCase {
+  const char* shape;
+  std::uint64_t seed;
+};
+
+class InvariantSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(InvariantSweep, StructuralGuarantees) {
+  const auto [shape, seed] = GetParam();
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 700;
+  spec.target_avg_deg = 7.5;
+  spec.seed = seed;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::by_name(shape), spec);
+  const net::Graph& g = sc.graph;
+  const core::SkeletonResult r = core::extract_skeleton(g, core::Params{});
+
+  // 1. Non-empty skeleton, one component per network component.
+  ASSERT_GT(r.skeleton.node_count(), 0);
+  EXPECT_EQ(r.skeleton.component_count(),
+            net::connected_components(g).count);
+
+  // 2. Every skeleton edge is a network link; every node id is valid.
+  for (int v : r.skeleton.nodes()) {
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, g.n());
+    for (int w : r.skeleton.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(v, w));
+    }
+  }
+
+  // 3. Every site is part of the COARSE skeleton (pruning may later trim
+  // whole limbs, so the final skeleton holds no such guarantee).
+  for (int s : r.voronoi.sites) {
+    EXPECT_TRUE(r.coarse.has_node(s)) << "site " << s;
+  }
+
+  // 4. Segmentation partitions the graph.
+  EXPECT_EQ(std::accumulate(r.segmentation.segment_size.begin(),
+                            r.segmentation.segment_size.end(), 0),
+            g.n());
+
+  // 5. Distance transform is a valid BFS field: zero exactly on the
+  // skeleton, neighbors differ by at most 1.
+  for (int v = 0; v < g.n(); ++v) {
+    const int dv = r.boundary.dist_to_skeleton[static_cast<std::size_t>(v)];
+    EXPECT_EQ(dv == 0, r.skeleton.has_node(v));
+    for (int w : g.neighbors(v)) {
+      const int dw = r.boundary.dist_to_skeleton[static_cast<std::size_t>(w)];
+      EXPECT_LE(std::abs(dv - dw), 1);
+    }
+  }
+
+  // 6. Determinism.
+  const core::SkeletonResult r2 = core::extract_skeleton(g, core::Params{});
+  EXPECT_EQ(r.skeleton.nodes(), r2.skeleton.nodes());
+  EXPECT_EQ(r.skeleton.edge_count(), r2.skeleton.edge_count());
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const char* shape : {"disk", "rect", "annulus", "lshape", "tshape",
+                            "hshape", "ushape", "cross", "corridor",
+                            "window", "star", "two_holes"}) {
+    for (std::uint64_t seed : {101u, 202u, 303u}) {
+      cases.push_back({shape, seed});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllShapes, InvariantSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const auto& info) {
+      return std::string(info.param.shape) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace skelex

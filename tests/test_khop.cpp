@@ -1,0 +1,121 @@
+#include "net/khop.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "deploy/deployment.h"
+#include "deploy/rng.h"
+#include "geometry/shapes.h"
+#include "net/bfs.h"
+
+namespace skelex::net {
+namespace {
+
+Graph random_udg(int n, double range, std::uint64_t seed) {
+  deploy::Rng rng(seed);
+  auto pts = deploy::uniform_in_region(geom::shapes::rect(30, 30), n, rng);
+  return build_udg(std::move(pts), range);
+}
+
+TEST(KhopNeighbors, SmallGraphExact) {
+  Graph g(6);  // path 0-1-2-3-4-5
+  for (int i = 0; i < 5; ++i) g.add_edge(i, i + 1);
+  const auto n2 = khop_neighbors(g, 2, 2);
+  const std::set<int> got(n2.begin(), n2.end());
+  EXPECT_EQ(got, (std::set<int>{0, 1, 3, 4}));
+  EXPECT_TRUE(khop_neighbors(g, 2, 0).empty());
+  EXPECT_THROW(khop_neighbors(g, 9, 1), std::out_of_range);
+  EXPECT_THROW(khop_neighbors(g, 0, -1), std::invalid_argument);
+}
+
+// Property: khop_sizes agrees with per-node truncated BFS, across graph
+// sizes and k values.
+class KhopSizesTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(KhopSizesTest, MatchesBfsCount) {
+  const auto [n, k, seed] = GetParam();
+  const Graph g = random_udg(n, 3.5, seed);
+  const auto sizes = khop_sizes(g, k);
+  ASSERT_EQ(sizes.size(), static_cast<std::size_t>(g.n()));
+  for (int v = 0; v < g.n(); ++v) {
+    const auto d = bfs_distances(g, v, k);
+    int count = 0;
+    for (int x : d) {
+      if (x > 0) ++count;  // within k hops, not self
+    }
+    EXPECT_EQ(sizes[static_cast<std::size_t>(v)], count) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KhopSizesTest,
+    ::testing::Combine(::testing::Values(1, 30, 150),
+                       ::testing::Values(1, 2, 4, 7),
+                       ::testing::Values(3u, 77u)));
+
+TEST(KhopSizes, KZeroIsAllZeros) {
+  const Graph g = random_udg(50, 4.0, 5);
+  for (int s : khop_sizes(g, 0)) EXPECT_EQ(s, 0);
+}
+
+TEST(KhopSizes, DegreeEqualsOneHop) {
+  const Graph g = random_udg(120, 4.0, 9);
+  const auto sizes = khop_sizes(g, 1);
+  for (int v = 0; v < g.n(); ++v) {
+    EXPECT_EQ(sizes[static_cast<std::size_t>(v)], g.degree(v));
+  }
+}
+
+TEST(LCentrality, DefinitionMatchesBruteForce) {
+  const Graph g = random_udg(100, 4.0, 13);
+  const auto sizes = khop_sizes(g, 3);
+  const auto cent = l_centrality(g, sizes, 2, /*include_self=*/false);
+  for (int v = 0; v < g.n(); ++v) {
+    const auto nb = khop_neighbors(g, v, 2);
+    double expected;
+    if (nb.empty()) {
+      expected = sizes[static_cast<std::size_t>(v)];
+    } else {
+      long long sum = 0;
+      for (int w : nb) sum += sizes[static_cast<std::size_t>(w)];
+      expected = static_cast<double>(sum) / static_cast<double>(nb.size());
+    }
+    EXPECT_DOUBLE_EQ(cent[static_cast<std::size_t>(v)], expected);
+  }
+}
+
+TEST(LCentrality, IncludeSelfShiftsAverage) {
+  Graph g(3);  // path 0-1-2
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const auto sizes = khop_sizes(g, 1);  // degrees: 1, 2, 1
+  const auto without = l_centrality(g, sizes, 1, false);
+  const auto with = l_centrality(g, sizes, 1, true);
+  // Node 0: neighbors {1} -> 2; with self: (1+2)/2 = 1.5.
+  EXPECT_DOUBLE_EQ(without[0], 2.0);
+  EXPECT_DOUBLE_EQ(with[0], 1.5);
+  // Node 1: neighbors {0,2} -> 1; with self: (2+1+1)/3 = 4/3.
+  EXPECT_DOUBLE_EQ(without[1], 1.0);
+  EXPECT_DOUBLE_EQ(with[1], 4.0 / 3.0);
+}
+
+TEST(LCentrality, IsolatedNodeFallsBackToOwnSize) {
+  Graph g(2);  // no edges
+  const auto sizes = khop_sizes(g, 3);
+  const auto cent = l_centrality(g, sizes, 3, false);
+  EXPECT_DOUBLE_EQ(cent[0], 0.0);
+}
+
+TEST(LCentrality, Validation) {
+  Graph g(3);
+  std::vector<int> wrong_size(2, 0);
+  EXPECT_THROW(l_centrality(g, wrong_size, 1), std::invalid_argument);
+  std::vector<int> ok(3, 0);
+  EXPECT_THROW(l_centrality(g, ok, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skelex::net

@@ -1,0 +1,113 @@
+#include "geometry/medial_axis_ref.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/shapes.h"
+
+namespace skelex::geom {
+namespace {
+
+TEST(ReferenceMedialAxis, RectAxisIsTheMidline) {
+  // A long rectangle's stable medial axis is the horizontal midline
+  // (plus 45-degree corner spurs, which the lambda filter suppresses for
+  // large-enough min_separation).
+  const Region rect = shapes::corridor(100.0, 20.0);
+  MedialAxisParams p;
+  p.min_separation = 15.0;  // > corridor width: keeps only the midline
+  const ReferenceMedialAxis axis(rect, p);
+  ASSERT_FALSE(axis.empty());
+  for (const MedialSample& s : axis.samples()) {
+    EXPECT_NEAR(s.pos.y, 10.0, 1.2) << s.pos;
+    EXPECT_NEAR(s.clearance, 10.0, 1.2);
+  }
+}
+
+TEST(ReferenceMedialAxis, DiskAxisDegeneratesToCenter) {
+  // A disk's exact medial axis is a single point; the tolerance-based
+  // touch-point collection necessarily blurs that degeneracy into a small
+  // central blob (near the center, every direction is almost-nearest).
+  // The blob must stay well inside the disk (radius 30).
+  const Region disk = shapes::disk(30.0);
+  MedialAxisParams p;
+  p.min_separation = 25.0;
+  const ReferenceMedialAxis axis(disk, p);
+  ASSERT_FALSE(axis.empty());
+  EXPECT_LT(axis.distance_to_axis({50, 50}), 1.5);  // center is medial
+  for (const MedialSample& s : axis.samples()) {
+    EXPECT_NEAR(dist(s.pos, {50, 50}), 0.0, 11.0);
+  }
+}
+
+TEST(ReferenceMedialAxis, AnnulusAxisIsTheMiddleCircle) {
+  const Region ann = shapes::annulus(40.0, 20.0);
+  const ReferenceMedialAxis axis(ann);
+  ASSERT_FALSE(axis.empty());
+  // Middle radius = 30.
+  for (const MedialSample& s : axis.samples()) {
+    EXPECT_NEAR(dist(s.pos, {50, 50}), 30.0, 2.5);
+  }
+  // The axis goes all the way around: samples in all four quadrants.
+  int q[4] = {0, 0, 0, 0};
+  for (const MedialSample& s : axis.samples()) {
+    const int ix = s.pos.x > 50 ? 1 : 0;
+    const int iy = s.pos.y > 50 ? 1 : 0;
+    ++q[2 * iy + ix];
+  }
+  for (int count : q) EXPECT_GT(count, 0);
+}
+
+TEST(ReferenceMedialAxis, DistanceQueryMatchesBruteForce) {
+  const Region l = shapes::lshape();
+  const ReferenceMedialAxis axis(l);
+  ASSERT_FALSE(axis.empty());
+  const Vec2 queries[] = {{15, 15}, {50, 15}, {15, 80}, {90, 10}, {2, 2}};
+  for (const Vec2& p : queries) {
+    double brute = 1e18;
+    for (const MedialSample& s : axis.samples()) {
+      brute = std::min(brute, dist(p, s.pos));
+    }
+    EXPECT_NEAR(axis.distance_to_axis(p), brute, 1e-9) << p;
+  }
+}
+
+TEST(ReferenceMedialAxis, CoverageBounds) {
+  const Region rect = shapes::corridor(100.0, 20.0);
+  MedialAxisParams p;
+  p.min_separation = 15.0;
+  const ReferenceMedialAxis axis(rect, p);
+  // Points on the midline cover everything within a big radius.
+  std::vector<Vec2> mid;
+  for (double x = 2; x <= 98; x += 2) mid.push_back({x, 10});
+  EXPECT_GT(axis.coverage(mid, 3.0), 0.95);
+  EXPECT_DOUBLE_EQ(axis.coverage(mid, 200.0), 1.0);
+  // A single far corner point covers almost nothing at small radius.
+  EXPECT_LT(axis.coverage({{0, 0}}, 3.0), 0.1);
+  EXPECT_EQ(axis.coverage({}, 3.0), 0.0);
+}
+
+TEST(ReferenceMedialAxis, MinClearanceFiltersBoundaryNoise) {
+  const Region rect = shapes::corridor(60.0, 12.0);
+  MedialAxisParams p;
+  p.min_clearance = 3.0;
+  const ReferenceMedialAxis axis(rect, p);
+  for (const MedialSample& s : axis.samples()) {
+    EXPECT_GE(s.clearance, 3.0);
+  }
+}
+
+TEST(ReferenceMedialAxis, WindowAxisTouchesAllCorridors) {
+  const Region w = shapes::window();
+  const ReferenceMedialAxis axis(w);
+  ASSERT_FALSE(axis.empty());
+  // The lattice midlines: check a few expected medial locations.
+  EXPECT_LT(axis.distance_to_axis({50, 50}), 2.5);  // central junction
+  EXPECT_LT(axis.distance_to_axis({7, 50}), 2.5);   // left frame bar
+  EXPECT_LT(axis.distance_to_axis({50, 7}), 2.5);   // bottom frame bar
+  // Pane centers are NOT medial (outside the region entirely).
+  EXPECT_GT(axis.distance_to_axis({29, 29}), 10.0);
+}
+
+}  // namespace
+}  // namespace skelex::geom

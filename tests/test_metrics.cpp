@@ -1,0 +1,132 @@
+#include "metrics/homotopy.h"
+#include "metrics/quality.h"
+#include "metrics/stability.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geometry/shapes.h"
+
+namespace skelex::metrics {
+namespace {
+
+using geom::Vec2;
+
+net::Graph three_positions() {
+  return net::Graph(std::vector<Vec2>{{50, 10}, {50, 30}, {50, 50}});
+}
+
+TEST(Medialness, ExactDistances) {
+  const geom::Region region = geom::shapes::corridor(100.0, 20.0);
+  geom::MedialAxisParams p;
+  p.min_separation = 15.0;  // midline only
+  const geom::ReferenceMedialAxis axis(region, p);
+
+  net::Graph g(std::vector<Vec2>{{50, 10}, {50, 14}, {20, 10}});
+  core::SkeletonGraph sk(3);
+  sk.add_node(0);
+  sk.add_node(1);
+  const Medialness m = medialness(g, sk, axis);
+  EXPECT_EQ(m.node_count, 2);
+  EXPECT_NEAR(m.mean, (0.0 + 4.0) / 2.0, 0.8);
+  EXPECT_NEAR(m.max, 4.0, 0.8);
+  EXPECT_GE(m.rms, m.mean);
+  EXPECT_LE(m.rms, m.max + 1e-9);
+}
+
+TEST(Medialness, EmptySkeleton) {
+  const geom::ReferenceMedialAxis axis(geom::shapes::corridor(60, 12));
+  net::Graph g(std::vector<Vec2>{{10, 6}});
+  core::SkeletonGraph sk(1);
+  const Medialness m = medialness(g, sk, axis);
+  EXPECT_EQ(m.node_count, 0);
+  EXPECT_EQ(m.mean, 0.0);
+}
+
+TEST(SkeletonPositions, RequiresPositions) {
+  net::Graph g(3);
+  core::SkeletonGraph sk(3);
+  sk.add_node(0);
+  EXPECT_THROW(skeleton_positions(g, sk), std::invalid_argument);
+}
+
+TEST(AxisCoverage, MidlineCoversCorridorAxis) {
+  const geom::Region region = geom::shapes::corridor(100.0, 20.0);
+  geom::MedialAxisParams p;
+  p.min_separation = 15.0;
+  const geom::ReferenceMedialAxis axis(region, p);
+  std::vector<Vec2> pos;
+  for (double x = 2; x <= 98; x += 1.5) pos.push_back({x, 10});
+  net::Graph g(pos);
+  core::SkeletonGraph sk(g.n());
+  for (int v = 0; v < g.n(); ++v) sk.add_node(v);
+  EXPECT_GT(axis_coverage(g, sk, axis, 2.5), 0.95);
+  // One lone node covers only its neighborhood.
+  core::SkeletonGraph one(g.n());
+  one.add_node(0);
+  EXPECT_LT(axis_coverage(g, one, axis, 2.5), 0.2);
+}
+
+TEST(Homotopy, MatchingAndMismatching) {
+  const geom::Region ann = geom::shapes::annulus();
+  net::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  core::SkeletonGraph ring(4);
+  ring.add_edge(0, 1);
+  ring.add_edge(1, 2);
+  ring.add_edge(2, 3);
+  ring.add_edge(3, 0);
+  const HomotopyCheck ok = check_homotopy(g, ring, ann);
+  EXPECT_TRUE(ok.ok);
+  EXPECT_EQ(ok.skeleton_cycles, 1);
+  EXPECT_EQ(ok.region_holes, 1);
+
+  core::SkeletonGraph path(4);
+  path.add_edge(0, 1);
+  const HomotopyCheck bad = check_homotopy(g, path, ann);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_TRUE(bad.components_match);
+  EXPECT_FALSE(bad.cycles_match);
+}
+
+TEST(PositionSetDistance, KnownSets) {
+  const std::vector<Vec2> a{{0, 0}, {10, 0}};
+  const std::vector<Vec2> b{{0, 1}, {10, 0}, {20, 0}};
+  const PositionSetDistance d = position_set_distance(a, b);
+  // Directed a->b: max 1 (from (0,0)); b->a: max 10 (from (20,0)).
+  EXPECT_DOUBLE_EQ(d.hausdorff, 10.0);
+  // mean a->b = (1+0)/2; mean b->a = (1+0+10)/3.
+  EXPECT_NEAR(d.mean_nearest, 0.5 * (0.5 + 11.0 / 3.0), 1e-9);
+}
+
+TEST(PositionSetDistance, IdenticalSetsAreZero) {
+  const std::vector<Vec2> a{{1, 2}, {3, 4}};
+  const PositionSetDistance d = position_set_distance(a, a);
+  EXPECT_DOUBLE_EQ(d.hausdorff, 0.0);
+  EXPECT_DOUBLE_EQ(d.mean_nearest, 0.0);
+}
+
+TEST(PositionSetDistance, RejectsEmpty) {
+  EXPECT_THROW(position_set_distance({}, {{1, 1}}), std::invalid_argument);
+  EXPECT_THROW(position_set_distance({{1, 1}}, {}), std::invalid_argument);
+}
+
+TEST(SkeletonDistance, AcrossGraphs) {
+  net::Graph ga = three_positions();
+  net::Graph gb(std::vector<Vec2>{{50, 11}, {50, 29}});
+  core::SkeletonGraph ska(3);
+  ska.add_node(0);
+  ska.add_node(1);
+  core::SkeletonGraph skb(2);
+  skb.add_node(0);
+  skb.add_node(1);
+  const PositionSetDistance d = skeleton_distance(ga, ska, gb, skb);
+  EXPECT_DOUBLE_EQ(d.hausdorff, 1.0);
+}
+
+}  // namespace
+}  // namespace skelex::metrics

@@ -1,0 +1,170 @@
+// Coverage for smaller public surfaces: path_to_nearby records,
+// cluster_within_hops as a property against brute force, boundary filter
+// validation, and scenario spec handling.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "core/byproducts.h"
+#include "core/identify.h"
+#include "core/index.h"
+#include "core/coarse.h"
+#include "core/voronoi.h"
+#include "deploy/rng.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/bfs.h"
+
+namespace skelex {
+namespace {
+
+TEST(PathToNearby, OwnAndOtherSiteRecords) {
+  // Path 0-1-2-3-4-5-6, sites {0, 6}.
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  const core::VoronoiResult vor = core::build_voronoi(g, {0, 6}, core::Params{});
+  // Node 3 (tie): two records.
+  const auto& nearby = vor.nearby[3];
+  ASSERT_EQ(nearby.size(), 2u);
+  EXPECT_EQ(nearby[0].site, 0);
+  EXPECT_EQ(nearby[1].site, 1);
+  const auto p0 = vor.path_to_nearby(3, nearby[0]);
+  EXPECT_EQ(p0, (std::vector<int>{3, 2, 1, 0}));
+  const auto p1 = vor.path_to_nearby(3, nearby[1]);
+  EXPECT_EQ(p1, (std::vector<int>{3, 4, 5, 6}));
+  // The site itself: single-element path.
+  ASSERT_EQ(vor.nearby[0].size(), 1u);
+  EXPECT_EQ(vor.path_to_nearby(0, vor.nearby[0][0]), (std::vector<int>{0}));
+}
+
+TEST(PathToNearby, RecordDistsMatchPathLengths) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 600;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 31;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::lshape(), spec);
+  const core::Params p;
+  const core::IndexData idx = core::compute_index(sc.graph, p);
+  const auto crit = core::identify_critical_nodes(sc.graph, idx, p);
+  const core::VoronoiResult vor = core::build_voronoi(sc.graph, crit, p);
+  for (int v = 0; v < sc.graph.n(); ++v) {
+    for (const auto& rec : vor.nearby[static_cast<std::size_t>(v)]) {
+      const auto path = vor.path_to_nearby(v, rec);
+      ASSERT_FALSE(path.empty());
+      EXPECT_EQ(static_cast<int>(path.size()) - 1, rec.dist)
+          << "node " << v << " site " << rec.site;
+      EXPECT_EQ(path.back(), vor.sites[static_cast<std::size_t>(rec.site)]);
+      for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+        EXPECT_TRUE(sc.graph.has_edge(path[i], path[i + 1]));
+      }
+    }
+  }
+}
+
+// Property: cluster_within_hops computes the transitive closure of
+// "within h hops in G" over the node set.
+class ClusterPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, std::uint64_t>> {};
+
+TEST_P(ClusterPropertyTest, MatchesBruteForceClosure) {
+  const auto [set_size, merge_hops, seed] = GetParam();
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 400;
+  spec.target_avg_deg = 7.0;
+  spec.seed = seed;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::rect(60, 60), spec);
+  const net::Graph& g = sc.graph;
+
+  deploy::Rng rng(seed ^ 0x77);
+  std::set<int> chosen;
+  while (static_cast<int>(chosen.size()) < set_size) {
+    chosen.insert(static_cast<int>(rng.next_below(static_cast<std::uint64_t>(g.n()))));
+  }
+  const std::vector<int> nodes(chosen.begin(), chosen.end());
+
+  // Brute force: union-find over pairs with hop distance <= merge_hops.
+  std::vector<int> uf(nodes.size());
+  for (std::size_t i = 0; i < uf.size(); ++i) uf[i] = static_cast<int>(i);
+  const auto find = [&](int x) {
+    while (uf[static_cast<std::size_t>(x)] != x) x = uf[static_cast<std::size_t>(x)];
+    return x;
+  };
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const auto d = net::bfs_distances(g, nodes[i], merge_hops);
+    for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+      if (d[static_cast<std::size_t>(nodes[j])] != net::kUnreached) {
+        uf[static_cast<std::size_t>(find(static_cast<int>(i)))] =
+            find(static_cast<int>(j));
+      }
+    }
+  }
+  std::map<int, std::set<int>> expected;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    expected[find(static_cast<int>(i))].insert(nodes[i]);
+  }
+
+  std::set<std::set<int>> expected_sets;
+  for (const auto& [root, members] : expected) expected_sets.insert(members);
+  std::set<std::set<int>> got_sets;
+  for (const auto& cluster : core::cluster_within_hops(g, nodes, merge_hops)) {
+    got_sets.insert(std::set<int>(cluster.begin(), cluster.end()));
+  }
+  EXPECT_EQ(got_sets, expected_sets);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ClusterPropertyTest,
+    ::testing::Combine(::testing::Values(3, 10, 40),
+                       ::testing::Values(1, 2, 4),
+                       ::testing::Values(5u, 6u)));
+
+TEST(ExtractBoundaries, KhopFilterValidation) {
+  net::Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  core::SkeletonGraph sk(3);
+  sk.add_node(1);
+  std::vector<int> wrong(2, 0);
+  EXPECT_THROW(core::extract_boundaries(g, sk, 1, &wrong),
+               std::invalid_argument);
+  std::vector<int> ok(3, 5);
+  EXPECT_THROW(core::extract_boundaries(g, sk, 1, &ok, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(core::extract_boundaries(g, sk, 1, &ok, 1.5),
+               std::invalid_argument);
+  EXPECT_NO_THROW(core::extract_boundaries(g, sk, 1, &ok, 1.0));
+}
+
+TEST(ExtractBoundaries, KhopFilterRemovesHighDegreeRidges) {
+  // Path with a skeleton node in the middle; both ends are "boundary".
+  // Give node 5 an artificially huge khop value: it must be filtered.
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  core::SkeletonGraph sk(7);
+  sk.add_node(3);
+  std::vector<int> khop{1, 1, 1, 9, 1, 1, 9};
+  const core::BoundaryResult b =
+      core::extract_boundaries(g, sk, 1, &khop, 0.5);
+  EXPECT_EQ(b.boundary_nodes, (std::vector<int>{0}));  // 6 filtered out
+}
+
+TEST(Scenario, ModelsProduceConnectedLargestComponent) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 500;
+  spec.target_avg_deg = 9.0;
+  spec.seed = 4;
+  const geom::Region region = geom::shapes::disk();
+  const double range = deploy::range_for_target_degree(region, 500, 9.0);
+  const radio::QuasiUnitDiskModel model(range, 0.3, 0.5);
+  const deploy::Scenario sc = deploy::make_scenario(region, spec, model);
+  EXPECT_EQ(net::connected_components(sc.graph).count, 1);
+  EXPECT_GT(sc.deployed, 0);
+  EXPECT_DOUBLE_EQ(sc.range, model.max_range());
+}
+
+}  // namespace
+}  // namespace skelex

@@ -1,0 +1,137 @@
+#include "core/naming.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "deploy/rng.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/bfs.h"
+
+namespace skelex::core {
+namespace {
+
+SkeletonResult extract(const net::Graph& g) {
+  return extract_skeleton(g, Params{});
+}
+
+TEST(SkeletonNaming, NamesMatchDistanceTransform) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 900;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 21;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::lshape(), spec);
+  const SkeletonResult r = extract(sc.graph);
+  const SkeletonNaming naming(sc.graph, r);
+  EXPECT_EQ(naming.anchor_count(), r.skeleton.node_count());
+  for (int v = 0; v < sc.graph.n(); ++v) {
+    const NodeName& nm = naming.name_of(v);
+    ASSERT_NE(nm.anchor, -1);
+    EXPECT_TRUE(r.skeleton.has_node(nm.anchor));
+    EXPECT_EQ(nm.dist,
+              r.boundary.dist_to_skeleton[static_cast<std::size_t>(v)]);
+    if (r.skeleton.has_node(v)) {
+      EXPECT_EQ(nm.anchor, v);
+      EXPECT_EQ(nm.dist, 0);
+    }
+  }
+}
+
+TEST(SkeletonNaming, RoutesAreValidWalks) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1000;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 22;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::ushape(), spec);
+  const SkeletonResult r = extract(sc.graph);
+  const SkeletonNaming naming(sc.graph, r);
+  deploy::Rng rng(5);
+  for (int i = 0; i < 60; ++i) {
+    const int s = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(sc.graph.n())));
+    const int t = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(sc.graph.n())));
+    const std::vector<int> route = naming.route(s, t);
+    ASSERT_FALSE(route.empty());
+    EXPECT_EQ(route.front(), s);
+    EXPECT_EQ(route.back(), t);
+    for (std::size_t j = 0; j + 1 < route.size(); ++j) {
+      EXPECT_TRUE(sc.graph.has_edge(route[j], route[j + 1]))
+          << route[j] << "-" << route[j + 1];
+    }
+  }
+}
+
+TEST(SkeletonNaming, SelfRouteAndAnchorRoute) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 600;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 23;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::rect(80, 30), spec);
+  const SkeletonResult r = extract(sc.graph);
+  const SkeletonNaming naming(sc.graph, r);
+  const std::vector<int> self = naming.route(4, 4);
+  ASSERT_GE(self.size(), 1u);
+  EXPECT_EQ(self.front(), 4);
+  EXPECT_EQ(self.back(), 4);
+  EXPECT_THROW(naming.route(-1, 0), std::out_of_range);
+  EXPECT_THROW(naming.route(0, sc.graph.n()), std::out_of_range);
+}
+
+TEST(SkeletonNaming, StretchIsModest) {
+  // The paper claims approximately shortest paths: check mean stretch on
+  // a corridor network stays below 2.
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1200;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 24;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::one_hole(), spec);
+  const SkeletonResult r = extract(sc.graph);
+  const SkeletonNaming naming(sc.graph, r);
+  deploy::Rng rng(6);
+  double stretch_sum = 0;
+  int count = 0;
+  for (int i = 0; i < 50; ++i) {
+    const int s = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(sc.graph.n())));
+    const int t = static_cast<int>(
+        rng.next_below(static_cast<std::uint64_t>(sc.graph.n())));
+    if (s == t) continue;
+    const auto route = naming.route(s, t);
+    const auto sp = net::shortest_path(sc.graph, s, t);
+    if (route.empty() || sp.size() < 6) continue;  // skip trivial pairs
+    stretch_sum += static_cast<double>(route.size() - 1) /
+                   static_cast<double>(sp.size() - 1);
+    ++count;
+  }
+  ASSERT_GT(count, 20);
+  EXPECT_LT(stretch_sum / count, 2.0);
+}
+
+TEST(RouteLoad, AccumulatesPerNode) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 500;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 25;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::disk(), spec);
+  const SkeletonResult r = extract(sc.graph);
+  const SkeletonNaming naming(sc.graph, r);
+  const RouteLoad rl = route_load(naming, {{0, 10}, {10, 0}, {3, 3}});
+  EXPECT_EQ(rl.routed_pairs, 3);
+  EXPECT_GT(rl.total_hops, 0);
+  long long sum = 0;
+  for (long long x : rl.load) sum += x;
+  // Every hop contributes to two node visits minus shared endpoints;
+  // just check the accounting is self-consistent.
+  EXPECT_EQ(sum, rl.total_hops + rl.routed_pairs);
+}
+
+}  // namespace
+}  // namespace skelex::core

@@ -1,0 +1,158 @@
+// Unit tests of the nerve construction (stage 3) on hand-built lattice
+// worlds where the right answer is unambiguous:
+//   * three cells meeting at a junction  -> filled triangle -> no loop;
+//   * three cells around a hole          -> open triangle   -> loop kept;
+//   * four cells meeting at a point      -> filled quad     -> no loop;
+//   * four cells around a hole           -> open            -> loop kept.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/coarse.h"
+#include "core/identify.h"
+#include "core/index.h"
+#include "core/voronoi.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+namespace {
+
+// 4-connected W x H lattice with an optional rectangular hole
+// [hx0, hx1] x [hy0, hy1] (cells removed from the edge set).
+struct Grid {
+  int w, h;
+  net::Graph g;
+  int id(int x, int y) const { return y * w + x; }
+};
+
+Grid make_grid(int w, int h, int hx0 = -1, int hy0 = -1, int hx1 = -2,
+               int hy1 = -2) {
+  Grid grid{w, h, net::Graph(w * h)};
+  const auto in_hole = [&](int x, int y) {
+    return x >= hx0 && x <= hx1 && y >= hy0 && y <= hy1;
+  };
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      if (in_hole(x, y)) continue;
+      if (x + 1 < w && !in_hole(x + 1, y)) {
+        grid.g.add_edge(grid.id(x, y), grid.id(x + 1, y));
+      }
+      if (y + 1 < h && !in_hole(x, y + 1)) {
+        grid.g.add_edge(grid.id(x, y), grid.id(x, y + 1));
+      }
+    }
+  }
+  return grid;
+}
+
+Params grid_params() {
+  Params p;
+  p.k = 2;
+  p.l = 2;
+  return p;
+}
+
+CoarseSkeleton run_coarse(const Grid& grid, const std::vector<int>& sites,
+                          const Params& p) {
+  const IndexData idx = compute_index(grid.g, p);
+  const VoronoiResult vor = build_voronoi(grid.g, sites, p);
+  return build_coarse_skeleton(grid.g, idx, vor, p);
+}
+
+TEST(Nerve, ThreeCellsMeetingAtAJunctionFormNoLoop) {
+  // Sites in three corners of a solid grid: the cells meet near the
+  // center; the triangle must be filled and the coarse skeleton acyclic.
+  const Grid grid = make_grid(21, 21);
+  const Params p = grid_params();
+  const CoarseSkeleton c =
+      run_coarse(grid, {grid.id(2, 2), grid.id(18, 2), grid.id(10, 18)}, p);
+  EXPECT_FALSE(c.triangles.empty());
+  EXPECT_EQ(c.graph.cycle_rank(), 0);
+  EXPECT_EQ(c.graph.component_count(), 1);
+}
+
+TEST(Nerve, ThreeCellsAroundAHoleKeepTheLoop) {
+  // Same three sites, but a central hole separates the meeting point:
+  // the triangle must NOT be filled; the loop around the hole stays.
+  const Grid grid = make_grid(21, 21, 7, 7, 13, 13);
+  const Params p = grid_params();
+  const CoarseSkeleton c =
+      run_coarse(grid, {grid.id(2, 2), grid.id(18, 2), grid.id(10, 18)}, p);
+  EXPECT_EQ(c.graph.cycle_rank(), 1);
+  EXPECT_EQ(c.graph.component_count(), 1);
+}
+
+TEST(Nerve, FourCellsMeetingAtAPointFormNoLoop) {
+  // Sites in the four corners of a solid grid: the cells meet at the
+  // center in a quad junction (no chord bands between diagonal cells);
+  // the quad filling must keep the skeleton acyclic.
+  const Grid grid = make_grid(21, 21);
+  const Params p = grid_params();
+  const CoarseSkeleton c = run_coarse(
+      grid,
+      {grid.id(2, 2), grid.id(18, 2), grid.id(2, 18), grid.id(18, 18)}, p);
+  EXPECT_EQ(c.graph.cycle_rank(), 0);
+  EXPECT_EQ(c.graph.component_count(), 1);
+}
+
+TEST(Nerve, FourCellsAroundAHoleKeepTheLoop) {
+  const Grid grid = make_grid(21, 21, 7, 7, 13, 13);
+  const Params p = grid_params();
+  const CoarseSkeleton c = run_coarse(
+      grid,
+      {grid.id(2, 2), grid.id(18, 2), grid.id(2, 18), grid.id(18, 18)}, p);
+  EXPECT_EQ(c.graph.cycle_rank(), 1);
+  EXPECT_EQ(c.graph.component_count(), 1);
+}
+
+TEST(Nerve, TwoCellsAroundAHoleGetTwoBands) {
+  // Two sites left and right of a central hole: their cells meet above
+  // AND below the hole -> two bands -> the hole loop is realized.
+  const Grid grid = make_grid(25, 15, 10, 5, 14, 9);
+  const Params p = grid_params();
+  const CoarseSkeleton c =
+      run_coarse(grid, {grid.id(3, 7), grid.id(21, 7)}, p);
+  ASSERT_EQ(c.bands.size(), 2u);
+  EXPECT_EQ(c.realized_bands.size(), 2u);
+  EXPECT_EQ(c.graph.cycle_rank(), 1);
+}
+
+TEST(Nerve, TwoCellsSolidGridGetOneBand) {
+  // Without the hole the same two cells meet along one straight band.
+  const Grid grid = make_grid(25, 15);
+  const Params p = grid_params();
+  const CoarseSkeleton c =
+      run_coarse(grid, {grid.id(3, 7), grid.id(21, 7)}, p);
+  EXPECT_EQ(c.bands.size(), 1u);
+  EXPECT_EQ(c.graph.cycle_rank(), 0);
+}
+
+TEST(Nerve, SixCellsRingingAHole) {
+  // Six sites around a big hole: consecutive cells meet; the nerve cycle
+  // must survive (one loop), and no spurious second loop appears.
+  const Grid grid = make_grid(25, 25, 9, 9, 15, 15);
+  const Params p = grid_params();
+  const CoarseSkeleton c = run_coarse(
+      grid,
+      {grid.id(12, 2), grid.id(2, 8), grid.id(2, 16), grid.id(12, 22),
+       grid.id(22, 16), grid.id(22, 8)},
+      p);
+  EXPECT_EQ(c.graph.cycle_rank(), 1);
+  EXPECT_EQ(c.graph.component_count(), 1);
+}
+
+TEST(Nerve, RealizedBandsAreWithinBandList) {
+  const Grid grid = make_grid(15, 15);
+  const Params p = grid_params();
+  const CoarseSkeleton c =
+      run_coarse(grid, {grid.id(2, 2), grid.id(12, 12)}, p);
+  for (int e : c.realized_bands) {
+    ASSERT_GE(e, 0);
+    ASSERT_LT(e, static_cast<int>(c.bands.size()));
+  }
+  // Connectors align with realized bands.
+  EXPECT_EQ(c.connectors.size(), c.realized_bands.size());
+}
+
+}  // namespace
+}  // namespace skelex::core

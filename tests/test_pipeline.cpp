@@ -1,0 +1,139 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "deploy/scenario.h"
+#include "geometry/medial_axis_ref.h"
+#include "geometry/shapes.h"
+#include "metrics/homotopy.h"
+#include "metrics/quality.h"
+
+namespace skelex::core {
+namespace {
+
+struct PipelineCase {
+  std::string shape;
+  int nodes;
+  double avg_deg;
+  std::uint64_t seed;
+  int holes;  // expected skeleton cycle rank
+};
+
+class PipelineTest : public ::testing::TestWithParam<PipelineCase> {};
+
+TEST_P(PipelineTest, EndToEndInvariants) {
+  const PipelineCase& tc = GetParam();
+  const geom::Region region = geom::shapes::by_name(tc.shape);
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = tc.nodes;
+  spec.target_avg_deg = tc.avg_deg;
+  spec.seed = tc.seed;
+  const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+  const net::Graph& g = sc.graph;
+  const SkeletonResult r = extract_skeleton(g, Params{});
+
+  // Structure: non-empty connected skeleton whose edges are real links.
+  ASSERT_GT(r.skeleton.node_count(), 0);
+  EXPECT_EQ(r.skeleton.component_count(), 1);
+  for (int v : r.skeleton.nodes()) {
+    for (int w : r.skeleton.neighbors(v)) {
+      EXPECT_TRUE(g.has_edge(v, w));
+    }
+  }
+
+  // Homotopy: one cycle per region hole (the paper's headline claim).
+  EXPECT_EQ(r.skeleton_cycle_rank(), tc.holes) << tc.shape;
+
+  // Medialness: skeleton nodes within a couple of radio ranges of the
+  // true medial axis on average.
+  const geom::ReferenceMedialAxis axis(region);
+  const metrics::Medialness med = metrics::medialness(g, r.skeleton, axis);
+  EXPECT_LT(med.mean, 2.0 * sc.range) << tc.shape;
+
+  // Intermediate stages are all populated.
+  EXPECT_FALSE(r.critical_nodes.empty());
+  EXPECT_EQ(r.voronoi.cell_count(),
+            static_cast<int>(r.critical_nodes.size()));
+  EXPECT_GE(r.coarse.node_count(), r.skeleton.node_count() ? 1 : 0);
+  EXPECT_EQ(static_cast<int>(r.index.index.size()), g.n());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PipelineTest,
+    ::testing::Values(PipelineCase{"window", 2592, 5.96, 7, 4},
+                      PipelineCase{"window", 2592, 5.96, 8, 4},
+                      PipelineCase{"annulus", 1600, 7.0, 9, 1},
+                      PipelineCase{"cross", 1400, 7.0, 10, 0},
+                      PipelineCase{"lshape", 1400, 7.0, 11, 0},
+                      PipelineCase{"two_holes", 2000, 7.0, 12, 2},
+                      PipelineCase{"corridor", 900, 8.0, 13, 0}),
+    [](const auto& info) {
+      return info.param.shape + "_seed" + std::to_string(info.param.seed);
+    });
+
+TEST(Pipeline, DeterministicForFixedSeed) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 900;
+  spec.target_avg_deg = 7.0;
+  spec.seed = 77;
+  const geom::Region region = geom::shapes::star();
+  const deploy::Scenario a = deploy::make_udg_scenario(region, spec);
+  const deploy::Scenario b = deploy::make_udg_scenario(region, spec);
+  const SkeletonResult ra = extract_skeleton(a.graph, Params{});
+  const SkeletonResult rb = extract_skeleton(b.graph, Params{});
+  EXPECT_EQ(ra.critical_nodes, rb.critical_nodes);
+  EXPECT_EQ(ra.skeleton.nodes(), rb.skeleton.nodes());
+  EXPECT_EQ(ra.skeleton.edge_count(), rb.skeleton.edge_count());
+}
+
+TEST(Pipeline, SkeletonNodesHaveHighIndex) {
+  // Skeleton nodes should be drawn from the upper part of the index
+  // distribution (they are medial by construction).
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1200;
+  spec.target_avg_deg = 7.0;
+  spec.seed = 3;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::flower(), spec);
+  const SkeletonResult r = extract_skeleton(sc.graph, Params{});
+  double skel_mean = 0, all_mean = 0;
+  for (int v : r.skeleton.nodes()) {
+    skel_mean += r.index.index[static_cast<std::size_t>(v)];
+  }
+  skel_mean /= r.skeleton.node_count();
+  for (double x : r.index.index) all_mean += x;
+  all_mean /= static_cast<double>(r.index.index.size());
+  EXPECT_GT(skel_mean, all_mean);
+}
+
+TEST(Pipeline, RejectsBadParams) {
+  net::Graph g(10);
+  Params p;
+  p.k = 0;
+  EXPECT_THROW(extract_skeleton(g, p), std::invalid_argument);
+}
+
+TEST(Pipeline, TinyGraphsDoNotCrash) {
+  // Degenerate inputs: empty, single node, single edge.
+  EXPECT_NO_THROW(extract_skeleton(net::Graph(0), Params{}));
+  const SkeletonResult one = extract_skeleton(net::Graph(1), Params{});
+  EXPECT_EQ(one.skeleton.node_count(), 1);  // the node is its own skeleton
+  net::Graph pair(2);
+  pair.add_edge(0, 1);
+  const SkeletonResult two = extract_skeleton(pair, Params{});
+  EXPECT_GE(two.skeleton.node_count(), 1);
+}
+
+TEST(Pipeline, DisconnectedGraphYieldsSkeletonPerComponent) {
+  // Two disjoint paths.
+  net::Graph g(10);
+  for (int i = 0; i < 4; ++i) g.add_edge(i, i + 1);
+  for (int i = 5; i < 9; ++i) g.add_edge(i, i + 1);
+  const SkeletonResult r = extract_skeleton(g, Params{});
+  EXPECT_EQ(r.skeleton.component_count(), 2);
+}
+
+}  // namespace
+}  // namespace skelex::core

@@ -1,0 +1,152 @@
+#include "geometry/polygon.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace skelex::geom {
+namespace {
+
+Ring unit_square() { return make_rect({0, 0}, {1, 1}); }
+
+TEST(Ring, RejectsDegenerate) {
+  EXPECT_THROW(Ring({{0, 0}, {1, 0}}), std::invalid_argument);
+}
+
+TEST(Ring, AreaAndOrientation) {
+  const Ring sq = unit_square();  // make_rect is CCW
+  EXPECT_DOUBLE_EQ(sq.signed_area(), 1.0);
+  EXPECT_DOUBLE_EQ(sq.area(), 1.0);
+  const Ring rev = sq.reversed();
+  EXPECT_DOUBLE_EQ(rev.signed_area(), -1.0);
+  EXPECT_DOUBLE_EQ(rev.area(), 1.0);
+}
+
+TEST(Ring, Perimeter) {
+  EXPECT_DOUBLE_EQ(unit_square().perimeter(), 4.0);
+  const Ring tri({{0, 0}, {3, 0}, {0, 4}});
+  EXPECT_DOUBLE_EQ(tri.perimeter(), 12.0);
+}
+
+TEST(Ring, ContainsInteriorExteriorBoundary) {
+  const Ring sq = unit_square();
+  EXPECT_TRUE(sq.contains({0.5, 0.5}));
+  EXPECT_FALSE(sq.contains({1.5, 0.5}));
+  EXPECT_FALSE(sq.contains({-0.1, 0.5}));
+  // Boundary points count as inside.
+  EXPECT_TRUE(sq.contains({0.0, 0.5}));
+  EXPECT_TRUE(sq.contains({0.5, 1.0}));
+  EXPECT_TRUE(sq.contains({0.0, 0.0}));
+}
+
+TEST(Ring, ContainsConcave) {
+  // L-shape: the notch is outside.
+  const Ring l({{0, 0}, {2, 0}, {2, 1}, {1, 1}, {1, 2}, {0, 2}});
+  EXPECT_TRUE(l.contains({0.5, 1.5}));
+  EXPECT_TRUE(l.contains({1.5, 0.5}));
+  EXPECT_FALSE(l.contains({1.5, 1.5}));
+}
+
+TEST(Ring, DistanceAndClosestPoint) {
+  const Ring sq = unit_square();
+  EXPECT_DOUBLE_EQ(sq.distance_to({0.5, 0.5}), 0.5);
+  EXPECT_DOUBLE_EQ(sq.distance_to({0.5, 2.0}), 1.0);
+  const Vec2 c = sq.closest_boundary_point({0.5, 2.0});
+  EXPECT_DOUBLE_EQ(c.x, 0.5);
+  EXPECT_DOUBLE_EQ(c.y, 1.0);
+  // Corner is the closest point for diagonal exterior queries.
+  const Vec2 corner = sq.closest_boundary_point({2.0, 2.0});
+  EXPECT_DOUBLE_EQ(corner.x, 1.0);
+  EXPECT_DOUBLE_EQ(corner.y, 1.0);
+}
+
+TEST(Ring, BoundingBox) {
+  Vec2 lo, hi;
+  Ring({{1, 2}, {5, -1}, {3, 7}}).bounding_box(lo, hi);
+  EXPECT_EQ(lo, Vec2(1, -1));
+  EXPECT_EQ(hi, Vec2(5, 7));
+}
+
+TEST(Region, ContainsRespectsHoles) {
+  Region r(make_rect({0, 0}, {10, 10}), {make_rect({4, 4}, {6, 6})});
+  EXPECT_TRUE(r.contains({1, 1}));
+  EXPECT_FALSE(r.contains({5, 5}));     // inside the hole
+  EXPECT_FALSE(r.contains({11, 5}));    // outside everything
+  EXPECT_TRUE(r.contains({4.0, 5.0}));  // on the hole rim: closed region
+}
+
+TEST(Region, RejectsHoleOutsideOuter) {
+  EXPECT_THROW(
+      Region(make_rect({0, 0}, {2, 2}), {make_rect({5, 5}, {6, 6})}),
+      std::invalid_argument);
+}
+
+TEST(Region, AreaSubtractsHoles) {
+  Region r(make_rect({0, 0}, {10, 10}), {make_rect({4, 4}, {6, 6})});
+  EXPECT_DOUBLE_EQ(r.area(), 96.0);
+  EXPECT_DOUBLE_EQ(r.perimeter(), 48.0);
+  EXPECT_EQ(r.hole_count(), 1u);
+}
+
+TEST(Region, DistanceToBoundaryPicksNearestRing) {
+  Region r(make_rect({0, 0}, {10, 10}), {make_rect({4, 4}, {6, 6})});
+  // Point near the hole: hole rim is closer than outer rim.
+  EXPECT_DOUBLE_EQ(r.distance_to_boundary({3.5, 5.0}), 0.5);
+  // Point near the outer rim.
+  EXPECT_DOUBLE_EQ(r.distance_to_boundary({0.5, 5.0}), 0.5);
+  const Vec2 c = r.closest_boundary_point({3.5, 5.0});
+  EXPECT_DOUBLE_EQ(c.x, 4.0);
+}
+
+TEST(MakeRegularPolygon, VerticesOnCircle) {
+  const Ring hex = make_regular_polygon({0, 0}, 2.0, 6);
+  EXPECT_EQ(hex.size(), 6u);
+  for (const Vec2& p : hex.points()) {
+    EXPECT_NEAR(p.norm(), 2.0, 1e-12);
+  }
+  // Area approaches pi r^2 from below.
+  EXPECT_LT(hex.area(), std::numbers::pi * 4.0);
+  EXPECT_GT(hex.area(), 0.8 * std::numbers::pi * 4.0);
+  EXPECT_THROW(make_regular_polygon({0, 0}, 1.0, 2), std::invalid_argument);
+}
+
+TEST(MakeStar, AlternatesRadii) {
+  const Ring star = make_star({0, 0}, 10.0, 4.0, 5);
+  EXPECT_EQ(star.size(), 10u);
+  for (std::size_t i = 0; i < star.size(); ++i) {
+    EXPECT_NEAR(star[i].norm(), i % 2 == 0 ? 10.0 : 4.0, 1e-12);
+  }
+  EXPECT_TRUE(star.contains({0, 0}));
+}
+
+TEST(MakeFlower, RadiusOscillates) {
+  const Ring f = make_flower({0, 0}, 10.0, 3.0, 5, 100);
+  EXPECT_EQ(f.size(), 100u);
+  double rmin = 1e18, rmax = 0;
+  for (const Vec2& p : f.points()) {
+    rmin = std::min(rmin, p.norm());
+    rmax = std::max(rmax, p.norm());
+  }
+  EXPECT_NEAR(rmax, 13.0, 0.05);
+  EXPECT_NEAR(rmin, 7.0, 0.05);
+}
+
+TEST(MakeThickPolyline, StraightBand) {
+  const Ring band = make_thick_polyline({{0, 0}, {10, 0}}, 1.0);
+  EXPECT_EQ(band.size(), 4u);
+  EXPECT_NEAR(band.area(), 20.0, 1e-9);
+  EXPECT_TRUE(band.contains({5, 0.5}));
+  EXPECT_TRUE(band.contains({5, -0.5}));
+  EXPECT_FALSE(band.contains({5, 1.5}));
+}
+
+TEST(MakeThickPolyline, Validation) {
+  EXPECT_THROW(make_thick_polyline({{0, 0}}, 1.0), std::invalid_argument);
+  EXPECT_THROW(make_thick_polyline({{0, 0}, {1, 0}}, 0.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skelex::geom

@@ -1,0 +1,157 @@
+// Equivalence of the distributed (message-passing) stage implementations
+// with their centralized counterparts, plus the message/round accounting
+// behind Theorem 5.
+#include "core/protocols.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/identify.h"
+#include "core/index.h"
+#include "core/voronoi.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/bfs.h"
+#include "net/khop.h"
+
+namespace skelex::core {
+namespace {
+
+struct EquivalenceCase {
+  std::string shape;
+  int nodes;
+  double avg_deg;
+  std::uint64_t seed;
+};
+
+class ProtocolEquivalenceTest
+    : public ::testing::TestWithParam<EquivalenceCase> {};
+
+TEST_P(ProtocolEquivalenceTest, DistributedMatchesCentralized) {
+  const EquivalenceCase& tc = GetParam();
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = tc.nodes;
+  spec.target_avg_deg = tc.avg_deg;
+  spec.seed = tc.seed;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::by_name(tc.shape), spec);
+  const net::Graph& g = sc.graph;
+  const Params params;
+
+  const DistributedRun dist = run_distributed_stages(g, params);
+
+  // Stage 1: index data identical.
+  const IndexData central = compute_index(g, params);
+  EXPECT_EQ(dist.index.khop_size, central.khop_size);
+  EXPECT_EQ(dist.index.centrality, central.centrality);
+  EXPECT_EQ(dist.index.index, central.index);
+
+  // Stage 1 decision: identical critical node set.
+  EXPECT_EQ(dist.critical_nodes,
+            identify_critical_nodes(g, central, params));
+
+  // Stage 2: identical Voronoi structures, field by field.
+  const VoronoiResult cv = build_voronoi(g, dist.critical_nodes, params);
+  EXPECT_EQ(dist.voronoi.sites, cv.sites);
+  EXPECT_EQ(dist.voronoi.site_of, cv.site_of);
+  EXPECT_EQ(dist.voronoi.dist, cv.dist);
+  EXPECT_EQ(dist.voronoi.parent, cv.parent);
+  EXPECT_EQ(dist.voronoi.site2_of, cv.site2_of);
+  EXPECT_EQ(dist.voronoi.dist2, cv.dist2);
+  EXPECT_EQ(dist.voronoi.via2, cv.via2);
+  EXPECT_EQ(dist.voronoi.is_segment, cv.is_segment);
+  EXPECT_EQ(dist.voronoi.is_voronoi_node, cv.is_voronoi_node);
+  EXPECT_EQ(dist.voronoi.nearby, cv.nearby);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Networks, ProtocolEquivalenceTest,
+    ::testing::Values(EquivalenceCase{"window", 800, 7.0, 1},
+                      EquivalenceCase{"star", 700, 7.0, 2},
+                      EquivalenceCase{"two_holes", 800, 8.0, 3},
+                      EquivalenceCase{"disk", 600, 9.0, 4},
+                      EquivalenceCase{"lshape", 600, 6.5, 5}),
+    [](const auto& info) {
+      return info.param.shape + "_s" + std::to_string(info.param.seed);
+    });
+
+TEST(Protocols, KhopFloodMessageBound) {
+  // Theorem 5: the k-hop flood costs at most (k) transmissions per node
+  // origin... each node forwards each origin's message at most once, and
+  // each origin's flood reaches at most its k-hop ball, so the total is
+  // bounded by sum over v of |N_k(v)| retransmissions + n initial sends.
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 500;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 9;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::disk(), spec);
+  const net::Graph& g = sc.graph;
+  sim::Engine engine(g);
+  KhopSizeProtocol khop(g.n(), 4);
+  const sim::RunStats stats = engine.run(khop);
+  long long ball_sum = 0;
+  for (int s : khop.sizes()) ball_sum += s;
+  EXPECT_LE(stats.transmissions, ball_sum + g.n());
+  // Rounds: the wave of hop-counter k dies after k + 1 rounds.
+  EXPECT_LE(stats.rounds, 4 + 1);
+}
+
+TEST(Protocols, KhopSizesAgreeForDifferentK) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 300;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 10;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::rect(), spec);
+  for (int k : {1, 2, 3, 6}) {
+    sim::Engine engine(sc.graph);
+    KhopSizeProtocol p(sc.graph.n(), k);
+    engine.run(p);
+    EXPECT_EQ(p.sizes(), net::khop_sizes(sc.graph, k)) << "k=" << k;
+  }
+}
+
+TEST(Protocols, VoronoiRoundsBoundedByEccentricity) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 500;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 11;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::corridor(), spec);
+  const net::Graph& g = sc.graph;
+  const Params params;
+  const DistributedRun run = run_distributed_stages(g, params);
+  // The Voronoi flood finishes within max-dist-to-nearest-site + O(1)
+  // rounds (each wavefront advances one hop per round).
+  int max_dist = 0;
+  for (int d : run.voronoi.dist) max_dist = std::max(max_dist, d);
+  EXPECT_LE(run.voronoi_stats.rounds, max_dist + 2);
+  // Each node transmits exactly once in the Voronoi flood.
+  EXPECT_EQ(run.voronoi_stats.transmissions, g.n());
+}
+
+TEST(Protocols, ZeroTtlProtocolsAreSilent) {
+  net::Graph g(5);
+  for (int i = 0; i < 4; ++i) g.add_edge(i, i + 1);
+  sim::Engine engine(g);
+  KhopSizeProtocol khop(5, 0);
+  const sim::RunStats s = engine.run(khop);
+  EXPECT_EQ(s.transmissions, 0);
+  EXPECT_EQ(khop.sizes(), (std::vector<int>{0, 0, 0, 0, 0}));
+  CentralityProtocol cent({1, 2, 3, 2, 1}, 0, false);
+  engine.run(cent);
+  // Falls back to own size when nothing is heard.
+  EXPECT_EQ(cent.centrality(), (std::vector<double>{1, 2, 3, 2, 1}));
+}
+
+TEST(Protocols, LocalMaxValidation) {
+  EXPECT_THROW(LocalMaxProtocol({1.0, 2.0}, 0), std::invalid_argument);
+  EXPECT_THROW(KhopSizeProtocol(5, -1), std::invalid_argument);
+  EXPECT_THROW(VoronoiProtocol(5, {0}, -1), std::invalid_argument);
+  EXPECT_THROW(VoronoiProtocol(5, {7}, 1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace skelex::core

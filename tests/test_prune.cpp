@@ -1,0 +1,118 @@
+#include "core/prune.h"
+
+#include <gtest/gtest.h>
+
+namespace skelex::core {
+namespace {
+
+// Y-shape: junction at 3 with arms 0-1-2-3 (long), 3-4 (short), 3-5-6.
+SkeletonGraph y_shape() {
+  SkeletonGraph sk(7);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(2, 3);
+  sk.add_edge(3, 4);
+  sk.add_edge(3, 5);
+  sk.add_edge(5, 6);
+  return sk;
+}
+
+TEST(Prune, RemovesShortBranchKeepsLong) {
+  SkeletonGraph sk = y_shape();
+  const int removed = prune_short_branches(sk, 2);
+  // Branch {4} has length 1 < 2: removed. Branches {0,1,2} (3) and {6,5}
+  // (2) survive.
+  EXPECT_EQ(removed, 1);
+  EXPECT_FALSE(sk.has_node(4));
+  EXPECT_TRUE(sk.has_node(0));
+  EXPECT_TRUE(sk.has_node(6));
+  EXPECT_EQ(sk.node_count(), 6);
+}
+
+TEST(Prune, LargerThresholdEatsMore) {
+  SkeletonGraph sk = y_shape();
+  prune_short_branches(sk, 3);
+  // {4} and {6,5} go; after they go, 3 has degree 1 and joins the long
+  // chain, which is now a bare path -> kept.
+  EXPECT_FALSE(sk.has_node(4));
+  EXPECT_FALSE(sk.has_node(5));
+  EXPECT_FALSE(sk.has_node(6));
+  EXPECT_TRUE(sk.has_node(0));
+  EXPECT_TRUE(sk.has_node(3));
+  EXPECT_EQ(sk.node_count(), 4);
+}
+
+TEST(Prune, BarePathComponentIsNeverDeleted) {
+  SkeletonGraph sk(4);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  EXPECT_EQ(prune_short_branches(sk, 100), 0);
+  EXPECT_EQ(sk.node_count(), 3);
+}
+
+TEST(Prune, LoopsAreUntouched) {
+  SkeletonGraph sk(8);
+  // Square 0-1-2-3 with a short tail 3-4.
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(2, 3);
+  sk.add_edge(3, 0);
+  sk.add_edge(3, 4);
+  prune_short_branches(sk, 3);
+  EXPECT_FALSE(sk.has_node(4));
+  EXPECT_EQ(sk.node_count(), 4);
+  EXPECT_EQ(sk.cycle_rank(), 1);
+}
+
+TEST(Prune, ZeroThresholdIsANoOp) {
+  SkeletonGraph sk = y_shape();
+  EXPECT_EQ(prune_short_branches(sk, 0), 0);
+  EXPECT_EQ(sk.node_count(), 7);
+  EXPECT_THROW(prune_short_branches(sk, -1), std::invalid_argument);
+}
+
+TEST(Prune, CascadingBranches) {
+  // A comb: spine 0-1-2-3-4 with teeth 5,6,7 on nodes 1,2,3.
+  SkeletonGraph sk(8);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(2, 3);
+  sk.add_edge(3, 4);
+  sk.add_edge(1, 5);
+  sk.add_edge(2, 6);
+  sk.add_edge(3, 7);
+  prune_short_branches(sk, 2);
+  EXPECT_FALSE(sk.has_node(5));
+  EXPECT_FALSE(sk.has_node(6));
+  EXPECT_FALSE(sk.has_node(7));
+  // The spine's end stubs {0} and {4} are themselves length-1 leaf
+  // branches off junctions 1 and 3, so they go too; what remains is the
+  // junction core 1-2-3 as a bare path.
+  EXPECT_FALSE(sk.has_node(0));
+  EXPECT_FALSE(sk.has_node(4));
+  EXPECT_EQ(sk.node_count(), 3);
+}
+
+TEST(Prune, IsolatedNodesAreNotBranches) {
+  // Pruning trims leaf branches only; isolated nodes are someone else's
+  // decision (the pipeline removes them when their network component has
+  // other skeleton structure).
+  SkeletonGraph sk(5);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_node(4);  // isolated
+  prune_short_branches(sk, 1);
+  EXPECT_TRUE(sk.has_node(4));
+  EXPECT_EQ(sk.node_count(), 4);
+}
+
+TEST(Prune, SingleIsolatedNodeKept) {
+  // A skeleton that is just one site must not vanish.
+  SkeletonGraph sk(3);
+  sk.add_node(1);
+  prune_short_branches(sk, 5);
+  EXPECT_TRUE(sk.has_node(1));
+}
+
+}  // namespace
+}  // namespace skelex::core

@@ -1,0 +1,108 @@
+#include "radio/radio_model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "deploy/rng.h"
+
+namespace skelex::radio {
+namespace {
+
+using geom::Vec2;
+
+TEST(UnitDisk, ThresholdBehavior) {
+  UnitDiskModel m(2.0);
+  deploy::Rng rng(1);
+  EXPECT_TRUE(m.link({0, 0}, {2, 0}, rng));    // exactly at range
+  EXPECT_TRUE(m.link({0, 0}, {1.9, 0}, rng));
+  EXPECT_FALSE(m.link({0, 0}, {2.01, 0}, rng));
+  EXPECT_DOUBLE_EQ(m.max_range(), 2.0);
+  EXPECT_EQ(m.name(), "UDG");
+  EXPECT_THROW(UnitDiskModel(0.0), std::invalid_argument);
+}
+
+TEST(QuasiUnitDisk, DeterministicZones) {
+  QuasiUnitDiskModel m(10.0, 0.4, 0.3);
+  deploy::Rng rng(1);
+  // Below (1-alpha) R = 6: always linked.
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(m.link({0, 0}, {5.9, 0}, rng));
+  // Above (1+alpha) R = 14: never linked.
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(m.link({0, 0}, {14.1, 0}, rng));
+  EXPECT_DOUBLE_EQ(m.max_range(), 14.0);
+}
+
+TEST(QuasiUnitDisk, BandProbabilityApproximatelyP) {
+  QuasiUnitDiskModel m(10.0, 0.4, 0.3);
+  deploy::Rng rng(2);
+  int links = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (m.link({0, 0}, {10.0, 0}, rng)) ++links;
+  }
+  EXPECT_NEAR(links / static_cast<double>(n), 0.3, 0.02);
+}
+
+TEST(QuasiUnitDisk, Validation) {
+  EXPECT_THROW(QuasiUnitDiskModel(10, -0.1, 0.3), std::invalid_argument);
+  EXPECT_THROW(QuasiUnitDiskModel(10, 1.0, 0.3), std::invalid_argument);
+  EXPECT_THROW(QuasiUnitDiskModel(10, 0.4, 0.0), std::invalid_argument);
+  EXPECT_THROW(QuasiUnitDiskModel(10, 0.4, 1.0), std::invalid_argument);
+}
+
+TEST(LogNormal, XiZeroDegeneratesToUdg) {
+  LogNormalModel m(10.0, 0.0);
+  EXPECT_DOUBLE_EQ(m.link_probability(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(m.link_probability(1.0), 0.5);
+  EXPECT_DOUBLE_EQ(m.link_probability(1.5), 0.0);
+}
+
+TEST(LogNormal, ProbabilityShape) {
+  LogNormalModel m(10.0, 2.0);
+  // Eq. (2): p(1) = 1/2 exactly (log 1 = 0).
+  EXPECT_NEAR(m.link_probability(1.0), 0.5, 1e-12);
+  // Monotone decreasing in distance.
+  double prev = 1.0;
+  for (double r = 0.2; r <= 3.0; r += 0.2) {
+    const double p = m.link_probability(r);
+    EXPECT_LE(p, prev + 1e-12);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    prev = p;
+  }
+  // Long links have nonzero probability (the model's defining feature).
+  EXPECT_GT(m.link_probability(1.5), 0.0);
+  // Short links can fail: probability < 1 below normalized distance 1.
+  EXPECT_LT(m.link_probability(0.9), 1.0);
+}
+
+TEST(LogNormal, LargerXiMoreLongLinks) {
+  LogNormalModel a(10.0, 1.0), b(10.0, 3.0);
+  EXPECT_LT(a.link_probability(1.5), b.link_probability(1.5));
+  EXPECT_GT(a.link_probability(0.7), b.link_probability(0.7));
+}
+
+TEST(LogNormal, CutoffTruncates) {
+  LogNormalModel m(10.0, 2.0, 2.0);
+  deploy::Rng rng(1);
+  EXPECT_DOUBLE_EQ(m.max_range(), 20.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(m.link({0, 0}, {20.5, 0}, rng));
+  }
+}
+
+TEST(LogNormal, Validation) {
+  EXPECT_THROW(LogNormalModel(0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormalModel(10.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(LogNormalModel(10.0, 1.0, 0.5), std::invalid_argument);
+}
+
+TEST(Factories, ProduceWorkingModels) {
+  deploy::Rng rng(1);
+  EXPECT_TRUE(make_udg(5.0)->link({0, 0}, {4, 0}, rng));
+  EXPECT_EQ(make_qudg(5.0, 0.2, 0.5)->name(), "QUDG");
+  EXPECT_EQ(make_lognormal(5.0, 1.0)->name(), "LogNormal");
+}
+
+}  // namespace
+}  // namespace skelex::radio

@@ -1,0 +1,86 @@
+// End-to-end robustness under non-UDG radio models — Fig. 6 (QUDG) and
+// Fig. 7 (log-normal) as a test suite. The paper's claim: results stay
+// correct, just rougher.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/medial_axis_ref.h"
+#include "geometry/shapes.h"
+#include "metrics/homotopy.h"
+#include "metrics/quality.h"
+#include "radio/radio_model.h"
+
+namespace skelex {
+namespace {
+
+struct RadioCase {
+  std::string name;
+  std::string shape;
+  int nodes;
+  double nominal_deg;
+  // 0 = QUDG(0.4, 0.3); otherwise log-normal with this xi.
+  double xi;
+  std::uint64_t seed;
+};
+
+class RadioPipelineTest : public ::testing::TestWithParam<RadioCase> {};
+
+TEST_P(RadioPipelineTest, TopologySurvivesTheRadioModel) {
+  const RadioCase& tc = GetParam();
+  const geom::Region region = geom::shapes::by_name(tc.shape);
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = tc.nodes;
+  spec.target_avg_deg = tc.nominal_deg;
+  spec.seed = tc.seed;
+  const double nominal =
+      deploy::range_for_target_degree(region, tc.nodes, tc.nominal_deg);
+
+  deploy::Scenario sc =
+      tc.xi == 0.0
+          ? deploy::make_scenario(region, spec,
+                                  radio::QuasiUnitDiskModel(nominal, 0.4, 0.3))
+          : deploy::make_scenario(region, spec,
+                                  radio::LogNormalModel(nominal, tc.xi));
+  const net::Graph& g = sc.graph;
+  ASSERT_GT(g.n(), tc.nodes * 3 / 4) << "deployment fragmented";
+
+  const core::SkeletonResult r = core::extract_skeleton(g, core::Params{});
+  EXPECT_EQ(r.skeleton.component_count(), 1);
+  const metrics::HomotopyCheck hom = metrics::check_homotopy(g, r.skeleton, region);
+  EXPECT_TRUE(hom.ok) << tc.name << ": cycles " << hom.skeleton_cycles
+                      << " vs holes " << hom.region_holes;
+
+  // Rougher is allowed; nonsense is not. Normalize by the MEAN LINK
+  // LENGTH rather than the nominal range: the log-normal model admits
+  // links up to 3x nominal, which stretches every hop-derived position.
+  double link_len_sum = 0.0;
+  long long links = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    for (int w : g.neighbors(v)) {
+      if (w > v) {
+        link_len_sum += geom::dist(g.position(v), g.position(w));
+        ++links;
+      }
+    }
+  }
+  const double mean_link = link_len_sum / static_cast<double>(links);
+  const geom::ReferenceMedialAxis axis(region);
+  const metrics::Medialness med = metrics::medialness(g, r.skeleton, axis);
+  EXPECT_LT(med.mean, 3.5 * mean_link) << tc.name << " " << med;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, RadioPipelineTest,
+    ::testing::Values(
+        RadioCase{"qudg_window", "window", 2592, 10.0, 0.0, 11},
+        RadioCase{"qudg_two_holes", "two_holes", 2600, 10.0, 0.0, 12},
+        RadioCase{"lognormal1_window", "window", 2592, 7.0, 1.0, 13},
+        RadioCase{"lognormal2_window", "window", 2592, 7.0, 2.0, 13},
+        RadioCase{"lognormal3_annulus", "annulus", 1800, 7.0, 3.0, 14}),
+    [](const auto& info) { return info.param.name; });
+
+}  // namespace
+}  // namespace skelex

@@ -1,0 +1,100 @@
+#include "deploy/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace skelex::deploy {
+namespace {
+
+TEST(Rng, DeterministicFromSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformRange) {
+  Rng r(7);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double d = r.uniform(-3.0, 5.0);
+    EXPECT_GE(d, -3.0);
+    EXPECT_LT(d, 5.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / n, 1.0, 0.1);  // mean of U(-3, 5)
+}
+
+TEST(Rng, NextBelowInRangeAndRoughlyUniform) {
+  Rng r(9);
+  std::vector<int> hist(10, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const std::uint64_t v = r.next_below(10);
+    ASSERT_LT(v, 10u);
+    ++hist[static_cast<std::size_t>(v)];
+  }
+  for (int h : hist) {
+    EXPECT_NEAR(h, n / 10, n / 50);  // 2% absolute slack per bucket
+  }
+  EXPECT_EQ(r.next_below(0), 0u);
+  EXPECT_EQ(r.next_below(1), 0u);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng r(11);
+  const int n = 100000;
+  double sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double g = r.next_gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(5);
+  Rng b = a.split();
+  // The split stream is deterministic...
+  Rng a2(5);
+  Rng b2 = a2.split();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(b.next_u64(), b2.next_u64());
+  }
+  // ...and differs from the parent's continued output.
+  std::set<std::uint64_t> parent;
+  for (int i = 0; i < 64; ++i) parent.insert(a.next_u64());
+  Rng b3 = Rng(5).split();
+  int overlap = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent.count(b3.next_u64())) ++overlap;
+  }
+  EXPECT_LT(overlap, 2);
+}
+
+}  // namespace
+}  // namespace skelex::deploy

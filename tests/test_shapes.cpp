@@ -1,0 +1,127 @@
+#include "geometry/shapes.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace skelex::geom::shapes {
+namespace {
+
+// Every named shape must be a sane region: positive area, bounded box,
+// and all hole vertices strictly inside the outer ring (the Region
+// constructor enforces the latter; building them at all is the test).
+class AllShapesTest : public ::testing::TestWithParam<NamedShape> {};
+
+TEST_P(AllShapesTest, IsValidRegion) {
+  const Region& r = GetParam().region;
+  EXPECT_GT(r.area(), 0.0) << r.name();
+  Vec2 lo, hi;
+  r.bounding_box(lo, hi);
+  EXPECT_LT(lo.x, hi.x);
+  EXPECT_LT(lo.y, hi.y);
+  // The box is roughly the documented [0, 100] frame.
+  EXPECT_GE(lo.x, -5.0);
+  EXPECT_LE(hi.x, 105.0);
+  EXPECT_GE(lo.y, -5.0);
+  EXPECT_LE(hi.y, 105.0);
+}
+
+TEST_P(AllShapesTest, ContainsSomeInteriorPoint) {
+  const Region& r = GetParam().region;
+  // Scan a coarse grid; at least 5% of box samples must be inside, or the
+  // region is degenerate for deployment purposes.
+  Vec2 lo, hi;
+  r.bounding_box(lo, hi);
+  int inside = 0, total = 0;
+  for (double y = lo.y; y <= hi.y; y += (hi.y - lo.y) / 40) {
+    for (double x = lo.x; x <= hi.x; x += (hi.x - lo.x) / 40) {
+      ++total;
+      if (r.contains({x, y})) ++inside;
+    }
+  }
+  EXPECT_GT(inside, total / 20) << r.name();
+}
+
+TEST_P(AllShapesTest, AreaConsistentWithContainment) {
+  // Monte-Carlo-free check: grid fraction * box area ~ region area.
+  const Region& r = GetParam().region;
+  Vec2 lo, hi;
+  r.bounding_box(lo, hi);
+  int inside = 0, total = 0;
+  const int steps = 120;
+  for (int iy = 0; iy < steps; ++iy) {
+    for (int ix = 0; ix < steps; ++ix) {
+      const Vec2 p{lo.x + (ix + 0.5) * (hi.x - lo.x) / steps,
+                   lo.y + (iy + 0.5) * (hi.y - lo.y) / steps};
+      ++total;
+      if (r.contains(p)) ++inside;
+    }
+  }
+  const double grid_area =
+      (hi.x - lo.x) * (hi.y - lo.y) * inside / static_cast<double>(total);
+  EXPECT_NEAR(grid_area, r.area(), 0.06 * r.area()) << r.name();
+}
+
+INSTANTIATE_TEST_SUITE_P(Registry, AllShapesTest,
+                         ::testing::ValuesIn(all_shapes()),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(Shapes, HoleCounts) {
+  EXPECT_EQ(window().hole_count(), 4u);
+  EXPECT_EQ(one_hole().hole_count(), 1u);
+  EXPECT_EQ(smile().hole_count(), 3u);
+  EXPECT_EQ(star_hole().hole_count(), 1u);
+  EXPECT_EQ(two_holes().hole_count(), 2u);
+  EXPECT_EQ(annulus().hole_count(), 1u);
+  EXPECT_EQ(star().hole_count(), 0u);
+  EXPECT_EQ(spiral().hole_count(), 0u);
+  EXPECT_EQ(flower().hole_count(), 0u);
+  EXPECT_EQ(music().hole_count(), 0u);
+  EXPECT_EQ(airplane().hole_count(), 0u);
+  EXPECT_EQ(cactus().hole_count(), 0u);
+}
+
+TEST(Shapes, PaperScenariosCarryPaperNumbers) {
+  const auto scenarios = paper_scenarios();
+  ASSERT_EQ(scenarios.size(), 10u);  // Fig. 4 (a)-(j)
+  for (const NamedShape& s : scenarios) {
+    EXPECT_GT(s.paper_nodes, 0) << s.name;
+    EXPECT_GT(s.paper_avg_deg, 5.0) << s.name;
+    EXPECT_LT(s.paper_avg_deg, 10.0) << s.name;
+  }
+  EXPECT_EQ(scenarios.front().name, "one_hole");
+  EXPECT_EQ(scenarios.back().name, "star");
+}
+
+TEST(Shapes, ByNameLookup) {
+  EXPECT_EQ(by_name("window").name(), "window");
+  EXPECT_EQ(by_name("cactus").name(), "cactus");
+  EXPECT_THROW(by_name("no_such_shape"), std::out_of_range);
+}
+
+TEST(Shapes, WindowGeometry) {
+  const Region w = window();
+  EXPECT_TRUE(w.contains({50, 50}));    // central crossbar junction
+  EXPECT_FALSE(w.contains({30, 30}));   // inside a pane
+  EXPECT_TRUE(w.contains({7, 50}));     // frame
+  EXPECT_DOUBLE_EQ(w.area(), 10000.0 - 4 * 30.0 * 30.0);
+}
+
+TEST(Shapes, SpiralIsASimpleBand) {
+  const Region s = spiral();
+  // Band interior near the start of the spiral (theta=0 -> point (60,50),
+  // band half-width 7).
+  EXPECT_TRUE(s.contains({60, 50}));
+  // Center of the spiral is not inside the band.
+  EXPECT_FALSE(s.contains({50, 50}));
+}
+
+TEST(Shapes, BumpyRectHasBump) {
+  const Region b = bumpy_rect(8.0, 6.0);
+  EXPECT_TRUE(b.contains({50, 43}));   // inside the bump
+  EXPECT_FALSE(b.contains({40, 43}));  // beside the bump, above the rect
+  EXPECT_TRUE(b.contains({40, 39}));
+}
+
+}  // namespace
+}  // namespace skelex::geom::shapes

@@ -1,0 +1,152 @@
+#include "core/skeleton_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace skelex::core {
+namespace {
+
+TEST(SkeletonGraph, StartsEmpty) {
+  SkeletonGraph sk(10);
+  EXPECT_EQ(sk.capacity(), 10);
+  EXPECT_EQ(sk.node_count(), 0);
+  EXPECT_EQ(sk.edge_count(), 0);
+  EXPECT_FALSE(sk.has_node(3));
+  EXPECT_TRUE(sk.nodes().empty());
+  EXPECT_THROW(SkeletonGraph(-1), std::invalid_argument);
+}
+
+TEST(SkeletonGraph, AddRemoveNodes) {
+  SkeletonGraph sk(5);
+  sk.add_node(2);
+  sk.add_node(2);  // idempotent
+  EXPECT_EQ(sk.node_count(), 1);
+  EXPECT_TRUE(sk.has_node(2));
+  sk.remove_node(2);
+  sk.remove_node(2);  // idempotent
+  EXPECT_EQ(sk.node_count(), 0);
+  EXPECT_THROW(sk.add_node(7), std::out_of_range);
+}
+
+TEST(SkeletonGraph, EdgesImplyNodes) {
+  SkeletonGraph sk(5);
+  sk.add_edge(0, 1);
+  EXPECT_TRUE(sk.has_node(0));
+  EXPECT_TRUE(sk.has_node(1));
+  EXPECT_TRUE(sk.has_edge(0, 1));
+  EXPECT_TRUE(sk.has_edge(1, 0));
+  EXPECT_EQ(sk.edge_count(), 1);
+  sk.add_edge(0, 1);  // duplicate
+  sk.add_edge(0, 0);  // self
+  EXPECT_EQ(sk.edge_count(), 1);
+  EXPECT_EQ(sk.degree(0), 1);
+}
+
+TEST(SkeletonGraph, RemoveNodeDetachesEdges) {
+  SkeletonGraph sk(4);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(2, 0);
+  sk.remove_node(1);
+  EXPECT_EQ(sk.edge_count(), 1);
+  EXPECT_FALSE(sk.has_edge(0, 1));
+  EXPECT_TRUE(sk.has_edge(0, 2));
+  EXPECT_EQ(sk.degree(0), 1);
+}
+
+TEST(SkeletonGraph, RemoveEdgeKeepsNodes) {
+  SkeletonGraph sk(3);
+  sk.add_edge(0, 1);
+  sk.remove_edge(0, 1);
+  sk.remove_edge(0, 1);  // idempotent
+  EXPECT_EQ(sk.edge_count(), 0);
+  EXPECT_TRUE(sk.has_node(0));
+  EXPECT_TRUE(sk.has_node(1));
+}
+
+TEST(SkeletonGraph, ComponentsAndCycleRank) {
+  SkeletonGraph sk(10);
+  // Triangle 0-1-2, path 3-4, isolated node 5.
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(2, 0);
+  sk.add_edge(3, 4);
+  sk.add_node(5);
+  EXPECT_EQ(sk.component_count(), 3);
+  EXPECT_EQ(sk.cycle_rank(), 1);  // E - V + C = 4 - 6 + 3
+  int count = 0;
+  const auto label = sk.component_labels(count);
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(label[0], label[1]);
+  EXPECT_EQ(label[0], label[2]);
+  EXPECT_NE(label[0], label[3]);
+  EXPECT_EQ(label[6], -1);  // absent node
+}
+
+TEST(SkeletonGraph, CycleBasisOnTriangle) {
+  SkeletonGraph sk(3);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(2, 0);
+  const auto cycles = sk.cycle_basis();
+  ASSERT_EQ(cycles.size(), 1u);
+  std::set<int> nodes(cycles[0].begin(), cycles[0].end());
+  EXPECT_EQ(nodes, (std::set<int>{0, 1, 2}));
+  EXPECT_EQ(cycles[0].size(), 3u);
+}
+
+TEST(SkeletonGraph, CycleBasisValidCycles) {
+  // Two squares sharing an edge: rank 2.
+  SkeletonGraph sk(6);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(2, 3);
+  sk.add_edge(3, 0);
+  sk.add_edge(1, 4);
+  sk.add_edge(4, 5);
+  sk.add_edge(5, 2);
+  EXPECT_EQ(sk.cycle_rank(), 2);
+  const auto cycles = sk.cycle_basis();
+  ASSERT_EQ(cycles.size(), 2u);
+  for (const auto& cyc : cycles) {
+    ASSERT_GE(cyc.size(), 3u);
+    // Consecutive nodes (and the wrap-around pair) are adjacent; all
+    // nodes distinct.
+    std::set<int> uniq(cyc.begin(), cyc.end());
+    EXPECT_EQ(uniq.size(), cyc.size());
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      EXPECT_TRUE(sk.has_edge(cyc[i], cyc[(i + 1) % cyc.size()]))
+          << cyc[i] << "-" << cyc[(i + 1) % cyc.size()];
+    }
+  }
+}
+
+TEST(SkeletonGraph, CycleBasisEmptyOnForest) {
+  SkeletonGraph sk(5);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(3, 4);
+  EXPECT_TRUE(sk.cycle_basis().empty());
+  EXPECT_EQ(sk.cycle_rank(), 0);
+}
+
+TEST(SkeletonGraph, Leaves) {
+  SkeletonGraph sk(5);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(1, 3);
+  EXPECT_EQ(sk.leaves(), (std::vector<int>{0, 2, 3}));
+}
+
+TEST(SkeletonGraph, NodesSortedAscending) {
+  SkeletonGraph sk(10);
+  sk.add_node(7);
+  sk.add_node(2);
+  sk.add_node(5);
+  EXPECT_EQ(sk.nodes(), (std::vector<int>{2, 5, 7}));
+}
+
+}  // namespace
+}  // namespace skelex::core

@@ -1,0 +1,102 @@
+#include "metrics/skeleton_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+
+namespace skelex::metrics {
+namespace {
+
+TEST(SkeletonStats, Empty) {
+  core::SkeletonGraph sk(5);
+  const SkeletonStats s = skeleton_stats(sk);
+  EXPECT_EQ(s.nodes, 0);
+  EXPECT_EQ(s.branches, 0);
+  EXPECT_EQ(s.mean_branch_len, 0.0);
+}
+
+TEST(SkeletonStats, BarePath) {
+  core::SkeletonGraph sk(5);
+  for (int i = 0; i < 4; ++i) sk.add_edge(i, i + 1);
+  const SkeletonStats s = skeleton_stats(sk);
+  EXPECT_EQ(s.nodes, 5);
+  EXPECT_EQ(s.edges, 4);
+  EXPECT_EQ(s.leaves, 2);
+  EXPECT_EQ(s.junctions, 0);
+  EXPECT_EQ(s.branches, 1);
+  EXPECT_EQ(s.longest_branch, 4);
+  EXPECT_DOUBLE_EQ(s.mean_branch_len, 4.0);
+}
+
+TEST(SkeletonStats, YShape) {
+  // Arms of lengths 2, 2, 3 off junction 0.
+  core::SkeletonGraph sk(8);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(0, 3);
+  sk.add_edge(3, 4);
+  sk.add_edge(0, 5);
+  sk.add_edge(5, 6);
+  sk.add_edge(6, 7);
+  const SkeletonStats s = skeleton_stats(sk);
+  EXPECT_EQ(s.junctions, 1);
+  EXPECT_EQ(s.leaves, 3);
+  EXPECT_EQ(s.branches, 3);
+  EXPECT_EQ(s.longest_branch, 3);
+  EXPECT_NEAR(s.mean_branch_len, 7.0 / 3.0, 1e-12);
+}
+
+TEST(SkeletonStats, PureCycle) {
+  core::SkeletonGraph sk(6);
+  for (int i = 0; i < 6; ++i) sk.add_edge(i, (i + 1) % 6);
+  const SkeletonStats s = skeleton_stats(sk);
+  EXPECT_EQ(s.cycles, 1);
+  EXPECT_EQ(s.junctions, 0);
+  EXPECT_EQ(s.leaves, 0);
+  EXPECT_EQ(s.branches, 1);
+  EXPECT_EQ(s.longest_branch, 6);
+}
+
+TEST(SkeletonStats, ThetaGraph) {
+  // Two junctions, three parallel chains of lengths 2, 2, 3.
+  core::SkeletonGraph sk(8);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 5);
+  sk.add_edge(0, 2);
+  sk.add_edge(2, 5);
+  sk.add_edge(0, 3);
+  sk.add_edge(3, 4);
+  sk.add_edge(4, 5);
+  const SkeletonStats s = skeleton_stats(sk);
+  EXPECT_EQ(s.junctions, 2);
+  EXPECT_EQ(s.leaves, 0);
+  EXPECT_EQ(s.branches, 3);
+  EXPECT_EQ(s.cycles, 2);
+  EXPECT_EQ(s.longest_branch, 3);
+}
+
+TEST(SkeletonStats, CrossNetworkHasFourishBranches) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 1400;
+  spec.target_avg_deg = 7.5;
+  spec.seed = 10;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::cross(), spec);
+  const core::SkeletonResult r =
+      core::extract_skeleton(sc.graph, core::Params{});
+  const SkeletonStats s = skeleton_stats(r.skeleton);
+  EXPECT_EQ(s.cycles, 0);
+  EXPECT_GE(s.leaves, 3);   // the four arms (one may merge at a junction)
+  EXPECT_LE(s.leaves, 6);
+  EXPECT_GE(s.junctions, 1);
+  std::ostringstream os;
+  os << s;
+  EXPECT_NE(os.str().find("branches="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace skelex::metrics

@@ -1,0 +1,109 @@
+#include "net/spatial_hash.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "deploy/rng.h"
+
+namespace skelex::net {
+namespace {
+
+using geom::Vec2;
+
+std::vector<Vec2> random_points(int n, double extent, std::uint64_t seed) {
+  deploy::Rng rng(seed);
+  std::vector<Vec2> pts;
+  pts.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pts.push_back({rng.uniform(0, extent), rng.uniform(0, extent)});
+  }
+  return pts;
+}
+
+// Property: query() returns exactly the brute-force ball.
+class SpatialHashQueryTest
+    : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {};
+
+TEST_P(SpatialHashQueryTest, QueryMatchesBruteForce) {
+  const auto [n, radius, seed] = GetParam();
+  const auto pts = random_points(n, 50.0, seed);
+  const SpatialHash hash(pts, radius);
+  deploy::Rng qrng(seed ^ 0xabc);
+  for (int q = 0; q < 20; ++q) {
+    const Vec2 p{qrng.uniform(-5, 55), qrng.uniform(-5, 55)};
+    std::set<int> expected;
+    for (std::size_t i = 0; i < pts.size(); ++i) {
+      if (geom::dist(pts[i], p) <= radius) expected.insert(static_cast<int>(i));
+    }
+    std::vector<int> got = hash.query(p, radius);
+    std::set<int> got_set(got.begin(), got.end());
+    EXPECT_EQ(got_set, expected);
+    EXPECT_EQ(got.size(), got_set.size()) << "duplicates in query result";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpatialHashQueryTest,
+    ::testing::Combine(::testing::Values(1, 10, 200, 1000),
+                       ::testing::Values(0.5, 3.0, 12.0),
+                       ::testing::Values(1u, 99u)));
+
+// Property: for_each_pair visits exactly the brute-force pair set, once.
+class SpatialHashPairsTest
+    : public ::testing::TestWithParam<std::tuple<int, double, std::uint64_t>> {};
+
+TEST_P(SpatialHashPairsTest, PairsMatchBruteForce) {
+  const auto [n, radius, seed] = GetParam();
+  const auto pts = random_points(n, 40.0, seed);
+  std::set<std::pair<int, int>> expected;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    for (std::size_t j = i + 1; j < pts.size(); ++j) {
+      if (geom::dist(pts[i], pts[j]) <= radius) {
+        expected.insert({static_cast<int>(i), static_cast<int>(j)});
+      }
+    }
+  }
+  const SpatialHash hash(pts, radius);
+  std::multiset<std::pair<int, int>> got;
+  hash.for_each_pair(radius, [&](int a, int b) {
+    ASSERT_LT(a, b);
+    got.insert({a, b});
+  });
+  std::set<std::pair<int, int>> got_set(got.begin(), got.end());
+  EXPECT_EQ(got_set, expected);
+  EXPECT_EQ(got.size(), got_set.size()) << "pair visited twice";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpatialHashPairsTest,
+    ::testing::Combine(::testing::Values(2, 50, 400),
+                       ::testing::Values(1.0, 5.0, 15.0),
+                       ::testing::Values(7u, 1234u)));
+
+TEST(SpatialHash, EmptyPointSet) {
+  const SpatialHash hash({}, 1.0);
+  EXPECT_TRUE(hash.query({0, 0}, 1.0).empty());
+  int calls = 0;
+  hash.for_each_pair(1.0, [&](int, int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SpatialHash, RejectsBadCell) {
+  EXPECT_THROW(SpatialHash({{0, 0}}, 0.0), std::invalid_argument);
+}
+
+TEST(SpatialHash, CoincidentPoints) {
+  std::vector<Vec2> pts(5, Vec2{1, 1});
+  const SpatialHash hash(pts, 1.0);
+  EXPECT_EQ(hash.query({1, 1}, 0.5).size(), 5u);
+  int pairs = 0;
+  hash.for_each_pair(0.5, [&](int, int) { ++pairs; });
+  EXPECT_EQ(pairs, 10);
+}
+
+}  // namespace
+}  // namespace skelex::net

@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/cleanup.h"
+#include "core/skeleton_graph.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+namespace {
+
+TEST(TightCycles, EmptyOnForest) {
+  SkeletonGraph sk(6);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(3, 4);
+  EXPECT_TRUE(sk.tight_cycles().empty());
+}
+
+TEST(TightCycles, SingleTriangle) {
+  SkeletonGraph sk(3);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(2, 0);
+  const auto cycles = sk.tight_cycles();
+  ASSERT_EQ(cycles.size(), 1u);
+  EXPECT_EQ(cycles[0].size(), 3u);
+}
+
+TEST(TightCycles, ThetaGraphGivesTwoShortFaces) {
+  // Theta: junctions 0 and 5, three parallel paths of lengths 2, 2, 5.
+  //   0-1-5, 0-2-5, 0-3-4-6-7-5
+  SkeletonGraph sk(8);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 5);
+  sk.add_edge(0, 2);
+  sk.add_edge(2, 5);
+  sk.add_edge(0, 3);
+  sk.add_edge(3, 4);
+  sk.add_edge(4, 6);
+  sk.add_edge(6, 7);
+  sk.add_edge(7, 5);
+  EXPECT_EQ(sk.cycle_rank(), 2);
+  const auto cycles = sk.tight_cycles();
+  ASSERT_EQ(cycles.size(), 2u);
+  // Both tight cycles use the two SHORT paths where possible: the
+  // fundamental-cycle alternative could return the long way around; the
+  // tight version must prefer 0-1-5-2 (length 4).
+  std::vector<std::size_t> lens{cycles[0].size(), cycles[1].size()};
+  std::sort(lens.begin(), lens.end());
+  EXPECT_EQ(lens[0], 4u);  // the two short paths
+  EXPECT_LE(lens[1], 7u);  // short + long path, never long + long
+}
+
+TEST(TightCycles, CyclesAreValidClosedWalks) {
+  // Two squares sharing an edge.
+  SkeletonGraph sk(6);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(2, 3);
+  sk.add_edge(3, 0);
+  sk.add_edge(1, 4);
+  sk.add_edge(4, 5);
+  sk.add_edge(5, 2);
+  for (const auto& cyc : sk.tight_cycles()) {
+    ASSERT_GE(cyc.size(), 3u);
+    std::set<int> uniq(cyc.begin(), cyc.end());
+    EXPECT_EQ(uniq.size(), cyc.size());
+    for (std::size_t i = 0; i < cyc.size(); ++i) {
+      EXPECT_TRUE(sk.has_edge(cyc[i], cyc[(i + 1) % cyc.size()]));
+    }
+  }
+}
+
+TEST(TightCycles, DeduplicatesSameFace) {
+  // A single square: whichever spanning tree is chosen, exactly one
+  // tight cycle comes out even if several non-tree edges map to the same
+  // face after shortest-path rerouting.
+  SkeletonGraph sk(4);
+  sk.add_edge(0, 1);
+  sk.add_edge(1, 2);
+  sk.add_edge(2, 3);
+  sk.add_edge(3, 0);
+  EXPECT_EQ(sk.tight_cycles().size(), 1u);
+}
+
+TEST(CycleIsThin, AbsoluteFloor) {
+  // A 4-cycle: opposite nodes are 2 apart via the cycle itself ->
+  // thin at the default floor of 2 hops.
+  net::Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 0);
+  Params p;
+  EXPECT_TRUE(cycle_is_thin(g, {0, 1, 2, 3}, p));
+}
+
+TEST(CycleIsThin, LongRingIsNotThin) {
+  // A 20-ring with no chords: opposite nodes are 10 hops apart, the
+  // relative limit is 0.2 * 20 = 4 -> not thin.
+  net::Graph g(20);
+  for (int i = 0; i < 20; ++i) g.add_edge(i, (i + 1) % 20);
+  std::vector<int> cycle(20);
+  for (int i = 0; i < 20; ++i) cycle[static_cast<std::size_t>(i)] = i;
+  Params p;
+  EXPECT_FALSE(cycle_is_thin(g, cycle, p));
+}
+
+TEST(CycleIsThin, ChordedRingBecomesThin) {
+  // The same 20-ring, but with diameter chords connecting every node to
+  // its opposite: every opposite pair is 1 hop -> thin.
+  net::Graph g(20);
+  for (int i = 0; i < 20; ++i) g.add_edge(i, (i + 1) % 20);
+  for (int i = 0; i < 10; ++i) g.add_edge(i, i + 10);  // diameters
+  std::vector<int> cycle(20);
+  for (int i = 0; i < 20; ++i) cycle[static_cast<std::size_t>(i)] = i;
+  Params p;
+  EXPECT_TRUE(cycle_is_thin(g, cycle, p));
+}
+
+TEST(CycleIsThin, RespectsCustomParams) {
+  net::Graph g(8);
+  for (int i = 0; i < 8; ++i) g.add_edge(i, (i + 1) % 8);
+  std::vector<int> cycle{0, 1, 2, 3, 4, 5, 6, 7};
+  Params p;
+  p.thin_cycle_hops = 2;
+  p.thin_cycle_ratio = 0.0;
+  EXPECT_FALSE(cycle_is_thin(g, cycle, p));  // opposite pairs 4 apart
+  p.thin_cycle_hops = 4;
+  EXPECT_TRUE(cycle_is_thin(g, cycle, p));
+  p.thin_cycle_ratio = 0.6;
+  EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skelex::core

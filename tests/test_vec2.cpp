@@ -1,0 +1,92 @@
+#include "geometry/vec2.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <sstream>
+
+namespace skelex::geom {
+namespace {
+
+TEST(Vec2, Arithmetic) {
+  const Vec2 a{1, 2}, b{3, -4};
+  EXPECT_EQ(a + b, Vec2(4, -2));
+  EXPECT_EQ(a - b, Vec2(-2, 6));
+  EXPECT_EQ(a * 2.0, Vec2(2, 4));
+  EXPECT_EQ(2.0 * a, Vec2(2, 4));
+  EXPECT_EQ(a / 2.0, Vec2(0.5, 1));
+  EXPECT_EQ(-a, Vec2(-1, -2));
+}
+
+TEST(Vec2, CompoundAssignment) {
+  Vec2 v{1, 1};
+  v += {2, 3};
+  EXPECT_EQ(v, Vec2(3, 4));
+  v -= {1, 1};
+  EXPECT_EQ(v, Vec2(2, 3));
+  v *= 2.0;
+  EXPECT_EQ(v, Vec2(4, 6));
+}
+
+TEST(Vec2, DotAndCross) {
+  const Vec2 a{1, 0}, b{0, 1};
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+  EXPECT_DOUBLE_EQ(a.cross(b), 1.0);   // b is CCW from a
+  EXPECT_DOUBLE_EQ(b.cross(a), -1.0);  // a is CW from b
+  EXPECT_DOUBLE_EQ(Vec2(3, 4).dot({3, 4}), 25.0);
+}
+
+TEST(Vec2, NormAndNormalize) {
+  EXPECT_DOUBLE_EQ(Vec2(3, 4).norm(), 5.0);
+  EXPECT_DOUBLE_EQ(Vec2(3, 4).norm2(), 25.0);
+  const Vec2 u = Vec2(0, -7).normalized();
+  EXPECT_DOUBLE_EQ(u.x, 0.0);
+  EXPECT_DOUBLE_EQ(u.y, -1.0);
+  // Zero vector normalizes to zero, not NaN.
+  const Vec2 z = Vec2{}.normalized();
+  EXPECT_EQ(z, Vec2());
+}
+
+TEST(Vec2, PerpAndRotation) {
+  EXPECT_EQ(Vec2(1, 0).perp(), Vec2(0, 1));
+  const Vec2 r = Vec2(1, 0).rotated(std::numbers::pi / 2);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  const Vec2 full = Vec2(2, 3).rotated(2 * std::numbers::pi);
+  EXPECT_NEAR(full.x, 2.0, 1e-12);
+  EXPECT_NEAR(full.y, 3.0, 1e-12);
+}
+
+TEST(Vec2, Distances) {
+  EXPECT_DOUBLE_EQ(dist({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(dist2({1, 1}, {2, 2}), 2.0);
+}
+
+TEST(PointSegment, ClosestPointInterior) {
+  // Projection falls inside the segment.
+  const Vec2 c = closest_point_on_segment({5, 5}, {0, 0}, {10, 0});
+  EXPECT_DOUBLE_EQ(c.x, 5.0);
+  EXPECT_DOUBLE_EQ(c.y, 0.0);
+  EXPECT_DOUBLE_EQ(point_segment_distance({5, 5}, {0, 0}, {10, 0}), 5.0);
+}
+
+TEST(PointSegment, ClampsToEndpoints) {
+  EXPECT_EQ(closest_point_on_segment({-3, 1}, {0, 0}, {10, 0}), Vec2(0, 0));
+  EXPECT_EQ(closest_point_on_segment({14, 1}, {0, 0}, {10, 0}), Vec2(10, 0));
+  EXPECT_DOUBLE_EQ(point_segment_distance({13, 4}, {0, 0}, {10, 0}), 5.0);
+}
+
+TEST(PointSegment, DegenerateSegment) {
+  EXPECT_EQ(closest_point_on_segment({7, 7}, {1, 2}, {1, 2}), Vec2(1, 2));
+  EXPECT_DOUBLE_EQ(point_segment_distance({1, 5}, {1, 2}, {1, 2}), 3.0);
+}
+
+TEST(Vec2, StreamOutput) {
+  std::ostringstream os;
+  os << Vec2{1.5, -2};
+  EXPECT_EQ(os.str(), "(1.5, -2)");
+}
+
+}  // namespace
+}  // namespace skelex::geom

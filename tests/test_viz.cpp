@@ -1,0 +1,136 @@
+#include "viz/ppm.h"
+#include "viz/svg.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "geometry/shapes.h"
+
+namespace skelex::viz {
+namespace {
+
+net::Graph tiny_graph() {
+  net::Graph g(std::vector<geom::Vec2>{{0, 0}, {10, 0}, {10, 10}});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  return g;
+}
+
+TEST(Svg, ProducesWellFormedDocument) {
+  SvgWriter svg({0, 0}, {10, 10}, 100.0);
+  const net::Graph g = tiny_graph();
+  svg.add_graph_edges(g);
+  svg.add_graph_nodes(g);
+  svg.add_nodes(g, {0}, "#ff0000", 3.0);
+  core::SkeletonGraph sk(3);
+  sk.add_edge(0, 1);
+  svg.add_skeleton(g, sk);
+  svg.add_labeled_nodes(g, {0, 1, -1});
+  svg.add_region_outline(geom::shapes::rect(10, 10));
+  svg.add_text({5, 5}, "hello");
+  const std::string s = svg.str();
+  EXPECT_NE(s.find("<svg"), std::string::npos);
+  EXPECT_NE(s.find("</svg>"), std::string::npos);
+  EXPECT_NE(s.find("<line"), std::string::npos);
+  EXPECT_NE(s.find("<circle"), std::string::npos);
+  EXPECT_NE(s.find("<polygon"), std::string::npos);
+  EXPECT_NE(s.find("hello"), std::string::npos);
+  // Label -1 nodes are skipped: exactly 2 labeled circles were drawn
+  // (heuristic: the document contains both palette colors used).
+  EXPECT_NE(s.find("#1f77b4"), std::string::npos);
+  EXPECT_NE(s.find("#ff7f0e"), std::string::npos);
+}
+
+TEST(Svg, YAxisIsFlipped) {
+  SvgWriter svg({0, 0}, {10, 10}, 100.0);
+  net::Graph g(std::vector<geom::Vec2>{{0, 0}});
+  svg.add_graph_nodes(g);
+  // World (0,0) maps to the BOTTOM of the canvas (cy > half height).
+  const std::string s = svg.str();
+  const auto pos = s.find("cy=\"");
+  ASSERT_NE(pos, std::string::npos);
+  const double cy = std::stod(s.substr(pos + 4));
+  EXPECT_GT(cy, 50.0);
+}
+
+TEST(Svg, RejectsEmptyBox) {
+  EXPECT_THROW(SvgWriter({0, 0}, {0, 10}), std::invalid_argument);
+  EXPECT_THROW(SvgWriter({0, 10}, {0, 0}), std::invalid_argument);
+}
+
+TEST(Svg, SaveAndReload) {
+  const std::string path = "test_viz_out.svg";
+  SvgWriter svg({0, 0}, {1, 1});
+  svg.save(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, svg.str());
+  std::remove(path.c_str());
+  EXPECT_THROW(svg.save("/no/such/dir/x.svg"), std::runtime_error);
+}
+
+TEST(Ppm, PixelOperations) {
+  PpmImage img(10, 5, {255, 255, 255});
+  EXPECT_EQ(img.width(), 10);
+  EXPECT_EQ(img.height(), 5);
+  img.set(3, 2, {1, 2, 3});
+  const Rgb c = img.get(3, 2);
+  EXPECT_EQ(c.r, 1);
+  EXPECT_EQ(c.g, 2);
+  EXPECT_EQ(c.b, 3);
+  // Out-of-range accesses are safe.
+  img.set(-1, 0, {9, 9, 9});
+  img.set(100, 100, {9, 9, 9});
+  EXPECT_EQ(img.get(-5, 0).r, 0);
+  EXPECT_THROW(PpmImage(0, 5), std::invalid_argument);
+}
+
+TEST(Ppm, DotDrawsDisk) {
+  PpmImage img(11, 11, {0, 0, 0});
+  img.dot(5, 5, 2, {255, 0, 0});
+  EXPECT_EQ(img.get(5, 5).r, 255);
+  EXPECT_EQ(img.get(7, 5).r, 255);
+  EXPECT_EQ(img.get(8, 5).r, 0);   // outside radius
+  EXPECT_EQ(img.get(7, 7).r, 0);   // corner outside disk
+}
+
+TEST(Ppm, SaveProducesValidHeader) {
+  const std::string path = "test_viz_out.ppm";
+  PpmImage img(4, 3);
+  img.save(path);
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, 4);
+  EXPECT_EQ(h, 3);
+  EXPECT_EQ(maxval, 255);
+  in.get();  // single whitespace after header
+  std::string pixels((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+  EXPECT_EQ(pixels.size(), 4u * 3u * 3u);
+  std::remove(path.c_str());
+}
+
+TEST(HeatColor, EndpointsAndClamping) {
+  const Rgb cold = heat_color(0.0);
+  const Rgb hot = heat_color(1.0);
+  EXPECT_EQ(cold.b, 255);
+  EXPECT_LT(cold.r, 100);
+  EXPECT_EQ(hot.r, 255);
+  EXPECT_LT(hot.b, 100);
+  const Rgb below = heat_color(-5.0);
+  EXPECT_EQ(below.b, cold.b);
+  const Rgb above = heat_color(7.0);
+  EXPECT_EQ(above.r, hot.r);
+}
+
+}  // namespace
+}  // namespace skelex::viz

@@ -1,0 +1,206 @@
+#include "core/voronoi.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+
+#include "core/identify.h"
+#include "core/index.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/bfs.h"
+
+namespace skelex::core {
+namespace {
+
+// Path 0-1-2-3-4-5-6 with sites {0, 6}.
+TEST(Voronoi, PathGraphTwoSites) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  Params p;  // alpha = 1
+  const VoronoiResult r = build_voronoi(g, {6, 0, 0}, p);  // dup + unsorted
+  ASSERT_EQ(r.sites, (std::vector<int>{0, 6}));
+  EXPECT_EQ(r.dist, (std::vector<int>{0, 1, 2, 3, 2, 1, 0}));
+  EXPECT_EQ(r.site_of[1], 0);
+  EXPECT_EQ(r.site_of[5], 1);
+  // Node 3 is equidistant (3 vs 3): adopted from smaller site id, second
+  // record from the other side within alpha.
+  EXPECT_EQ(r.site_of[3], 0);
+  EXPECT_TRUE(r.is_segment[3]);
+  EXPECT_EQ(r.site2_of[3], 1);
+  EXPECT_EQ(r.dist2[3], 3);  // via node 4, which is 2 hops from site 6
+  EXPECT_EQ(r.via2[3], 4);
+  // Node 2: dist 2 to site 0, 4 to site 1 -> |diff| within alpha via
+  // neighbor 3? Neighbor 3 is in cell 0 too, so no second record.
+  EXPECT_FALSE(r.is_segment[2]);
+  // Node 4: dist 2 to site 1... adopted site: BFS dist to 0 is 4, to 6 is
+  // 2 -> cell 1; neighbor 3 is in cell 0 with dist 3: |3+1-2| = 2 > alpha.
+  EXPECT_FALSE(r.is_segment[4]);
+}
+
+TEST(Voronoi, AlphaWidensSegmentBand) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  Params p;
+  p.alpha = 2;
+  const VoronoiResult r = build_voronoi(g, {0, 6}, p);
+  EXPECT_TRUE(r.is_segment[3]);
+  EXPECT_TRUE(r.is_segment[4]);  // neighbor 3 is in cell 0: |4 - 2| <= 2
+  // Node 2's neighbors (1 and 3) are both in its own cell — it never
+  // hears from cell 1, so it cannot be a segment node at any alpha.
+  EXPECT_FALSE(r.is_segment[2]);
+}
+
+TEST(Voronoi, PathsAreValidReversePaths) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  const VoronoiResult r = build_voronoi(g, {0, 6}, Params{});
+  const auto p1 = r.path_to_site(3);
+  EXPECT_EQ(p1, (std::vector<int>{3, 2, 1, 0}));
+  const auto p2 = r.path_to_second_site(3);
+  EXPECT_EQ(p2, (std::vector<int>{3, 4, 5, 6}));
+  EXPECT_TRUE(r.path_to_second_site(2).empty());
+}
+
+TEST(Voronoi, VoronoiNodeNeedsThreeCells) {
+  // Star: center node 0 adjacent to three 2-chains ending in sites.
+  //   sites: 3, 6, 9 at distance 3 from the hub through chains.
+  net::Graph g(10);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(0, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  g.add_edge(0, 7);
+  g.add_edge(7, 8);
+  g.add_edge(8, 9);
+  const VoronoiResult r = build_voronoi(g, {3, 6, 9}, Params{});
+  // Hub 0 is distance 3 from every site: within alpha of >= 2 others.
+  EXPECT_TRUE(r.is_segment[0]);
+  EXPECT_TRUE(r.is_voronoi_node[0]);
+  // Chain nodes are only near two cells at most.
+  EXPECT_FALSE(r.is_voronoi_node[2]);
+}
+
+TEST(Voronoi, SitesOutOfRangeThrow) {
+  net::Graph g(3);
+  EXPECT_THROW(build_voronoi(g, {5}, Params{}), std::out_of_range);
+}
+
+TEST(AdjacentPairs, GroupsSegmentNodesByPair) {
+  net::Graph g(7);
+  for (int i = 0; i < 6; ++i) g.add_edge(i, i + 1);
+  const VoronoiResult r = build_voronoi(g, {0, 6}, Params{});
+  const auto pairs = adjacent_pairs(r);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].site_a, 0);
+  EXPECT_EQ(pairs[0].site_b, 1);
+  EXPECT_EQ(pairs[0].segment_nodes, (std::vector<int>{3}));
+}
+
+// ---- Properties on realistic networks --------------------------------------
+
+struct VoronoiPropertyCase {
+  const char* shape;
+  std::uint64_t seed;
+};
+
+class VoronoiPropertyTest
+    : public ::testing::TestWithParam<VoronoiPropertyCase> {};
+
+TEST_P(VoronoiPropertyTest, InvariantsHold) {
+  const auto [shape, seed] = GetParam();
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 900;
+  spec.target_avg_deg = 8.0;
+  spec.seed = seed;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::by_name(shape), spec);
+  const net::Graph& g = sc.graph;
+  Params p;
+  const IndexData idx = compute_index(g, p);
+  const std::vector<int> crit = identify_critical_nodes(g, idx, p);
+  ASSERT_FALSE(crit.empty());
+  const VoronoiResult r = build_voronoi(g, crit, p);
+
+  // (a) dist matches plain multi-source BFS.
+  const auto bfs = net::multi_source_bfs(g, r.sites);
+  EXPECT_EQ(r.dist, bfs.dist);
+
+  // (b) every node adopted a site and its site is at the claimed distance.
+  for (int v = 0; v < g.n(); ++v) {
+    ASSERT_NE(r.site_of[static_cast<std::size_t>(v)], -1);
+    const int site_node =
+        r.sites[static_cast<std::size_t>(r.site_of[static_cast<std::size_t>(v)])];
+    const auto path = r.path_to_site(v);
+    ASSERT_FALSE(path.empty());
+    EXPECT_EQ(path.front(), v);
+    EXPECT_EQ(path.back(), site_node);
+    EXPECT_EQ(static_cast<int>(path.size()) - 1,
+              r.dist[static_cast<std::size_t>(v)]);
+    for (std::size_t i = 0; i + 1 < path.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path[i], path[i + 1]));
+    }
+  }
+
+  // (c) Theorem 4: every Voronoi cell is connected.
+  for (std::size_t s = 0; s < r.sites.size(); ++s) {
+    std::vector<char> in_cell(static_cast<std::size_t>(g.n()), 0);
+    int cell_size = 0;
+    for (int v = 0; v < g.n(); ++v) {
+      if (r.site_of[static_cast<std::size_t>(v)] == static_cast<int>(s)) {
+        in_cell[static_cast<std::size_t>(v)] = 1;
+        ++cell_size;
+      }
+    }
+    ASSERT_GT(cell_size, 0);
+    // BFS within the cell from its site must reach the whole cell.
+    const auto d = net::bfs_distances_masked(
+        g, r.sites[s], in_cell);
+    int reached = 0;
+    for (int v = 0; v < g.n(); ++v) {
+      if (in_cell[static_cast<std::size_t>(v)] &&
+          d[static_cast<std::size_t>(v)] != net::kUnreached) {
+        ++reached;
+      }
+    }
+    EXPECT_EQ(reached, cell_size) << "cell of site " << r.sites[s];
+  }
+
+  // (d) segment nodes' second record is consistent.
+  for (int v = 0; v < g.n(); ++v) {
+    if (!r.is_segment[static_cast<std::size_t>(v)]) continue;
+    EXPECT_NE(r.site2_of[static_cast<std::size_t>(v)],
+              r.site_of[static_cast<std::size_t>(v)]);
+    EXPECT_LE(std::abs(r.dist2[static_cast<std::size_t>(v)] -
+                       r.dist[static_cast<std::size_t>(v)]),
+              p.alpha);
+    const auto path2 = r.path_to_second_site(v);
+    ASSERT_GE(path2.size(), 2u);
+    EXPECT_EQ(path2.front(), v);
+    EXPECT_EQ(path2.back(),
+              r.sites[static_cast<std::size_t>(
+                  r.site2_of[static_cast<std::size_t>(v)])]);
+    for (std::size_t i = 0; i + 1 < path2.size(); ++i) {
+      EXPECT_TRUE(g.has_edge(path2[i], path2[i + 1]));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, VoronoiPropertyTest,
+    ::testing::Values(VoronoiPropertyCase{"window", 11},
+                      VoronoiPropertyCase{"star", 12},
+                      VoronoiPropertyCase{"lshape", 13},
+                      VoronoiPropertyCase{"two_holes", 14},
+                      VoronoiPropertyCase{"cross", 15}),
+    [](const auto& info) {
+      return std::string(info.param.shape) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace skelex::core
