@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_byproducts"
+  "../bench/bench_fig3_byproducts.pdb"
+  "CMakeFiles/bench_fig3_byproducts.dir/bench_fig3_byproducts.cpp.o"
+  "CMakeFiles/bench_fig3_byproducts.dir/bench_fig3_byproducts.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_byproducts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_scenarios"
+  "../bench/bench_fig4_scenarios.pdb"
+  "CMakeFiles/bench_fig4_scenarios.dir/bench_fig4_scenarios.cpp.o"
+  "CMakeFiles/bench_fig4_scenarios.dir/bench_fig4_scenarios.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

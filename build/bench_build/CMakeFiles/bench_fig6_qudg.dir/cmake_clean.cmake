@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_qudg"
+  "../bench/bench_fig6_qudg.pdb"
+  "CMakeFiles/bench_fig6_qudg.dir/bench_fig6_qudg.cpp.o"
+  "CMakeFiles/bench_fig6_qudg.dir/bench_fig6_qudg.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_qudg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

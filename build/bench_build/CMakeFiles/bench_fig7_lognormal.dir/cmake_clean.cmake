@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_lognormal"
+  "../bench/bench_fig7_lognormal.pdb"
+  "CMakeFiles/bench_fig7_lognormal.dir/bench_fig7_lognormal.cpp.o"
+  "CMakeFiles/bench_fig7_lognormal.dir/bench_fig7_lognormal.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_lognormal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

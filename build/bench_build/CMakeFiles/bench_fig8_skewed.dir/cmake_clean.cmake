@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_skewed"
+  "../bench/bench_fig8_skewed.pdb"
+  "CMakeFiles/bench_fig8_skewed.dir/bench_fig8_skewed.cpp.o"
+  "CMakeFiles/bench_fig8_skewed.dir/bench_fig8_skewed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_skewed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

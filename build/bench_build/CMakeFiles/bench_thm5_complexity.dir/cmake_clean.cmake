@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_thm5_complexity"
+  "../bench/bench_thm5_complexity.pdb"
+  "CMakeFiles/bench_thm5_complexity.dir/bench_thm5_complexity.cpp.o"
+  "CMakeFiles/bench_thm5_complexity.dir/bench_thm5_complexity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm5_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_demo.dir/distributed_demo.cpp.o"
+  "CMakeFiles/distributed_demo.dir/distributed_demo.cpp.o.d"
+  "distributed_demo"
+  "distributed_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_3d.dir/skeleton_3d.cpp.o"
+  "CMakeFiles/skeleton_3d.dir/skeleton_3d.cpp.o.d"
+  "skeleton_3d"
+  "skeleton_3d.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_3d.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

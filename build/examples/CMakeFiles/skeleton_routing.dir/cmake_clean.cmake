@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skeleton_routing.dir/skeleton_routing.cpp.o"
+  "CMakeFiles/skeleton_routing.dir/skeleton_routing.cpp.o.d"
+  "skeleton_routing"
+  "skeleton_routing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skeleton_routing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,59 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/boundary.cpp" "src/CMakeFiles/skelex.dir/baseline/boundary.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/baseline/boundary.cpp.o.d"
+  "/root/repo/src/baseline/case.cpp" "src/CMakeFiles/skelex.dir/baseline/case.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/baseline/case.cpp.o.d"
+  "/root/repo/src/baseline/distance_transform.cpp" "src/CMakeFiles/skelex.dir/baseline/distance_transform.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/baseline/distance_transform.cpp.o.d"
+  "/root/repo/src/baseline/map.cpp" "src/CMakeFiles/skelex.dir/baseline/map.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/baseline/map.cpp.o.d"
+  "/root/repo/src/core/boundary_cycles.cpp" "src/CMakeFiles/skelex.dir/core/boundary_cycles.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/boundary_cycles.cpp.o.d"
+  "/root/repo/src/core/byproducts.cpp" "src/CMakeFiles/skelex.dir/core/byproducts.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/byproducts.cpp.o.d"
+  "/root/repo/src/core/cleanup.cpp" "src/CMakeFiles/skelex.dir/core/cleanup.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/cleanup.cpp.o.d"
+  "/root/repo/src/core/coarse.cpp" "src/CMakeFiles/skelex.dir/core/coarse.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/coarse.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/skelex.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/flow_segmentation.cpp" "src/CMakeFiles/skelex.dir/core/flow_segmentation.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/flow_segmentation.cpp.o.d"
+  "/root/repo/src/core/identify.cpp" "src/CMakeFiles/skelex.dir/core/identify.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/identify.cpp.o.d"
+  "/root/repo/src/core/index.cpp" "src/CMakeFiles/skelex.dir/core/index.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/index.cpp.o.d"
+  "/root/repo/src/core/naming.cpp" "src/CMakeFiles/skelex.dir/core/naming.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/naming.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/CMakeFiles/skelex.dir/core/pipeline.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/pipeline.cpp.o.d"
+  "/root/repo/src/core/protocols.cpp" "src/CMakeFiles/skelex.dir/core/protocols.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/protocols.cpp.o.d"
+  "/root/repo/src/core/prune.cpp" "src/CMakeFiles/skelex.dir/core/prune.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/prune.cpp.o.d"
+  "/root/repo/src/core/skeleton_graph.cpp" "src/CMakeFiles/skelex.dir/core/skeleton_graph.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/skeleton_graph.cpp.o.d"
+  "/root/repo/src/core/voronoi.cpp" "src/CMakeFiles/skelex.dir/core/voronoi.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/core/voronoi.cpp.o.d"
+  "/root/repo/src/deploy/deployment.cpp" "src/CMakeFiles/skelex.dir/deploy/deployment.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/deploy/deployment.cpp.o.d"
+  "/root/repo/src/deploy/rng.cpp" "src/CMakeFiles/skelex.dir/deploy/rng.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/deploy/rng.cpp.o.d"
+  "/root/repo/src/deploy/scenario.cpp" "src/CMakeFiles/skelex.dir/deploy/scenario.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/deploy/scenario.cpp.o.d"
+  "/root/repo/src/geometry/medial_axis_ref.cpp" "src/CMakeFiles/skelex.dir/geometry/medial_axis_ref.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/geometry/medial_axis_ref.cpp.o.d"
+  "/root/repo/src/geometry/polygon.cpp" "src/CMakeFiles/skelex.dir/geometry/polygon.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/geometry/polygon.cpp.o.d"
+  "/root/repo/src/geometry/shapes.cpp" "src/CMakeFiles/skelex.dir/geometry/shapes.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/geometry/shapes.cpp.o.d"
+  "/root/repo/src/geometry/vec2.cpp" "src/CMakeFiles/skelex.dir/geometry/vec2.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/geometry/vec2.cpp.o.d"
+  "/root/repo/src/geometry3/deploy3.cpp" "src/CMakeFiles/skelex.dir/geometry3/deploy3.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/geometry3/deploy3.cpp.o.d"
+  "/root/repo/src/geometry3/volume.cpp" "src/CMakeFiles/skelex.dir/geometry3/volume.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/geometry3/volume.cpp.o.d"
+  "/root/repo/src/io/graph_io.cpp" "src/CMakeFiles/skelex.dir/io/graph_io.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/io/graph_io.cpp.o.d"
+  "/root/repo/src/metrics/homotopy.cpp" "src/CMakeFiles/skelex.dir/metrics/homotopy.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/metrics/homotopy.cpp.o.d"
+  "/root/repo/src/metrics/quality.cpp" "src/CMakeFiles/skelex.dir/metrics/quality.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/metrics/quality.cpp.o.d"
+  "/root/repo/src/metrics/skeleton_stats.cpp" "src/CMakeFiles/skelex.dir/metrics/skeleton_stats.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/metrics/skeleton_stats.cpp.o.d"
+  "/root/repo/src/metrics/stability.cpp" "src/CMakeFiles/skelex.dir/metrics/stability.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/metrics/stability.cpp.o.d"
+  "/root/repo/src/net/bfs.cpp" "src/CMakeFiles/skelex.dir/net/bfs.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/net/bfs.cpp.o.d"
+  "/root/repo/src/net/graph.cpp" "src/CMakeFiles/skelex.dir/net/graph.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/net/graph.cpp.o.d"
+  "/root/repo/src/net/khop.cpp" "src/CMakeFiles/skelex.dir/net/khop.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/net/khop.cpp.o.d"
+  "/root/repo/src/net/spatial_hash.cpp" "src/CMakeFiles/skelex.dir/net/spatial_hash.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/net/spatial_hash.cpp.o.d"
+  "/root/repo/src/radio/radio_model.cpp" "src/CMakeFiles/skelex.dir/radio/radio_model.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/radio/radio_model.cpp.o.d"
+  "/root/repo/src/sim/engine.cpp" "src/CMakeFiles/skelex.dir/sim/engine.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/sim/engine.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/skelex.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/viz/ppm.cpp" "src/CMakeFiles/skelex.dir/viz/ppm.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/viz/ppm.cpp.o.d"
+  "/root/repo/src/viz/svg.cpp" "src/CMakeFiles/skelex.dir/viz/svg.cpp.o" "gcc" "src/CMakeFiles/skelex.dir/viz/svg.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

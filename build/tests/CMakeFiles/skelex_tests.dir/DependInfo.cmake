@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_3d.cpp" "tests/CMakeFiles/skelex_tests.dir/test_3d.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_3d.cpp.o.d"
+  "/root/repo/tests/test_async_jitter.cpp" "tests/CMakeFiles/skelex_tests.dir/test_async_jitter.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_async_jitter.cpp.o.d"
+  "/root/repo/tests/test_baseline_end_to_end.cpp" "tests/CMakeFiles/skelex_tests.dir/test_baseline_end_to_end.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_baseline_end_to_end.cpp.o.d"
+  "/root/repo/tests/test_bfs.cpp" "tests/CMakeFiles/skelex_tests.dir/test_bfs.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_bfs.cpp.o.d"
+  "/root/repo/tests/test_boundary_baseline.cpp" "tests/CMakeFiles/skelex_tests.dir/test_boundary_baseline.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_boundary_baseline.cpp.o.d"
+  "/root/repo/tests/test_boundary_cycles.cpp" "tests/CMakeFiles/skelex_tests.dir/test_boundary_cycles.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_boundary_cycles.cpp.o.d"
+  "/root/repo/tests/test_byproducts.cpp" "tests/CMakeFiles/skelex_tests.dir/test_byproducts.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_byproducts.cpp.o.d"
+  "/root/repo/tests/test_case_map.cpp" "tests/CMakeFiles/skelex_tests.dir/test_case_map.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_case_map.cpp.o.d"
+  "/root/repo/tests/test_cleanup.cpp" "tests/CMakeFiles/skelex_tests.dir/test_cleanup.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_cleanup.cpp.o.d"
+  "/root/repo/tests/test_coarse.cpp" "tests/CMakeFiles/skelex_tests.dir/test_coarse.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_coarse.cpp.o.d"
+  "/root/repo/tests/test_deployment.cpp" "tests/CMakeFiles/skelex_tests.dir/test_deployment.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_deployment.cpp.o.d"
+  "/root/repo/tests/test_distance_transform.cpp" "tests/CMakeFiles/skelex_tests.dir/test_distance_transform.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_distance_transform.cpp.o.d"
+  "/root/repo/tests/test_failure_injection.cpp" "tests/CMakeFiles/skelex_tests.dir/test_failure_injection.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_failure_injection.cpp.o.d"
+  "/root/repo/tests/test_flow_segmentation.cpp" "tests/CMakeFiles/skelex_tests.dir/test_flow_segmentation.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_flow_segmentation.cpp.o.d"
+  "/root/repo/tests/test_geometry_property.cpp" "tests/CMakeFiles/skelex_tests.dir/test_geometry_property.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_geometry_property.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/skelex_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_graph_io.cpp" "tests/CMakeFiles/skelex_tests.dir/test_graph_io.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_graph_io.cpp.o.d"
+  "/root/repo/tests/test_identify.cpp" "tests/CMakeFiles/skelex_tests.dir/test_identify.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_identify.cpp.o.d"
+  "/root/repo/tests/test_index.cpp" "tests/CMakeFiles/skelex_tests.dir/test_index.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_index.cpp.o.d"
+  "/root/repo/tests/test_invariant_sweep.cpp" "tests/CMakeFiles/skelex_tests.dir/test_invariant_sweep.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_invariant_sweep.cpp.o.d"
+  "/root/repo/tests/test_khop.cpp" "tests/CMakeFiles/skelex_tests.dir/test_khop.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_khop.cpp.o.d"
+  "/root/repo/tests/test_medial_axis_ref.cpp" "tests/CMakeFiles/skelex_tests.dir/test_medial_axis_ref.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_medial_axis_ref.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/skelex_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_misc_coverage.cpp" "tests/CMakeFiles/skelex_tests.dir/test_misc_coverage.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_misc_coverage.cpp.o.d"
+  "/root/repo/tests/test_naming.cpp" "tests/CMakeFiles/skelex_tests.dir/test_naming.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_naming.cpp.o.d"
+  "/root/repo/tests/test_nerve.cpp" "tests/CMakeFiles/skelex_tests.dir/test_nerve.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_nerve.cpp.o.d"
+  "/root/repo/tests/test_paper_scenarios.cpp" "tests/CMakeFiles/skelex_tests.dir/test_paper_scenarios.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_paper_scenarios.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/skelex_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_polygon.cpp" "tests/CMakeFiles/skelex_tests.dir/test_polygon.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_polygon.cpp.o.d"
+  "/root/repo/tests/test_protocols.cpp" "tests/CMakeFiles/skelex_tests.dir/test_protocols.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_protocols.cpp.o.d"
+  "/root/repo/tests/test_prune.cpp" "tests/CMakeFiles/skelex_tests.dir/test_prune.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_prune.cpp.o.d"
+  "/root/repo/tests/test_radio.cpp" "tests/CMakeFiles/skelex_tests.dir/test_radio.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_radio.cpp.o.d"
+  "/root/repo/tests/test_radio_pipeline.cpp" "tests/CMakeFiles/skelex_tests.dir/test_radio_pipeline.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_radio_pipeline.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/skelex_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_shapes.cpp" "tests/CMakeFiles/skelex_tests.dir/test_shapes.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_shapes.cpp.o.d"
+  "/root/repo/tests/test_sim_engine.cpp" "tests/CMakeFiles/skelex_tests.dir/test_sim_engine.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_sim_engine.cpp.o.d"
+  "/root/repo/tests/test_skeleton_graph.cpp" "tests/CMakeFiles/skelex_tests.dir/test_skeleton_graph.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_skeleton_graph.cpp.o.d"
+  "/root/repo/tests/test_skeleton_stats.cpp" "tests/CMakeFiles/skelex_tests.dir/test_skeleton_stats.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_skeleton_stats.cpp.o.d"
+  "/root/repo/tests/test_spatial_hash.cpp" "tests/CMakeFiles/skelex_tests.dir/test_spatial_hash.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_spatial_hash.cpp.o.d"
+  "/root/repo/tests/test_tight_cycles.cpp" "tests/CMakeFiles/skelex_tests.dir/test_tight_cycles.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_tight_cycles.cpp.o.d"
+  "/root/repo/tests/test_vec2.cpp" "tests/CMakeFiles/skelex_tests.dir/test_vec2.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_vec2.cpp.o.d"
+  "/root/repo/tests/test_viz.cpp" "tests/CMakeFiles/skelex_tests.dir/test_viz.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_viz.cpp.o.d"
+  "/root/repo/tests/test_voronoi.cpp" "tests/CMakeFiles/skelex_tests.dir/test_voronoi.cpp.o" "gcc" "tests/CMakeFiles/skelex_tests.dir/test_voronoi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/skelex.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

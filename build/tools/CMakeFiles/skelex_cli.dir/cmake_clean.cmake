@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skelex_cli.dir/skelex_cli.cpp.o"
+  "CMakeFiles/skelex_cli.dir/skelex_cli.cpp.o.d"
+  "skelex_cli"
+  "skelex_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skelex_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_shape_json "/root/repo/build/tools/skelex_cli" "--shape" "annulus" "--nodes" "600" "--json")
+set_tests_properties(cli_shape_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;4;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_qudg "/root/repo/build/tools/skelex_cli" "--shape" "rect" "--nodes" "500" "--radio" "qudg" "--degree" "9")
+set_tests_properties(cli_qudg PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_bad_shape "/root/repo/build/tools/skelex_cli" "--shape" "nope")
+set_tests_properties(cli_bad_shape PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
