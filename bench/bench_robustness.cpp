@@ -1,0 +1,266 @@
+// Robustness sweep: reception loss x crash-stop fraction x link churn on
+// the Window and Star-hole fields, with every communication stage run
+// under the reliable flooding wrapper (core/reliable.h). For each cell
+// the extracted skeleton is compared against the fault-free baseline
+// with the stability metrics of metrics/stability.h, and the wrapper's
+// retransmission accounting quantifies the price of reliability.
+// Results land in bench_out/robustness.json and per-shape SVG heatmaps.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/reliable.h"
+#include "deploy/rng.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "metrics/stability.h"
+#include "net/graph.h"
+#include "sim/engine.h"
+#include "sim/faults.h"
+
+namespace {
+
+using namespace skelex;
+
+constexpr double kLoss[] = {0.0, 0.1, 0.2, 0.3};
+constexpr double kCrashFrac[] = {0.0, 0.05, 0.1};
+constexpr double kChurnFrac[] = {0.0, 0.1};
+constexpr int kCrashRound = 6;  // mid-flight of the k-hop flood
+
+struct Cell {
+  double loss = 0.0;
+  double crash_frac = 0.0;
+  double churn_frac = 0.0;
+  int crashed = 0;
+  int churn_links = 0;
+  double hausdorff_R = 0.0;
+  double mean_nearest_R = 0.0;
+  int skeleton_nodes = 0;
+  int components = 0;
+  int cycles = 0;
+  int warnings = 0;
+  int stalled = 0;
+  long long tx = 0;
+  long long retransmissions = 0;
+  long long gave_up = 0;
+  bool hit_round_cap = false;
+};
+
+std::vector<std::pair<int, int>> edge_list(const net::Graph& g) {
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 0; v < g.n(); ++v) {
+    for (int w : g.neighbors(v)) {
+      if (w > v) edges.emplace_back(v, w);
+    }
+  }
+  return edges;
+}
+
+Cell run_cell(const net::Graph& g, const core::SkeletonResult& baseline,
+              double range, double loss, double crash_frac, double churn_frac,
+              std::uint64_t seed) {
+  Cell cell;
+  cell.loss = loss;
+  cell.crash_frac = crash_frac;
+  cell.churn_frac = churn_frac;
+
+  sim::Engine engine(g);
+  if (loss > 0.0) engine.set_loss(loss, seed);
+  sim::FaultPlan plan;
+  deploy::Rng rng(seed ^ 0xfa57);
+  for (int v = 0; v < g.n(); ++v) {
+    if (crash_frac > 0.0 && rng.next_double() < crash_frac) {
+      plan.crash_at(v, kCrashRound);
+      ++cell.crashed;
+    }
+  }
+  if (churn_frac > 0.0) {
+    const auto edges = edge_list(g);
+    for (std::size_t i = 0; i < edges.size(); ++i) {
+      if (rng.next_double() < churn_frac) {
+        plan.link_churn(edges[i].first, edges[i].second, /*down=*/2, /*up=*/3,
+                        /*phase=*/static_cast<int>(i % 5));
+        ++cell.churn_links;
+      }
+    }
+  }
+  if (!plan.empty()) engine.set_faults(plan);
+
+  core::ReliableOptions opts;
+  opts.max_retries = 10;
+  opts.max_backoff = 8;
+  opts.watchdog_rounds = 32;
+  const core::ReliableExtraction ext =
+      core::extract_skeleton_reliable(g, core::Params{}, engine, opts);
+
+  const metrics::PositionSetDistance d =
+      metrics::skeleton_distance(g, baseline.skeleton, g, ext.result.skeleton);
+  cell.hausdorff_R = d.hausdorff / range;
+  cell.mean_nearest_R = d.mean_nearest / range;
+  cell.skeleton_nodes = ext.result.skeleton.node_count();
+  cell.components = ext.result.skeleton_components();
+  cell.cycles = ext.result.skeleton_cycle_rank();
+  cell.warnings = static_cast<int>(ext.result.diagnostics.warnings.size());
+  cell.stalled = ext.reliability.stalled_nodes;
+  cell.tx = ext.stats.transmissions;
+  cell.retransmissions = ext.reliability.retransmissions;
+  cell.gave_up = ext.reliability.gave_up_links;
+  cell.hit_round_cap = ext.stats.hit_round_cap;
+  return cell;
+}
+
+// Simple heatmap: one row per (crash, churn) combination, one column per
+// loss level, colored by mean nearest-neighbor distance to the baseline
+// skeleton (green = identical, red = far).
+void write_heatmap(const std::string& path, const std::string& title,
+                   const std::vector<Cell>& cells) {
+  const int cols = static_cast<int>(std::size(kLoss));
+  const int rows = static_cast<int>(std::size(kCrashFrac) * std::size(kChurnFrac));
+  const int cw = 110, ch = 56, left = 150, top = 60;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return;
+  std::fprintf(f,
+               "<svg xmlns='http://www.w3.org/2000/svg' width='%d' "
+               "height='%d' font-family='monospace' font-size='12'>\n",
+               left + cols * cw + 20, top + rows * ch + 30);
+  std::fprintf(f, "<text x='10' y='20' font-size='15'>%s</text>\n",
+               title.c_str());
+  std::fprintf(f,
+               "<text x='10' y='38' fill='#555'>cell: mean nearest / "
+               "Hausdorff distance to fault-free skeleton (in R)</text>\n");
+  for (int c = 0; c < cols; ++c) {
+    std::fprintf(f, "<text x='%d' y='%d'>p=%.1f</text>\n", left + c * cw + 30,
+                 top - 6, kLoss[c]);
+  }
+  int r = 0;
+  for (double churn : kChurnFrac) {
+    for (double crash : kCrashFrac) {
+      std::fprintf(f, "<text x='8' y='%d'>crash=%.2f ch=%.1f</text>\n",
+                   top + r * ch + ch / 2 + 4, crash, churn);
+      for (int c = 0; c < cols; ++c) {
+        const Cell* cell = nullptr;
+        for (const Cell& x : cells) {
+          if (x.loss == kLoss[c] && x.crash_frac == crash &&
+              x.churn_frac == churn) {
+            cell = &x;
+          }
+        }
+        if (cell == nullptr) continue;
+        // 0 -> green, >= 2R -> red.
+        const double t = std::min(1.0, cell->mean_nearest_R / 2.0);
+        const int red = static_cast<int>(80 + 175 * t);
+        const int green = static_cast<int>(200 - 140 * t);
+        std::fprintf(f,
+                     "<rect x='%d' y='%d' width='%d' height='%d' "
+                     "fill='rgb(%d,%d,90)' stroke='white'/>\n",
+                     left + c * cw, top + r * ch, cw, ch, red, green);
+        std::fprintf(f,
+                     "<text x='%d' y='%d' fill='white'>%.2f / %.2f</text>\n",
+                     left + c * cw + 8, top + r * ch + 24, cell->mean_nearest_R,
+                     cell->hausdorff_R);
+        std::fprintf(f, "<text x='%d' y='%d' fill='white'>cyc=%d w=%d</text>\n",
+                     left + c * cw + 8, top + r * ch + 42, cell->cycles,
+                     cell->warnings);
+      }
+      ++r;
+    }
+  }
+  std::fprintf(f, "</svg>\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+void append_json(std::FILE* f, const std::string& shape,
+                 const std::vector<Cell>& cells, bool last) {
+  std::fprintf(f, "  \"%s\": [\n", shape.c_str());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    std::fprintf(
+        f,
+        "    {\"loss\": %.2f, \"crash_frac\": %.2f, \"churn_frac\": %.2f, "
+        "\"crashed\": %d, \"churn_links\": %d, \"hausdorff_R\": %.4f, "
+        "\"mean_nearest_R\": %.4f, \"skeleton_nodes\": %d, \"components\": "
+        "%d, \"cycles\": %d, \"warnings\": %d, \"stalled\": %d, \"tx\": %lld, "
+        "\"retransmissions\": %lld, \"gave_up\": %lld, \"hit_round_cap\": "
+        "%s}%s\n",
+        c.loss, c.crash_frac, c.churn_frac, c.crashed, c.churn_links,
+        c.hausdorff_R, c.mean_nearest_R, c.skeleton_nodes, c.components,
+        c.cycles, c.warnings, c.stalled, c.tx, c.retransmissions, c.gave_up,
+        c.hit_round_cap ? "true" : "false", i + 1 < cells.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]%s\n", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  std::filesystem::create_directories("bench_out");
+  std::FILE* json = std::fopen("bench_out/robustness.json", "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open bench_out/robustness.json\n");
+    return 1;
+  }
+  std::fprintf(json, "{\n");
+
+  const struct {
+    const char* name;
+    geom::Region region;
+  } shapes[] = {{"window", geom::shapes::window()},
+                {"star_hole", geom::shapes::star_hole()}};
+  for (std::size_t si = 0; si < std::size(shapes); ++si) {
+    deploy::ScenarioSpec spec;
+    spec.target_nodes = 950;
+    spec.target_avg_deg = 7.5;
+    spec.seed = 17 + si;
+    const deploy::Scenario sc = deploy::make_udg_scenario(shapes[si].region, spec);
+    const net::Graph& g = sc.graph;
+    const core::SkeletonResult baseline =
+        core::extract_skeleton(g, core::Params{});
+
+    std::printf(
+        "=== %s: %d nodes, avg deg %.2f, baseline skeleton %d nodes / %d "
+        "cycles ===\n",
+        shapes[si].name, g.n(), g.avg_degree(), baseline.skeleton.node_count(),
+        baseline.skeleton_cycle_rank());
+    std::printf("%5s %6s %6s %8s %7s %7s %4s %4s %5s %9s %8s %7s\n", "loss",
+                "crash", "churn", "meanNN/R", "haus/R", "skel", "cyc", "warn",
+                "stall", "tx", "retx", "gaveup");
+
+    std::vector<Cell> cells;
+    for (double churn : kChurnFrac) {
+      for (double crash : kCrashFrac) {
+        for (double loss : kLoss) {
+          const std::uint64_t seed =
+              1000 * si + static_cast<std::uint64_t>(loss * 100) * 7 +
+              static_cast<std::uint64_t>(crash * 100) * 131 +
+              static_cast<std::uint64_t>(churn * 100) * 1009 + 5;
+          const Cell c =
+              run_cell(g, baseline, sc.range, loss, crash, churn, seed);
+          std::printf(
+              "%5.2f %6.2f %6.2f %8.3f %7.3f %4d %4d %5d %5d %9lld %8lld "
+              "%7lld%s\n",
+              c.loss, c.crash_frac, c.churn_frac, c.mean_nearest_R,
+              c.hausdorff_R, c.skeleton_nodes, c.cycles, c.warnings, c.stalled,
+              c.tx, c.retransmissions, c.gave_up,
+              c.hit_round_cap ? "  CAP" : "");
+          cells.push_back(c);
+        }
+      }
+    }
+    write_heatmap("bench_out/robustness_" + std::string(shapes[si].name) +
+                      ".svg",
+                  "Skeleton stability under faults — " +
+                      std::string(shapes[si].name),
+                  cells);
+    append_json(json, shapes[si].name, cells, si + 1 == std::size(shapes));
+  }
+  std::fprintf(json, "}\n");
+  std::fclose(json);
+  std::printf("wrote bench_out/robustness.json\n");
+  std::printf(
+      "(expect: loss alone is fully absorbed — identical skeleton, cost "
+      "shifted\n into retransmissions; crashes and churn degrade gracefully "
+      "with warnings\n surfaced in diagnostics rather than failures)\n");
+  return 0;
+}

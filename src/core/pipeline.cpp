@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <string>
 #include <utility>
 
 namespace skelex::core {
@@ -14,6 +15,63 @@ SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
   r.index = std::move(index);
   r.critical_nodes = std::move(critical_nodes);
   r.voronoi = std::move(voronoi);
+
+  const net::Components comps = net::connected_components(g);
+  r.diagnostics.input_components = comps.count;
+  if (comps.count > 1) {
+    r.diagnostics.disconnected_input = true;
+    r.diagnostics.warn("input graph has " + std::to_string(comps.count) +
+                       " connected components; each is skeletonized "
+                       "independently");
+  }
+
+  if (r.critical_nodes.empty() && g.n() > 0) {
+    // Stage 1 produced no sites (possible when the identification ran on
+    // fault-depleted data). A skeleton needs at least one node: fall back
+    // to the max-index node — or node 0 if even the index is missing.
+    int best = 0;
+    if (static_cast<int>(r.index.index.size()) == g.n()) {
+      for (int v = 1; v < g.n(); ++v) {
+        if (r.index.index[static_cast<std::size_t>(v)] >
+            r.index.index[static_cast<std::size_t>(best)]) {
+          best = v;
+        }
+      }
+    }
+    r.critical_nodes.push_back(best);
+    r.voronoi = build_voronoi(g, r.critical_nodes, params);
+    r.diagnostics.empty_critical_fallback = true;
+    r.diagnostics.warn("no critical nodes from stage 1; fell back to node " +
+                       std::to_string(best) + " as the single site");
+  }
+
+  if (static_cast<int>(r.voronoi.site_of.size()) == g.n()) {
+    std::vector<int> cell_size(r.voronoi.sites.size(), 0);
+    for (int v = 0; v < g.n(); ++v) {
+      const int s = r.voronoi.site_of[static_cast<std::size_t>(v)];
+      if (s == -1) {
+        ++r.diagnostics.voronoi_unassigned;
+      } else if (s >= 0 && s < static_cast<int>(cell_size.size())) {
+        ++cell_size[static_cast<std::size_t>(s)];
+      }
+    }
+    if (r.diagnostics.voronoi_unassigned > 0) {
+      r.diagnostics.warn(std::to_string(r.diagnostics.voronoi_unassigned) +
+                         " node(s) were reached by no site flood and belong "
+                         "to no Voronoi cell");
+    }
+    for (int size : cell_size) {
+      if (size <= 1) ++r.diagnostics.degenerate_cells;
+    }
+    if (r.diagnostics.degenerate_cells > 0 &&
+        2 * r.diagnostics.degenerate_cells >
+            static_cast<int>(cell_size.size())) {
+      r.diagnostics.warn("over half of the Voronoi cells (" +
+                         std::to_string(r.diagnostics.degenerate_cells) +
+                         " of " + std::to_string(cell_size.size()) +
+                         ") are degenerate (<= 1 node)");
+    }
+  }
 
   // Stage 3: coarse skeleton (§III-C).
   CoarseSkeleton coarse = build_coarse_skeleton(g, r.index, r.voronoi, params);

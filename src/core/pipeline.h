@@ -12,6 +12,9 @@
 // can inspect / visualize the pipeline.
 #pragma once
 
+#include <string>
+#include <vector>
+
 #include "core/byproducts.h"
 #include "core/cleanup.h"
 #include "core/coarse.h"
@@ -24,6 +27,23 @@
 #include "net/graph.h"
 
 namespace skelex::core {
+
+// Degradation report: the pipeline keeps going on imperfect input
+// (disconnected graphs, fault-depleted stage-1/2 results, ...) and
+// records what it had to tolerate or patch instead of throwing.
+struct Diagnostics {
+  std::vector<std::string> warnings;
+  int input_components = 0;       // connected components of the input graph
+  bool disconnected_input = false;
+  // No critical nodes arrived (e.g. every candidate crashed); the
+  // pipeline fell back to the max-index node as the single site.
+  bool empty_critical_fallback = false;
+  int voronoi_unassigned = 0;  // nodes no site record ever reached
+  int degenerate_cells = 0;    // Voronoi cells with <= 1 member
+
+  bool ok() const { return warnings.empty(); }
+  void warn(std::string message) { warnings.push_back(std::move(message)); }
+};
 
 struct SkeletonResult {
   Params params;
@@ -49,6 +69,10 @@ struct SkeletonResult {
   // By-products (Fig. 3).
   Segmentation segmentation;
   BoundaryResult boundary;
+
+  // Graceful-degradation report (filled by complete_extraction; the
+  // distributed/reliable runners append stage-completeness warnings).
+  Diagnostics diagnostics;
 
   // Convenience queries.
   int skeleton_cycle_rank() const { return skeleton.cycle_rank(); }

@@ -224,6 +224,49 @@ VoronoiResult VoronoiProtocol::result() const {
   return r;
 }
 
+// --- completeness -------------------------------------------------------------
+
+StageCompleteness compute_stage_completeness(const net::Graph& g,
+                                             const Params& params,
+                                             const DistributedRun& run) {
+  StageCompleteness c;
+  if (params.k > 0 &&
+      static_cast<int>(run.index.khop_size.size()) == g.n()) {
+    for (int v = 0; v < g.n(); ++v) {
+      if (g.degree(v) > 0 && run.index.khop_size[static_cast<std::size_t>(v)] == 0) {
+        ++c.khop_empty;
+      }
+    }
+  }
+  c.critical_count = static_cast<int>(run.critical_nodes.size());
+  if (static_cast<int>(run.voronoi.site_of.size()) == g.n() && g.n() > 0) {
+    for (int v = 0; v < g.n(); ++v) {
+      if (run.voronoi.site_of[static_cast<std::size_t>(v)] == -1) {
+        ++c.voronoi_unassigned;
+      }
+    }
+    c.voronoi_coverage =
+        1.0 - static_cast<double>(c.voronoi_unassigned) / g.n();
+  }
+  return c;
+}
+
+void apply_completeness_warnings(const StageCompleteness& c, Diagnostics& d) {
+  if (c.khop_empty > 0) {
+    d.warn("stage 1: " + std::to_string(c.khop_empty) +
+           " connected node(s) learned an empty k-hop neighborhood "
+           "(crashed, asleep, or cut off during the flood)");
+  }
+  if (c.critical_count == 0) {
+    d.warn("stage 1: the local-max flood produced no critical nodes");
+  }
+  if (c.voronoi_unassigned > 0) {
+    d.warn("stage 2: " + std::to_string(c.voronoi_unassigned) +
+           " node(s) unreached by every site flood (coverage " +
+           std::to_string(c.voronoi_coverage) + ")");
+  }
+}
+
 // --- run_distributed_stages ---------------------------------------------------
 
 DistributedRun run_distributed_stages(const net::Graph& g,
@@ -262,6 +305,7 @@ DistributedRun run_distributed_stages(const net::Graph& g, const Params& params,
   VoronoiProtocol vor(g.n(), run.critical_nodes, params.alpha);
   run.voronoi_stats = engine.run(vor);
   run.voronoi = vor.result();
+  run.completeness = compute_stage_completeness(g, params, run);
   return run;
 }
 
@@ -276,9 +320,11 @@ DistributedExtraction extract_skeleton_distributed(const net::Graph& g,
   DistributedRun run = run_distributed_stages(g, params, engine);
   DistributedExtraction out;
   out.stats = run.total();
+  const StageCompleteness completeness = run.completeness;
   out.result =
       complete_extraction(g, params, std::move(run.index),
                           std::move(run.critical_nodes), std::move(run.voronoi));
+  apply_completeness_warnings(completeness, out.result.diagnostics);
   return out;
 }
 

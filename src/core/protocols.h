@@ -100,6 +100,18 @@ class VoronoiProtocol final : public sim::Protocol {
 };
 
 // --- Whole communication phase ----------------------------------------------
+
+// Per-stage completeness of a distributed run: how much of the network
+// actually produced stage results. On a fault-free run every field is
+// trivial (no empty k-hop sets, full Voronoi coverage); under crashes,
+// sleep windows, or link churn these quantify the degradation.
+struct StageCompleteness {
+  int khop_empty = 0;          // non-isolated nodes with |N_k| == 0
+  int critical_count = 0;      // stage-1 output size
+  int voronoi_unassigned = 0;  // nodes no site flood reached
+  double voronoi_coverage = 1.0;  // assigned fraction of nodes
+};
+
 // Runs the three stage-1 floods and the stage-2 flood back to back on one
 // engine and returns results + per-stage statistics.
 struct DistributedRun {
@@ -110,10 +122,19 @@ struct DistributedRun {
   sim::RunStats centrality_stats;
   sim::RunStats localmax_stats;
   sim::RunStats voronoi_stats;
+  StageCompleteness completeness;
   sim::RunStats total() const {
     return khop_stats + centrality_stats + localmax_stats + voronoi_stats;
   }
 };
+
+StageCompleteness compute_stage_completeness(const net::Graph& g,
+                                             const Params& params,
+                                             const DistributedRun& run);
+
+// Appends human-readable warnings for any non-trivial completeness
+// deficit (used by the distributed and reliable extraction fronts).
+void apply_completeness_warnings(const StageCompleteness& c, Diagnostics& d);
 
 DistributedRun run_distributed_stages(const net::Graph& g, const Params& params);
 

@@ -1,0 +1,474 @@
+#include "core/reliable.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+#include <utility>
+
+#include "net/bfs.h"
+
+namespace skelex::core {
+
+namespace {
+// Wrapper packet kinds, far above any inner protocol's discriminators
+// (the inner kind rides in Message::aux).
+constexpr int kData = 1 << 20;        // sequenced; carries an inner message
+constexpr int kFrame = kData + 1;     // sequenced; end-of-round barrier marker
+constexpr int kPing = kData + 2;      // sequenced; liveness probe
+constexpr int kAck = kData + 3;       // unsequenced; cumulative ack (unicast)
+constexpr int kRetryTimer = kData + 4;   // self-timer; payload = seq
+constexpr int kWatchdogTimer = kData + 5;  // self-timer; stall detection
+
+// Delivery order of the lossless engine for one receiver (the engine
+// additionally keys on the receiver id first).
+bool canonical_less(const sim::Message& a, const sim::Message& b) {
+  return std::tie(a.kind, a.hops, a.origin, a.sender, a.payload, a.seq,
+                  a.aux) < std::tie(b.kind, b.hops, b.origin, b.sender,
+                                    b.payload, b.seq, b.aux);
+}
+}  // namespace
+
+ReliableStats& ReliableStats::operator+=(const ReliableStats& o) {
+  data_sent += o.data_sent;
+  frames_sent += o.frames_sent;
+  acks_sent += o.acks_sent;
+  pings_sent += o.pings_sent;
+  retransmissions += o.retransmissions;
+  duplicates += o.duplicates;
+  implicit_acks += o.implicit_acks;
+  gave_up_links += o.gave_up_links;
+  overflow_data += o.overflow_data;
+  stalled_nodes += o.stalled_nodes;
+  return *this;
+}
+
+// Context handed to the inner protocol: logical round, collected sends.
+class ReliableFloodWrapper::InnerCtx final : public sim::NodeContext {
+ public:
+  InnerCtx(sim::NodeContext& outer, int logical_round,
+           std::vector<sim::Message>& out)
+      : outer_(outer), round_(logical_round), out_(out) {}
+
+  int node() const override { return outer_.node(); }
+  int round() const override { return round_; }
+  std::span<const int> neighbors() const override {
+    return outer_.neighbors();
+  }
+  void broadcast(sim::Message m) override { out_.push_back(m); }
+  void send(int, sim::Message) override {
+    throw std::logic_error(
+        "ReliableFloodWrapper wraps broadcast-only flood protocols");
+  }
+  void schedule(int, sim::Message) override {
+    throw std::logic_error(
+        "ReliableFloodWrapper: inner protocols may not use timers");
+  }
+
+ private:
+  sim::NodeContext& outer_;
+  int round_;
+  std::vector<sim::Message>& out_;
+};
+
+ReliableFloodWrapper::ReliableFloodWrapper(sim::Protocol& inner,
+                                           const net::Graph& g,
+                                           ReliableOptions opts)
+    : inner_(inner), g_(g), opts_(opts), st_(static_cast<std::size_t>(g.n())) {
+  if (opts_.max_logical_rounds < 0) {
+    throw std::invalid_argument("max_logical_rounds must be >= 0");
+  }
+  if (opts_.max_retries < 0) {
+    throw std::invalid_argument("max_retries must be >= 0");
+  }
+  if (opts_.initial_backoff < 1 || opts_.max_backoff < opts_.initial_backoff) {
+    throw std::invalid_argument("need 1 <= initial_backoff <= max_backoff");
+  }
+  if (opts_.watchdog_rounds < 0) {
+    throw std::invalid_argument("watchdog_rounds must be >= 0 (0 disables)");
+  }
+}
+
+void ReliableFloodWrapper::on_start(sim::NodeContext& ctx) {
+  NodeState& st = state(ctx.node());
+  st.data_by_round.resize(static_cast<std::size_t>(opts_.max_logical_rounds) +
+                          2);
+  st.frame_seq.assign(static_cast<std::size_t>(opts_.max_logical_rounds) + 2,
+                      0);
+  std::vector<sim::Message> sends;
+  InnerCtx ictx(ctx, 0, sends);
+  inner_.on_start(ictx);
+  st.step_done = 0;
+  flush_inner_sends(ctx, st, 0, sends);
+  try_progress(ctx);
+}
+
+void ReliableFloodWrapper::transmit(sim::NodeContext& ctx, NodeState& st,
+                                    sim::Message pkt) {
+  pkt.seq = st.next_seq++;
+  if (pkt.kind == kFrame &&
+      pkt.hops < static_cast<int>(st.frame_seq.size())) {
+    st.frame_seq[static_cast<std::size_t>(pkt.hops)] = pkt.seq;
+  }
+  const std::span<const int> nbrs = ctx.neighbors();
+  if (nbrs.empty()) return;  // no listeners, no radio
+  ctx.broadcast(pkt);
+  Outgoing o;
+  o.pkt = pkt;
+  for (int w : nbrs) {
+    if (!st.dead.contains(w)) o.unacked.insert(w);
+  }
+  if (o.unacked.empty()) return;  // everyone already given up on
+  o.backoff = opts_.initial_backoff;
+  const int seq = pkt.seq;
+  st.outgoing.emplace(seq, std::move(o));
+  ctx.schedule(opts_.initial_backoff, {kRetryTimer, 0, 0, seq, -1, 0, 0});
+}
+
+void ReliableFloodWrapper::flush_inner_sends(sim::NodeContext& ctx,
+                                             NodeState& st, int h,
+                                             std::vector<sim::Message>& sends) {
+  for (const sim::Message& m : sends) {
+    if (m.hops != h + 1) {
+      throw std::logic_error(
+          "ReliableFloodWrapper: inner protocol is not a unit-speed flood "
+          "(a message's hops field must equal its logical round)");
+    }
+    if (m.hops > opts_.max_logical_rounds) {
+      ++stats_.overflow_data;  // beyond the configured flood horizon
+      continue;
+    }
+    transmit(ctx, st, {kData, m.origin, m.hops, m.payload, -1, 0, m.kind});
+    ++stats_.data_sent;
+  }
+  const int next = h + 1;
+  if (next <= opts_.max_logical_rounds) {
+    transmit(ctx, st,
+             {kFrame, 0, next, static_cast<std::int64_t>(sends.size()), -1, 0,
+              0});
+    ++stats_.frames_sent;
+  }
+}
+
+void ReliableFloodWrapper::try_progress(sim::NodeContext& ctx) {
+  const int v = ctx.node();
+  NodeState& st = state(v);
+  while (st.step_done < opts_.max_logical_rounds) {
+    const int h = st.step_done + 1;
+    bool ready = true;
+    for (int w : g_.neighbors(v)) {
+      if (st.dead.contains(w)) continue;
+      const auto it = st.frame_from.find(w);
+      if (it == st.frame_from.end() || it->second < h) {
+        ready = false;
+        break;
+      }
+    }
+    if (!ready) {
+      arm_watchdog(ctx, st);
+      return;
+    }
+    execute_step(ctx, st, h);
+  }
+}
+
+void ReliableFloodWrapper::execute_step(sim::NodeContext& ctx, NodeState& st,
+                                        int h) {
+  std::vector<sim::Message> inbox =
+      std::move(st.data_by_round[static_cast<std::size_t>(h)]);
+  std::sort(inbox.begin(), inbox.end(), canonical_less);
+  std::vector<sim::Message> sends;
+  InnerCtx ictx(ctx, h, sends);
+  for (const sim::Message& m : inbox) inner_.on_message(ictx, m);
+  st.step_done = h;
+  flush_inner_sends(ctx, st, h, sends);
+}
+
+void ReliableFloodWrapper::on_message(sim::NodeContext& ctx,
+                                      const sim::Message& m) {
+  switch (m.kind) {
+    case kRetryTimer:
+      handle_timer(ctx, m);
+      return;
+    case kWatchdogTimer:
+      handle_watchdog(ctx);
+      return;
+    case kAck: {
+      NodeState& st = state(ctx.node());
+      ack_from(st, m.sender, static_cast<int>(m.payload), false);
+      try_progress(ctx);
+      return;
+    }
+    default:
+      break;
+  }
+  // Sequenced packet (DATA / FRAME / PING) from a neighbor.
+  NodeState& st = state(ctx.node());
+  const int w = m.sender;
+  const int exp = st.next_expected.try_emplace(w, 1).first->second;
+  if (m.seq < exp) {
+    // Duplicate — usually a retransmission we already have; re-ack so the
+    // sender stops.
+    ++stats_.duplicates;
+    send_ack(ctx, st, w);
+    return;
+  }
+  if (m.seq > exp) {
+    st.ooo[w][m.seq] = m;  // hole: buffer until the retransmission fills it
+    return;
+  }
+  st.next_expected[w] = m.seq + 1;
+  process_in_order(ctx, st, m);
+  // Drain any buffered successors that are now in order.
+  for (auto it = st.ooo.find(w); it != st.ooo.end() && !it->second.empty();) {
+    const auto first = it->second.begin();
+    if (first->first != st.next_expected[w]) break;
+    const sim::Message next = first->second;
+    it->second.erase(first);
+    st.next_expected[w] = next.seq + 1;
+    process_in_order(ctx, st, next);
+  }
+  try_progress(ctx);
+}
+
+void ReliableFloodWrapper::process_in_order(sim::NodeContext& ctx,
+                                            NodeState& st,
+                                            const sim::Message& m) {
+  const int w = m.sender;
+  switch (m.kind) {
+    case kData: {
+      const int h = m.hops;
+      if (h < 1 || h > opts_.max_logical_rounds || h <= st.step_done) {
+        ++stats_.overflow_data;  // late or beyond-horizon data
+        return;
+      }
+      // Reconstruct the inner message exactly as the lossless engine
+      // would deliver it (kind from aux, seq/aux zeroed).
+      st.data_by_round[static_cast<std::size_t>(h)].push_back(
+          {m.aux, m.origin, m.hops, m.payload, w, 0, 0});
+      return;
+    }
+    case kFrame: {
+      const int h = m.hops;
+      auto [it, inserted] = st.frame_from.try_emplace(w, h);
+      if (!inserted && it->second < h) it->second = h;
+      // Implicit cumulative ack: w's FRAME(h) proves it processed my
+      // FRAME(h-1) — and, in order, everything I sent before that.
+      if (h >= 2 && h - 1 < static_cast<int>(st.frame_seq.size()) &&
+          st.frame_seq[static_cast<std::size_t>(h - 1)] > 0) {
+        ack_from(st, w, st.frame_seq[static_cast<std::size_t>(h - 1)], true);
+      }
+      // Nothing follows the final round's FRAME, so ack it explicitly.
+      if (h == opts_.max_logical_rounds) send_ack(ctx, st, w);
+      return;
+    }
+    case kPing:
+      send_ack(ctx, st, w);
+      return;
+    default:
+      return;  // unknown sequenced packet: consume silently
+  }
+}
+
+void ReliableFloodWrapper::ack_from(NodeState& st, int neighbor, int upto,
+                                    bool implicit) {
+  bool any = false;
+  for (auto it = st.outgoing.begin();
+       it != st.outgoing.end() && it->first <= upto;) {
+    if (it->second.unacked.erase(neighbor) > 0) any = true;
+    if (it->second.unacked.empty()) {
+      it = st.outgoing.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (any && implicit) ++stats_.implicit_acks;
+}
+
+void ReliableFloodWrapper::send_ack(sim::NodeContext& ctx, NodeState& st,
+                                    int to) {
+  const int cumulative = st.next_expected.try_emplace(to, 1).first->second - 1;
+  ctx.send(to, {kAck, 0, 0, cumulative, -1, 0, 0});
+  ++stats_.acks_sent;
+}
+
+void ReliableFloodWrapper::handle_timer(sim::NodeContext& ctx,
+                                        const sim::Message& m) {
+  NodeState& st = state(ctx.node());
+  const auto it = st.outgoing.find(static_cast<int>(m.payload));
+  if (it == st.outgoing.end()) return;  // fully acked meanwhile
+  Outgoing& o = it->second;
+  if (o.retries >= opts_.max_retries) {
+    // Exhausted: the remaining listeners are unreachable (crashed, or a
+    // permanently dead link). Exclude them from the barrier so the rest
+    // of the network keeps going.
+    const std::vector<int> lost(o.unacked.begin(), o.unacked.end());
+    st.outgoing.erase(it);
+    for (int w : lost) {
+      ++stats_.gave_up_links;
+      mark_dead(st, w);
+    }
+    try_progress(ctx);
+    return;
+  }
+  ++o.retries;
+  ++stats_.retransmissions;
+  ctx.broadcast(o.pkt);
+  o.backoff = std::min(o.backoff * 2, opts_.max_backoff);
+  ctx.schedule(o.backoff, m);
+}
+
+void ReliableFloodWrapper::mark_dead(NodeState& st, int neighbor) {
+  if (!st.dead.insert(neighbor).second) return;
+  for (auto it = st.outgoing.begin(); it != st.outgoing.end();) {
+    it->second.unacked.erase(neighbor);
+    if (it->second.unacked.empty()) {
+      it = st.outgoing.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ReliableFloodWrapper::arm_watchdog(sim::NodeContext& ctx, NodeState& st) {
+  if (st.watchdog_armed || opts_.watchdog_rounds == 0) return;
+  st.watchdog_armed = true;
+  st.watchdog_step = st.step_done;
+  ctx.schedule(opts_.watchdog_rounds, {kWatchdogTimer, 0, 0, 0, -1, 0, 0});
+}
+
+void ReliableFloodWrapper::handle_watchdog(sim::NodeContext& ctx) {
+  NodeState& st = state(ctx.node());
+  st.watchdog_armed = false;
+  if (st.step_done >= opts_.max_logical_rounds) return;  // finished
+  if (st.step_done == st.watchdog_step && st.outgoing.empty()) {
+    // Stalled a full watchdog period with nothing in flight: probe the
+    // neighborhood. Live neighbors ACK the sequenced ping; a crashed one
+    // lets it exhaust its retries, which marks it dead and unblocks us.
+    transmit(ctx, st, {kPing, 0, 0, 0, -1, 0, 0});
+    ++stats_.pings_sent;
+  }
+  arm_watchdog(ctx, st);
+}
+
+bool ReliableFloodWrapper::complete() const { return stats().stalled_nodes == 0; }
+
+ReliableStats ReliableFloodWrapper::stats() const {
+  ReliableStats s = stats_;
+  for (const NodeState& st : st_) {
+    // Counts crashed nodes too: they never ran on_start (step_done -1).
+    if (st.step_done < opts_.max_logical_rounds) ++s.stalled_nodes;
+  }
+  return s;
+}
+
+// --- Reliable stage runner ----------------------------------------------------
+
+ReliableStats ReliableRun::total_rel() const {
+  ReliableStats s = khop_rel;
+  s += centrality_rel;
+  s += localmax_rel;
+  s += voronoi_rel;
+  return s;
+}
+
+ReliableRun run_distributed_stages_reliable(const net::Graph& g,
+                                            const Params& params,
+                                            sim::Engine& engine,
+                                            const ReliableOptions& base) {
+  params.validate();
+  ReliableRun out;
+  DistributedRun& run = out.run;
+  ReliableOptions opts = base;
+
+  {
+    KhopSizeProtocol khop(g.n(), params.k);
+    opts.max_logical_rounds = params.k;
+    ReliableFloodWrapper w(khop, g, opts);
+    run.khop_stats = engine.run(w);
+    out.khop_rel = w.stats();
+    run.index.khop_size = khop.sizes();
+  }
+  {
+    CentralityProtocol cent(run.index.khop_size, params.l,
+                            params.centrality_includes_self);
+    opts.max_logical_rounds = params.l;
+    ReliableFloodWrapper w(cent, g, opts);
+    run.centrality_stats = engine.run(w);
+    out.centrality_rel = w.stats();
+    run.index.centrality = cent.centrality();
+  }
+  run.index.index.resize(static_cast<std::size_t>(g.n()));
+  for (std::size_t v = 0; v < run.index.index.size(); ++v) {
+    run.index.index[v] = 0.5 * (static_cast<double>(run.index.khop_size[v]) +
+                                run.index.centrality[v]);
+  }
+  {
+    LocalMaxProtocol lmax(run.index.index,
+                          params.effective_local_max_radius());
+    opts.max_logical_rounds = params.effective_local_max_radius();
+    ReliableFloodWrapper w(lmax, g, opts);
+    run.localmax_stats = engine.run(w);
+    out.localmax_rel = w.stats();
+    const std::vector<char> crit = lmax.critical();
+    for (int v = 0; v < g.n(); ++v) {
+      if (crit[static_cast<std::size_t>(v)]) run.critical_nodes.push_back(v);
+    }
+  }
+  {
+    // Flood horizon: the farthest node adopts at its site distance; the
+    // last within-alpha offers travel one hop further, and alpha extra
+    // slack absorbs adoption along slightly longer paths under churn.
+    // (A deployment would provision this as a network-diameter bound.)
+    int horizon = 0;
+    if (!run.critical_nodes.empty()) {
+      const net::MultiSourceBfs bfs =
+          net::multi_source_bfs(g, run.critical_nodes);
+      for (int d : bfs.dist) {
+        if (d != net::kUnreached) horizon = std::max(horizon, d);
+      }
+      horizon += 1 + params.alpha;
+    }
+    VoronoiProtocol vor(g.n(), run.critical_nodes, params.alpha);
+    opts.max_logical_rounds = horizon;
+    ReliableFloodWrapper w(vor, g, opts);
+    run.voronoi_stats = engine.run(w);
+    out.voronoi_rel = w.stats();
+    run.voronoi = vor.result();
+  }
+  run.completeness = compute_stage_completeness(g, params, run);
+  return out;
+}
+
+ReliableExtraction extract_skeleton_reliable(const net::Graph& g,
+                                             const Params& params,
+                                             sim::Engine& engine,
+                                             const ReliableOptions& base) {
+  ReliableRun rr = run_distributed_stages_reliable(g, params, engine, base);
+  ReliableExtraction out;
+  out.stats = rr.run.total();
+  out.reliability = rr.total_rel();
+  const StageCompleteness completeness = rr.run.completeness;
+  out.result = complete_extraction(g, params, std::move(rr.run.index),
+                                   std::move(rr.run.critical_nodes),
+                                   std::move(rr.run.voronoi));
+  apply_completeness_warnings(completeness, out.result.diagnostics);
+  if (out.reliability.stalled_nodes > 0) {
+    out.result.diagnostics.warn(
+        "reliable flood: " + std::to_string(out.reliability.stalled_nodes) +
+        " node(s) never completed every logical round");
+  }
+  if (out.reliability.gave_up_links > 0) {
+    out.result.diagnostics.warn(
+        "reliable flood: gave up on " +
+        std::to_string(out.reliability.gave_up_links) +
+        " unreachable (packet, neighbor) pair(s)");
+  }
+  if (out.stats.hit_round_cap) {
+    out.result.diagnostics.warn(
+        "simulation hit the round cap before quiescence; results are "
+        "incomplete");
+  }
+  return out;
+}
+
+}  // namespace skelex::core

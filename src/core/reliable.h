@@ -1,0 +1,197 @@
+// skelex/core/reliable.h
+//
+// Reliable flooding over lossy links: a wrapper protocol that layers
+// per-neighbor acknowledgement and bounded retransmission underneath any
+// unit-speed flood protocol (KhopSizeProtocol, CentralityProtocol,
+// LocalMaxProtocol, VoronoiProtocol), so that the inner protocol's
+// per-node results under reception loss are BITWISE IDENTICAL to its
+// lossless run.
+//
+// Why identical and not merely "close": the paper's flood protocols are
+// order-sensitive (the Voronoi stage adopts the FIRST record to arrive;
+// ties resolve through the engine's canonical delivery order). Simply
+// retransmitting lost frames changes arrival rounds and therefore
+// results. The wrapper therefore restores full logical synchrony — it
+// is a flooding synchronizer:
+//
+//   * Every wrapper packet a node broadcasts carries a per-sender
+//     sequence number; receivers process each neighbor's packets in
+//     order (out-of-order arrivals are buffered).
+//   * Inner messages ride in DATA packets. Their `hops` field IS their
+//     logical round: a unit-speed flood delivers a message with hops = h
+//     in round h of the lossless run (on_start sends hops = 1;
+//     forwarding sends hops = received.hops + 1 — all four stage
+//     protocols have this shape by construction).
+//   * After executing logical round h, a node broadcasts a FRAME(h+1)
+//     marker: "all my hops = h+1 DATA is out". A node executes round
+//     h+1 only when every (live) neighbor's FRAME(h+1) has arrived, then
+//     delivers the buffered DATA in the engine's canonical order — so
+//     the inner protocol observes exactly the lossless schedule.
+//   * Acknowledgement is mostly IMPLICIT: receiving FRAME(h) from a
+//     neighbor proves (in-order processing) that it has received every
+//     packet of mine up to and including my FRAME(h-1). Explicit
+//     cumulative ACKs are sent only for duplicates, for the final
+//     round's FRAME, and for liveness probes.
+//   * Unacknowledged packets are rebroadcast with bounded exponential
+//     backoff (self-timers via NodeContext::schedule). A neighbor that
+//     exhausts max_retries is declared dead and excluded from the FRAME
+//     barrier — crash-stop failures degrade the result instead of
+//     wedging the network.
+//
+// Message-complexity overhead vs the paper's O((k+l+1)n) bound: FRAME
+// markers add one broadcast per node per logical round — O(L·n) with
+// L = k, l, r, or the Voronoi eccentricity — and retransmissions add an
+// expected factor 1/(1-p) per packet, so the total stays
+// O((k+l+1)·n/(1-p)) + O(L·n): the same shape, a constant factor up.
+// docs/robustness.md derives this and bench_robustness measures it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/config.h"
+#include "core/protocols.h"
+#include "net/graph.h"
+#include "sim/engine.h"
+
+namespace skelex::core {
+
+struct ReliableOptions {
+  // Highest logical round DATA can occur in (TTL of the wrapped flood:
+  // k-hop flood -> k; Voronoi flood -> max site distance + 1). Inner
+  // messages beyond it are dropped and counted, never delivered.
+  int max_logical_rounds = 0;
+  // Retransmissions per packet before the unreachable neighbors are
+  // declared dead. With loss p the residual per-link failure probability
+  // is p^(max_retries+1) (~4e-9 at p = 0.3, 16 retries).
+  int max_retries = 16;
+  // Rounds before the first retransmission; doubled per retry up to
+  // max_backoff (truncated exponential backoff).
+  int initial_backoff = 2;
+  int max_backoff = 16;
+  // A node blocked on the FRAME barrier this many rounds with nothing
+  // left in flight sends a sequenced PING probe; live neighbors ACK it,
+  // dead ones let it exhaust retries (crash detection without traffic).
+  int watchdog_rounds = 48;
+};
+
+struct ReliableStats {
+  std::int64_t data_sent = 0;        // first transmissions of DATA packets
+  std::int64_t frames_sent = 0;      // FRAME barrier markers
+  std::int64_t acks_sent = 0;        // explicit cumulative ACK unicasts
+  std::int64_t pings_sent = 0;       // watchdog probes
+  std::int64_t retransmissions = 0;  // rebroadcasts of unacked packets
+  std::int64_t duplicates = 0;       // redundant receptions discarded
+  std::int64_t implicit_acks = 0;    // packets confirmed via FRAME inference
+  std::int64_t gave_up_links = 0;    // (packet, neighbor) pairs abandoned
+  std::int64_t overflow_data = 0;    // inner msgs beyond max_logical_rounds
+  int stalled_nodes = 0;  // nodes that never completed every logical round
+
+  ReliableStats& operator+=(const ReliableStats& o);
+};
+
+class ReliableFloodWrapper final : public sim::Protocol {
+ public:
+  // Borrows `inner` and `g`; both must outlive the wrapper. Results are
+  // read from `inner` after Engine::run returns, exactly as without the
+  // wrapper.
+  ReliableFloodWrapper(sim::Protocol& inner, const net::Graph& g,
+                       ReliableOptions opts);
+
+  void on_start(sim::NodeContext& ctx) override;
+  void on_message(sim::NodeContext& ctx, const sim::Message& m) override;
+
+  // True when every node executed every logical round (no stalls).
+  bool complete() const;
+  // Counters, with stalled_nodes computed at call time.
+  ReliableStats stats() const;
+
+ private:
+  struct Outgoing {
+    sim::Message pkt;
+    std::unordered_set<int> unacked;
+    int retries = 0;
+    int backoff = 0;
+  };
+  struct NodeState {
+    int step_done = -1;  // highest logical round executed (-1: none)
+    int next_seq = 1;
+    // Reliable receive (per neighbor): next in-order seq, out-of-order
+    // buffer, highest FRAME round processed.
+    std::unordered_map<int, int> next_expected;
+    std::unordered_map<int, std::map<int, sim::Message>> ooo;
+    std::unordered_map<int, int> frame_from;
+    // Inner messages buffered by logical round.
+    std::vector<std::vector<sim::Message>> data_by_round;
+    // Reliable send: in-flight packets by seq, own FRAME seqs by round.
+    std::map<int, Outgoing> outgoing;
+    std::vector<int> frame_seq;
+    std::unordered_set<int> dead;
+    bool watchdog_armed = false;
+    int watchdog_step = -2;
+  };
+  class InnerCtx;
+
+  NodeState& state(int v) { return st_[static_cast<std::size_t>(v)]; }
+  void handle_timer(sim::NodeContext& ctx, const sim::Message& m);
+  void handle_watchdog(sim::NodeContext& ctx);
+  void process_in_order(sim::NodeContext& ctx, NodeState& st,
+                        const sim::Message& m);
+  void ack_from(NodeState& st, int neighbor, int upto, bool implicit);
+  void try_progress(sim::NodeContext& ctx);
+  void execute_step(sim::NodeContext& ctx, NodeState& st, int h);
+  void flush_inner_sends(sim::NodeContext& ctx, NodeState& st, int h,
+                         std::vector<sim::Message>& sends);
+  void transmit(sim::NodeContext& ctx, NodeState& st, sim::Message pkt);
+  void send_ack(sim::NodeContext& ctx, NodeState& st, int to);
+  void mark_dead(NodeState& st, int neighbor);
+  void arm_watchdog(sim::NodeContext& ctx, NodeState& st);
+
+  sim::Protocol& inner_;
+  const net::Graph& g_;
+  ReliableOptions opts_;
+  std::vector<NodeState> st_;
+  ReliableStats stats_;
+};
+
+// --- Whole communication phase, reliably -------------------------------------
+
+// run_distributed_stages with every stage wrapped in a
+// ReliableFloodWrapper: under reception loss (Engine::set_loss) the
+// IndexData, critical set, and Voronoi structures are identical to the
+// lossless run. `base` supplies retry/backoff tuning; the per-stage
+// max_logical_rounds is derived from the stage TTLs (and, for the
+// Voronoi stage, from the site eccentricity — information a deployment
+// would provision as a network-diameter bound).
+struct ReliableRun {
+  DistributedRun run;
+  ReliableStats khop_rel;
+  ReliableStats centrality_rel;
+  ReliableStats localmax_rel;
+  ReliableStats voronoi_rel;
+  ReliableStats total_rel() const;
+};
+ReliableRun run_distributed_stages_reliable(const net::Graph& g,
+                                            const Params& params,
+                                            sim::Engine& engine,
+                                            const ReliableOptions& base = {});
+
+// Full extraction over a caller-configured engine (loss and/or faults
+// installed), with stages 1-2 run reliably and stages 3+ completed from
+// the per-node results. Degradation (crashed regions, stalled nodes,
+// unassigned Voronoi cells) lands in SkeletonResult::diagnostics rather
+// than throwing.
+struct ReliableExtraction {
+  SkeletonResult result;
+  sim::RunStats stats;        // total radio cost of stages 1-2
+  ReliableStats reliability;  // summed wrapper counters
+};
+ReliableExtraction extract_skeleton_reliable(const net::Graph& g,
+                                             const Params& params,
+                                             sim::Engine& engine,
+                                             const ReliableOptions& base = {});
+
+}  // namespace skelex::core

@@ -116,4 +116,36 @@ Graph largest_component_subgraph(const Graph& g,
   return sub;
 }
 
+Graph remove_nodes(const Graph& g, std::span<const char> dead,
+                   std::vector<int>* orig_of_new) {
+  if (static_cast<int>(dead.size()) != g.n()) {
+    throw std::invalid_argument("dead mask size must equal node count");
+  }
+  std::vector<int> keep;
+  std::vector<int> new_of_orig(static_cast<std::size_t>(g.n()), -1);
+  for (int v = 0; v < g.n(); ++v) {
+    if (!dead[static_cast<std::size_t>(v)]) {
+      new_of_orig[static_cast<std::size_t>(v)] = static_cast<int>(keep.size());
+      keep.push_back(v);
+    }
+  }
+  Graph sub;
+  if (g.has_positions()) {
+    std::vector<geom::Vec2> pos;
+    pos.reserve(keep.size());
+    for (int v : keep) pos.push_back(g.position(v));
+    sub = Graph(std::move(pos));
+  } else {
+    sub = Graph(static_cast<int>(keep.size()));
+  }
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    for (int w : g.neighbors(keep[i])) {
+      const int nw = new_of_orig[static_cast<std::size_t>(w)];
+      if (nw > static_cast<int>(i)) sub.add_edge(static_cast<int>(i), nw);
+    }
+  }
+  if (orig_of_new != nullptr) *orig_of_new = std::move(keep);
+  return sub;
+}
+
 }  // namespace skelex::net

@@ -75,4 +75,12 @@ Components connected_components(const Graph& g);
 // carried over. `orig_of_new[i]` maps new ids back to the input graph.
 Graph largest_component_subgraph(const Graph& g, std::vector<int>& orig_of_new);
 
+// The subgraph induced by the nodes with dead[v] == 0 (graph surgery for
+// failure studies: crash-stop survivors, jammed regions, ...). Positions
+// are carried over; surviving ids are remapped densely in ascending
+// order. `dead` must have size g.n(). When `orig_of_new` is non-null it
+// receives the map from new ids back to the input graph's ids.
+Graph remove_nodes(const Graph& g, std::span<const char> dead,
+                   std::vector<int>* orig_of_new = nullptr);
+
 }  // namespace skelex::net

@@ -7,13 +7,27 @@
 
 namespace skelex::sim {
 
-std::span<const int> NodeContext::neighbors() const {
-  return engine_.graph_.neighbors(node_);
-}
+// Concrete context bound to the engine's radio.
+class Engine::Ctx final : public NodeContext {
+ public:
+  Ctx(Engine& e, int node, int round) : engine_(e), node_(node), round_(round) {}
 
-void NodeContext::broadcast(Message m) { engine_.do_broadcast(node_, m); }
+  int node() const override { return node_; }
+  int round() const override { return round_; }
+  std::span<const int> neighbors() const override {
+    return engine_.graph_.neighbors(node_);
+  }
+  void broadcast(Message m) override { engine_.do_broadcast(node_, m); }
+  void send(int to, Message m) override { engine_.do_send(node_, to, m); }
+  void schedule(int delay_rounds, Message m) override {
+    engine_.do_schedule(node_, delay_rounds, m);
+  }
 
-void NodeContext::send(int to, Message m) { engine_.do_send(node_, to, m); }
+ private:
+  Engine& engine_;
+  int node_;
+  int round_;
+};
 
 Engine::Engine(const net::Graph& graph) : graph_(graph) {}
 
@@ -31,6 +45,11 @@ void Engine::set_loss(double p, std::uint64_t seed) {
   }
   loss_ = p;
   loss_state_ = seed | 1;
+}
+
+void Engine::set_faults(FaultPlan plan) {
+  faults_ = std::move(plan);
+  have_faults_ = !faults_.empty();
 }
 
 bool Engine::dropped() {
@@ -61,6 +80,13 @@ std::vector<Engine::Envelope>& Engine::bucket(int extra) {
 }
 
 void Engine::do_broadcast(int from, Message m) {
+  if (have_faults_) {
+    const int r = fault_clock();
+    if (faults_.is_crashed(from, r) || faults_.is_asleep(from, r)) {
+      ++current_.faults_tx_suppressed;
+      return;
+    }
+  }
   m.sender = from;
   ++current_.transmissions;
   // One transmission: all listeners hear the same (possibly delayed)
@@ -69,26 +95,53 @@ void Engine::do_broadcast(int from, Message m) {
   auto& out = bucket(extra);
   for (int w : graph_.neighbors(from)) {
     ++current_.receptions;
+    if (have_faults_ && !faults_.link_up(from, w, fault_clock())) {
+      ++current_.faults_rx_linkdown;
+      continue;
+    }
     if (dropped()) continue;
-    out.push_back({w, m});
+    out.push_back({w, false, m});
   }
 }
 
 void Engine::do_send(int from, int to, Message m) {
   if (to < 0 || to >= graph_.n()) throw std::out_of_range("send target");
+  if (have_faults_) {
+    const int r = fault_clock();
+    if (faults_.is_crashed(from, r) || faults_.is_asleep(from, r)) {
+      ++current_.faults_tx_suppressed;
+      return;
+    }
+  }
   m.sender = from;
   ++current_.transmissions;
   ++current_.receptions;
+  if (have_faults_ && !faults_.link_up(from, to, fault_clock())) {
+    ++current_.faults_rx_linkdown;
+    return;
+  }
   if (dropped()) return;
-  bucket(delivery_round()).push_back({to, m});
+  bucket(delivery_round()).push_back({to, false, m});
+}
+
+void Engine::do_schedule(int from, int delay_rounds, Message m) {
+  if (delay_rounds < 1) {
+    throw std::invalid_argument("schedule delay must be >= 1 round");
+  }
+  m.sender = from;
+  // Local timer: no radio cost, no loss/jitter, delivered only to self.
+  bucket(delay_rounds - 1).push_back({from, true, m});
 }
 
 RunStats Engine::run(Protocol& protocol, int max_rounds) {
+  fault_base_ = total_.rounds;  // fault clock continues across runs
   current_ = RunStats{};
   pending_.clear();
 
+  now_ = 0;
   for (int v = 0; v < graph_.n(); ++v) {
-    NodeContext ctx(*this, v, 0);
+    if (have_faults_ && faults_.is_crashed(v, fault_clock())) continue;
+    Ctx ctx(*this, v, 0);
     protocol.on_start(ctx);
   }
 
@@ -101,6 +154,7 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
   };
   while (has_pending() && current_.rounds < max_rounds) {
     ++current_.rounds;
+    now_ = current_.rounds;
     inbox.clear();
     if (!pending_.empty()) {
       inbox.swap(pending_.front());
@@ -110,20 +164,39 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
     // messages in a canonical order, independent of transmission order.
     // This makes protocol results reproducible and lets the distributed
     // stage implementations match their centralized equivalents exactly.
+    // Radio frames sort before self-timers so that e.g. an ACK arriving
+    // in the same round as a retransmission timer cancels it.
     std::sort(inbox.begin(), inbox.end(),
               [](const Envelope& a, const Envelope& b) {
-                return std::tie(a.to, a.msg.kind, a.msg.hops, a.msg.origin,
-                                a.msg.sender, a.msg.payload) <
-                       std::tie(b.to, b.msg.kind, b.msg.hops, b.msg.origin,
-                                b.msg.sender, b.msg.payload);
+                return std::tie(a.to, a.internal, a.msg.kind, a.msg.hops,
+                                a.msg.origin, a.msg.sender, a.msg.payload,
+                                a.msg.seq, a.msg.aux) <
+                       std::tie(b.to, b.internal, b.msg.kind, b.msg.hops,
+                                b.msg.origin, b.msg.sender, b.msg.payload,
+                                b.msg.seq, b.msg.aux);
               });
     for (const Envelope& env : inbox) {
-      NodeContext ctx(*this, env.to, current_.rounds);
+      if (have_faults_) {
+        const int r = fault_clock();
+        if (faults_.is_crashed(env.to, r)) {
+          if (!env.internal) ++current_.faults_rx_crashed;
+          continue;
+        }
+        if (!env.internal && faults_.is_asleep(env.to, r)) {
+          ++current_.faults_rx_sleeping;
+          continue;
+        }
+      }
+      Ctx ctx(*this, env.to, current_.rounds);
       protocol.on_message(ctx, env.msg);
     }
   }
   if (has_pending()) {
-    throw std::runtime_error("sim::Engine hit the round cap before quiescence");
+    // Round cap hit: flag it and discard the in-flight messages rather
+    // than throwing — under fault injection a non-quiescent run is an
+    // expected outcome the caller inspects, not a programming error.
+    current_.hit_round_cap = true;
+    pending_.clear();
   }
   total_ += current_;
   return current_;

@@ -12,13 +12,21 @@
 //
 // Protocols keep their own per-node state (indexed by node id) and react
 // to two hooks: on_start (round 0) and on_message. The engine runs until
-// quiescence (no messages in flight) or a round cap.
+// quiescence (no messages in flight) or a round cap; a capped run is
+// flagged in RunStats::hit_round_cap instead of silently looking
+// converged.
+//
+// NodeContext is an abstract interface so protocol stacks can be
+// layered: sim::Engine provides the real radio; wrappers (e.g.
+// core::ReliableFloodWrapper) interpose their own context to intercept
+// an inner protocol's transmissions and add reliability underneath it.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "net/graph.h"
+#include "sim/faults.h"
 #include "sim/stats.h"
 
 namespace skelex::sim {
@@ -31,29 +39,36 @@ struct Message {
   int hops = 0;      // hop counter carried by flood messages
   std::int64_t payload = 0;  // protocol-defined extra data
   int sender = -1;   // filled in by the engine on delivery
+  int seq = 0;       // per-sender sequence number (reliability layers)
+  int aux = 0;       // protocol-defined extra discriminator
 };
 
-class Engine;
-
-// Handed to protocol hooks; scoped to one (node, round).
+// Handed to protocol hooks; scoped to one (node, round). Abstract so a
+// wrapper protocol can substitute its own implementation when invoking
+// an inner protocol (see core/reliable.h).
 class NodeContext {
  public:
-  int node() const { return node_; }
-  int round() const { return round_; }
-  std::span<const int> neighbors() const;
+  virtual ~NodeContext() = default;
+
+  virtual int node() const = 0;
+  virtual int round() const = 0;
+  virtual std::span<const int> neighbors() const = 0;
 
   // Transmit to all neighbors: one transmission, degree receptions.
-  void broadcast(Message m);
+  virtual void broadcast(Message m) = 0;
   // Transmit to a single neighbor (e.g., reverse-path routing).
-  void send(int to, Message m);
+  virtual void send(int to, Message m) = 0;
+  // Deliver `m` back to this node `delay_rounds` rounds from now
+  // (delay_rounds >= 1). A local timer, not a radio event: it costs no
+  // transmission/reception and bypasses loss, jitter, and link faults.
+  // It still dies with a crashed node (dead CPUs fire no timers) but
+  // survives sleep windows (the radio is off, the clock is not).
+  virtual void schedule(int delay_rounds, Message m) = 0;
 
- private:
-  friend class Engine;
-  NodeContext(Engine& e, int node, int round)
-      : engine_(e), node_(node), round_(round) {}
-  Engine& engine_;
-  int node_;
-  int round_;
+ protected:
+  NodeContext() = default;
+  NodeContext(const NodeContext&) = default;
+  NodeContext& operator=(const NodeContext&) = default;
 };
 
 class Protocol {
@@ -86,9 +101,20 @@ class Engine {
   // RunStats::receptions ("the radio heard noise") but never delivered.
   void set_loss(double p, std::uint64_t seed = 2);
 
+  // Installs a fault schedule (crash-stop, duty-cycle sleep, link
+  // churn); the engine consults it before every transmission and
+  // delivery. Fault rounds are measured on the engine lifetime clock
+  // (cumulative across run() calls), so crashes are permanent across a
+  // multi-protocol pipeline run on one engine. Replaces any previously
+  // installed plan; an empty plan disables fault injection.
+  void set_faults(FaultPlan plan);
+  const FaultPlan& faults() const { return faults_; }
+
   // Runs `protocol` to quiescence (or max_rounds) and returns statistics.
   // Resets stats at entry, so an Engine can run several protocols in
   // sequence over the same graph (cumulative stats available via total()).
+  // If the cap is hit, undelivered messages are discarded and
+  // RunStats::hit_round_cap is set — the protocol's state is incomplete.
   RunStats run(Protocol& protocol, int max_rounds = 1 << 20);
 
   // Stats accumulated over every run() since construction.
@@ -97,17 +123,21 @@ class Engine {
   const net::Graph& graph() const { return graph_; }
 
  private:
-  friend class NodeContext;
+  class Ctx;
   struct Envelope {
     int to;
+    bool internal;  // self-timer (schedule()); exempt from radio faults
     Message msg;
   };
 
   void do_broadcast(int from, Message m);
   void do_send(int from, int to, Message m);
+  void do_schedule(int from, int delay_rounds, Message m);
   int delivery_round();
   bool dropped();
   std::vector<Envelope>& bucket(int round);
+  // Round on the fault clock: cumulative rounds across runs.
+  int fault_clock() const { return fault_base_ + now_; }
 
   const net::Graph& graph_;
   // Messages scheduled per future round (index = round - current - 1 in
@@ -117,6 +147,10 @@ class Engine {
   std::uint64_t jitter_state_ = 0;
   double loss_ = 0.0;
   std::uint64_t loss_state_ = 0;
+  FaultPlan faults_;
+  bool have_faults_ = false;
+  int now_ = 0;         // round currently being processed
+  int fault_base_ = 0;  // lifetime rounds completed before this run
   RunStats current_;
   RunStats total_;
 };

@@ -1,0 +1,107 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <climits>
+#include <stdexcept>
+
+namespace skelex::sim {
+
+namespace {
+void check_node(int node) {
+  if (node < 0) throw std::invalid_argument("fault node id must be >= 0");
+}
+void check_round(int round) {
+  if (round < 0) throw std::invalid_argument("fault round must be >= 0");
+}
+void check_interval(int from, int to) {
+  check_round(from);
+  if (to <= from) {
+    throw std::invalid_argument("fault interval must have to > from");
+  }
+}
+}  // namespace
+
+std::uint64_t FaultPlan::link_key(int u, int v) {
+  const std::uint64_t a = static_cast<std::uint64_t>(std::min(u, v));
+  const std::uint64_t b = static_cast<std::uint64_t>(std::max(u, v));
+  return (a << 32) | b;
+}
+
+void FaultPlan::crash_at(int node, int round) {
+  check_node(node);
+  check_round(round);
+  auto [it, inserted] = crash_.try_emplace(node, round);
+  if (!inserted) it->second = std::min(it->second, round);
+}
+
+void FaultPlan::sleep(int node, int from_round, int to_round) {
+  check_node(node);
+  check_interval(from_round, to_round);
+  sleep_[node].push_back({from_round, to_round});
+}
+
+void FaultPlan::link_down(int u, int v, int from_round, int to_round) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw std::invalid_argument("link endpoints must differ");
+  check_interval(from_round, to_round);
+  link_down_[link_key(u, v)].push_back({from_round, to_round});
+}
+
+void FaultPlan::link_churn(int u, int v, int down_rounds, int up_rounds,
+                           int phase) {
+  check_node(u);
+  check_node(v);
+  if (u == v) throw std::invalid_argument("link endpoints must differ");
+  if (down_rounds < 1) throw std::invalid_argument("down_rounds must be >= 1");
+  if (up_rounds < 0) throw std::invalid_argument("up_rounds must be >= 0");
+  check_round(phase);
+  churn_[link_key(u, v)].push_back({down_rounds, up_rounds, phase});
+}
+
+bool FaultPlan::is_crashed(int node, int round) const {
+  const auto it = crash_.find(node);
+  return it != crash_.end() && round >= it->second;
+}
+
+int FaultPlan::crash_round(int node) const {
+  const auto it = crash_.find(node);
+  return it == crash_.end() ? INT_MAX : it->second;
+}
+
+bool FaultPlan::is_asleep(int node, int round) const {
+  const auto it = sleep_.find(node);
+  if (it == sleep_.end()) return false;
+  for (const Interval& w : it->second) {
+    if (round >= w.from && round < w.to) return true;
+  }
+  return false;
+}
+
+bool FaultPlan::link_up(int u, int v, int round) const {
+  const std::uint64_t key = link_key(u, v);
+  if (const auto it = link_down_.find(key); it != link_down_.end()) {
+    for (const Interval& w : it->second) {
+      if (round >= w.from && round < w.to) return false;
+    }
+  }
+  if (const auto it = churn_.find(key); it != churn_.end()) {
+    for (const Churn& c : it->second) {
+      if (round < c.phase) continue;
+      if (c.up == 0) return false;  // permanently down from phase on
+      const int pos = (round - c.phase) % (c.down + c.up);
+      if (pos < c.down) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<char> FaultPlan::crashed_by(int n, int round) const {
+  std::vector<char> dead(static_cast<std::size_t>(n), 0);
+  for (const auto& [node, r] : crash_) {
+    if (node < n && r <= round) dead[static_cast<std::size_t>(node)] = 1;
+  }
+  return dead;
+}
+
+}  // namespace skelex::sim

@@ -1,0 +1,87 @@
+// skelex/sim/faults.h
+//
+// Fault injection for the message-passing simulator. A FaultPlan is a
+// deterministic schedule of the failure modes real deployments exhibit
+// and the paper's model assumes away (§III-B assumes floods start
+// simultaneously and travel at one hop per round; §III-D notes skeleton
+// loops can be caused by "node failure, etc"):
+//
+//   * crash-stop  — a node dies at a given round and never processes,
+//     transmits, or receives again;
+//   * duty-cycle  — a node's radio is off during [from, to): it neither
+//     transmits nor receives, but its CPU (self-timers) keeps running;
+//   * link churn  — a link is down for explicit intervals, or flaps
+//     periodically (down d rounds, up u rounds, repeating); a down link
+//     drops frames in both directions.
+//
+// The engine consults the installed plan before every transmission and
+// every delivery; swallowed traffic is counted in RunStats' fault
+// counters. Rounds are measured on the ENGINE LIFETIME clock — the
+// cumulative round count across all run() calls on one engine — so a
+// node that crashes during stage 1 of a multi-protocol pipeline stays
+// dead through the later stages (crash-stop is permanent).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace skelex::sim {
+
+class FaultPlan {
+ public:
+  // Node `node` is dead from round `round` on (round 0 = never alive:
+  // the node does not even run on_start). The earliest of several
+  // schedules for one node wins.
+  void crash_at(int node, int round);
+
+  // Node `node`'s radio is off during [from_round, to_round).
+  void sleep(int node, int from_round, int to_round);
+
+  // The link {u, v} is down during [from_round, to_round).
+  void link_down(int u, int v, int from_round, int to_round);
+
+  // Periodic churn: starting at `phase`, the link {u, v} repeats
+  // down for `down_rounds`, up for `up_rounds`. Before `phase` it is up.
+  // up_rounds == 0 means permanently down from `phase` on.
+  void link_churn(int u, int v, int down_rounds, int up_rounds,
+                  int phase = 0);
+
+  bool empty() const {
+    return crash_.empty() && sleep_.empty() && link_down_.empty() &&
+           churn_.empty();
+  }
+
+  // --- Queries (engine hot path) --------------------------------------------
+  bool is_crashed(int node, int round) const;
+  bool is_asleep(int node, int round) const;
+  bool link_up(int u, int v, int round) const;
+
+  // Round at which `node` crashes, or INT_MAX when it never does.
+  int crash_round(int node) const;
+
+  // Mask (size n) of nodes whose crash round is <= `round` — the
+  // complement is the survivor set, e.g. for re-extraction on the
+  // survivor graph (net::remove_nodes).
+  std::vector<char> crashed_by(int n, int round) const;
+
+ private:
+  struct Interval {
+    int from;
+    int to;  // exclusive
+  };
+  struct Churn {
+    int down;
+    int up;
+    int phase;
+  };
+
+  static std::uint64_t link_key(int u, int v);
+
+  std::unordered_map<int, int> crash_;  // node -> first dead round
+  std::unordered_map<int, std::vector<Interval>> sleep_;
+  std::unordered_map<std::uint64_t, std::vector<Interval>> link_down_;
+  std::unordered_map<std::uint64_t, std::vector<Churn>> churn_;
+};
+
+}  // namespace skelex::sim

@@ -8,14 +8,27 @@ RunStats& RunStats::operator+=(const RunStats& o) {
   rounds += o.rounds;
   transmissions += o.transmissions;
   receptions += o.receptions;
+  faults_tx_suppressed += o.faults_tx_suppressed;
+  faults_rx_crashed += o.faults_rx_crashed;
+  faults_rx_sleeping += o.faults_rx_sleeping;
+  faults_rx_linkdown += o.faults_rx_linkdown;
+  hit_round_cap = hit_round_cap || o.hit_round_cap;
   return *this;
 }
 
 RunStats operator+(RunStats a, const RunStats& b) { return a += b; }
 
 std::ostream& operator<<(std::ostream& os, const RunStats& s) {
-  return os << "{rounds=" << s.rounds << ", tx=" << s.transmissions
-            << ", rx=" << s.receptions << '}';
+  os << "{rounds=" << s.rounds << ", tx=" << s.transmissions
+     << ", rx=" << s.receptions;
+  if (s.total_fault_drops() > 0) {
+    os << ", faults={tx_suppressed=" << s.faults_tx_suppressed
+       << ", rx_crashed=" << s.faults_rx_crashed
+       << ", rx_sleeping=" << s.faults_rx_sleeping
+       << ", rx_linkdown=" << s.faults_rx_linkdown << '}';
+  }
+  if (s.hit_round_cap) os << ", hit_round_cap";
+  return os << '}';
 }
 
 }  // namespace skelex::sim

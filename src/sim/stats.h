@@ -4,6 +4,11 @@
 // (radio sends; a broadcast is one), receptions (per-listener deliveries).
 // bench_thm5_complexity uses these to reproduce the paper's Theorem 5
 // claims: transmissions = O((k + l + 1) n), rounds = O(sqrt(n)).
+//
+// Fault accounting (sim/faults.h): the engine counts every delivery or
+// transmission a FaultPlan swallowed, and flags runs that were cut off
+// by the round cap, so a non-quiescent run is distinguishable from a
+// converged one.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,22 @@ struct RunStats {
   int rounds = 0;
   std::int64_t transmissions = 0;
   std::int64_t receptions = 0;
+
+  // Fault counters (all zero when no FaultPlan is installed).
+  std::int64_t faults_tx_suppressed = 0;  // transmissions by crashed/sleeping nodes
+  std::int64_t faults_rx_crashed = 0;     // deliveries to crashed nodes
+  std::int64_t faults_rx_sleeping = 0;    // deliveries to sleeping nodes
+  std::int64_t faults_rx_linkdown = 0;    // receptions over a down link
+
+  // True when run() stopped at max_rounds with messages still in flight
+  // (the leftover messages are discarded). A capped run's per-node state
+  // is incomplete; callers must not treat it as converged.
+  bool hit_round_cap = false;
+
+  std::int64_t total_fault_drops() const {
+    return faults_tx_suppressed + faults_rx_crashed + faults_rx_sleeping +
+           faults_rx_linkdown;
+  }
 
   RunStats& operator+=(const RunStats& o);
 };

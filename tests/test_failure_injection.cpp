@@ -10,6 +10,7 @@
 #include "core/pipeline.h"
 #include "deploy/scenario.h"
 #include "geometry/shapes.h"
+#include "net/graph.h"
 
 namespace skelex {
 namespace {
@@ -17,26 +18,8 @@ namespace {
 // Remove the given nodes from a graph (keeping positions), then take the
 // largest component.
 net::Graph kill_nodes(const net::Graph& g, const std::vector<char>& dead) {
-  std::vector<geom::Vec2> pos;
-  std::vector<int> new_id(static_cast<std::size_t>(g.n()), -1);
-  for (int v = 0; v < g.n(); ++v) {
-    if (!dead[static_cast<std::size_t>(v)]) {
-      new_id[static_cast<std::size_t>(v)] = static_cast<int>(pos.size());
-      pos.push_back(g.position(v));
-    }
-  }
-  net::Graph out(std::move(pos));
-  for (int v = 0; v < g.n(); ++v) {
-    if (dead[static_cast<std::size_t>(v)]) continue;
-    for (int w : g.neighbors(v)) {
-      if (w > v && !dead[static_cast<std::size_t>(w)]) {
-        out.add_edge(new_id[static_cast<std::size_t>(v)],
-                     new_id[static_cast<std::size_t>(w)]);
-      }
-    }
-  }
   std::vector<int> orig;
-  return net::largest_component_subgraph(out, orig);
+  return net::largest_component_subgraph(net::remove_nodes(g, dead), orig);
 }
 
 net::Graph base_network(std::uint64_t seed) {

@@ -1,0 +1,259 @@
+// Fault injection: FaultPlan semantics, the engine's enforcement of
+// crash-stop / duty-cycle / link churn, and the end-to-end acceptance
+// scenario — crashing a disk of nodes MID-RUN through the simulator
+// (not graph surgery) and re-extracting on the survivor graph must grow
+// exactly one genuine skeleton loop around the dead zone.
+#include "sim/faults.h"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/protocols.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/graph.h"
+#include "sim/engine.h"
+
+namespace skelex {
+namespace {
+
+net::Graph path_graph(int n) {
+  net::Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+// Node 0 emits one message; every receiver forwards once.
+class WaveProtocol final : public sim::Protocol {
+ public:
+  explicit WaveProtocol(int n) : heard_(static_cast<std::size_t>(n), 0) {}
+  void on_start(sim::NodeContext& ctx) override {
+    if (ctx.node() == 0) {
+      heard_[0] = 1;
+      ctx.broadcast({1, 0, 1, 0, -1});
+    }
+  }
+  void on_message(sim::NodeContext& ctx, const sim::Message& m) override {
+    auto& h = heard_[static_cast<std::size_t>(ctx.node())];
+    if (h) return;
+    h = 1;
+    ctx.broadcast({1, m.origin, m.hops + 1, 0, -1});
+  }
+  std::vector<char> heard_;
+};
+
+TEST(FaultPlan, ValidatesArguments) {
+  sim::FaultPlan p;
+  EXPECT_THROW(p.crash_at(-1, 0), std::invalid_argument);
+  EXPECT_THROW(p.crash_at(0, -1), std::invalid_argument);
+  EXPECT_THROW(p.sleep(0, 5, 5), std::invalid_argument);
+  EXPECT_THROW(p.sleep(0, 5, 4), std::invalid_argument);
+  EXPECT_THROW(p.link_down(2, 2, 0, 5), std::invalid_argument);
+  EXPECT_THROW(p.link_churn(0, 1, 0, 1), std::invalid_argument);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(FaultPlan, CrashEarliestRoundWins) {
+  sim::FaultPlan p;
+  p.crash_at(3, 10);
+  p.crash_at(3, 4);
+  p.crash_at(3, 7);
+  EXPECT_EQ(p.crash_round(3), 4);
+  EXPECT_FALSE(p.is_crashed(3, 3));
+  EXPECT_TRUE(p.is_crashed(3, 4));
+  EXPECT_TRUE(p.is_crashed(3, 1000));
+  EXPECT_EQ(p.crash_round(2), INT_MAX);
+  const std::vector<char> by3 = p.crashed_by(5, 3);
+  const std::vector<char> by4 = p.crashed_by(5, 4);
+  EXPECT_EQ(by3, (std::vector<char>{0, 0, 0, 0, 0}));
+  EXPECT_EQ(by4, (std::vector<char>{0, 0, 0, 1, 0}));
+}
+
+TEST(FaultPlan, SleepWindowsAndLinkIntervals) {
+  sim::FaultPlan p;
+  p.sleep(1, 2, 5);
+  p.sleep(1, 8, 9);
+  EXPECT_FALSE(p.is_asleep(1, 1));
+  EXPECT_TRUE(p.is_asleep(1, 2));
+  EXPECT_TRUE(p.is_asleep(1, 4));
+  EXPECT_FALSE(p.is_asleep(1, 5));
+  EXPECT_TRUE(p.is_asleep(1, 8));
+  EXPECT_FALSE(p.is_asleep(2, 3));
+
+  p.link_down(4, 7, 1, 3);
+  EXPECT_TRUE(p.link_up(4, 7, 0));
+  EXPECT_FALSE(p.link_up(4, 7, 1));
+  EXPECT_FALSE(p.link_up(7, 4, 2));  // symmetric
+  EXPECT_TRUE(p.link_up(4, 7, 3));
+  EXPECT_TRUE(p.link_up(4, 6, 2));  // other links unaffected
+}
+
+TEST(FaultPlan, LinkChurnPeriodicPattern) {
+  sim::FaultPlan p;
+  p.link_churn(0, 1, /*down=*/2, /*up=*/3, /*phase=*/1);
+  EXPECT_TRUE(p.link_up(0, 1, 0));  // before phase: up
+  // From round 1: DDUUU DDUUU ...
+  EXPECT_FALSE(p.link_up(0, 1, 1));
+  EXPECT_FALSE(p.link_up(0, 1, 2));
+  EXPECT_TRUE(p.link_up(0, 1, 3));
+  EXPECT_TRUE(p.link_up(0, 1, 5));
+  EXPECT_FALSE(p.link_up(0, 1, 6));
+  EXPECT_FALSE(p.link_up(1, 0, 7));
+  EXPECT_TRUE(p.link_up(0, 1, 8));
+
+  // up == 0: permanently down from phase.
+  sim::FaultPlan q;
+  q.link_churn(2, 3, 1, 0, 5);
+  EXPECT_TRUE(q.link_up(2, 3, 4));
+  EXPECT_FALSE(q.link_up(2, 3, 5));
+  EXPECT_FALSE(q.link_up(2, 3, 50000));
+}
+
+TEST(EngineFaults, CrashAtRoundZeroNeverStarts) {
+  const net::Graph g = path_graph(5);
+  sim::Engine e(g);
+  sim::FaultPlan plan;
+  plan.crash_at(2, 0);
+  e.set_faults(plan);
+  WaveProtocol p(5);
+  const sim::RunStats s = e.run(p);
+  // The wave dies at the crashed node: 3 and 4 never hear it.
+  EXPECT_EQ(p.heard_, (std::vector<char>{1, 1, 0, 0, 0}));
+  // Node 1's forward was heard by node 2's radio but swallowed.
+  EXPECT_GT(s.faults_rx_crashed, 0);
+  EXPECT_EQ(s.faults_tx_suppressed, 0);  // a crashed node never even tries
+}
+
+TEST(EngineFaults, SleepSpanningWholeRunMissesEverything) {
+  const net::Graph g = path_graph(5);
+  sim::Engine e(g);
+  sim::FaultPlan plan;
+  plan.sleep(2, 0, 1000);  // radio off for the entire run
+  e.set_faults(plan);
+  core::KhopSizeProtocol khop(5, 2);
+  const sim::RunStats s = e.run(khop);
+  const std::vector<int> sizes = khop.sizes();
+  // The sleeper learned nothing and told nobody.
+  EXPECT_EQ(sizes[2], 0);
+  EXPECT_GT(s.faults_tx_suppressed, 0);  // its on_start broadcast
+  EXPECT_GT(s.faults_rx_sleeping, 0);    // neighbors' floods at its radio
+  // Its silence also cuts the path: 0-1 and 3-4 can't hear across it.
+  EXPECT_EQ(sizes[0], 1);
+  EXPECT_EQ(sizes[1], 1);
+}
+
+TEST(EngineFaults, LinkChurningEveryRound) {
+  net::Graph g(2);
+  g.add_edge(0, 1);
+  // Down on even rounds, up on odd rounds. The wave's only transmission
+  // happens at fault-round 0 -> swallowed.
+  {
+    sim::Engine e(g);
+    sim::FaultPlan plan;
+    plan.link_churn(0, 1, 1, 1, /*phase=*/0);
+    e.set_faults(plan);
+    WaveProtocol p(2);
+    const sim::RunStats s = e.run(p);
+    EXPECT_EQ(p.heard_, (std::vector<char>{1, 0}));
+    EXPECT_EQ(s.faults_rx_linkdown, 1);
+  }
+  // Shift the pattern one round: up at round 0 -> delivered. Node 1's
+  // forward back at round 1 hits the next down round and is swallowed.
+  {
+    sim::Engine e(g);
+    sim::FaultPlan plan;
+    plan.link_churn(0, 1, 1, 1, /*phase=*/1);
+    e.set_faults(plan);
+    WaveProtocol p(2);
+    const sim::RunStats s = e.run(p);
+    EXPECT_EQ(p.heard_, (std::vector<char>{1, 1}));
+    EXPECT_EQ(s.faults_rx_linkdown, 1);
+  }
+}
+
+TEST(EngineFaults, CrashClockSpansMultipleRuns) {
+  const net::Graph g = path_graph(3);
+  sim::Engine e(g);
+  sim::FaultPlan plan;
+  plan.crash_at(2, 2);  // dies in round 2 of the engine's LIFETIME
+  e.set_faults(plan);
+
+  WaveProtocol a(3);
+  e.run(a);  // rounds 1..2 of the lifetime
+  EXPECT_EQ(a.heard_, (std::vector<char>{1, 1, 0}));  // delivery at round 2: dead
+
+  // Second run starts at lifetime round 2: node 2 is already gone and
+  // does not even run on_start.
+  WaveProtocol b(3);
+  const sim::RunStats s = e.run(b);
+  EXPECT_EQ(b.heard_, (std::vector<char>{1, 1, 0}));
+  EXPECT_GT(s.faults_rx_crashed, 0);
+}
+
+// --- Acceptance: mid-run disk crash grows exactly one loop -------------------
+
+TEST(EngineFaults, MidRunDiskCrashCreatesExactlyOneLoop) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 2400;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 41;
+  const net::Graph g =
+      deploy::make_udg_scenario(geom::shapes::rect(100, 70), spec).graph;
+
+  // Baseline: hole-free rectangle -> no loops.
+  const core::SkeletonResult before = core::extract_skeleton(g, core::Params{});
+  ASSERT_EQ(before.skeleton_cycle_rank(), 0);
+
+  // Every node inside a disk of radius 14 crashes at round 6 — while the
+  // k-hop flood is still in the air.
+  sim::FaultPlan plan;
+  int killed = 0;
+  for (int v = 0; v < g.n(); ++v) {
+    if (geom::dist(g.position(v), {50, 35}) < 14.0) {
+      plan.crash_at(v, 6);
+      ++killed;
+    }
+  }
+  ASSERT_GT(killed, 50);
+
+  sim::Engine engine(g);
+  engine.set_faults(plan);
+  const core::DistributedRun run =
+      core::run_distributed_stages(g, core::Params{}, engine);
+  // The crashes really happened inside the simulation.
+  EXPECT_GT(run.total().total_fault_drops(), 0);
+  // Survivors outside the disk still produced their stage-1 data.
+  EXPECT_GT(run.completeness.critical_count, 0);
+
+  // A monitoring station learns the crash set from the plan and
+  // re-extracts on the survivor graph.
+  std::vector<int> orig;
+  const net::Graph broken = net::largest_component_subgraph(
+      net::remove_nodes(g, plan.crashed_by(g.n(), INT_MAX)), orig);
+  const core::SkeletonResult after =
+      core::extract_skeleton(broken, core::Params{});
+  EXPECT_EQ(after.skeleton.component_count(), 1);
+  EXPECT_EQ(after.skeleton_cycle_rank(), 1)
+      << "the crashed disk must read as exactly one hole";
+  // The loop actually encircles the dead zone.
+  bool left = false, right = false, above = false, below = false;
+  for (int v : after.skeleton.nodes()) {
+    const geom::Vec2 p = broken.position(v);
+    if (std::abs(p.y - 35) < 12) {
+      left |= p.x < 50 - 14;
+      right |= p.x > 50 + 14;
+    }
+    if (std::abs(p.x - 50) < 12) {
+      below |= p.y < 35 - 14;
+      above |= p.y > 35 + 14;
+    }
+  }
+  EXPECT_TRUE(left && right && above && below);
+}
+
+}  // namespace
+}  // namespace skelex

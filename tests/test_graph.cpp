@@ -125,5 +125,48 @@ TEST(LargestComponentSubgraph, WholeGraphWhenConnected) {
   EXPECT_FALSE(sub.has_positions());
 }
 
+TEST(RemoveNodes, KeepsSurvivorEdgesPositionsAndOrder) {
+  Graph g(std::vector<Vec2>{{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const std::vector<char> dead{0, 1, 0, 0};  // kill node 1
+  std::vector<int> orig;
+  const Graph sub = remove_nodes(g, dead, &orig);
+  EXPECT_EQ(sub.n(), 3);
+  EXPECT_EQ(orig, (std::vector<int>{0, 2, 3}));
+  // Only the 2-3 edge survives (both 0-1 and 1-2 lost an endpoint).
+  EXPECT_EQ(sub.edge_count(), 1);
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_TRUE(sub.has_positions());
+  EXPECT_EQ(sub.position(1), Vec2(2, 0));
+}
+
+TEST(RemoveNodes, NullMapAndNoPositions) {
+  Graph g(3);
+  g.add_edge(0, 2);
+  const std::vector<char> dead{0, 1, 0};
+  const Graph sub = remove_nodes(g, dead);
+  EXPECT_EQ(sub.n(), 2);
+  EXPECT_EQ(sub.edge_count(), 1);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_FALSE(sub.has_positions());
+}
+
+TEST(RemoveNodes, RejectsWrongMaskSize) {
+  Graph g(3);
+  const std::vector<char> dead{0, 1};
+  EXPECT_THROW(remove_nodes(g, dead), std::invalid_argument);
+}
+
+TEST(RemoveNodes, EmptyMaskKeepsEverything) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  const std::vector<char> dead{0, 0};
+  const Graph sub = remove_nodes(g, dead);
+  EXPECT_EQ(sub.n(), 2);
+  EXPECT_EQ(sub.edge_count(), 1);
+}
+
 }  // namespace
 }  // namespace skelex::net

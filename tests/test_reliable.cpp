@@ -1,0 +1,203 @@
+// ReliableFloodWrapper: under reception loss the wrapped protocols must
+// produce BITWISE-identical per-node results to the lossless run (which
+// the protocol equivalence tests pin to the centralized algorithms), and
+// under crash-stop failures the survivors must give up on the dead and
+// terminate instead of wedging.
+#include "core/reliable.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/identify.h"
+#include "core/index.h"
+#include "core/voronoi.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/graph.h"
+#include "net/khop.h"
+#include "sim/engine.h"
+#include "sim/faults.h"
+
+namespace skelex::core {
+namespace {
+
+net::Graph path_graph(int n) {
+  net::Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+struct LossyCase {
+  std::string shape;
+  int nodes;
+  double avg_deg;
+  double loss;
+  std::uint64_t seed;
+};
+
+class ReliableEquivalenceTest : public ::testing::TestWithParam<LossyCase> {};
+
+TEST_P(ReliableEquivalenceTest, LossyRunMatchesCentralizedBitwise) {
+  const LossyCase& tc = GetParam();
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = tc.nodes;
+  spec.target_avg_deg = tc.avg_deg;
+  spec.seed = tc.seed;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::by_name(tc.shape), spec);
+  const net::Graph& g = sc.graph;
+  const Params params;
+
+  sim::Engine engine(g);
+  engine.set_loss(tc.loss, tc.seed * 7919 + 1);
+  const ReliableRun rel = run_distributed_stages_reliable(g, params, engine);
+  const DistributedRun& dist = rel.run;
+
+  // Every node finished every logical round of every stage.
+  EXPECT_EQ(rel.total_rel().stalled_nodes, 0);
+  EXPECT_FALSE(dist.total().hit_round_cap);
+  // Loss really happened and the wrapper really recovered from it.
+  EXPECT_GT(rel.total_rel().retransmissions, 0);
+
+  // Stage 1: index data identical to the centralized computation.
+  const IndexData central = compute_index(g, params);
+  EXPECT_EQ(dist.index.khop_size, central.khop_size);
+  EXPECT_EQ(dist.index.centrality, central.centrality);
+  EXPECT_EQ(dist.index.index, central.index);
+
+  // Stage 1 decision: identical critical node set.
+  EXPECT_EQ(dist.critical_nodes, identify_critical_nodes(g, central, params));
+
+  // Stage 2: identical Voronoi structures, field by field.
+  const VoronoiResult cv = build_voronoi(g, dist.critical_nodes, params);
+  EXPECT_EQ(dist.voronoi.sites, cv.sites);
+  EXPECT_EQ(dist.voronoi.site_of, cv.site_of);
+  EXPECT_EQ(dist.voronoi.dist, cv.dist);
+  EXPECT_EQ(dist.voronoi.parent, cv.parent);
+  EXPECT_EQ(dist.voronoi.site2_of, cv.site2_of);
+  EXPECT_EQ(dist.voronoi.dist2, cv.dist2);
+  EXPECT_EQ(dist.voronoi.via2, cv.via2);
+  EXPECT_EQ(dist.voronoi.is_segment, cv.is_segment);
+  EXPECT_EQ(dist.voronoi.is_voronoi_node, cv.is_voronoi_node);
+  EXPECT_EQ(dist.voronoi.nearby, cv.nearby);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Networks, ReliableEquivalenceTest,
+    ::testing::Values(LossyCase{"window", 700, 7.5, 0.2, 21},
+                      LossyCase{"star_hole", 700, 7.5, 0.2, 22},
+                      LossyCase{"window", 400, 7.0, 0.3, 23}),
+    [](const auto& info) {
+      return info.param.shape + "_p" +
+             std::to_string(static_cast<int>(info.param.loss * 100)) + "_s" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(Reliable, FullExtractionUnderLossMatchesLossless) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 600;
+  spec.target_avg_deg = 7.5;
+  spec.seed = 31;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::window(), spec);
+  const net::Graph& g = sc.graph;
+
+  const SkeletonResult lossless = extract_skeleton(g, Params{});
+  sim::Engine engine(g);
+  engine.set_loss(0.2, 77);
+  const ReliableExtraction lossy = extract_skeleton_reliable(g, Params{}, engine);
+  const SkeletonResult& r = lossy.result;
+
+  // Identical stage-1/2 data makes the rest of the pipeline identical.
+  EXPECT_EQ(r.critical_nodes, lossless.critical_nodes);
+  EXPECT_EQ(r.voronoi.site_of, lossless.voronoi.site_of);
+  EXPECT_EQ(r.skeleton.nodes(), lossless.skeleton.nodes());
+  EXPECT_EQ(r.skeleton.edge_count(), lossless.skeleton.edge_count());
+  EXPECT_EQ(r.skeleton_cycle_rank(), lossless.skeleton_cycle_rank());
+  EXPECT_EQ(r.skeleton_components(), lossless.skeleton_components());
+  // A clean (if lossy) run on a connected network degrades nothing.
+  EXPECT_TRUE(r.diagnostics.ok()) << r.diagnostics.warnings.front();
+  EXPECT_EQ(lossy.reliability.stalled_nodes, 0);
+}
+
+TEST(Reliable, SingleProtocolUnderLossMatchesKhopSizes) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 300;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 12;
+  const deploy::Scenario sc =
+      deploy::make_udg_scenario(geom::shapes::rect(), spec);
+  const net::Graph& g = sc.graph;
+  for (double loss : {0.1, 0.25}) {
+    sim::Engine engine(g);
+    engine.set_loss(loss, 5);
+    KhopSizeProtocol khop(g.n(), 3);
+    ReliableOptions opts;
+    opts.max_logical_rounds = 3;
+    ReliableFloodWrapper wrapper(khop, g, opts);
+    engine.run(wrapper);
+    EXPECT_TRUE(wrapper.complete()) << "loss=" << loss;
+    EXPECT_EQ(khop.sizes(), net::khop_sizes(g, 3)) << "loss=" << loss;
+  }
+}
+
+TEST(Reliable, CrashedNeighborIsGivenUpOnAndSurvivorsFinish) {
+  const net::Graph g = path_graph(5);
+  sim::Engine engine(g);
+  sim::FaultPlan plan;
+  plan.crash_at(2, 0);
+  engine.set_faults(plan);
+
+  KhopSizeProtocol khop(5, 2);
+  ReliableOptions opts;
+  opts.max_logical_rounds = 2;
+  opts.max_retries = 3;
+  opts.initial_backoff = 1;
+  opts.max_backoff = 2;
+  opts.watchdog_rounds = 8;
+  ReliableFloodWrapper wrapper(khop, g, opts);
+  const sim::RunStats s = engine.run(wrapper, /*max_rounds=*/4000);
+
+  // The run terminated by quiescence, not by the cap.
+  EXPECT_FALSE(s.hit_round_cap);
+  const ReliableStats rs = wrapper.stats();
+  // Nodes 1 and 3 each abandoned packets addressed to the crashed node.
+  EXPECT_GT(rs.gave_up_links, 0);
+  // Exactly the crashed node never completed.
+  EXPECT_EQ(rs.stalled_nodes, 1);
+  // Survivors learned exactly the neighborhoods of the severed path:
+  // components {0, 1} and {3, 4}.
+  EXPECT_EQ(khop.sizes(), (std::vector<int>{1, 1, 0, 1, 1}));
+}
+
+TEST(Reliable, ZeroRoundsIsSilent) {
+  const net::Graph g = path_graph(4);
+  sim::Engine engine(g);
+  KhopSizeProtocol khop(4, 0);
+  ReliableOptions opts;
+  opts.max_logical_rounds = 0;
+  ReliableFloodWrapper wrapper(khop, g, opts);
+  const sim::RunStats s = engine.run(wrapper);
+  EXPECT_EQ(s.transmissions, 0);
+  EXPECT_TRUE(wrapper.complete());
+  EXPECT_EQ(wrapper.stats().stalled_nodes, 0);
+}
+
+TEST(Reliable, OptionValidation) {
+  const net::Graph g = path_graph(2);
+  KhopSizeProtocol khop(2, 1);
+  ReliableOptions bad;
+  bad.max_logical_rounds = -1;
+  EXPECT_THROW(ReliableFloodWrapper(khop, g, bad), std::invalid_argument);
+  bad = ReliableOptions{};
+  bad.initial_backoff = 0;
+  EXPECT_THROW(ReliableFloodWrapper(khop, g, bad), std::invalid_argument);
+  bad = ReliableOptions{};
+  bad.max_backoff = 1;  // < initial_backoff (2)
+  EXPECT_THROW(ReliableFloodWrapper(khop, g, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace skelex::core

@@ -109,7 +109,7 @@ TEST(Engine, UnicastSend) {
   EXPECT_EQ(s.receptions, 1);
 }
 
-TEST(Engine, RoundCapThrows) {
+TEST(Engine, RoundCapSetsFlagAndDiscardsPending) {
   net::Graph g(2);
   g.add_edge(0, 1);
   // Ping-pong forever.
@@ -124,7 +124,17 @@ TEST(Engine, RoundCapThrows) {
   };
   Engine e(g);
   PingPong p;
-  EXPECT_THROW(e.run(p, /*max_rounds=*/10), std::runtime_error);
+  const RunStats s = e.run(p, /*max_rounds=*/10);
+  EXPECT_TRUE(s.hit_round_cap);
+  EXPECT_EQ(s.rounds, 10);
+  EXPECT_TRUE(e.total().hit_round_cap);
+
+  // The in-flight messages were discarded: a fresh protocol on the same
+  // engine starts from a clean radio.
+  WaveProtocol wave(2);
+  const RunStats s2 = e.run(wave);
+  EXPECT_FALSE(s2.hit_round_cap);
+  EXPECT_EQ(wave.heard_round_, (std::vector<int>{0, 1}));
 }
 
 TEST(Engine, TotalAccumulatesAcrossRuns) {
@@ -186,6 +196,29 @@ TEST(RunStats, ArithmeticAndPrinting) {
   std::ostringstream os;
   os << c;
   EXPECT_EQ(os.str(), "{rounds=5, tx=11, rx=22}");
+}
+
+TEST(RunStats, PrintingIncludesFaultCountersAndRoundCap) {
+  RunStats s{1, 2, 3};
+  s.faults_tx_suppressed = 4;
+  s.faults_rx_linkdown = 5;
+  s.hit_round_cap = true;
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(),
+            "{rounds=1, tx=2, rx=3, faults={tx_suppressed=4, rx_crashed=0, "
+            "rx_sleeping=0, rx_linkdown=5}, hit_round_cap}");
+}
+
+TEST(RunStats, PlusAccumulatesFaultCountersAndOrsFlag) {
+  RunStats a{1, 1, 1}, b{1, 1, 1};
+  a.faults_rx_crashed = 2;
+  b.faults_rx_crashed = 3;
+  b.hit_round_cap = true;
+  a += b;
+  EXPECT_EQ(a.faults_rx_crashed, 5);
+  EXPECT_TRUE(a.hit_round_cap);
+  EXPECT_EQ(a.total_fault_drops(), 5);
 }
 
 }  // namespace

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Builds the tree with -DSKELEX_SANITIZE=ON (ASan + UBSan) in a separate
+# build directory and runs the full test suite under the sanitizers.
+#
+#   BUILD_DIR=build-asan ./tools/run_sanitized_tests.sh [ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${BUILD_DIR:-build-asan}
+
+JOBS=${JOBS:-$(nproc)}
+
+cmake -B "$BUILD_DIR" -S . -DSKELEX_SANITIZE=ON
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
