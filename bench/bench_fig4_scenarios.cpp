@@ -3,25 +3,65 @@
 // reports these visually; we print the quantitative equivalents — the
 // skeleton must be one connected piece, carry one cycle per hole, lie
 // medially, and span the reference axis.
+//
+// The ten scenarios are independent cells run in parallel (SweepRunner);
+// rows, SVGs, and the JSON report are emitted in scenario order after
+// the sweep, so output is identical at any --threads value.
 #include "bench_util.h"
 
-int main() {
+namespace {
+
+struct Cell {
+  std::string name;
+  skelex::bench::RunRow row;
+  skelex::net::Graph graph;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace skelex;
+  bench::SweepRunner sweep(argc, argv);
+  const std::vector<geom::shapes::NamedShape> shapes =
+      geom::shapes::paper_scenarios();
+
+  const std::vector<Cell> cells =
+      sweep.run<Cell>(static_cast<int>(shapes.size()), [&](int i) {
+        const geom::shapes::NamedShape& s =
+            shapes[static_cast<std::size_t>(i)];
+        deploy::ScenarioSpec spec;
+        spec.target_nodes = s.paper_nodes;
+        // At the paper's lowest degrees a random deployment sits at the
+        // connectivity threshold; the jittered grid keeps the network
+        // whole at the same density (see DESIGN.md).
+        spec.target_avg_deg = s.paper_avg_deg;
+        spec.seed = 20260704;
+        deploy::Scenario sc = deploy::make_udg_scenario(s.region, spec);
+        Cell cell;
+        cell.name = s.name;
+        cell.row = bench::evaluate(s.name, s.region, sc.graph, sc.range);
+        cell.graph = std::move(sc.graph);
+        return cell;
+      });
+
   bench::print_header("Fig. 4: ten scenarios (paper n / avg degree)");
-  for (const geom::shapes::NamedShape& s : geom::shapes::paper_scenarios()) {
-    deploy::ScenarioSpec spec;
-    spec.target_nodes = s.paper_nodes;
-    // At the paper's lowest degrees a random deployment sits at the
-    // connectivity threshold; the jittered grid keeps the network whole
-    // at the same density (see DESIGN.md).
-    spec.target_avg_deg = s.paper_avg_deg;
-    spec.seed = 20260704;
-    const deploy::Scenario sc = deploy::make_udg_scenario(s.region, spec);
-    const bench::RunRow row =
-        bench::evaluate(s.name, s.region, sc.graph, sc.range);
-    bench::print_row(row);
-    bench::dump_svg("fig4_" + s.name, s.region, sc.graph, row.result);
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("fig4_scenarios");
+  json.key("threads").value(sweep.threads());
+  json.key("scenarios").begin_array();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const Cell& c = cells[i];
+    bench::print_row(c.row);
+    bench::dump_svg("fig4_" + c.name, shapes[i].region, c.graph, c.row.result);
+    json.begin_object();
+    json.key("scenario").value(c.name);
+    bench::write_row(json, c.row);
+    json.end_object();
   }
-  std::printf("SVGs: bench_out/fig4_<shape>.svg\n");
+  json.end_array();
+  json.end_object();
+  bench::save_json("fig4_scenarios.json", json);
+  std::printf("SVGs: bench_out/fig4_<shape>.svg, JSON: bench_out/fig4_scenarios.json\n");
   return 0;
 }

@@ -5,40 +5,80 @@
 // Hausdorff / mean nearest-neighbor distance between each density's
 // skeleton and the reference skeleton, in units of the shape (field
 // units; the shape spans 100x100).
+//
+// The five densities run as parallel sweep cells; stability is a
+// sequential post-pass against the reference cell, and all output is
+// emitted in density order (identical at any --threads value).
 #include "bench_util.h"
 #include "metrics/stability.h"
 
-int main() {
+namespace {
+
+struct Cell {
+  skelex::bench::RunRow row;
+  skelex::net::Graph graph;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace skelex;
+  bench::SweepRunner sweep(argc, argv);
   const geom::Region region = geom::shapes::window();
-  const double degrees[] = {5.96, 9.95, 14.24, 19.23, 22.72};
+  const std::vector<double> degrees = {5.96, 9.95, 14.24, 19.23, 22.72};
+
+  const std::vector<Cell> cells =
+      sweep.run<Cell>(static_cast<int>(degrees.size()), [&](int i) {
+        deploy::ScenarioSpec spec;
+        spec.target_nodes = 2592;
+        spec.target_avg_deg = degrees[static_cast<std::size_t>(i)];
+        spec.seed = 7;
+        deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+        char label[32];
+        std::snprintf(label, sizeof label, "window deg=%.2f",
+                      degrees[static_cast<std::size_t>(i)]);
+        Cell cell;
+        cell.row = bench::evaluate(label, region, sc.graph, sc.range);
+        cell.graph = std::move(sc.graph);
+        return cell;
+      });
 
   bench::print_header("Fig. 5: Window under increasing density");
-  std::vector<bench::RunRow> rows;
-  std::vector<net::Graph> graphs;
-  for (double deg : degrees) {
-    deploy::ScenarioSpec spec;
-    spec.target_nodes = 2592;
-    spec.target_avg_deg = deg;
-    spec.seed = 7;
-    const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
-    char label[32];
-    std::snprintf(label, sizeof label, "window deg=%.2f", deg);
-    rows.push_back(bench::evaluate(label, region, sc.graph, sc.range));
-    graphs.push_back(sc.graph);
-    bench::print_row(rows.back());
-    bench::dump_svg(std::string("fig5_deg") + std::to_string(static_cast<int>(deg)),
-                    region, sc.graph, rows.back().result);
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("fig5_density");
+  json.key("threads").value(sweep.threads());
+  json.key("densities").begin_array();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    bench::print_row(cells[i].row);
+    bench::dump_svg(
+        std::string("fig5_deg") + std::to_string(static_cast<int>(degrees[i])),
+        region, cells[i].graph, cells[i].row.result);
+    json.begin_object();
+    json.key("target_avg_deg").value(degrees[i]);
+    bench::write_row(json, cells[i].row);
+    json.end_object();
   }
+  json.end_array();
 
   std::printf("\nstability vs the deg=5.96 reference skeleton "
               "(field units; shape is 100x100):\n");
-  for (std::size_t i = 1; i < rows.size(); ++i) {
+  json.key("stability_vs_reference").begin_array();
+  for (std::size_t i = 1; i < cells.size(); ++i) {
     const metrics::PositionSetDistance d = metrics::skeleton_distance(
-        graphs[0], rows[0].result.skeleton, graphs[i], rows[i].result.skeleton);
+        cells[0].graph, cells[0].row.result.skeleton, cells[i].graph,
+        cells[i].row.result.skeleton);
     std::printf("  deg %5.2f vs 5.96: hausdorff %5.2f, mean-nearest %5.2f\n",
                 degrees[i], d.hausdorff, d.mean_nearest);
+    json.begin_object();
+    json.key("target_avg_deg").value(degrees[i]);
+    json.key("hausdorff").value(d.hausdorff);
+    json.key("mean_nearest").value(d.mean_nearest);
+    json.end_object();
   }
-  std::printf("SVGs: bench_out/fig5_deg*.svg\n");
+  json.end_array();
+  json.end_object();
+  bench::save_json("fig5_density.json", json);
+  std::printf("SVGs: bench_out/fig5_deg*.svg, JSON: bench_out/fig5_density.json\n");
   return 0;
 }

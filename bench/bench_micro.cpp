@@ -46,6 +46,29 @@ void BM_GraphBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_GraphBuild)->Arg(1000)->Arg(4000)->Arg(16000);
 
+// Guards the O(1) add_edge path: inserting every edge of a calibrated
+// network and finalizing (sort + dedupe) must stay linear in the edge
+// count. A regression back to the per-insert duplicate scan shows up
+// here as a superlinear items/s collapse at the larger sizes.
+void BM_AddEdgeFinalize(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  std::vector<std::pair<int, int>> edges;
+  for (int v = 0; v < sc.graph.n(); ++v) {
+    for (int w : sc.graph.neighbors(v)) {
+      if (w > v) edges.emplace_back(v, w);
+    }
+  }
+  for (auto _ : state) {
+    net::Graph g(sc.graph.n());
+    for (const auto& [u, v] : edges) g.add_edge(u, v);
+    g.finalize();
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(edges.size()));
+}
+BENCHMARK(BM_AddEdgeFinalize)->Arg(1000)->Arg(4000)->Arg(16000);
+
 void BM_Bfs(benchmark::State& state) {
   const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
   for (auto _ : state) {

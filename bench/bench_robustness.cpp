@@ -5,17 +5,20 @@
 // with the stability metrics of metrics/stability.h, and the wrapper's
 // retransmission accounting quantifies the price of reliability.
 // Results land in bench_out/robustness.json and per-shape SVG heatmaps.
+//
+// All (shape x churn x crash x loss) cells are independent and run in
+// parallel (SweepRunner). Each cell's fault/loss RNG seed is splitmix64-
+// derived from the cell index alone, and printing / heatmaps / JSON are
+// emitted in cell order after the sweep — output is identical at any
+// --threads value.
 #include <cstdio>
-#include <filesystem>
 #include <string>
 #include <vector>
 
+#include "bench_util.h"
 #include "core/reliable.h"
 #include "deploy/rng.h"
-#include "deploy/scenario.h"
-#include "geometry/shapes.h"
 #include "metrics/stability.h"
-#include "net/graph.h"
 #include "sim/engine.h"
 #include "sim/faults.h"
 
@@ -27,6 +30,7 @@ constexpr double kLoss[] = {0.0, 0.1, 0.2, 0.3};
 constexpr double kCrashFrac[] = {0.0, 0.05, 0.1};
 constexpr double kChurnFrac[] = {0.0, 0.1};
 constexpr int kCrashRound = 6;  // mid-flight of the k-hop flood
+constexpr std::uint64_t kSweepSeed = 0x5e1ec70b;
 
 struct Cell {
   double loss = 0.0;
@@ -45,6 +49,7 @@ struct Cell {
   long long retransmissions = 0;
   long long gave_up = 0;
   bool hit_round_cap = false;
+  core::StageTrace trace;
 };
 
 std::vector<std::pair<int, int>> edge_list(const net::Graph& g) {
@@ -107,6 +112,7 @@ Cell run_cell(const net::Graph& g, const core::SkeletonResult& baseline,
   cell.retransmissions = ext.reliability.retransmissions;
   cell.gave_up = ext.reliability.gave_up_links;
   cell.hit_round_cap = ext.stats.hit_round_cap;
+  cell.trace = ext.result.trace;
   return cell;
 }
 
@@ -171,92 +177,122 @@ void write_heatmap(const std::string& path, const std::string& title,
   std::printf("wrote %s\n", path.c_str());
 }
 
-void append_json(std::FILE* f, const std::string& shape,
-                 const std::vector<Cell>& cells, bool last) {
-  std::fprintf(f, "  \"%s\": [\n", shape.c_str());
-  for (std::size_t i = 0; i < cells.size(); ++i) {
-    const Cell& c = cells[i];
-    std::fprintf(
-        f,
-        "    {\"loss\": %.2f, \"crash_frac\": %.2f, \"churn_frac\": %.2f, "
-        "\"crashed\": %d, \"churn_links\": %d, \"hausdorff_R\": %.4f, "
-        "\"mean_nearest_R\": %.4f, \"skeleton_nodes\": %d, \"components\": "
-        "%d, \"cycles\": %d, \"warnings\": %d, \"stalled\": %d, \"tx\": %lld, "
-        "\"retransmissions\": %lld, \"gave_up\": %lld, \"hit_round_cap\": "
-        "%s}%s\n",
-        c.loss, c.crash_frac, c.churn_frac, c.crashed, c.churn_links,
-        c.hausdorff_R, c.mean_nearest_R, c.skeleton_nodes, c.components,
-        c.cycles, c.warnings, c.stalled, c.tx, c.retransmissions, c.gave_up,
-        c.hit_round_cap ? "true" : "false", i + 1 < cells.size() ? "," : "");
+void append_cells(bench::JsonWriter& json, const std::vector<Cell>& cells) {
+  json.begin_array();
+  for (const Cell& c : cells) {
+    json.begin_object();
+    json.key("loss").value(c.loss);
+    json.key("crash_frac").value(c.crash_frac);
+    json.key("churn_frac").value(c.churn_frac);
+    json.key("crashed").value(c.crashed);
+    json.key("churn_links").value(c.churn_links);
+    json.key("hausdorff_R").value(c.hausdorff_R);
+    json.key("mean_nearest_R").value(c.mean_nearest_R);
+    json.key("skeleton_nodes").value(c.skeleton_nodes);
+    json.key("components").value(c.components);
+    json.key("cycles").value(c.cycles);
+    json.key("warnings").value(c.warnings);
+    json.key("stalled").value(c.stalled);
+    json.key("tx").value(c.tx);
+    json.key("retransmissions").value(c.retransmissions);
+    json.key("gave_up").value(c.gave_up);
+    json.key("hit_round_cap").value(c.hit_round_cap);
+    bench::write_trace(json, c.trace);
+    json.end_object();
   }
-  std::fprintf(f, "  ]%s\n", last ? "" : ",");
+  json.end_array();
 }
 
 }  // namespace
 
-int main() {
-  std::filesystem::create_directories("bench_out");
-  std::FILE* json = std::fopen("bench_out/robustness.json", "w");
-  if (json == nullptr) {
-    std::fprintf(stderr, "cannot open bench_out/robustness.json\n");
-    return 1;
-  }
-  std::fprintf(json, "{\n");
+int main(int argc, char** argv) {
+  bench::SweepRunner sweep(argc, argv);
 
   const struct {
     const char* name;
     geom::Region region;
   } shapes[] = {{"window", geom::shapes::window()},
                 {"star_hole", geom::shapes::star_hole()}};
+
+  // Per-shape setup stays sequential: the scenario, the fault-free
+  // baseline, and the graph's CSR cache (Graph::csr() is lazily built
+  // and NOT thread-safe — extract_skeleton warms it here before the
+  // parallel cells share the graph read-only).
+  struct ShapeCase {
+    std::string name;
+    deploy::Scenario sc;
+    core::SkeletonResult baseline;
+  };
+  std::vector<ShapeCase> cases;
   for (std::size_t si = 0; si < std::size(shapes); ++si) {
     deploy::ScenarioSpec spec;
     spec.target_nodes = 950;
     spec.target_avg_deg = 7.5;
     spec.seed = 17 + si;
-    const deploy::Scenario sc = deploy::make_udg_scenario(shapes[si].region, spec);
-    const net::Graph& g = sc.graph;
-    const core::SkeletonResult baseline =
-        core::extract_skeleton(g, core::Params{});
+    ShapeCase sh;
+    sh.name = shapes[si].name;
+    sh.sc = deploy::make_udg_scenario(shapes[si].region, spec);
+    sh.baseline = core::extract_skeleton(sh.sc.graph, core::Params{});
+    cases.push_back(std::move(sh));
+  }
+
+  // Flatten (shape, churn, crash, loss) into one parallel sweep.
+  constexpr int kPerShape = static_cast<int>(
+      std::size(kChurnFrac) * std::size(kCrashFrac) * std::size(kLoss));
+  const int total_cells = kPerShape * static_cast<int>(cases.size());
+  const std::vector<Cell> all =
+      sweep.run<Cell>(total_cells, [&](int idx) {
+        const int si = idx / kPerShape;
+        int rest = idx % kPerShape;
+        const double churn =
+            kChurnFrac[static_cast<std::size_t>(rest) /
+                       (std::size(kCrashFrac) * std::size(kLoss))];
+        rest = rest % static_cast<int>(std::size(kCrashFrac) * std::size(kLoss));
+        const double crash =
+            kCrashFrac[static_cast<std::size_t>(rest) / std::size(kLoss)];
+        const double loss = kLoss[static_cast<std::size_t>(rest) % std::size(kLoss)];
+        const ShapeCase& sh = cases[static_cast<std::size_t>(si)];
+        return run_cell(sh.sc.graph, sh.baseline, sh.sc.range, loss, crash,
+                        churn, bench::SweepRunner::cell_seed(kSweepSeed, idx));
+      });
+
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("robustness");
+  json.key("threads").value(sweep.threads());
+  json.key("shapes").begin_object();
+  for (std::size_t si = 0; si < cases.size(); ++si) {
+    const ShapeCase& sh = cases[si];
+    const net::Graph& g = sh.sc.graph;
+    const std::vector<Cell> cells(
+        all.begin() + static_cast<long>(si) * kPerShape,
+        all.begin() + static_cast<long>(si + 1) * kPerShape);
 
     std::printf(
         "=== %s: %d nodes, avg deg %.2f, baseline skeleton %d nodes / %d "
         "cycles ===\n",
-        shapes[si].name, g.n(), g.avg_degree(), baseline.skeleton.node_count(),
-        baseline.skeleton_cycle_rank());
+        sh.name.c_str(), g.n(), g.avg_degree(), sh.baseline.skeleton.node_count(),
+        sh.baseline.skeleton_cycle_rank());
     std::printf("%5s %6s %6s %8s %7s %7s %4s %4s %5s %9s %8s %7s\n", "loss",
                 "crash", "churn", "meanNN/R", "haus/R", "skel", "cyc", "warn",
                 "stall", "tx", "retx", "gaveup");
-
-    std::vector<Cell> cells;
-    for (double churn : kChurnFrac) {
-      for (double crash : kCrashFrac) {
-        for (double loss : kLoss) {
-          const std::uint64_t seed =
-              1000 * si + static_cast<std::uint64_t>(loss * 100) * 7 +
-              static_cast<std::uint64_t>(crash * 100) * 131 +
-              static_cast<std::uint64_t>(churn * 100) * 1009 + 5;
-          const Cell c =
-              run_cell(g, baseline, sc.range, loss, crash, churn, seed);
-          std::printf(
-              "%5.2f %6.2f %6.2f %8.3f %7.3f %4d %4d %5d %5d %9lld %8lld "
-              "%7lld%s\n",
-              c.loss, c.crash_frac, c.churn_frac, c.mean_nearest_R,
-              c.hausdorff_R, c.skeleton_nodes, c.cycles, c.warnings, c.stalled,
-              c.tx, c.retransmissions, c.gave_up,
-              c.hit_round_cap ? "  CAP" : "");
-          cells.push_back(c);
-        }
-      }
+    for (const Cell& c : cells) {
+      std::printf(
+          "%5.2f %6.2f %6.2f %8.3f %7.3f %4d %4d %5d %5d %9lld %8lld "
+          "%7lld%s\n",
+          c.loss, c.crash_frac, c.churn_frac, c.mean_nearest_R, c.hausdorff_R,
+          c.skeleton_nodes, c.cycles, c.warnings, c.stalled, c.tx,
+          c.retransmissions, c.gave_up, c.hit_round_cap ? "  CAP" : "");
     }
-    write_heatmap("bench_out/robustness_" + std::string(shapes[si].name) +
-                      ".svg",
-                  "Skeleton stability under faults — " +
-                      std::string(shapes[si].name),
-                  cells);
-    append_json(json, shapes[si].name, cells, si + 1 == std::size(shapes));
+    std::filesystem::create_directories("bench_out");
+    write_heatmap("bench_out/robustness_" + sh.name + ".svg",
+                  "Skeleton stability under faults — " + sh.name, cells);
+    json.key(sh.name);
+    append_cells(json, cells);
   }
-  std::fprintf(json, "}\n");
-  std::fclose(json);
+  json.end_object();
+  json.end_object();
+  bench::save_json("robustness.json", json);
   std::printf("wrote bench_out/robustness.json\n");
   std::printf(
       "(expect: loss alone is fully absorbed — identical skeleton, cost "

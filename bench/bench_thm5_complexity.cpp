@@ -10,40 +10,79 @@
 // with n, so the Voronoi cells (whose radius caps the flood) keep a
 // roughly constant hop radius; the paper's sqrt(n) is the worst case of
 // a single site flooding the whole network.
+//
+// The six network sizes are independent sweep cells (SweepRunner); the
+// table and the JSON report are emitted in size order after the sweep.
 #include <cmath>
-#include <cstdio>
 
+#include "bench_util.h"
 #include "core/protocols.h"
-#include "deploy/scenario.h"
-#include "geometry/shapes.h"
 
-int main() {
+namespace {
+
+struct Cell {
+  int n = 0;
+  double avg_deg = 0.0;
+  skelex::sim::RunStats total;
+  skelex::core::StageTrace trace;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace skelex;
+  bench::SweepRunner sweep(argc, argv);
   const geom::Region region = geom::shapes::window();
   const core::Params params;  // k = l = 4
+  const std::vector<int> sizes = {500, 1000, 2000, 4000, 8000, 16000};
+
+  const std::vector<Cell> cells =
+      sweep.run<Cell>(static_cast<int>(sizes.size()), [&](int i) {
+        deploy::ScenarioSpec spec;
+        spec.target_nodes = sizes[static_cast<std::size_t>(i)];
+        spec.target_avg_deg = 8.0;
+        spec.seed = 3;
+        const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+        const core::DistributedRun run =
+            core::run_distributed_stages(sc.graph, params);
+        Cell cell;
+        cell.n = sc.graph.n();
+        cell.avg_deg = sc.graph.avg_degree();
+        cell.total = run.total();
+        cell.trace = run.trace;
+        return cell;
+      });
 
   std::printf("=== Theorem 5: message and time complexity (k=l=4) ===\n");
   std::printf("%7s %7s %12s %8s %10s %7s %12s\n", "n", "avg_deg", "tx_total",
               "tx/n", "tx/((k+l+1)n)", "rounds", "rounds/sqrt(n)");
-  for (int n : {500, 1000, 2000, 4000, 8000, 16000}) {
-    deploy::ScenarioSpec spec;
-    spec.target_nodes = n;
-    spec.target_avg_deg = 8.0;
-    spec.seed = 3;
-    const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
-    const core::DistributedRun run =
-        core::run_distributed_stages(sc.graph, params);
-    const sim::RunStats total = run.total();
-    const double kl1 = params.k + params.l + 1;
-    std::printf("%7d %7.2f %12lld %8.1f %10.2f %7d %12.2f\n", sc.graph.n(),
-                sc.graph.avg_degree(),
-                static_cast<long long>(total.transmissions),
-                static_cast<double>(total.transmissions) / sc.graph.n(),
-                static_cast<double>(total.transmissions) /
-                    (kl1 * sc.graph.n()),
-                total.rounds,
-                total.rounds / std::sqrt(static_cast<double>(sc.graph.n())));
+  const double kl1 = params.k + params.l + 1;
+  bench::JsonWriter json;
+  json.begin_object();
+  json.key("bench").value("thm5_complexity");
+  json.key("threads").value(sweep.threads());
+  json.key("rows").begin_array();
+  for (const Cell& c : cells) {
+    std::printf("%7d %7.2f %12lld %8.1f %10.2f %7d %12.2f\n", c.n, c.avg_deg,
+                static_cast<long long>(c.total.transmissions),
+                static_cast<double>(c.total.transmissions) / c.n,
+                static_cast<double>(c.total.transmissions) / (kl1 * c.n),
+                c.total.rounds,
+                c.total.rounds / std::sqrt(static_cast<double>(c.n)));
+    json.begin_object();
+    json.key("n").value(c.n);
+    json.key("avg_deg").value(c.avg_deg);
+    json.key("transmissions").value(static_cast<long long>(c.total.transmissions));
+    json.key("tx_per_node").value(static_cast<double>(c.total.transmissions) /
+                                  c.n);
+    json.key("rounds").value(c.total.rounds);
+    bench::write_trace(json, c.trace);
+    json.end_object();
   }
+  json.end_array();
+  json.end_object();
+  bench::save_json("thm5_complexity.json", json);
   std::printf("(expect: tx/n and tx/((k+l+1)n) flat -> linear messages;\n rounds/sqrt(n) non-increasing -> within the O(sqrt(n)) time bound)\n");
+  std::printf("JSON: bench_out/thm5_complexity.json\n");
   return 0;
 }

@@ -2,24 +2,189 @@
 //
 // Shared plumbing for the figure-reproduction benches: run the pipeline
 // on a scenario, collect the quality metrics the paper argues visually,
-// print aligned table rows, and dump SVG figures next to the binary.
+// print aligned table rows, dump SVG figures and stable JSON reports
+// next to the binary, and run sweep cells in parallel (SweepRunner).
 #pragma once
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <stdexcept>
 #include <string>
+#include <string_view>
+#include <vector>
 
 #include "core/pipeline.h"
+#include "core/stage_trace.h"
 #include "deploy/scenario.h"
+#include "exec/thread_pool.h"
 #include "geometry/medial_axis_ref.h"
 #include "geometry/shapes.h"
+#include "io/text_format.h"
 #include "metrics/homotopy.h"
 #include "metrics/quality.h"
 #include "net/graph.h"
 #include "viz/svg.h"
 
 namespace skelex::bench {
+
+// --- Stable JSON output ------------------------------------------------------
+// Append-only writer: keys emit in exactly the order the caller writes
+// them and numbers go through std::to_chars, so a bench's JSON is
+// byte-stable across runs, locales, and thread counts (callers emit
+// per-cell output sequentially in cell order after a parallel sweep).
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{', '}'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('[', ']'); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    string(k);
+    out_ += ": ";
+    need_comma_ = false;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    comma();
+    io::append_double(out_, v);
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    comma();
+    io::append_int(out_, v);
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    comma();
+    string(v);
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+
+  const std::string& str() const { return out_; }
+
+  void save(const std::string& path) const {
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    f << out_ << '\n';
+    if (!f) throw std::runtime_error("failed writing " + path);
+  }
+
+ private:
+  JsonWriter& open(char c, char) {
+    comma();
+    out_ += c;
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    return *this;
+  }
+  void comma() {
+    if (need_comma_) out_ += ", ";
+  }
+  void string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+// Serializes a StageTrace under the key "trace" — every bench JSON
+// reports where the wall time went, stage by stage.
+inline void write_trace(JsonWriter& j, const core::StageTrace& trace) {
+  j.key("trace").begin_array();
+  for (const core::StageTrace::Stage& s : trace.stages) {
+    j.begin_object();
+    j.key("stage").value(s.name);
+    j.key("millis").value(s.millis);
+    j.key("nodes").value(s.nodes);
+    j.key("messages").value(s.messages);
+    j.end_object();
+  }
+  j.end_array();
+}
+
+// --- Parallel sweeps ---------------------------------------------------------
+// Runs the (scenario x trial) cells of a sweep on a thread pool. Each
+// cell gets a splitmix64-derived seed (exec::derive_seed) that depends
+// only on the cell index, and cells write their results into an
+// index-addressed slot — so the sweep's output is identical at 1 and N
+// threads, and ordered output is emitted after the parallel phase.
+//
+// Thread count: --threads=N (or "--threads N") on the bench's command
+// line, else SKELEX_THREADS, else hardware concurrency.
+class SweepRunner {
+ public:
+  SweepRunner(int argc, char** argv) : pool_(parse_threads(argc, argv)) {}
+
+  int threads() const { return pool_.thread_count(); }
+
+  // Per-cell RNG seed, stable across thread counts and run order.
+  static std::uint64_t cell_seed(std::uint64_t base, int cell) {
+    return exec::derive_seed(base, static_cast<std::uint64_t>(cell));
+  }
+
+  // fn(i) -> Cell for each i in [0, cells); returns results in cell
+  // order regardless of scheduling.
+  template <typename Cell, typename Fn>
+  std::vector<Cell> run(int cells, Fn&& fn) {
+    std::vector<Cell> out(static_cast<std::size_t>(cells));
+    pool_.parallel_for(cells,
+                       [&](int i) { out[static_cast<std::size_t>(i)] = fn(i); });
+    return out;
+  }
+
+ private:
+  static int parse_threads(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--threads=", 10) == 0) return std::atoi(a + 10);
+      if (std::strcmp(a, "--threads") == 0 && i + 1 < argc) {
+        return std::atoi(argv[i + 1]);
+      }
+    }
+    return 0;  // ThreadPool falls back to SKELEX_THREADS / hardware
+  }
+
+  exec::ThreadPool pool_;
+};
 
 struct RunRow {
   std::string label;
@@ -78,6 +243,30 @@ inline void print_row(const RunRow& r) {
               r.components, r.cycles,
               r.cycles == r.holes ? "yes" : "NO", r.medial_mean_R,
               r.medial_max_R, r.coverage, r.millis);
+}
+
+// Serializes a RunRow's metrics (and its pipeline StageTrace) into the
+// currently open JSON object.
+inline void write_row(JsonWriter& j, const RunRow& r) {
+  j.key("nodes").value(r.nodes);
+  j.key("avg_deg").value(r.avg_deg);
+  j.key("range").value(r.range);
+  j.key("sites").value(r.sites);
+  j.key("skeleton_nodes").value(r.skeleton_nodes);
+  j.key("components").value(r.components);
+  j.key("cycles").value(r.cycles);
+  j.key("holes").value(r.holes);
+  j.key("medial_mean_R").value(r.medial_mean_R);
+  j.key("medial_max_R").value(r.medial_max_R);
+  j.key("coverage").value(r.coverage);
+  j.key("millis").value(r.millis);
+  write_trace(j, r.result.trace);
+}
+
+// Writes a bench's JSON report into bench_out/<name>.
+inline void save_json(const std::string& name, const JsonWriter& j) {
+  std::filesystem::create_directories("bench_out");
+  j.save("bench_out/" + name);
 }
 
 // Writes an SVG of the network + skeleton into bench_out/<name>.svg.

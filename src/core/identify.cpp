@@ -16,7 +16,8 @@ bool is_local_max(const net::Graph& g, const std::vector<double>& index, int v,
   return true;
 }
 
-std::vector<int> identify_critical_nodes(const net::Graph& g,
+std::vector<int> identify_critical_nodes(const net::CsrGraph& g,
+                                         net::Workspace& ws,
                                          const IndexData& idx,
                                          const Params& params) {
   params.validate();
@@ -25,10 +26,24 @@ std::vector<int> identify_critical_nodes(const net::Graph& g,
   }
   const int r = params.effective_local_max_radius();
   std::vector<int> critical;
+  net::KhopScanner scanner(g, ws);
   for (int v = 0; v < g.n(); ++v) {
-    if (is_local_max(g, idx.index, v, r)) critical.push_back(v);
+    const double iv = idx.index[static_cast<std::size_t>(v)];
+    bool is_max = true;
+    scanner.scan(v, r, [&](int w) {
+      const double iw = idx.index[static_cast<std::size_t>(w)];
+      if (iw > iv || (iw == iv && w < v)) is_max = false;
+    });
+    if (is_max) critical.push_back(v);
   }
   return critical;
+}
+
+std::vector<int> identify_critical_nodes(const net::Graph& g,
+                                         const IndexData& idx,
+                                         const Params& params) {
+  net::Workspace ws;
+  return identify_critical_nodes(g.csr(), ws, idx, params);
 }
 
 }  // namespace skelex::core

@@ -11,11 +11,20 @@
 
 #include "core/config.h"
 #include "core/index.h"
+#include "net/csr.h"
 #include "net/graph.h"
 
 namespace skelex::core {
 
-// Returns the critical skeleton node ids in ascending order.
+// Primary implementation: returns the critical skeleton node ids in
+// ascending order, running one allocation-free r-hop scan per node on
+// the caller's workspace.
+std::vector<int> identify_critical_nodes(const net::CsrGraph& g,
+                                         net::Workspace& ws,
+                                         const IndexData& idx,
+                                         const Params& params);
+
+// Compatibility wrapper over g.csr() with a private workspace.
 std::vector<int> identify_critical_nodes(const net::Graph& g,
                                          const IndexData& idx,
                                          const Params& params);

@@ -1,20 +1,24 @@
 #include "core/index.h"
 
-#include "net/khop.h"
-
 namespace skelex::core {
 
-IndexData compute_index(const net::Graph& g, const Params& params) {
+IndexData compute_index(const net::CsrGraph& g, net::Workspace& ws,
+                        const Params& params) {
   params.validate();
   IndexData d;
-  d.khop_size = net::khop_sizes(g, params.k);
-  d.centrality = net::l_centrality(g, d.khop_size, params.l,
-                                   params.centrality_includes_self);
+  net::khop_sizes(g, params.k, ws, d.khop_size);
+  net::l_centrality(g, d.khop_size, params.l, params.centrality_includes_self,
+                    ws, d.centrality);
   d.index.resize(static_cast<std::size_t>(g.n()));
   for (std::size_t v = 0; v < d.index.size(); ++v) {
     d.index[v] = 0.5 * (static_cast<double>(d.khop_size[v]) + d.centrality[v]);
   }
   return d;
+}
+
+IndexData compute_index(const net::Graph& g, const Params& params) {
+  net::Workspace ws;
+  return compute_index(g.csr(), ws, params);
 }
 
 }  // namespace skelex::core

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "net/csr.h"
 #include "net/graph.h"
 
 namespace skelex::core {
@@ -19,6 +20,12 @@ struct IndexData {
   std::vector<double> index;        // i(p)
 };
 
+// Primary implementation: runs the two k-hop scans on the CSR view,
+// reusing the caller's workspace across all sources.
+IndexData compute_index(const net::CsrGraph& g, net::Workspace& ws,
+                        const Params& params);
+
+// Compatibility wrapper over g.csr() with a private workspace.
 IndexData compute_index(const net::Graph& g, const Params& params);
 
 }  // namespace skelex::core

@@ -1,22 +1,72 @@
 #include "core/pipeline.h"
 
+#include <chrono>
 #include <string>
 #include <utility>
 
 namespace skelex::core {
 
-SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
-                                   IndexData index,
-                                   std::vector<int> critical_nodes,
-                                   VoronoiResult voronoi) {
-  params.validate();
-  SkeletonResult r;
-  r.params = params;
-  r.index = std::move(index);
-  r.critical_nodes = std::move(critical_nodes);
-  r.voronoi = std::move(voronoi);
+namespace {
 
-  const net::Components comps = net::connected_components(g);
+// RAII stage timer: on destruction appends a trace entry carrying the
+// elapsed wall time and the workspace's edge-scan delta (the message
+// proxy for centralized stages; stages that traverse nothing through
+// the shared workspace report 0).
+class ScopedStage {
+ public:
+  ScopedStage(PipelineContext& ctx, std::string name, int nodes)
+      : ctx_(ctx),
+        name_(std::move(name)),
+        nodes_(nodes),
+        scans0_(ctx.ws.edge_scans),
+        start_(std::chrono::steady_clock::now()) {}
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+  ~ScopedStage() {
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+    ctx_.trace.add(std::move(name_), ms, nodes_, ctx_.ws.edge_scans - scans0_);
+  }
+
+ private:
+  PipelineContext& ctx_;
+  std::string name_;
+  int nodes_;
+  long long scans0_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+// --- Stage 1 (§III-A): per-node index + critical skeleton nodes --------------
+
+void stage_index(PipelineContext& ctx, SkeletonResult& r) {
+  ScopedStage t(ctx, "index", ctx.g.n());
+  r.index = compute_index(ctx.csr, ctx.ws, ctx.params);
+}
+
+void stage_identify(PipelineContext& ctx, SkeletonResult& r) {
+  ScopedStage t(ctx, "identify", ctx.g.n());
+  r.critical_nodes =
+      identify_critical_nodes(ctx.csr, ctx.ws, r.index, ctx.params);
+}
+
+// --- Stage 2 (§III-B): Voronoi cells + segment nodes -------------------------
+
+void stage_voronoi(PipelineContext& ctx, SkeletonResult& r) {
+  ScopedStage t(ctx, "voronoi", ctx.g.n());
+  r.voronoi = build_voronoi(ctx.csr, ctx.ws, r.critical_nodes, ctx.params);
+}
+
+// --- Input assessment + graceful degradation ---------------------------------
+// Inspects what stages 1-2 delivered (they may have run on fault-depleted
+// data), patches a missing stage-1 result, and records diagnostics.
+// Returns the input components for reuse by the prune tidy-up.
+
+net::Components stage_assess(PipelineContext& ctx, SkeletonResult& r) {
+  ScopedStage t(ctx, "assess", ctx.g.n());
+  net::Components comps = net::connected_components(ctx.csr, ctx.ws);
   r.diagnostics.input_components = comps.count;
   if (comps.count > 1) {
     r.diagnostics.disconnected_input = true;
@@ -25,13 +75,13 @@ SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
                        "independently");
   }
 
-  if (r.critical_nodes.empty() && g.n() > 0) {
+  if (r.critical_nodes.empty() && ctx.g.n() > 0) {
     // Stage 1 produced no sites (possible when the identification ran on
     // fault-depleted data). A skeleton needs at least one node: fall back
     // to the max-index node — or node 0 if even the index is missing.
     int best = 0;
-    if (static_cast<int>(r.index.index.size()) == g.n()) {
-      for (int v = 1; v < g.n(); ++v) {
+    if (static_cast<int>(r.index.index.size()) == ctx.g.n()) {
+      for (int v = 1; v < ctx.g.n(); ++v) {
         if (r.index.index[static_cast<std::size_t>(v)] >
             r.index.index[static_cast<std::size_t>(best)]) {
           best = v;
@@ -39,15 +89,15 @@ SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
       }
     }
     r.critical_nodes.push_back(best);
-    r.voronoi = build_voronoi(g, r.critical_nodes, params);
+    r.voronoi = build_voronoi(ctx.csr, ctx.ws, r.critical_nodes, ctx.params);
     r.diagnostics.empty_critical_fallback = true;
     r.diagnostics.warn("no critical nodes from stage 1; fell back to node " +
                        std::to_string(best) + " as the single site");
   }
 
-  if (static_cast<int>(r.voronoi.site_of.size()) == g.n()) {
+  if (static_cast<int>(r.voronoi.site_of.size()) == ctx.g.n()) {
     std::vector<int> cell_size(r.voronoi.sites.size(), 0);
-    for (int v = 0; v < g.n(); ++v) {
+    for (int v = 0; v < ctx.g.n(); ++v) {
       const int s = r.voronoi.site_of[static_cast<std::size_t>(v)];
       if (s == -1) {
         ++r.diagnostics.voronoi_unassigned;
@@ -72,61 +122,104 @@ SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
                          ") are degenerate (<= 1 node)");
     }
   }
+  return comps;
+}
 
-  // Stage 3: coarse skeleton (§III-C).
-  CoarseSkeleton coarse = build_coarse_skeleton(g, r.index, r.voronoi, params);
+// --- Stage 3 (§III-C): coarse skeleton ---------------------------------------
+// Returns the coarse graph for the clean-up stage to consume.
+
+SkeletonGraph stage_coarse(PipelineContext& ctx, SkeletonResult& r) {
+  ScopedStage t(ctx, "coarse", r.voronoi.cell_count());
+  CoarseSkeleton coarse =
+      build_coarse_skeleton(ctx.g, r.index, r.voronoi, ctx.params);
   r.coarse = coarse.graph;
+  return std::move(coarse.graph);
+}
 
-  // Stage 4: loop clean-up + pruning (§III-D).
+// --- Stage 4 (§III-D): loop clean-up + pruning -------------------------------
+
+void stage_cleanup(PipelineContext& ctx, SkeletonResult& r,
+                   SkeletonGraph coarse) {
+  ScopedStage t(ctx, "cleanup", coarse.node_count());
   CleanupResult cleaned =
-      cleanup_loops(g, r.index, std::move(coarse.graph), params, &r.voronoi);
+      cleanup_loops(ctx.g, r.index, std::move(coarse), ctx.params, &r.voronoi);
   r.fake_loops_removed = cleaned.fake_loops_removed;
   r.merge_rounds = cleaned.merge_rounds;
   r.thin_loops_collapsed = cleaned.thin_loops_collapsed;
   r.pockets = std::move(cleaned.pockets);
   r.skeleton = std::move(cleaned.graph);
-  r.pruned_nodes = prune_short_branches(r.skeleton, params.prune_len);
+}
+
+void stage_prune(PipelineContext& ctx, SkeletonResult& r,
+                 const net::Components& comps) {
+  ScopedStage t(ctx, "prune", r.skeleton.node_count());
+  r.pruned_nodes = prune_short_branches(r.skeleton, ctx.params.prune_len);
 
   // Post-prune tidy-up with knowledge of the network: drop isolated
   // skeleton nodes whose network component already has skeleton
   // structure, but keep a lone site that is its component's only
   // skeleton (the skeleton of a small blob IS a single node).
-  {
-    const net::Components comps = net::connected_components(g);
-    std::vector<int> skeleton_per_comp(static_cast<std::size_t>(comps.count), 0);
-    for (int v : r.skeleton.nodes()) {
-      ++skeleton_per_comp[static_cast<std::size_t>(
-          comps.label[static_cast<std::size_t>(v)])];
-    }
-    for (int v : r.skeleton.nodes()) {
-      const int c = comps.label[static_cast<std::size_t>(v)];
-      if (r.skeleton.degree(v) == 0 &&
-          skeleton_per_comp[static_cast<std::size_t>(c)] > 1) {
-        r.skeleton.remove_node(v);
-        --skeleton_per_comp[static_cast<std::size_t>(c)];
-        ++r.pruned_nodes;
-      }
+  std::vector<int> skeleton_per_comp(static_cast<std::size_t>(comps.count), 0);
+  for (int v : r.skeleton.nodes()) {
+    ++skeleton_per_comp[static_cast<std::size_t>(
+        comps.label[static_cast<std::size_t>(v)])];
+  }
+  for (int v : r.skeleton.nodes()) {
+    const int c = comps.label[static_cast<std::size_t>(v)];
+    if (r.skeleton.degree(v) == 0 &&
+        skeleton_per_comp[static_cast<std::size_t>(c)] > 1) {
+      r.skeleton.remove_node(v);
+      --skeleton_per_comp[static_cast<std::size_t>(c)];
+      ++r.pruned_nodes;
     }
   }
+}
 
-  // By-products (§III-E).
+// --- By-products (§III-E) ----------------------------------------------------
+
+void stage_byproducts(PipelineContext& ctx, SkeletonResult& r) {
+  ScopedStage t(ctx, "byproducts", ctx.g.n());
   r.segmentation = segmentation_from_voronoi(r.voronoi);
-  r.boundary = extract_boundaries(g, r.skeleton, 1, &r.index.khop_size);
+  r.boundary = extract_boundaries(ctx.g, r.skeleton, 1, &r.index.khop_size);
+}
+
+// Stage 3 onward, shared by the centralized front (extract_skeleton) and
+// the external-stage-1/2 front (complete_extraction): the context's trace
+// keeps accumulating, so the full run reads as one ordered stage list.
+void complete_with_context(PipelineContext& ctx, SkeletonResult& r) {
+  const net::Components comps = stage_assess(ctx, r);
+  stage_cleanup(ctx, r, stage_coarse(ctx, r));
+  stage_prune(ctx, r, comps);
+  stage_byproducts(ctx, r);
+}
+
+}  // namespace
+
+SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
+                                   IndexData index,
+                                   std::vector<int> critical_nodes,
+                                   VoronoiResult voronoi) {
+  params.validate();
+  SkeletonResult r;
+  r.params = params;
+  r.index = std::move(index);
+  r.critical_nodes = std::move(critical_nodes);
+  r.voronoi = std::move(voronoi);
+  PipelineContext ctx(g, params, r);
+  complete_with_context(ctx, r);
   return r;
 }
 
 SkeletonResult extract_skeleton(const net::Graph& g, const Params& params) {
   params.validate();
-
-  // Stage 1: index + critical skeleton nodes (§III-A).
-  IndexData index = compute_index(g, params);
-  std::vector<int> critical = identify_critical_nodes(g, index, params);
-
-  // Stage 2: Voronoi cells + segment nodes (§III-B).
-  VoronoiResult voronoi = build_voronoi(g, critical, params);
-
-  return complete_extraction(g, params, std::move(index), std::move(critical),
-                             std::move(voronoi));
+  SkeletonResult r;
+  r.params = params;
+  PipelineContext ctx(g, params, r);
+  stage_index(ctx, r);
+  stage_identify(ctx, r);
+  stage_voronoi(ctx, r);
+  complete_with_context(ctx, r);
+  return r;
 }
 
 }  // namespace skelex::core

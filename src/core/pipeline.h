@@ -23,7 +23,9 @@
 #include "core/index.h"
 #include "core/prune.h"
 #include "core/skeleton_graph.h"
+#include "core/stage_trace.h"
 #include "core/voronoi.h"
+#include "net/csr.h"
 #include "net/graph.h"
 
 namespace skelex::core {
@@ -74,10 +76,36 @@ struct SkeletonResult {
   // distributed/reliable runners append stage-completeness warnings).
   Diagnostics diagnostics;
 
+  // Per-stage wall time / node / message accounting, in execution order.
+  // extract_skeleton records index/identify/voronoi plus the completion
+  // stages; the distributed front prepends its per-protocol entries.
+  StageTrace trace;
+
   // Convenience queries.
   int skeleton_cycle_rank() const { return skeleton.cycle_rank(); }
   int skeleton_components() const { return skeleton.component_count(); }
   bool is_skeleton_node(int v) const { return skeleton.has_node(v); }
+};
+
+// Shared state of one pipeline run, threaded through the stage
+// functions: the graph plus its CSR view (built once), a single reusable
+// traversal workspace, and the result's diagnostics/trace sinks. The
+// stage functions themselves are internal to pipeline.cpp; the context
+// is public so alternative fronts (distributed, benches) can drive the
+// completion stages with their own workspace.
+struct PipelineContext {
+  const net::Graph& g;
+  const net::CsrGraph& csr;
+  const Params& params;
+  net::Workspace ws;
+  Diagnostics& diag;
+  StageTrace& trace;
+
+  PipelineContext(const net::Graph& graph, const Params& p, SkeletonResult& r)
+      : g(graph), csr(graph.csr()), params(p), diag(r.diagnostics),
+        trace(r.trace) {
+    ws.reserve(graph.n());
+  }
 };
 
 // Runs stages 1-4 plus by-products. Throws std::invalid_argument on bad

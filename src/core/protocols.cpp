@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <chrono>
 #include <stdexcept>
 
 
@@ -34,15 +35,14 @@ void KhopSizeProtocol::on_message(sim::NodeContext& ctx,
                                   const sim::Message& m) {
   const int v = ctx.node();
   if (m.origin == v) return;
-  auto& seen = seen_[static_cast<std::size_t>(v)];
-  if (!seen.insert(m.origin).second) return;
+  if (!seen_.insert(v, m.origin)) return;
   if (m.hops < ttl_) ctx.broadcast({kKhop, m.origin, m.hops + 1, 0, -1});
 }
 
 std::vector<int> KhopSizeProtocol::sizes() const {
-  std::vector<int> out(seen_.size());
-  for (std::size_t v = 0; v < seen_.size(); ++v) {
-    out[v] = static_cast<int>(seen_[v].size());
+  std::vector<int> out(seen_.nodes());
+  for (std::size_t v = 0; v < seen_.nodes(); ++v) {
+    out[v] = seen_.count(static_cast<int>(v));
   }
   return out;
 }
@@ -71,8 +71,7 @@ void CentralityProtocol::on_message(sim::NodeContext& ctx,
                                     const sim::Message& m) {
   const int v = ctx.node();
   if (m.origin == v) return;
-  auto& seen = seen_[static_cast<std::size_t>(v)];
-  if (!seen.insert(m.origin).second) return;
+  if (!seen_.insert(v, m.origin)) return;
   sum_[static_cast<std::size_t>(v)] += m.payload;
   ++count_[static_cast<std::size_t>(v)];
   if (m.hops < ttl_) {
@@ -115,8 +114,7 @@ void LocalMaxProtocol::on_message(sim::NodeContext& ctx,
                                   const sim::Message& m) {
   const int v = ctx.node();
   if (m.origin == v) return;
-  auto& seen = seen_[static_cast<std::size_t>(v)];
-  if (!seen.insert(m.origin).second) return;
+  if (!seen_.insert(v, m.origin)) return;
   const double their = unpack_double(m.payload);
   const double mine = index_[static_cast<std::size_t>(v)];
   if (their > mine || (their == mine && m.origin < v)) {
@@ -280,13 +278,23 @@ DistributedRun run_distributed_stages(const net::Graph& g, const Params& params,
   params.validate();
   DistributedRun run;
 
+  const auto timed = [&](const char* name, sim::RunStats& stats,
+                         sim::Protocol& protocol) {
+    const auto start = std::chrono::steady_clock::now();
+    stats = engine.run(protocol);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    run.trace.add(name, ms, g.n(), stats.transmissions);
+  };
+
   KhopSizeProtocol khop(g.n(), params.k);
-  run.khop_stats = engine.run(khop);
+  timed("proto:khop", run.khop_stats, khop);
   run.index.khop_size = khop.sizes();
 
   CentralityProtocol cent(run.index.khop_size, params.l,
                           params.centrality_includes_self);
-  run.centrality_stats = engine.run(cent);
+  timed("proto:centrality", run.centrality_stats, cent);
   run.index.centrality = cent.centrality();
 
   run.index.index.resize(static_cast<std::size_t>(g.n()));
@@ -296,14 +304,14 @@ DistributedRun run_distributed_stages(const net::Graph& g, const Params& params,
   }
 
   LocalMaxProtocol lmax(run.index.index, params.effective_local_max_radius());
-  run.localmax_stats = engine.run(lmax);
+  timed("proto:localmax", run.localmax_stats, lmax);
   const std::vector<char> crit = lmax.critical();
   for (int v = 0; v < g.n(); ++v) {
     if (crit[static_cast<std::size_t>(v)]) run.critical_nodes.push_back(v);
   }
 
   VoronoiProtocol vor(g.n(), run.critical_nodes, params.alpha);
-  run.voronoi_stats = engine.run(vor);
+  timed("proto:voronoi", run.voronoi_stats, vor);
   run.voronoi = vor.result();
   run.completeness = compute_stage_completeness(g, params, run);
   return run;
@@ -325,6 +333,11 @@ DistributedExtraction extract_skeleton_distributed(const net::Graph& g,
       complete_extraction(g, params, std::move(run.index),
                           std::move(run.critical_nodes), std::move(run.voronoi));
   apply_completeness_warnings(completeness, out.result.diagnostics);
+  // Prepend the per-protocol entries so the trace reads as one ordered
+  // stage list: protocols first, completion stages after.
+  out.result.trace.stages.insert(out.result.trace.stages.begin(),
+                                 run.trace.stages.begin(),
+                                 run.trace.stages.end());
   return out;
 }
 

@@ -9,18 +9,47 @@
 // reproduce Theorem 5.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/config.h"
 #include "core/pipeline.h"
 #include "core/index.h"
+#include "core/stage_trace.h"
 #include "core/voronoi.h"
 #include "sim/engine.h"
 
 namespace skelex::core {
+
+// Per-node "origin already seen" table for the flood protocols: one
+// sorted flat vector per node. A node's table holds at most its k-hop
+// neighborhood (tens of entries at the paper's TTLs), where a sorted
+// vector beats a hash set — no per-insert allocation and the lookup
+// touches one cache line.
+class SeenTable {
+ public:
+  explicit SeenTable(std::size_t n) : rows_(n) {}
+
+  // Records (node, origin); returns true when it was not yet present.
+  bool insert(int node, int origin) {
+    auto& row = rows_[static_cast<std::size_t>(node)];
+    const auto it = std::lower_bound(row.begin(), row.end(), origin);
+    if (it != row.end() && *it == origin) return false;
+    row.insert(it, origin);
+    return true;
+  }
+
+  int count(int node) const {
+    return static_cast<int>(rows_[static_cast<std::size_t>(node)].size());
+  }
+
+  std::size_t nodes() const { return rows_.size(); }
+
+ private:
+  std::vector<std::vector<int>> rows_;
+};
 
 // --- Stage 1, round 1: controlled k-hop flood ------------------------------
 // Every node floods its id with a hop counter; receivers record unseen
@@ -35,7 +64,7 @@ class KhopSizeProtocol final : public sim::Protocol {
 
  private:
   int ttl_;
-  std::vector<std::unordered_set<int>> seen_;
+  SeenTable seen_;
 };
 
 // --- Stage 1, round 2: l-hop broadcast of the k-hop sizes ------------------
@@ -52,7 +81,7 @@ class CentralityProtocol final : public sim::Protocol {
   std::vector<int> khop_sizes_;
   int ttl_;
   bool include_self_;
-  std::vector<std::unordered_set<int>> seen_;
+  SeenTable seen_;
   std::vector<std::int64_t> sum_;
   std::vector<int> count_;
 };
@@ -71,7 +100,7 @@ class LocalMaxProtocol final : public sim::Protocol {
  private:
   std::vector<double> index_;
   int ttl_;
-  std::vector<std::unordered_set<int>> seen_;
+  SeenTable seen_;
   std::vector<char> critical_;
 };
 
@@ -123,6 +152,9 @@ struct DistributedRun {
   sim::RunStats localmax_stats;
   sim::RunStats voronoi_stats;
   StageCompleteness completeness;
+  // One entry per protocol, in execution order; messages are the
+  // engine's real transmission counts (not the centralized scan proxy).
+  StageTrace trace;
   sim::RunStats total() const {
     return khop_stats + centrality_stats + localmax_stats + voronoi_stats;
   }

@@ -1,0 +1,53 @@
+// skelex/core/stage_trace.h
+//
+// Per-stage accounting for a pipeline run: where the wall-clock time
+// went, how many nodes each stage touched, and how many messages it
+// cost. Centralized stages report the workspace's adjacency-entry scan
+// count as the message proxy (one scanned adjacency entry == one
+// reception of the corresponding flood); distributed stages report the
+// engine's real transmission counts. Every bench JSON carries the trace
+// so regressions show up per stage, not just in the total.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace skelex::core {
+
+struct StageTrace {
+  struct Stage {
+    std::string name;
+    double millis = 0.0;        // wall time spent in the stage
+    int nodes = 0;              // nodes the stage operated on
+    long long messages = 0;     // radio messages (distributed) or
+                                // adjacency scans (centralized proxy)
+  };
+
+  std::vector<Stage> stages;
+
+  double total_millis() const {
+    double t = 0.0;
+    for (const Stage& s : stages) t += s.millis;
+    return t;
+  }
+
+  long long total_messages() const {
+    long long m = 0;
+    for (const Stage& s : stages) m += s.messages;
+    return m;
+  }
+
+  const Stage* find(std::string_view name) const {
+    for (const Stage& s : stages) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+
+  void add(std::string name, double millis, int nodes, long long messages) {
+    stages.push_back({std::move(name), millis, nodes, messages});
+  }
+};
+
+}  // namespace skelex::core

@@ -29,8 +29,8 @@ std::vector<int> VoronoiResult::path_to_second_site(int v) const {
   return path;
 }
 
-VoronoiResult build_voronoi(const net::Graph& g, std::vector<int> sites,
-                            const Params& params) {
+VoronoiResult build_voronoi(const net::CsrGraph& g, net::Workspace& ws,
+                            std::vector<int> sites, const Params& params) {
   params.validate();
   std::sort(sites.begin(), sites.end());
   sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
@@ -43,28 +43,27 @@ VoronoiResult build_voronoi(const net::Graph& g, std::vector<int> sites,
   const std::size_t n = static_cast<std::size_t>(g.n());
 
   // Hop distance to the nearest site (well-defined regardless of ties).
-  r.dist = net::multi_source_bfs(g, r.sites).dist;
+  // Afterwards ws.queue holds the reachable nodes in BFS order, i.e.
+  // nondecreasing distance — exactly the adoption order below.
+  net::multi_source_bfs(g, r.sites, ws);
+  r.dist = ws.dist;
 
   // Site adoption in synchronous-flood order: a node at distance d hears,
   // in the same round, the forwarded records of all its neighbors at
   // distance d-1 and adopts the smallest site id among them (parent = the
   // smallest-id neighbor carrying that site). Processing nodes by
-  // increasing distance reproduces this exactly; core/protocols runs the
-  // same rule as real messages.
+  // increasing distance reproduces this exactly (within one distance
+  // class the order is irrelevant: adoption reads only the already-final
+  // d-1 class); core/protocols runs the same rule as real messages.
   r.site_of.assign(n, -1);
   r.parent.assign(n, -1);
-  std::vector<int> order(n);
-  for (std::size_t i = 0; i < n; ++i) order[i] = static_cast<int>(i);
-  std::sort(order.begin(), order.end(), [&](int a, int b) {
-    return r.dist[static_cast<std::size_t>(a)] <
-           r.dist[static_cast<std::size_t>(b)];
-  });
   for (std::size_t i = 0; i < r.sites.size(); ++i) {
     r.site_of[static_cast<std::size_t>(r.sites[i])] = static_cast<int>(i);
   }
-  for (int v : order) {
+  for (int v : ws.queue) {
     const std::size_t vi = static_cast<std::size_t>(v);
-    if (r.dist[vi] <= 0) continue;  // site or unreachable
+    if (r.dist[vi] <= 0) continue;  // site
+    ws.edge_scans += g.degree(v);
     for (int w : g.neighbors(v)) {
       const std::size_t wi = static_cast<std::size_t>(w);
       if (r.dist[wi] != r.dist[vi] - 1) continue;
@@ -85,22 +84,28 @@ VoronoiResult build_voronoi(const net::Graph& g, std::vector<int> sites,
 
   // A node v would have received, from each neighbor w in another cell,
   // the message (site_of[w], dist[w] + 1): w forwards only its adopted
-  // record. v keeps, per other site, the best within-alpha record.
+  // record. v keeps, per other site, the best within-alpha record. The
+  // per-site best is tracked in a flat scratch vector (a handful of
+  // entries per node at most; sorted by site before publishing).
+  std::vector<VoronoiResult::NearbySite> others;  // site -> best record
   for (int v = 0; v < g.n(); ++v) {
     const std::size_t vi = static_cast<std::size_t>(v);
     if (r.site_of[vi] == -1) continue;  // disconnected from all sites
-    std::map<int, VoronoiResult::NearbySite> others;  // site -> best record
+    others.clear();
+    ws.edge_scans += g.degree(v);
     for (int w : g.neighbors(v)) {
       const std::size_t wi = static_cast<std::size_t>(w);
       if (r.site_of[wi] == -1 || r.site_of[wi] == r.site_of[vi]) continue;
       const int d2 = r.dist[wi] + 1;
       if (std::abs(d2 - r.dist[vi]) > params.alpha) continue;
-      auto [it, inserted] =
-          others.try_emplace(r.site_of[wi],
-                             VoronoiResult::NearbySite{r.site_of[wi], d2, w});
-      if (!inserted &&
-          (d2 < it->second.dist || (d2 == it->second.dist && w < it->second.via))) {
-        it->second = {r.site_of[wi], d2, w};
+      VoronoiResult::NearbySite* rec = nullptr;
+      for (auto& o : others) {
+        if (o.site == r.site_of[wi]) { rec = &o; break; }
+      }
+      if (rec == nullptr) {
+        others.push_back({r.site_of[wi], d2, w});
+      } else if (d2 < rec->dist || (d2 == rec->dist && w < rec->via)) {
+        *rec = {r.site_of[wi], d2, w};
       }
       const bool better =
           r.site2_of[vi] == -1 || d2 < r.dist2[vi] ||
@@ -115,12 +120,19 @@ VoronoiResult build_voronoi(const net::Graph& g, std::vector<int> sites,
     }
     if (r.site2_of[vi] != -1) r.is_segment[vi] = 1;
     if (others.size() >= 2) r.is_voronoi_node[vi] = 1;
+    r.nearby[vi].reserve(others.size() + 1);
     r.nearby[vi].push_back({r.site_of[vi], r.dist[vi], r.parent[vi]});
-    for (const auto& [site, rec] : others) r.nearby[vi].push_back(rec);
+    for (const auto& rec : others) r.nearby[vi].push_back(rec);
     std::sort(r.nearby[vi].begin(), r.nearby[vi].end(),
               [](const auto& a, const auto& b) { return a.site < b.site; });
   }
   return r;
+}
+
+VoronoiResult build_voronoi(const net::Graph& g, std::vector<int> sites,
+                            const Params& params) {
+  net::Workspace ws;
+  return build_voronoi(g.csr(), ws, std::move(sites), params);
 }
 
 std::vector<int> VoronoiResult::path_to_nearby(

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "core/config.h"
+#include "net/csr.h"
 #include "net/graph.h"
 
 namespace skelex::core {
@@ -76,8 +77,13 @@ struct VoronoiResult {
   int cell_count() const { return static_cast<int>(sites.size()); }
 };
 
-// Runs the Voronoi construction from the given sites (critical skeleton
-// node ids; they will be sorted and deduplicated).
+// Primary implementation: runs the Voronoi construction from the given
+// sites (critical skeleton node ids; they will be sorted and
+// deduplicated) on the CSR view, reusing the caller's workspace.
+VoronoiResult build_voronoi(const net::CsrGraph& g, net::Workspace& ws,
+                            std::vector<int> sites, const Params& params);
+
+// Compatibility wrapper over g.csr() with a private workspace.
 VoronoiResult build_voronoi(const net::Graph& g, std::vector<int> sites,
                             const Params& params);
 

@@ -1,9 +1,10 @@
 #include "deploy/scenario.h"
 
+#include <algorithm>
 #include <cmath>
+#include <stdexcept>
 
 #include "net/spatial_hash.h"
-#include <stdexcept>
 
 namespace skelex::deploy {
 
@@ -45,9 +46,27 @@ double calibrate_range(const std::vector<geom::Vec2>& positions,
     hi *= 2.0;
     if (hi > 4.0 * extent) throw std::runtime_error("range calibration diverged");
   }
+  // With the bracket fixed, every further probe radius is <= hi: collect
+  // the squared pair distances within hi once and bisect on the sorted
+  // array. Identical counts to re-running the spatial hash per probe
+  // (for_each_pair keeps exactly the pairs with dist2 <= r^2).
+  std::vector<double> dist2s;
+  {
+    const net::SpatialHash hash(positions, hi);
+    hash.for_each_pair(hi, [&](int i, int j) {
+      dist2s.push_back(geom::dist2(positions[static_cast<std::size_t>(i)],
+                                   positions[static_cast<std::size_t>(j)]));
+    });
+    std::sort(dist2s.begin(), dist2s.end());
+  }
+  const auto avg_deg_from_sorted = [&](double r) {
+    const auto it =
+        std::upper_bound(dist2s.begin(), dist2s.end(), r * r);
+    return 2.0 * static_cast<double>(it - dist2s.begin()) / n;
+  };
   for (int it = 0; it < 40; ++it) {
     const double mid = 0.5 * (lo + hi);
-    (avg_deg_at(mid) < target_avg_deg ? lo : hi) = mid;
+    (avg_deg_from_sorted(mid) < target_avg_deg ? lo : hi) = mid;
   }
   // `hi` is the side whose degree is >= the target; returning it keeps
   // the calibrated graph at-or-above the requested density.

@@ -1,0 +1,120 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace skelex::exec {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("SKELEX_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool::ThreadPool(int threads)
+    : threads_(threads > 0 ? threads : default_thread_count()) {
+  // A 1-thread pool runs everything inline in parallel_for.
+  for (int t = 1; t < threads_; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained
+      task = std::move(queue_.back());
+      queue_.pop_back();
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int chunks = std::min(threads_, n);
+  // Chunk boundaries depend only on (n, chunks): chunk c covers
+  // [c*n/chunks, (c+1)*n/chunks).
+  const auto chunk_begin = [&](int c) {
+    return static_cast<int>(static_cast<long long>(c) * n / chunks);
+  };
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(chunks));
+  const auto run_chunk = [&](int c) {
+    try {
+      const int e = chunk_begin(c + 1);
+      for (int i = chunk_begin(c); i < e; ++i) fn(i);
+    } catch (...) {
+      errors[static_cast<std::size_t>(c)] = std::current_exception();
+    }
+  };
+  if (chunks == 1 || workers_.empty()) {
+    for (int c = 0; c < chunks; ++c) run_chunk(c);
+  } else {
+    // Workers take chunks 1..; the calling thread runs chunk 0 and then
+    // helps drain the queue instead of blocking idle.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      in_flight_ += chunks - 1;
+      for (int c = 1; c < chunks; ++c) {
+        queue_.push_back([&run_chunk, c] { run_chunk(c); });
+      }
+    }
+    work_cv_.notify_all();
+    run_chunk(0);
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (queue_.empty()) break;
+        task = std::move(queue_.back());
+        queue_.pop_back();
+      }
+      task();
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--in_flight_ == 0) done_cv_.notify_all();
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+  for (const std::exception_ptr& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+ThreadPool& shared_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  std::uint64_t z = base + (index + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace skelex::exec

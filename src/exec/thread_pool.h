@@ -1,0 +1,72 @@
+// skelex/exec/thread_pool.h
+//
+// Minimal fixed-size thread pool with a deterministic parallel_for.
+//
+// Determinism contract: parallel_for(n, fn) calls fn(i) exactly once
+// for every i in [0, n), partitioned into contiguous chunks. Which
+// thread runs a chunk (and in what interleaving) is unspecified, so a
+// deterministic caller writes fn's result into a slot indexed by i and
+// does any ordered output (printing, JSON, SVG) after the call returns.
+// Under that discipline the results are identical at 1 and N threads —
+// the property bench/bench_util.h's SweepRunner and the parallel sweep
+// benches rely on, and tests/test_exec.cpp asserts.
+//
+// Thread count: explicit argument > SKELEX_THREADS environment variable
+// > std::thread::hardware_concurrency(). A pool of 1 runs everything
+// inline on the calling thread (no workers are spawned).
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include <condition_variable>
+
+namespace skelex::exec {
+
+// SKELEX_THREADS if set to a positive integer, else hardware
+// concurrency (at least 1).
+int default_thread_count();
+
+class ThreadPool {
+ public:
+  // threads <= 0 means default_thread_count().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int thread_count() const { return threads_; }
+
+  // Runs fn(i) for every i in [0, n), split into up to thread_count()
+  // contiguous chunks, and blocks until all of them finish. If any fn
+  // throws, the first exception (in chunk order) is rethrown here after
+  // the remaining chunks complete.
+  void parallel_for(int n, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+
+  int threads_ = 1;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::function<void()>> queue_;
+  bool stop_ = false;
+  int in_flight_ = 0;
+};
+
+// Global pool used by the bench sweep runner; constructed on first use
+// with default_thread_count() threads.
+ThreadPool& shared_pool();
+
+// splitmix64 step: derives a statistically independent seed for cell
+// `index` of a sweep from a base seed. Pure function — the per-cell RNG
+// streams are identical however the cells are scheduled.
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index);
+
+}  // namespace skelex::exec

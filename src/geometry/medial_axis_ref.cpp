@@ -8,18 +8,23 @@ namespace skelex::geom {
 
 namespace {
 
-// All boundary segments of a region, flattened.
+// All boundary segments of a region, flattened, tagged with their ring
+// (0 = outer, 1.. = holes) so one segment pass can also run the
+// per-ring crossing-parity containment test.
 struct Segment {
-  Vec2 a, b;
+  Vec2 a, b;  // a is the earlier vertex along the ring
+  int ring;
 };
 
 std::vector<Segment> boundary_segments(const Region& region) {
   std::vector<Segment> segs;
-  auto add_ring = [&segs](const Ring& r) {
+  int ring = 0;
+  auto add_ring = [&segs, &ring](const Ring& r) {
     const auto& pts = r.points();
     for (std::size_t i = 0; i < pts.size(); ++i) {
-      segs.push_back({pts[i], pts[(i + 1) % pts.size()]});
+      segs.push_back({pts[i], pts[(i + 1) % pts.size()], ring});
     }
+    ++ring;
   };
   add_ring(region.outer());
   for (const Ring& h : region.holes()) add_ring(h);
@@ -34,21 +39,46 @@ ReferenceMedialAxis::ReferenceMedialAxis(const Region& region,
   Vec2 lo, hi;
   region.bounding_box(lo, hi);
 
+  const int nrings = 1 + static_cast<int>(region.holes().size());
+  std::vector<unsigned char> parity(static_cast<std::size_t>(nrings));
   std::vector<Vec2> touch;  // nearest-boundary candidates, reused per point
   for (double y = lo.y; y <= hi.y; y += params.grid_step) {
     for (double x = lo.x; x <= hi.x; x += params.grid_step) {
       const Vec2 p{x, y};
-      if (!region.contains(p)) continue;
 
-      // Nearest distance to the boundary.
-      double d = std::numeric_limits<double>::infinity();
+      // Cheap scan pass: squared nearest-boundary distance plus the
+      // per-ring crossing parity of Ring::contains — no sqrt, no stores.
+      // sqrt is monotone, so min over dist == sqrt of min over dist2
+      // bitwise; and the on-edge short circuits of Region::contains only
+      // differ from plain parity when p is within 1e-12 of the boundary,
+      // points min_clearance discards anyway — so the clearance +
+      // parity tests admit the identical sample set.
+      std::fill(parity.begin(), parity.end(), static_cast<unsigned char>(0));
+      double d2_min = std::numeric_limits<double>::infinity();
       for (const Segment& s : segs) {
-        d = std::min(d, point_segment_distance(p, s.a, s.b));
+        const Vec2 c = closest_point_on_segment(p, s.a, s.b);
+        d2_min = std::min(d2_min, dist2(p, c));
+        if ((s.b.y > p.y) != (s.a.y > p.y)) {
+          const double x_cross =
+              s.b.x + (p.y - s.b.y) * (s.a.x - s.b.x) / (s.a.y - s.b.y);
+          if (p.x < x_cross) parity[static_cast<std::size_t>(s.ring)] ^= 1;
+        }
       }
+      const double d = std::sqrt(d2_min);
       if (d < params.min_clearance) continue;
+      if (!parity[0]) continue;  // outside the outer ring
+      bool in_hole = false;
+      for (int h = 1; h < nrings; ++h) {
+        if (parity[static_cast<std::size_t>(h)]) {
+          in_hole = true;
+          break;
+        }
+      }
+      if (in_hole) continue;
 
       // Gather the boundary points that realize (approximately) that
-      // distance, one candidate per segment close enough.
+      // distance, one candidate per segment close enough — only points
+      // that survived clearance and containment pay this second pass.
       touch.clear();
       const double limit = d * (1.0 + params.tol);
       for (const Segment& s : segs) {

@@ -5,18 +5,6 @@
 
 namespace skelex::geom {
 
-Vec2 closest_point_on_segment(Vec2 p, Vec2 a, Vec2 b) {
-  const Vec2 ab = b - a;
-  const double len2 = ab.norm2();
-  if (len2 == 0.0) return a;
-  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
-  return a + ab * t;
-}
-
-double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
-  return dist(p, closest_point_on_segment(p, a, b));
-}
-
 std::ostream& operator<<(std::ostream& os, Vec2 v) {
   return os << '(' << v.x << ", " << v.y << ')';
 }

@@ -6,6 +6,7 @@
 // (the same units as the communication radio range R).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <iosfwd>
 
@@ -67,11 +68,21 @@ constexpr Vec2 operator*(double s, Vec2 v) { return v * s; }
 inline double dist(Vec2 a, Vec2 b) { return (a - b).norm(); }
 inline constexpr double dist2(Vec2 a, Vec2 b) { return (a - b).norm2(); }
 
-// Distance from point p to the closed segment [a, b].
-double point_segment_distance(Vec2 p, Vec2 a, Vec2 b);
+// The point on segment [a, b] closest to p. Inline: this is the inner
+// loop of every boundary-distance scan (polygon containment, the
+// reference medial axis, skeleton metrics).
+inline Vec2 closest_point_on_segment(Vec2 p, Vec2 a, Vec2 b) {
+  const Vec2 ab = b - a;
+  const double len2 = ab.norm2();
+  if (len2 == 0.0) return a;
+  const double t = std::clamp((p - a).dot(ab) / len2, 0.0, 1.0);
+  return a + ab * t;
+}
 
-// The point on segment [a, b] closest to p.
-Vec2 closest_point_on_segment(Vec2 p, Vec2 a, Vec2 b);
+// Distance from point p to the closed segment [a, b].
+inline double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) {
+  return dist(p, closest_point_on_segment(p, a, b));
+}
 
 std::ostream& operator<<(std::ostream& os, Vec2 v);
 

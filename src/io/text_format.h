@@ -1,0 +1,39 @@
+// skelex/io/text_format.h
+//
+// Locale-independent number-to-text helpers on std::to_chars. Output
+// streams format through the global locale (a comma decimal separator
+// would corrupt SVG coordinates and JSON numbers) and allocate per
+// insertion; these append straight into a caller-owned string.
+#pragma once
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+
+namespace skelex::io {
+
+// Shortest decimal form that round-trips to the same double (use where
+// the reader must recover the exact value, e.g. JSON metrics).
+inline void append_double(std::string& out, double v) {
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+// Fixed-point with `precision` fractional digits (use for coordinates,
+// where sub-pixel noise is meaningless and compactness matters).
+inline void append_fixed(std::string& out, double v, int precision) {
+  char buf[64];
+  const auto res =
+      std::to_chars(buf, buf + sizeof buf, v, std::chars_format::fixed,
+                    precision);
+  out.append(buf, res.ptr);
+}
+
+inline void append_int(std::string& out, long long v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace skelex::io

@@ -1,79 +1,41 @@
 #include "net/bfs.h"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 
 namespace skelex::net {
 
 std::vector<int> bfs_distances(const Graph& g, int source, int max_depth) {
-  if (source < 0 || source >= g.n()) throw std::out_of_range("bfs source");
-  std::vector<int> dist(static_cast<std::size_t>(g.n()), kUnreached);
-  std::queue<int> q;
-  dist[static_cast<std::size_t>(source)] = 0;
-  q.push(source);
-  while (!q.empty()) {
-    const int v = q.front();
-    q.pop();
-    const int d = dist[static_cast<std::size_t>(v)];
-    if (max_depth >= 0 && d >= max_depth) continue;
-    for (int w : g.neighbors(v)) {
-      if (dist[static_cast<std::size_t>(w)] == kUnreached) {
-        dist[static_cast<std::size_t>(w)] = d + 1;
-        q.push(w);
-      }
-    }
-  }
-  return dist;
+  Workspace ws;
+  bfs_distances(g.csr(), source, ws, max_depth);
+  return std::move(ws.dist);
 }
 
 MultiSourceBfs multi_source_bfs(const Graph& g,
                                 const std::vector<int>& sources) {
-  MultiSourceBfs r;
-  r.nearest.assign(static_cast<std::size_t>(g.n()), kUnreached);
-  r.dist.assign(static_cast<std::size_t>(g.n()), kUnreached);
-  r.parent.assign(static_cast<std::size_t>(g.n()), kUnreached);
-  std::queue<int> q;
-  for (std::size_t i = 0; i < sources.size(); ++i) {
-    const int s = sources[i];
-    if (s < 0 || s >= g.n()) throw std::out_of_range("bfs source");
-    if (r.dist[static_cast<std::size_t>(s)] == 0) continue;  // duplicate
-    r.dist[static_cast<std::size_t>(s)] = 0;
-    r.nearest[static_cast<std::size_t>(s)] = static_cast<int>(i);
-    q.push(s);
-  }
-  while (!q.empty()) {
-    const int v = q.front();
-    q.pop();
-    for (int w : g.neighbors(v)) {
-      if (r.dist[static_cast<std::size_t>(w)] == kUnreached) {
-        r.dist[static_cast<std::size_t>(w)] =
-            r.dist[static_cast<std::size_t>(v)] + 1;
-        r.nearest[static_cast<std::size_t>(w)] =
-            r.nearest[static_cast<std::size_t>(v)];
-        r.parent[static_cast<std::size_t>(w)] = v;
-        q.push(w);
-      }
-    }
-  }
-  return r;
+  Workspace ws;
+  multi_source_bfs(g.csr(), sources, ws);
+  return {std::move(ws.nearest), std::move(ws.dist), std::move(ws.parent)};
 }
 
 std::vector<int> shortest_path(const Graph& g, int s, int t) {
   if (t < 0 || t >= g.n()) throw std::out_of_range("path target");
+  if (s < 0 || s >= g.n()) throw std::out_of_range("bfs source");
+  const CsrGraph& csr = g.csr();
   std::vector<int> dist(static_cast<std::size_t>(g.n()), kUnreached);
   std::vector<int> parent(static_cast<std::size_t>(g.n()), kUnreached);
-  std::queue<int> q;
+  std::vector<int> queue;
   dist[static_cast<std::size_t>(s)] = 0;
-  q.push(s);
-  while (!q.empty() && dist[static_cast<std::size_t>(t)] == kUnreached) {
-    const int v = q.front();
-    q.pop();
-    for (int w : g.neighbors(v)) {
+  queue.push_back(s);
+  for (std::size_t head = 0;
+       head < queue.size() && dist[static_cast<std::size_t>(t)] == kUnreached;
+       ++head) {
+    const int v = queue[head];
+    for (int w : csr.neighbors(v)) {
       if (dist[static_cast<std::size_t>(w)] == kUnreached) {
         dist[static_cast<std::size_t>(w)] = dist[static_cast<std::size_t>(v)] + 1;
         parent[static_cast<std::size_t>(w)] = v;
-        q.push(w);
+        queue.push_back(w);
       }
     }
   }
@@ -89,28 +51,9 @@ std::vector<int> shortest_path(const Graph& g, int s, int t) {
 std::vector<int> bfs_distances_masked(const Graph& g, int source,
                                       const std::vector<char>& allowed,
                                       int max_depth) {
-  if (source < 0 || source >= g.n()) throw std::out_of_range("bfs source");
-  if (!allowed[static_cast<std::size_t>(source)]) {
-    throw std::invalid_argument("masked BFS source is not allowed");
-  }
-  std::vector<int> dist(static_cast<std::size_t>(g.n()), kUnreached);
-  std::queue<int> q;
-  dist[static_cast<std::size_t>(source)] = 0;
-  q.push(source);
-  while (!q.empty()) {
-    const int v = q.front();
-    q.pop();
-    const int d = dist[static_cast<std::size_t>(v)];
-    if (max_depth >= 0 && d >= max_depth) continue;
-    for (int w : g.neighbors(v)) {
-      if (allowed[static_cast<std::size_t>(w)] &&
-          dist[static_cast<std::size_t>(w)] == kUnreached) {
-        dist[static_cast<std::size_t>(w)] = d + 1;
-        q.push(w);
-      }
-    }
-  }
-  return dist;
+  Workspace ws;
+  bfs_distances_masked(g.csr(), source, allowed, ws, max_depth);
+  return std::move(ws.dist);
 }
 
 int eccentricity(const Graph& g, int source) {

@@ -4,16 +4,21 @@
 // shortest-path extraction. These are the centralized equivalents of the
 // paper's flooding operations; the distributed protocol versions live in
 // core/protocols and are tested to agree with these.
+//
+// Since the CSR refactor these adjacency-list entry points are thin
+// compatibility wrappers over the CSR + workspace kernels in net/csr.h
+// (they run on Graph::csr() with a local Workspace). Hot paths that call
+// them repeatedly should use the CSR kernels directly with a reused
+// Workspace.
 #pragma once
 
 #include <limits>
 #include <vector>
 
+#include "net/csr.h"
 #include "net/graph.h"
 
 namespace skelex::net {
-
-inline constexpr int kUnreached = -1;
 
 // Hop distance from `source` to every node; kUnreached when disconnected.
 // `max_depth < 0` means unbounded.

@@ -1,0 +1,188 @@
+#include "net/csr.h"
+
+#include <stdexcept>
+
+#include "net/graph.h"
+
+namespace skelex::net {
+
+CsrGraph::CsrGraph(const Graph& g) {
+  const int n = g.n();
+  offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    offsets_[static_cast<std::size_t>(v) + 1] =
+        offsets_[static_cast<std::size_t>(v)] + g.degree(v);
+  }
+  targets_.resize(static_cast<std::size_t>(offsets_[static_cast<std::size_t>(n)]));
+  for (int v = 0; v < n; ++v) {
+    int at = offsets_[static_cast<std::size_t>(v)];
+    for (int w : g.neighbors(v)) targets_[static_cast<std::size_t>(at++)] = w;
+  }
+}
+
+void Workspace::reserve(int n) {
+  const std::size_t sn = static_cast<std::size_t>(n);
+  if (queue.capacity() < sn) queue.reserve(sn);
+  if (stamp.size() < sn) {
+    // Growing invalidates old stamps: clear them all and restart the
+    // epoch so no stale stamp can alias a future epoch value.
+    stamp.assign(sn, 0);
+    epoch = 0;
+  }
+}
+
+namespace {
+void check_source(const CsrGraph& g, int source) {
+  if (source < 0 || source >= g.n()) throw std::out_of_range("bfs source");
+}
+}  // namespace
+
+void bfs_distances(const CsrGraph& g, int source, Workspace& ws,
+                   int max_depth) {
+  check_source(g, source);
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  ws.dist.assign(n, kUnreached);
+  ws.queue.clear();
+  ws.dist[static_cast<std::size_t>(source)] = 0;
+  ws.queue.push_back(source);
+  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+    const int v = ws.queue[head];
+    const int d = ws.dist[static_cast<std::size_t>(v)];
+    if (max_depth >= 0 && d >= max_depth) continue;
+    ws.edge_scans += g.degree(v);
+    for (int w : g.neighbors(v)) {
+      if (ws.dist[static_cast<std::size_t>(w)] == kUnreached) {
+        ws.dist[static_cast<std::size_t>(w)] = d + 1;
+        ws.queue.push_back(w);
+      }
+    }
+  }
+}
+
+void multi_source_bfs(const CsrGraph& g, std::span<const int> sources,
+                      Workspace& ws) {
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  ws.dist.assign(n, kUnreached);
+  ws.nearest.assign(n, kUnreached);
+  ws.parent.assign(n, kUnreached);
+  ws.queue.clear();
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    const int s = sources[i];
+    check_source(g, s);
+    if (ws.dist[static_cast<std::size_t>(s)] == 0) continue;  // duplicate
+    ws.dist[static_cast<std::size_t>(s)] = 0;
+    ws.nearest[static_cast<std::size_t>(s)] = static_cast<int>(i);
+    ws.queue.push_back(s);
+  }
+  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+    const int v = ws.queue[head];
+    ws.edge_scans += g.degree(v);
+    for (int w : g.neighbors(v)) {
+      if (ws.dist[static_cast<std::size_t>(w)] == kUnreached) {
+        ws.dist[static_cast<std::size_t>(w)] =
+            ws.dist[static_cast<std::size_t>(v)] + 1;
+        ws.nearest[static_cast<std::size_t>(w)] =
+            ws.nearest[static_cast<std::size_t>(v)];
+        ws.parent[static_cast<std::size_t>(w)] = v;
+        ws.queue.push_back(w);
+      }
+    }
+  }
+}
+
+void bfs_distances_masked(const CsrGraph& g, int source,
+                          std::span<const char> allowed, Workspace& ws,
+                          int max_depth) {
+  check_source(g, source);
+  if (!allowed[static_cast<std::size_t>(source)]) {
+    throw std::invalid_argument("masked BFS source is not allowed");
+  }
+  const std::size_t n = static_cast<std::size_t>(g.n());
+  ws.dist.assign(n, kUnreached);
+  ws.queue.clear();
+  ws.dist[static_cast<std::size_t>(source)] = 0;
+  ws.queue.push_back(source);
+  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+    const int v = ws.queue[head];
+    const int d = ws.dist[static_cast<std::size_t>(v)];
+    if (max_depth >= 0 && d >= max_depth) continue;
+    ws.edge_scans += g.degree(v);
+    for (int w : g.neighbors(v)) {
+      if (allowed[static_cast<std::size_t>(w)] &&
+          ws.dist[static_cast<std::size_t>(w)] == kUnreached) {
+        ws.dist[static_cast<std::size_t>(w)] = d + 1;
+        ws.queue.push_back(w);
+      }
+    }
+  }
+}
+
+void khop_sizes(const CsrGraph& g, int k, Workspace& ws,
+                std::vector<int>& out) {
+  if (k < 0) throw std::invalid_argument("k must be >= 0");
+  out.assign(static_cast<std::size_t>(g.n()), 0);
+  KhopScanner scanner(g, ws);
+  for (int v = 0; v < g.n(); ++v) {
+    int count = 0;
+    scanner.scan(v, k, [&](int) { ++count; });
+    out[static_cast<std::size_t>(v)] = count;
+  }
+}
+
+void l_centrality(const CsrGraph& g, std::span<const int> khop_sizes, int l,
+                  bool include_self, Workspace& ws, std::vector<double>& out) {
+  if (l < 0) throw std::invalid_argument("l must be >= 0");
+  if (khop_sizes.size() != static_cast<std::size_t>(g.n())) {
+    throw std::invalid_argument("khop_sizes size mismatch");
+  }
+  out.assign(static_cast<std::size_t>(g.n()), 0.0);
+  KhopScanner scanner(g, ws);
+  for (int v = 0; v < g.n(); ++v) {
+    long long sum = include_self ? khop_sizes[static_cast<std::size_t>(v)] : 0;
+    int count = include_self ? 1 : 0;
+    scanner.scan(v, l, [&](int w) {
+      sum += khop_sizes[static_cast<std::size_t>(w)];
+      ++count;
+    });
+    out[static_cast<std::size_t>(v)] =
+        count > 0 ? static_cast<double>(sum) / count
+                  : static_cast<double>(khop_sizes[static_cast<std::size_t>(v)]);
+  }
+}
+
+KhopScanner::KhopScanner(const CsrGraph& g, Workspace& ws) : g_(g), ws_(ws) {
+  ws_.reserve(g.n());
+}
+
+Components connected_components(const CsrGraph& g, Workspace& ws) {
+  Components c;
+  c.label.assign(static_cast<std::size_t>(g.n()), -1);
+  for (int s = 0; s < g.n(); ++s) {
+    if (c.label[static_cast<std::size_t>(s)] != -1) continue;
+    const int id = c.count++;
+    c.size.push_back(0);
+    c.label[static_cast<std::size_t>(s)] = id;
+    ws.queue.clear();
+    ws.queue.push_back(s);
+    for (std::size_t head = 0; head < ws.queue.size(); ++head) {
+      const int v = ws.queue[head];
+      ++c.size[static_cast<std::size_t>(id)];
+      for (int w : g.neighbors(v)) {
+        if (c.label[static_cast<std::size_t>(w)] == -1) {
+          c.label[static_cast<std::size_t>(w)] = id;
+          ws.queue.push_back(w);
+        }
+      }
+    }
+  }
+  for (int i = 0; i < c.count; ++i) {
+    if (c.largest == -1 ||
+        c.size[static_cast<std::size_t>(i)] >
+            c.size[static_cast<std::size_t>(c.largest)]) {
+      c.largest = i;
+    }
+  }
+  return c;
+}
+
+}  // namespace skelex::net

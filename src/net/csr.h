@@ -1,0 +1,154 @@
+// skelex/net/csr.h
+//
+// Flat compressed-sparse-row view of the connectivity graph plus a
+// reusable scratch-buffer workspace — the execution substrate every
+// graph traversal in the pipeline runs on.
+//
+//   * CsrGraph: two arrays (offsets, targets). Neighbor order is exactly
+//     the adjacency-list insertion order, so every traversal visits
+//     nodes in the same order as the pointer-chasing representation it
+//     replaced — results are bit-identical, only faster.
+//   * Workspace: owns the dist/parent/queue/stamp buffers the BFS and
+//     k-hop kernels need, so repeated calls (one per node, one per
+//     stage, one per sweep cell) reallocate nothing.
+//
+// Ownership rules: a CsrGraph is an immutable snapshot — safe to share
+// across threads once built. A Workspace is mutable per-call scratch —
+// one per thread, never shared concurrently. net::Graph caches a CSR of
+// itself (Graph::csr()); building that cache is NOT thread-safe, so
+// call csr() (or finalize()) once before handing a graph to parallel
+// code.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace skelex::net {
+
+class Graph;
+
+inline constexpr int kUnreached = -1;
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  // Snapshot of `g` (finalizes it first). Neighbor order is preserved.
+  explicit CsrGraph(const Graph& g);
+
+  int n() const { return static_cast<int>(offsets_.size()) - 1; }
+  long long edge_count() const {
+    return static_cast<long long>(targets_.size()) / 2;
+  }
+  std::span<const int> neighbors(int v) const {
+    const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    const auto e =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+    return {targets_.data() + b, e - b};
+  }
+  int degree(int v) const {
+    return offsets_[static_cast<std::size_t>(v) + 1] -
+           offsets_[static_cast<std::size_t>(v)];
+  }
+
+ private:
+  // offsets_[v]..offsets_[v+1] indexes targets_; offsets_ has n+1 entries
+  // (empty graph: the single entry 0).
+  std::vector<int> offsets_{0};
+  std::vector<int> targets_;
+};
+
+// Reusable traversal scratch. All kernels size the buffers they use on
+// entry; a workspace can serve graphs of different sizes in sequence.
+struct Workspace {
+  // Outputs of the most recent kernel call.
+  std::vector<int> dist;
+  std::vector<int> parent;
+  std::vector<int> nearest;
+
+  // FIFO queue as a flat array with a head cursor (no deque chunks).
+  std::vector<int> queue;
+
+  // Epoch-stamped visitation for the k-hop kernels: stamp[v] == epoch
+  // means "visited in the current scan" — no O(n) clear per source.
+  std::vector<long long> stamp;
+  long long epoch = 0;
+  std::vector<int> frontier;
+  std::vector<int> next;
+
+  // Running count of adjacency entries examined by the kernels — the
+  // centralized proxy for radio messages. Never reset by the kernels;
+  // callers (e.g. the pipeline's StageTrace) read deltas around a stage.
+  long long edge_scans = 0;
+
+  // Grows the persistent buffers for an n-node graph (outputs are
+  // (re)initialized by each kernel; this only reserves capacity).
+  void reserve(int n);
+};
+
+// --- CSR traversal kernels ---------------------------------------------------
+// These are the single source of truth; the adjacency-list functions in
+// bfs.h / khop.h / graph.h are thin compatibility wrappers over them.
+
+// Hop distances from `source` into ws.dist (kUnreached when not reached;
+// max_depth < 0 means unbounded).
+void bfs_distances(const CsrGraph& g, int source, Workspace& ws,
+                   int max_depth = -1);
+
+// Multi-source BFS into ws.dist / ws.nearest (index into `sources`) /
+// ws.parent. Ties broken by source order, as in the flooding protocol.
+void multi_source_bfs(const CsrGraph& g, std::span<const int> sources,
+                      Workspace& ws);
+
+// BFS restricted to nodes with allowed[v] != 0; the source must be
+// allowed. Distances of excluded nodes stay kUnreached.
+void bfs_distances_masked(const CsrGraph& g, int source,
+                          std::span<const char> allowed, Workspace& ws,
+                          int max_depth = -1);
+
+// Connected components (same Components struct as the adjacency API).
+struct Components;
+Components connected_components(const CsrGraph& g, Workspace& ws);
+
+// |N_k(v)| for every node into `out`.
+void khop_sizes(const CsrGraph& g, int k, Workspace& ws, std::vector<int>& out);
+
+// l-centrality (paper Def. 3) into `out`.
+void l_centrality(const CsrGraph& g, std::span<const int> khop_sizes, int l,
+                  bool include_self, Workspace& ws, std::vector<double>& out);
+
+// Truncated BFS with epoch-stamped visitation, reusing the workspace's
+// stamp/frontier buffers across all sources.
+class KhopScanner {
+ public:
+  KhopScanner(const CsrGraph& g, Workspace& ws);
+
+  // Calls fn(w) for every node w within k hops of v (w != v), in BFS
+  // wave order (neighbors in adjacency order within a wave).
+  template <typename Fn>
+  void scan(int v, int k, Fn&& fn) {
+    ++ws_.epoch;
+    ws_.frontier.clear();
+    ws_.frontier.push_back(v);
+    ws_.stamp[static_cast<std::size_t>(v)] = ws_.epoch;
+    for (int depth = 0; depth < k && !ws_.frontier.empty(); ++depth) {
+      ws_.next.clear();
+      for (int u : ws_.frontier) {
+        ws_.edge_scans += g_.degree(u);
+        for (int w : g_.neighbors(u)) {
+          if (ws_.stamp[static_cast<std::size_t>(w)] != ws_.epoch) {
+            ws_.stamp[static_cast<std::size_t>(w)] = ws_.epoch;
+            ws_.next.push_back(w);
+            fn(w);
+          }
+        }
+      }
+      ws_.frontier.swap(ws_.next);
+    }
+  }
+
+ private:
+  const CsrGraph& g_;
+  Workspace& ws_;
+};
+
+}  // namespace skelex::net

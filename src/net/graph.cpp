@@ -1,9 +1,9 @@
 #include "net/graph.h"
 
 #include <algorithm>
-#include <queue>
 #include <stdexcept>
 
+#include "net/csr.h"
 #include "net/spatial_hash.h"
 
 namespace skelex::net {
@@ -20,13 +20,38 @@ void Graph::add_edge(int u, int v) {
   if (u < 0 || v < 0 || u >= n() || v >= n()) {
     throw std::out_of_range("edge endpoint out of range");
   }
-  if (u == v || has_edge(u, v)) return;
+  if (u == v) return;
   adj_[static_cast<std::size_t>(u)].push_back(v);
   adj_[static_cast<std::size_t>(v)].push_back(u);
-  ++edges_;
+  dirty_ = true;
+  csr_.reset();
+}
+
+void Graph::finalize() const {
+  if (!dirty_) return;
+  // Stable dedupe: keep each neighbor's FIRST occurrence so the
+  // adjacency order is exactly what repeated has_edge-checked insertion
+  // used to produce — traversal results stay bit-identical.
+  std::vector<int> last_seen(static_cast<std::size_t>(n()), -1);
+  edges_ = 0;
+  for (int v = 0; v < n(); ++v) {
+    auto& nbrs = adj_[static_cast<std::size_t>(v)];
+    std::size_t out = 0;
+    for (int w : nbrs) {
+      if (last_seen[static_cast<std::size_t>(w)] != v) {
+        last_seen[static_cast<std::size_t>(w)] = v;
+        nbrs[out++] = w;
+      }
+    }
+    nbrs.resize(out);
+    edges_ += static_cast<long long>(out);
+  }
+  edges_ /= 2;
+  dirty_ = false;
 }
 
 bool Graph::has_edge(int u, int v) const {
+  ensure_finalized();
   const auto& a = adj_[static_cast<std::size_t>(u)];
   const auto& b = adj_[static_cast<std::size_t>(v)];
   const auto& smaller = a.size() <= b.size() ? a : b;
@@ -36,7 +61,15 @@ bool Graph::has_edge(int u, int v) const {
 
 double Graph::avg_degree() const {
   if (n() == 0) return 0.0;
-  return 2.0 * static_cast<double>(edges_) / n();
+  return 2.0 * static_cast<double>(edge_count()) / n();
+}
+
+const CsrGraph& Graph::csr() const {
+  if (!csr_) {
+    ensure_finalized();
+    csr_ = std::make_shared<const CsrGraph>(*this);
+  }
+  return *csr_;
 }
 
 Graph build_graph(std::vector<geom::Vec2> positions,
@@ -47,6 +80,7 @@ Graph build_graph(std::vector<geom::Vec2> positions,
   hash.for_each_pair(range, [&](int i, int j) {
     if (model.link(g.position(i), g.position(j), rng)) g.add_edge(i, j);
   });
+  g.finalize();
   return g;
 }
 
@@ -57,35 +91,8 @@ Graph build_udg(std::vector<geom::Vec2> positions, double range) {
 }
 
 Components connected_components(const Graph& g) {
-  Components c;
-  c.label.assign(static_cast<std::size_t>(g.n()), -1);
-  std::queue<int> q;
-  for (int s = 0; s < g.n(); ++s) {
-    if (c.label[static_cast<std::size_t>(s)] != -1) continue;
-    const int id = c.count++;
-    c.size.push_back(0);
-    c.label[static_cast<std::size_t>(s)] = id;
-    q.push(s);
-    while (!q.empty()) {
-      const int v = q.front();
-      q.pop();
-      ++c.size[static_cast<std::size_t>(id)];
-      for (int w : g.neighbors(v)) {
-        if (c.label[static_cast<std::size_t>(w)] == -1) {
-          c.label[static_cast<std::size_t>(w)] = id;
-          q.push(w);
-        }
-      }
-    }
-  }
-  for (int i = 0; i < c.count; ++i) {
-    if (c.largest == -1 ||
-        c.size[static_cast<std::size_t>(i)] >
-            c.size[static_cast<std::size_t>(c.largest)]) {
-      c.largest = i;
-    }
-  }
-  return c;
+  Workspace ws;
+  return connected_components(g.csr(), ws);
 }
 
 Graph largest_component_subgraph(const Graph& g,
@@ -113,6 +120,7 @@ Graph largest_component_subgraph(const Graph& g,
       if (nw > static_cast<int>(i)) sub.add_edge(static_cast<int>(i), nw);
     }
   }
+  sub.finalize();
   return sub;
 }
 
@@ -144,6 +152,7 @@ Graph remove_nodes(const Graph& g, std::span<const char> dead,
       if (nw > static_cast<int>(i)) sub.add_edge(static_cast<int>(i), nw);
     }
   }
+  sub.finalize();
   if (orig_of_new != nullptr) *orig_of_new = std::move(keep);
   return sub;
 }

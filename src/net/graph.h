@@ -4,8 +4,18 @@
 // [0, n); each node optionally carries its deployment position (the
 // *algorithms* never read positions — the paper's method is
 // connectivity-only — but metrics and visualization do).
+//
+// Edge insertion is O(1): add_edge appends without checking for
+// duplicates, and duplicate/self edges are removed once, in insertion
+// order, the first time the graph is read (finalize()). This keeps
+// graph construction linear in the number of inserted edges instead of
+// O(n * deg^2). Reads trigger finalization lazily, so the build-then-
+// query pattern needs no explicit call — but the lazy step mutates
+// internal state, so finalize the graph (any read does) before sharing
+// it across threads.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -14,6 +24,8 @@
 #include "radio/radio_model.h"
 
 namespace skelex::net {
+
+class CsrGraph;
 
 class Graph {
  public:
@@ -24,31 +36,54 @@ class Graph {
   explicit Graph(std::vector<geom::Vec2> positions);
 
   int n() const { return static_cast<int>(adj_.size()); }
-  long long edge_count() const { return edges_; }
+  long long edge_count() const {
+    ensure_finalized();
+    return edges_;
+  }
 
-  // Adds the undirected edge {u, v}. Duplicate and self edges are ignored
-  // (idempotent), so probabilistic builders need not dedupe.
+  // Appends the undirected edge {u, v}. Duplicate and self edges are
+  // tolerated (dropped at finalize time), so probabilistic builders need
+  // not dedupe.
   void add_edge(int u, int v);
+
+  // Drops duplicate edges (keeping first-insertion neighbor order) and
+  // refreshes the edge count. Idempotent; called implicitly by every
+  // read accessor.
+  void finalize() const;
 
   bool has_edge(int u, int v) const;
 
   std::span<const int> neighbors(int v) const {
+    ensure_finalized();
     return {adj_[static_cast<std::size_t>(v)].data(),
             adj_[static_cast<std::size_t>(v)].size()};
   }
   int degree(int v) const {
+    ensure_finalized();
     return static_cast<int>(adj_[static_cast<std::size_t>(v)].size());
   }
   double avg_degree() const;
+
+  // Cached flat CSR snapshot of this graph (see net/csr.h). Built on
+  // first use, invalidated by add_edge. Like finalize(), the first call
+  // must not race with other accesses.
+  const CsrGraph& csr() const;
 
   bool has_positions() const { return !pos_.empty(); }
   geom::Vec2 position(int v) const { return pos_[static_cast<std::size_t>(v)]; }
   const std::vector<geom::Vec2>& positions() const { return pos_; }
 
  private:
-  std::vector<std::vector<int>> adj_;
+  void ensure_finalized() const {
+    if (dirty_) finalize();
+  }
+
+  // Lazily deduplicated on read; mutable so accessors stay const.
+  mutable std::vector<std::vector<int>> adj_;
+  mutable long long edges_ = 0;
+  mutable bool dirty_ = false;
+  mutable std::shared_ptr<const CsrGraph> csr_;
   std::vector<geom::Vec2> pos_;
-  long long edges_ = 0;
 };
 
 // Builds the connectivity graph of `positions` under `model`, using a

@@ -2,89 +2,34 @@
 
 #include <stdexcept>
 
+#include "net/csr.h"
+
 namespace skelex::net {
-
-namespace {
-// Truncated BFS using epoch-stamped visitation so the scratch buffers are
-// reused across all n source nodes (no per-source O(n) clearing).
-class KhopScanner {
- public:
-  explicit KhopScanner(const Graph& g)
-      : g_(g), stamp_(static_cast<std::size_t>(g.n()), -1) {}
-
-  // Calls fn(w) for every node w within k hops of v (w != v).
-  template <typename Fn>
-  void scan(int v, int k, Fn&& fn) {
-    ++epoch_;
-    frontier_.clear();
-    frontier_.push_back(v);
-    stamp_[static_cast<std::size_t>(v)] = epoch_;
-    for (int depth = 0; depth < k && !frontier_.empty(); ++depth) {
-      next_.clear();
-      for (int u : frontier_) {
-        for (int w : g_.neighbors(u)) {
-          if (stamp_[static_cast<std::size_t>(w)] != epoch_) {
-            stamp_[static_cast<std::size_t>(w)] = epoch_;
-            next_.push_back(w);
-            fn(w);
-          }
-        }
-      }
-      frontier_.swap(next_);
-    }
-  }
-
- private:
-  const Graph& g_;
-  std::vector<long long> stamp_;
-  long long epoch_ = 0;
-  std::vector<int> frontier_;
-  std::vector<int> next_;
-};
-}  // namespace
 
 std::vector<int> khop_neighbors(const Graph& g, int v, int k) {
   if (v < 0 || v >= g.n()) throw std::out_of_range("khop node");
   if (k < 0) throw std::invalid_argument("k must be >= 0");
   std::vector<int> out;
-  KhopScanner scanner(g);
+  Workspace ws;
+  KhopScanner scanner(g.csr(), ws);
   scanner.scan(v, k, [&](int w) { out.push_back(w); });
   return out;
 }
 
 std::vector<int> khop_sizes(const Graph& g, int k) {
-  if (k < 0) throw std::invalid_argument("k must be >= 0");
-  std::vector<int> sizes(static_cast<std::size_t>(g.n()), 0);
-  KhopScanner scanner(g);
-  for (int v = 0; v < g.n(); ++v) {
-    int count = 0;
-    scanner.scan(v, k, [&](int) { ++count; });
-    sizes[static_cast<std::size_t>(v)] = count;
-  }
-  return sizes;
+  Workspace ws;
+  std::vector<int> out;
+  khop_sizes(g.csr(), k, ws, out);
+  return out;
 }
 
 std::vector<double> l_centrality(const Graph& g,
                                  const std::vector<int>& khop_sizes, int l,
                                  bool include_self) {
-  if (l < 0) throw std::invalid_argument("l must be >= 0");
-  if (khop_sizes.size() != static_cast<std::size_t>(g.n())) {
-    throw std::invalid_argument("khop_sizes size mismatch");
-  }
-  std::vector<double> c(static_cast<std::size_t>(g.n()), 0.0);
-  KhopScanner scanner(g);
-  for (int v = 0; v < g.n(); ++v) {
-    long long sum = include_self ? khop_sizes[static_cast<std::size_t>(v)] : 0;
-    int count = include_self ? 1 : 0;
-    scanner.scan(v, l, [&](int w) {
-      sum += khop_sizes[static_cast<std::size_t>(w)];
-      ++count;
-    });
-    c[static_cast<std::size_t>(v)] =
-        count > 0 ? static_cast<double>(sum) / count
-                  : static_cast<double>(khop_sizes[static_cast<std::size_t>(v)]);
-  }
-  return c;
+  Workspace ws;
+  std::vector<double> out;
+  l_centrality(g.csr(), khop_sizes, l, include_self, ws, out);
+  return out;
 }
 
 }  // namespace skelex::net

@@ -74,7 +74,7 @@ int Engine::delivery_round() {
   return static_cast<int>(z % static_cast<std::uint64_t>(max_jitter_ + 1));
 }
 
-std::vector<Engine::Envelope>& Engine::bucket(int extra) {
+Engine::Bucket& Engine::bucket(int extra) {
   while (static_cast<int>(pending_.size()) <= extra) pending_.push_back({});
   return pending_[static_cast<std::size_t>(extra)];
 }
@@ -92,7 +92,14 @@ void Engine::do_broadcast(int from, Message m) {
   // One transmission: all listeners hear the same (possibly delayed)
   // radio frame, so the delay is drawn once per transmission.
   const int extra = delivery_round();
-  auto& out = bucket(extra);
+  Bucket& out = bucket(extra);
+  if (!have_faults_ && loss_ == 0.0) {
+    // Reliable radio: queue the frame once; it fans out to the sender's
+    // neighbors when its round is processed.
+    current_.receptions += graph_.degree(from);
+    out.broadcasts.push_back(m);
+    return;
+  }
   for (int w : graph_.neighbors(from)) {
     ++current_.receptions;
     if (have_faults_ && !faults_.link_up(from, w, fault_clock())) {
@@ -100,7 +107,7 @@ void Engine::do_broadcast(int from, Message m) {
       continue;
     }
     if (dropped()) continue;
-    out.push_back({w, false, m});
+    out.singles.push_back({w, false, m});
   }
 }
 
@@ -121,7 +128,7 @@ void Engine::do_send(int from, int to, Message m) {
     return;
   }
   if (dropped()) return;
-  bucket(delivery_round()).push_back({to, false, m});
+  bucket(delivery_round()).singles.push_back({to, false, m});
 }
 
 void Engine::do_schedule(int from, int delay_rounds, Message m) {
@@ -130,7 +137,7 @@ void Engine::do_schedule(int from, int delay_rounds, Message m) {
   }
   m.sender = from;
   // Local timer: no radio cost, no loss/jitter, delivered only to self.
-  bucket(delay_rounds - 1).push_back({from, true, m});
+  bucket(delay_rounds - 1).singles.push_back({from, true, m});
 }
 
 RunStats Engine::run(Protocol& protocol, int max_rounds) {
@@ -145,7 +152,25 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
     protocol.on_start(ctx);
   }
 
-  std::vector<Envelope> inbox;
+  // Delivery order is decided on compact precomputed keys (biased so the
+  // unsigned comparisons match signed field order), not on the fat
+  // envelopes themselves: the per-slice sorts then move 24-byte records
+  // and almost always decide on the first word.
+  struct DeliveryKey {
+    std::uint64_t k1;   // internal | kind
+    std::uint64_t k2;   // hops | origin
+    std::uint32_t k3;   // sender
+    std::uint32_t idx;  // position in the round's inbox
+  };
+  const auto bias = [](int x) {
+    return static_cast<std::uint32_t>(x) ^ 0x80000000u;
+  };
+  // The index half-word tags which inbox list a key points into.
+  constexpr std::uint32_t kSingleTag = 0x80000000u;
+  Bucket inbox;
+  std::vector<DeliveryKey> keys;
+  std::vector<int> slice_at(static_cast<std::size_t>(graph_.n()) + 1, 0);
+  std::vector<int> slice_end(static_cast<std::size_t>(graph_.n()) + 1, 0);
   const auto has_pending = [&] {
     for (const auto& b : pending_) {
       if (!b.empty()) return true;
@@ -155,9 +180,11 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
   while (has_pending() && current_.rounds < max_rounds) {
     ++current_.rounds;
     now_ = current_.rounds;
-    inbox.clear();
+    inbox.singles.clear();
+    inbox.broadcasts.clear();
     if (!pending_.empty()) {
-      inbox.swap(pending_.front());
+      inbox.singles.swap(pending_.front().singles);
+      inbox.broadcasts.swap(pending_.front().broadcasts);
       pending_.erase(pending_.begin());
     }
     // Deterministic delivery: within a round each node processes its
@@ -166,29 +193,85 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
     // stage implementations match their centralized equivalents exactly.
     // Radio frames sort before self-timers so that e.g. an ACK arriving
     // in the same round as a retransmission timer cancels it.
-    std::sort(inbox.begin(), inbox.end(),
-              [](const Envelope& a, const Envelope& b) {
-                return std::tie(a.to, a.internal, a.msg.kind, a.msg.hops,
-                                a.msg.origin, a.msg.sender, a.msg.payload,
-                                a.msg.seq, a.msg.aux) <
-                       std::tie(b.to, b.internal, b.msg.kind, b.msg.hops,
-                                b.msg.origin, b.msg.sender, b.msg.payload,
-                                b.msg.seq, b.msg.aux);
-              });
-    for (const Envelope& env : inbox) {
-      if (have_faults_) {
-        const int r = fault_clock();
-        if (faults_.is_crashed(env.to, r)) {
-          if (!env.internal) ++current_.faults_rx_crashed;
-          continue;
-        }
-        if (!env.internal && faults_.is_asleep(env.to, r)) {
-          ++current_.faults_rx_sleeping;
-          continue;
-        }
+    //
+    // Sorting is two-level: a counting pass groups the round's traffic
+    // by destination (expanding each queued broadcast to its sender's
+    // neighbors), then each destination's slice is sorted on the
+    // remaining key fields — the same total order as one big sort of
+    // per-reception envelopes on the full 9-field key.
+    slice_end.assign(static_cast<std::size_t>(graph_.n()) + 1, 0);
+    for (const Envelope& e : inbox.singles) {
+      ++slice_end[static_cast<std::size_t>(e.to) + 1];
+    }
+    for (const Message& m : inbox.broadcasts) {
+      for (int w : graph_.neighbors(m.sender)) {
+        ++slice_end[static_cast<std::size_t>(w) + 1];
       }
-      Ctx ctx(*this, env.to, current_.rounds);
-      protocol.on_message(ctx, env.msg);
+    }
+    for (int v = 0; v < graph_.n(); ++v) {
+      slice_end[static_cast<std::size_t>(v) + 1] +=
+          slice_end[static_cast<std::size_t>(v)];
+    }
+    slice_at = slice_end;
+    keys.resize(
+        static_cast<std::size_t>(slice_end[static_cast<std::size_t>(graph_.n())]));
+    for (std::size_t i = 0; i < inbox.singles.size(); ++i) {
+      const Envelope& e = inbox.singles[i];
+      DeliveryKey& k = keys[static_cast<std::size_t>(
+          slice_at[static_cast<std::size_t>(e.to)]++)];
+      k.k1 = (static_cast<std::uint64_t>(e.internal) << 32) | bias(e.msg.kind);
+      k.k2 = (static_cast<std::uint64_t>(bias(e.msg.hops)) << 32) |
+             bias(e.msg.origin);
+      k.k3 = bias(e.msg.sender);
+      k.idx = static_cast<std::uint32_t>(i) | kSingleTag;
+    }
+    for (std::size_t j = 0; j < inbox.broadcasts.size(); ++j) {
+      const Message& m = inbox.broadcasts[j];
+      DeliveryKey k;
+      k.k1 = bias(m.kind);
+      k.k2 = (static_cast<std::uint64_t>(bias(m.hops)) << 32) | bias(m.origin);
+      k.k3 = bias(m.sender);
+      k.idx = static_cast<std::uint32_t>(j);
+      for (int w : graph_.neighbors(m.sender)) {
+        keys[static_cast<std::size_t>(
+            slice_at[static_cast<std::size_t>(w)]++)] = k;
+      }
+    }
+    const auto msg_of = [&](const DeliveryKey& k) -> const Message& {
+      return (k.idx & kSingleTag)
+                 ? inbox.singles[static_cast<std::size_t>(k.idx & ~kSingleTag)]
+                       .msg
+                 : inbox.broadcasts[static_cast<std::size_t>(k.idx)];
+    };
+    const auto slice_less = [&](const DeliveryKey& a, const DeliveryKey& b) {
+      if (a.k1 != b.k1) return a.k1 < b.k1;
+      if (a.k2 != b.k2) return a.k2 < b.k2;
+      if (a.k3 != b.k3) return a.k3 < b.k3;
+      const Message& ma = msg_of(a);
+      const Message& mb = msg_of(b);
+      return std::tie(ma.payload, ma.seq, ma.aux) <
+             std::tie(mb.payload, mb.seq, mb.aux);
+    };
+    for (int v = 0; v < graph_.n(); ++v) {
+      const auto b = keys.begin() + slice_end[static_cast<std::size_t>(v)];
+      const auto e = keys.begin() + slice_end[static_cast<std::size_t>(v) + 1];
+      if (e - b > 1) std::sort(b, e, slice_less);
+      for (auto it = b; it != e; ++it) {
+        const bool internal = (it->k1 >> 32) != 0;
+        if (have_faults_) {
+          const int r = fault_clock();
+          if (faults_.is_crashed(v, r)) {
+            if (!internal) ++current_.faults_rx_crashed;
+            continue;
+          }
+          if (!internal && faults_.is_asleep(v, r)) {
+            ++current_.faults_rx_sleeping;
+            continue;
+          }
+        }
+        Ctx ctx(*this, v, current_.rounds);
+        protocol.on_message(ctx, msg_of(*it));
+      }
     }
   }
   if (has_pending()) {

@@ -130,19 +130,31 @@ class Engine {
     Message msg;
   };
 
+  // One future round's traffic. A fault-free, loss-free broadcast is
+  // queued ONCE (the radio transmits one frame) and fans out to the
+  // sender's neighbors when the round is processed; unicast sends,
+  // self-timers, and all traffic under loss or fault filtering (whose
+  // per-reception decisions must consume the engine's RNG and fault
+  // clock at transmission time) are queued as individual envelopes.
+  struct Bucket {
+    std::vector<Envelope> singles;
+    std::vector<Message> broadcasts;  // sender field identifies the source
+    bool empty() const { return singles.empty() && broadcasts.empty(); }
+  };
+
   void do_broadcast(int from, Message m);
   void do_send(int from, int to, Message m);
   void do_schedule(int from, int delay_rounds, Message m);
   int delivery_round();
   bool dropped();
-  std::vector<Envelope>& bucket(int round);
+  Bucket& bucket(int round);
   // Round on the fault clock: cumulative rounds across runs.
   int fault_clock() const { return fault_base_ + now_; }
 
   const net::Graph& graph_;
   // Messages scheduled per future round (index = round - current - 1 in
   // the pending deque).
-  std::vector<std::vector<Envelope>> pending_;
+  std::vector<Bucket> pending_;
   int max_jitter_ = 0;
   std::uint64_t jitter_state_ = 0;
   double loss_ = 0.0;

@@ -1,9 +1,9 @@
 #include "viz/svg.h"
 
-#include <algorithm>
 #include <fstream>
-#include <sstream>
 #include <stdexcept>
+
+#include "io/text_format.h"
 
 namespace skelex::viz {
 
@@ -16,6 +16,35 @@ const char* kPalette[] = {
     "#98df8a", "#ff9896", "#c5b0d5", "#c49c94", "#f7b6d2", "#c7c7c7",
 };
 constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+// Canvas coordinates: two decimals is 1/100 px, below anything visible.
+constexpr int kCoordPrec = 2;
+
+void append_coord(std::string& out, double v) {
+  io::append_fixed(out, v, kCoordPrec);
+}
+
+void append_line(std::string& out, geom::Vec2 a, geom::Vec2 b) {
+  out += "<line x1=\"";
+  append_coord(out, a.x);
+  out += "\" y1=\"";
+  append_coord(out, a.y);
+  out += "\" x2=\"";
+  append_coord(out, b.x);
+  out += "\" y2=\"";
+  append_coord(out, b.y);
+  out += "\"/>\n";
+}
+
+void append_circle(std::string& out, geom::Vec2 p, double radius) {
+  out += "<circle cx=\"";
+  append_coord(out, p.x);
+  out += "\" cy=\"";
+  append_coord(out, p.y);
+  out += "\" r=\"";
+  append_coord(out, radius);
+  out += "\"/>\n";
+}
 }  // namespace
 
 SvgWriter::SvgWriter(geom::Vec2 lo, geom::Vec2 hi, double pixels)
@@ -37,121 +66,120 @@ geom::Vec2 SvgWriter::to_canvas(geom::Vec2 p) const {
 
 void SvgWriter::add_graph_edges(const net::Graph& g, const std::string& color,
                                 double width) {
-  std::ostringstream os;
-  os << "<g stroke=\"" << color << "\" stroke-width=\"" << width << "\">\n";
+  body_ += "<g stroke=\"" + color + "\" stroke-width=\"";
+  io::append_double(body_, width);
+  body_ += "\">\n";
   for (int v = 0; v < g.n(); ++v) {
     for (int w : g.neighbors(v)) {
       if (w <= v) continue;
-      const geom::Vec2 a = to_canvas(g.position(v));
-      const geom::Vec2 b = to_canvas(g.position(w));
-      os << "<line x1=\"" << a.x << "\" y1=\"" << a.y << "\" x2=\"" << b.x
-         << "\" y2=\"" << b.y << "\"/>\n";
+      append_line(body_, to_canvas(g.position(v)), to_canvas(g.position(w)));
     }
   }
-  os << "</g>\n";
-  body_ += os.str();
+  body_ += "</g>\n";
 }
 
 void SvgWriter::add_graph_nodes(const net::Graph& g, const std::string& color,
                                 double radius) {
-  std::ostringstream os;
-  os << "<g fill=\"" << color << "\">\n";
+  body_ += "<g fill=\"" + color + "\">\n";
   for (int v = 0; v < g.n(); ++v) {
-    const geom::Vec2 p = to_canvas(g.position(v));
-    os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\"" << radius
-       << "\"/>\n";
+    append_circle(body_, to_canvas(g.position(v)), radius);
   }
-  os << "</g>\n";
-  body_ += os.str();
+  body_ += "</g>\n";
 }
 
 void SvgWriter::add_nodes(const net::Graph& g, const std::vector<int>& nodes,
                           const std::string& color, double radius) {
-  std::ostringstream os;
-  os << "<g fill=\"" << color << "\">\n";
+  body_ += "<g fill=\"" + color + "\">\n";
   for (int v : nodes) {
-    const geom::Vec2 p = to_canvas(g.position(v));
-    os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\"" << radius
-       << "\"/>\n";
+    append_circle(body_, to_canvas(g.position(v)), radius);
   }
-  os << "</g>\n";
-  body_ += os.str();
+  body_ += "</g>\n";
 }
 
 void SvgWriter::add_skeleton(const net::Graph& g, const core::SkeletonGraph& sk,
                              const std::string& color, double width) {
-  std::ostringstream os;
-  os << "<g stroke=\"" << color << "\" stroke-width=\"" << width
-     << "\" fill=\"" << color << "\">\n";
+  body_ += "<g stroke=\"" + color + "\" stroke-width=\"";
+  io::append_double(body_, width);
+  body_ += "\" fill=\"" + color + "\">\n";
   for (int v : sk.nodes()) {
     for (int w : sk.neighbors(v)) {
       if (w <= v) continue;
-      const geom::Vec2 a = to_canvas(g.position(v));
-      const geom::Vec2 b = to_canvas(g.position(w));
-      os << "<line x1=\"" << a.x << "\" y1=\"" << a.y << "\" x2=\"" << b.x
-         << "\" y2=\"" << b.y << "\"/>\n";
+      append_line(body_, to_canvas(g.position(v)), to_canvas(g.position(w)));
     }
-    const geom::Vec2 p = to_canvas(g.position(v));
-    os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\""
-       << width * 0.9 << "\"/>\n";
+    append_circle(body_, to_canvas(g.position(v)), width * 0.9);
   }
-  os << "</g>\n";
-  body_ += os.str();
+  body_ += "</g>\n";
 }
 
 void SvgWriter::add_labeled_nodes(const net::Graph& g,
                                   const std::vector<int>& label,
                                   double radius) {
-  std::ostringstream os;
-  os << "<g>\n";
+  body_ += "<g>\n";
   for (int v = 0; v < g.n(); ++v) {
     const int lab = label[static_cast<std::size_t>(v)];
     if (lab < 0) continue;
     const geom::Vec2 p = to_canvas(g.position(v));
-    os << "<circle cx=\"" << p.x << "\" cy=\"" << p.y << "\" r=\"" << radius
-       << "\" fill=\"" << kPalette[static_cast<std::size_t>(lab) % kPaletteSize]
-       << "\"/>\n";
+    body_ += "<circle cx=\"";
+    append_coord(body_, p.x);
+    body_ += "\" cy=\"";
+    append_coord(body_, p.y);
+    body_ += "\" r=\"";
+    append_coord(body_, radius);
+    body_ += "\" fill=\"";
+    body_ += kPalette[static_cast<std::size_t>(lab) % kPaletteSize];
+    body_ += "\"/>\n";
   }
-  os << "</g>\n";
-  body_ += os.str();
+  body_ += "</g>\n";
 }
 
 void SvgWriter::add_region_outline(const geom::Region& region,
                                    const std::string& color, double width) {
-  std::ostringstream os;
-  os << "<g stroke=\"" << color << "\" stroke-width=\"" << width
-     << "\" fill=\"none\">\n";
+  body_ += "<g stroke=\"" + color + "\" stroke-width=\"";
+  io::append_double(body_, width);
+  body_ += "\" fill=\"none\">\n";
   auto draw_ring = [&](const geom::Ring& ring) {
-    os << "<polygon points=\"";
+    body_ += "<polygon points=\"";
     for (const geom::Vec2& p : ring.points()) {
       const geom::Vec2 c = to_canvas(p);
-      os << c.x << ',' << c.y << ' ';
+      append_coord(body_, c.x);
+      body_ += ',';
+      append_coord(body_, c.y);
+      body_ += ' ';
     }
-    os << "\"/>\n";
+    body_ += "\"/>\n";
   };
   draw_ring(region.outer());
   for (const geom::Ring& h : region.holes()) draw_ring(h);
-  os << "</g>\n";
-  body_ += os.str();
+  body_ += "</g>\n";
 }
 
 void SvgWriter::add_text(geom::Vec2 world_pos, const std::string& text,
                          const std::string& color, double size) {
   const geom::Vec2 p = to_canvas(world_pos);
-  std::ostringstream os;
-  os << "<text x=\"" << p.x << "\" y=\"" << p.y << "\" fill=\"" << color
-     << "\" font-size=\"" << size << "\" font-family=\"sans-serif\">" << text
-     << "</text>\n";
-  body_ += os.str();
+  body_ += "<text x=\"";
+  append_coord(body_, p.x);
+  body_ += "\" y=\"";
+  append_coord(body_, p.y);
+  body_ += "\" fill=\"" + color + "\" font-size=\"";
+  io::append_double(body_, size);
+  body_ += "\" font-family=\"sans-serif\">" + text + "</text>\n";
 }
 
 std::string SvgWriter::str() const {
-  std::ostringstream os;
-  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << w_
-     << "\" height=\"" << h_ << "\" viewBox=\"0 0 " << w_ << ' ' << h_
-     << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n"
-     << body_ << "</svg>\n";
-  return os.str();
+  std::string out;
+  out.reserve(body_.size() + 256);
+  out += "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"";
+  io::append_double(out, w_);
+  out += "\" height=\"";
+  io::append_double(out, h_);
+  out += "\" viewBox=\"0 0 ";
+  io::append_double(out, w_);
+  out += ' ';
+  io::append_double(out, h_);
+  out += "\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  out += body_;
+  out += "</svg>\n";
+  return out;
 }
 
 void SvgWriter::save(const std::string& path) const {
