@@ -60,6 +60,7 @@ int main(int argc, char** argv) {
     json.end_object();
   }
   json.end_array();
+  bench::write_metrics(json);
   json.end_object();
   bench::save_json("fig4_scenarios.json", json);
   std::printf("SVGs: bench_out/fig4_<shape>.svg, JSON: bench_out/fig4_scenarios.json\n");

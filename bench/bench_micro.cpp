@@ -5,7 +5,10 @@
 #include "core/identify.h"
 #include "core/index.h"
 #include "core/pipeline.h"
+#include "core/protocols.h"
 #include "core/voronoi.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "deploy/scenario.h"
 #include "geometry/shapes.h"
 #include "net/bfs.h"
@@ -118,6 +121,55 @@ void BM_FullPipeline(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * sc.graph.n());
 }
 BENCHMARK(BM_FullPipeline)->Arg(1000)->Arg(2592)->Arg(8000);
+
+// --- Telemetry overhead guards ----------------------------------------------
+// The telemetry-off pipeline must stay within noise of the pre-telemetry
+// one (ISSUE: <= 2% on the largest thm5 size); compare these three
+// directly. _TelemetryOff is the default state (no sink installed: spans
+// read no clock); _NullSink pays the full span emission path;
+// _RoundSeries adds per-round sampling in the simulator.
+void BM_PipelineTelemetryOff(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extract_skeleton(sc.graph, core::Params{}));
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_PipelineTelemetryOff)->Arg(4000);
+
+void BM_PipelineNullSink(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  obs::NullTraceSink sink;
+  obs::ScopedThreadSink scope(&sink);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::extract_skeleton(sc.graph, core::Params{}));
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_PipelineNullSink)->Arg(4000);
+
+void BM_DistributedRoundSeries(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  const bool record = state.range(1) != 0;
+  const core::Params p;
+  for (auto _ : state) {
+    sim::Engine engine(sc.graph);
+    engine.enable_round_series(record);
+    benchmark::DoNotOptimize(core::run_distributed_stages(sc.graph, p, engine));
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_DistributedRoundSeries)->Args({2000, 0})->Args({2000, 1});
+
+// The raw handle cost: one labelled counter increment (sharded,
+// relaxed), the unit every instrumented layer pays per event.
+void BM_CounterInc(benchmark::State& state) {
+  const obs::Counter c =
+      obs::Registry::global().counter("bench_micro_counter");
+  for (auto _ : state) c.inc();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterInc);
 
 }  // namespace
 

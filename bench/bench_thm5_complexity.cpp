@@ -13,7 +13,12 @@
 //
 // The six network sizes are independent sweep cells (SweepRunner); the
 // table and the JSON report are emitted in size order after the sweep.
+//
+// Flags (besides SweepRunner's --threads / --trace-out):
+//   --max-n=N     drop sweep sizes above N (CI runs a reduced sweep)
+//   --telemetry   record per-round time series (per-row "series" JSON)
 #include <cmath>
+#include <cstring>
 
 #include "bench_util.h"
 #include "core/protocols.h"
@@ -27,14 +32,38 @@ struct Cell {
   skelex::core::StageTrace trace;
 };
 
+int parse_max_n(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--max-n=", 8) == 0) return std::atoi(a + 8);
+    if (std::strcmp(a, "--max-n") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 0;  // 0: no cap
+}
+
+bool parse_telemetry(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--telemetry") == 0) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace skelex;
   bench::SweepRunner sweep(argc, argv);
+  const int max_n = parse_max_n(argc, argv);
+  const bool telemetry = parse_telemetry(argc, argv);
   const geom::Region region = geom::shapes::window();
   const core::Params params;  // k = l = 4
-  const std::vector<int> sizes = {500, 1000, 2000, 4000, 8000, 16000};
+  std::vector<int> sizes = {500, 1000, 2000, 4000, 8000, 16000};
+  if (max_n > 0) {
+    std::erase_if(sizes, [&](int n) { return n > max_n; });
+    if (sizes.empty()) sizes.push_back(max_n);
+  }
 
   const std::vector<Cell> cells =
       sweep.run<Cell>(static_cast<int>(sizes.size()), [&](int i) {
@@ -43,8 +72,10 @@ int main(int argc, char** argv) {
         spec.target_avg_deg = 8.0;
         spec.seed = 3;
         const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
+        sim::Engine engine(sc.graph);
+        engine.enable_round_series(telemetry);
         const core::DistributedRun run =
-            core::run_distributed_stages(sc.graph, params);
+            core::run_distributed_stages(sc.graph, params, engine);
         Cell cell;
         cell.n = sc.graph.n();
         cell.avg_deg = sc.graph.avg_degree();
@@ -77,9 +108,11 @@ int main(int argc, char** argv) {
                                   c.n);
     json.key("rounds").value(c.total.rounds);
     bench::write_trace(json, c.trace);
+    if (telemetry) bench::write_round_series(json, c.total.series);
     json.end_object();
   }
   json.end_array();
+  bench::write_metrics(json);
   json.end_object();
   bench::save_json("thm5_complexity.json", json);
   std::printf("(expect: tx/n and tx/((k+l+1)n) flat -> linear messages;\n rounds/sqrt(n) non-increasing -> within the O(sqrt(n)) time bound)\n");

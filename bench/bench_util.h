@@ -10,7 +10,7 @@
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <string_view>
@@ -22,109 +22,54 @@
 #include "exec/thread_pool.h"
 #include "geometry/medial_axis_ref.h"
 #include "geometry/shapes.h"
-#include "io/text_format.h"
+#include "io/json.h"
 #include "metrics/homotopy.h"
 #include "metrics/quality.h"
 #include "net/graph.h"
+#include "obs/metrics.h"
+#include "obs/series.h"
+#include "obs/trace.h"
 #include "viz/svg.h"
 
 namespace skelex::bench {
 
 // --- Stable JSON output ------------------------------------------------------
-// Append-only writer: keys emit in exactly the order the caller writes
-// them and numbers go through std::to_chars, so a bench's JSON is
-// byte-stable across runs, locales, and thread counts (callers emit
-// per-cell output sequentially in cell order after a parallel sweep).
-class JsonWriter {
- public:
-  JsonWriter& begin_object() { return open('{', '}'); }
-  JsonWriter& end_object() { return close('}'); }
-  JsonWriter& begin_array() { return open('[', ']'); }
-  JsonWriter& end_array() { return close(']'); }
+// The byte-stable append-only writer lives in io/json.h now (shared with
+// the telemetry layer); benches keep using it under the old name.
+using JsonWriter = io::JsonWriter;
 
-  JsonWriter& key(std::string_view k) {
-    comma();
-    string(k);
-    out_ += ": ";
-    need_comma_ = false;
-    return *this;
-  }
+// Serializes the global metrics registry under the key "metrics" — the
+// snapshot is sorted by (name, labels) and records only thread-count-
+// invariant facts, so this block is byte-identical at any --threads.
+inline void write_metrics(JsonWriter& j) {
+  j.key("metrics");
+  obs::Registry::global().snapshot().write_json(j);
+}
 
-  JsonWriter& value(double v) {
-    comma();
-    io::append_double(out_, v);
-    need_comma_ = true;
-    return *this;
-  }
-  JsonWriter& value(long long v) {
-    comma();
-    io::append_int(out_, v);
-    need_comma_ = true;
-    return *this;
-  }
-  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
-  JsonWriter& value(bool v) {
-    comma();
-    out_ += v ? "true" : "false";
-    need_comma_ = true;
-    return *this;
-  }
-  JsonWriter& value(std::string_view v) {
-    comma();
-    string(v);
-    need_comma_ = true;
-    return *this;
-  }
-  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
-
-  const std::string& str() const { return out_; }
-
-  void save(const std::string& path) const {
-    std::ofstream f(path);
-    if (!f) throw std::runtime_error("cannot open " + path);
-    f << out_ << '\n';
-    if (!f) throw std::runtime_error("failed writing " + path);
-  }
-
- private:
-  JsonWriter& open(char c, char) {
-    comma();
-    out_ += c;
-    need_comma_ = false;
-    return *this;
-  }
-  JsonWriter& close(char c) {
-    out_ += c;
-    need_comma_ = true;
-    return *this;
-  }
-  void comma() {
-    if (need_comma_) out_ += ", ";
-  }
-  void string(std::string_view s) {
-    out_ += '"';
-    for (char c : s) {
-      switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\t': out_ += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out_ += buf;
-          } else {
-            out_ += c;
-          }
+// Serializes a per-round time series under the key "series" as column
+// arrays (compact, plot-ready). Empty series emit an empty object so
+// the schema is stable whether or not recording was enabled.
+inline void write_round_series(JsonWriter& j, const obs::RoundSeries& s) {
+  j.key("series").begin_object();
+  if (!s.empty()) {
+    const auto column = [&](const char* name, auto field) {
+      j.key(name).begin_array();
+      for (const obs::RoundSample& r : s.samples()) {
+        j.value(static_cast<long long>(r.*field));
       }
-    }
-    out_ += '"';
+      j.end_array();
+    };
+    j.key("round").begin_array();
+    for (const obs::RoundSample& r : s.samples()) j.value(r.round);
+    j.end_array();
+    column("transmissions", &obs::RoundSample::transmissions);
+    column("receptions", &obs::RoundSample::receptions);
+    column("queue_depth", &obs::RoundSample::queue_depth);
+    column("fault_drops", &obs::RoundSample::fault_drops);
+    column("retransmissions", &obs::RoundSample::retransmissions);
   }
-
-  std::string out_;
-  bool need_comma_ = false;
-};
+  j.end_object();
+}
 
 // Serializes a StageTrace under the key "trace" — every bench JSON
 // reports where the wall time went, stage by stage.
@@ -150,11 +95,21 @@ inline void write_trace(JsonWriter& j, const core::StageTrace& trace) {
 //
 // Thread count: --threads=N (or "--threads N") on the bench's command
 // line, else SKELEX_THREADS, else hardware concurrency.
+//
+// Tracing: --trace-out=DIR (or "--trace-out DIR") gives every sweep
+// cell its own MemoryTraceSink, installed as the worker's thread-local
+// sink for the duration of that cell, and saves DIR/cell<i>.trace.json
+// after the parallel phase — per-cell Perfetto traces that never
+// interleave even though cells share the pool's workers.
 class SweepRunner {
  public:
-  SweepRunner(int argc, char** argv) : pool_(parse_threads(argc, argv)) {}
+  SweepRunner(int argc, char** argv)
+      : pool_(parse_threads(argc, argv)),
+        trace_dir_(parse_trace_dir(argc, argv)) {}
 
   int threads() const { return pool_.thread_count(); }
+  bool tracing() const { return !trace_dir_.empty(); }
+  const std::string& trace_dir() const { return trace_dir_; }
 
   // Per-cell RNG seed, stable across thread counts and run order.
   static std::uint64_t cell_seed(std::uint64_t base, int cell) {
@@ -166,8 +121,21 @@ class SweepRunner {
   template <typename Cell, typename Fn>
   std::vector<Cell> run(int cells, Fn&& fn) {
     std::vector<Cell> out(static_cast<std::size_t>(cells));
-    pool_.parallel_for(cells,
-                       [&](int i) { out[static_cast<std::size_t>(i)] = fn(i); });
+    if (trace_dir_.empty()) {
+      pool_.parallel_for(
+          cells, [&](int i) { out[static_cast<std::size_t>(i)] = fn(i); });
+      return out;
+    }
+    std::vector<obs::MemoryTraceSink> sinks(static_cast<std::size_t>(cells));
+    pool_.parallel_for(cells, [&](int i) {
+      obs::ScopedThreadSink scope(&sinks[static_cast<std::size_t>(i)]);
+      out[static_cast<std::size_t>(i)] = fn(i);
+    });
+    for (int i = 0; i < cells; ++i) {
+      sinks[static_cast<std::size_t>(i)].save(trace_dir_ + "/cell" +
+                                              std::to_string(i) +
+                                              ".trace.json");
+    }
     return out;
   }
 
@@ -183,7 +151,19 @@ class SweepRunner {
     return 0;  // ThreadPool falls back to SKELEX_THREADS / hardware
   }
 
+  static std::string parse_trace_dir(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--trace-out=", 12) == 0) return a + 12;
+      if (std::strcmp(a, "--trace-out") == 0 && i + 1 < argc) {
+        return argv[i + 1];
+      }
+    }
+    return {};
+  }
+
   exec::ThreadPool pool_;
+  std::string trace_dir_;
 };
 
 struct RunRow {

@@ -5,20 +5,43 @@
 // cost per stage, and verifies node-for-node agreement with the
 // centralized implementation.
 //
-//   ./distributed_demo [nodes] [seed]
+//   ./distributed_demo [nodes] [seed] [--trace-out=FILE]
+//
+// --trace-out=FILE records a Perfetto span trace of the whole run
+// (engine runs, protocol stages, retransmissions) and saves it as
+// Chrome trace_event JSON — open it at ui.perfetto.dev.
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/identify.h"
 #include "core/index.h"
 #include "core/protocols.h"
 #include "deploy/scenario.h"
 #include "geometry/shapes.h"
+#include "obs/trace.h"
 
 int main(int argc, char** argv) {
   using namespace skelex;
-  const int nodes = argc > 1 ? std::atoi(argv[1]) : 1500;
-  const std::uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 3;
+  std::string trace_out;
+  std::vector<const char*> pos;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--trace-out=", 12) == 0) {
+      trace_out = a + 12;
+    } else if (std::strcmp(a, "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      pos.push_back(a);
+    }
+  }
+  const int nodes = pos.size() > 0 ? std::atoi(pos[0]) : 1500;
+  const std::uint64_t seed =
+      pos.size() > 1 ? std::strtoull(pos[1], nullptr, 10) : 3;
+
+  obs::MemoryTraceSink trace_sink;
+  if (!trace_out.empty()) obs::Tracer::set_global(&trace_sink);
 
   deploy::ScenarioSpec spec;
   spec.target_nodes = nodes;
@@ -32,7 +55,9 @@ int main(int argc, char** argv) {
   std::cout << "network: " << g.n() << " nodes, avg degree " << g.avg_degree()
             << "\n\nrunning the distributed stages (k=" << params.k
             << ", l=" << params.l << ")...\n";
-  const core::DistributedRun run = core::run_distributed_stages(g, params);
+  sim::Engine engine(g);
+  engine.enable_round_series(true);
+  const core::DistributedRun run = core::run_distributed_stages(g, params, engine);
 
   const auto show = [](const char* name, const sim::RunStats& s) {
     std::cout << "  " << name << ": " << s << '\n';
@@ -46,6 +71,18 @@ int main(int argc, char** argv) {
             << "  transmissions per node: "
             << static_cast<double>(total.transmissions) / g.n()
             << "  (Theorem 5 bound: O((k+l+1) n) total)\n";
+
+  // Per-round telemetry: the totals above as a convergence curve.
+  if (!total.series.empty()) {
+    const obs::RoundSample* peak = &total.series.samples().front();
+    for (const obs::RoundSample& s : total.series.samples()) {
+      if (s.transmissions > peak->transmissions) peak = &s;
+    }
+    std::cout << "  round series        : " << total.series.size()
+              << " samples, busiest round " << peak->round << " ("
+              << peak->transmissions << " tx), peak in-flight queue "
+              << total.series.peak_queue_depth() << '\n';
+  }
 
   // Cross-check against the centralized implementation.
   const core::IndexData central = core::compute_index(g, params);
@@ -61,5 +98,12 @@ int main(int argc, char** argv) {
             << (ok ? "EXACT (every per-node value identical)" : "MISMATCH!")
             << '\n'
             << "critical skeleton nodes: " << run.critical_nodes.size() << '\n';
+
+  if (!trace_out.empty()) {
+    obs::Tracer::set_global(nullptr);
+    trace_sink.save(trace_out);
+    std::cout << "trace: " << trace_out << " (" << trace_sink.size()
+              << " events; open at ui.perfetto.dev)\n";
+  }
   return ok ? 0 : 1;
 }

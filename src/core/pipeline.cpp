@@ -1,53 +1,51 @@
 #include "core/pipeline.h"
 
-#include <chrono>
 #include <string>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace skelex::core {
 
 namespace {
 
-// RAII stage timer: on destruction appends a trace entry carrying the
-// elapsed wall time and the workspace's edge-scan delta (the message
-// proxy for centralized stages; stages that traverse nothing through
-// the shared workspace report 0).
-class ScopedStage {
+// Centralized-stage span: a core::ScopedStage (one measurement feeding
+// the trace sink, the metrics registry, and the StageTrace) whose
+// message count is the workspace's edge-scan delta — the message proxy
+// for centralized stages (one scanned adjacency entry == one reception
+// of the corresponding flood); stages that traverse nothing through the
+// shared workspace report 0.
+class PipelineStage {
  public:
-  ScopedStage(PipelineContext& ctx, std::string name, int nodes)
+  PipelineStage(PipelineContext& ctx, std::string name, int nodes)
       : ctx_(ctx),
-        name_(std::move(name)),
-        nodes_(nodes),
         scans0_(ctx.ws.edge_scans),
-        start_(std::chrono::steady_clock::now()) {}
-
-  ScopedStage(const ScopedStage&) = delete;
-  ScopedStage& operator=(const ScopedStage&) = delete;
-
-  ~ScopedStage() {
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start_)
-                          .count();
-    ctx_.trace.add(std::move(name_), ms, nodes_, ctx_.ws.edge_scans - scans0_);
+        stage_(ctx.trace, std::move(name), "pipeline") {
+    stage_.set_nodes(nodes);
   }
+
+  PipelineStage(const PipelineStage&) = delete;
+  PipelineStage& operator=(const PipelineStage&) = delete;
+
+  // Body runs before member destructors, so the edge-scan delta is in
+  // place when stage_ records.
+  ~PipelineStage() { stage_.set_messages(ctx_.ws.edge_scans - scans0_); }
 
  private:
   PipelineContext& ctx_;
-  std::string name_;
-  int nodes_;
   long long scans0_;
-  std::chrono::steady_clock::time_point start_;
+  ScopedStage stage_;
 };
 
 // --- Stage 1 (§III-A): per-node index + critical skeleton nodes --------------
 
 void stage_index(PipelineContext& ctx, SkeletonResult& r) {
-  ScopedStage t(ctx, "index", ctx.g.n());
+  PipelineStage t(ctx, "index", ctx.g.n());
   r.index = compute_index(ctx.csr, ctx.ws, ctx.params);
 }
 
 void stage_identify(PipelineContext& ctx, SkeletonResult& r) {
-  ScopedStage t(ctx, "identify", ctx.g.n());
+  PipelineStage t(ctx, "identify", ctx.g.n());
   r.critical_nodes =
       identify_critical_nodes(ctx.csr, ctx.ws, r.index, ctx.params);
 }
@@ -55,7 +53,7 @@ void stage_identify(PipelineContext& ctx, SkeletonResult& r) {
 // --- Stage 2 (§III-B): Voronoi cells + segment nodes -------------------------
 
 void stage_voronoi(PipelineContext& ctx, SkeletonResult& r) {
-  ScopedStage t(ctx, "voronoi", ctx.g.n());
+  PipelineStage t(ctx, "voronoi", ctx.g.n());
   r.voronoi = build_voronoi(ctx.csr, ctx.ws, r.critical_nodes, ctx.params);
 }
 
@@ -65,7 +63,7 @@ void stage_voronoi(PipelineContext& ctx, SkeletonResult& r) {
 // Returns the input components for reuse by the prune tidy-up.
 
 net::Components stage_assess(PipelineContext& ctx, SkeletonResult& r) {
-  ScopedStage t(ctx, "assess", ctx.g.n());
+  PipelineStage t(ctx, "assess", ctx.g.n());
   net::Components comps = net::connected_components(ctx.csr, ctx.ws);
   r.diagnostics.input_components = comps.count;
   if (comps.count > 1) {
@@ -129,7 +127,7 @@ net::Components stage_assess(PipelineContext& ctx, SkeletonResult& r) {
 // Returns the coarse graph for the clean-up stage to consume.
 
 SkeletonGraph stage_coarse(PipelineContext& ctx, SkeletonResult& r) {
-  ScopedStage t(ctx, "coarse", r.voronoi.cell_count());
+  PipelineStage t(ctx, "coarse", r.voronoi.cell_count());
   CoarseSkeleton coarse =
       build_coarse_skeleton(ctx.g, r.index, r.voronoi, ctx.params);
   r.coarse = coarse.graph;
@@ -140,7 +138,7 @@ SkeletonGraph stage_coarse(PipelineContext& ctx, SkeletonResult& r) {
 
 void stage_cleanup(PipelineContext& ctx, SkeletonResult& r,
                    SkeletonGraph coarse) {
-  ScopedStage t(ctx, "cleanup", coarse.node_count());
+  PipelineStage t(ctx, "cleanup", coarse.node_count());
   CleanupResult cleaned =
       cleanup_loops(ctx.g, r.index, std::move(coarse), ctx.params, &r.voronoi);
   r.fake_loops_removed = cleaned.fake_loops_removed;
@@ -152,7 +150,7 @@ void stage_cleanup(PipelineContext& ctx, SkeletonResult& r,
 
 void stage_prune(PipelineContext& ctx, SkeletonResult& r,
                  const net::Components& comps) {
-  ScopedStage t(ctx, "prune", r.skeleton.node_count());
+  PipelineStage t(ctx, "prune", r.skeleton.node_count());
   r.pruned_nodes = prune_short_branches(r.skeleton, ctx.params.prune_len);
 
   // Post-prune tidy-up with knowledge of the network: drop isolated
@@ -178,7 +176,7 @@ void stage_prune(PipelineContext& ctx, SkeletonResult& r,
 // --- By-products (§III-E) ----------------------------------------------------
 
 void stage_byproducts(PipelineContext& ctx, SkeletonResult& r) {
-  ScopedStage t(ctx, "byproducts", ctx.g.n());
+  PipelineStage t(ctx, "byproducts", ctx.g.n());
   r.segmentation = segmentation_from_voronoi(r.voronoi);
   r.boundary = extract_boundaries(ctx.g, r.skeleton, 1, &r.index.khop_size);
 }
@@ -191,6 +189,25 @@ void complete_with_context(PipelineContext& ctx, SkeletonResult& r) {
   stage_cleanup(ctx, r, stage_coarse(ctx, r));
   stage_prune(ctx, r, comps);
   stage_byproducts(ctx, r);
+}
+
+// Whole-run accounting into the global registry: deterministic result
+// facts only (see obs/metrics.h's determinism contract).
+void record_pipeline_metrics(const net::Graph& g, const SkeletonResult& r) {
+  auto& reg = obs::Registry::global();
+  static const obs::Counter runs = reg.counter("pipeline_runs");
+  static const obs::Counter nodes = reg.counter("pipeline_input_nodes");
+  static const obs::Counter critical = reg.counter("pipeline_critical_nodes");
+  static const obs::Counter skeleton = reg.counter("pipeline_skeleton_nodes");
+  static const obs::Counter warnings = reg.counter("pipeline_warnings");
+  static const obs::Histogram sites = reg.histogram(
+      "pipeline_sites_per_run", {4, 8, 16, 32, 64, 128, 256, 512});
+  runs.inc();
+  nodes.inc(g.n());
+  critical.inc(static_cast<std::int64_t>(r.critical_nodes.size()));
+  skeleton.inc(r.skeleton.node_count());
+  warnings.inc(static_cast<std::int64_t>(r.diagnostics.warnings.size()));
+  sites.observe(static_cast<double>(r.critical_nodes.size()));
 }
 
 }  // namespace
@@ -207,6 +224,7 @@ SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
   r.voronoi = std::move(voronoi);
   PipelineContext ctx(g, params, r);
   complete_with_context(ctx, r);
+  record_pipeline_metrics(g, r);
   return r;
 }
 
@@ -214,11 +232,15 @@ SkeletonResult extract_skeleton(const net::Graph& g, const Params& params) {
   params.validate();
   SkeletonResult r;
   r.params = params;
+  obs::ScopedSpan span("extract_skeleton", "pipeline");
   PipelineContext ctx(g, params, r);
   stage_index(ctx, r);
   stage_identify(ctx, r);
   stage_voronoi(ctx, r);
   complete_with_context(ctx, r);
+  record_pipeline_metrics(g, r);
+  span.arg("nodes", g.n());
+  span.arg("skeleton_nodes", r.skeleton.node_count());
   return r;
 }
 

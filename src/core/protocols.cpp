@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <chrono>
 #include <stdexcept>
 
 
@@ -278,14 +277,14 @@ DistributedRun run_distributed_stages(const net::Graph& g, const Params& params,
   params.validate();
   DistributedRun run;
 
+  // One span per protocol: the measurement lands in the trace sink (when
+  // installed), the metrics registry, and the run's StageTrace.
   const auto timed = [&](const char* name, sim::RunStats& stats,
                          sim::Protocol& protocol) {
-    const auto start = std::chrono::steady_clock::now();
+    ScopedStage stage(run.trace, name, "proto");
+    stage.set_nodes(g.n());
     stats = engine.run(protocol);
-    const double ms = std::chrono::duration<double, std::milli>(
-                          std::chrono::steady_clock::now() - start)
-                          .count();
-    run.trace.add(name, ms, g.n(), stats.transmissions);
+    stage.set_messages(stats.transmissions);
   };
 
   KhopSizeProtocol khop(g.n(), params.k);

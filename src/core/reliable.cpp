@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "net/bfs.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace skelex::core {
 
@@ -312,6 +314,15 @@ void ReliableFloodWrapper::handle_timer(sim::NodeContext& ctx,
   }
   ++o.retries;
   ++stats_.retransmissions;
+  if (engine_ != nullptr) {
+    if (obs::RoundSeries* series = engine_->active_round_series()) {
+      ++series->ensure(ctx.round()).retransmissions;
+    }
+  }
+  obs::Tracer::instant("retransmit", "reliable",
+                       {{"node", ctx.node()},
+                        {"seq", o.pkt.seq},
+                        {"retry", o.retries}});
   ctx.broadcast(o.pkt);
   o.backoff = std::min(o.backoff * 2, opts_.max_backoff);
   ctx.schedule(o.backoff, m);
@@ -371,6 +382,30 @@ ReliableStats ReliableRun::total_rel() const {
   return s;
 }
 
+namespace {
+// Whole-phase wrapper accounting into the global registry (simulation
+// facts, deterministic at any thread count — see obs/metrics.h).
+void record_reliable_metrics(const ReliableStats& s) {
+  auto& reg = obs::Registry::global();
+  static const obs::Counter runs = reg.counter("reliable_runs");
+  static const obs::Counter data = reg.counter("reliable_data_sent");
+  static const obs::Counter frames = reg.counter("reliable_frames_sent");
+  static const obs::Counter acks = reg.counter("reliable_acks_sent");
+  static const obs::Counter retx = reg.counter("reliable_retransmissions");
+  static const obs::Counter dups = reg.counter("reliable_duplicates");
+  static const obs::Counter gave = reg.counter("reliable_gave_up_links");
+  static const obs::Counter stalled = reg.counter("reliable_stalled_nodes");
+  runs.inc();
+  data.inc(s.data_sent);
+  frames.inc(s.frames_sent);
+  acks.inc(s.acks_sent);
+  retx.inc(s.retransmissions);
+  dups.inc(s.duplicates);
+  gave.inc(s.gave_up_links);
+  stalled.inc(s.stalled_nodes);
+}
+}  // namespace
+
 ReliableRun run_distributed_stages_reliable(const net::Graph& g,
                                             const Params& params,
                                             sim::Engine& engine,
@@ -380,22 +415,33 @@ ReliableRun run_distributed_stages_reliable(const net::Graph& g,
   DistributedRun& run = out.run;
   ReliableOptions opts = base;
 
+  // One span per wrapped protocol — same stage names as the lossless
+  // runner (so traces line up side by side) under the "reliable" cat;
+  // messages are the engine's transmissions including wrapper overhead.
   {
+    ScopedStage stage(run.trace, "proto:khop", "reliable");
+    stage.set_nodes(g.n());
     KhopSizeProtocol khop(g.n(), params.k);
     opts.max_logical_rounds = params.k;
     ReliableFloodWrapper w(khop, g, opts);
+    w.attach_engine(&engine);
     run.khop_stats = engine.run(w);
     out.khop_rel = w.stats();
     run.index.khop_size = khop.sizes();
+    stage.set_messages(run.khop_stats.transmissions);
   }
   {
+    ScopedStage stage(run.trace, "proto:centrality", "reliable");
+    stage.set_nodes(g.n());
     CentralityProtocol cent(run.index.khop_size, params.l,
                             params.centrality_includes_self);
     opts.max_logical_rounds = params.l;
     ReliableFloodWrapper w(cent, g, opts);
+    w.attach_engine(&engine);
     run.centrality_stats = engine.run(w);
     out.centrality_rel = w.stats();
     run.index.centrality = cent.centrality();
+    stage.set_messages(run.centrality_stats.transmissions);
   }
   run.index.index.resize(static_cast<std::size_t>(g.n()));
   for (std::size_t v = 0; v < run.index.index.size(); ++v) {
@@ -403,18 +449,24 @@ ReliableRun run_distributed_stages_reliable(const net::Graph& g,
                                 run.index.centrality[v]);
   }
   {
+    ScopedStage stage(run.trace, "proto:localmax", "reliable");
+    stage.set_nodes(g.n());
     LocalMaxProtocol lmax(run.index.index,
                           params.effective_local_max_radius());
     opts.max_logical_rounds = params.effective_local_max_radius();
     ReliableFloodWrapper w(lmax, g, opts);
+    w.attach_engine(&engine);
     run.localmax_stats = engine.run(w);
     out.localmax_rel = w.stats();
     const std::vector<char> crit = lmax.critical();
     for (int v = 0; v < g.n(); ++v) {
       if (crit[static_cast<std::size_t>(v)]) run.critical_nodes.push_back(v);
     }
+    stage.set_messages(run.localmax_stats.transmissions);
   }
   {
+    ScopedStage stage(run.trace, "proto:voronoi", "reliable");
+    stage.set_nodes(g.n());
     // Flood horizon: the farthest node adopts at its site distance; the
     // last within-alpha offers travel one hop further, and alpha extra
     // slack absorbs adoption along slightly longer paths under churn.
@@ -431,11 +483,14 @@ ReliableRun run_distributed_stages_reliable(const net::Graph& g,
     VoronoiProtocol vor(g.n(), run.critical_nodes, params.alpha);
     opts.max_logical_rounds = horizon;
     ReliableFloodWrapper w(vor, g, opts);
+    w.attach_engine(&engine);
     run.voronoi_stats = engine.run(w);
     out.voronoi_rel = w.stats();
     run.voronoi = vor.result();
+    stage.set_messages(run.voronoi_stats.transmissions);
   }
   run.completeness = compute_stage_completeness(g, params, run);
+  record_reliable_metrics(out.total_rel());
   return out;
 }
 
@@ -443,6 +498,7 @@ ReliableExtraction extract_skeleton_reliable(const net::Graph& g,
                                              const Params& params,
                                              sim::Engine& engine,
                                              const ReliableOptions& base) {
+  obs::ScopedSpan span("extract_skeleton_reliable", "pipeline");
   ReliableRun rr = run_distributed_stages_reliable(g, params, engine, base);
   ReliableExtraction out;
   out.stats = rr.run.total();
@@ -452,6 +508,13 @@ ReliableExtraction extract_skeleton_reliable(const net::Graph& g,
                                    std::move(rr.run.critical_nodes),
                                    std::move(rr.run.voronoi));
   apply_completeness_warnings(completeness, out.result.diagnostics);
+  // Prepend the per-protocol entries so the trace reads as one ordered
+  // stage list: protocols first, completion stages after.
+  out.result.trace.stages.insert(out.result.trace.stages.begin(),
+                                 rr.run.trace.stages.begin(),
+                                 rr.run.trace.stages.end());
+  span.arg("nodes", g.n());
+  span.arg("retransmissions", out.reliability.retransmissions);
   if (out.reliability.stalled_nodes > 0) {
     out.result.diagnostics.warn(
         "reliable flood: " + std::to_string(out.reliability.stalled_nodes) +

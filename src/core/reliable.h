@@ -104,6 +104,12 @@ class ReliableFloodWrapper final : public sim::Protocol {
   void on_start(sim::NodeContext& ctx) override;
   void on_message(sim::NodeContext& ctx, const sim::Message& m) override;
 
+  // Optional telemetry hook: when the engine driving this wrapper is
+  // attached and has round-series recording on, every retransmission is
+  // attributed to the engine round it was sent in
+  // (RoundSample::retransmissions). Borrowed; nullptr detaches.
+  void attach_engine(sim::Engine* engine) { engine_ = engine; }
+
   // True when every node executed every logical round (no stalls).
   bool complete() const;
   // Counters, with stalled_nodes computed at call time.
@@ -155,6 +161,7 @@ class ReliableFloodWrapper final : public sim::Protocol {
   ReliableOptions opts_;
   std::vector<NodeState> st_;
   ReliableStats stats_;
+  sim::Engine* engine_ = nullptr;  // telemetry only; see attach_engine
 };
 
 // --- Whole communication phase, reliably -------------------------------------

@@ -7,11 +7,21 @@
 // reception of the corresponding flood); distributed stages report the
 // engine's real transmission counts. Every bench JSON carries the trace
 // so regressions show up per stage, not just in the total.
+//
+// StageTrace is a view over emitted spans, not a parallel bookkeeping
+// path: ScopedStage takes ONE wall-time measurement per stage, emits it
+// as a span to the ambient obs::Tracer (rendered in Perfetto when a
+// sink is installed), feeds the per-stage metrics counters, and appends
+// the same numbers as a StageTrace entry.
 #pragma once
 
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace skelex::core {
 
@@ -48,6 +58,55 @@ struct StageTrace {
   void add(std::string name, double millis, int nodes, long long messages) {
     stages.push_back({std::move(name), millis, nodes, messages});
   }
+};
+
+// RAII stage span: measures wall time from construction to destruction
+// (always — StageTrace is part of every result), then fans the single
+// measurement out to the three consumers: the ambient trace sink (when
+// one is installed), the global metrics registry (stage-labelled
+// deterministic counters — no wall time), and the StageTrace.
+class ScopedStage {
+ public:
+  ScopedStage(StageTrace& trace, std::string name, const char* cat = "pipeline")
+      : trace_(trace),
+        name_(std::move(name)),
+        cat_(cat),
+        start_us_(obs::Tracer::now_us()) {}
+
+  ScopedStage(const ScopedStage&) = delete;
+  ScopedStage& operator=(const ScopedStage&) = delete;
+
+  void set_nodes(int n) { nodes_ = n; }
+  void set_messages(long long m) { messages_ = m; }
+
+  ~ScopedStage() {
+    const double dur_us = obs::Tracer::now_us() - start_us_;
+    if (obs::TraceSink* sink = obs::Tracer::current()) {
+      obs::TraceEvent e;
+      e.name = name_;
+      e.cat = cat_;
+      e.ts_us = start_us_;
+      e.dur_us = dur_us;
+      e.tid = obs::Tracer::tid();
+      e.args.emplace_back("nodes", nodes_);
+      e.args.emplace_back("messages", messages_);
+      sink->record(std::move(e));
+    }
+    auto& reg = obs::Registry::global();
+    const obs::Labels labels{{"stage", name_}};
+    reg.counter("stage_runs", labels).inc();
+    reg.counter("stage_nodes", labels).inc(nodes_);
+    reg.counter("stage_messages", labels).inc(messages_);
+    trace_.add(std::move(name_), dur_us / 1000.0, nodes_, messages_);
+  }
+
+ private:
+  StageTrace& trace_;
+  std::string name_;
+  const char* cat_;
+  double start_us_;
+  int nodes_ = 0;
+  long long messages_ = 0;
 };
 
 }  // namespace skelex::core

@@ -5,6 +5,9 @@
 #include <cstdlib>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace skelex::exec {
 
 int default_thread_count() {
@@ -56,19 +59,51 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
+  {
+    // Deterministic facts only: the chunk count depends on the thread
+    // count, so it goes into trace args, never into metrics.
+    auto& reg = obs::Registry::global();
+    static const obs::Counter calls = reg.counter("exec_parallel_for_calls");
+    static const obs::Counter items = reg.counter("exec_items");
+    calls.inc();
+    items.inc(n);
+  }
+  // The sink is resolved ONCE here, on the submitting thread, so chunks
+  // running on pool workers emit into the submitter's sink (a worker has
+  // no thread-local override of its own). With no sink the hot path
+  // reads no clock.
+  obs::TraceSink* const sink = obs::Tracer::current();
   const int chunks = std::min(threads_, n);
+  obs::ScopedSpan span("exec.parallel_for", "exec");
+  span.arg("items", n);
+  span.arg("chunks", chunks);
   // Chunk boundaries depend only on (n, chunks): chunk c covers
   // [c*n/chunks, (c+1)*n/chunks).
   const auto chunk_begin = [&](int c) {
     return static_cast<int>(static_cast<long long>(c) * n / chunks);
   };
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(chunks));
+  const double submit_us = sink != nullptr ? obs::Tracer::now_us() : 0.0;
   const auto run_chunk = [&](int c) {
+    const double start_us = sink != nullptr ? obs::Tracer::now_us() : 0.0;
     try {
       const int e = chunk_begin(c + 1);
       for (int i = chunk_begin(c); i < e; ++i) fn(i);
     } catch (...) {
       errors[static_cast<std::size_t>(c)] = std::current_exception();
+    }
+    if (sink != nullptr) {
+      obs::TraceEvent ev;
+      ev.name = "exec.chunk";
+      ev.cat = "exec";
+      ev.ts_us = start_us;
+      ev.dur_us = obs::Tracer::now_us() - start_us;
+      ev.tid = obs::Tracer::tid();
+      ev.args = {{"chunk", c},
+                 {"items", chunk_begin(c + 1) - chunk_begin(c)},
+                 {"queue_wait_us",
+                  static_cast<std::int64_t>(start_us - submit_us)}};
+      sink->record(std::move(ev));
     }
   };
   if (chunks == 1 || workers_.empty()) {

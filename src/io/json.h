@@ -1,0 +1,140 @@
+// skelex/io/json.h
+//
+// Append-only JSON writer: keys emit in exactly the order the caller
+// writes them and numbers go through std::to_chars, so output is
+// byte-stable across runs, locales, and thread counts (callers emit
+// per-cell output sequentially in cell order after a parallel sweep).
+//
+// Formerly bench/bench_util.h's private helper; promoted here so the
+// telemetry layer (obs/) and the benches serialize through one
+// implementation. Strings are fully escaped (quotes, backslashes, all
+// C0 control characters) and non-finite doubles emit `null` — JSON has
+// no NaN/Inf tokens, and a validator-breaking "nan" in a report is
+// worse than a missing value.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace skelex::io {
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  JsonWriter& key(std::string_view k) {
+    comma();
+    string(k);
+    out_ += ": ";
+    need_comma_ = false;
+    return *this;
+  }
+
+  JsonWriter& value(double v) {
+    comma();
+    if (std::isfinite(v)) {
+      append_number(v);
+    } else {
+      out_ += "null";  // NaN / Inf have no JSON representation
+    }
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(long long v) {
+    comma();
+    append_number(v);
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(std::string_view v) {
+    comma();
+    string(v);
+    need_comma_ = true;
+    return *this;
+  }
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  JsonWriter& null_value() {
+    comma();
+    out_ += "null";
+    need_comma_ = true;
+    return *this;
+  }
+
+  const std::string& str() const { return out_; }
+
+  void save(const std::string& path) const {
+    const std::filesystem::path p(path);
+    if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+    std::ofstream f(path);
+    if (!f) throw std::runtime_error("cannot open " + path);
+    f << out_ << '\n';
+    if (!f) throw std::runtime_error("failed writing " + path);
+  }
+
+ private:
+  JsonWriter& open(char c) {
+    comma();
+    out_ += c;
+    need_comma_ = false;
+    return *this;
+  }
+  JsonWriter& close(char c) {
+    out_ += c;
+    need_comma_ = true;
+    return *this;
+  }
+  void comma() {
+    if (need_comma_) out_ += ", ";
+  }
+  template <typename T>
+  void append_number(T v) {
+    char buf[32];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    out_.append(buf, res.ptr);
+  }
+  void string(std::string_view s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\b': out_ += "\\b"; break;
+        case '\f': out_ += "\\f"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x",
+                          static_cast<unsigned>(static_cast<unsigned char>(c)));
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace skelex::io

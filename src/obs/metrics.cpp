@@ -1,0 +1,287 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "io/json.h"
+
+namespace skelex::obs {
+
+std::string canonical_labels(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  std::string out;
+  for (const auto& [k, v] : labels) {
+    if (!out.empty()) out += ',';
+    out += k;
+    out += '=';
+    out += v;
+  }
+  return out;
+}
+
+// --- Shard cells -------------------------------------------------------------
+
+std::atomic<std::int64_t>& Registry::Shard::cell(int i) {
+  const std::size_t c = static_cast<std::size_t>(i) / kChunk;
+  if (c >= chunks.size()) {
+    // Only the owning thread grows its shard; the lock fences against a
+    // concurrent snapshot/reset traversal.
+    std::lock_guard<std::mutex> lock(mu);
+    while (chunks.size() <= c) {
+      auto chunk = std::make_unique<Chunk>();
+      for (auto& a : *chunk) a.store(0, std::memory_order_relaxed);
+      chunks.push_back(std::move(chunk));
+    }
+  }
+  return (*chunks[c])[static_cast<std::size_t>(i) % kChunk];
+}
+
+std::int64_t Registry::Shard::read(int i) const {
+  const std::size_t c = static_cast<std::size_t>(i) / kChunk;
+  if (c >= chunks.size()) return 0;
+  return (*chunks[c])[static_cast<std::size_t>(i) % kChunk].load(
+      std::memory_order_relaxed);
+}
+
+// --- Per-thread shard lookup -------------------------------------------------
+
+std::uint64_t Registry::next_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+Registry::Shard& Registry::shard() {
+  // Keyed by registry id, not pointer: a destroyed registry's stale
+  // entry can never alias a new registry at the same address.
+  thread_local std::vector<std::pair<std::uint64_t, Shard*>> tls;
+  for (const auto& [id, s] : tls) {
+    if (id == id_) return *s;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  shards_.push_back(std::make_unique<Shard>());
+  Shard* s = shards_.back().get();
+  tls.emplace_back(id_, s);
+  return *s;
+}
+
+void Registry::add(int cell, std::int64_t n) {
+  shard().cell(cell).fetch_add(n, std::memory_order_relaxed);
+}
+
+void Registry::set_max(int cell, double v) {
+  Shard& s = shard();
+  std::atomic<std::int64_t>& flag = s.cell(cell);
+  std::atomic<std::int64_t>& bits = s.cell(cell + 1);
+  // Owning thread only: plain read-compare-store on its own cells.
+  if (flag.load(std::memory_order_relaxed) == 0 ||
+      v > std::bit_cast<double>(bits.load(std::memory_order_relaxed))) {
+    bits.store(std::bit_cast<std::int64_t>(v), std::memory_order_relaxed);
+  }
+  flag.store(1, std::memory_order_relaxed);
+}
+
+// --- Instrument handles ------------------------------------------------------
+
+void Counter::inc(std::int64_t n) const {
+  if (reg_ != nullptr) reg_->add(cell_, n);
+}
+
+void Gauge::set(double v) const {
+  if (reg_ != nullptr) reg_->set_max(cell_, v);
+}
+
+void Histogram::observe(double v) const {
+  if (reg_ == nullptr) return;
+  const auto it = std::lower_bound(bounds_->begin(), bounds_->end(), v);
+  const int bucket = static_cast<int>(it - bounds_->begin());
+  reg_->add(cell_ + bucket, 1);  // +inf bucket at index bounds_->size()
+  reg_->add(cell_ + static_cast<int>(bounds_->size()) + 1, 1);  // count
+}
+
+// --- Registry ----------------------------------------------------------------
+
+Registry& Registry::global() {
+  static Registry* reg = new Registry();  // never destroyed: handles in
+  return *reg;                            // static instrumentation outlive exit
+}
+
+Counter Registry::counter(std::string name, Labels labels) {
+  std::string canon = canonical_labels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(name, canon);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    const Def& d = *defs_[it->second];
+    if (d.kind != 'c') throw std::logic_error(name + ": kind mismatch");
+    return Counter(this, d.first_cell);
+  }
+  auto def = std::make_unique<Def>(
+      Def{std::move(name), std::move(canon), 'c', next_cell_, {}});
+  next_cell_ += 1;
+  index_.emplace(key, defs_.size());
+  Counter c(this, def->first_cell);
+  defs_.push_back(std::move(def));
+  return c;
+}
+
+Gauge Registry::gauge(std::string name, Labels labels) {
+  std::string canon = canonical_labels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(name, canon);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    const Def& d = *defs_[it->second];
+    if (d.kind != 'g') throw std::logic_error(name + ": kind mismatch");
+    return Gauge(this, d.first_cell);
+  }
+  auto def = std::make_unique<Def>(
+      Def{std::move(name), std::move(canon), 'g', next_cell_, {}});
+  next_cell_ += 2;  // set-flag + value bits
+  index_.emplace(key, defs_.size());
+  Gauge g(this, def->first_cell);
+  defs_.push_back(std::move(def));
+  return g;
+}
+
+Histogram Registry::histogram(std::string name, std::vector<double> bounds,
+                              Labels labels) {
+  if (!std::is_sorted(bounds.begin(), bounds.end())) {
+    throw std::invalid_argument(name + ": histogram bounds must be sorted");
+  }
+  std::string canon = canonical_labels(std::move(labels));
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto key = std::make_pair(name, canon);
+  if (const auto it = index_.find(key); it != index_.end()) {
+    const Def& d = *defs_[it->second];
+    if (d.kind != 'h' || d.bounds != bounds) {
+      throw std::logic_error(name + ": kind or bounds mismatch");
+    }
+    return Histogram(this, d.first_cell, &d.bounds);
+  }
+  auto def = std::make_unique<Def>(
+      Def{std::move(name), std::move(canon), 'h', next_cell_, std::move(bounds)});
+  next_cell_ += static_cast<int>(def->bounds.size()) + 2;  // buckets+inf+count
+  index_.emplace(key, defs_.size());
+  Histogram h(this, def->first_cell, &def->bounds);
+  defs_.push_back(std::move(def));
+  return h;
+}
+
+MetricSnapshot Registry::snapshot() const {
+  MetricSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto sum = [&](int cell) {
+    std::int64_t total = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> grow_lock(s->mu);
+      total += s->read(cell);
+    }
+    return total;
+  };
+  for (const auto& def : defs_) {
+    MetricSnapshot::Entry e;
+    e.name = def->name;
+    e.labels = def->labels;
+    e.kind = def->kind;
+    switch (def->kind) {
+      case 'c':
+        e.value = sum(def->first_cell);
+        break;
+      case 'g': {
+        for (const auto& s : shards_) {
+          std::lock_guard<std::mutex> grow_lock(s->mu);
+          if (s->read(def->first_cell) != 0) {
+            const double v = std::bit_cast<double>(s->read(def->first_cell + 1));
+            if (!e.gauge_set || v > e.gauge) e.gauge = v;
+            e.gauge_set = true;
+          }
+        }
+        break;
+      }
+      case 'h': {
+        e.bounds = def->bounds;
+        const int buckets = static_cast<int>(def->bounds.size()) + 1;
+        e.buckets.resize(static_cast<std::size_t>(buckets));
+        for (int b = 0; b < buckets; ++b) {
+          e.buckets[static_cast<std::size_t>(b)] = sum(def->first_cell + b);
+        }
+        e.count = sum(def->first_cell + buckets);
+        break;
+      }
+      default:
+        break;
+    }
+    snap.entries.push_back(std::move(e));
+  }
+  std::sort(snap.entries.begin(), snap.entries.end(),
+            [](const MetricSnapshot::Entry& a, const MetricSnapshot::Entry& b) {
+              if (a.name != b.name) return a.name < b.name;
+              return a.labels < b.labels;
+            });
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& s : shards_) {
+    std::lock_guard<std::mutex> grow_lock(s->mu);
+    for (const auto& chunk : s->chunks) {
+      for (auto& cell : *chunk) cell.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+// --- Snapshot ----------------------------------------------------------------
+
+const MetricSnapshot::Entry* MetricSnapshot::find(
+    std::string_view name, std::string_view labels) const& {
+  for (const Entry& e : entries) {
+    if (e.name == name && e.labels == labels) return &e;
+  }
+  return nullptr;
+}
+
+void MetricSnapshot::write_json(io::JsonWriter& j) const {
+  j.begin_array();
+  for (const Entry& e : entries) {
+    j.begin_object();
+    j.key("name").value(e.name);
+    if (!e.labels.empty()) j.key("labels").value(e.labels);
+    switch (e.kind) {
+      case 'c':
+        j.key("kind").value("counter");
+        j.key("value").value(static_cast<long long>(e.value));
+        break;
+      case 'g':
+        j.key("kind").value("gauge");
+        if (e.gauge_set) {
+          j.key("value").value(e.gauge);
+        } else {
+          j.key("value").null_value();
+        }
+        break;
+      case 'h': {
+        j.key("kind").value("histogram");
+        j.key("count").value(static_cast<long long>(e.count));
+        j.key("buckets").begin_array();
+        for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+          j.begin_object();
+          if (b < e.bounds.size()) {
+            j.key("le").value(e.bounds[b]);
+          } else {
+            j.key("le").value("inf");
+          }
+          j.key("count").value(static_cast<long long>(e.buckets[b]));
+          j.end_object();
+        }
+        j.end_array();
+        break;
+      }
+      default:
+        break;
+    }
+    j.end_object();
+  }
+  j.end_array();
+}
+
+}  // namespace skelex::obs

@@ -1,0 +1,184 @@
+// skelex/obs/metrics.h
+//
+// Labelled metrics registry: counters, high-watermark gauges, and
+// fixed-bucket histograms, sharded per thread.
+//
+// Contention model: every recording thread owns a private shard;
+// Counter::inc / Gauge::set / Histogram::observe touch only the calling
+// thread's cells (relaxed atomics — no locks, no cache-line ping-pong
+// between exec::ThreadPool workers). snapshot() merges the shards.
+//
+// Determinism contract: a snapshot taken after a quiesced deterministic
+// computation is byte-identical at any --threads setting, because every
+// merge is order-independent — counters and histogram buckets sum
+// integers, gauges take the max. The caller's side of the contract is
+// to record only thread-count-invariant facts (transmissions, rounds,
+// nodes — not wall times, not chunk counts); timings belong in spans
+// (obs/trace.h), not here.
+//
+// Instruments are cheap value handles (registry pointer + cell index);
+// registering is mutex-guarded and should happen once per call site
+// (e.g. a function-local static), recording is lock-free.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace skelex::io {
+class JsonWriter;
+}
+
+namespace skelex::obs {
+
+// Label sets render canonically as "k1=v1,k2=v2" sorted by key; keys
+// and values must not contain ',' or '='.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+std::string canonical_labels(Labels labels);
+
+class Registry;
+
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::int64_t n = 1) const;
+
+ private:
+  friend class Registry;
+  Counter(Registry* reg, int cell) : reg_(reg), cell_(cell) {}
+  Registry* reg_ = nullptr;
+  int cell_ = -1;
+};
+
+// High-watermark gauge: set() records the value on the calling thread's
+// shard if it exceeds the shard's previous value; the snapshot is the
+// max across shards. (A last-write-wins gauge cannot merge
+// deterministically across thread counts; a watermark can.)
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double v) const;
+
+ private:
+  friend class Registry;
+  Gauge(Registry* reg, int cell) : reg_(reg), cell_(cell) {}
+  Registry* reg_ = nullptr;
+  int cell_ = -1;  // cell_: set-flag, cell_+1: double bits of the max
+};
+
+// Fixed upper-bound buckets (Prometheus "le" semantics: value v lands
+// in the first bucket with v <= bound; beyond the last bound, the
+// implicit +inf bucket).
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double v) const;
+
+ private:
+  friend class Registry;
+  Histogram(Registry* reg, int cell, const std::vector<double>* bounds)
+      : reg_(reg), cell_(cell), bounds_(bounds) {}
+  Registry* reg_ = nullptr;
+  int cell_ = -1;  // cells [cell_, cell_+B]: buckets incl +inf; cell_+B+1: count
+  const std::vector<double>* bounds_ = nullptr;  // owned by the registry
+};
+
+struct MetricSnapshot {
+  struct Entry {
+    std::string name;
+    std::string labels;  // canonical form, "" when unlabelled
+    char kind = 'c';     // 'c' counter, 'g' gauge, 'h' histogram
+    std::int64_t value = 0;              // counter
+    double gauge = 0.0;                  // gauge max (0 when never set)
+    bool gauge_set = false;
+    std::vector<double> bounds;          // histogram upper bounds
+    std::vector<std::int64_t> buckets;   // bounds.size()+1 (last = +inf)
+    std::int64_t count = 0;              // histogram observations
+  };
+  std::vector<Entry> entries;  // sorted by (name, labels)
+
+  // Lvalue-only: the pointer aims into this snapshot, so calling it on a
+  // temporary (`reg.snapshot().find(...)`) would dangle — bind the
+  // snapshot to a named variable first.
+  const Entry* find(std::string_view name,
+                    std::string_view labels = "") const&;
+  const Entry* find(std::string_view, std::string_view = "") const&& = delete;
+  // Serializes under the currently open JSON value position as an array
+  // of {name, labels, kind, ...} objects — deterministic byte-for-byte
+  // given equal entries.
+  void write_json(io::JsonWriter& j) const;
+};
+
+class Registry {
+ public:
+  Registry() = default;
+  ~Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Process-wide registry the built-in instrumentation records into.
+  static Registry& global();
+
+  // Find-or-create; repeated calls with the same (name, labels) return
+  // handles over the same cells. Throws std::logic_error if the name
+  // was already registered as a different kind or with different
+  // histogram bounds.
+  Counter counter(std::string name, Labels labels = {});
+  Gauge gauge(std::string name, Labels labels = {});
+  Histogram histogram(std::string name, std::vector<double> bounds,
+                      Labels labels = {});
+
+  // Merged view across all shards; safe to call concurrently with
+  // recording (the snapshot of a quiesced computation is exact and
+  // deterministic; a mid-flight one is merely consistent per cell).
+  MetricSnapshot snapshot() const;
+
+  // Zeroes every cell on every shard; definitions and handles stay
+  // valid. For tests and multi-phase benches.
+  void reset();
+
+ private:
+  friend class Counter;
+  friend class Gauge;
+  friend class Histogram;
+
+  static constexpr int kChunk = 256;
+  using Chunk = std::array<std::atomic<std::int64_t>, kChunk>;
+  struct Shard {
+    // Growth (new chunks) locks mu; reads/writes of existing cells are
+    // lock-free. Only the owning thread appends, snapshot/reset lock.
+    std::mutex mu;
+    std::vector<std::unique_ptr<Chunk>> chunks;
+    std::atomic<std::int64_t>& cell(int i);
+    std::int64_t read(int i) const;  // 0 when the chunk was never grown
+  };
+  struct Def {
+    std::string name;
+    std::string labels;
+    char kind;
+    int first_cell;
+    std::vector<double> bounds;  // histogram only
+  };
+
+  Shard& shard();
+  void add(int cell, std::int64_t n);
+  void set_max(int cell, double v);
+
+  const std::uint64_t id_ = next_id();
+  static std::uint64_t next_id();
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Def>> defs_;
+  std::map<std::pair<std::string, std::string>, std::size_t> index_;
+  int next_cell_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace skelex::obs

@@ -1,0 +1,84 @@
+// skelex/obs/series.h
+//
+// Per-round time series of a simulated run: one sample per simulator
+// round with the round's traffic deltas, the in-flight queue depth at
+// the round boundary, fault drops, and reliability-layer
+// retransmissions. sim::Engine fills the radio columns when
+// Engine::enable_round_series(true) is set; core::ReliableFloodWrapper
+// bumps the retransmission column through the engine's active series.
+//
+// This turns the paper's Theorem 5 *totals* (transmissions, rounds to
+// quiescence) into convergence *curves*: where the flood waves peak, how
+// the in-flight backlog drains, and when retransmission bursts happen
+// under loss. Samples are plain integers derived from deterministic
+// protocol executions, so a series is byte-stable across runs and
+// thread counts.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace skelex::obs {
+
+struct RoundSample {
+  int round = 0;                      // engine round (0 = on_start)
+  std::int64_t transmissions = 0;     // radio sends during this round
+  std::int64_t receptions = 0;        // listener deliveries heard
+  std::int64_t queue_depth = 0;       // frames in flight at round end
+  std::int64_t fault_drops = 0;       // tx/rx swallowed by the FaultPlan
+  std::int64_t retransmissions = 0;   // reliability-layer rebroadcasts
+};
+
+class RoundSeries {
+ public:
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+  const std::vector<RoundSample>& samples() const { return samples_; }
+  void clear() { samples_.clear(); }
+
+  // Row for `round`, growing the series with zero rows as needed.
+  // Within one engine run rows are indexed by round (round i at
+  // position i); concatenated series (append_shifted) keep the `round`
+  // field authoritative instead.
+  RoundSample& ensure(int round) {
+    while (static_cast<int>(samples_.size()) <= round) {
+      samples_.push_back({static_cast<int>(samples_.size()), 0, 0, 0, 0, 0});
+    }
+    return samples_[static_cast<std::size_t>(round)];
+  }
+
+  // Appends o's rows with their round numbers shifted by `round_offset`
+  // — used by sim::RunStats::operator+= so a multi-protocol pipeline's
+  // summed stats carry one continuous curve on the engine lifetime
+  // clock.
+  void append_shifted(const RoundSeries& o, int round_offset) {
+    samples_.reserve(samples_.size() + o.samples_.size());
+    for (RoundSample s : o.samples_) {
+      s.round += round_offset;
+      samples_.push_back(s);
+    }
+  }
+
+  std::int64_t total_transmissions() const {
+    std::int64_t t = 0;
+    for (const RoundSample& s : samples_) t += s.transmissions;
+    return t;
+  }
+  std::int64_t total_retransmissions() const {
+    std::int64_t t = 0;
+    for (const RoundSample& s : samples_) t += s.retransmissions;
+    return t;
+  }
+  std::int64_t peak_queue_depth() const {
+    std::int64_t q = 0;
+    for (const RoundSample& s : samples_) {
+      if (s.queue_depth > q) q = s.queue_depth;
+    }
+    return q;
+  }
+
+ private:
+  std::vector<RoundSample> samples_;
+};
+
+}  // namespace skelex::obs

@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+
+#include "io/json.h"
+
+namespace skelex::obs {
+
+namespace {
+
+std::atomic<TraceSink*> g_sink{nullptr};
+thread_local TraceSink* t_sink = nullptr;
+
+std::chrono::steady_clock::time_point anchor() {
+  static const std::chrono::steady_clock::time_point t0 =
+      std::chrono::steady_clock::now();
+  return t0;
+}
+
+}  // namespace
+
+void Tracer::set_global(TraceSink* sink) {
+  g_sink.store(sink, std::memory_order_release);
+}
+
+TraceSink* Tracer::global() { return g_sink.load(std::memory_order_acquire); }
+
+TraceSink* Tracer::current() {
+  if (t_sink != nullptr) return t_sink;
+  return g_sink.load(std::memory_order_acquire);
+}
+
+double Tracer::now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - anchor())
+      .count();
+}
+
+int Tracer::tid() {
+  static std::atomic<int> next{0};
+  thread_local int id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void Tracer::emit(TraceEvent e) {
+  if (TraceSink* sink = current()) sink->record(std::move(e));
+}
+
+void Tracer::instant(
+    std::string name, const char* cat,
+    std::initializer_list<std::pair<const char*, std::int64_t>> args) {
+  TraceSink* sink = current();
+  if (sink == nullptr) return;
+  TraceEvent e;
+  e.name = std::move(name);
+  e.cat = cat;
+  e.phase = 'i';
+  e.ts_us = now_us();
+  e.tid = tid();
+  e.args.assign(args.begin(), args.end());
+  sink->record(std::move(e));
+}
+
+ScopedThreadSink::ScopedThreadSink(TraceSink* sink) : prev_(t_sink) {
+  t_sink = sink;
+}
+
+ScopedThreadSink::~ScopedThreadSink() { t_sink = prev_; }
+
+void MemoryTraceSink::record(TraceEvent e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(e));
+}
+
+std::size_t MemoryTraceSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> MemoryTraceSink::events() const {
+  std::vector<TraceEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = events_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.name < b.name;
+            });
+  return out;
+}
+
+std::string MemoryTraceSink::chrome_json() const {
+  io::JsonWriter j;
+  j.begin_object();
+  j.key("displayTimeUnit").value("ms");
+  j.key("traceEvents").begin_array();
+  for (const TraceEvent& e : events()) {
+    const char ph[2] = {e.phase, '\0'};
+    j.begin_object();
+    j.key("name").value(e.name);
+    j.key("cat").value(e.cat);
+    j.key("ph").value(static_cast<const char*>(ph));
+    j.key("ts").value(e.ts_us);
+    if (e.phase == 'X') j.key("dur").value(e.dur_us);
+    j.key("pid").value(1);
+    j.key("tid").value(e.tid);
+    if (e.phase == 'i') j.key("s").value("t");  // thread-scoped instant
+    if (!e.args.empty()) {
+      j.key("args").begin_object();
+      for (const auto& [k, v] : e.args) j.key(k).value(static_cast<long long>(v));
+      j.end_object();
+    }
+    j.end_object();
+  }
+  j.end_array();
+  j.end_object();
+  return j.str();
+}
+
+void MemoryTraceSink::save(const std::string& path) const {
+  const std::string json = chrome_json();
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open " + path);
+  f << json << '\n';
+  if (!f) throw std::runtime_error("failed writing " + path);
+}
+
+}  // namespace skelex::obs

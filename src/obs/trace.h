@@ -1,0 +1,147 @@
+// skelex/obs/trace.h
+//
+// Span tracing with Chrome/Perfetto trace_event output.
+//
+// Any layer can emit spans (complete 'X' events) or instants ('i'
+// events) to the ambient TraceSink; a bench or example installs a sink,
+// runs, and saves a JSON file that ui.perfetto.dev opens directly.
+// Emitters: pipeline stages (core/stage_trace.h ScopedStage), engine
+// runs (sim::Engine::run), thread-pool chunks with queue-wait time
+// (exec::ThreadPool::parallel_for), and reliable-flood retransmission
+// bursts (core::ReliableFloodWrapper).
+//
+// Zero-cost when disabled: with no sink installed, ScopedSpan reads no
+// clock and allocates nothing — construction is a single thread-local
+// + relaxed-atomic pointer check. "Disabled" is the absence of a sink;
+// NullTraceSink exists for overhead measurements that want the full
+// emission path without retention.
+//
+// Sink resolution is two-level: a thread-local sink (ScopedThreadSink)
+// overrides the process-global one. Parallel sweeps use this to give
+// every cell its own isolated trace file while cells share worker
+// threads.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace skelex::obs {
+
+struct TraceEvent {
+  std::string name;
+  const char* cat = "";  // "pipeline", "proto", "engine", "exec", "reliable"
+  char phase = 'X';      // 'X' complete span, 'i' instant
+  double ts_us = 0.0;    // start, microseconds on the process-wide clock
+  double dur_us = 0.0;   // 'X' only
+  int tid = 0;           // dense per-thread id (registration order)
+  // Integer args rendered into the event's "args" object. Keys must be
+  // string literals (the event stores the pointer, not a copy).
+  std::vector<std::pair<const char*, std::int64_t>> args;
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  // May be called concurrently from any thread.
+  virtual void record(TraceEvent e) = 0;
+};
+
+// Accepts and discards every event: the full emission cost (clock
+// reads, event construction) without retention. For overhead guards.
+class NullTraceSink final : public TraceSink {
+ public:
+  void record(TraceEvent) override {}
+};
+
+// Collects events in memory and serializes Chrome trace_event JSON
+// ({"traceEvents": [...]}) — the format ui.perfetto.dev and
+// chrome://tracing load natively.
+class MemoryTraceSink final : public TraceSink {
+ public:
+  void record(TraceEvent e) override;
+  std::size_t size() const;
+  // Copy of the events, sorted by (ts, tid, name) for stable output.
+  std::vector<TraceEvent> events() const;
+  std::string chrome_json() const;
+  // Writes chrome_json() to `path`, creating parent directories.
+  void save(const std::string& path) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+class Tracer {
+ public:
+  // Installs the process-global sink (nullptr disables). The sink must
+  // outlive tracing; emitters hold the raw pointer only within a call.
+  static void set_global(TraceSink* sink);
+  static TraceSink* global();
+  // Thread-local override if set, else the global sink, else nullptr.
+  static TraceSink* current();
+  static bool enabled() { return current() != nullptr; }
+
+  // Microseconds on the process-wide steady clock (comparable across
+  // threads; anchored at first use).
+  static double now_us();
+  // Dense id of the calling thread, assigned on first use.
+  static int tid();
+
+  // Routes to current(); no-op when no sink is installed.
+  static void emit(TraceEvent e);
+  // Stamps ts/tid and emits an instant event; no-op when disabled.
+  static void instant(
+      std::string name, const char* cat,
+      std::initializer_list<std::pair<const char*, std::int64_t>> args = {});
+};
+
+// RAII thread-local sink override (restores the previous override).
+class ScopedThreadSink {
+ public:
+  explicit ScopedThreadSink(TraceSink* sink);
+  ~ScopedThreadSink();
+  ScopedThreadSink(const ScopedThreadSink&) = delete;
+  ScopedThreadSink& operator=(const ScopedThreadSink&) = delete;
+
+ private:
+  TraceSink* prev_;
+};
+
+// RAII span: snapshots the sink once at construction; when a sink is
+// installed, measures wall time and emits a complete event at scope
+// exit. When none is, every member call is a no-op with no clock reads.
+class ScopedSpan {
+ public:
+  ScopedSpan(std::string_view name, const char* cat) : sink_(Tracer::current()) {
+    if (sink_ != nullptr) {
+      ev_.name = name;
+      ev_.cat = cat;
+      ev_.ts_us = Tracer::now_us();
+    }
+  }
+  ~ScopedSpan() {
+    if (sink_ != nullptr) {
+      ev_.dur_us = Tracer::now_us() - ev_.ts_us;
+      ev_.tid = Tracer::tid();
+      sink_->record(std::move(ev_));
+    }
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  void arg(const char* key, std::int64_t v) {
+    if (sink_ != nullptr) ev_.args.emplace_back(key, v);
+  }
+  bool active() const { return sink_ != nullptr; }
+
+ private:
+  TraceSink* sink_;
+  TraceEvent ev_;
+};
+
+}  // namespace skelex::obs

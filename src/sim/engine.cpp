@@ -5,6 +5,9 @@
 #include <tuple>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace skelex::sim {
 
 // Concrete context bound to the engine's radio.
@@ -141,9 +144,31 @@ void Engine::do_schedule(int from, int delay_rounds, Message m) {
 }
 
 RunStats Engine::run(Protocol& protocol, int max_rounds) {
+  obs::ScopedSpan span("engine.run", "engine");
   fault_base_ = total_.rounds;  // fault clock continues across runs
   current_ = RunStats{};
   pending_.clear();
+  running_ = true;
+
+  // Round-series cursor: one sample per round, written at the round
+  // boundary from the totals' deltas — the per-message paths stay
+  // untouched whether telemetry is on or off.
+  std::int64_t series_tx = 0, series_rx = 0, series_drops = 0;
+  const auto sample_round = [&](int round) {
+    obs::RoundSample& s = current_.series.ensure(round);
+    s.transmissions += current_.transmissions - series_tx;
+    s.receptions += current_.receptions - series_rx;
+    s.fault_drops += current_.total_fault_drops() - series_drops;
+    series_tx = current_.transmissions;
+    series_rx = current_.receptions;
+    series_drops = current_.total_fault_drops();
+    std::int64_t depth = 0;
+    for (const Bucket& b : pending_) {
+      depth += static_cast<std::int64_t>(b.singles.size()) +
+               static_cast<std::int64_t>(b.broadcasts.size());
+    }
+    s.queue_depth = depth;
+  };
 
   now_ = 0;
   for (int v = 0; v < graph_.n(); ++v) {
@@ -151,6 +176,7 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
     Ctx ctx(*this, v, 0);
     protocol.on_start(ctx);
   }
+  if (record_series_) sample_round(0);
 
   // Delivery order is decided on compact precomputed keys (biased so the
   // unsigned comparisons match signed field order), not on the fat
@@ -273,6 +299,7 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
         protocol.on_message(ctx, msg_of(*it));
       }
     }
+    if (record_series_) sample_round(current_.rounds);
   }
   if (has_pending()) {
     // Round cap hit: flag it and discard the in-flight messages rather
@@ -281,7 +308,32 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
     current_.hit_round_cap = true;
     pending_.clear();
   }
+  running_ = false;
   total_ += current_;
+
+  // Deterministic per-run accounting (no wall times: snapshots must be
+  // byte-identical at any thread count). Handles are function-local
+  // statics so the registry lock is paid once per process, not per run.
+  auto& reg = obs::Registry::global();
+  static const obs::Counter runs = reg.counter("sim_engine_runs");
+  static const obs::Counter rounds = reg.counter("sim_engine_rounds");
+  static const obs::Counter tx = reg.counter("sim_engine_transmissions");
+  static const obs::Counter rx = reg.counter("sim_engine_receptions");
+  static const obs::Counter drops = reg.counter("sim_engine_fault_drops");
+  static const obs::Counter capped = reg.counter("sim_engine_capped_runs");
+  static const obs::Histogram rounds_hist = reg.histogram(
+      "sim_engine_rounds_per_run", {4, 8, 16, 32, 64, 128, 256, 512});
+  runs.inc();
+  rounds.inc(current_.rounds);
+  tx.inc(current_.transmissions);
+  rx.inc(current_.receptions);
+  drops.inc(current_.total_fault_drops());
+  if (current_.hit_round_cap) capped.inc();
+  rounds_hist.observe(static_cast<double>(current_.rounds));
+
+  span.arg("rounds", current_.rounds);
+  span.arg("transmissions", current_.transmissions);
+  span.arg("receptions", current_.receptions);
   return current_;
 }
 

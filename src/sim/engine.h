@@ -110,6 +110,20 @@ class Engine {
   void set_faults(FaultPlan plan);
   const FaultPlan& faults() const { return faults_; }
 
+  // Per-round telemetry: when enabled, every run() fills
+  // RunStats::series with one sample per round (traffic deltas,
+  // in-flight queue depth, fault drops). Off by default; the per-message
+  // hot path is untouched either way — sampling happens once per round.
+  void enable_round_series(bool on) { record_series_ = on; }
+  bool round_series_enabled() const { return record_series_; }
+
+  // The series of the run currently executing (nullptr when disabled or
+  // between runs). Reliability layers use this to attribute
+  // retransmissions to the round they were sent in.
+  obs::RoundSeries* active_round_series() {
+    return record_series_ && running_ ? &current_.series : nullptr;
+  }
+
   // Runs `protocol` to quiescence (or max_rounds) and returns statistics.
   // Resets stats at entry, so an Engine can run several protocols in
   // sequence over the same graph (cumulative stats available via total()).
@@ -163,6 +177,8 @@ class Engine {
   bool have_faults_ = false;
   int now_ = 0;         // round currently being processed
   int fault_base_ = 0;  // lifetime rounds completed before this run
+  bool record_series_ = false;
+  bool running_ = false;
   RunStats current_;
   RunStats total_;
 };

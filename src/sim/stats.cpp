@@ -5,6 +5,7 @@
 namespace skelex::sim {
 
 RunStats& RunStats::operator+=(const RunStats& o) {
+  series.append_shifted(o.series, rounds);  // before `rounds` moves on
   rounds += o.rounds;
   transmissions += o.transmissions;
   receptions += o.receptions;

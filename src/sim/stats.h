@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <iosfwd>
 
+#include "obs/series.h"
+
 namespace skelex::sim {
 
 struct RunStats {
@@ -31,6 +33,12 @@ struct RunStats {
   // (the leftover messages are discarded). A capped run's per-node state
   // is incomplete; callers must not treat it as converged.
   bool hit_round_cap = false;
+
+  // Per-round convergence curve; empty unless the engine ran with
+  // Engine::enable_round_series(true). Summing stats concatenates the
+  // curves with round numbers shifted onto one continuous clock, so a
+  // multi-protocol pipeline's total() reads as a single time series.
+  obs::RoundSeries series;
 
   std::int64_t total_fault_drops() const {
     return faults_tx_suppressed + faults_rx_crashed + faults_rx_sleeping +

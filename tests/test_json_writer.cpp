@@ -1,0 +1,73 @@
+// io::JsonWriter: byte-stable output, full string escaping (quotes,
+// backslashes, C0 control characters), and `null` for NaN/Inf — JSON
+// has no non-finite number tokens, and a "nan" in a report breaks every
+// downstream parser.
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+
+#include "io/json.h"
+
+namespace {
+
+using skelex::io::JsonWriter;
+
+TEST(JsonWriter, ObjectAndArrayShape) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("a").value(1);
+  j.key("b").begin_array();
+  j.value(1).value(2.5).value(true).value("x");
+  j.end_array();
+  j.end_object();
+  EXPECT_EQ(j.str(), "{\"a\": 1, \"b\": [1, 2.5, true, \"x\"]}");
+}
+
+TEST(JsonWriter, EscapesQuotesBackslashesAndControls) {
+  JsonWriter j;
+  j.value("quote\" back\\slash\nnewline\ttab\rcr\x01" "bell\x07");
+  EXPECT_EQ(j.str(),
+            "\"quote\\\" back\\\\slash\\nnewline\\ttab\\rcr\\u0001bell"
+            "\\u0007\"");
+}
+
+TEST(JsonWriter, EscapesKeysToo) {
+  JsonWriter j;
+  j.begin_object();
+  j.key("a\"b\\c").value(1);
+  j.end_object();
+  EXPECT_EQ(j.str(), "{\"a\\\"b\\\\c\": 1}");
+}
+
+TEST(JsonWriter, HighBitBytesPassThroughUnmangled) {
+  // UTF-8 multibyte sequences must survive (only C0 is escaped; the
+  // unsigned cast keeps 0x80.. bytes out of the < 0x20 branch).
+  JsonWriter j;
+  j.value("caf\xc3\xa9");
+  EXPECT_EQ(j.str(), "\"caf\xc3\xa9\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesEmitNull) {
+  JsonWriter j;
+  j.begin_array();
+  j.value(std::numeric_limits<double>::quiet_NaN());
+  j.value(std::numeric_limits<double>::infinity());
+  j.value(-std::numeric_limits<double>::infinity());
+  j.value(1.5);
+  j.null_value();
+  j.end_array();
+  EXPECT_EQ(j.str(), "[null, null, null, 1.5, null]");
+}
+
+TEST(JsonWriter, NumbersAreShortestRoundTrip) {
+  JsonWriter j;
+  j.begin_array();
+  j.value(0.1);
+  j.value(1e300);
+  j.value(-7LL);
+  j.end_array();
+  EXPECT_EQ(j.str(), "[0.1, 1e+300, -7]");
+}
+
+}  // namespace

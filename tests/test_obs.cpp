@@ -1,0 +1,276 @@
+// The obs/ telemetry subsystem: metrics registry (sharded recording,
+// deterministic merged snapshots at any thread count), span tracing
+// (sink resolution, Chrome JSON shape), and the engine's per-round time
+// series (totals agree with RunStats; the reliable wrapper attributes
+// retransmissions to rounds).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/protocols.h"
+#include "core/reliable.h"
+#include "deploy/scenario.h"
+#include "exec/thread_pool.h"
+#include "geometry/shapes.h"
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/series.h"
+#include "obs/trace.h"
+#include "sim/engine.h"
+
+namespace {
+
+using namespace skelex;
+
+// --- Metrics registry --------------------------------------------------------
+
+TEST(Metrics, CounterAccumulatesAcrossHandles) {
+  obs::Registry reg;
+  const obs::Counter a = reg.counter("events");
+  const obs::Counter b = reg.counter("events");  // same cells
+  a.inc();
+  b.inc(41);
+  const obs::MetricSnapshot snap = reg.snapshot();
+  const auto* e = snap.find("events");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, 'c');
+  EXPECT_EQ(e->value, 42);
+}
+
+TEST(Metrics, LabelsAreCanonicalizedSortedByKey) {
+  obs::Registry reg;
+  reg.counter("hits", {{"zone", "b"}, {"alpha", "a"}}).inc(3);
+  const obs::MetricSnapshot snap = reg.snapshot();
+  const auto* e = snap.find("hits", "alpha=a,zone=b");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, 3);
+  // Different label values are distinct series.
+  reg.counter("hits", {{"zone", "c"}, {"alpha", "a"}}).inc(1);
+  EXPECT_EQ(reg.snapshot().entries.size(), 2u);
+}
+
+TEST(Metrics, GaugeIsHighWatermark) {
+  obs::Registry reg;
+  const obs::Gauge g = reg.gauge("peak");
+  {
+    const obs::MetricSnapshot snap = reg.snapshot();
+    const auto* e = snap.find("peak");
+    ASSERT_NE(e, nullptr);
+    EXPECT_FALSE(e->gauge_set);
+  }
+  g.set(2.5);
+  g.set(7.0);
+  g.set(3.0);  // lower: ignored
+  const obs::MetricSnapshot snap = reg.snapshot();
+  const auto* e = snap.find("peak");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->gauge_set);
+  EXPECT_DOUBLE_EQ(e->gauge, 7.0);
+}
+
+TEST(Metrics, HistogramBucketsUseLeSemantics) {
+  obs::Registry reg;
+  const obs::Histogram h = reg.histogram("sizes", {1.0, 10.0, 100.0});
+  h.observe(0.5);    // le 1
+  h.observe(1.0);    // le 1 (inclusive)
+  h.observe(5.0);    // le 10
+  h.observe(1000.0); // +inf
+  const obs::MetricSnapshot snap = reg.snapshot();
+  const auto* e = snap.find("sizes");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->kind, 'h');
+  EXPECT_EQ(e->count, 4);
+  ASSERT_EQ(e->buckets.size(), 4u);  // 3 bounds + inf
+  EXPECT_EQ(e->buckets[0], 2);
+  EXPECT_EQ(e->buckets[1], 1);
+  EXPECT_EQ(e->buckets[2], 0);
+  EXPECT_EQ(e->buckets[3], 1);
+}
+
+TEST(Metrics, KindAndBoundsMismatchesThrow) {
+  obs::Registry reg;
+  reg.counter("x");
+  EXPECT_THROW(reg.gauge("x"), std::logic_error);
+  EXPECT_THROW(reg.histogram("x", {1.0}), std::logic_error);
+  reg.histogram("hist", {1.0, 2.0});
+  EXPECT_THROW(reg.histogram("hist", {1.0, 3.0}), std::logic_error);
+}
+
+TEST(Metrics, ResetZeroesButKeepsDefinitionsAndHandles) {
+  obs::Registry reg;
+  const obs::Counter c = reg.counter("n");
+  c.inc(5);
+  reg.reset();
+  const obs::MetricSnapshot after_reset = reg.snapshot();
+  const auto* e = after_reset.find("n");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->value, 0);
+  c.inc(2);  // handle still valid after reset
+  const obs::MetricSnapshot after_inc = reg.snapshot();
+  EXPECT_EQ(after_inc.find("n")->value, 2);
+}
+
+TEST(Metrics, SnapshotIsByteIdenticalAcrossThreadCounts) {
+  // The determinism contract: thread-count-invariant recording merges to
+  // identical snapshots (and identical JSON) at 1 and N threads.
+  const auto run = [](int threads) {
+    obs::Registry reg;
+    const obs::Counter items = reg.counter("items");
+    const obs::Gauge peak = reg.gauge("peak_value");
+    const obs::Histogram sizes = reg.histogram("sizes", {8, 64, 512});
+    exec::ThreadPool pool(threads);
+    pool.parallel_for(400, [&](int i) {
+      items.inc();
+      const std::uint64_t v = exec::derive_seed(7, static_cast<std::uint64_t>(i));
+      peak.set(static_cast<double>(v % 1000));
+      sizes.observe(static_cast<double>(v % 700));
+    });
+    io::JsonWriter j;
+    reg.snapshot().write_json(j);
+    return j.str();
+  };
+  const std::string at1 = run(1);
+  EXPECT_EQ(run(4), at1);
+  EXPECT_EQ(run(8), at1);
+}
+
+// --- Span tracing ------------------------------------------------------------
+
+TEST(Trace, DisabledMeansNoSinkAndInactiveSpans) {
+  ASSERT_EQ(obs::Tracer::current(), nullptr);
+  EXPECT_FALSE(obs::Tracer::enabled());
+  obs::ScopedSpan span("noop", "test");
+  EXPECT_FALSE(span.active());
+  obs::Tracer::instant("noop", "test");  // must not crash
+}
+
+TEST(Trace, ThreadLocalSinkOverridesGlobalAndRestores) {
+  obs::MemoryTraceSink global_sink;
+  obs::MemoryTraceSink local_sink;
+  obs::Tracer::set_global(&global_sink);
+  {
+    obs::ScopedThreadSink scope(&local_sink);
+    EXPECT_EQ(obs::Tracer::current(), &local_sink);
+    obs::Tracer::instant("inner", "test");
+  }
+  EXPECT_EQ(obs::Tracer::current(), &global_sink);
+  obs::Tracer::instant("outer", "test");
+  obs::Tracer::set_global(nullptr);
+  EXPECT_EQ(local_sink.size(), 1u);
+  EXPECT_EQ(global_sink.size(), 1u);
+  EXPECT_EQ(local_sink.events()[0].name, "inner");
+  EXPECT_EQ(global_sink.events()[0].name, "outer");
+}
+
+TEST(Trace, ScopedSpanRecordsDurationAndArgs) {
+  obs::MemoryTraceSink sink;
+  {
+    obs::ScopedThreadSink scope(&sink);
+    obs::ScopedSpan span("work", "test");
+    EXPECT_TRUE(span.active());
+    span.arg("items", 12);
+  }
+  ASSERT_EQ(sink.size(), 1u);
+  const obs::TraceEvent e = sink.events()[0];
+  EXPECT_EQ(e.name, "work");
+  EXPECT_EQ(e.phase, 'X');
+  EXPECT_GE(e.dur_us, 0.0);
+  ASSERT_EQ(e.args.size(), 1u);
+  EXPECT_STREQ(e.args[0].first, "items");
+  EXPECT_EQ(e.args[0].second, 12);
+}
+
+TEST(Trace, ChromeJsonShape) {
+  obs::MemoryTraceSink sink;
+  {
+    obs::ScopedThreadSink scope(&sink);
+    obs::ScopedSpan span("alpha", "test");
+    obs::Tracer::instant("tick", "test", {{"n", 3}});
+  }
+  const std::string json = sink.chrome_json();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"alpha\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": 3"), std::string::npos);
+}
+
+// --- Engine round series -----------------------------------------------------
+
+net::Graph small_network() {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 250;
+  spec.target_avg_deg = 7.0;
+  spec.seed = 11;
+  return deploy::make_udg_scenario(geom::shapes::disk(), spec).graph;
+}
+
+TEST(RoundSeries, DisabledByDefaultAndEmpty) {
+  const net::Graph g = small_network();
+  sim::Engine engine(g);
+  EXPECT_FALSE(engine.round_series_enabled());
+  EXPECT_EQ(engine.active_round_series(), nullptr);
+  core::KhopSizeProtocol p(g.n(), 2);
+  const sim::RunStats stats = engine.run(p);
+  EXPECT_TRUE(stats.series.empty());
+}
+
+TEST(RoundSeries, TotalsMatchRunStats) {
+  const net::Graph g = small_network();
+  sim::Engine engine(g);
+  engine.enable_round_series(true);
+  core::KhopSizeProtocol p(g.n(), 3);
+  const sim::RunStats stats = engine.run(p);
+  ASSERT_FALSE(stats.series.empty());
+  // One sample per round plus the on_start sample (round 0).
+  EXPECT_EQ(static_cast<int>(stats.series.size()), stats.rounds + 1);
+  EXPECT_EQ(stats.series.total_transmissions(), stats.transmissions);
+  std::int64_t rx = 0, drops = 0;
+  for (const obs::RoundSample& s : stats.series.samples()) {
+    rx += s.receptions;
+    drops += s.fault_drops;
+  }
+  EXPECT_EQ(rx, stats.receptions);
+  EXPECT_EQ(drops, stats.total_fault_drops());
+  // The flood starts with every node broadcasting in round 0.
+  EXPECT_EQ(stats.series.samples()[0].transmissions, g.n());
+  EXPECT_GT(stats.series.peak_queue_depth(), 0);
+}
+
+TEST(RoundSeries, PipelineTotalConcatenatesStageCurves) {
+  const net::Graph g = small_network();
+  sim::Engine engine(g);
+  engine.enable_round_series(true);
+  const core::DistributedRun run =
+      core::run_distributed_stages(g, core::Params{}, engine);
+  const sim::RunStats total = run.total();
+  ASSERT_FALSE(total.series.empty());
+  // Four stages, each contributing rounds+1 samples on one clock.
+  EXPECT_EQ(static_cast<int>(total.series.size()), total.rounds + 4);
+  EXPECT_EQ(total.series.total_transmissions(), total.transmissions);
+  // Each stage's curve is shifted by the rounds completed before it, so
+  // the last sample lands on the lifetime round clock's final value
+  // (stage boundaries share a round: run i+1's round 0 IS run i's end).
+  EXPECT_EQ(total.series.samples().back().round, total.rounds);
+}
+
+TEST(RoundSeries, ReliableWrapperAttributesRetransmissions) {
+  const net::Graph g = small_network();
+  sim::Engine engine(g);
+  engine.set_loss(0.2, 99);
+  engine.enable_round_series(true);
+  core::ReliableOptions opts;
+  core::KhopSizeProtocol inner(g.n(), 2);
+  opts.max_logical_rounds = 2;
+  core::ReliableFloodWrapper w(inner, g, opts);
+  w.attach_engine(&engine);
+  const sim::RunStats stats = engine.run(w);
+  const core::ReliableStats rel = w.stats();
+  ASSERT_GT(rel.retransmissions, 0) << "loss must force retransmissions";
+  EXPECT_EQ(stats.series.total_retransmissions(), rel.retransmissions);
+}
+
+}  // namespace

@@ -1,0 +1,121 @@
+// sim::RunStats accounting: operator+= / operator+ sum every counter,
+// total_fault_drops aggregates the four fault columns, operator<< stays
+// compact (fault block only when something was dropped), and summing
+// stats concatenates round series on one continuous clock.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+#include "sim/stats.h"
+
+namespace {
+
+using namespace skelex;
+
+sim::RunStats make_stats(int rounds, long long tx, long long rx) {
+  sim::RunStats s;
+  s.rounds = rounds;
+  s.transmissions = tx;
+  s.receptions = rx;
+  return s;
+}
+
+TEST(RunStats, PlusEqualsSumsEveryCounter) {
+  sim::RunStats a = make_stats(3, 100, 700);
+  a.faults_tx_suppressed = 1;
+  a.faults_rx_crashed = 2;
+  a.faults_rx_sleeping = 3;
+  a.faults_rx_linkdown = 4;
+
+  sim::RunStats b = make_stats(5, 11, 77);
+  b.faults_tx_suppressed = 10;
+  b.faults_rx_crashed = 20;
+  b.faults_rx_sleeping = 30;
+  b.faults_rx_linkdown = 40;
+  b.hit_round_cap = true;
+
+  a += b;
+  EXPECT_EQ(a.rounds, 8);
+  EXPECT_EQ(a.transmissions, 111);
+  EXPECT_EQ(a.receptions, 777);
+  EXPECT_EQ(a.faults_tx_suppressed, 11);
+  EXPECT_EQ(a.faults_rx_crashed, 22);
+  EXPECT_EQ(a.faults_rx_sleeping, 33);
+  EXPECT_EQ(a.faults_rx_linkdown, 44);
+  EXPECT_TRUE(a.hit_round_cap);
+}
+
+TEST(RunStats, PlusIsNonMutatingSum) {
+  const sim::RunStats a = make_stats(2, 10, 20);
+  const sim::RunStats b = make_stats(3, 1, 2);
+  const sim::RunStats c = a + b;
+  EXPECT_EQ(c.rounds, 5);
+  EXPECT_EQ(c.transmissions, 11);
+  EXPECT_EQ(c.receptions, 22);
+  // Operands unchanged.
+  EXPECT_EQ(a.rounds, 2);
+  EXPECT_EQ(b.transmissions, 1);
+}
+
+TEST(RunStats, HitRoundCapIsSticky) {
+  sim::RunStats capped;
+  capped.hit_round_cap = true;
+  sim::RunStats clean;
+  EXPECT_TRUE((capped + clean).hit_round_cap);
+  EXPECT_TRUE((clean + capped).hit_round_cap);
+  EXPECT_FALSE((clean + clean).hit_round_cap);
+}
+
+TEST(RunStats, TotalFaultDropsAggregatesAllFourColumns) {
+  sim::RunStats s;
+  EXPECT_EQ(s.total_fault_drops(), 0);
+  s.faults_tx_suppressed = 1;
+  s.faults_rx_crashed = 10;
+  s.faults_rx_sleeping = 100;
+  s.faults_rx_linkdown = 1000;
+  EXPECT_EQ(s.total_fault_drops(), 1111);
+}
+
+TEST(RunStats, StreamOutputOmitsFaultsWhenClean) {
+  const sim::RunStats s = make_stats(4, 9, 18);
+  std::ostringstream os;
+  os << s;
+  EXPECT_EQ(os.str(), "{rounds=4, tx=9, rx=18}");
+}
+
+TEST(RunStats, StreamOutputShowsFaultsAndCap) {
+  sim::RunStats s = make_stats(1, 2, 3);
+  s.faults_rx_linkdown = 7;
+  s.hit_round_cap = true;
+  std::ostringstream os;
+  os << s;
+  const std::string out = os.str();
+  EXPECT_NE(out.find("rx_linkdown=7"), std::string::npos);
+  EXPECT_NE(out.find("hit_round_cap"), std::string::npos);
+}
+
+TEST(RunStats, SumConcatenatesSeriesOnOneClock) {
+  sim::RunStats a = make_stats(3, 0, 0);
+  a.series.ensure(0).transmissions = 5;
+  a.series.ensure(2).transmissions = 7;
+
+  sim::RunStats b = make_stats(2, 0, 0);
+  b.series.ensure(1).transmissions = 9;
+  b.series.ensure(1).retransmissions = 4;
+
+  const sim::RunStats c = a + b;
+  // a's 3 rounds shift b's samples by 3: rounds 0,1,2 then 3,4.
+  ASSERT_EQ(c.series.size(), 5u);
+  EXPECT_EQ(c.series.samples()[0].round, 0);
+  EXPECT_EQ(c.series.samples()[0].transmissions, 5);
+  EXPECT_EQ(c.series.samples()[2].transmissions, 7);
+  EXPECT_EQ(c.series.samples()[3].round, 3);  // b's round 0, shifted
+  EXPECT_EQ(c.series.samples()[4].round, 4);
+  EXPECT_EQ(c.series.samples()[4].transmissions, 9);
+  EXPECT_EQ(c.series.samples()[4].retransmissions, 4);
+  EXPECT_EQ(c.series.total_transmissions(), 21);
+  EXPECT_EQ(c.series.total_retransmissions(), 4);
+}
+
+}  // namespace

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Validate Chrome/Perfetto trace_event JSON produced by obs::MemoryTraceSink.
+
+Checks, per file:
+  * the file parses as JSON and has a "traceEvents" list (object form) or
+    is itself a list (array form);
+  * every event carries the required keys (name, ph, ts, pid, tid), with
+    ph one of the phases the sink emits ('X' complete span, 'i' instant);
+  * complete spans carry a non-negative "dur" and instants don't;
+  * timestamps are finite and non-negative;
+  * spans nest monotonically per (pid, tid) lane: sorted by start time,
+    any two spans on one lane are either disjoint or properly nested —
+    a partial overlap means the emitter's scoping is broken.
+
+Usage: check_trace.py FILE [FILE...]
+Exits 0 when every file validates; prints one line per problem otherwise.
+"""
+
+import json
+import math
+import sys
+
+ALLOWED_PHASES = {"X", "i"}
+REQUIRED_KEYS = ("name", "ph", "ts", "pid", "tid")
+
+# Span ends are clock readings of the same scope that produced the next
+# span's start; allow this much slop (microseconds) before calling a
+# partial overlap broken.
+OVERLAP_SLOP_US = 1e-3
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    if isinstance(doc, list):
+        return doc
+    if isinstance(doc, dict):
+        events = doc.get("traceEvents")
+        if not isinstance(events, list):
+            raise ValueError('top-level object has no "traceEvents" list')
+        return events
+    raise ValueError("top level is neither an object nor a list")
+
+
+def check_event(i, e, errors):
+    if not isinstance(e, dict):
+        errors.append(f"event {i}: not an object")
+        return None
+    for k in REQUIRED_KEYS:
+        if k not in e:
+            errors.append(f"event {i}: missing required key {k!r}")
+            return None
+    ph = e["ph"]
+    if ph not in ALLOWED_PHASES:
+        errors.append(f"event {i}: unexpected phase {ph!r}")
+        return None
+    ts = e["ts"]
+    if not isinstance(ts, (int, float)) or not math.isfinite(ts) or ts < 0:
+        errors.append(f"event {i}: bad ts {ts!r}")
+        return None
+    if ph == "X":
+        dur = e.get("dur")
+        if not isinstance(dur, (int, float)) or not math.isfinite(dur) or dur < 0:
+            errors.append(f"event {i}: span with bad dur {dur!r}")
+            return None
+    elif "dur" in e:
+        errors.append(f"event {i}: instant must not carry dur")
+        return None
+    if "args" in e and not isinstance(e["args"], dict):
+        errors.append(f"event {i}: args must be an object")
+        return None
+    return e
+
+
+def check_nesting(events, errors):
+    lanes = {}
+    for i, e in enumerate(events):
+        if e["ph"] == "X":
+            lanes.setdefault((e["pid"], e["tid"]), []).append((e["ts"], e["dur"], i, e["name"]))
+    for (pid, tid), spans in sorted(lanes.items()):
+        spans.sort()
+        # Stack of (end, index, name): each new span must start after the
+        # top ends (sibling) or end within it (child).
+        stack = []
+        for ts, dur, i, name in spans:
+            end = ts + dur
+            while stack and ts >= stack[-1][0] - OVERLAP_SLOP_US:
+                stack.pop()
+            if stack and end > stack[-1][0] + OVERLAP_SLOP_US:
+                oi, oname = stack[-1][1], stack[-1][2]
+                errors.append(
+                    f"lane pid={pid} tid={tid}: span {i} ({name!r}, "
+                    f"[{ts}, {end}]) partially overlaps span {oi} "
+                    f"({oname!r} ending {stack[-1][0]})"
+                )
+                continue
+            stack.append((end, i, name))
+
+
+def check_file(path):
+    errors = []
+    try:
+        raw = load_events(path)
+    except (OSError, ValueError, json.JSONDecodeError) as exc:
+        return [f"{path}: {exc}"], 0
+    events = []
+    for i, e in enumerate(raw):
+        checked = check_event(i, e, errors)
+        if checked is not None:
+            events.append(checked)
+    check_nesting(events, errors)
+    return [f"{path}: {e}" for e in errors], len(raw)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    failed = False
+    for path in argv[1:]:
+        errors, count = check_file(path)
+        if errors:
+            failed = True
+            for line in errors:
+                print(line)
+        else:
+            print(f"{path}: OK ({count} events)")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

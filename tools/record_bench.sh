@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Record a perf/behavior baseline: run the fig4 + thm5 sweeps and distil
+# their reports into a stable-schema BENCH_<N>.json at the repo root, so
+# future PRs have a trajectory to diff against.
+#
+# Usage: tools/record_bench.sh [build-dir] [out-file]
+#   build-dir defaults to ./build, out-file to ./BENCH_3.json.
+#
+# Schema (append-only — add keys, never rename):
+#   {
+#     "schema": 1,
+#     "fig4":  {"scenarios": [{scenario, nodes, skeleton_nodes, cycles,
+#                              coverage, millis}...],
+#               "total_millis": ...},
+#     "thm5":  {"rows": [{n, transmissions, tx_per_node, rounds,
+#                         millis}...]},
+#     "metrics": {"fig4": {<name>: <counter value>, ...},
+#                 "thm5": {...}}   # per-bench (each process's registry)
+#   }
+# Wall-times vary run to run; everything else is deterministic.
+set -euo pipefail
+
+build_dir=${1:-build}
+out=${2:-BENCH_3.json}
+
+if [[ ! -x "$build_dir/bench/bench_fig4_scenarios" ]]; then
+  echo "error: benches not built in $build_dir (cmake --build $build_dir)" >&2
+  exit 1
+fi
+
+(cd "$build_dir" && ./bench/bench_fig4_scenarios --threads 4 > /dev/null)
+(cd "$build_dir" && ./bench/bench_thm5_complexity --threads 4 --telemetry > /dev/null)
+
+python3 - "$build_dir" "$out" <<'EOF'
+import json
+import sys
+
+build_dir, out = sys.argv[1], sys.argv[2]
+
+fig4 = json.load(open(f"{build_dir}/bench_out/fig4_scenarios.json"))
+thm5 = json.load(open(f"{build_dir}/bench_out/thm5_complexity.json"))
+
+def counters(report):
+    out = {}
+    for m in report.get("metrics", []):
+        if m["kind"] == "counter":
+            key = m["name"]
+            if m.get("labels"):
+                key += "{" + m["labels"] + "}"
+            out[key] = m["value"]
+    return dict(sorted(out.items()))
+
+summary = {
+    "schema": 1,
+    "fig4": {
+        "scenarios": [
+            {k: s[k] for k in ("scenario", "nodes", "skeleton_nodes",
+                               "cycles", "coverage", "millis")}
+            for s in fig4["scenarios"]
+        ],
+        "total_millis": round(sum(s["millis"] for s in fig4["scenarios"]), 3),
+    },
+    "thm5": {
+        "rows": [
+            {
+                "n": r["n"],
+                "transmissions": r["transmissions"],
+                "tx_per_node": r["tx_per_node"],
+                "rounds": r["rounds"],
+                "millis": round(sum(t["millis"] for t in r["trace"]), 3),
+            }
+            for r in thm5["rows"]
+        ],
+    },
+    "metrics": {"fig4": counters(fig4), "thm5": counters(thm5)},
+}
+
+with open(out, "w") as f:
+    json.dump(summary, f, indent=1)
+    f.write("\n")
+print(f"wrote {out}")
+EOF
