@@ -15,8 +15,11 @@
 // table and the JSON report are emitted in size order after the sweep.
 //
 // Flags (besides SweepRunner's --threads / --trace-out):
-//   --max-n=N     drop sweep sizes above N (CI runs a reduced sweep)
-//   --telemetry   record per-round time series (per-row "series" JSON)
+//   --max-n=N           drop sweep sizes above N (CI runs a reduced sweep)
+//   --telemetry         record per-round time series (per-row "series" JSON)
+//   --engine-threads=T  intra-round parallelism per cell's engine
+//                       (results bit-identical at any T; only wall time
+//                       and the report's engine_threads field change)
 #include <cmath>
 #include <cstring>
 
@@ -73,6 +76,7 @@ int main(int argc, char** argv) {
         spec.seed = 3;
         const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
         sim::Engine engine(sc.graph);
+        engine.set_threads(sweep.engine_threads());
         engine.enable_round_series(telemetry);
         const core::DistributedRun run =
             core::run_distributed_stages(sc.graph, params, engine);
@@ -92,6 +96,7 @@ int main(int argc, char** argv) {
   json.begin_object();
   json.key("bench").value("thm5_complexity");
   json.key("threads").value(sweep.threads());
+  json.key("engine_threads").value(sweep.engine_threads());
   json.key("rows").begin_array();
   for (const Cell& c : cells) {
     std::printf("%7d %7.2f %12lld %8.1f %10.2f %7d %12.2f\n", c.n, c.avg_deg,

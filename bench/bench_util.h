@@ -105,9 +105,16 @@ class SweepRunner {
  public:
   SweepRunner(int argc, char** argv)
       : pool_(parse_threads(argc, argv)),
+        engine_threads_(parse_engine_threads(argc, argv)),
         trace_dir_(parse_trace_dir(argc, argv)) {}
 
   int threads() const { return pool_.thread_count(); }
+  // Intra-round engine parallelism for cells that run a sim::Engine:
+  // --engine-threads=N (or "--engine-threads N"), else 0, which lets
+  // Engine::set_threads fall back to SKELEX_ENGINE_THREADS / serial.
+  // Orthogonal to --threads (across-cell parallelism); combining both
+  // oversubscribes, so sweeps usually set one or the other.
+  int engine_threads() const { return engine_threads_; }
   bool tracing() const { return !trace_dir_.empty(); }
   const std::string& trace_dir() const { return trace_dir_; }
 
@@ -151,6 +158,19 @@ class SweepRunner {
     return 0;  // ThreadPool falls back to SKELEX_THREADS / hardware
   }
 
+  static int parse_engine_threads(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--engine-threads=", 17) == 0) {
+        return std::atoi(a + 17);
+      }
+      if (std::strcmp(a, "--engine-threads") == 0 && i + 1 < argc) {
+        return std::atoi(argv[i + 1]);
+      }
+    }
+    return 0;  // Engine falls back to SKELEX_ENGINE_THREADS / serial
+  }
+
   static std::string parse_trace_dir(int argc, char** argv) {
     for (int i = 1; i < argc; ++i) {
       const char* a = argv[i];
@@ -163,6 +183,7 @@ class SweepRunner {
   }
 
   exec::ThreadPool pool_;
+  int engine_threads_ = 0;
   std::string trace_dir_;
 };
 

@@ -320,10 +320,12 @@ DistributedExtraction extract_skeleton_distributed(const net::Graph& g,
                                                    const Params& params,
                                                    int jitter,
                                                    std::uint64_t jitter_seed,
-                                                   double loss) {
+                                                   double loss,
+                                                   int engine_threads) {
   sim::Engine engine(g);
   engine.set_jitter(jitter, jitter_seed);
   engine.set_loss(loss, jitter_seed ^ 0x10557);
+  engine.set_threads(engine_threads);
   DistributedRun run = run_distributed_stages(g, params, engine);
   DistributedExtraction out;
   out.stats = run.total();

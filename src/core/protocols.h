@@ -7,6 +7,18 @@
 // centralized implementations in core/index.h and core/voronoi.h, and
 // bench_thm5_complexity uses the engine's message/round accounting to
 // reproduce Theorem 5.
+//
+// All four protocols satisfy the engine's handler-isolation contract
+// (sim::Protocol::parallel_safe) and may run under intra-round parallel
+// delivery: a handler invoked for node v writes only v's own slots —
+// its SeenTable row, its cell of the per-node result vectors, its map
+// of nearby-site offers — and reads nothing belonging to other nodes
+// (cross-node data arrives exclusively in messages; note e.g. that
+// CentralityProtocol carries |N_k| in the message payload rather than
+// reading khop_sizes_[origin]). Adjacent elements of a per-node vector
+// are distinct memory locations, so concurrent writes to different
+// slots are race-free even for vector<char>. tests/test_engine_parallel
+// asserts the resulting bit-identity at 1/2/8 threads.
 #pragma once
 
 #include <algorithm>
@@ -180,13 +192,15 @@ DistributedRun run_distributed_stages(const net::Graph& g, const Params& params,
 // with `jitter` extra delay rounds per transmission and reception loss
 // probability `loss`) and stages 3+ completed from those per-node
 // results. With jitter = 0 and loss = 0 the output is identical to
-// extract_skeleton.
+// extract_skeleton. `engine_threads` sets the engine's intra-round
+// parallelism (0 = sim::default_engine_threads(), i.e. the
+// SKELEX_ENGINE_THREADS knob); results are bit-identical at any value.
 struct DistributedExtraction {
   SkeletonResult result;
   sim::RunStats stats;  // total radio cost of stages 1-2
 };
 DistributedExtraction extract_skeleton_distributed(
     const net::Graph& g, const Params& params = {}, int jitter = 0,
-    std::uint64_t jitter_seed = 1, double loss = 0.0);
+    std::uint64_t jitter_seed = 1, double loss = 0.0, int engine_threads = 0);
 
 }  // namespace skelex::core

@@ -136,18 +136,18 @@ void ReliableFloodWrapper::flush_inner_sends(sim::NodeContext& ctx,
           "(a message's hops field must equal its logical round)");
     }
     if (m.hops > opts_.max_logical_rounds) {
-      ++stats_.overflow_data;  // beyond the configured flood horizon
+      ++st.counters.overflow_data;  // beyond the configured flood horizon
       continue;
     }
     transmit(ctx, st, {kData, m.origin, m.hops, m.payload, -1, 0, m.kind});
-    ++stats_.data_sent;
+    ++st.counters.data_sent;
   }
   const int next = h + 1;
   if (next <= opts_.max_logical_rounds) {
     transmit(ctx, st,
              {kFrame, 0, next, static_cast<std::int64_t>(sends.size()), -1, 0,
               0});
-    ++stats_.frames_sent;
+    ++st.counters.frames_sent;
   }
 }
 
@@ -210,7 +210,7 @@ void ReliableFloodWrapper::on_message(sim::NodeContext& ctx,
   if (m.seq < exp) {
     // Duplicate — usually a retransmission we already have; re-ack so the
     // sender stops.
-    ++stats_.duplicates;
+    ++st.counters.duplicates;
     send_ack(ctx, st, w);
     return;
   }
@@ -240,7 +240,7 @@ void ReliableFloodWrapper::process_in_order(sim::NodeContext& ctx,
     case kData: {
       const int h = m.hops;
       if (h < 1 || h > opts_.max_logical_rounds || h <= st.step_done) {
-        ++stats_.overflow_data;  // late or beyond-horizon data
+        ++st.counters.overflow_data;  // late or beyond-horizon data
         return;
       }
       // Reconstruct the inner message exactly as the lossless engine
@@ -283,14 +283,14 @@ void ReliableFloodWrapper::ack_from(NodeState& st, int neighbor, int upto,
       ++it;
     }
   }
-  if (any && implicit) ++stats_.implicit_acks;
+  if (any && implicit) ++st.counters.implicit_acks;
 }
 
 void ReliableFloodWrapper::send_ack(sim::NodeContext& ctx, NodeState& st,
                                     int to) {
   const int cumulative = st.next_expected.try_emplace(to, 1).first->second - 1;
   ctx.send(to, {kAck, 0, 0, cumulative, -1, 0, 0});
-  ++stats_.acks_sent;
+  ++st.counters.acks_sent;
 }
 
 void ReliableFloodWrapper::handle_timer(sim::NodeContext& ctx,
@@ -306,19 +306,15 @@ void ReliableFloodWrapper::handle_timer(sim::NodeContext& ctx,
     const std::vector<int> lost(o.unacked.begin(), o.unacked.end());
     st.outgoing.erase(it);
     for (int w : lost) {
-      ++stats_.gave_up_links;
+      ++st.counters.gave_up_links;
       mark_dead(st, w);
     }
     try_progress(ctx);
     return;
   }
   ++o.retries;
-  ++stats_.retransmissions;
-  if (engine_ != nullptr) {
-    if (obs::RoundSeries* series = engine_->active_round_series()) {
-      ++series->ensure(ctx.round()).retransmissions;
-    }
-  }
+  ++st.counters.retransmissions;
+  ctx.note_retransmission();
   obs::Tracer::instant("retransmit", "reliable",
                        {{"node", ctx.node()},
                         {"seq", o.pkt.seq},
@@ -356,7 +352,7 @@ void ReliableFloodWrapper::handle_watchdog(sim::NodeContext& ctx) {
     // neighborhood. Live neighbors ACK the sequenced ping; a crashed one
     // lets it exhaust its retries, which marks it dead and unblocks us.
     transmit(ctx, st, {kPing, 0, 0, 0, -1, 0, 0});
-    ++stats_.pings_sent;
+    ++st.counters.pings_sent;
   }
   arm_watchdog(ctx, st);
 }
@@ -364,8 +360,12 @@ void ReliableFloodWrapper::handle_watchdog(sim::NodeContext& ctx) {
 bool ReliableFloodWrapper::complete() const { return stats().stalled_nodes == 0; }
 
 ReliableStats ReliableFloodWrapper::stats() const {
-  ReliableStats s = stats_;
+  // Per-node counters are summed in node-id order: the total is the
+  // same at any engine thread count (and addition of the int64 fields
+  // is order-independent anyway).
+  ReliableStats s;
   for (const NodeState& st : st_) {
+    s += st.counters;
     // Counts crashed nodes too: they never ran on_start (step_done -1).
     if (st.step_done < opts_.max_logical_rounds) ++s.stalled_nodes;
   }
@@ -424,7 +424,6 @@ ReliableRun run_distributed_stages_reliable(const net::Graph& g,
     KhopSizeProtocol khop(g.n(), params.k);
     opts.max_logical_rounds = params.k;
     ReliableFloodWrapper w(khop, g, opts);
-    w.attach_engine(&engine);
     run.khop_stats = engine.run(w);
     out.khop_rel = w.stats();
     run.index.khop_size = khop.sizes();
@@ -437,7 +436,6 @@ ReliableRun run_distributed_stages_reliable(const net::Graph& g,
                             params.centrality_includes_self);
     opts.max_logical_rounds = params.l;
     ReliableFloodWrapper w(cent, g, opts);
-    w.attach_engine(&engine);
     run.centrality_stats = engine.run(w);
     out.centrality_rel = w.stats();
     run.index.centrality = cent.centrality();
@@ -455,7 +453,6 @@ ReliableRun run_distributed_stages_reliable(const net::Graph& g,
                           params.effective_local_max_radius());
     opts.max_logical_rounds = params.effective_local_max_radius();
     ReliableFloodWrapper w(lmax, g, opts);
-    w.attach_engine(&engine);
     run.localmax_stats = engine.run(w);
     out.localmax_rel = w.stats();
     const std::vector<char> crit = lmax.critical();
@@ -483,7 +480,6 @@ ReliableRun run_distributed_stages_reliable(const net::Graph& g,
     VoronoiProtocol vor(g.n(), run.critical_nodes, params.alpha);
     opts.max_logical_rounds = horizon;
     ReliableFloodWrapper w(vor, g, opts);
-    w.attach_engine(&engine);
     run.voronoi_stats = engine.run(w);
     out.voronoi_rel = w.stats();
     run.voronoi = vor.result();

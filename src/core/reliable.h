@@ -44,6 +44,15 @@
 // expected factor 1/(1-p) per packet, so the total stays
 // O((k+l+1)·n/(1-p)) + O(L·n): the same shape, a constant factor up.
 // docs/robustness.md derives this and bench_robustness measures it.
+//
+// Parallel safety (sim::Protocol::parallel_safe): the wrapper conforms
+// to the engine's handler-isolation contract. Every handler touches
+// only state(ctx.node()) — including the reliability counters, which
+// live per node precisely so concurrent delivery chunks never share a
+// cell — and the inner protocol's handlers run under an InnerCtx bound
+// to the same node. Retransmission telemetry goes through
+// NodeContext::note_retransmission (chunk-local), never through shared
+// engine state.
 #pragma once
 
 #include <cstdint>
@@ -104,15 +113,10 @@ class ReliableFloodWrapper final : public sim::Protocol {
   void on_start(sim::NodeContext& ctx) override;
   void on_message(sim::NodeContext& ctx, const sim::Message& m) override;
 
-  // Optional telemetry hook: when the engine driving this wrapper is
-  // attached and has round-series recording on, every retransmission is
-  // attributed to the engine round it was sent in
-  // (RoundSample::retransmissions). Borrowed; nullptr detaches.
-  void attach_engine(sim::Engine* engine) { engine_ = engine; }
-
   // True when every node executed every logical round (no stalls).
   bool complete() const;
-  // Counters, with stalled_nodes computed at call time.
+  // Counters summed over nodes in id order (deterministic at any engine
+  // thread count), with stalled_nodes computed at call time.
   ReliableStats stats() const;
 
  private:
@@ -138,6 +142,10 @@ class ReliableFloodWrapper final : public sim::Protocol {
     std::unordered_set<int> dead;
     bool watchdog_armed = false;
     int watchdog_step = -2;
+    // Reliability counters for THIS node; kept per node (not on the
+    // wrapper) so handlers running in parallel delivery chunks never
+    // write a shared cell. stats() sums them in node order.
+    ReliableStats counters;
   };
   class InnerCtx;
 
@@ -160,8 +168,6 @@ class ReliableFloodWrapper final : public sim::Protocol {
   const net::Graph& g_;
   ReliableOptions opts_;
   std::vector<NodeState> st_;
-  ReliableStats stats_;
-  sim::Engine* engine_ = nullptr;  // telemetry only; see attach_engine
 };
 
 // --- Whole communication phase, reliably -------------------------------------

@@ -65,4 +65,24 @@ double Rng::next_gaussian() {
 
 Rng Rng::split() { return Rng(next_u64() ^ 0xa0761d6478bd642fULL); }
 
+namespace {
+// splitmix64 finalizer: full-avalanche mixing of one 64-bit word.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t k0,
+                           std::uint64_t k1) {
+  std::uint64_t z = mix64(seed + 0x9e3779b97f4a7c15ULL);
+  z = mix64(z ^ (k0 + 0x9e3779b97f4a7c15ULL));
+  return mix64(z ^ (k1 + 0x9e3779b97f4a7c15ULL));
+}
+
+double counter_uniform(std::uint64_t seed, std::uint64_t k0, std::uint64_t k1) {
+  return static_cast<double>(counter_hash(seed, k0, k1) >> 11) * 0x1.0p-53;
+}
+
 }  // namespace skelex::deploy

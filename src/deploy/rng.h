@@ -36,4 +36,21 @@ class Rng {
   std::uint64_t s_[4];
 };
 
+// --- Counter-based (stateless) draws -----------------------------------------
+//
+// A counter-based draw is a pure function of (seed, k0, k1): unlike a
+// sequential generator there is no state to thread, so the value of a
+// draw does not depend on how many draws happened before it or on which
+// thread performs it. sim::Engine uses these for per-delivery loss and
+// jitter decisions keyed by (lifetime round, sender, receiver, emission
+// index), which is what makes its chunk-parallel round execution
+// bit-identical to the serial schedule at any thread count. The mixing
+// function is the splitmix64 finalizer (same family as
+// exec::derive_seed), applied once per key word.
+std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t k0,
+                           std::uint64_t k1);
+
+// counter_hash mapped to a uniform double in [0, 1).
+double counter_uniform(std::uint64_t seed, std::uint64_t k0, std::uint64_t k1);
+
 }  // namespace skelex::deploy

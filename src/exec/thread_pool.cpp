@@ -68,15 +68,24 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
     calls.inc();
     items.inc(n);
   }
+  const int chunks = std::min(threads_, n);
+  obs::ScopedSpan span("exec.parallel_for", "exec");
+  span.arg("items", n);
+  span.arg("chunks", chunks);
+  parallel_chunks(n, chunks, [&fn](int, int b, int e) {
+    for (int i = b; i < e; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_chunks(int n, int chunks,
+                                 const std::function<void(int, int, int)>& fn) {
+  if (n <= 0) return;
+  chunks = std::clamp(chunks, 1, n);
   // The sink is resolved ONCE here, on the submitting thread, so chunks
   // running on pool workers emit into the submitter's sink (a worker has
   // no thread-local override of its own). With no sink the hot path
   // reads no clock.
   obs::TraceSink* const sink = obs::Tracer::current();
-  const int chunks = std::min(threads_, n);
-  obs::ScopedSpan span("exec.parallel_for", "exec");
-  span.arg("items", n);
-  span.arg("chunks", chunks);
   // Chunk boundaries depend only on (n, chunks): chunk c covers
   // [c*n/chunks, (c+1)*n/chunks).
   const auto chunk_begin = [&](int c) {
@@ -87,8 +96,7 @@ void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
   const auto run_chunk = [&](int c) {
     const double start_us = sink != nullptr ? obs::Tracer::now_us() : 0.0;
     try {
-      const int e = chunk_begin(c + 1);
-      for (int i = chunk_begin(c); i < e; ++i) fn(i);
+      fn(c, chunk_begin(c), chunk_begin(c + 1));
     } catch (...) {
       errors[static_cast<std::size_t>(c)] = std::current_exception();
     }

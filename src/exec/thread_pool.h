@@ -47,6 +47,18 @@ class ThreadPool {
   // the remaining chunks complete.
   void parallel_for(int n, const std::function<void(int)>& fn);
 
+  // Lower-level form: runs fn(c, begin, end) once per chunk c, where
+  // chunk c covers [c*n/chunks, (c+1)*n/chunks) — boundaries depend only
+  // on (n, chunks), never on scheduling. `chunks` is clamped to [1, n]
+  // and further to thread_count() is NOT applied: callers that need a
+  // fixed chunk count for deterministic per-chunk state (sim::Engine's
+  // staging buckets) get exactly the count they asked for. Exception
+  // policy matches parallel_for. Unlike parallel_for this records no
+  // exec_* metrics: callers invoke it with thread-dependent shapes, and
+  // metric snapshots must stay byte-identical at any thread count.
+  void parallel_chunks(int n, int chunks,
+                       const std::function<void(int, int, int)>& fn);
+
  private:
   void worker_loop();
 

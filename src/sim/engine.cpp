@@ -1,45 +1,91 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 #include <tuple>
 #include <utility>
 
+#include "deploy/rng.h"
+#include "exec/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace skelex::sim {
 
-// Concrete context bound to the engine's radio.
+namespace {
+// Signed fields are biased so unsigned key comparisons match signed
+// field order.
+constexpr std::uint32_t bias(int x) {
+  return static_cast<std::uint32_t>(x) ^ 0x80000000u;
+}
+// The index half-word tags which inbox list a DeliveryKey points into.
+constexpr std::uint32_t kSingleTag = 0x80000000u;
+// Compact the pending ring once this many drained buckets accumulate at
+// its front; std::rotate recycles them (and their arena capacities) to
+// the tail. Small enough to bound the ring, large enough that the
+// O(size) pointer-move compaction is paid once per ~32 rounds.
+constexpr std::size_t kCompactEvery = 32;
+}  // namespace
+
+int default_engine_threads() {
+  static const int cached = [] {
+    if (const char* env = std::getenv("SKELEX_ENGINE_THREADS")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+        return static_cast<int>(v);
+      }
+    }
+    return 1;
+  }();
+  return cached;
+}
+
+// Concrete context bound to the engine's radio. One Ctx serves a whole
+// delivery chunk: set_node() rebinds it per node and resets the per-node
+// emission counter that keys the counter-based RNG draws.
 class Engine::Ctx final : public NodeContext {
  public:
-  Ctx(Engine& e, int node, int round) : engine_(e), node_(node), round_(round) {}
+  Ctx(Engine& e, EmitSink& s) : engine_(e), sink_(s) {}
+
+  void set_node(int v) {
+    node_ = v;
+    sink_.node = v;
+    sink_.emit_seq = 0;
+  }
 
   int node() const override { return node_; }
-  int round() const override { return round_; }
+  int round() const override { return engine_.now_; }
   std::span<const int> neighbors() const override {
     return engine_.graph_.neighbors(node_);
   }
-  void broadcast(Message m) override { engine_.do_broadcast(node_, m); }
-  void send(int to, Message m) override { engine_.do_send(node_, to, m); }
-  void schedule(int delay_rounds, Message m) override {
-    engine_.do_schedule(node_, delay_rounds, m);
+  void broadcast(Message m) override { engine_.do_broadcast(sink_, node_, m); }
+  void send(int to, Message m) override {
+    engine_.do_send(sink_, node_, to, m);
   }
+  void schedule(int delay_rounds, Message m) override {
+    engine_.do_schedule(sink_, node_, delay_rounds, m);
+  }
+  void note_retransmission() override { ++sink_.retransmissions; }
 
  private:
   Engine& engine_;
-  int node_;
-  int round_;
+  EmitSink& sink_;
+  int node_ = -1;
 };
 
-Engine::Engine(const net::Graph& graph) : graph_(graph) {}
+Engine::Engine(const net::Graph& graph)
+    : graph_(graph), threads_(default_engine_threads()) {}
+
+Engine::~Engine() = default;
 
 void Engine::set_jitter(int max_extra_rounds, std::uint64_t seed) {
   if (max_extra_rounds < 0) {
     throw std::invalid_argument("jitter must be >= 0");
   }
   max_jitter_ = max_extra_rounds;
-  jitter_state_ = seed | 1;  // splitmix needs nonzero progression anyway
+  jitter_seed_ = seed;
 }
 
 void Engine::set_loss(double p, std::uint64_t seed) {
@@ -47,7 +93,7 @@ void Engine::set_loss(double p, std::uint64_t seed) {
     throw std::invalid_argument("loss probability must be in [0, 1)");
   }
   loss_ = p;
-  loss_state_ = seed | 1;
+  loss_seed_ = seed;
 }
 
 void Engine::set_faults(FaultPlan plan) {
@@ -55,104 +101,269 @@ void Engine::set_faults(FaultPlan plan) {
   have_faults_ = !faults_.empty();
 }
 
-bool Engine::dropped() {
-  if (loss_ == 0.0) return false;
-  loss_state_ += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = loss_state_;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return static_cast<double>(z >> 11) * 0x1.0p-53 < loss_;
+void Engine::set_threads(int threads) {
+  if (threads < 0) throw std::invalid_argument("threads must be >= 0");
+  const int t =
+      threads == 0 ? default_engine_threads() : std::min(threads, 1024);
+  if (t != threads_) pool_.reset();  // re-created lazily at the new size
+  threads_ = t;
 }
 
-int Engine::delivery_round() {
-  // Deliveries land 1..(1 + max_jitter_) rounds ahead; splitmix64 keeps
-  // the sequence deterministic for a given seed.
+// Counter-based draws: the key packs (lifetime round, sender) and
+// (emission index, receiver + 1); receiver slot 0 is the per-frame
+// draw (jitter is drawn once per transmission — all listeners hear the
+// same delayed frame). Being pure functions of the key, the draws are
+// identical whatever order — or thread — the emissions happen in, which
+// is what licenses parallel delivery chunks. A lossless, jitter-free
+// run performs no draws at all.
+bool Engine::dropped(int from, int to, std::uint32_t emit) const {
+  if (loss_ == 0.0) return false;
+  const std::uint64_t k0 =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(fault_clock()))
+       << 32) |
+      static_cast<std::uint32_t>(from);
+  const std::uint64_t k1 = (static_cast<std::uint64_t>(emit) << 32) |
+                           static_cast<std::uint32_t>(to + 1);
+  return deploy::counter_uniform(loss_seed_, k0, k1) < loss_;
+}
+
+int Engine::delivery_round(int from, std::uint32_t emit) const {
   if (max_jitter_ == 0) return 0;
-  jitter_state_ += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = jitter_state_;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
-  return static_cast<int>(z % static_cast<std::uint64_t>(max_jitter_ + 1));
+  const std::uint64_t k0 =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(fault_clock()))
+       << 32) |
+      static_cast<std::uint32_t>(from);
+  const std::uint64_t k1 = static_cast<std::uint64_t>(emit) << 32;
+  return static_cast<int>(deploy::counter_hash(jitter_seed_, k0, k1) %
+                          static_cast<std::uint64_t>(max_jitter_ + 1));
 }
 
 Engine::Bucket& Engine::bucket(int extra) {
-  while (static_cast<int>(pending_.size()) <= extra) pending_.push_back({});
-  return pending_[static_cast<std::size_t>(extra)];
+  const std::size_t i = head_ + static_cast<std::size_t>(extra);
+  while (pending_.size() <= i) pending_.push_back({});
+  return pending_[i];
 }
 
-void Engine::do_broadcast(int from, Message m) {
+Engine::Bucket& Engine::sink_bucket(EmitSink& s, int extra) {
+  if (s.staged == nullptr) return bucket(extra);  // serial: straight to ring
+  if (static_cast<int>(s.staged->size()) <= extra) {
+    s.staged->resize(static_cast<std::size_t>(extra) + 1);
+  }
+  if (extra > s.staged_hi) s.staged_hi = extra;
+  return (*s.staged)[static_cast<std::size_t>(extra)];
+}
+
+void Engine::pop_front(Bucket& inbox) {
+  inbox.clear();  // keeps capacity; swapped into the drained bucket below
+  if (head_ < pending_.size()) {
+    inbox.singles.swap(pending_[head_].singles);
+    inbox.broadcasts.swap(pending_[head_].broadcasts);
+    ++head_;
+    if (head_ >= kCompactEvery) {
+      std::rotate(pending_.begin(),
+                  pending_.begin() + static_cast<std::ptrdiff_t>(head_),
+                  pending_.end());
+      head_ = 0;
+    }
+  }
+  inflight_ -= static_cast<std::int64_t>(inbox.entries());
+}
+
+void Engine::absorb(EmitSink& s) {
+  current_.transmissions += s.transmissions;
+  current_.receptions += s.receptions;
+  current_.faults_tx_suppressed += s.faults_tx_suppressed;
+  current_.faults_rx_crashed += s.faults_rx_crashed;
+  current_.faults_rx_sleeping += s.faults_rx_sleeping;
+  current_.faults_rx_linkdown += s.faults_rx_linkdown;
+  round_retx_ += s.retransmissions;
+  inflight_ += s.queued;
+  s.queued = 0;
+  s.transmissions = 0;
+  s.receptions = 0;
+  s.faults_tx_suppressed = 0;
+  s.faults_rx_crashed = 0;
+  s.faults_rx_sleeping = 0;
+  s.faults_rx_linkdown = 0;
+  s.retransmissions = 0;
+  s.staged_hi = -1;
+  s.node = -1;
+  s.emit_seq = 0;
+}
+
+// Canonical merge: chunk-major, bucket-minor. Within one future-round
+// bucket the serial engine appends envelopes in ascending node order;
+// chunks are contiguous ascending node ranges, so appending chunk 0's
+// staging bucket, then chunk 1's, ... reproduces the serial sequence
+// exactly — for any chunk count. Counters are absorbed in the same
+// fixed order.
+void Engine::merge_chunks(int used_chunks) {
+  for (int c = 0; c < used_chunks; ++c) {
+    Chunk& ch = chunks_[static_cast<std::size_t>(c)];
+    for (int extra = 0; extra <= ch.sink.staged_hi; ++extra) {
+      Bucket& src = ch.staged[static_cast<std::size_t>(extra)];
+      if (src.empty()) continue;
+      Bucket& dst = bucket(extra);
+      dst.singles.insert(dst.singles.end(), src.singles.begin(),
+                         src.singles.end());
+      dst.broadcasts.insert(dst.broadcasts.end(), src.broadcasts.begin(),
+                            src.broadcasts.end());
+      src.clear();
+    }
+    absorb(ch.sink);
+  }
+}
+
+void Engine::do_broadcast(EmitSink& s, int from, Message m) {
+  const std::uint32_t emit = s.emit_seq++;
   if (have_faults_) {
     const int r = fault_clock();
     if (faults_.is_crashed(from, r) || faults_.is_asleep(from, r)) {
-      ++current_.faults_tx_suppressed;
+      ++s.faults_tx_suppressed;
       return;
     }
   }
   m.sender = from;
-  ++current_.transmissions;
+  ++s.transmissions;
   // One transmission: all listeners hear the same (possibly delayed)
   // radio frame, so the delay is drawn once per transmission.
-  const int extra = delivery_round();
-  Bucket& out = bucket(extra);
+  const int extra = delivery_round(from, emit);
+  Bucket& out = sink_bucket(s, extra);
   if (!have_faults_ && loss_ == 0.0) {
     // Reliable radio: queue the frame once; it fans out to the sender's
     // neighbors when its round is processed.
-    current_.receptions += graph_.degree(from);
+    s.receptions += graph_.degree(from);
     out.broadcasts.push_back(m);
+    ++s.queued;
     return;
   }
   for (int w : graph_.neighbors(from)) {
-    ++current_.receptions;
+    ++s.receptions;
     if (have_faults_ && !faults_.link_up(from, w, fault_clock())) {
-      ++current_.faults_rx_linkdown;
+      ++s.faults_rx_linkdown;
       continue;
     }
-    if (dropped()) continue;
+    if (dropped(from, w, emit)) continue;
     out.singles.push_back({w, false, m});
+    ++s.queued;
   }
 }
 
-void Engine::do_send(int from, int to, Message m) {
+void Engine::do_send(EmitSink& s, int from, int to, Message m) {
   if (to < 0 || to >= graph_.n()) throw std::out_of_range("send target");
+  const std::uint32_t emit = s.emit_seq++;
   if (have_faults_) {
     const int r = fault_clock();
     if (faults_.is_crashed(from, r) || faults_.is_asleep(from, r)) {
-      ++current_.faults_tx_suppressed;
+      ++s.faults_tx_suppressed;
       return;
     }
   }
   m.sender = from;
-  ++current_.transmissions;
-  ++current_.receptions;
+  ++s.transmissions;
+  ++s.receptions;
   if (have_faults_ && !faults_.link_up(from, to, fault_clock())) {
-    ++current_.faults_rx_linkdown;
+    ++s.faults_rx_linkdown;
     return;
   }
-  if (dropped()) return;
-  bucket(delivery_round()).singles.push_back({to, false, m});
+  if (dropped(from, to, emit)) return;
+  sink_bucket(s, delivery_round(from, emit)).singles.push_back({to, false, m});
+  ++s.queued;
 }
 
-void Engine::do_schedule(int from, int delay_rounds, Message m) {
+void Engine::do_schedule(EmitSink& s, int from, int delay_rounds, Message m) {
   if (delay_rounds < 1) {
     throw std::invalid_argument("schedule delay must be >= 1 round");
   }
   m.sender = from;
   // Local timer: no radio cost, no loss/jitter, delivered only to self.
-  bucket(delay_rounds - 1).singles.push_back({from, true, m});
+  sink_bucket(s, delay_rounds - 1).singles.push_back({from, true, m});
+  ++s.queued;
+}
+
+// Delivers the inbox slices of nodes [vbegin, vend): sorts each node's
+// slice into canonical order, applies receive-side fault filtering, and
+// invokes the protocol. All emissions and accounting go through `sink`,
+// so concurrent calls on disjoint node ranges share no mutable state
+// (given Protocol::parallel_safe handlers).
+void Engine::deliver_range(Protocol& protocol, const Bucket& inbox,
+                           std::vector<DeliveryKey>& keys,
+                           const std::vector<int>& slice_end, EmitSink& sink,
+                           int vbegin, int vend) {
+  const auto msg_of = [&](const DeliveryKey& k) -> const Message& {
+    return (k.idx & kSingleTag)
+               ? inbox.singles[static_cast<std::size_t>(k.idx & ~kSingleTag)]
+                     .msg
+               : inbox.broadcasts[static_cast<std::size_t>(k.idx)];
+  };
+  const auto slice_less = [&](const DeliveryKey& a, const DeliveryKey& b) {
+    if (a.k1 != b.k1) return a.k1 < b.k1;
+    if (a.k2 != b.k2) return a.k2 < b.k2;
+    if (a.k3 != b.k3) return a.k3 < b.k3;
+    const Message& ma = msg_of(a);
+    const Message& mb = msg_of(b);
+    return std::tie(ma.payload, ma.seq, ma.aux) <
+           std::tie(mb.payload, mb.seq, mb.aux);
+  };
+  Ctx ctx(*this, sink);
+  for (int v = vbegin; v < vend; ++v) {
+    const auto b = keys.begin() + slice_end[static_cast<std::size_t>(v)];
+    const auto e = keys.begin() + slice_end[static_cast<std::size_t>(v) + 1];
+    if (e - b > 1) std::sort(b, e, slice_less);
+    ctx.set_node(v);
+    for (auto it = b; it != e; ++it) {
+      const bool internal = (it->k1 >> 32) != 0;
+      if (have_faults_) {
+        const int r = fault_clock();
+        if (faults_.is_crashed(v, r)) {
+          if (!internal) ++sink.faults_rx_crashed;
+          continue;
+        }
+        if (!internal && faults_.is_asleep(v, r)) {
+          ++sink.faults_rx_sleeping;
+          continue;
+        }
+      }
+      protocol.on_message(ctx, msg_of(*it));
+    }
+  }
 }
 
 RunStats Engine::run(Protocol& protocol, int max_rounds) {
   obs::ScopedSpan span("engine.run", "engine");
   fault_base_ = total_.rounds;  // fault clock continues across runs
   current_ = RunStats{};
-  pending_.clear();
+  for (Bucket& b : pending_) b.clear();  // arenas persist across runs
+  head_ = 0;
+  inflight_ = 0;
+  round_retx_ = 0;
   running_ = true;
+  const int n = graph_.n();
+
+  // Execution shape for this run: a protocol that opts out of the
+  // handler-isolation contract runs serially whatever the knob says.
+  const bool parallel = threads_ > 1 && n > 1 && protocol.parallel_safe();
+  const int chunk_count = parallel ? std::min(threads_, n) : 1;
+  if (parallel && pool_ == nullptr) {
+    pool_ = std::make_unique<exec::ThreadPool>(threads_);
+  }
+  if (static_cast<int>(chunks_.size()) < chunk_count) {
+    chunks_.resize(static_cast<std::size_t>(chunk_count));
+  }
+  for (Chunk& ch : chunks_) {
+    for (Bucket& b : ch.staged) b.clear();  // defensive: a prior run threw
+    ch.sink = EmitSink{};
+  }
+  for (int c = 0; c < chunk_count; ++c) {
+    Chunk& ch = chunks_[static_cast<std::size_t>(c)];
+    ch.sink.staged = parallel ? &ch.staged : nullptr;
+  }
+  span.arg("threads", parallel ? threads_ : 1);
 
   // Round-series cursor: one sample per round, written at the round
   // boundary from the totals' deltas — the per-message paths stay
-  // untouched whether telemetry is on or off.
+  // untouched whether telemetry is on or off. Chunk counters are always
+  // absorbed before sampling, so the deltas see complete rounds.
   std::int64_t series_tx = 0, series_rx = 0, series_drops = 0;
   const auto sample_round = [&](int round) {
     obs::RoundSample& s = current_.series.ensure(round);
@@ -162,70 +373,58 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
     series_tx = current_.transmissions;
     series_rx = current_.receptions;
     series_drops = current_.total_fault_drops();
-    std::int64_t depth = 0;
-    for (const Bucket& b : pending_) {
-      depth += static_cast<std::int64_t>(b.singles.size()) +
-               static_cast<std::int64_t>(b.broadcasts.size());
-    }
-    s.queue_depth = depth;
+    s.retransmissions += round_retx_;
+    round_retx_ = 0;
+    s.queue_depth = inflight_;
   };
 
   now_ = 0;
-  for (int v = 0; v < graph_.n(); ++v) {
-    if (have_faults_ && faults_.is_crashed(v, fault_clock())) continue;
-    Ctx ctx(*this, v, 0);
-    protocol.on_start(ctx);
+  if (!parallel) {
+    Ctx ctx(*this, chunks_[0].sink);
+    for (int v = 0; v < n; ++v) {
+      if (have_faults_ && faults_.is_crashed(v, fault_clock())) continue;
+      ctx.set_node(v);
+      protocol.on_start(ctx);
+    }
+    absorb(chunks_[0].sink);
+  } else {
+    pool_->parallel_chunks(n, chunk_count, [&](int c, int b, int e) {
+      Ctx ctx(*this, chunks_[static_cast<std::size_t>(c)].sink);
+      for (int v = b; v < e; ++v) {
+        if (have_faults_ && faults_.is_crashed(v, fault_clock())) continue;
+        ctx.set_node(v);
+        protocol.on_start(ctx);
+      }
+    });
+    merge_chunks(chunk_count);
   }
   if (record_series_) sample_round(0);
 
-  // Delivery order is decided on compact precomputed keys (biased so the
-  // unsigned comparisons match signed field order), not on the fat
-  // envelopes themselves: the per-slice sorts then move 24-byte records
-  // and almost always decide on the first word.
-  struct DeliveryKey {
-    std::uint64_t k1;   // internal | kind
-    std::uint64_t k2;   // hops | origin
-    std::uint32_t k3;   // sender
-    std::uint32_t idx;  // position in the round's inbox
-  };
-  const auto bias = [](int x) {
-    return static_cast<std::uint32_t>(x) ^ 0x80000000u;
-  };
-  // The index half-word tags which inbox list a key points into.
-  constexpr std::uint32_t kSingleTag = 0x80000000u;
-  Bucket inbox;
-  std::vector<DeliveryKey> keys;
-  std::vector<int> slice_at(static_cast<std::size_t>(graph_.n()) + 1, 0);
-  std::vector<int> slice_end(static_cast<std::size_t>(graph_.n()) + 1, 0);
-  const auto has_pending = [&] {
-    for (const auto& b : pending_) {
-      if (!b.empty()) return true;
-    }
-    return false;
-  };
-  while (has_pending() && current_.rounds < max_rounds) {
+  // Deterministic delivery: within a round each node processes its
+  // messages in a canonical order, independent of transmission order.
+  // This makes protocol results reproducible and lets the distributed
+  // stage implementations match their centralized equivalents exactly.
+  // Radio frames sort before self-timers so that e.g. an ACK arriving
+  // in the same round as a retransmission timer cancels it.
+  //
+  // Sorting is two-level: a counting pass groups the round's traffic
+  // by destination (expanding each queued broadcast to its sender's
+  // neighbors), then each destination's slice is sorted on the
+  // remaining key fields — the same total order as one big sort of
+  // per-reception envelopes on the full 9-field key. Delivery order is
+  // decided on compact precomputed keys (biased so the unsigned
+  // comparisons match signed field order), not on the fat envelopes
+  // themselves: the per-slice sorts then move 24-byte records and
+  // almost always decide on the first word.
+  Bucket& inbox = inbox_;
+  std::vector<DeliveryKey>& keys = keys_;
+  std::vector<int>& slice_at = slice_at_;
+  std::vector<int>& slice_end = slice_end_;
+  while (inflight_ > 0 && current_.rounds < max_rounds) {
     ++current_.rounds;
     now_ = current_.rounds;
-    inbox.singles.clear();
-    inbox.broadcasts.clear();
-    if (!pending_.empty()) {
-      inbox.singles.swap(pending_.front().singles);
-      inbox.broadcasts.swap(pending_.front().broadcasts);
-      pending_.erase(pending_.begin());
-    }
-    // Deterministic delivery: within a round each node processes its
-    // messages in a canonical order, independent of transmission order.
-    // This makes protocol results reproducible and lets the distributed
-    // stage implementations match their centralized equivalents exactly.
-    // Radio frames sort before self-timers so that e.g. an ACK arriving
-    // in the same round as a retransmission timer cancels it.
-    //
-    // Sorting is two-level: a counting pass groups the round's traffic
-    // by destination (expanding each queued broadcast to its sender's
-    // neighbors), then each destination's slice is sorted on the
-    // remaining key fields — the same total order as one big sort of
-    // per-reception envelopes on the full 9-field key.
-    slice_end.assign(static_cast<std::size_t>(graph_.n()) + 1, 0);
+    pop_front(inbox);
+    slice_end.assign(static_cast<std::size_t>(n) + 1, 0);
     for (const Envelope& e : inbox.singles) {
       ++slice_end[static_cast<std::size_t>(e.to) + 1];
     }
@@ -234,13 +433,13 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
         ++slice_end[static_cast<std::size_t>(w) + 1];
       }
     }
-    for (int v = 0; v < graph_.n(); ++v) {
+    for (int v = 0; v < n; ++v) {
       slice_end[static_cast<std::size_t>(v) + 1] +=
           slice_end[static_cast<std::size_t>(v)];
     }
     slice_at = slice_end;
     keys.resize(
-        static_cast<std::size_t>(slice_end[static_cast<std::size_t>(graph_.n())]));
+        static_cast<std::size_t>(slice_end[static_cast<std::size_t>(n)]));
     for (std::size_t i = 0; i < inbox.singles.size(); ++i) {
       const Envelope& e = inbox.singles[i];
       DeliveryKey& k = keys[static_cast<std::size_t>(
@@ -263,50 +462,29 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
             slice_at[static_cast<std::size_t>(w)]++)] = k;
       }
     }
-    const auto msg_of = [&](const DeliveryKey& k) -> const Message& {
-      return (k.idx & kSingleTag)
-                 ? inbox.singles[static_cast<std::size_t>(k.idx & ~kSingleTag)]
-                       .msg
-                 : inbox.broadcasts[static_cast<std::size_t>(k.idx)];
-    };
-    const auto slice_less = [&](const DeliveryKey& a, const DeliveryKey& b) {
-      if (a.k1 != b.k1) return a.k1 < b.k1;
-      if (a.k2 != b.k2) return a.k2 < b.k2;
-      if (a.k3 != b.k3) return a.k3 < b.k3;
-      const Message& ma = msg_of(a);
-      const Message& mb = msg_of(b);
-      return std::tie(ma.payload, ma.seq, ma.aux) <
-             std::tie(mb.payload, mb.seq, mb.aux);
-    };
-    for (int v = 0; v < graph_.n(); ++v) {
-      const auto b = keys.begin() + slice_end[static_cast<std::size_t>(v)];
-      const auto e = keys.begin() + slice_end[static_cast<std::size_t>(v) + 1];
-      if (e - b > 1) std::sort(b, e, slice_less);
-      for (auto it = b; it != e; ++it) {
-        const bool internal = (it->k1 >> 32) != 0;
-        if (have_faults_) {
-          const int r = fault_clock();
-          if (faults_.is_crashed(v, r)) {
-            if (!internal) ++current_.faults_rx_crashed;
-            continue;
-          }
-          if (!internal && faults_.is_asleep(v, r)) {
-            ++current_.faults_rx_sleeping;
-            continue;
-          }
-        }
-        Ctx ctx(*this, v, current_.rounds);
-        protocol.on_message(ctx, msg_of(*it));
-      }
+    if (!parallel) {
+      deliver_range(protocol, inbox, keys, slice_end, chunks_[0].sink, 0, n);
+      absorb(chunks_[0].sink);
+    } else {
+      // Chunks sort and deliver disjoint node slices; every emission is
+      // staged chunk-locally, so the shared ring is untouched until the
+      // serial merge below.
+      pool_->parallel_chunks(n, chunk_count, [&](int c, int b, int e) {
+        deliver_range(protocol, inbox, keys, slice_end,
+                      chunks_[static_cast<std::size_t>(c)].sink, b, e);
+      });
+      merge_chunks(chunk_count);
     }
     if (record_series_) sample_round(current_.rounds);
   }
-  if (has_pending()) {
+  if (inflight_ > 0) {
     // Round cap hit: flag it and discard the in-flight messages rather
     // than throwing — under fault injection a non-quiescent run is an
     // expected outcome the caller inspects, not a programming error.
     current_.hit_round_cap = true;
-    pending_.clear();
+    for (Bucket& b : pending_) b.clear();
+    head_ = 0;
+    inflight_ = 0;
   }
   running_ = false;
   total_ += current_;

@@ -20,14 +20,42 @@
 // layered: sim::Engine provides the real radio; wrappers (e.g.
 // core::ReliableFloodWrapper) interpose their own context to intercept
 // an inner protocol's transmissions and add reliability underneath it.
+//
+// --- Intra-round parallel execution ------------------------------------------
+//
+// With set_threads(T > 1) the engine executes each round's deliveries
+// in parallel on an exec::ThreadPool while producing BIT-IDENTICAL
+// results to the serial engine (docs/architecture.md has the full
+// model). The node range is partitioned into T contiguous chunks; each
+// chunk delivers its nodes' inbox slices with a chunk-local staging
+// area for outgoing traffic and chunk-local counters. At the round
+// boundary the staging areas are merged into the shared pending ring in
+// chunk-index order — which, because chunks are contiguous and
+// ascending, reproduces exactly the serial emission sequence — and the
+// counters are summed in the same fixed order. Per-delivery randomness
+// (loss, jitter) is counter-based (deploy::counter_hash keyed by
+// lifetime round, sender, receiver, and per-node emission index), so a
+// draw's value does not depend on how many draws other nodes performed.
+// FaultPlan queries are const lookups and safe for concurrent readers.
+//
+// The contract this buys protocols: results at any thread count are the
+// results of threads=1, byte for byte — RunStats, round series, metrics,
+// and every per-node protocol state. The serial path (threads=1, the
+// default) does not stage or merge at all; it is the PR-2 engine with an
+// arena-reusing pending ring.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "net/graph.h"
 #include "sim/faults.h"
 #include "sim/stats.h"
+
+namespace skelex::exec {
+class ThreadPool;
+}  // namespace skelex::exec
 
 namespace skelex::sim {
 
@@ -65,6 +93,14 @@ class NodeContext {
   // survives sleep windows (the radio is off, the clock is not).
   virtual void schedule(int delay_rounds, Message m) = 0;
 
+  // Telemetry hook for reliability layers: counts one retransmission in
+  // this node's current round. The engine attributes it to
+  // RoundSample::retransmissions when round-series recording is on; the
+  // default implementation ignores it. Unlike a direct write into the
+  // engine's series, this routes through the per-chunk counters, so it
+  // is safe from parallel delivery chunks.
+  virtual void note_retransmission() {}
+
  protected:
   NodeContext() = default;
   NodeContext(const NodeContext&) = default;
@@ -78,12 +114,35 @@ class Protocol {
   virtual void on_start(NodeContext& ctx) = 0;
   // Called for each message delivered to a node.
   virtual void on_message(NodeContext& ctx, const Message& m) = 0;
+
+  // The handler-isolation contract for parallel delivery: when the
+  // engine runs with threads > 1, on_start/on_message for DIFFERENT
+  // nodes may execute concurrently. A conforming handler invoked for
+  // node v writes only state owned by v (its own row/slot in per-node
+  // containers) and the context, and reads other nodes' state not at
+  // all — cross-node information must travel in messages. All protocols
+  // in core/ conform (see the notes in core/protocols.h and
+  // core/reliable.h). A protocol that does not conform must return
+  // false here; the engine then executes it serially regardless of its
+  // thread setting, which preserves correctness (and, by construction,
+  // the exact same results).
+  virtual bool parallel_safe() const { return true; }
 };
+
+// Engine thread count default: SKELEX_ENGINE_THREADS if set to a
+// positive integer, else 1 (serial). Deliberately NOT hardware
+// concurrency: intra-round parallelism is opt-in so that sweeps which
+// already parallelize across cells (SKELEX_THREADS) don't oversubscribe.
+int default_engine_threads();
 
 class Engine {
  public:
   // The engine borrows `graph`; it must outlive the engine.
   explicit Engine(const net::Graph& graph);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
 
   // Asynchrony injection: every transmission is delayed by an extra
   // 0..max_extra_rounds rounds, drawn deterministically from `seed`.
@@ -110,6 +169,14 @@ class Engine {
   void set_faults(FaultPlan plan);
   const FaultPlan& faults() const { return faults_; }
 
+  // Intra-round parallelism: deliver each round's messages on `threads`
+  // threads (chunked by node id). Results are bit-identical at any
+  // value; 1 (the default) runs fully serial with no staging overhead.
+  // 0 resets to default_engine_threads(). The worker pool is owned by
+  // the engine and created lazily on the first parallel run.
+  void set_threads(int threads);
+  int threads() const { return threads_; }
+
   // Per-round telemetry: when enabled, every run() fills
   // RunStats::series with one sample per round (traffic deltas,
   // in-flight queue depth, fault drops). Off by default; the per-message
@@ -118,8 +185,9 @@ class Engine {
   bool round_series_enabled() const { return record_series_; }
 
   // The series of the run currently executing (nullptr when disabled or
-  // between runs). Reliability layers use this to attribute
-  // retransmissions to the round they were sent in.
+  // between runs). Read-only telemetry for code driving the engine;
+  // protocol handlers must NOT write to it (use
+  // NodeContext::note_retransmission, which is chunk-safe).
   obs::RoundSeries* active_round_series() {
     return record_series_ && running_ ? &current_.series : nullptr;
   }
@@ -148,33 +216,99 @@ class Engine {
   // queued ONCE (the radio transmits one frame) and fans out to the
   // sender's neighbors when the round is processed; unicast sends,
   // self-timers, and all traffic under loss or fault filtering (whose
-  // per-reception decisions must consume the engine's RNG and fault
-  // clock at transmission time) are queued as individual envelopes.
+  // per-reception decisions are drawn at transmission time) are queued
+  // as individual envelopes.
   struct Bucket {
     std::vector<Envelope> singles;
     std::vector<Message> broadcasts;  // sender field identifies the source
     bool empty() const { return singles.empty() && broadcasts.empty(); }
+    std::size_t entries() const { return singles.size() + broadcasts.size(); }
+    void clear() {
+      singles.clear();
+      broadcasts.clear();
+    }
   };
 
-  void do_broadcast(int from, Message m);
-  void do_send(int from, int to, Message m);
-  void do_schedule(int from, int delay_rounds, Message m);
-  int delivery_round();
-  bool dropped();
-  Bucket& bucket(int round);
+  // Precomputed per-reception sort key; see run() for the encoding.
+  struct DeliveryKey {
+    std::uint64_t k1;   // internal | kind
+    std::uint64_t k2;   // hops | origin
+    std::uint32_t k3;   // sender
+    std::uint32_t idx;  // position in the round's inbox
+  };
+
+  // Where one delivery chunk's emissions and accounting go. In serial
+  // mode (`staged == nullptr`) envelopes land directly in the engine's
+  // pending ring; in parallel mode they land in the chunk's staging
+  // buckets (indexed by extra delay) and are merged at the round
+  // boundary. Counters are absorbed into RunStats in chunk order either
+  // way, so totals accumulate in the exact serial sequence.
+  struct EmitSink {
+    std::vector<Bucket>* staged = nullptr;
+    int staged_hi = -1;             // highest staged extra this round
+    std::int64_t queued = 0;        // envelopes produced (broadcast = 1)
+    std::int64_t transmissions = 0;
+    std::int64_t receptions = 0;
+    std::int64_t faults_tx_suppressed = 0;
+    std::int64_t faults_rx_crashed = 0;
+    std::int64_t faults_rx_sleeping = 0;
+    std::int64_t faults_rx_linkdown = 0;
+    std::int64_t retransmissions = 0;
+    int node = -1;                  // node currently emitting
+    std::uint32_t emit_seq = 0;     // per-(node, round) emission index
+  };
+  struct Chunk {
+    std::vector<Bucket> staged;
+    EmitSink sink;
+  };
+
+  void do_broadcast(EmitSink& s, int from, Message m);
+  void do_send(EmitSink& s, int from, int to, Message m);
+  void do_schedule(EmitSink& s, int from, int delay_rounds, Message m);
+  // Counter-based draws: pure functions of (seed, lifetime round,
+  // sender, receiver, emission index) — order- and thread-independent.
+  int delivery_round(int from, std::uint32_t emit) const;
+  bool dropped(int from, int to, std::uint32_t emit) const;
+  Bucket& bucket(int extra);
+  Bucket& sink_bucket(EmitSink& s, int extra);
+  void pop_front(Bucket& inbox);
+  void absorb(EmitSink& s);
+  void merge_chunks(int used_chunks);
+  void deliver_range(Protocol& protocol, const Bucket& inbox,
+                     std::vector<DeliveryKey>& keys,
+                     const std::vector<int>& slice_end, EmitSink& sink,
+                     int vbegin, int vend);
   // Round on the fault clock: cumulative rounds across runs.
   int fault_clock() const { return fault_base_ + now_; }
 
   const net::Graph& graph_;
-  // Messages scheduled per future round (index = round - current - 1 in
-  // the pending deque).
+  // Pending traffic, bucketed per future round: the bucket for round
+  // now_ + 1 + extra lives at pending_[head_ + extra]. Popping a round
+  // advances head_ (swapping the drained arenas into the inbox);
+  // periodic std::rotate compaction recycles drained buckets — and
+  // their vector capacities — to the tail instead of destroying them,
+  // so steady-state rounds allocate nothing.
   std::vector<Bucket> pending_;
+  std::size_t head_ = 0;
+  std::int64_t inflight_ = 0;  // queued envelopes across all buckets
+  // Per-round scratch, reused across rounds AND runs: the drained
+  // inbox's arenas, the precomputed delivery keys, and the
+  // per-destination slice offsets. Together with the pending ring this
+  // makes steady-state rounds allocation-free (BM_EngineRound pins it).
+  Bucket inbox_;
+  std::vector<DeliveryKey> keys_;
+  std::vector<int> slice_at_;
+  std::vector<int> slice_end_;
   int max_jitter_ = 0;
-  std::uint64_t jitter_state_ = 0;
+  std::uint64_t jitter_seed_ = 0;
   double loss_ = 0.0;
-  std::uint64_t loss_state_ = 0;
+  std::uint64_t loss_seed_ = 0;
   FaultPlan faults_;
   bool have_faults_ = false;
+  int threads_;
+  std::unique_ptr<exec::ThreadPool> pool_;  // created on first parallel run
+  std::vector<Chunk> chunks_;
+  std::int64_t round_retx_ = 0;  // retransmissions since the last sample
   int now_ = 0;         // round currently being processed
   int fault_base_ = 0;  // lifetime rounds completed before this run
   bool record_series_ = false;

@@ -53,6 +53,10 @@ class FaultPlan {
   }
 
   // --- Queries (engine hot path) --------------------------------------------
+  // Const lookups over containers frozen after plan construction: the
+  // engine calls these concurrently from parallel delivery chunks
+  // (set_threads > 1), which is safe as long as no mutator runs while a
+  // simulation is in flight — install the plan before Engine::run.
   bool is_crashed(int node, int round) const;
   bool is_asleep(int node, int round) const;
   bool link_up(int u, int v, int round) const;

@@ -9,6 +9,12 @@
 // transmission a FaultPlan swallowed, and flags runs that were cut off
 // by the round cap, so a non-quiescent run is distinguishable from a
 // converged one.
+//
+// Under intra-round parallel execution (Engine::set_threads) every
+// counter here is accumulated per delivery chunk and folded into the
+// run's RunStats at the round boundary in fixed chunk order, so the
+// totals — and the per-round series deltas derived from them — are
+// bit-identical to the serial engine at any thread count.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,277 @@
+// Serial-vs-parallel bit-identity of the simulation engine
+// (Engine::set_threads): RunStats, protocol end-state, and the
+// per-round RoundSeries must be byte-for-byte equal at 1, 2, and 8
+// threads — on clean runs, under reception loss, under a FaultPlan
+// (crashes, duty-cycle sleep, link churn), and with every stage wrapped
+// in a ReliableFloodWrapper. The scenarios cover both UDG and QUDG
+// radio models so delivery order is exercised on graphs with and
+// without the probabilistic uncertainty band.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/protocols.h"
+#include "core/reliable.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/graph.h"
+#include "radio/radio_model.h"
+#include "sim/engine.h"
+#include "sim/faults.h"
+
+namespace skelex {
+namespace {
+
+bool same_sample(const obs::RoundSample& a, const obs::RoundSample& b) {
+  return a.round == b.round && a.transmissions == b.transmissions &&
+         a.receptions == b.receptions && a.queue_depth == b.queue_depth &&
+         a.fault_drops == b.fault_drops &&
+         a.retransmissions == b.retransmissions;
+}
+
+void expect_same_series(const obs::RoundSeries& a, const obs::RoundSeries& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(same_sample(a.samples()[i], b.samples()[i]))
+        << "series row " << i << " differs";
+  }
+}
+
+void expect_same_stats(const sim::RunStats& a, const sim::RunStats& b) {
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.transmissions, b.transmissions);
+  EXPECT_EQ(a.receptions, b.receptions);
+  EXPECT_EQ(a.faults_tx_suppressed, b.faults_tx_suppressed);
+  EXPECT_EQ(a.faults_rx_crashed, b.faults_rx_crashed);
+  EXPECT_EQ(a.faults_rx_sleeping, b.faults_rx_sleeping);
+  EXPECT_EQ(a.faults_rx_linkdown, b.faults_rx_linkdown);
+  EXPECT_EQ(a.hit_round_cap, b.hit_round_cap);
+  expect_same_series(a.series, b.series);
+}
+
+void expect_same_voronoi(const core::VoronoiResult& a,
+                         const core::VoronoiResult& b) {
+  EXPECT_EQ(a.sites, b.sites);
+  EXPECT_EQ(a.site_of, b.site_of);
+  EXPECT_EQ(a.dist, b.dist);
+  EXPECT_EQ(a.parent, b.parent);
+  EXPECT_EQ(a.site2_of, b.site2_of);
+  EXPECT_EQ(a.dist2, b.dist2);
+  EXPECT_EQ(a.via2, b.via2);
+  EXPECT_EQ(a.is_segment, b.is_segment);
+  EXPECT_EQ(a.is_voronoi_node, b.is_voronoi_node);
+}
+
+void expect_same_run(const core::DistributedRun& a,
+                     const core::DistributedRun& b) {
+  EXPECT_EQ(a.index.khop_size, b.index.khop_size);
+  EXPECT_EQ(a.index.centrality, b.index.centrality);
+  EXPECT_EQ(a.index.index, b.index.index);
+  EXPECT_EQ(a.critical_nodes, b.critical_nodes);
+  expect_same_voronoi(a.voronoi, b.voronoi);
+  expect_same_stats(a.khop_stats, b.khop_stats);
+  expect_same_stats(a.centrality_stats, b.centrality_stats);
+  expect_same_stats(a.localmax_stats, b.localmax_stats);
+  expect_same_stats(a.voronoi_stats, b.voronoi_stats);
+}
+
+net::Graph udg_graph(int nodes, std::uint64_t seed) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = nodes;
+  spec.target_avg_deg = 8.0;
+  spec.seed = seed;
+  return deploy::make_udg_scenario(geom::shapes::window(), spec).graph;
+}
+
+net::Graph qudg_graph(int nodes, std::uint64_t seed) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = nodes;
+  spec.target_avg_deg = 9.0;
+  spec.seed = seed;
+  const geom::Region region = geom::shapes::window();
+  deploy::Rng rng(seed);
+  const std::vector<geom::Vec2> pos =
+      deploy::scenario_positions(region, spec, rng);
+  const double range = deploy::calibrate_range(pos, spec.target_avg_deg);
+  const radio::QuasiUnitDiskModel model(range, 0.4, 0.3);
+  return deploy::make_scenario(region, spec, model).graph;
+}
+
+// A representative FaultPlan: one early crash, one mid-run crash, a
+// duty-cycle sleep window, and a churning link near the flood origin.
+sim::FaultPlan make_plan(const net::Graph& g) {
+  sim::FaultPlan plan;
+  const int n = g.n();
+  plan.crash_at(n / 3, 0);
+  plan.crash_at(n / 2, 4);
+  plan.sleep(n / 4, 2, 9);
+  plan.sleep(2 * n / 3, 1, 5);
+  if (!g.neighbors(0).empty()) {
+    plan.link_churn(0, g.neighbors(0)[0], /*down=*/2, /*up=*/2, /*phase=*/1);
+  }
+  plan.link_down(1, g.neighbors(1).empty() ? 2 : g.neighbors(1)[0], 0, 20);
+  return plan;
+}
+
+enum class Mode { kClean, kLoss, kFaults, kLossAndFaults };
+
+// One full four-stage distributed run at the given engine thread count.
+core::DistributedRun run_stages(const net::Graph& g, int threads, Mode mode) {
+  const core::Params params;
+  sim::Engine engine(g);
+  engine.set_threads(threads);
+  engine.enable_round_series(true);
+  if (mode == Mode::kLoss || mode == Mode::kLossAndFaults) {
+    engine.set_loss(0.3, /*seed=*/11);
+  }
+  if (mode == Mode::kFaults || mode == Mode::kLossAndFaults) {
+    engine.set_faults(make_plan(g));
+  }
+  return core::run_distributed_stages(g, params, engine);
+}
+
+void expect_bit_identity(const net::Graph& g, Mode mode) {
+  const core::DistributedRun serial = run_stages(g, 1, mode);
+  for (const int threads : {2, 8}) {
+    const core::DistributedRun parallel = run_stages(g, threads, mode);
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    expect_same_run(serial, parallel);
+  }
+}
+
+TEST(EngineParallel, CleanRunUdg) {
+  expect_bit_identity(udg_graph(600, 21), Mode::kClean);
+}
+
+TEST(EngineParallel, CleanRunQudg) {
+  expect_bit_identity(qudg_graph(500, 22), Mode::kClean);
+}
+
+TEST(EngineParallel, LossyRunUdg) {
+  expect_bit_identity(udg_graph(500, 23), Mode::kLoss);
+}
+
+TEST(EngineParallel, FaultPlanUdg) {
+  expect_bit_identity(udg_graph(500, 24), Mode::kFaults);
+}
+
+TEST(EngineParallel, LossAndFaultsQudg) {
+  expect_bit_identity(qudg_graph(400, 25), Mode::kLossAndFaults);
+}
+
+TEST(EngineParallel, JitterRunUdg) {
+  const net::Graph g = udg_graph(400, 26);
+  const core::Params params;
+  const auto run_with = [&](int threads) {
+    sim::Engine engine(g);
+    engine.set_threads(threads);
+    engine.enable_round_series(true);
+    engine.set_jitter(3, /*seed=*/5);
+    return core::run_distributed_stages(g, params, engine);
+  };
+  const core::DistributedRun serial = run_with(1);
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    expect_same_run(serial, run_with(threads));
+  }
+}
+
+// The reliable flooding synchronizer layers retransmission timers, ACK
+// bookkeeping, and note_retransmission() telemetry on top of the plain
+// floods — all of it must stay bit-identical under parallel delivery.
+TEST(EngineParallel, ReliableWrapperUnderLoss) {
+  const net::Graph g = udg_graph(400, 27);
+  const core::Params params;
+  const auto run_with = [&](int threads) {
+    sim::Engine engine(g);
+    engine.set_threads(threads);
+    engine.enable_round_series(true);
+    engine.set_loss(0.25, /*seed=*/13);
+    return core::run_distributed_stages_reliable(g, params, engine);
+  };
+  const core::ReliableRun serial = run_with(1);
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE(testing::Message() << "threads=" << threads);
+    const core::ReliableRun parallel = run_with(threads);
+    expect_same_run(serial.run, parallel.run);
+    const auto rel_eq = [](const core::ReliableStats& a,
+                           const core::ReliableStats& b) {
+      EXPECT_EQ(a.data_sent, b.data_sent);
+      EXPECT_EQ(a.frames_sent, b.frames_sent);
+      EXPECT_EQ(a.acks_sent, b.acks_sent);
+      EXPECT_EQ(a.pings_sent, b.pings_sent);
+      EXPECT_EQ(a.retransmissions, b.retransmissions);
+      EXPECT_EQ(a.duplicates, b.duplicates);
+      EXPECT_EQ(a.implicit_acks, b.implicit_acks);
+      EXPECT_EQ(a.gave_up_links, b.gave_up_links);
+      EXPECT_EQ(a.overflow_data, b.overflow_data);
+      EXPECT_EQ(a.stalled_nodes, b.stalled_nodes);
+    };
+    rel_eq(serial.khop_rel, parallel.khop_rel);
+    rel_eq(serial.centrality_rel, parallel.centrality_rel);
+    rel_eq(serial.localmax_rel, parallel.localmax_rel);
+    rel_eq(serial.voronoi_rel, parallel.voronoi_rel);
+  }
+}
+
+// A protocol that breaks handler isolation on purpose: every handler
+// appends to one shared log. Declaring parallel_safe() == false forces
+// the engine onto the serial path even at set_threads(8), so the log —
+// which WOULD be racy and order-scrambled under real parallelism — is
+// identical to the 1-thread run.
+class SharedLogProtocol final : public sim::Protocol {
+ public:
+  bool parallel_safe() const override { return false; }
+  void on_start(sim::NodeContext& ctx) override {
+    if (ctx.node() == 0) ctx.broadcast({1, 0, 1, 0, -1});
+  }
+  void on_message(sim::NodeContext& ctx, const sim::Message& m) override {
+    log.push_back(ctx.node());
+    if (m.hops < 6) ctx.broadcast({1, m.origin, m.hops + 1, 0, -1});
+  }
+  std::vector<int> log;  // deliberately shared across nodes
+};
+
+TEST(EngineParallel, ParallelUnsafeProtocolForcesSerialPath) {
+  const net::Graph g = udg_graph(300, 28);
+  const auto run_with = [&](int threads) {
+    SharedLogProtocol p;
+    sim::Engine engine(g);
+    engine.set_threads(threads);
+    engine.run(p);
+    return p.log;
+  };
+  const std::vector<int> serial = run_with(1);
+  const std::vector<int> wide = run_with(8);
+  EXPECT_EQ(serial, wide);
+  EXPECT_FALSE(serial.empty());
+}
+
+// set_threads(0) resolves to the SKELEX_ENGINE_THREADS default;
+// whatever it is, results match an explicit 1-thread engine.
+TEST(EngineParallel, DefaultThreadsMatchesSerial) {
+  const net::Graph g = udg_graph(300, 29);
+  const core::Params params;
+  sim::Engine serial_engine(g);
+  serial_engine.set_threads(1);
+  const core::DistributedRun serial =
+      core::run_distributed_stages(g, params, serial_engine);
+  sim::Engine default_engine(g);
+  default_engine.set_threads(0);
+  EXPECT_EQ(default_engine.threads(), sim::default_engine_threads());
+  const core::DistributedRun dflt =
+      core::run_distributed_stages(g, params, default_engine);
+  expect_same_run(serial, dflt);
+}
+
+TEST(EngineParallel, SetThreadsValidates) {
+  const net::Graph g = udg_graph(50, 30);
+  sim::Engine e(g);
+  EXPECT_THROW(e.set_threads(-1), std::invalid_argument);
+  e.set_threads(8);
+  EXPECT_EQ(e.threads(), 8);
+}
+
+}  // namespace
+}  // namespace skelex

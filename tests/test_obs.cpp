@@ -266,7 +266,6 @@ TEST(RoundSeries, ReliableWrapperAttributesRetransmissions) {
   core::KhopSizeProtocol inner(g.n(), 2);
   opts.max_logical_rounds = 2;
   core::ReliableFloodWrapper w(inner, g, opts);
-  w.attach_engine(&engine);
   const sim::RunStats stats = engine.run(w);
   const core::ReliableStats rel = w.stats();
   ASSERT_GT(rel.retransmissions, 0) << "loss must force retransmissions";

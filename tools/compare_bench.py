@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare two BENCH_<N>.json baselines (tools/record_bench.sh output).
+
+Usage: tools/compare_bench.py BASELINE CURRENT [--max-ratio 1.25]
+
+Two checks, in decreasing order of strictness:
+
+  * Result fields must be BYTE-IDENTICAL: everything except wall times
+    (the "millis" keys) is deterministic — transmission counts, rounds,
+    skeleton sizes, cycle counts, coverage, and the metrics counters.
+    Any difference is a behavior change and fails the comparison.
+
+  * Wall times must not regress by more than --max-ratio (default 1.25,
+    i.e. fail on a >25% slowdown) on the fig4 total and on every thm5
+    row. Speedups never fail. Wall time is noisy across machines; set
+    --max-ratio 0 to skip the timing check entirely (the CI smoke run
+    does this when comparing across runner generations).
+
+Rows present in only one file (e.g. a new sweep size, or the appended
+"engine" section) are reported but do not fail the byte-identity check —
+the schema is append-only by design.
+"""
+import argparse
+import json
+import sys
+
+
+def strip_millis(obj):
+    """Recursively drop every key containing wall-clock time."""
+    if isinstance(obj, dict):
+        return {
+            k: strip_millis(v)
+            for k, v in obj.items()
+            if "millis" not in k and k != "speedup"
+        }
+    if isinstance(obj, list):
+        return [strip_millis(v) for v in obj]
+    return obj
+
+
+def diff_result_fields(base, cur, path=""):
+    """Yield human-readable differences between stripped structures.
+
+    Keys present only in `cur` (append-only schema growth) are allowed;
+    keys that vanished or changed value are violations.
+    """
+    if isinstance(base, dict) and isinstance(cur, dict):
+        for k in base:
+            p = f"{path}.{k}" if path else k
+            if k not in cur:
+                yield f"missing in current: {p}"
+            else:
+                yield from diff_result_fields(base[k], cur[k], p)
+        return
+    if isinstance(base, list) and isinstance(cur, list):
+        if len(base) != len(cur):
+            yield f"length changed at {path}: {len(base)} -> {len(cur)}"
+            return
+        for i, (b, c) in enumerate(zip(base, cur)):
+            yield from diff_result_fields(b, c, f"{path}[{i}]")
+        return
+    if base != cur:
+        yield f"value changed at {path}: {base!r} -> {cur!r}"
+
+
+def check_timings(base, cur, max_ratio):
+    """Yield timing regressions beyond max_ratio."""
+    b_total = base.get("fig4", {}).get("total_millis")
+    c_total = cur.get("fig4", {}).get("total_millis")
+    if b_total and c_total and c_total > b_total * max_ratio:
+        yield (f"fig4 total_millis regressed: {b_total} -> {c_total} "
+               f"(> x{max_ratio})")
+    b_rows = {r["n"]: r for r in base.get("thm5", {}).get("rows", [])}
+    for row in cur.get("thm5", {}).get("rows", []):
+        b = b_rows.get(row["n"])
+        if not b:
+            continue
+        if b["millis"] and row["millis"] > b["millis"] * max_ratio:
+            yield (f"thm5 n={row['n']} millis regressed: "
+                   f"{b['millis']} -> {row['millis']} (> x{max_ratio})")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--max-ratio", type=float, default=1.25,
+                    help="fail when current millis > baseline * ratio; "
+                         "0 skips the timing check")
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = json.load(f)
+    with open(args.current) as f:
+        cur = json.load(f)
+
+    failures = list(diff_result_fields(strip_millis(base), strip_millis(cur)))
+    for msg in failures:
+        print(f"RESULT DIFF: {msg}")
+
+    if args.max_ratio > 0:
+        timing = list(check_timings(base, cur, args.max_ratio))
+        for msg in timing:
+            print(f"TIMING: {msg}")
+        failures += timing
+
+    if failures:
+        print(f"FAIL: {len(failures)} difference(s) vs {args.baseline}")
+        return 1
+    print(f"OK: {args.current} matches {args.baseline} "
+          f"(results byte-identical"
+          + (f", timings within x{args.max_ratio})" if args.max_ratio > 0
+             else ", timing check skipped)"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,11 @@
 #!/usr/bin/env bash
 # Record a perf/behavior baseline: run the fig4 + thm5 sweeps and distil
 # their reports into a stable-schema BENCH_<N>.json at the repo root, so
-# future PRs have a trajectory to diff against.
+# future PRs have a trajectory to diff against
+# (tools/compare_bench.py diffs two of them).
 #
 # Usage: tools/record_bench.sh [build-dir] [out-file]
-#   build-dir defaults to ./build, out-file to ./BENCH_3.json.
+#   build-dir defaults to ./build, out-file to ./BENCH_5.json.
 #
 # Schema (append-only — add keys, never rename):
 #   {
@@ -15,30 +16,48 @@
 #     "thm5":  {"rows": [{n, transmissions, tx_per_node, rounds,
 #                         millis}...]},
 #     "metrics": {"fig4": {<name>: <counter value>, ...},
-#                 "thm5": {...}}   # per-bench (each process's registry)
+#                 "thm5": {...}},  # per-bench (each process's registry)
+#     "engine": {"n", "host_threads",          # intra-round parallelism:
+#                "millis_threads1",            # largest thm5 cell, serial
+#                "millis_threads8",            # same cell, 8 engine threads
+#                "speedup"}                    # threads1 / threads8
 #   }
-# Wall-times vary run to run; everything else is deterministic.
+# Wall-times vary run to run; everything else is deterministic — the
+# engine rows' transmissions/rounds are asserted equal across thread
+# counts before the summary is written.
 set -euo pipefail
 
 build_dir=${1:-build}
-out=${2:-BENCH_3.json}
+out=${2:-BENCH_5.json}
 
-if [[ ! -x "$build_dir/bench/bench_fig4_scenarios" ]]; then
+if [[ ! -x "$build_dir/bench/bench_thm5_complexity" ]]; then
   echo "error: benches not built in $build_dir (cmake --build $build_dir)" >&2
   exit 1
 fi
+
+# Intra-round engine parallelism on the largest thm5 network: one sweep
+# serial, one at 8 engine threads (sweep-level --threads 1 so the engine
+# is the only parallelism). Copied aside before the canonical runs below
+# overwrite bench_out/.
+(cd "$build_dir" && ./bench/bench_thm5_complexity --threads 1 --engine-threads 1 > /dev/null)
+cp "$build_dir/bench_out/thm5_complexity.json" "$build_dir/bench_out/thm5_et1.json"
+(cd "$build_dir" && ./bench/bench_thm5_complexity --threads 1 --engine-threads 8 > /dev/null)
+cp "$build_dir/bench_out/thm5_complexity.json" "$build_dir/bench_out/thm5_et8.json"
 
 (cd "$build_dir" && ./bench/bench_fig4_scenarios --threads 4 > /dev/null)
 (cd "$build_dir" && ./bench/bench_thm5_complexity --threads 4 --telemetry > /dev/null)
 
 python3 - "$build_dir" "$out" <<'EOF'
 import json
+import os
 import sys
 
 build_dir, out = sys.argv[1], sys.argv[2]
 
 fig4 = json.load(open(f"{build_dir}/bench_out/fig4_scenarios.json"))
 thm5 = json.load(open(f"{build_dir}/bench_out/thm5_complexity.json"))
+et1 = json.load(open(f"{build_dir}/bench_out/thm5_et1.json"))
+et8 = json.load(open(f"{build_dir}/bench_out/thm5_et8.json"))
 
 def counters(report):
     out = {}
@@ -49,6 +68,20 @@ def counters(report):
                 key += "{" + m["labels"] + "}"
             out[key] = m["value"]
     return dict(sorted(out.items()))
+
+def row_millis(row):
+    return round(sum(t["millis"] for t in row["trace"]), 3)
+
+# The engine's determinism contract: identical results at any engine
+# thread count. Assert it on the raw reports before recording timings.
+for r1, r8 in zip(et1["rows"], et8["rows"]):
+    for key in ("n", "transmissions", "tx_per_node", "rounds"):
+        assert r1[key] == r8[key], (
+            f"engine-threads result mismatch at n={r1['n']}: "
+            f"{key} {r1[key]} != {r8[key]}")
+
+big1, big8 = et1["rows"][-1], et8["rows"][-1]
+m1, m8 = row_millis(big1), row_millis(big8)
 
 summary = {
     "schema": 1,
@@ -67,12 +100,19 @@ summary = {
                 "transmissions": r["transmissions"],
                 "tx_per_node": r["tx_per_node"],
                 "rounds": r["rounds"],
-                "millis": round(sum(t["millis"] for t in r["trace"]), 3),
+                "millis": row_millis(r),
             }
             for r in thm5["rows"]
         ],
     },
     "metrics": {"fig4": counters(fig4), "thm5": counters(thm5)},
+    "engine": {
+        "n": big1["n"],
+        "host_threads": os.cpu_count(),
+        "millis_threads1": m1,
+        "millis_threads8": m8,
+        "speedup": round(m1 / m8, 3) if m8 else None,
+    },
 }
 
 with open(out, "w") as f:

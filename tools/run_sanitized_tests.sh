@@ -1,15 +1,26 @@
 #!/usr/bin/env bash
-# Builds the tree with -DSKELEX_SANITIZE=ON (ASan + UBSan) in a separate
-# build directory and runs the full test suite under the sanitizers.
+# Builds the tree with sanitizers in a separate build directory and runs
+# the test suite under them.
 #
-#   BUILD_DIR=build-asan ./tools/run_sanitized_tests.sh [ctest args...]
+#   SKELEX_SANITIZE=address (default) -> ASan + UBSan, build-asan
+#   SKELEX_SANITIZE=thread            -> TSan,         build-tsan
+#
+#   ./tools/run_sanitized_tests.sh [ctest args...]
+#   SKELEX_SANITIZE=thread ./tools/run_sanitized_tests.sh -R EngineParallel
+#
+# BUILD_DIR overrides the per-mode default directory.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-BUILD_DIR=${BUILD_DIR:-build-asan}
+MODE=${SKELEX_SANITIZE:-address}
+case "$MODE" in
+  thread) default_dir=build-tsan ;;
+  *)      default_dir=build-asan ;;
+esac
+BUILD_DIR=${BUILD_DIR:-$default_dir}
 
 JOBS=${JOBS:-$(nproc)}
 
-cmake -B "$BUILD_DIR" -S . -DSKELEX_SANITIZE=ON
+cmake -B "$BUILD_DIR" -S . -DSKELEX_SANITIZE="$MODE"
 cmake --build "$BUILD_DIR" -j "$JOBS"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS" "$@"
