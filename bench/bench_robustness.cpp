@@ -49,6 +49,11 @@ struct Cell {
   long long retransmissions = 0;
   long long gave_up = 0;
   bool hit_round_cap = false;
+  // Reproducibility: the cell's fault/loss RNG seed and the content
+  // digest of the compiled fault schedule (crashes + link-churn
+  // windows) — a cell can be replayed from the JSON alone.
+  std::uint64_t fault_seed = 0;
+  std::uint64_t schedule_digest = 0;
   core::StageTrace trace;
 };
 
@@ -90,6 +95,8 @@ Cell run_cell(const net::Graph& g, const core::SkeletonResult& baseline,
       }
     }
   }
+  cell.fault_seed = seed;
+  cell.schedule_digest = plan.digest();
   if (!plan.empty()) engine.set_faults(plan);
 
   core::ReliableOptions opts;
@@ -197,6 +204,9 @@ void append_cells(bench::JsonWriter& json, const std::vector<Cell>& cells) {
     json.key("retransmissions").value(c.retransmissions);
     json.key("gave_up").value(c.gave_up);
     json.key("hit_round_cap").value(c.hit_round_cap);
+    json.key("fault_seed").value(static_cast<long long>(c.fault_seed));
+    json.key("schedule_digest")
+        .value(static_cast<long long>(c.schedule_digest));
     bench::write_trace(json, c.trace);
     json.end_object();
   }
@@ -260,6 +270,7 @@ int main(int argc, char** argv) {
   json.begin_object();
   json.key("bench").value("robustness");
   json.key("threads").value(sweep.threads());
+  json.key("sweep_seed").value(static_cast<long long>(kSweepSeed));
   json.key("shapes").begin_object();
   for (std::size_t si = 0; si < cases.size(); ++si) {
     const ShapeCase& sh = cases[si];

@@ -1,0 +1,906 @@
+#include "core/maintain.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+// Exactness of the incremental repair (why tier 1 is bit-identical to a
+// from-scratch extraction):
+//
+// Stage 1 locality. A topology change at seed set S can alter |N_k(v)|
+// only for v in ball(S, k): the scan of any other node sees an unchanged
+// subgraph. Hence c_l and the index change only inside ball(S, k + l),
+// and criticality — which reads the index over an r-hop scan — only
+// inside ball(S, k + l + r). The patch recomputes exactly those balls
+// with the same kernels (KhopScanner order, long long centrality
+// accumulator, 0.5 * (khop + c_l)), reading cached values outside,
+// which are canonical by the same argument. The balls are grown on the
+// POST-change CSR; this suffices because for any node whose pre-change
+// ball would differ, the minimal changed endpoint still lies within the
+// same hop radius on the new graph.
+//
+// Stage 2 locality is NOT bounded a priori (a removed bridge moves
+// distances arbitrarily far), so the regional re-flood proves itself
+// a posteriori: unit-weight multi-source distances are the unique
+// fixed point of d(v) = min(0 at sites, min_w d(w) + 1), so if after
+// re-flooding region2 with the cached rim held fixed every rim node's
+// cached distance and adoption still satisfy the fixed-point equations
+// against its (new) neighborhood, the combined labeling is THE global
+// fixed point — identical to build_voronoi from scratch. Any rim
+// mismatch means changes escaped the region and the repair escalates to
+// a full recompute. Adoption and second-record rules replicate
+// build_voronoi's comparisons verbatim, and records are rebuilt for
+// region2 plus its rim (a record reads only a node's own and direct
+// neighbors' adopted state, so nothing further can change).
+namespace skelex::core {
+
+namespace {
+
+std::uint64_t fnv_mix(std::uint64_t h, std::uint64_t x) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xffull;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double millis_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+const char* repair_tier_name(RepairTier t) {
+  switch (t) {
+    case RepairTier::kNone: return "none";
+    case RepairTier::kLocalPatch: return "local_patch";
+    case RepairTier::kRegionalReflood: return "regional_reflood";
+    case RepairTier::kFullRecompute: return "full_recompute";
+  }
+  return "unknown";
+}
+
+std::uint64_t skeleton_fingerprint(const SkeletonGraph& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  const std::vector<int> nodes = s.nodes();  // ascending
+  h = fnv_mix(h, static_cast<std::uint64_t>(nodes.size()));
+  std::vector<std::pair<int, int>> edges;
+  for (int v : nodes) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(v));
+    for (int w : s.neighbors(v)) {
+      if (w > v) edges.emplace_back(v, w);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  h = fnv_mix(h, static_cast<std::uint64_t>(edges.size()));
+  for (const auto& [u, v] : edges) {
+    h = fnv_mix(h, static_cast<std::uint64_t>(u));
+    h = fnv_mix(h, static_cast<std::uint64_t>(v));
+  }
+  return h;
+}
+
+InvariantReport check_skeleton_invariants(const net::CsrGraph& csr,
+                                          std::span<const char> active,
+                                          const SkeletonResult& r) {
+  const int n = csr.n();
+  if (static_cast<int>(active.size()) != n) {
+    throw std::invalid_argument("active mask size does not match the graph");
+  }
+  InvariantReport rep;
+
+  int active_count = 0;
+  for (int v = 0; v < n; ++v) {
+    if (active[static_cast<std::size_t>(v)]) ++active_count;
+  }
+
+  const SkeletonGraph& sk = r.skeleton;
+  const std::vector<int> sk_nodes = sk.nodes();
+  std::vector<char> on_skeleton(static_cast<std::size_t>(n), 0);
+  for (int v : sk_nodes) {
+    if (v >= n || !active[static_cast<std::size_t>(v)]) {
+      ++rep.inactive_skeleton_nodes;
+      continue;
+    }
+    on_skeleton[static_cast<std::size_t>(v)] = 1;
+    for (int w : sk.neighbors(v)) {
+      if (w <= v) continue;  // count each undirected edge once
+      bool live = w < n && active[static_cast<std::size_t>(w)];
+      if (live) {
+        live = false;
+        for (int x : csr.neighbors(v)) {
+          if (x == w) {
+            live = true;
+            break;
+          }
+        }
+      }
+      if (!live) ++rep.phantom_skeleton_edges;
+    }
+  }
+
+  // Every active component must contain at least one skeleton node.
+  {
+    std::vector<char> seen(static_cast<std::size_t>(n), 0);
+    std::vector<int> queue;
+    for (int s = 0; s < n; ++s) {
+      if (!active[static_cast<std::size_t>(s)] ||
+          seen[static_cast<std::size_t>(s)]) {
+        continue;
+      }
+      queue.clear();
+      queue.push_back(s);
+      seen[static_cast<std::size_t>(s)] = 1;
+      bool covered = false;
+      for (std::size_t head = 0; head < queue.size(); ++head) {
+        const int v = queue[head];
+        if (on_skeleton[static_cast<std::size_t>(v)]) covered = true;
+        for (int w : csr.neighbors(v)) {
+          if (active[static_cast<std::size_t>(w)] &&
+              !seen[static_cast<std::size_t>(w)]) {
+            seen[static_cast<std::size_t>(w)] = 1;
+            queue.push_back(w);
+          }
+        }
+      }
+      if (!covered) ++rep.uncovered_components;
+    }
+  }
+
+  for (int s : r.voronoi.sites) {
+    if (s < 0 || s >= n || !active[static_cast<std::size_t>(s)]) {
+      ++rep.inactive_sites;
+    }
+  }
+  if (static_cast<int>(r.voronoi.site_of.size()) == n) {
+    for (int v = 0; v < n; ++v) {
+      if (active[static_cast<std::size_t>(v)] &&
+          r.voronoi.site_of[static_cast<std::size_t>(v)] == -1) {
+        ++rep.unassigned_active_nodes;
+      }
+    }
+  } else if (active_count > 0) {
+    rep.violations.push_back("voronoi site_of covers " +
+                             std::to_string(r.voronoi.site_of.size()) +
+                             " nodes, topology has " + std::to_string(n));
+  }
+
+  rep.empty_skeleton = active_count > 0 && sk.node_count() == 0;
+
+  if (rep.inactive_skeleton_nodes > 0) {
+    rep.violations.push_back(std::to_string(rep.inactive_skeleton_nodes) +
+                             " skeleton node(s) are inactive");
+  }
+  if (rep.phantom_skeleton_edges > 0) {
+    rep.violations.push_back(std::to_string(rep.phantom_skeleton_edges) +
+                             " skeleton edge(s) are not live links");
+  }
+  if (rep.uncovered_components > 0) {
+    rep.violations.push_back(std::to_string(rep.uncovered_components) +
+                             " active component(s) have no skeleton node");
+  }
+  if (rep.inactive_sites > 0) {
+    rep.violations.push_back(std::to_string(rep.inactive_sites) +
+                             " Voronoi site(s) are inactive");
+  }
+  if (rep.unassigned_active_nodes > 0) {
+    rep.violations.push_back(std::to_string(rep.unassigned_active_nodes) +
+                             " active node(s) belong to no Voronoi cell");
+  }
+  if (rep.empty_skeleton) {
+    rep.violations.push_back("skeleton is empty but active nodes exist");
+  }
+  return rep;
+}
+
+SkeletonMaintainer::SkeletonMaintainer(sim::DynamicTopology& topo,
+                                       MaintainOptions opt)
+    : topo_(topo), opt_(std::move(opt)) {
+  opt_.params.validate();
+  if (opt_.repair_interval < 1) {
+    throw std::invalid_argument("repair_interval must be >= 1");
+  }
+  if (opt_.staleness_bound < 1) {
+    throw std::invalid_argument("staleness_bound must be >= 1");
+  }
+  if (opt_.full_rebuild_fraction <= 0.0 || opt_.full_rebuild_fraction > 1.0) {
+    throw std::invalid_argument("full_rebuild_fraction must be in (0, 1]");
+  }
+  if (opt_.dirty_radius < 0) {
+    throw std::invalid_argument("dirty_radius must be >= 0");
+  }
+  ws_.reserve(topo_.n());
+}
+
+int SkeletonMaintainer::effective_dirty_radius() const {
+  if (opt_.dirty_radius > 0) return opt_.dirty_radius;
+  return opt_.params.k + opt_.params.l +
+         opt_.params.effective_local_max_radius();
+}
+
+SkeletonResult SkeletonMaintainer::canonical() const {
+  const net::CsrGraph& csr = topo_.csr();
+  if (topo_.active_count() == 0) {
+    // No network: the canonical skeleton is empty. The stage-1/2 arrays
+    // still span the stable id space (all-zero index, no cells) so
+    // future patches can read them.
+    SkeletonResult r;
+    r.params = opt_.params;
+    const std::size_t n = static_cast<std::size_t>(csr.n());
+    r.index.khop_size.assign(n, 0);
+    r.index.centrality.assign(n, 0.0);
+    r.index.index.assign(n, 0.0);
+    r.voronoi.site_of.assign(n, -1);
+    r.voronoi.dist.assign(n, net::kUnreached);
+    r.voronoi.parent.assign(n, -1);
+    r.voronoi.site2_of.assign(n, -1);
+    r.voronoi.dist2.assign(n, net::kUnreached);
+    r.voronoi.via2.assign(n, -1);
+    r.voronoi.is_segment.assign(n, 0);
+    r.voronoi.is_voronoi_node.assign(n, 0);
+    r.voronoi.nearby.assign(n, {});
+    return r;
+  }
+  IndexData idx = compute_index(csr, ws_, opt_.params);
+  std::vector<int> crit = identify_critical_nodes(csr, ws_, idx, opt_.params);
+  // Departed nodes are isolated, which makes them trivial local maxima;
+  // they must not become sites.
+  std::erase_if(crit, [&](int v) { return !topo_.is_active(v); });
+  VoronoiResult vor = build_voronoi(csr, ws_, crit, opt_.params);
+  return complete_extraction(topo_.graph(), csr, opt_.params, std::move(idx),
+                             std::move(crit), std::move(vor));
+}
+
+void SkeletonMaintainer::adopt_full(SkeletonResult r) {
+  index_ = r.index;
+  critical_ = r.critical_nodes;
+  voronoi_ = r.voronoi;
+  is_critical_.assign(static_cast<std::size_t>(topo_.n()), 0);
+  for (int v : critical_) is_critical_[static_cast<std::size_t>(v)] = 1;
+  served_ = std::move(r);
+}
+
+void SkeletonMaintainer::initialize() {
+  SkeletonResult full = canonical();
+  const InvariantReport rep =
+      check_skeleton_invariants(topo_.csr(), topo_.active(), full);
+  adopt_full(std::move(full));
+  healthy_ = rep.ok();
+  if (!healthy_) ++stats_.invariant_failures;
+  initialized_ = true;
+  staleness_ = 0;
+  clear_pending();
+}
+
+void SkeletonMaintainer::note_changes(
+    const sim::DynamicTopology::RoundChanges& changes) {
+  if (changes.events == 0) return;
+  pending_events_ += changes.events;
+  stats_.events += changes.events;
+  pending_dirty_.insert(pending_dirty_.end(), changes.dirty.begin(),
+                        changes.dirty.end());
+  pending_removed_edges_.insert(pending_removed_edges_.end(),
+                                changes.removed_edges.begin(),
+                                changes.removed_edges.end());
+  pending_departed_.insert(pending_departed_.end(), changes.departed.begin(),
+                           changes.departed.end());
+}
+
+RepairOutcome SkeletonMaintainer::advance(const sim::ChurnScript& script,
+                                          int round) {
+  if (!initialized_) initialize();
+  note_changes(topo_.apply_round(script, round));
+  ++stats_.rounds;
+
+  RepairOutcome out;
+  if (pending_events_ > 0) {
+    ++staleness_;
+    stats_.max_staleness = std::max(stats_.max_staleness, staleness_);
+    const bool watchdog = staleness_ >= opt_.staleness_bound;
+    if (watchdog || staleness_ >= opt_.repair_interval) {
+      if (watchdog) ++stats_.watchdog_forced;
+      out = run_repair(watchdog);
+    } else {
+      out.deferred = true;
+    }
+  }
+  out.staleness = staleness_;
+  out.invariants_ok = healthy_;
+  return out;
+}
+
+RepairOutcome SkeletonMaintainer::repair_now() {
+  if (!initialized_) initialize();
+  RepairOutcome out;
+  if (pending_events_ > 0) out = run_repair(false);
+  out.staleness = staleness_;
+  out.invariants_ok = healthy_;
+  return out;
+}
+
+InvariantReport SkeletonMaintainer::check() const {
+  return check_skeleton_invariants(topo_.csr(), topo_.active(), served_);
+}
+
+std::uint64_t SkeletonMaintainer::served_fingerprint() const {
+  return skeleton_fingerprint(served_.skeleton);
+}
+
+void SkeletonMaintainer::clear_pending() {
+  pending_dirty_.clear();
+  pending_removed_edges_.clear();
+  pending_departed_.clear();
+  pending_events_ = 0;
+}
+
+void SkeletonMaintainer::grow_region(std::span<const int> seeds, int radius) {
+  const net::CsrGraph& csr = topo_.csr();
+  const std::size_t n = static_cast<std::size_t>(csr.n());
+  if (mark_.size() < n) mark_.resize(n, 0);
+  ++mark_epoch_;
+  region_.clear();
+  region_depth_.clear();
+  for (int s : seeds) {
+    if (s < 0 || s >= static_cast<int>(n)) continue;
+    const std::size_t si = static_cast<std::size_t>(s);
+    if (mark_[si] == mark_epoch_) continue;
+    mark_[si] = mark_epoch_;
+    region_.push_back(s);
+    region_depth_.push_back(0);
+  }
+  for (std::size_t head = 0; head < region_.size(); ++head) {
+    const int v = region_[head];
+    const int d = region_depth_[head];
+    if (d >= radius) continue;
+    for (int w : csr.neighbors(v)) {
+      const std::size_t wi = static_cast<std::size_t>(w);
+      if (mark_[wi] == mark_epoch_) continue;
+      mark_[wi] = mark_epoch_;
+      region_.push_back(w);
+      region_depth_.push_back(d + 1);
+    }
+  }
+}
+
+bool SkeletonMaintainer::patch_stage1(std::span<const int> seeds) {
+  const net::CsrGraph& csr = topo_.csr();
+  const Params& P = opt_.params;
+  const std::size_t n = static_cast<std::size_t>(csr.n());
+  index_.khop_size.resize(n, 0);
+  index_.centrality.resize(n, 0.0);
+  index_.index.resize(n, 0.0);
+  is_critical_.resize(n, 0);
+  ws_.reserve(csr.n());
+
+  const int r = P.effective_local_max_radius();
+  const int radius = effective_dirty_radius();
+  const int khop_depth = std::min(P.k, radius);
+  const int index_depth = std::min(P.k + P.l, radius);
+  grow_region(seeds, radius);
+
+  net::KhopScanner scanner(csr, ws_);
+  // |N_k| can change only within ball(seeds, k).
+  for (std::size_t i = 0; i < region_.size(); ++i) {
+    if (region_depth_[i] > khop_depth) continue;
+    const int v = region_[i];
+    int count = 0;
+    scanner.scan(v, P.k, [&](int) { ++count; });
+    index_.khop_size[static_cast<std::size_t>(v)] = count;
+  }
+  // c_l and the index can change only within ball(seeds, k + l); the
+  // scan reads a mix of fresh and cached |N_k|, both canonical. Same
+  // accumulator types as net::l_centrality so the doubles agree bitwise.
+  for (std::size_t i = 0; i < region_.size(); ++i) {
+    if (region_depth_[i] > index_depth) continue;
+    const int v = region_[i];
+    const std::size_t vi = static_cast<std::size_t>(v);
+    long long sum =
+        P.centrality_includes_self ? index_.khop_size[vi] : 0;
+    int count = P.centrality_includes_self ? 1 : 0;
+    scanner.scan(v, P.l, [&](int w) {
+      sum += index_.khop_size[static_cast<std::size_t>(w)];
+      ++count;
+    });
+    index_.centrality[vi] =
+        count > 0 ? static_cast<double>(sum) / count
+                  : static_cast<double>(index_.khop_size[vi]);
+    index_.index[vi] = 0.5 * (static_cast<double>(index_.khop_size[vi]) +
+                              index_.centrality[vi]);
+  }
+  // Criticality can change only within ball(seeds, k + l + r); the
+  // r-hop scan may read indices outside ball(seeds, k + l), which are
+  // unchanged hence canonical. Inactive nodes are isolated trivial
+  // local maxima and are forced non-critical (canonical()'s filter).
+  bool changed = false;
+  for (std::size_t i = 0; i < region_.size(); ++i) {
+    const int v = region_[i];
+    const std::size_t vi = static_cast<std::size_t>(v);
+    char now = 0;
+    if (topo_.is_active(v)) {
+      const double iv = index_.index[vi];
+      bool is_max = true;
+      scanner.scan(v, r, [&](int w) {
+        const double iw = index_.index[static_cast<std::size_t>(w)];
+        if (iw > iv || (iw == iv && w < v)) is_max = false;
+      });
+      now = is_max ? 1 : 0;
+    }
+    if (now != is_critical_[vi]) changed = true;
+    is_critical_[vi] = now;
+  }
+  if (changed) {
+    critical_.clear();
+    for (int v = 0; v < static_cast<int>(n); ++v) {
+      if (is_critical_[static_cast<std::size_t>(v)]) critical_.push_back(v);
+    }
+  }
+  return changed;
+}
+
+bool SkeletonMaintainer::patch_voronoi(bool sites_changed,
+                                       bool* records_changed) {
+  const net::CsrGraph& csr = topo_.csr();
+  const Params& P = opt_.params;
+  const int n = csr.n();
+  const std::size_t un = static_cast<std::size_t>(n);
+  VoronoiResult& V = voronoi_;
+  // A renumbered site table is an observable change on its own.
+  *records_changed = sites_changed;
+
+  const std::size_t n_old = V.site_of.size();
+  V.site_of.resize(un, -1);
+  V.dist.resize(un, net::kUnreached);
+  V.parent.resize(un, -1);
+  V.site2_of.resize(un, -1);
+  V.dist2.resize(un, net::kUnreached);
+  V.via2.resize(un, -1);
+  V.is_segment.resize(un, 0);
+  V.is_voronoi_node.resize(un, 0);
+  V.nearby.resize(un);
+
+  site_index_of_.assign(un, -1);
+  for (std::size_t i = 0; i < critical_.size(); ++i) {
+    site_index_of_[static_cast<std::size_t>(critical_[i])] =
+        static_cast<int>(i);
+  }
+
+  // Old site index -> new site index (-1: site removed). Both tables
+  // list ascending node ids, so the map is monotone on survivors and
+  // remapped `nearby` lists stay sorted.
+  std::vector<int> remap(V.sites.size());
+  bool any_removed = false;
+  bool identity = V.sites.size() == critical_.size();
+  for (std::size_t i = 0; i < V.sites.size(); ++i) {
+    const int s = V.sites[i];
+    remap[i] = (s < n && is_critical_[static_cast<std::size_t>(s)])
+                   ? site_index_of_[static_cast<std::size_t>(s)]
+                   : -1;
+    if (remap[i] == -1) any_removed = true;
+    if (remap[i] != static_cast<int>(i)) identity = false;
+  }
+
+  // region2 = the stage-1 ball plus the whole cell of every removed
+  // site (those nodes must re-adopt no matter how far they are).
+  if (mark2_.size() < un) mark2_.resize(un, 0);
+  ++mark2_epoch_;
+  region2_.clear();
+  auto add2 = [&](int v) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    if (mark2_[vi] != mark2_epoch_) {
+      mark2_[vi] = mark2_epoch_;
+      region2_.push_back(v);
+    }
+  };
+  for (int v : region_) add2(v);
+  if (any_removed) {
+    for (std::size_t v = 0; v < n_old; ++v) {
+      const int s = V.site_of[v];
+      if (s != -1 && remap[static_cast<std::size_t>(s)] == -1) {
+        add2(static_cast<int>(v));
+      }
+    }
+  }
+  auto in2 = [&](int v) {
+    return mark2_[static_cast<std::size_t>(v)] == mark2_epoch_;
+  };
+
+  // The rim: every outside neighbor of region2. mark_ is free again
+  // once stage 1 is done; a fresh epoch marks rim membership.
+  if (mark_.size() < un) mark_.resize(un, 0);
+  ++mark_epoch_;
+  std::vector<int> rim;
+  for (int v : region2_) {
+    for (int w : csr.neighbors(v)) {
+      const std::size_t wi = static_cast<std::size_t>(w);
+      if (!in2(w) && mark_[wi] != mark_epoch_) {
+        mark_[wi] = mark_epoch_;
+        rim.push_back(w);
+      }
+    }
+  }
+  auto on_rim = [&](int v) {
+    return mark_[static_cast<std::size_t>(v)] == mark_epoch_;
+  };
+
+  // Remap cached site indices outside region2. Rim records are rebuilt
+  // below, so only their adopted site needs the remap; any reference to
+  // a removed site from outside the region means the locality argument
+  // failed — escalate.
+  if (!identity) {
+    for (int v = 0; v < n; ++v) {
+      if (in2(v)) continue;
+      const std::size_t vi = static_cast<std::size_t>(v);
+      if (V.site_of[vi] != -1) {
+        V.site_of[vi] = remap[static_cast<std::size_t>(V.site_of[vi])];
+        if (V.site_of[vi] == -1) return false;
+      }
+      if (on_rim(v)) continue;
+      if (V.site2_of[vi] != -1) {
+        V.site2_of[vi] = remap[static_cast<std::size_t>(V.site2_of[vi])];
+        if (V.site2_of[vi] == -1) return false;
+      }
+      for (auto& rec : V.nearby[vi]) {
+        rec.site = remap[static_cast<std::size_t>(rec.site)];
+        if (rec.site == -1) return false;
+      }
+    }
+  }
+
+  // Snapshot the records that may be rebuilt, for change detection.
+  struct SavedRec {
+    int site_of, dist, parent, site2_of, dist2, via2;
+    char seg, vnode;
+    std::vector<VoronoiResult::NearbySite> nearby;
+  };
+  std::vector<int> rec_nodes;
+  rec_nodes.reserve(region2_.size() + rim.size());
+  rec_nodes.insert(rec_nodes.end(), region2_.begin(), region2_.end());
+  rec_nodes.insert(rec_nodes.end(), rim.begin(), rim.end());
+  std::vector<SavedRec> saved;
+  if (!*records_changed) {
+    saved.reserve(rec_nodes.size());
+    for (int v : rec_nodes) {
+      const std::size_t vi = static_cast<std::size_t>(v);
+      saved.push_back({V.site_of[vi], V.dist[vi], V.parent[vi], V.site2_of[vi],
+                       V.dist2[vi], V.via2[vi], V.is_segment[vi],
+                       V.is_voronoi_node[vi], V.nearby[vi]});
+    }
+  }
+
+  // Re-flood region2 with the cached rim held fixed: sites inside seed
+  // at 0, reachable rim nodes offer dist + 1 inward. Unit weights make
+  // a Dial queue exact, and settling in increasing distance order is
+  // the same adoption order as build_voronoi's BFS queue.
+  for (int v : region2_) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    V.site_of[vi] = -1;
+    V.dist[vi] = net::kUnreached;
+    V.parent[vi] = -1;
+  }
+  std::vector<std::vector<int>> buckets;
+  auto offer = [&](int v, int d) {
+    if (static_cast<int>(buckets.size()) <= d) {
+      buckets.resize(static_cast<std::size_t>(d) + 1);
+    }
+    buckets[static_cast<std::size_t>(d)].push_back(v);
+  };
+  for (int v : region2_) {
+    if (site_index_of_[static_cast<std::size_t>(v)] != -1) offer(v, 0);
+  }
+  for (int b : rim) {
+    const int db = V.dist[static_cast<std::size_t>(b)];
+    if (db == net::kUnreached) continue;
+    for (int w : csr.neighbors(b)) {
+      if (in2(w)) offer(w, db + 1);
+    }
+  }
+  std::vector<int> order;  // settled region2 nodes, nondecreasing dist
+  order.reserve(region2_.size());
+  for (int d = 0; d < static_cast<int>(buckets.size()); ++d) {
+    for (std::size_t i = 0; i < buckets[static_cast<std::size_t>(d)].size();
+         ++i) {
+      const int v = buckets[static_cast<std::size_t>(d)][i];
+      const std::size_t vi = static_cast<std::size_t>(v);
+      if (V.dist[vi] != net::kUnreached) continue;
+      V.dist[vi] = d;
+      order.push_back(v);
+      ws_.edge_scans += csr.degree(v);
+      for (int w : csr.neighbors(v)) {
+        if (in2(w) && V.dist[static_cast<std::size_t>(w)] == net::kUnreached) {
+          offer(w, d + 1);
+        }
+      }
+    }
+  }
+
+  // Adoption, replicating build_voronoi's comparison exactly. Neighbors
+  // at d - 1 are final: inside ones settled earlier in `order`, outside
+  // ones are cached (and verified below).
+  for (int v : order) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    if (V.dist[vi] == 0) {
+      V.site_of[vi] = site_index_of_[vi];
+      V.parent[vi] = -1;
+      continue;
+    }
+    ws_.edge_scans += csr.degree(v);
+    for (int w : csr.neighbors(v)) {
+      const std::size_t wi = static_cast<std::size_t>(w);
+      if (V.dist[wi] != V.dist[vi] - 1) continue;
+      if (V.site_of[vi] == -1 || V.site_of[wi] < V.site_of[vi] ||
+          (V.site_of[wi] == V.site_of[vi] && w < V.parent[vi])) {
+        V.site_of[vi] = V.site_of[wi];
+        V.parent[vi] = w;
+      }
+    }
+  }
+
+  // Rim check: with the interior now settled, every rim node's cached
+  // distance and adoption must still satisfy the Bellman fixed-point
+  // equations; uniqueness then makes the combined labeling canonical.
+  for (int b : rim) {
+    const std::size_t bi = static_cast<std::size_t>(b);
+    if (site_index_of_[bi] != -1) {
+      if (V.dist[bi] != 0) return false;
+      continue;
+    }
+    int best = net::kUnreached;
+    for (int w : csr.neighbors(b)) {
+      const int dw = V.dist[static_cast<std::size_t>(w)];
+      if (dw == net::kUnreached) continue;
+      if (best == net::kUnreached || dw + 1 < best) best = dw + 1;
+    }
+    if (best != V.dist[bi]) return false;
+    if (V.dist[bi] == net::kUnreached) continue;
+    int s = -1, p = -1;
+    for (int w : csr.neighbors(b)) {
+      if (V.dist[static_cast<std::size_t>(w)] != V.dist[bi] - 1) continue;
+      const int sw = V.site_of[static_cast<std::size_t>(w)];
+      if (s == -1 || sw < s || (sw == s && w < p)) {
+        s = sw;
+        p = w;
+      }
+    }
+    if (s != V.site_of[bi] || p != V.parent[bi]) return false;
+  }
+
+  // Second records for region2 + rim (a record reads only a node's own
+  // and its direct neighbors' adopted state). Verbatim build_voronoi.
+  std::vector<VoronoiResult::NearbySite> others;
+  for (int v : rec_nodes) {
+    const std::size_t vi = static_cast<std::size_t>(v);
+    V.site2_of[vi] = -1;
+    V.dist2[vi] = net::kUnreached;
+    V.via2[vi] = -1;
+    V.is_segment[vi] = 0;
+    V.is_voronoi_node[vi] = 0;
+    V.nearby[vi].clear();
+    if (V.site_of[vi] == -1) continue;
+    others.clear();
+    ws_.edge_scans += csr.degree(v);
+    for (int w : csr.neighbors(v)) {
+      const std::size_t wi = static_cast<std::size_t>(w);
+      if (V.site_of[wi] == -1 || V.site_of[wi] == V.site_of[vi]) continue;
+      const int d2 = V.dist[wi] + 1;
+      if (std::abs(d2 - V.dist[vi]) > P.alpha) continue;
+      VoronoiResult::NearbySite* rec = nullptr;
+      for (auto& o : others) {
+        if (o.site == V.site_of[wi]) {
+          rec = &o;
+          break;
+        }
+      }
+      if (rec == nullptr) {
+        others.push_back({V.site_of[wi], d2, w});
+      } else if (d2 < rec->dist || (d2 == rec->dist && w < rec->via)) {
+        *rec = {V.site_of[wi], d2, w};
+      }
+      const bool better =
+          V.site2_of[vi] == -1 || d2 < V.dist2[vi] ||
+          (d2 == V.dist2[vi] && V.site_of[wi] < V.site2_of[vi]) ||
+          (d2 == V.dist2[vi] && V.site_of[wi] == V.site2_of[vi] &&
+           w < V.via2[vi]);
+      if (better) {
+        V.site2_of[vi] = V.site_of[wi];
+        V.dist2[vi] = d2;
+        V.via2[vi] = w;
+      }
+    }
+    if (V.site2_of[vi] != -1) V.is_segment[vi] = 1;
+    if (others.size() >= 2) V.is_voronoi_node[vi] = 1;
+    V.nearby[vi].reserve(others.size() + 1);
+    V.nearby[vi].push_back({V.site_of[vi], V.dist[vi], V.parent[vi]});
+    for (const auto& rec : others) V.nearby[vi].push_back(rec);
+    std::sort(V.nearby[vi].begin(), V.nearby[vi].end(),
+              [](const auto& a, const auto& b) { return a.site < b.site; });
+  }
+
+  V.sites = critical_;
+
+  if (!*records_changed) {
+    for (std::size_t i = 0; i < rec_nodes.size(); ++i) {
+      const std::size_t vi = static_cast<std::size_t>(rec_nodes[i]);
+      const SavedRec& s = saved[i];
+      if (s.site_of != V.site_of[vi] || s.dist != V.dist[vi] ||
+          s.parent != V.parent[vi] || s.site2_of != V.site2_of[vi] ||
+          s.dist2 != V.dist2[vi] || s.via2 != V.via2[vi] ||
+          s.seg != V.is_segment[vi] || s.vnode != V.is_voronoi_node[vi] ||
+          s.nearby != V.nearby[vi]) {
+        *records_changed = true;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+RepairOutcome SkeletonMaintainer::run_repair(bool watchdog) {
+  const auto t0 = std::chrono::steady_clock::now();
+  obs::ScopedSpan span("skeleton_repair", "maintain");
+  RepairOutcome out;
+  out.events = pending_events_;
+  out.dirty_seeds = static_cast<int>(pending_dirty_.size());
+  const int staleness_at_entry = staleness_;
+
+  const net::CsrGraph& csr = topo_.csr();
+  RepairTier tier = (opt_.force_full || watchdog)
+                        ? RepairTier::kFullRecompute
+                        : RepairTier::kLocalPatch;  // provisional
+
+  if (tier != RepairTier::kFullRecompute) {
+    const bool sites_changed = patch_stage1(pending_dirty_);
+    out.region_nodes = static_cast<int>(region_.size());
+    int active_region = 0;
+    for (int v : region_) {
+      if (topo_.is_active(v)) ++active_region;
+    }
+    if (static_cast<double>(active_region) >
+        opt_.full_rebuild_fraction *
+            static_cast<double>(std::max(1, topo_.active_count()))) {
+      tier = RepairTier::kFullRecompute;
+      ++out.escalations;
+    } else {
+      bool records_changed = false;
+      if (!patch_voronoi(sites_changed, &records_changed)) {
+        // Distance changes escaped the region (e.g. a removed bridge);
+        // the full recompute below overwrites the partially patched
+        // cache, so no restore is needed.
+        tier = RepairTier::kFullRecompute;
+        ++out.escalations;
+      } else {
+        // Tier 0 applies when nothing observable moved: same critical
+        // set, same Voronoi records, and no served skeleton node or
+        // edge disappeared. The served stages 3+ remain valid; only
+        // the (canonical) stage-1/2 views are refreshed.
+        bool skeleton_touched = false;
+        const int cap = served_.skeleton.capacity();
+        for (const auto& [u, v] : pending_removed_edges_) {
+          if (u < cap && v < cap && served_.skeleton.has_edge(u, v)) {
+            skeleton_touched = true;
+            break;
+          }
+        }
+        if (!skeleton_touched) {
+          for (int d : pending_departed_) {
+            if (d < cap && served_.skeleton.has_node(d)) {
+              skeleton_touched = true;
+              break;
+            }
+          }
+        }
+        tier = (!sites_changed && !records_changed && !skeleton_touched)
+                   ? RepairTier::kLocalPatch
+                   : RepairTier::kRegionalReflood;
+      }
+    }
+  }
+
+  if (tier == RepairTier::kLocalPatch) {
+    served_.index = index_;
+    served_.critical_nodes = critical_;
+    served_.voronoi = voronoi_;
+    const InvariantReport rep =
+        check_skeleton_invariants(csr, topo_.active(), served_);
+    if (rep.ok()) {
+      healthy_ = true;
+    } else {
+      tier = RepairTier::kFullRecompute;
+      ++out.escalations;
+    }
+  } else if (tier == RepairTier::kRegionalReflood) {
+    SkeletonResult cand = complete_extraction(topo_.graph(), csr, opt_.params,
+                                              index_, critical_, voronoi_);
+    const InvariantReport rep =
+        check_skeleton_invariants(csr, topo_.active(), cand);
+    if (rep.ok()) {
+      served_ = std::move(cand);
+      healthy_ = true;
+    } else {
+      tier = RepairTier::kFullRecompute;
+      ++out.escalations;
+    }
+  }
+
+  if (tier == RepairTier::kFullRecompute) {
+    SkeletonResult full = canonical();
+    const InvariantReport rep =
+        check_skeleton_invariants(csr, topo_.active(), full);
+    if (rep.ok()) {
+      adopt_full(std::move(full));
+      healthy_ = true;
+    } else {
+      // Keep serving the last good skeleton, but adopt the canonical
+      // stage-1/2 state so the cache still tracks the topology.
+      index_ = full.index;
+      critical_ = full.critical_nodes;
+      voronoi_ = full.voronoi;
+      is_critical_.assign(static_cast<std::size_t>(topo_.n()), 0);
+      for (int v : critical_) is_critical_[static_cast<std::size_t>(v)] = 1;
+      ++stats_.invariant_failures;
+      healthy_ = false;
+    }
+  }
+
+  out.tier = tier;
+  out.repaired = true;
+  out.invariants_ok = healthy_;
+  if (healthy_) staleness_ = 0;
+  clear_pending();
+  out.staleness = staleness_;
+
+  switch (tier) {
+    case RepairTier::kLocalPatch: ++stats_.repairs_local; break;
+    case RepairTier::kRegionalReflood: ++stats_.repairs_regional; break;
+    case RepairTier::kFullRecompute: ++stats_.repairs_full; break;
+    case RepairTier::kNone: break;
+  }
+  stats_.escalations += out.escalations;
+  stats_.region_nodes_total += out.region_nodes;
+  out.millis = millis_since(t0);
+  stats_.repair_millis_total += out.millis;
+
+  // Deterministic facts only in the registry (see obs/metrics.h);
+  // wall time stays in the outcome / trace spans.
+  auto& reg = obs::Registry::global();
+  static const obs::Counter c_local = reg.counter("maintain_repairs_local");
+  static const obs::Counter c_regional =
+      reg.counter("maintain_repairs_regional");
+  static const obs::Counter c_full = reg.counter("maintain_repairs_full");
+  static const obs::Counter c_esc = reg.counter("maintain_escalations");
+  static const obs::Counter c_events = reg.counter("maintain_events_repaired");
+  static const obs::Counter c_watchdog =
+      reg.counter("maintain_watchdog_forced");
+  static const obs::Counter c_fail =
+      reg.counter("maintain_invariant_failures");
+  static const obs::Histogram h_region = reg.histogram(
+      "maintain_region_nodes", {8, 16, 32, 64, 128, 256, 512, 1024});
+  static const obs::Histogram h_stale =
+      reg.histogram("maintain_repair_staleness", {1, 2, 4, 8, 16, 32});
+  switch (tier) {
+    case RepairTier::kLocalPatch: c_local.inc(); break;
+    case RepairTier::kRegionalReflood: c_regional.inc(); break;
+    case RepairTier::kFullRecompute: c_full.inc(); break;
+    case RepairTier::kNone: break;
+  }
+  c_esc.inc(out.escalations);
+  c_events.inc(out.events);
+  if (watchdog) c_watchdog.inc();
+  if (!healthy_) c_fail.inc();
+  h_region.observe(static_cast<double>(out.region_nodes));
+  h_stale.observe(static_cast<double>(staleness_at_entry));
+  span.arg("tier", static_cast<std::int64_t>(tier));
+  span.arg("events", out.events);
+  span.arg("region_nodes", out.region_nodes);
+  span.arg("escalations", out.escalations);
+
+  return out;
+}
+
+}  // namespace skelex::core

@@ -1,0 +1,244 @@
+// skelex/core/maintain.h
+//
+// Self-healing skeletons: incremental repair of a SkeletonResult while
+// the network churns (sim/dynamics.h), instead of a full re-extraction
+// per topology change.
+//
+// Repair is organized as a three-tier escalation policy:
+//
+//   tier 0, LOCAL PATCH — stage-1 state (k-hop sizes, centralities,
+//     critical flags) is recomputed exactly inside the dirty region and
+//     the Voronoi labeling re-flooded regionally; when nothing observable
+//     changed (critical set, Voronoi records, no served skeleton node or
+//     edge lost), the served skeleton is kept as is.
+//   tier 1, REGIONAL RE-FLOOD — same regional stage-1/2 patch, then
+//     stages 3+ (coarse/cleanup/prune/by-products) rerun from the
+//     patched state. Because the patch is exact (see the locality
+//     argument in maintain.cpp), a tier-1 result is bit-identical to a
+//     from-scratch extraction on the current topology.
+//   tier 2, FULL RECOMPUTE — the canonical extraction in the stable id
+//     space. Reached when the dirty region grows past
+//     full_rebuild_fraction of the active nodes, when the regional
+//     re-flood's rim check detects that distance changes escaped the
+//     region (e.g. a removed bridge), when the invariant checker rejects
+//     a lower-tier result, or when the staleness watchdog fires.
+//
+// Every repair ends with check_skeleton_invariants on the candidate
+// result; a failing candidate escalates, and if even the full recompute
+// fails the check the maintainer keeps serving the last good skeleton
+// and reports itself unhealthy — a corrupt skeleton is never served.
+//
+// Staleness: the number of consecutive advance() rounds whose topology
+// changes the served skeleton does not yet reflect. repair_interval > 1
+// batches dirt (lazy repair); the staleness bound is enforced by a
+// watchdog that forces a full recompute when reached.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+#include "core/pipeline.h"
+#include "net/csr.h"
+#include "sim/dynamics.h"
+
+namespace skelex::core {
+
+struct MaintainOptions {
+  Params params;
+  // Repair cadence: dirt is batched and repaired once it is
+  // `repair_interval` rounds old (1 = repair the round it appears).
+  int repair_interval = 1;
+  // Watchdog bound: when the served skeleton lags the topology by this
+  // many rounds, a full recompute is forced immediately.
+  int staleness_bound = 8;
+  // Escalate straight to the full-recompute tier when the dirty region
+  // exceeds this fraction of the active nodes.
+  double full_rebuild_fraction = 0.30;
+  // Dirty-region radius in hops around each change; 0 selects the exact
+  // locality bound k + l + effective_local_max_radius() (the farthest a
+  // single topology change can move any stage-1 quantity).
+  int dirty_radius = 0;
+  // Run every repair at the full-recompute tier (the bench baseline).
+  bool force_full = false;
+};
+
+enum class RepairTier {
+  kNone = 0,           // nothing to repair
+  kLocalPatch = 1,     // tier 0
+  kRegionalReflood = 2,  // tier 1
+  kFullRecompute = 3,  // tier 2
+};
+const char* repair_tier_name(RepairTier t);
+
+// Result of check_skeleton_invariants: structural health of a served
+// skeleton against the CURRENT topology.
+struct InvariantReport {
+  int inactive_skeleton_nodes = 0;   // skeleton nodes that left the network
+  int phantom_skeleton_edges = 0;    // skeleton edges that are no longer links
+  int uncovered_components = 0;      // active components with no skeleton node
+  int inactive_sites = 0;            // Voronoi sites that are inactive nodes
+  int unassigned_active_nodes = 0;   // active nodes in no Voronoi cell
+  bool empty_skeleton = false;       // active nodes exist but skeleton is empty
+  std::vector<std::string> violations;
+
+  bool ok() const { return violations.empty(); }
+};
+
+// Checks `r` against the topology described by (csr, active): every
+// skeleton node active, every skeleton edge a live link, every active
+// component covered by at least one skeleton node, every Voronoi site
+// active, every active node assigned to a cell. O(V + E).
+InvariantReport check_skeleton_invariants(const net::CsrGraph& csr,
+                                          std::span<const char> active,
+                                          const SkeletonResult& r);
+
+// Order-independent FNV-1a content hash of a skeleton graph (sorted
+// nodes + sorted edge list) — the identity used by the bench/CI
+// determinism gates and the bitwise-identity acceptance check.
+std::uint64_t skeleton_fingerprint(const SkeletonGraph& s);
+
+struct RepairOutcome {
+  RepairTier tier = RepairTier::kNone;
+  bool repaired = false;       // a repair ran this call
+  bool deferred = false;       // dirt pending but not yet due
+  bool invariants_ok = true;   // the served skeleton passes the checker
+  int events = 0;              // churn events covered by this repair
+  int dirty_seeds = 0;
+  int region_nodes = 0;        // dirty-region size (0 for tier 2)
+  int escalations = 0;         // tier promotions while repairing
+  int staleness = 0;           // served-skeleton lag after this call
+  double millis = 0.0;         // wall time of the repair (0 when none ran)
+};
+
+struct MaintainStats {
+  long long rounds = 0;
+  long long events = 0;
+  long long repairs_local = 0;
+  long long repairs_regional = 0;
+  long long repairs_full = 0;
+  long long escalations = 0;
+  long long watchdog_forced = 0;
+  // Post-repair checker failures at the full tier (the maintainer kept
+  // the previous skeleton and went unhealthy). Zero in a correct build.
+  long long invariant_failures = 0;
+  int max_staleness = 0;
+  long long region_nodes_total = 0;
+  double repair_millis_total = 0.0;
+
+  long long repairs_total() const {
+    return repairs_local + repairs_regional + repairs_full;
+  }
+};
+
+// Keeps a SkeletonResult continuously valid over a DynamicTopology.
+// Typical driver loop:
+//
+//   sim::DynamicTopology topo(scenario.graph);
+//   core::SkeletonMaintainer maint(topo, options);
+//   maint.initialize();
+//   for (int round = 0; round < script.horizon(); ++round) {
+//     auto outcome = maint.advance(script, round);  // apply + repair
+//     use(maint.served());
+//   }
+//
+// The maintainer also caches the exact stage-1/2 state (index, critical
+// set, Voronoi) for the current topology in the stable id space; that
+// cache is what makes the next repair regional instead of global.
+class SkeletonMaintainer {
+ public:
+  explicit SkeletonMaintainer(sim::DynamicTopology& topo,
+                              MaintainOptions opt = {});
+
+  // Full extraction of the current topology; serves it.
+  void initialize();
+
+  // Applies `script`'s events for `round` to the topology, then repairs
+  // (or defers, per repair_interval / staleness_bound).
+  RepairOutcome advance(const sim::ChurnScript& script, int round);
+
+  // For drivers that mutate the DynamicTopology themselves: account the
+  // given changes as pending dirt (does not repair).
+  void note_changes(const sim::DynamicTopology::RoundChanges& changes);
+
+  // Flushes pending dirt immediately, regardless of cadence.
+  RepairOutcome repair_now();
+
+  const SkeletonResult& served() const { return served_; }
+  int staleness() const { return staleness_; }
+  // False only after a full-tier repair failed the invariant checker
+  // (the served skeleton is the last good one).
+  bool healthy() const { return healthy_; }
+  bool initialized() const { return initialized_; }
+  const MaintainStats& stats() const { return stats_; }
+  int effective_dirty_radius() const;
+
+  // Checks the currently served skeleton against the current topology.
+  InvariantReport check() const;
+  std::uint64_t served_fingerprint() const;
+
+  // The canonical from-scratch extraction of the current topology in
+  // the stable id space (exactly what the full-recompute tier runs):
+  // global stage 1 with inactive nodes excluded from the critical set,
+  // global Voronoi, full completion. Exposed so tests and benches can
+  // cross-check incremental repairs against ground truth.
+  SkeletonResult canonical() const;
+
+ private:
+  RepairOutcome run_repair(bool watchdog);
+  // Exact regional stage-1 patch; returns true when the critical set
+  // changed. Fills region_ with the dirty ball (depths included).
+  bool patch_stage1(std::span<const int> seeds);
+  // Regional Voronoi re-flood over region2_; returns false when the rim
+  // check detects escaped changes (caller escalates to full recompute).
+  // Sets *records_changed when any node's Voronoi record differs.
+  bool patch_voronoi(bool sites_changed, bool* records_changed);
+  void adopt_full(SkeletonResult r);
+  void clear_pending();
+
+  // Multi-source depth-bounded BFS from `seeds`; appends (node, depth)
+  // to region_/region_depth_ and marks membership in mark_ at epoch_.
+  void grow_region(std::span<const int> seeds, int radius);
+  bool in_region(int v) const {
+    return mark_[static_cast<std::size_t>(v)] == mark_epoch_;
+  }
+
+  sim::DynamicTopology& topo_;
+  MaintainOptions opt_;
+
+  // Authoritative stage-1/2 cache for the CURRENT topology (stable ids).
+  IndexData index_;
+  std::vector<char> is_critical_;
+  std::vector<int> critical_;
+  VoronoiResult voronoi_;
+
+  SkeletonResult served_;
+  bool initialized_ = false;
+  bool healthy_ = true;
+  int staleness_ = 0;
+
+  // Pending dirt, batched between repairs.
+  std::vector<int> pending_dirty_;
+  std::vector<std::pair<int, int>> pending_removed_edges_;
+  std::vector<int> pending_departed_;
+  int pending_events_ = 0;
+
+  MaintainStats stats_;
+
+  // Scratch (reused across repairs; mutable for the const cross-check
+  // entry points).
+  mutable net::Workspace ws_;
+  std::vector<std::uint32_t> mark_;
+  std::uint32_t mark_epoch_ = 0;
+  std::vector<int> region_;
+  std::vector<int> region_depth_;
+  std::vector<std::uint32_t> mark2_;  // region-2 membership for the re-flood
+  std::uint32_t mark2_epoch_ = 0;
+  std::vector<int> region2_;
+  std::vector<int> site_index_of_;  // node -> index into critical_, else -1
+};
+
+}  // namespace skelex::core

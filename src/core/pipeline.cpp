@@ -228,6 +228,23 @@ SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
   return r;
 }
 
+SkeletonResult complete_extraction(const net::Graph& g,
+                                   const net::CsrGraph& csr,
+                                   const Params& params, IndexData index,
+                                   std::vector<int> critical_nodes,
+                                   VoronoiResult voronoi) {
+  params.validate();
+  SkeletonResult r;
+  r.params = params;
+  r.index = std::move(index);
+  r.critical_nodes = std::move(critical_nodes);
+  r.voronoi = std::move(voronoi);
+  PipelineContext ctx(g, csr, params, r);
+  complete_with_context(ctx, r);
+  record_pipeline_metrics(g, r);
+  return r;
+}
+
 SkeletonResult extract_skeleton(const net::Graph& g, const Params& params) {
   params.validate();
   SkeletonResult r;

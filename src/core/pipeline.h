@@ -106,6 +106,17 @@ struct PipelineContext {
         trace(r.trace) {
     ws.reserve(graph.n());
   }
+
+  // External-CSR variant for dynamic callers (core/maintain.h): the
+  // caller already maintains a CsrGraph of `graph` via deltas, so the
+  // pipeline must not trigger Graph::csr()'s full rebuild. `csr_view`
+  // must describe `graph` exactly and outlive the context.
+  PipelineContext(const net::Graph& graph, const net::CsrGraph& csr_view,
+                  const Params& p, SkeletonResult& r)
+      : g(graph), csr(csr_view), params(p), diag(r.diagnostics),
+        trace(r.trace) {
+    ws.reserve(graph.n());
+  }
 };
 
 // Runs stages 1-4 plus by-products. Throws std::invalid_argument on bad
@@ -119,6 +130,15 @@ SkeletonResult extract_skeleton(const net::Graph& g, const Params& params = {});
 // is exactly compute+identify+build_voronoi followed by this.
 SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
                                    IndexData index,
+                                   std::vector<int> critical_nodes,
+                                   VoronoiResult voronoi);
+
+// Same, but traversing `csr` (an externally maintained snapshot of `g`,
+// e.g. one kept current by CsrGraph::apply_delta) instead of rebuilding
+// Graph::csr's cache — the hot path of incremental skeleton repair.
+SkeletonResult complete_extraction(const net::Graph& g,
+                                   const net::CsrGraph& csr,
+                                   const Params& params, IndexData index,
                                    std::vector<int> critical_nodes,
                                    VoronoiResult voronoi);
 

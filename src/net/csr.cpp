@@ -1,6 +1,7 @@
 #include "net/csr.h"
 
 #include <stdexcept>
+#include <string>
 
 #include "net/graph.h"
 
@@ -9,7 +10,9 @@ namespace skelex::net {
 CsrGraph::CsrGraph(const Graph& g) {
   const int n = g.n();
   offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  deg_.assign(static_cast<std::size_t>(n), 0);
   for (int v = 0; v < n; ++v) {
+    deg_[static_cast<std::size_t>(v)] = g.degree(v);
     offsets_[static_cast<std::size_t>(v) + 1] =
         offsets_[static_cast<std::size_t>(v)] + g.degree(v);
   }
@@ -17,6 +20,127 @@ CsrGraph::CsrGraph(const Graph& g) {
   for (int v = 0; v < n; ++v) {
     int at = offsets_[static_cast<std::size_t>(v)];
     for (int w : g.neighbors(v)) targets_[static_cast<std::size_t>(at++)] = w;
+  }
+  edges_ = g.edge_count();
+}
+
+namespace {
+void check_delta_node(int v, int n, const char* what) {
+  if (v < 0 || v >= n) {
+    throw std::out_of_range(std::string("GraphDelta ") + what +
+                            " references node out of range");
+  }
+}
+}  // namespace
+
+void CsrGraph::remove_arc(int u, int v) {
+  const std::size_t b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(u)]);
+  const std::size_t d = static_cast<std::size_t>(deg_[static_cast<std::size_t>(u)]);
+  for (std::size_t i = 0; i < d; ++i) {
+    if (targets_[b + i] == v) {
+      // Compact the row, preserving the survivors' relative order.
+      for (std::size_t j = i + 1; j < d; ++j) targets_[b + j - 1] = targets_[b + j];
+      --deg_[static_cast<std::size_t>(u)];
+      return;
+    }
+  }
+  throw std::invalid_argument("GraphDelta removes an absent edge");
+}
+
+void CsrGraph::repack_with_headroom(std::span<const int> extra_need) {
+  // Deterministic repack: rows that fit keep their current capacity,
+  // rows that would overflow get their new size plus proportional
+  // headroom, so a long churn run amortizes repacks instead of paying
+  // one per added edge.
+  const int n = this->n();
+  std::vector<int> new_offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v) {
+    const int cap = offsets_[static_cast<std::size_t>(v) + 1] -
+                    offsets_[static_cast<std::size_t>(v)];
+    const int want = deg_[static_cast<std::size_t>(v)] +
+                     extra_need[static_cast<std::size_t>(v)];
+    int new_cap = cap;
+    if (want > cap) new_cap = want + (want < 8 ? 4 : want / 2);
+    new_offsets[static_cast<std::size_t>(v) + 1] =
+        new_offsets[static_cast<std::size_t>(v)] + new_cap;
+  }
+  std::vector<int> new_targets(
+      static_cast<std::size_t>(new_offsets[static_cast<std::size_t>(n)]));
+  for (int v = 0; v < n; ++v) {
+    const std::size_t src = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    const std::size_t dst =
+        static_cast<std::size_t>(new_offsets[static_cast<std::size_t>(v)]);
+    const std::size_t d = static_cast<std::size_t>(deg_[static_cast<std::size_t>(v)]);
+    for (std::size_t i = 0; i < d; ++i) new_targets[dst + i] = targets_[src + i];
+  }
+  offsets_.swap(new_offsets);
+  targets_.swap(new_targets);
+}
+
+void CsrGraph::apply_delta(const GraphDelta& delta) {
+  const int old_n = n();
+  for (const auto& [u, v] : delta.remove_edges) {
+    check_delta_node(u, old_n, "remove_edges");
+    check_delta_node(v, old_n, "remove_edges");
+    if (u == v) throw std::invalid_argument("GraphDelta removes a self loop");
+    remove_arc(u, v);
+    remove_arc(v, u);
+    --edges_;
+  }
+
+  if (delta.add_node_count < 0) {
+    throw std::invalid_argument("GraphDelta add_node_count is negative");
+  }
+  const int new_n = old_n + delta.add_node_count;
+  for (int i = 0; i < delta.add_node_count; ++i) {
+    offsets_.push_back(offsets_.back());  // zero-capacity row
+    deg_.push_back(0);
+  }
+
+  // Validate additions and tally per-row need before touching the rows,
+  // so a throwing delta leaves the additions unapplied as a unit.
+  std::vector<int> need;
+  if (!delta.add_edges.empty()) {
+    need.assign(static_cast<std::size_t>(new_n), 0);
+    for (std::size_t i = 0; i < delta.add_edges.size(); ++i) {
+      const auto& [u, v] = delta.add_edges[i];
+      check_delta_node(u, new_n, "add_edges");
+      check_delta_node(v, new_n, "add_edges");
+      if (u == v) throw std::invalid_argument("GraphDelta adds a self loop");
+      for (int w : neighbors(u)) {
+        if (w == v) throw std::invalid_argument("GraphDelta adds a duplicate edge");
+      }
+      for (std::size_t j = 0; j < i; ++j) {
+        const auto& [pu, pv] = delta.add_edges[j];
+        if ((pu == u && pv == v) || (pu == v && pv == u)) {
+          throw std::invalid_argument("GraphDelta adds a duplicate edge");
+        }
+      }
+      ++need[static_cast<std::size_t>(u)];
+      ++need[static_cast<std::size_t>(v)];
+    }
+    bool fits = true;
+    for (int v = 0; v < new_n && fits; ++v) {
+      const int cap = offsets_[static_cast<std::size_t>(v) + 1] -
+                      offsets_[static_cast<std::size_t>(v)];
+      if (deg_[static_cast<std::size_t>(v)] + need[static_cast<std::size_t>(v)] >
+          cap) {
+        fits = false;
+      }
+    }
+    if (!fits) repack_with_headroom(need);
+    for (const auto& [u, v] : delta.add_edges) {
+      const auto append = [&](int a, int b) {
+        const std::size_t at =
+            static_cast<std::size_t>(offsets_[static_cast<std::size_t>(a)]) +
+            static_cast<std::size_t>(deg_[static_cast<std::size_t>(a)]);
+        targets_[at] = b;
+        ++deg_[static_cast<std::size_t>(a)];
+      };
+      append(u, v);
+      append(v, u);
+      ++edges_;
+    }
   }
 }
 

@@ -4,10 +4,17 @@
 // reusable scratch-buffer workspace — the execution substrate every
 // graph traversal in the pipeline runs on.
 //
-//   * CsrGraph: two arrays (offsets, targets). Neighbor order is exactly
-//     the adjacency-list insertion order, so every traversal visits
-//     nodes in the same order as the pointer-chasing representation it
-//     replaced — results are bit-identical, only faster.
+//   * CsrGraph: two arrays (offsets, targets) plus per-row lengths.
+//     Neighbor order is exactly the adjacency-list insertion order, so
+//     every traversal visits nodes in the same order as the
+//     pointer-chasing representation it replaced — results are
+//     bit-identical, only faster.
+//   * GraphDelta / apply_delta: in-place topology updates for dynamic
+//     networks. Each row keeps its slack (offsets delimit row capacity,
+//     deg_ the live prefix), so removals compact within the row and
+//     additions append at the row's end — rows that a delta does not
+//     touch keep their neighbor order byte-for-byte, which is what keeps
+//     traversals over unaffected regions bit-identical across updates.
 //   * Workspace: owns the dist/parent/queue/stamp buffers the BFS and
 //     k-hop kernels need, so repeated calls (one per node, one per
 //     stage, one per sweep cell) reallocate nothing.
@@ -29,32 +36,62 @@ class Graph;
 
 inline constexpr int kUnreached = -1;
 
+// A batch of topology changes for CsrGraph::apply_delta. Applied in a
+// fixed order — edge removals, node additions, edge additions — so one
+// delta can express a whole churn event (e.g. a departure removes its
+// incident edges; a join adds a node plus its links). Edges are
+// undirected; each pair must reference valid nodes (counting the nodes
+// the same delta adds), `add_edges` must not duplicate an existing or
+// in-delta edge, and `remove_edges` must name present edges.
+struct GraphDelta {
+  int add_node_count = 0;
+  std::vector<std::pair<int, int>> add_edges;
+  std::vector<std::pair<int, int>> remove_edges;
+
+  bool empty() const {
+    return add_node_count == 0 && add_edges.empty() && remove_edges.empty();
+  }
+};
+
 class CsrGraph {
  public:
   CsrGraph() = default;
   // Snapshot of `g` (finalizes it first). Neighbor order is preserved.
   explicit CsrGraph(const Graph& g);
 
-  int n() const { return static_cast<int>(offsets_.size()) - 1; }
-  long long edge_count() const {
-    return static_cast<long long>(targets_.size()) / 2;
-  }
+  int n() const { return static_cast<int>(deg_.size()); }
+  long long edge_count() const { return edges_; }
   std::span<const int> neighbors(int v) const {
     const auto b = static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
-    const auto e =
-        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
-    return {targets_.data() + b, e - b};
+    return {targets_.data() + b,
+            static_cast<std::size_t>(deg_[static_cast<std::size_t>(v)])};
   }
-  int degree(int v) const {
-    return offsets_[static_cast<std::size_t>(v) + 1] -
-           offsets_[static_cast<std::size_t>(v)];
-  }
+  int degree(int v) const { return deg_[static_cast<std::size_t>(v)]; }
+
+  // Applies `delta` in place: removals compact each touched row (keeping
+  // the survivors' relative order), new nodes start with empty rows, and
+  // additions append at the end of each endpoint's row — exactly where a
+  // fresh CsrGraph(Graph) build would place them after the same mutation
+  // history, so an incrementally maintained CSR stays elementwise equal
+  // to a from-scratch rebuild. Rows grow into per-row slack when they
+  // have it; when any row overflows, one deterministic repack pass
+  // rebuilds the layout with headroom for the rows that grew. Invalid
+  // deltas (self loops, duplicate additions, absent removals, ids out of
+  // range) throw without applying the offending change.
+  void apply_delta(const GraphDelta& delta);
 
  private:
-  // offsets_[v]..offsets_[v+1] indexes targets_; offsets_ has n+1 entries
-  // (empty graph: the single entry 0).
+  void remove_arc(int u, int v);
+  void repack_with_headroom(std::span<const int> extra_need);
+
+  // offsets_[v] is row v's start; its capacity runs to offsets_[v + 1]
+  // (offsets_ has n+1 entries; empty graph: the single entry 0). The
+  // live neighbors are the first deg_[v] slots; slack beyond them is
+  // garbage left by removals or reserved by a repack.
   std::vector<int> offsets_{0};
   std::vector<int> targets_;
+  std::vector<int> deg_;
+  long long edges_ = 0;
 };
 
 // Reusable traversal scratch. All kernels size the buffers they use on

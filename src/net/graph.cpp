@@ -27,6 +27,59 @@ void Graph::add_edge(int u, int v) {
   csr_.reset();
 }
 
+void Graph::add_edge_unique(int u, int v) {
+  if (u < 0 || v < 0 || u >= n() || v >= n()) {
+    throw std::out_of_range("edge endpoint out of range");
+  }
+  if (u == v) throw std::invalid_argument("add_edge_unique: self loop");
+  ensure_finalized();
+  if (has_edge(u, v)) throw std::invalid_argument("add_edge_unique: duplicate edge");
+  adj_[static_cast<std::size_t>(u)].push_back(v);
+  adj_[static_cast<std::size_t>(v)].push_back(u);
+  ++edges_;
+  csr_.reset();
+}
+
+void Graph::remove_edge(int u, int v) {
+  if (u < 0 || v < 0 || u >= n() || v >= n()) {
+    throw std::out_of_range("edge endpoint out of range");
+  }
+  ensure_finalized();
+  const auto erase_arc = [this](int a, int b) {
+    auto& nbrs = adj_[static_cast<std::size_t>(a)];
+    const auto it = std::find(nbrs.begin(), nbrs.end(), b);
+    if (it == nbrs.end()) {
+      throw std::invalid_argument("remove_edge: edge not present");
+    }
+    nbrs.erase(it);
+  };
+  erase_arc(u, v);
+  erase_arc(v, u);
+  --edges_;
+  csr_.reset();
+}
+
+int Graph::add_node() {
+  if (has_positions()) {
+    throw std::invalid_argument("add_node(): graph carries positions");
+  }
+  ensure_finalized();
+  adj_.emplace_back();
+  csr_.reset();
+  return n() - 1;
+}
+
+int Graph::add_node(geom::Vec2 pos) {
+  if (!has_positions() && n() > 0) {
+    throw std::invalid_argument("add_node(pos): graph has no positions");
+  }
+  ensure_finalized();
+  adj_.emplace_back();
+  pos_.push_back(pos);
+  csr_.reset();
+  return n() - 1;
+}
+
 void Graph::finalize() const {
   if (!dirty_) return;
   // Stable dedupe: keep each neighbor's FIRST occurrence so the
@@ -155,6 +208,32 @@ Graph remove_nodes(const Graph& g, std::span<const char> dead,
   sub.finalize();
   if (orig_of_new != nullptr) *orig_of_new = std::move(keep);
   return sub;
+}
+
+Graph add_nodes(const Graph& g, int count) {
+  if (count < 0) throw std::invalid_argument("add_nodes: negative count");
+  if (g.has_positions()) {
+    throw std::invalid_argument("add_nodes(count): graph carries positions");
+  }
+  Graph grown = g;
+  for (int i = 0; i < count; ++i) grown.add_node();
+  return grown;
+}
+
+Graph add_nodes(const Graph& g, std::span<const geom::Vec2> positions) {
+  if (!g.has_positions() && g.n() > 0) {
+    throw std::invalid_argument("add_nodes(positions): graph has no positions");
+  }
+  Graph grown = g;
+  for (const geom::Vec2& p : positions) grown.add_node(p);
+  return grown;
+}
+
+Graph add_edges(const Graph& g,
+                std::span<const std::pair<int, int>> edges) {
+  Graph grown = g;
+  for (const auto& [u, v] : edges) grown.add_edge_unique(u, v);
+  return grown;
 }
 
 }  // namespace skelex::net

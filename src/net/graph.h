@@ -17,6 +17,7 @@
 
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "deploy/rng.h"
@@ -45,6 +46,26 @@ class Graph {
   // tolerated (dropped at finalize time), so probabilistic builders need
   // not dedupe.
   void add_edge(int u, int v);
+
+  // --- In-place mutators for dynamic topologies -----------------------------
+  // Unlike add_edge these keep the graph finalized: no lazy dedupe pass
+  // is queued, so a long churn run pays O(deg) per event instead of a
+  // periodic O(E) re-finalize. They do invalidate the cached CSR — the
+  // dynamics layer maintains its own CSR via GraphDelta instead.
+
+  // Appends {u, v}, which must not already be present (throws
+  // invalid_argument on duplicates and self loops).
+  void add_edge_unique(int u, int v);
+
+  // Removes the undirected edge {u, v}; throws invalid_argument when the
+  // edge is absent. Neighbor order of the survivors is preserved.
+  void remove_edge(int u, int v);
+
+  // Appends one isolated node and returns its id. The positionless
+  // overload requires a graph without positions; the positioned overload
+  // requires positions (or an empty graph).
+  int add_node();
+  int add_node(geom::Vec2 pos);
 
   // Drops duplicate edges (keeping first-insertion neighbor order) and
   // refreshes the edge count. Idempotent; called implicitly by every
@@ -117,5 +138,20 @@ Graph largest_component_subgraph(const Graph& g, std::vector<int>& orig_of_new);
 // receives the map from new ids back to the input graph's ids.
 Graph remove_nodes(const Graph& g, std::span<const char> dead,
                    std::vector<int>* orig_of_new = nullptr);
+
+// Mirrors of remove_nodes for growth: a copy of `g` with extra isolated
+// nodes appended at the end of the id space (existing ids, neighbor
+// order, and positions are untouched). The count overload requires a
+// positionless graph; the positions overload requires a positioned (or
+// empty) graph. New ids are g.n() .. g.n() + count - 1.
+Graph add_nodes(const Graph& g, int count);
+Graph add_nodes(const Graph& g, std::span<const geom::Vec2> positions);
+
+// A copy of `g` with `edges` appended, in order, at the tail of each
+// endpoint's neighbor list — the same layout CsrGraph::apply_delta
+// produces, so the two stay oracle-equivalent. Duplicate or self edges
+// throw invalid_argument.
+Graph add_edges(const Graph& g,
+                std::span<const std::pair<int, int>> edges);
 
 }  // namespace skelex::net

@@ -1,0 +1,439 @@
+#include "sim/dynamics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace skelex::sim {
+
+namespace {
+
+std::uint64_t link_key(int u, int v) {
+  const std::uint64_t a = static_cast<std::uint64_t>(std::min(u, v));
+  const std::uint64_t b = static_cast<std::uint64_t>(std::max(u, v));
+  return (a << 32) | b;
+}
+
+std::pair<int, int> normalized(int u, int v) {
+  return {std::min(u, v), std::max(u, v)};
+}
+
+}  // namespace
+
+const char* churn_kind_name(ChurnKind k) {
+  switch (k) {
+    case ChurnKind::kNodeJoin:
+      return "join";
+    case ChurnKind::kNodeLeave:
+      return "leave";
+    case ChurnKind::kLinkAdd:
+      return "link_add";
+    case ChurnKind::kLinkRemove:
+      return "link_remove";
+  }
+  return "?";
+}
+
+void ChurnScript::add(ChurnEvent e) {
+  if (e.round < 0) throw std::invalid_argument("churn event round must be >= 0");
+  if (!events_.empty() && e.round < events_.back().round) {
+    throw std::invalid_argument("churn events must be added in round order");
+  }
+  switch (e.kind) {
+    case ChurnKind::kNodeJoin:
+    case ChurnKind::kNodeLeave:
+      if (e.node < 0) throw std::invalid_argument("churn event needs a node id");
+      break;
+    case ChurnKind::kLinkAdd:
+    case ChurnKind::kLinkRemove:
+      if (e.u < 0 || e.v < 0 || e.u == e.v) {
+        throw std::invalid_argument("churn link event needs distinct endpoints");
+      }
+      break;
+  }
+  events_.push_back(std::move(e));
+}
+
+std::span<const ChurnEvent> ChurnScript::at(int round) const {
+  const auto lo = std::lower_bound(
+      events_.begin(), events_.end(), round,
+      [](const ChurnEvent& e, int r) { return e.round < r; });
+  const auto hi = std::upper_bound(
+      events_.begin(), events_.end(), round,
+      [](int r, const ChurnEvent& e) { return r < e.round; });
+  return {events_.data() + (lo - events_.begin()),
+          static_cast<std::size_t>(hi - lo)};
+}
+
+int ChurnScript::horizon() const {
+  return events_.empty() ? 0 : events_.back().round + 1;
+}
+
+std::uint64_t ChurnScript::digest() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(events_.size());
+  for (const ChurnEvent& e : events_) {
+    mix(static_cast<std::uint64_t>(e.round));
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.node)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.u)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(e.v)));
+    mix(std::bit_cast<std::uint64_t>(e.pos.x));
+    mix(std::bit_cast<std::uint64_t>(e.pos.y));
+    mix(e.links.size());
+    for (int w : e.links) mix(static_cast<std::uint64_t>(w));
+  }
+  return h;
+}
+
+FaultPlan ChurnScript::to_fault_plan() const {
+  FaultPlan plan;
+  // Per-link presence toggles in event (= round) order; std::map keys
+  // give a deterministic link iteration order.
+  std::map<std::uint64_t, std::vector<std::pair<int, bool>>> toggles;
+  for (const ChurnEvent& e : events_) {
+    switch (e.kind) {
+      case ChurnKind::kNodeJoin:
+        if (e.round > 0) plan.sleep(e.node, 0, e.round);
+        for (int w : e.links) {
+          toggles[link_key(e.node, w)].push_back({e.round, true});
+        }
+        break;
+      case ChurnKind::kNodeLeave:
+        plan.crash_at(e.node, e.round);
+        break;
+      case ChurnKind::kLinkAdd:
+        toggles[link_key(e.u, e.v)].push_back({e.round, true});
+        break;
+      case ChurnKind::kLinkRemove:
+        toggles[link_key(e.u, e.v)].push_back({e.round, false});
+        break;
+    }
+  }
+  for (const auto& [key, tog] : toggles) {
+    const int u = static_cast<int>(key >> 32);
+    const int v = static_cast<int>(key & 0xffffffffu);
+    // A link whose first toggle is an add did not exist before it; one
+    // whose first toggle is a remove must have existed all along.
+    int down_from = tog.front().second ? 0 : -1;
+    for (const auto& [round, up] : tog) {
+      if (up) {
+        if (down_from != -1 && round > down_from) {
+          plan.link_down(u, v, down_from, round);
+        }
+        down_from = -1;
+      } else if (down_from == -1) {
+        down_from = round;
+      }
+    }
+    if (down_from != -1) plan.link_down(u, v, down_from, kChurnForever);
+  }
+  return plan;
+}
+
+net::Graph ChurnScript::union_graph(const net::Graph& base) const {
+  net::Graph g = base;
+  for (const ChurnEvent& e : events_) {
+    switch (e.kind) {
+      case ChurnKind::kNodeJoin:
+        if (e.node >= g.n()) {
+          if (e.node != g.n()) {
+            throw std::invalid_argument("join event skips node ids");
+          }
+          if (g.has_positions()) {
+            (void)g.add_node(e.pos);
+          } else {
+            (void)g.add_node();
+          }
+        }
+        for (int w : e.links) g.add_edge(e.node, w);
+        break;
+      case ChurnKind::kLinkAdd:
+        g.add_edge(e.u, e.v);
+        break;
+      case ChurnKind::kNodeLeave:
+      case ChurnKind::kLinkRemove:
+        break;  // the fault plan handles absence; the carrier keeps the link
+    }
+  }
+  g.finalize();
+  return g;
+}
+
+ChurnScript ChurnScript::random(const net::Graph& base, const RandomSpec& spec,
+                                std::uint64_t seed) {
+  if (spec.rounds < 0) throw std::invalid_argument("rounds must be >= 0");
+  if (spec.join_rate < 0 || spec.leave_rate < 0 || spec.link_add_rate < 0 ||
+      spec.link_remove_rate < 0) {
+    throw std::invalid_argument("churn rates must be >= 0");
+  }
+  const bool needs_geometry = spec.join_rate > 0 || spec.link_add_rate > 0;
+  if (needs_geometry && (!base.has_positions() || spec.range <= 0)) {
+    throw std::invalid_argument(
+        "joins/link adds need a positioned base graph and a positive range");
+  }
+
+  deploy::Rng rng(seed);
+  std::vector<geom::Vec2> pos = base.positions();
+  std::vector<char> active(static_cast<std::size_t>(base.n()), 1);
+  int active_count = base.n();
+  // Normalized (u < v) live edge list + membership mirror. The list
+  // keeps insertion order so random picks are reproducible.
+  std::vector<std::pair<int, int>> edge_list;
+  std::set<std::pair<int, int>> edge_set;
+  for (int v = 0; v < base.n(); ++v) {
+    for (int w : base.neighbors(v)) {
+      if (v < w) {
+        edge_list.push_back({v, w});
+        edge_set.insert({v, w});
+      }
+    }
+  }
+
+  const auto draw_count = [&rng](double rate) {
+    int c = static_cast<int>(rate);
+    const double frac = rate - c;
+    if (frac > 0 && rng.next_double() < frac) ++c;
+    return c;
+  };
+  const auto pick_active = [&]() -> int {
+    if (active_count == 0) return -1;
+    for (int tries = 0; tries < 64; ++tries) {
+      const int v = static_cast<int>(rng.next_below(active.size()));
+      if (active[static_cast<std::size_t>(v)]) return v;
+    }
+    const int start = static_cast<int>(rng.next_below(active.size()));
+    const int n = static_cast<int>(active.size());
+    for (int i = 0; i < n; ++i) {
+      const int v = (start + i) % n;
+      if (active[static_cast<std::size_t>(v)]) return v;
+    }
+    return -1;
+  };
+  const auto drop_edge = [&](int idx) {
+    edge_set.erase(edge_list[static_cast<std::size_t>(idx)]);
+    edge_list.erase(edge_list.begin() + idx);
+  };
+
+  ChurnScript script;
+  for (int round = 0; round < spec.rounds; ++round) {
+    for (int i = draw_count(spec.join_rate); i > 0; --i) {
+      const int anchor = pick_active();
+      if (anchor < 0) break;
+      const double ang = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+      const double rad = rng.uniform(0.35, 0.95) * spec.range;
+      const geom::Vec2 p =
+          pos[static_cast<std::size_t>(anchor)] +
+          geom::Vec2{rad * std::cos(ang), rad * std::sin(ang)};
+      ChurnEvent e;
+      e.round = round;
+      e.kind = ChurnKind::kNodeJoin;
+      e.node = static_cast<int>(active.size());
+      e.pos = p;
+      for (int w = 0; w < static_cast<int>(active.size()); ++w) {
+        if (active[static_cast<std::size_t>(w)] &&
+            geom::dist(p, pos[static_cast<std::size_t>(w)]) <= spec.range) {
+          e.links.push_back(w);
+        }
+      }
+      for (int w : e.links) {
+        edge_list.push_back(normalized(e.node, w));
+        edge_set.insert(normalized(e.node, w));
+      }
+      pos.push_back(p);
+      active.push_back(1);
+      ++active_count;
+      script.add(std::move(e));
+    }
+    for (int i = draw_count(spec.leave_rate); i > 0; --i) {
+      if (active_count <= std::max(spec.min_active, 3)) break;
+      const int victim = pick_active();
+      if (victim < 0) break;
+      ChurnEvent e;
+      e.round = round;
+      e.kind = ChurnKind::kNodeLeave;
+      e.node = victim;
+      script.add(std::move(e));
+      active[static_cast<std::size_t>(victim)] = 0;
+      --active_count;
+      for (int idx = static_cast<int>(edge_list.size()) - 1; idx >= 0; --idx) {
+        const auto& [a, b] = edge_list[static_cast<std::size_t>(idx)];
+        if (a == victim || b == victim) drop_edge(idx);
+      }
+    }
+    for (int i = draw_count(spec.link_add_rate); i > 0; --i) {
+      for (int attempt = 0; attempt < 8; ++attempt) {
+        const int u = pick_active();
+        if (u < 0) break;
+        std::vector<int> candidates;
+        for (int w = 0; w < static_cast<int>(active.size()); ++w) {
+          if (w == u || !active[static_cast<std::size_t>(w)]) continue;
+          if (geom::dist(pos[static_cast<std::size_t>(u)],
+                         pos[static_cast<std::size_t>(w)]) >
+              spec.link_slack * spec.range) {
+            continue;
+          }
+          if (edge_set.count(normalized(u, w))) continue;
+          candidates.push_back(w);
+        }
+        if (candidates.empty()) continue;
+        const int w = candidates[rng.next_below(candidates.size())];
+        ChurnEvent e;
+        e.round = round;
+        e.kind = ChurnKind::kLinkAdd;
+        e.u = u;
+        e.v = w;
+        script.add(std::move(e));
+        edge_list.push_back(normalized(u, w));
+        edge_set.insert(normalized(u, w));
+        break;
+      }
+    }
+    for (int i = draw_count(spec.link_remove_rate); i > 0; --i) {
+      if (edge_list.empty()) break;
+      const int idx = static_cast<int>(rng.next_below(edge_list.size()));
+      const auto [u, v] = edge_list[static_cast<std::size_t>(idx)];
+      ChurnEvent e;
+      e.round = round;
+      e.kind = ChurnKind::kLinkRemove;
+      e.u = u;
+      e.v = v;
+      script.add(std::move(e));
+      drop_edge(idx);
+    }
+  }
+  return script;
+}
+
+DynamicTopology::DynamicTopology(net::Graph base)
+    : g_(std::move(base)), csr_(g_), active_(static_cast<std::size_t>(g_.n()), 1),
+      active_count_(g_.n()) {}
+
+DynamicTopology::RoundChanges DynamicTopology::apply_round(
+    const ChurnScript& script, int round) {
+  RoundChanges out;
+  for (const ChurnEvent& e : script.at(round)) apply(e, &out);
+  std::sort(out.dirty.begin(), out.dirty.end());
+  out.dirty.erase(std::unique(out.dirty.begin(), out.dirty.end()),
+                  out.dirty.end());
+  return out;
+}
+
+void DynamicTopology::apply(const ChurnEvent& e, RoundChanges* out) {
+  switch (e.kind) {
+    case ChurnKind::kNodeJoin: {
+      // Validate everything BEFORE mutating: a rejected join must leave
+      // the topology untouched (the maintainer's dirty accounting
+      // assumes apply() is all-or-nothing).
+      if (e.node > g_.n()) throw std::invalid_argument("join skips node ids");
+      if (e.node < g_.n() && is_active(e.node)) {
+        throw std::invalid_argument("join of an already-active node");
+      }
+      for (std::size_t i = 0; i < e.links.size(); ++i) {
+        const int w = e.links[i];
+        if (w < 0 || w >= g_.n() || w == e.node || !is_active(w)) {
+          throw std::invalid_argument("join links to an inactive node");
+        }
+        for (std::size_t j = 0; j < i; ++j) {
+          if (e.links[j] == w) {
+            throw std::invalid_argument("join lists a link twice");
+          }
+        }
+      }
+      if (e.node == g_.n()) {
+        if (g_.has_positions()) {
+          (void)g_.add_node(e.pos);
+        } else {
+          (void)g_.add_node();
+        }
+        net::GraphDelta grow;
+        grow.add_node_count = 1;
+        csr_.apply_delta(grow);
+        active_.push_back(1);
+      } else {
+        active_[static_cast<std::size_t>(e.node)] = 1;
+      }
+      ++active_count_;
+      net::GraphDelta links;
+      for (int w : e.links) {
+        g_.add_edge_unique(e.node, w);
+        links.add_edges.push_back({e.node, w});
+      }
+      csr_.apply_delta(links);
+      if (out != nullptr) {
+        out->dirty.push_back(e.node);
+        out->dirty.insert(out->dirty.end(), e.links.begin(), e.links.end());
+      }
+      break;
+    }
+    case ChurnKind::kNodeLeave: {
+      if (e.node >= g_.n() || !is_active(e.node)) {
+        throw std::invalid_argument("leave of an inactive node");
+      }
+      const auto row = csr_.neighbors(e.node);
+      const std::vector<int> nbrs(row.begin(), row.end());
+      net::GraphDelta cut;
+      for (int w : nbrs) {
+        g_.remove_edge(e.node, w);
+        cut.remove_edges.push_back({e.node, w});
+      }
+      csr_.apply_delta(cut);
+      active_[static_cast<std::size_t>(e.node)] = 0;
+      --active_count_;
+      if (out != nullptr) {
+        out->dirty.push_back(e.node);
+        out->dirty.insert(out->dirty.end(), nbrs.begin(), nbrs.end());
+        out->departed.push_back(e.node);
+        for (int w : nbrs) out->removed_edges.push_back({e.node, w});
+      }
+      break;
+    }
+    case ChurnKind::kLinkAdd: {
+      if (e.u >= g_.n() || e.v >= g_.n() || !is_active(e.u) ||
+          !is_active(e.v)) {
+        throw std::invalid_argument("link add with an inactive endpoint");
+      }
+      g_.add_edge_unique(e.u, e.v);
+      net::GraphDelta d;
+      d.add_edges.push_back({e.u, e.v});
+      csr_.apply_delta(d);
+      if (out != nullptr) {
+        out->dirty.push_back(e.u);
+        out->dirty.push_back(e.v);
+      }
+      break;
+    }
+    case ChurnKind::kLinkRemove: {
+      g_.remove_edge(e.u, e.v);
+      net::GraphDelta d;
+      d.remove_edges.push_back({e.u, e.v});
+      csr_.apply_delta(d);
+      if (out != nullptr) {
+        out->dirty.push_back(e.u);
+        out->dirty.push_back(e.v);
+        out->removed_edges.push_back({e.u, e.v});
+      }
+      break;
+    }
+  }
+  ++version_;
+  if (out != nullptr) ++out->events;
+}
+
+net::Graph DynamicTopology::active_subgraph(
+    std::vector<int>* orig_of_new) const {
+  std::vector<char> dead(active_.size());
+  for (std::size_t i = 0; i < active_.size(); ++i) dead[i] = active_[i] ? 0 : 1;
+  return net::remove_nodes(g_, dead, orig_of_new);
+}
+
+}  // namespace skelex::sim

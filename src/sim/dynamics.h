@@ -1,0 +1,171 @@
+// skelex/sim/dynamics.h
+//
+// Event-driven network dynamics: continuous node join/leave and link
+// add/remove churn, the regime the paper's one-shot extraction assumes
+// away. Two complementary consumers:
+//
+//   * sim::Engine — ChurnScript::to_fault_plan() compiles a churn
+//     timeline onto the existing FaultPlan machinery (join = asleep
+//     until the join round, leave = crash-stop, link add/remove = down
+//     windows) over the union graph (every node and link that ever
+//     exists), so distributed protocols experience churn mid-flood with
+//     zero new engine code — and inherit the engine's bit-identical
+//     parallel execution.
+//   * core::SkeletonMaintainer — DynamicTopology applies the same
+//     events to a live Graph + incrementally-maintained CsrGraph
+//     (GraphDelta) and reports the dirty seeds each round, which is
+//     what the maintainer's dirty-region repair consumes.
+//
+// Id space is STABLE under churn: a departed node keeps its id and
+// becomes an isolated inactive node; joins append fresh ids. Nothing is
+// remapped, so incremental repair touches only the neighborhoods that
+// actually changed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "geometry/vec2.h"
+#include "net/csr.h"
+#include "net/graph.h"
+#include "sim/faults.h"
+
+namespace skelex::sim {
+
+// Sentinel "end of time" round for permanent link removals compiled
+// into FaultPlan down-windows (intervals are half-open and finite).
+inline constexpr int kChurnForever = 1 << 29;
+
+enum class ChurnKind { kNodeJoin, kNodeLeave, kLinkAdd, kLinkRemove };
+
+const char* churn_kind_name(ChurnKind k);
+
+struct ChurnEvent {
+  int round = 0;
+  ChurnKind kind = ChurnKind::kLinkRemove;
+  // kNodeJoin / kNodeLeave: the node. Joins carry the deployment
+  // position and the links established on arrival (targets must be
+  // active at the join round).
+  int node = -1;
+  geom::Vec2 pos{};
+  std::vector<int> links;
+  // kLinkAdd / kLinkRemove: the endpoints.
+  int u = -1;
+  int v = -1;
+};
+
+// An immutable, round-ordered churn timeline. Build one by hand (tests)
+// or with random() (soaks, benches); then feed it to a DynamicTopology
+// round by round, or compile it for the engine with to_fault_plan() +
+// union_graph().
+class ChurnScript {
+ public:
+  // Appends an event; rounds must be non-decreasing (a script is a
+  // timeline, not a bag).
+  void add(ChurnEvent e);
+
+  const std::vector<ChurnEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  // The events scheduled for `round` (possibly empty).
+  std::span<const ChurnEvent> at(int round) const;
+  // One past the last round with an event (0 for an empty script).
+  int horizon() const;
+
+  // Content digest (FNV-1a over all event fields). Recorded in bench
+  // JSON so a run is reproducible from the output file alone.
+  std::uint64_t digest() const;
+
+  // Compiles the timeline onto FaultPlan semantics for the union graph:
+  // joins sleep until their round, leaves crash, and each link's
+  // presence timeline becomes down-windows (a link that is absent until
+  // round r is down on [0, r); one removed at r is down on
+  // [r, kChurnForever) or until its next add).
+  FaultPlan to_fault_plan() const;
+
+  // `base` grown by every node this script ever joins and every link it
+  // ever adds — the static carrier graph the engine simulates on while
+  // the fault plan switches parts of it off and on.
+  net::Graph union_graph(const net::Graph& base) const;
+
+  // Parameters for random(). Rates are expected events per round
+  // (fractional rates fire probabilistically). Joins and link adds need
+  // a positioned base graph and a positive radio range.
+  struct RandomSpec {
+    int rounds = 100;
+    double join_rate = 0.0;
+    double leave_rate = 0.0;
+    double link_add_rate = 0.0;
+    double link_remove_rate = 0.0;
+    double range = 0.0;
+    // Link adds may connect nodes up to link_slack * range apart
+    // (slightly beyond UDG range — in a calibrated UDG every in-range
+    // pair is already linked, so strictly-in-range adds could only
+    // restore previously removed links).
+    double link_slack = 1.25;
+    // Leaves stop when the active population would drop below this.
+    int min_active = 8;
+  };
+
+  // A random but valid timeline over `base`: every event references
+  // nodes/links that exist and are active when it fires (the generator
+  // simulates the evolving topology as it draws). Deterministic in
+  // (base, spec, seed).
+  static ChurnScript random(const net::Graph& base, const RandomSpec& spec,
+                            std::uint64_t seed);
+
+ private:
+  std::vector<ChurnEvent> events_;
+};
+
+// A live topology under churn: a Graph and its CsrGraph kept in
+// lockstep via in-place mutators + GraphDelta (no rebuilds), plus the
+// active mask over the stable id space. apply_round() returns the dirty
+// seeds the SkeletonMaintainer's region repair grows from.
+class DynamicTopology {
+ public:
+  explicit DynamicTopology(net::Graph base);
+
+  const net::Graph& graph() const { return g_; }
+  const net::CsrGraph& csr() const { return csr_; }
+  int n() const { return g_.n(); }
+  std::span<const char> active() const { return {active_.data(), active_.size()}; }
+  bool is_active(int v) const {
+    return active_[static_cast<std::size_t>(v)] != 0;
+  }
+  int active_count() const { return active_count_; }
+  // Bumped once per applied event; lets a consumer detect staleness.
+  std::uint64_t version() const { return version_; }
+
+  struct RoundChanges {
+    int events = 0;
+    // Deduped, sorted seed nodes touched by this round's events (event
+    // nodes plus their former/new link partners).
+    std::vector<int> dirty;
+    // Every link removed this round (explicitly or by a departure) —
+    // the maintainer checks these against the served skeleton's edges.
+    std::vector<std::pair<int, int>> removed_edges;
+    // Nodes that left this round.
+    std::vector<int> departed;
+  };
+
+  // Applies all of `script`'s events for `round`.
+  RoundChanges apply_round(const ChurnScript& script, int round);
+  // Applies one event (exposed for tests / custom drivers).
+  void apply(const ChurnEvent& e, RoundChanges* out = nullptr);
+
+  // The compacted active-only subgraph (net::remove_nodes of the
+  // inactive mask) — the canonical static view for cross-checking
+  // maintained results against a from-scratch extraction.
+  net::Graph active_subgraph(std::vector<int>* orig_of_new = nullptr) const;
+
+ private:
+  net::Graph g_;
+  net::CsrGraph csr_;
+  std::vector<char> active_;
+  int active_count_ = 0;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace skelex::sim

@@ -96,6 +96,69 @@ bool FaultPlan::link_up(int u, int v, int round) const {
   return true;
 }
 
+std::uint64_t FaultPlan::digest() const {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a
+  const auto mix = [&h](std::uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  // Sort each map's keys so the digest reflects schedule content, not
+  // unordered_map iteration order.
+  std::vector<std::pair<int, int>> crashes(crash_.begin(), crash_.end());
+  std::sort(crashes.begin(), crashes.end());
+  mix(crashes.size());
+  for (const auto& [node, round] : crashes) {
+    mix(static_cast<std::uint64_t>(node));
+    mix(static_cast<std::uint64_t>(round));
+  }
+  const auto mix_intervals = [&](const auto& map, std::uint64_t tag) {
+    std::vector<typename std::decay_t<decltype(map)>::key_type> keys;
+    keys.reserve(map.size());
+    for (const auto& [k, v] : map) keys.push_back(k);
+    std::sort(keys.begin(), keys.end());
+    mix(tag);
+    mix(keys.size());
+    for (const auto& k : keys) {
+      mix(static_cast<std::uint64_t>(k));
+      auto windows = map.at(k);
+      std::sort(windows.begin(), windows.end(), [](const auto& a, const auto& b) {
+        return a.from != b.from ? a.from < b.from : a.to < b.to;
+      });
+      mix(windows.size());
+      for (const auto& w : windows) {
+        mix(static_cast<std::uint64_t>(w.from));
+        mix(static_cast<std::uint64_t>(w.to));
+      }
+    }
+  };
+  mix_intervals(sleep_, 0x51ee9ull);
+  mix_intervals(link_down_, 0xd00full);
+  std::vector<std::uint64_t> churn_keys;
+  churn_keys.reserve(churn_.size());
+  for (const auto& [k, v] : churn_) churn_keys.push_back(k);
+  std::sort(churn_keys.begin(), churn_keys.end());
+  mix(0xc4a7ull);
+  mix(churn_keys.size());
+  for (const std::uint64_t k : churn_keys) {
+    mix(k);
+    auto specs = churn_.at(k);
+    std::sort(specs.begin(), specs.end(), [](const Churn& a, const Churn& b) {
+      if (a.phase != b.phase) return a.phase < b.phase;
+      if (a.down != b.down) return a.down < b.down;
+      return a.up < b.up;
+    });
+    mix(specs.size());
+    for (const Churn& c : specs) {
+      mix(static_cast<std::uint64_t>(c.down));
+      mix(static_cast<std::uint64_t>(c.up));
+      mix(static_cast<std::uint64_t>(c.phase));
+    }
+  }
+  return h;
+}
+
 std::vector<char> FaultPlan::crashed_by(int n, int round) const {
   std::vector<char> dead(static_cast<std::size_t>(n), 0);
   for (const auto& [node, r] : crash_) {

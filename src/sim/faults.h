@@ -69,6 +69,12 @@ class FaultPlan {
   // survivor graph (net::remove_nodes).
   std::vector<char> crashed_by(int n, int round) const;
 
+  // Content digest of the full schedule (FNV-1a over sorted entries).
+  // Stable across insertion order and across runs/platforms, so bench
+  // JSON can record which fault schedule produced a cell — two plans
+  // with the same digest drive byte-identical simulations.
+  std::uint64_t digest() const;
+
  private:
   struct Interval {
     int from;

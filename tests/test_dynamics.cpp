@@ -1,0 +1,374 @@
+// Network dynamics: ChurnScript validation / digests / generation,
+// DynamicTopology's Graph-plus-CSR lockstep under churn, and the
+// compilation of a churn timeline onto FaultPlan + union-graph semantics
+// for the engine.
+#include "sim/dynamics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/protocols.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/csr.h"
+#include "net/graph.h"
+#include "sim/engine.h"
+#include "sim/faults.h"
+
+namespace skelex {
+namespace {
+
+deploy::Scenario small_scenario(int nodes, std::uint64_t seed) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = nodes;
+  spec.target_avg_deg = 9.0;
+  spec.seed = seed;
+  return deploy::make_udg_scenario(geom::shapes::disk(14.0), spec);
+}
+
+sim::ChurnScript::RandomSpec soak_spec(double range, int rounds) {
+  sim::ChurnScript::RandomSpec spec;
+  spec.rounds = rounds;
+  spec.join_rate = 0.3;
+  spec.leave_rate = 0.3;
+  spec.link_add_rate = 0.5;
+  spec.link_remove_rate = 0.5;
+  spec.range = range;
+  return spec;
+}
+
+// Elementwise equality of the incrementally maintained CSR against the
+// from-scratch snapshot of the lockstep Graph.
+void expect_lockstep(const sim::DynamicTopology& topo) {
+  const net::CsrGraph oracle(topo.graph());
+  const net::CsrGraph& csr = topo.csr();
+  ASSERT_EQ(csr.n(), oracle.n());
+  ASSERT_EQ(csr.edge_count(), oracle.edge_count());
+  for (int v = 0; v < oracle.n(); ++v) {
+    ASSERT_EQ(csr.degree(v), oracle.degree(v)) << "node " << v;
+    const auto a = csr.neighbors(v);
+    const auto b = oracle.neighbors(v);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      ASSERT_EQ(a[i], b[i]) << "node " << v << " slot " << i;
+    }
+  }
+}
+
+TEST(ChurnScript, ValidatesEvents) {
+  sim::ChurnScript s;
+  sim::ChurnEvent e;
+  e.round = -1;
+  e.kind = sim::ChurnKind::kNodeLeave;
+  e.node = 0;
+  EXPECT_THROW(s.add(e), std::invalid_argument);
+  e.round = 3;
+  s.add(e);
+  e.round = 2;  // rounds must be non-decreasing
+  EXPECT_THROW(s.add(e), std::invalid_argument);
+  sim::ChurnEvent link;
+  link.round = 3;
+  link.kind = sim::ChurnKind::kLinkAdd;
+  link.u = 1;
+  link.v = 1;
+  EXPECT_THROW(s.add(link), std::invalid_argument);
+  link.v = 2;
+  s.add(link);
+  EXPECT_EQ(s.horizon(), 4);
+  EXPECT_EQ(s.at(3).size(), 2u);
+  EXPECT_TRUE(s.at(0).empty());
+}
+
+TEST(ChurnScript, RandomIsDeterministicAndDigestDiscriminates) {
+  const auto scn = small_scenario(250, 11);
+  const auto spec = soak_spec(scn.range, 40);
+  const sim::ChurnScript a = sim::ChurnScript::random(scn.graph, spec, 5);
+  const sim::ChurnScript b = sim::ChurnScript::random(scn.graph, spec, 5);
+  const sim::ChurnScript c = sim::ChurnScript::random(scn.graph, spec, 6);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  ASSERT_EQ(a.events().size(), b.events().size());
+  // Every generated event references the evolving topology validly:
+  // applying the whole script must never throw.
+  sim::DynamicTopology topo(scn.graph);
+  for (int round = 0; round < spec.rounds; ++round) {
+    (void)topo.apply_round(a, round);
+  }
+  expect_lockstep(topo);
+}
+
+TEST(DynamicTopology, AppliesEventsAndReportsChanges) {
+  net::Graph g(5);
+  for (int i = 0; i + 1 < 5; ++i) g.add_edge(i, i + 1);
+  g.finalize();
+  sim::DynamicTopology topo(g);
+  ASSERT_EQ(topo.active_count(), 5);
+
+  sim::ChurnEvent leave;
+  leave.kind = sim::ChurnKind::kNodeLeave;
+  leave.node = 2;
+  sim::DynamicTopology::RoundChanges out;
+  topo.apply(leave, &out);
+  EXPECT_EQ(out.events, 1);
+  EXPECT_FALSE(topo.is_active(2));
+  EXPECT_EQ(topo.active_count(), 4);
+  EXPECT_EQ(topo.csr().degree(2), 0);
+  ASSERT_EQ(out.departed.size(), 1u);
+  EXPECT_EQ(out.removed_edges.size(), 2u);  // {2,1} and {2,3}
+  // Dirty seeds: the leaver and both former partners.
+  EXPECT_NE(std::find(out.dirty.begin(), out.dirty.end(), 1), out.dirty.end());
+  EXPECT_NE(std::find(out.dirty.begin(), out.dirty.end(), 3), out.dirty.end());
+  expect_lockstep(topo);
+
+  // The id stays reserved: n() is unchanged, the node is just inactive.
+  EXPECT_EQ(topo.n(), 5);
+
+  sim::ChurnEvent join;
+  join.kind = sim::ChurnKind::kNodeJoin;
+  join.node = 5;
+  join.links = {0, 4};
+  topo.apply(join);
+  EXPECT_EQ(topo.n(), 6);
+  EXPECT_TRUE(topo.is_active(5));
+  EXPECT_TRUE(topo.graph().has_edge(5, 0));
+  expect_lockstep(topo);
+
+  // Errors: joins must not skip ids or link to inactive nodes; link
+  // events need active endpoints.
+  sim::ChurnEvent bad = join;
+  bad.node = 9;
+  EXPECT_THROW(topo.apply(bad), std::invalid_argument);
+  bad = join;
+  bad.node = 6;
+  bad.links = {2};
+  EXPECT_THROW(topo.apply(bad), std::invalid_argument);
+  sim::ChurnEvent link;
+  link.kind = sim::ChurnKind::kLinkAdd;
+  link.u = 1;
+  link.v = 2;
+  EXPECT_THROW(topo.apply(link), std::invalid_argument);
+
+  // Rejoin of a departed id reactivates it in place.
+  sim::ChurnEvent back;
+  back.kind = sim::ChurnKind::kNodeJoin;
+  back.node = 2;
+  back.links = {1};
+  topo.apply(back);
+  EXPECT_TRUE(topo.is_active(2));
+  EXPECT_EQ(topo.active_count(), 6);
+  expect_lockstep(topo);
+
+  // The compact active view drops nobody now, but dropped node 2 before.
+  std::vector<int> orig;
+  const net::Graph compact = topo.active_subgraph(&orig);
+  EXPECT_EQ(compact.n(), topo.active_count());
+}
+
+TEST(ChurnScript, FaultPlanWindowsMatchLinkTimeline) {
+  sim::ChurnScript s;
+  sim::ChurnEvent rm;
+  rm.round = 3;
+  rm.kind = sim::ChurnKind::kLinkRemove;
+  rm.u = 0;
+  rm.v = 1;
+  s.add(rm);
+  sim::ChurnEvent add;
+  add.round = 7;
+  add.kind = sim::ChurnKind::kLinkAdd;
+  add.u = 0;
+  add.v = 1;
+  s.add(add);
+  sim::ChurnEvent fresh;
+  fresh.round = 9;
+  fresh.kind = sim::ChurnKind::kLinkAdd;
+  fresh.u = 2;
+  fresh.v = 3;
+  s.add(fresh);
+
+  const sim::FaultPlan plan = s.to_fault_plan();
+  // {0,1} existed, is down exactly during [3, 7).
+  EXPECT_TRUE(plan.link_up(0, 1, 2));
+  EXPECT_FALSE(plan.link_up(0, 1, 3));
+  EXPECT_FALSE(plan.link_up(0, 1, 6));
+  EXPECT_TRUE(plan.link_up(0, 1, 7));
+  // {2,3} first appears at 9: down on [0, 9).
+  EXPECT_FALSE(plan.link_up(2, 3, 0));
+  EXPECT_FALSE(plan.link_up(2, 3, 8));
+  EXPECT_TRUE(plan.link_up(2, 3, 9));
+
+  // A trailing remove is down forever.
+  sim::ChurnEvent rm2;
+  rm2.round = 12;
+  rm2.kind = sim::ChurnKind::kLinkRemove;
+  rm2.u = 2;
+  rm2.v = 3;
+  s.add(rm2);
+  const sim::FaultPlan plan2 = s.to_fault_plan();
+  EXPECT_TRUE(plan2.link_up(2, 3, 9));
+  EXPECT_FALSE(plan2.link_up(2, 3, 12));
+  EXPECT_FALSE(plan2.link_up(2, 3, 1 << 20));
+
+  // Joins sleep until their round; leaves crash.
+  sim::ChurnEvent join;
+  join.round = 15;
+  join.kind = sim::ChurnKind::kNodeJoin;
+  join.node = 4;
+  join.links = {0};
+  s.add(join);
+  sim::ChurnEvent leave;
+  leave.round = 20;
+  leave.kind = sim::ChurnKind::kNodeLeave;
+  leave.node = 1;
+  s.add(leave);
+  const sim::FaultPlan plan3 = s.to_fault_plan();
+  EXPECT_TRUE(plan3.is_asleep(4, 0));
+  EXPECT_TRUE(plan3.is_asleep(4, 14));
+  EXPECT_FALSE(plan3.is_asleep(4, 15));
+  // The join's link is absent before round 15 as well.
+  EXPECT_FALSE(plan3.link_up(0, 4, 14));
+  EXPECT_TRUE(plan3.link_up(0, 4, 15));
+  EXPECT_FALSE(plan3.is_crashed(1, 19));
+  EXPECT_TRUE(plan3.is_crashed(1, 20));
+  EXPECT_EQ(plan3.crash_round(1), 20);
+
+  // Digest is content-determined.
+  EXPECT_EQ(plan3.digest(), s.to_fault_plan().digest());
+  EXPECT_NE(plan3.digest(), plan2.digest());
+}
+
+TEST(ChurnScript, UnionGraphHoldsEveryNodeAndLinkEverAlive) {
+  net::Graph base(3);
+  base.add_edge(0, 1);
+  base.add_edge(1, 2);
+  base.finalize();
+
+  sim::ChurnScript s;
+  sim::ChurnEvent join;
+  join.round = 2;
+  join.kind = sim::ChurnKind::kNodeJoin;
+  join.node = 3;
+  join.links = {0, 2};
+  s.add(join);
+  sim::ChurnEvent rm;
+  rm.round = 4;
+  rm.kind = sim::ChurnKind::kLinkRemove;
+  rm.u = 0;
+  rm.v = 1;
+  s.add(rm);
+  sim::ChurnEvent leave;
+  leave.round = 5;
+  leave.kind = sim::ChurnKind::kNodeLeave;
+  leave.node = 2;
+  s.add(leave);
+
+  const net::Graph u = s.union_graph(base);
+  EXPECT_EQ(u.n(), 4);
+  // Removed links and departed nodes stay in the carrier — the fault
+  // plan, not graph surgery, models their absence.
+  EXPECT_TRUE(u.has_edge(0, 1));
+  EXPECT_TRUE(u.has_edge(1, 2));
+  EXPECT_TRUE(u.has_edge(3, 0));
+  EXPECT_TRUE(u.has_edge(3, 2));
+
+  sim::ChurnScript gap;
+  sim::ChurnEvent skip = join;
+  skip.node = 7;
+  gap.add(skip);
+  EXPECT_THROW((void)gap.union_graph(base), std::invalid_argument);
+}
+
+// One message wave on the union graph: a node that joins at round 30
+// must not relay before it joins, and a node that leaves at round 0
+// must never relay. The wave starts at node 0 and is re-broadcast once
+// per node per round, so it is still propagating when the join fires.
+class EchoProtocol final : public sim::Protocol {
+ public:
+  explicit EchoProtocol(int n) : heard_round_(static_cast<std::size_t>(n), -1) {}
+  void on_start(sim::NodeContext& ctx) override {
+    if (ctx.node() == 0) {
+      heard_round_[0] = 0;
+      ctx.broadcast({1, 0, 1, 0, -1});
+    }
+  }
+  void on_message(sim::NodeContext& ctx, const sim::Message& m) override {
+    auto& h = heard_round_[static_cast<std::size_t>(ctx.node())];
+    if (h != -1) return;
+    h = ctx.round();
+    ctx.broadcast({1, m.origin, m.hops + 1, 0, -1});
+  }
+  std::vector<int> heard_round_;
+};
+
+TEST(ChurnScript, EngineRunsChurnCompiledFaults) {
+  const auto scn = small_scenario(120, 3);
+  sim::ChurnScript s;
+  sim::ChurnEvent leave;
+  leave.round = 0;
+  leave.kind = sim::ChurnKind::kNodeLeave;
+  leave.node = 1;
+  s.add(leave);
+  sim::ChurnEvent join;
+  join.round = 30;
+  join.kind = sim::ChurnKind::kNodeJoin;
+  join.node = scn.graph.n();
+  join.pos = scn.graph.position(0);
+  join.links = {0, 2};
+  s.add(join);
+
+  const net::Graph carrier = s.union_graph(scn.graph);
+  sim::Engine engine(carrier);
+  engine.set_faults(s.to_fault_plan());
+  EchoProtocol proto(carrier.n());
+  const sim::RunStats stats = engine.run(proto, 200);
+  EXPECT_FALSE(stats.hit_round_cap);
+  // The crashed node never heard; the joiner cannot have heard before
+  // its join round (its links were down and its radio asleep).
+  EXPECT_EQ(proto.heard_round_[1], -1);
+  const int jr = proto.heard_round_[static_cast<std::size_t>(carrier.n() - 1)];
+  if (jr != -1) {
+    EXPECT_GE(jr, 30);
+  }
+}
+
+// The churn-determinism contract behind the CI gate (and the TSan soak):
+// the same ChurnScript compiled to a FaultPlan must produce bit-identical
+// distributed stage results at 1 engine thread and at 4.
+TEST(ChurnSoak, EngineThreadsBitIdentical) {
+  const auto scn = small_scenario(250, 33);
+  const sim::ChurnScript script =
+      sim::ChurnScript::random(scn.graph, soak_spec(scn.range, 40), 2024);
+  ASSERT_FALSE(script.empty());
+  const net::Graph carrier = script.union_graph(scn.graph);
+  const sim::FaultPlan plan = script.to_fault_plan();
+
+  const auto run_with = [&](int threads) {
+    sim::Engine engine(carrier);
+    engine.set_faults(plan);
+    engine.set_threads(threads);
+    return core::run_distributed_stages(carrier, core::Params{}, engine);
+  };
+  const core::DistributedRun seq = run_with(1);
+  const core::DistributedRun par = run_with(4);
+
+  EXPECT_EQ(seq.index.khop_size, par.index.khop_size);
+  EXPECT_EQ(seq.index.centrality, par.index.centrality);
+  EXPECT_EQ(seq.index.index, par.index.index);
+  EXPECT_EQ(seq.critical_nodes, par.critical_nodes);
+  EXPECT_EQ(seq.voronoi.sites, par.voronoi.sites);
+  EXPECT_EQ(seq.voronoi.site_of, par.voronoi.site_of);
+  EXPECT_EQ(seq.voronoi.dist, par.voronoi.dist);
+  EXPECT_EQ(seq.voronoi.parent, par.voronoi.parent);
+  EXPECT_EQ(seq.voronoi.site2_of, par.voronoi.site2_of);
+  EXPECT_EQ(seq.voronoi.dist2, par.voronoi.dist2);
+  EXPECT_EQ(seq.voronoi.via2, par.voronoi.via2);
+  EXPECT_EQ(seq.voronoi.nearby, par.voronoi.nearby);
+  // Message totals are part of the determinism contract too.
+  EXPECT_EQ(seq.total().transmissions, par.total().transmissions);
+  EXPECT_EQ(seq.total().receptions, par.total().receptions);
+}
+
+}  // namespace
+}  // namespace skelex

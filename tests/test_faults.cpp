@@ -16,6 +16,7 @@
 #include "deploy/scenario.h"
 #include "geometry/shapes.h"
 #include "net/graph.h"
+#include "sim/dynamics.h"
 #include "sim/engine.h"
 
 namespace skelex {
@@ -253,6 +254,75 @@ TEST(EngineFaults, MidRunDiskCrashCreatesExactlyOneLoop) {
     }
   }
   EXPECT_TRUE(left && right && above && below);
+}
+
+// Satellite of the self-healing front: crash + sleep + churn in ONE
+// fault plan. A ChurnScript compiles onto the same FaultPlan machinery,
+// so extra crash/sleep injections stack on top of the churn timeline;
+// StageCompleteness must report the resulting stage-1/2 deficits and
+// complete_extraction must still produce a skeleton from the partial
+// data (graceful degradation, not a crash).
+TEST(EngineFaults, StageCompletenessUnderCrashSleepAndChurn) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 400;
+  spec.target_avg_deg = 9.0;
+  spec.seed = 17;
+  const auto scn = deploy::make_udg_scenario(geom::shapes::rect(100, 60), spec);
+
+  sim::ChurnScript::RandomSpec churn;
+  churn.rounds = 30;
+  churn.join_rate = 0.2;
+  churn.leave_rate = 0.2;
+  churn.link_add_rate = 0.4;
+  churn.link_remove_rate = 0.4;
+  churn.range = scn.range;
+  const sim::ChurnScript script =
+      sim::ChurnScript::random(scn.graph, churn, 91);
+  ASSERT_FALSE(script.empty());
+
+  const net::Graph carrier = script.union_graph(scn.graph);
+  sim::FaultPlan plan = script.to_fault_plan();
+  // Stack classic faults on top of the churn plan: a crashed patch and
+  // a band of sleepers that miss the floods entirely.
+  int crashed = 0;
+  int sleeping = 0;
+  for (int v = 0; v < scn.graph.n(); ++v) {
+    const geom::Vec2 p = carrier.position(v);
+    if (geom::dist(p, {25, 30}) < 10.0 && !plan.is_crashed(v, 0)) {
+      plan.crash_at(v, 0);
+      ++crashed;
+    } else if (p.x > 80 && plan.crash_round(v) == INT_MAX) {
+      plan.sleep(v, 0, 1 << 20);
+      ++sleeping;
+    }
+  }
+  ASSERT_GT(crashed, 10);
+  ASSERT_GT(sleeping, 10);
+
+  sim::Engine engine(carrier);
+  engine.set_faults(plan);
+  const core::DistributedRun run =
+      core::run_distributed_stages(carrier, core::Params{}, engine);
+
+  // The combined faults really bit: drops happened, the silenced nodes
+  // produced no stage-1 data, and Voronoi coverage is partial.
+  EXPECT_GT(run.total().total_fault_drops(), 0);
+  EXPECT_GE(run.completeness.khop_empty, crashed + sleeping);
+  // A sleeping node hears no rival index, so it claims local-max and
+  // becomes its own singleton site — the critical set bloats rather than
+  // the coverage dropping. Crashed nodes stay unassigned for real.
+  EXPECT_GE(run.completeness.critical_count, sleeping);
+  EXPECT_GE(run.completeness.voronoi_unassigned, crashed);
+  EXPECT_LT(run.completeness.voronoi_coverage, 1.0);
+
+  // Graceful degradation: the pipeline completes from the partial
+  // stage-1/2 data, and the completeness deficits surface as warnings.
+  const core::SkeletonResult r = core::complete_extraction(
+      carrier, core::Params{}, run.index, run.critical_nodes, run.voronoi);
+  EXPECT_GT(r.skeleton.node_count(), 0);
+  core::Diagnostics diag;
+  core::apply_completeness_warnings(run.completeness, diag);
+  EXPECT_FALSE(diag.ok());
 }
 
 }  // namespace

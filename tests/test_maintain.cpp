@@ -1,0 +1,350 @@
+// Self-healing skeletons: the invariant checker, canonical stable-space
+// extraction, three-tier incremental repair (exactness against the
+// from-scratch ground truth), staleness batching + watchdog, and the
+// randomized churn soak (also exercised under ASan/TSan via
+// run_sanitized_tests.sh's ChurnSoak filter).
+#include "core/maintain.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/graph.h"
+#include "sim/dynamics.h"
+
+namespace skelex {
+namespace {
+
+using core::MaintainOptions;
+using core::RepairOutcome;
+using core::RepairTier;
+using core::SkeletonMaintainer;
+
+deploy::Scenario disk_scenario(int nodes, std::uint64_t seed) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = nodes;
+  spec.target_avg_deg = 10.0;
+  spec.seed = seed;
+  return deploy::make_udg_scenario(geom::shapes::disk(16.0), spec);
+}
+
+// A long thin corridor: hop diameter far beyond the dirty-region
+// radius, so sub-global repair tiers are actually reachable (in a small
+// disk every dirty ball covers the whole network and every repair
+// escalates to the full tier).
+deploy::Scenario corridor_scenario(int nodes, std::uint64_t seed) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = nodes;
+  spec.target_avg_deg = 10.0;
+  spec.seed = seed;
+  return deploy::make_udg_scenario(geom::shapes::corridor(), spec);
+}
+
+// Tight stage-1 radii keep the locality bound (k + l +
+// local_max_radius) small relative to the corridor's hop diameter.
+MaintainOptions regional_options() {
+  MaintainOptions opt;
+  opt.params.k = 2;
+  opt.params.l = 2;
+  opt.params.local_max_radius = 1;
+  opt.full_rebuild_fraction = 0.6;
+  return opt;
+}
+
+sim::ChurnScript::RandomSpec churn_spec(double range, int rounds,
+                                        double rate) {
+  sim::ChurnScript::RandomSpec spec;
+  spec.rounds = rounds;
+  spec.join_rate = rate;
+  spec.leave_rate = rate;
+  spec.link_add_rate = 2 * rate;
+  spec.link_remove_rate = 2 * rate;
+  spec.range = range;
+  return spec;
+}
+
+void expect_stage12_matches_canonical(const SkeletonMaintainer& maint,
+                                      const core::SkeletonResult& truth) {
+  const core::SkeletonResult& served = maint.served();
+  EXPECT_EQ(served.index.khop_size, truth.index.khop_size);
+  EXPECT_EQ(served.index.centrality, truth.index.centrality);
+  EXPECT_EQ(served.index.index, truth.index.index);
+  EXPECT_EQ(served.critical_nodes, truth.critical_nodes);
+  EXPECT_EQ(served.voronoi.sites, truth.voronoi.sites);
+  EXPECT_EQ(served.voronoi.site_of, truth.voronoi.site_of);
+  EXPECT_EQ(served.voronoi.dist, truth.voronoi.dist);
+  EXPECT_EQ(served.voronoi.parent, truth.voronoi.parent);
+  EXPECT_EQ(served.voronoi.site2_of, truth.voronoi.site2_of);
+  EXPECT_EQ(served.voronoi.dist2, truth.voronoi.dist2);
+  EXPECT_EQ(served.voronoi.via2, truth.voronoi.via2);
+  EXPECT_EQ(served.voronoi.is_segment, truth.voronoi.is_segment);
+  EXPECT_EQ(served.voronoi.is_voronoi_node, truth.voronoi.is_voronoi_node);
+  EXPECT_EQ(served.voronoi.nearby, truth.voronoi.nearby);
+}
+
+TEST(InvariantChecker, CleanExtractionPasses) {
+  const auto scn = corridor_scenario(400, 5);
+  sim::DynamicTopology topo(scn.graph);
+  const core::SkeletonResult r = core::extract_skeleton(topo.graph());
+  const auto rep =
+      core::check_skeleton_invariants(topo.csr(), topo.active(), r);
+  EXPECT_TRUE(rep.ok()) << rep.violations.front();
+}
+
+TEST(InvariantChecker, DetectsFabricatedViolations) {
+  const auto scn = corridor_scenario(400, 5);
+  sim::DynamicTopology topo(scn.graph);
+  core::SkeletonResult r = core::extract_skeleton(topo.graph());
+  ASSERT_GT(r.skeleton.node_count(), 1);
+
+  // An inactive skeleton node (and, transitively, inactive-site /
+  // uncovered checks) — deactivate one skeleton node in the mask only.
+  {
+    std::vector<char> active(topo.active().begin(), topo.active().end());
+    active[static_cast<std::size_t>(r.skeleton.nodes().front())] = 0;
+    const auto rep = core::check_skeleton_invariants(
+        topo.csr(), {active.data(), active.size()}, r);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.inactive_skeleton_nodes, 1);
+  }
+
+  // A phantom edge: connect two skeleton nodes that share no link.
+  {
+    core::SkeletonResult bad = r;
+    const auto nodes = bad.skeleton.nodes();
+    bool planted = false;
+    for (std::size_t i = 0; i < nodes.size() && !planted; ++i) {
+      for (std::size_t j = i + 1; j < nodes.size(); ++j) {
+        if (!topo.graph().has_edge(nodes[i], nodes[j]) &&
+            !bad.skeleton.has_edge(nodes[i], nodes[j])) {
+          bad.skeleton.add_edge(nodes[i], nodes[j]);
+          planted = true;
+          break;
+        }
+      }
+    }
+    ASSERT_TRUE(planted);
+    const auto rep =
+        core::check_skeleton_invariants(topo.csr(), topo.active(), bad);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_GE(rep.phantom_skeleton_edges, 1);
+  }
+
+  // An empty skeleton over a live network.
+  {
+    core::SkeletonResult empty;
+    empty.voronoi.site_of.assign(static_cast<std::size_t>(topo.n()), -1);
+    const auto rep =
+        core::check_skeleton_invariants(topo.csr(), topo.active(), empty);
+    EXPECT_FALSE(rep.ok());
+    EXPECT_TRUE(rep.empty_skeleton);
+    EXPECT_GE(rep.uncovered_components, 1);
+    EXPECT_EQ(rep.unassigned_active_nodes, topo.active_count());
+  }
+
+  // Mask size mismatch is a caller bug, not a degradation.
+  std::vector<char> wrong(3, 1);
+  EXPECT_THROW((void)core::check_skeleton_invariants(
+                   topo.csr(), {wrong.data(), wrong.size()}, r),
+               std::invalid_argument);
+}
+
+// The stable-id-space canonical extraction must equal the from-scratch
+// extraction of the compacted active subgraph, modulo the (monotone) id
+// remap — departed nodes are invisible to every stage.
+TEST(Maintainer, CanonicalMatchesCompactExtraction) {
+  const auto scn = disk_scenario(250, 17);
+  sim::DynamicTopology topo(scn.graph);
+  const sim::ChurnScript script = sim::ChurnScript::random(
+      scn.graph, churn_spec(scn.range, 20, 0.4), 23);
+  for (int round = 0; round < 20; ++round) (void)topo.apply_round(script, round);
+  ASSERT_LT(topo.active_count(), topo.n());  // some churn actually happened
+
+  SkeletonMaintainer maint(topo, {});
+  const core::SkeletonResult truth = maint.canonical();
+
+  std::vector<int> orig_of_new;
+  const net::Graph compact = topo.active_subgraph(&orig_of_new);
+  const core::SkeletonResult ref = core::extract_skeleton(compact);
+
+  // Remap the compact skeleton into the stable id space and compare.
+  core::SkeletonGraph remapped(topo.n());
+  for (int v : ref.skeleton.nodes()) {
+    remapped.add_node(orig_of_new[static_cast<std::size_t>(v)]);
+    for (int w : ref.skeleton.neighbors(v)) {
+      if (w > v) continue;
+      remapped.add_edge(orig_of_new[static_cast<std::size_t>(v)],
+                        orig_of_new[static_cast<std::size_t>(w)]);
+    }
+  }
+  EXPECT_EQ(core::skeleton_fingerprint(truth.skeleton),
+            core::skeleton_fingerprint(remapped));
+
+  // Critical sets agree under the same remap.
+  std::vector<int> remapped_crit;
+  for (int v : ref.critical_nodes) {
+    remapped_crit.push_back(orig_of_new[static_cast<std::size_t>(v)]);
+  }
+  EXPECT_EQ(truth.critical_nodes, remapped_crit);
+}
+
+TEST(Maintainer, RepairsTrackCanonicalUnderScriptedChurn) {
+  const auto scn = corridor_scenario(500, 41);
+  sim::DynamicTopology topo(scn.graph);
+  const sim::ChurnScript script = sim::ChurnScript::random(
+      scn.graph, churn_spec(scn.range, 30, 0.25), 7);
+
+  SkeletonMaintainer maint(topo, regional_options());
+  maint.initialize();
+  ASSERT_TRUE(maint.check().ok());
+
+  int repairs = 0;
+  for (int round = 0; round < 30; ++round) {
+    const RepairOutcome out = maint.advance(script, round);
+    ASSERT_TRUE(out.invariants_ok) << "round " << round;
+    ASSERT_TRUE(maint.healthy());
+    const auto rep = maint.check();
+    ASSERT_TRUE(rep.ok()) << "round " << round << ": "
+                          << rep.violations.front();
+    if (!out.repaired) continue;
+    ++repairs;
+    const core::SkeletonResult truth = maint.canonical();
+    // The cached stage-1/2 state is canonical after EVERY repair tier.
+    expect_stage12_matches_canonical(maint, truth);
+    // Tier 1+ results are bit-identical to a from-scratch extraction.
+    if (out.tier != RepairTier::kLocalPatch) {
+      EXPECT_EQ(maint.served_fingerprint(),
+                core::skeleton_fingerprint(truth.skeleton))
+          << "round " << round << " tier " << core::repair_tier_name(out.tier);
+    }
+  }
+  ASSERT_GT(repairs, 0);
+  EXPECT_EQ(maint.stats().invariant_failures, 0);
+  EXPECT_EQ(maint.stats().repairs_total(), repairs);
+}
+
+TEST(Maintainer, ForceFullAlwaysMatchesCanonical) {
+  const auto scn = disk_scenario(180, 9);
+  sim::DynamicTopology topo(scn.graph);
+  const sim::ChurnScript script = sim::ChurnScript::random(
+      scn.graph, churn_spec(scn.range, 12, 0.3), 13);
+  MaintainOptions opt;
+  opt.force_full = true;
+  SkeletonMaintainer maint(topo, opt);
+  for (int round = 0; round < 12; ++round) {
+    const RepairOutcome out = maint.advance(script, round);
+    if (out.repaired) {
+      EXPECT_EQ(out.tier, RepairTier::kFullRecompute);
+      EXPECT_EQ(maint.served_fingerprint(),
+                core::skeleton_fingerprint(maint.canonical().skeleton));
+    }
+  }
+  EXPECT_EQ(maint.stats().repairs_local, 0);
+  EXPECT_EQ(maint.stats().repairs_regional, 0);
+}
+
+TEST(Maintainer, LazyIntervalBatchesAndWatchdogBoundsStaleness) {
+  const auto scn = disk_scenario(200, 29);
+  sim::DynamicTopology topo(scn.graph);
+  const sim::ChurnScript script = sim::ChurnScript::random(
+      scn.graph, churn_spec(scn.range, 24, 0.5), 3);
+
+  MaintainOptions lazy;
+  lazy.repair_interval = 4;
+  lazy.staleness_bound = 16;
+  SkeletonMaintainer maint(topo, lazy);
+  maint.initialize();
+  for (int round = 0; round < 24; ++round) {
+    const RepairOutcome out = maint.advance(script, round);
+    EXPECT_LE(out.staleness, 3);  // repaired whenever staleness hits 4
+    if (out.deferred) {
+      EXPECT_FALSE(out.repaired);
+    }
+  }
+  EXPECT_GT(maint.stats().repairs_total(), 0);
+  EXPECT_LT(maint.stats().repairs_total(), maint.stats().rounds);
+  EXPECT_LE(maint.stats().max_staleness, 4);
+  EXPECT_EQ(maint.stats().watchdog_forced, 0);
+
+  // With a huge interval, only the watchdog repairs — at the bound, with
+  // a forced full recompute.
+  sim::DynamicTopology topo2(scn.graph);
+  MaintainOptions bounded;
+  bounded.repair_interval = 1000;
+  bounded.staleness_bound = 6;
+  SkeletonMaintainer maint2(topo2, bounded);
+  maint2.initialize();
+  for (int round = 0; round < 24; ++round) {
+    const RepairOutcome out = maint2.advance(script, round);
+    EXPECT_LE(out.staleness, 5);
+    if (out.repaired) {
+      EXPECT_EQ(out.tier, RepairTier::kFullRecompute);
+    }
+  }
+  EXPECT_GT(maint2.stats().watchdog_forced, 0);
+  EXPECT_EQ(maint2.stats().repairs_full, maint2.stats().repairs_total());
+  EXPECT_LE(maint2.stats().max_staleness, 6);
+}
+
+TEST(Maintainer, ValidatesOptions) {
+  const auto scn = disk_scenario(60, 1);
+  sim::DynamicTopology topo(scn.graph);
+  MaintainOptions opt;
+  opt.repair_interval = 0;
+  EXPECT_THROW(SkeletonMaintainer(topo, opt), std::invalid_argument);
+  opt = {};
+  opt.staleness_bound = 0;
+  EXPECT_THROW(SkeletonMaintainer(topo, opt), std::invalid_argument);
+  opt = {};
+  opt.full_rebuild_fraction = 0.0;
+  EXPECT_THROW(SkeletonMaintainer(topo, opt), std::invalid_argument);
+  opt = {};
+  opt.dirty_radius = -1;
+  EXPECT_THROW(SkeletonMaintainer(topo, opt), std::invalid_argument);
+  opt = {};
+  SkeletonMaintainer ok(topo, opt);
+  // k + l + effective_local_max_radius with the paper defaults.
+  EXPECT_EQ(ok.effective_dirty_radius(), 10);
+}
+
+// Randomized long-run soak: continuous mixed churn, invariants checked
+// EVERY round, plus periodic full cross-checks against the canonical
+// extraction. This test (by the ChurnSoak name) is part of the
+// sanitizer gate in scripts/run_sanitized_tests.sh.
+TEST(ChurnSoak, InvariantsHoldEveryRoundUnderContinuousChurn) {
+  const auto scn = corridor_scenario(500, 77);
+  sim::DynamicTopology topo(scn.graph);
+  const int rounds = 60;
+  const sim::ChurnScript script = sim::ChurnScript::random(
+      scn.graph, churn_spec(scn.range, rounds, 0.35), 1234);
+  ASSERT_FALSE(script.empty());
+
+  SkeletonMaintainer maint(topo, regional_options());
+  maint.initialize();
+  for (int round = 0; round < rounds; ++round) {
+    const RepairOutcome out = maint.advance(script, round);
+    ASSERT_TRUE(out.invariants_ok) << "round " << round;
+    const auto rep = maint.check();
+    ASSERT_TRUE(rep.ok()) << "round " << round << ": "
+                          << rep.violations.front();
+    if (round % 15 == 14) {
+      // Periodic ground-truth checkpoint: flush pending dirt, then the
+      // cached stage-1/2 state must equal the canonical one.
+      (void)maint.repair_now();
+      expect_stage12_matches_canonical(maint, maint.canonical());
+    }
+  }
+  EXPECT_EQ(maint.stats().invariant_failures, 0);
+  EXPECT_GT(maint.stats().repairs_total(), 0);
+  // At this churn rate most repairs must stay sub-global — the point of
+  // incremental maintenance.
+  EXPECT_GT(maint.stats().repairs_local + maint.stats().repairs_regional, 0);
+}
+
+}  // namespace
+}  // namespace skelex

@@ -1,0 +1,244 @@
+// Growth mirrors of net::remove_nodes (add_nodes / add_edges), the
+// in-place Graph mutators for dynamic topologies, and CsrGraph delta
+// maintenance — every delta-updated CSR must match the from-scratch
+// CsrGraph(Graph) oracle elementwise (same neighbor order, not just the
+// same edge set).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/csr.h"
+#include "net/graph.h"
+
+namespace skelex {
+namespace {
+
+net::Graph ring_graph(int n) {
+  net::Graph g(n);
+  for (int i = 0; i < n; ++i) g.add_edge(i, (i + 1) % n);
+  return g;
+}
+
+// Elementwise CSR equality against the from-scratch snapshot of `g`.
+void expect_csr_matches(const net::CsrGraph& csr, const net::Graph& g) {
+  const net::CsrGraph oracle(g);
+  ASSERT_EQ(csr.n(), oracle.n());
+  EXPECT_EQ(csr.edge_count(), oracle.edge_count());
+  for (int v = 0; v < oracle.n(); ++v) {
+    ASSERT_EQ(csr.degree(v), oracle.degree(v)) << "node " << v;
+    const auto a = csr.neighbors(v);
+    const auto b = oracle.neighbors(v);
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      EXPECT_EQ(a[i], b[i]) << "node " << v << " slot " << i;
+    }
+  }
+}
+
+TEST(AddNodes, MirrorsRemoveNodesOnPositionlessGraphs) {
+  const net::Graph g = ring_graph(6);
+  const net::Graph grown = net::add_nodes(g, 3);
+  ASSERT_EQ(grown.n(), 9);
+  EXPECT_EQ(grown.edge_count(), g.edge_count());
+  for (int v = 0; v < g.n(); ++v) {
+    const auto before = g.neighbors(v);
+    const auto after = grown.neighbors(v);
+    ASSERT_EQ(before.size(), after.size());
+    for (std::size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i], after[i]);
+    }
+  }
+  for (int v = g.n(); v < grown.n(); ++v) EXPECT_EQ(grown.degree(v), 0);
+
+  // Round trip: removing exactly the appended nodes restores the input
+  // edge set (remove_nodes rebuilds rows in ascending scan order, so
+  // compare as sets, not element order).
+  std::vector<char> dead(static_cast<std::size_t>(grown.n()), 0);
+  for (int v = g.n(); v < grown.n(); ++v) {
+    dead[static_cast<std::size_t>(v)] = 1;
+  }
+  const net::Graph back = net::remove_nodes(grown, dead);
+  ASSERT_EQ(back.n(), g.n());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+  for (int v = 0; v < g.n(); ++v) {
+    const auto a = g.neighbors(v);
+    const auto b = back.neighbors(v);
+    std::vector<int> before(a.begin(), a.end());
+    std::vector<int> after(b.begin(), b.end());
+    std::sort(before.begin(), before.end());
+    std::sort(after.begin(), after.end());
+    EXPECT_EQ(before, after) << "node " << v;
+  }
+}
+
+TEST(AddNodes, PositionsOverloadCarriesCoordinates) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 200;
+  spec.target_avg_deg = 9.0;
+  spec.seed = 7;
+  const auto scn = deploy::make_udg_scenario(geom::shapes::disk(10.0), spec);
+  const std::vector<geom::Vec2> extra = {{1.5, 2.5}, {-3.0, 4.0}};
+  const net::Graph grown = net::add_nodes(scn.graph, extra);
+  ASSERT_EQ(grown.n(), scn.graph.n() + 2);
+  ASSERT_TRUE(grown.has_positions());
+  EXPECT_EQ(grown.position(scn.graph.n()).x, 1.5);
+  EXPECT_EQ(grown.position(scn.graph.n() + 1).y, 4.0);
+  EXPECT_EQ(grown.degree(scn.graph.n()), 0);
+  EXPECT_EQ(grown.edge_count(), scn.graph.edge_count());
+
+  // Mixing the overloads with the wrong kind of graph throws.
+  EXPECT_THROW((void)net::add_nodes(scn.graph, 1), std::invalid_argument);
+  EXPECT_THROW((void)net::add_nodes(ring_graph(4), extra),
+               std::invalid_argument);
+}
+
+TEST(AddEdges, AppendsAtRowTailsLikeApplyDelta) {
+  const net::Graph g = ring_graph(8);
+  const std::vector<std::pair<int, int>> extra = {{0, 4}, {2, 6}};
+  const net::Graph grown = net::add_edges(g, extra);
+  EXPECT_EQ(grown.edge_count(), g.edge_count() + 2);
+  // New partners appear after the preexisting ones, in insertion order.
+  const auto row0 = grown.neighbors(0);
+  ASSERT_EQ(row0.size(), 3u);
+  EXPECT_EQ(row0[2], 4);
+
+  net::CsrGraph csr(g);
+  net::GraphDelta d;
+  d.add_edges = extra;
+  csr.apply_delta(d);
+  expect_csr_matches(csr, grown);
+
+  const std::vector<std::pair<int, int>> self = {{0, 0}};
+  const std::vector<std::pair<int, int>> dup = {{0, 1}};
+  const std::vector<std::pair<int, int>> oob = {{0, 99}};
+  EXPECT_THROW((void)net::add_edges(g, self), std::invalid_argument);
+  EXPECT_THROW((void)net::add_edges(g, dup), std::invalid_argument);
+  EXPECT_THROW((void)net::add_edges(g, oob), std::out_of_range);
+}
+
+TEST(GraphMutators, InPlaceEditsKeepGraphFinalized) {
+  net::Graph g = ring_graph(5);
+  g.add_edge_unique(0, 2);
+  EXPECT_TRUE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 6);
+  EXPECT_THROW(g.add_edge_unique(0, 2), std::invalid_argument);
+  EXPECT_THROW(g.add_edge_unique(3, 3), std::invalid_argument);
+
+  g.remove_edge(0, 2);
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.edge_count(), 5);
+  EXPECT_THROW(g.remove_edge(0, 2), std::invalid_argument);
+
+  const int added = g.add_node();
+  EXPECT_EQ(added, 5);
+  EXPECT_EQ(g.n(), 6);
+  EXPECT_EQ(g.degree(added), 0);
+  // Positionless graph rejects the positioned overload and vice versa.
+  EXPECT_THROW((void)g.add_node({1.0, 1.0}), std::invalid_argument);
+  net::Graph pg(std::vector<geom::Vec2>{{0, 0}, {1, 0}});
+  EXPECT_THROW((void)pg.add_node(), std::invalid_argument);
+  EXPECT_EQ(pg.add_node({2.0, 0.0}), 2);
+}
+
+TEST(CsrDelta, RemoveThenAddMatchesOracle) {
+  net::Graph g = ring_graph(10);
+  net::CsrGraph csr(g);
+
+  net::GraphDelta d;
+  d.remove_edges = {{0, 1}, {5, 6}};
+  d.add_edges = {{0, 5}, {1, 6}};
+  csr.apply_delta(d);
+
+  g.remove_edge(0, 1);
+  g.remove_edge(5, 6);
+  g.add_edge_unique(0, 5);
+  g.add_edge_unique(1, 6);
+  expect_csr_matches(csr, g);
+
+  // Re-adding a just-removed edge lands at the row tail, like the
+  // in-place mutator.
+  net::GraphDelta d2;
+  d2.remove_edges = {{2, 3}};
+  csr.apply_delta(d2);
+  g.remove_edge(2, 3);
+  net::GraphDelta d3;
+  d3.add_edges = {{2, 3}};
+  csr.apply_delta(d3);
+  g.add_edge_unique(2, 3);
+  expect_csr_matches(csr, g);
+}
+
+TEST(CsrDelta, NodeGrowthAndForcedRepack) {
+  net::Graph g = ring_graph(4);
+  net::CsrGraph csr(g);
+
+  // Grow the id space, then pile edges onto one node until its row
+  // overflows its capacity (degree 2 in the ring) repeatedly, forcing
+  // deterministic repacks.
+  net::GraphDelta grow;
+  grow.add_node_count = 3;
+  csr.apply_delta(grow);
+  for (int i = 0; i < 3; ++i) (void)g.add_node();
+  expect_csr_matches(csr, g);
+
+  net::GraphDelta wire;
+  wire.add_edges = {{0, 4}, {0, 5}, {0, 6}, {1, 4}, {2, 5}, {4, 6}};
+  csr.apply_delta(wire);
+  for (const auto& [u, v] : wire.add_edges) g.add_edge_unique(u, v);
+  expect_csr_matches(csr, g);
+
+  // Validation: unknown nodes, self loops, duplicates (existing and
+  // intra-delta) are all rejected.
+  net::GraphDelta bad;
+  bad.add_edges = {{0, 99}};
+  EXPECT_THROW(csr.apply_delta(bad), std::out_of_range);
+  bad.add_edges = {{3, 3}};
+  EXPECT_THROW(csr.apply_delta(bad), std::invalid_argument);
+  bad.add_edges = {{0, 4}};
+  EXPECT_THROW(csr.apply_delta(bad), std::invalid_argument);
+  bad.add_edges = {{1, 5}, {5, 1}};
+  EXPECT_THROW(csr.apply_delta(bad), std::invalid_argument);
+  bad.add_edges.clear();
+  bad.remove_edges = {{1, 3}};  // never linked
+  EXPECT_THROW(csr.apply_delta(bad), std::invalid_argument);
+  // A failed delta must not have corrupted the CSR.
+  expect_csr_matches(csr, g);
+}
+
+TEST(CsrDelta, ChurnSequenceOnUdgScenarioMatchesOracle) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 300;
+  spec.target_avg_deg = 8.0;
+  spec.seed = 21;
+  const auto scn = deploy::make_udg_scenario(geom::shapes::disk(12.0), spec);
+  net::Graph g = scn.graph;
+  net::CsrGraph csr(g);
+
+  deploy::Rng rng(99);
+  for (int step = 0; step < 60; ++step) {
+    const int v = static_cast<int>(rng.next_below(g.n()));
+    if (g.degree(v) > 0 && rng.next_double() < 0.5) {
+      const auto row = g.neighbors(v);
+      const int w = row[rng.next_below(row.size())];
+      net::GraphDelta d;
+      d.remove_edges = {{v, w}};
+      csr.apply_delta(d);
+      g.remove_edge(v, w);
+    } else {
+      const int w = static_cast<int>(rng.next_below(g.n()));
+      if (w == v || g.has_edge(v, w)) continue;
+      net::GraphDelta d;
+      d.add_edges = {{v, w}};
+      csr.apply_delta(d);
+      g.add_edge_unique(v, w);
+    }
+  }
+  expect_csr_matches(csr, g);
+}
+
+}  // namespace
+}  // namespace skelex

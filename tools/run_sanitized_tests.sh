@@ -6,7 +6,14 @@
 #   SKELEX_SANITIZE=thread            -> TSan,         build-tsan
 #
 #   ./tools/run_sanitized_tests.sh [ctest args...]
-#   SKELEX_SANITIZE=thread ./tools/run_sanitized_tests.sh -R EngineParallel
+#   SKELEX_SANITIZE=thread ./tools/run_sanitized_tests.sh -R 'EngineParallel|ChurnSoak'
+#
+# The full (no -R) run includes the randomized churn soaks
+# (tests/test_maintain.cpp ChurnSoak.*): ~60 rounds of continuous
+# join/leave/link churn with the maintainer's invariant checker asserted
+# every round — the intended memory-error diet for ASan. The TSan subset
+# adds ChurnSoak to the engine-parallel filter so the churn-compiled
+# fault plans also run under the race detector.
 #
 # BUILD_DIR overrides the per-mode default directory.
 set -euo pipefail
