@@ -24,16 +24,16 @@ int main() {
   const core::SkeletonResult r = core::extract_skeleton(g, core::Params{});
   std::printf("(b) critical skeleton nodes: %zu\n", r.critical_nodes.size());
   int segments = 0, voronoi_nodes = 0;
-  for (std::size_t v = 0; v < r.voronoi.is_segment.size(); ++v) {
-    segments += r.voronoi.is_segment[v];
-    voronoi_nodes += r.voronoi.is_voronoi_node[v];
+  for (std::size_t v = 0; v < r.voronoi().is_segment.size(); ++v) {
+    segments += r.voronoi().is_segment[v];
+    voronoi_nodes += r.voronoi().is_voronoi_node[v];
   }
   std::printf("(c) segment nodes:           %d (voronoi nodes: %d) across %d "
               "cells\n",
-              segments, voronoi_nodes, r.voronoi.cell_count());
+              segments, voronoi_nodes, r.voronoi().cell_count());
   std::printf("(d) coarse skeleton:         %d nodes, %d edges, cycle rank %d\n",
-              r.coarse.node_count(), r.coarse.edge_count(),
-              r.coarse.cycle_rank());
+              r.coarse().node_count(), r.coarse().edge_count(),
+              r.coarse().cycle_rank());
   std::printf("(e-g) loop clean-up:         %d fake loops removed, %d thin/"
               "braid collapsed, %d merge rounds\n",
               r.fake_loops_removed, r.thin_loops_collapsed, r.merge_rounds);
@@ -70,7 +70,7 @@ int main() {
     svg.add_graph_nodes(g);
     std::vector<int> seg;
     for (int v = 0; v < g.n(); ++v) {
-      if (r.voronoi.is_segment[static_cast<std::size_t>(v)]) seg.push_back(v);
+      if (r.voronoi().is_segment[static_cast<std::size_t>(v)]) seg.push_back(v);
     }
     svg.add_nodes(g, seg, "#1f77b4", 2.2);
     svg.save("bench_out/fig1c_segment_nodes.svg");
@@ -78,7 +78,7 @@ int main() {
   {
     viz::SvgWriter svg(lo, hi);
     svg.add_graph_nodes(g);
-    svg.add_skeleton(g, r.coarse, "#ff7f0e", 1.6);
+    svg.add_skeleton(g, r.coarse(), "#ff7f0e", 1.6);
     svg.save("bench_out/fig1d_coarse.svg");
   }
   {

@@ -8,6 +8,7 @@
 
 #include "core/identify.h"
 #include "core/index.h"
+#include "core/memo/stage_cache.h"
 #include "core/pipeline.h"
 #include "core/protocols.h"
 #include "core/voronoi.h"
@@ -146,6 +147,43 @@ void BM_FullPipeline(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * sc.graph.n());
 }
 BENCHMARK(BM_FullPipeline)->Arg(1000)->Arg(2592)->Arg(8000);
+
+// Guards the shared-output SkeletonResult design: the heavyweight stage
+// outputs (index arrays, Voronoi arrays, coarse skeleton) are
+// shared_ptr-held, so copying an assembled result costs a few refcount
+// bumps plus the per-request pieces — NOT a deep copy of O(n) arrays.
+// A regression back to by-value stage members shows up here as copy
+// time scaling with network size.
+void BM_ResultAssembly(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  core::memo::StageCache cache;
+  const core::SkeletonResult r =
+      core::extract_skeleton(sc.graph, core::Params{}, &cache);
+  for (auto _ : state) {
+    core::SkeletonResult copy = r;
+    benchmark::DoNotOptimize(copy);
+  }
+  state.counters["allocs_per_copy"] = benchmark::Counter(
+      static_cast<double>(g_allocs.exchange(0)),
+      benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_ResultAssembly)->Arg(1000)->Arg(4000);
+
+// The memo cache's payoff, isolated: a fully warm extraction (all
+// cacheable stages hit) against the cold BM_FullPipeline numbers above.
+void BM_WarmExtraction(benchmark::State& state) {
+  const deploy::Scenario sc = make_network(static_cast<int>(state.range(0)));
+  core::memo::StageCache cache;
+  benchmark::DoNotOptimize(
+      core::extract_skeleton(sc.graph, core::Params{}, &cache));  // warm it
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::extract_skeleton(sc.graph, core::Params{}, &cache));
+  }
+  state.SetItemsProcessed(state.iterations() * sc.graph.n());
+}
+BENCHMARK(BM_WarmExtraction)->Arg(1000)->Arg(4000);
 
 // --- Telemetry overhead guards ----------------------------------------------
 // The telemetry-off pipeline must stay within noise of the pre-telemetry

@@ -1,0 +1,214 @@
+// Load generator for the batched extraction service: an in-process
+// Server + client threads hammering it over real loopback sockets.
+//
+// Two phases per run:
+//   * cold — every distinct workload (shape x seed x params cell) is
+//     requested once against an empty cache; mean latency recorded;
+//   * warm — the same workloads re-requested `--rounds` times from
+//     `--clients` concurrent connections; per-request latencies give
+//     p50/p99, wall time gives sustained req/s, and the service's cache
+//     stats give the hit rate.
+//
+// Writes bench_out/service_load.json (stable schema; wall-clock fields
+// are the only run-to-run variance). tools/record_bench.sh folds the
+// numbers into BENCH_<N>.json, where the acceptance gate asserts warm
+// latency >= 3x below cold.
+//
+//   bench_service [--threads N] [--clients N] [--rounds N] [--nodes N]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "io/json.h"
+#include "svc/protocol.h"
+#include "svc/server.h"
+#include "svc/service.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using skelex::svc::Request;
+
+double ms_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+int arg_int(int argc, char** argv, const char* flag, int fallback) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return std::atoi(argv[i + 1]);
+  }
+  return fallback;
+}
+
+// The workload mix: a few shapes and seeds plus a stage-4 param variant
+// (which shares stages 1-3 with its sibling via the memo cache).
+std::vector<Request> make_workloads(int nodes) {
+  const char* shapes[] = {"window", "smile", "annulus"};
+  std::vector<Request> w;
+  for (const char* shape : shapes) {
+    for (int seed = 1; seed <= 2; ++seed) {
+      for (int prune = 6; prune <= 8; prune += 2) {
+        Request r;
+        r.shape = shape;
+        r.nodes = nodes;
+        r.seed = static_cast<std::uint64_t>(seed);
+        r.params.prune_len = prune;
+        r.with_trace = false;  // latency of extraction, not serialization
+        w.push_back(r);
+      }
+    }
+  }
+  return w;
+}
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1));
+  return sorted_ms[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int threads = arg_int(argc, argv, "--threads", 4);
+  const int clients = arg_int(argc, argv, "--clients", 4);
+  const int rounds = arg_int(argc, argv, "--rounds", 20);
+  const int nodes = arg_int(argc, argv, "--nodes", 1000);
+
+  skelex::svc::ExtractionService service;
+  skelex::exec::ThreadPool pool(threads);
+  skelex::svc::Server server(service, pool);
+  const std::vector<Request> workloads = make_workloads(nodes);
+
+  // --- cold phase: every workload once, sequentially -------------------------
+  double cold_total_ms = 0;
+  {
+    skelex::svc::Client client(server.port());
+    long long id = 0;
+    for (Request req : workloads) {
+      req.id = ++id;
+      const Clock::time_point t0 = Clock::now();
+      const std::string resp = client.request(req);
+      cold_total_ms += ms_since(t0);
+      if (resp.find("\"ok\": true") == std::string::npos) {
+        std::fprintf(stderr, "cold request failed: %s\n", resp.c_str());
+        return 1;
+      }
+    }
+  }
+  const double cold_ms =
+      cold_total_ms / static_cast<double>(workloads.size());
+
+  // --- warm latency, like-for-like -------------------------------------------
+  // Same sequential single-client loop as the cold phase, now against a
+  // fully warm cache: the cold/warm ratio isolates the memo cache's
+  // payoff with no concurrency queueing mixed in.
+  double warm_seq_total_ms = 0;
+  int warm_seq_n = 0;
+  {
+    skelex::svc::Client client(server.port());
+    long long id = 1'000'000;
+    for (int round = 0; round < 3; ++round) {
+      for (Request req : workloads) {
+        req.id = ++id;
+        const Clock::time_point t0 = Clock::now();
+        const std::string resp = client.request(req);
+        warm_seq_total_ms += ms_since(t0);
+        ++warm_seq_n;
+        if (resp.find("\"ok\": true") == std::string::npos) {
+          std::fprintf(stderr, "warm request failed: %s\n", resp.c_str());
+          return 1;
+        }
+      }
+    }
+  }
+  const double warm_seq_ms = warm_seq_total_ms / warm_seq_n;
+
+  // --- warm phase: concurrent clients, synchronous round trips ---------------
+  std::vector<std::vector<double>> lat(static_cast<std::size_t>(clients));
+  std::atomic<int> failures{0};
+  const Clock::time_point warm0 = Clock::now();
+  std::vector<std::thread> threads_v;
+  for (int c = 0; c < clients; ++c) {
+    threads_v.emplace_back([&, c] {
+      skelex::svc::Client client(server.port());
+      std::vector<double>& out = lat[static_cast<std::size_t>(c)];
+      long long id = 0;
+      for (int round = 0; round < rounds; ++round) {
+        for (Request req : workloads) {
+          req.id = ++id;
+          const Clock::time_point t0 = Clock::now();
+          const std::string resp = client.request(req);
+          out.push_back(ms_since(t0));
+          if (resp.find("\"ok\": true") == std::string::npos) ++failures;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads_v) t.join();
+  const double warm_wall_ms = ms_since(warm0);
+
+  std::vector<double> all;
+  for (const auto& v : lat) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  const long long total = static_cast<long long>(all.size());
+  double warm_sum = 0;
+  for (double ms : all) warm_sum += ms;
+  const double warm_ms = total > 0 ? warm_sum / static_cast<double>(total) : 0;
+  const double req_per_s =
+      warm_wall_ms > 0 ? 1000.0 * static_cast<double>(total) / warm_wall_ms : 0;
+
+  const skelex::core::memo::CacheStats st = service.cache_stats();
+  const double lookups = static_cast<double>(st.hits + st.misses);
+  const double hit_rate =
+      lookups > 0 ? static_cast<double>(st.hits) / lookups : 0;
+
+  server.stop();
+
+  skelex::io::JsonWriter j;
+  j.begin_object();
+  j.key("schema").value(1);
+  j.key("host_threads")
+      .value(static_cast<int>(std::thread::hardware_concurrency()));
+  j.key("pool_threads").value(threads);
+  j.key("clients").value(clients);
+  j.key("workloads").value(static_cast<int>(workloads.size()));
+  j.key("requests").value(total);
+  j.key("failures").value(failures.load());
+  j.key("max_in_flight").value(server.max_in_flight());
+  j.key("cold_ms").value(cold_ms);
+  j.key("warm_ms").value(warm_seq_ms);
+  j.key("warm_speedup").value(warm_seq_ms > 0 ? cold_ms / warm_seq_ms : 0.0);
+  j.key("warm_concurrent_ms").value(warm_ms);
+  j.key("p50_ms").value(percentile(all, 0.50));
+  j.key("p99_ms").value(percentile(all, 0.99));
+  j.key("req_per_s").value(req_per_s);
+  j.key("hit_rate").value(hit_rate);
+  j.key("cache").begin_object();
+  j.key("hits").value(static_cast<long long>(st.hits));
+  j.key("misses").value(static_cast<long long>(st.misses));
+  j.key("insertions").value(static_cast<long long>(st.insertions));
+  j.key("evictions").value(static_cast<long long>(st.evictions));
+  j.key("bytes").value(static_cast<long long>(st.bytes));
+  j.key("entries").value(static_cast<long long>(st.entries));
+  j.end_object();
+  j.end_object();
+  j.save("bench_out/service_load.json");
+
+  std::printf(
+      "service: %lld requests, %d clients, %.0f req/s | cold %.2f ms -> warm "
+      "%.3f ms (%.1fx) | p50 %.3f ms p99 %.3f ms | hit rate %.3f | max "
+      "in-flight %d | failures %d\n",
+      total, clients, req_per_s, cold_ms, warm_seq_ms,
+      warm_seq_ms > 0 ? cold_ms / warm_seq_ms : 0.0, percentile(all, 0.50),
+      percentile(all, 0.99), hit_rate, server.max_in_flight(),
+      failures.load());
+  return failures.load() == 0 ? 0 : 1;
+}

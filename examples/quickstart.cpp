@@ -38,8 +38,8 @@ int main(int argc, char** argv) {
   // 3. Extract the skeleton — connectivity only, no boundary input.
   const core::SkeletonResult r = core::extract_skeleton(g, core::Params{});
   std::cout << "critical skeleton nodes: " << r.critical_nodes.size() << '\n'
-            << "voronoi cells:           " << r.voronoi.cell_count() << '\n'
-            << "coarse skeleton nodes:   " << r.coarse.node_count() << '\n'
+            << "voronoi cells:           " << r.voronoi().cell_count() << '\n'
+            << "coarse skeleton nodes:   " << r.coarse().node_count() << '\n'
             << "fake loops removed:      " << r.fake_loops_removed << '\n'
             << "pruned nodes:            " << r.pruned_nodes << '\n'
             << "final skeleton:          " << r.skeleton.node_count()

@@ -60,7 +60,7 @@ int main(int argc, char** argv) {
       }
     }
     const auto d = net::bfs_distances_masked(
-        g, r.voronoi.sites[static_cast<std::size_t>(s)], in_cell);
+        g, r.voronoi().sites[static_cast<std::size_t>(s)], in_cell);
     bool ok = true;
     for (int v = 0; v < g.n(); ++v) {
       if (in_cell[static_cast<std::size_t>(v)] &&

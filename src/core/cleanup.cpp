@@ -183,11 +183,10 @@ std::vector<Pocket> find_pockets(const net::Graph& g,
 }
 
 bool pocket_is_fake(const Pocket& pocket, const IndexData& idx,
-                    const Params& params) {
-  params.validate();
+                    const CleanupParams& params) {
   // Too small to wrap a hole that connectivity could see.
   if (static_cast<int>(pocket.interior.size()) <=
-      params.effective_fake_pocket_min_size()) {
+      params.fake_pocket_min_size) {
     return true;
   }
   // Hole signal: a pocket wrapping a hole contains hole-boundary nodes
@@ -208,9 +207,8 @@ bool pocket_is_fake(const Pocket& pocket, const IndexData& idx,
 }
 
 CleanupResult cleanup_loops(const net::Graph& g, const IndexData& idx,
-                            SkeletonGraph coarse, const Params& params,
+                            SkeletonGraph coarse, const CleanupParams& params,
                             const VoronoiResult* vor) {
-  params.validate();
   CleanupResult result;
   result.graph = std::move(coarse);
   SkeletonGraph& sk = result.graph;
@@ -491,8 +489,7 @@ CleanupResult cleanup_loops(const net::Graph& g, const IndexData& idx,
 }
 
 bool cycle_is_thin(const net::Graph& g, const std::vector<int>& cycle,
-                   const Params& params) {
-  params.validate();
+                   const CleanupParams& params) {
   const std::size_t len = cycle.size();
   if (len < 3) return true;
   const int limit = std::max(
@@ -505,6 +502,26 @@ bool cycle_is_thin(const net::Graph& g, const std::vector<int>& cycle,
     if (d[static_cast<std::size_t>(b)] == net::kUnreached) return false;
   }
   return true;
+}
+
+bool pocket_is_fake(const Pocket& pocket, const IndexData& idx,
+                    const Params& params) {
+  params.validate();
+  return pocket_is_fake(pocket, idx, params.cleanup_params());
+}
+
+bool cycle_is_thin(const net::Graph& g, const std::vector<int>& cycle,
+                   const Params& params) {
+  params.validate();
+  return cycle_is_thin(g, cycle, params.cleanup_params());
+}
+
+CleanupResult cleanup_loops(const net::Graph& g, const IndexData& idx,
+                            SkeletonGraph coarse, const Params& params,
+                            const VoronoiResult* vor) {
+  params.validate();
+  return cleanup_loops(g, idx, std::move(coarse), params.cleanup_params(),
+                       vor);
 }
 
 }  // namespace skelex::core

@@ -60,6 +60,8 @@ struct CleanupResult {
 // nothing: every opposite pair of cycle nodes is within
 // params.thin_cycle_hops hops in the full graph. Exposed for tests.
 bool cycle_is_thin(const net::Graph& g, const std::vector<int>& cycle,
+                   const CleanupParams& params);
+bool cycle_is_thin(const net::Graph& g, const std::vector<int>& cycle,
                    const Params& params);
 
 // Finds the pockets enclosed by `skeleton` in `g`. A pocket's boundary is
@@ -70,7 +72,11 @@ bool cycle_is_thin(const net::Graph& g, const std::vector<int>& cycle,
 std::vector<Pocket> find_pockets(const net::Graph& g,
                                  const SkeletonGraph& skeleton);
 
-// Classifies a pocket as fake or genuine. Exposed for tests.
+// Classifies a pocket as fake or genuine. Exposed for tests. The
+// CleanupParams overload (resolved slice) is the primary; the Params
+// overload validates and forwards.
+bool pocket_is_fake(const Pocket& pocket, const IndexData& idx,
+                    const CleanupParams& params);
 bool pocket_is_fake(const Pocket& pocket, const IndexData& idx,
                     const Params& params);
 
@@ -87,7 +93,14 @@ bool pocket_is_fake(const Pocket& pocket, const IndexData& idx,
 //   3. thin cycles (opposite sides close in G) — loops that enclose
 //      nothing at all.
 // `vor` may be null (mechanism 2 is skipped), e.g. for hand-built
-// skeletons in tests.
+// skeletons in tests. The CleanupParams overload (resolved slice) is the
+// primary — it reads ONLY that slice, which is what the cleanup stage
+// command keys on; the Params overload validates and forwards. `vor` is
+// never mutated: stages after Voronoi construction only read it, which
+// is what lets a memo cache share one VoronoiResult across requests.
+CleanupResult cleanup_loops(const net::Graph& g, const IndexData& idx,
+                            SkeletonGraph coarse, const CleanupParams& params,
+                            const VoronoiResult* vor = nullptr);
 CleanupResult cleanup_loops(const net::Graph& g, const IndexData& idx,
                             SkeletonGraph coarse, const Params& params,
                             const VoronoiResult* vor = nullptr);

@@ -129,8 +129,7 @@ std::vector<std::vector<int>> cluster_within_hops(const net::Graph& g,
 
 CoarseSkeleton build_coarse_skeleton(const net::Graph& g, const IndexData& idx,
                                      const VoronoiResult& vor,
-                                     const Params& params) {
-  params.validate();
+                                     const CoarseParams& params) {
   if (idx.index.size() != static_cast<std::size_t>(g.n())) {
     throw std::invalid_argument("IndexData does not match graph");
   }
@@ -547,6 +546,13 @@ CoarseSkeleton build_coarse_skeleton(const net::Graph& g, const IndexData& idx,
     coarse.graph.add_edge(u, mate);
   }
   return coarse;
+}
+
+CoarseSkeleton build_coarse_skeleton(const net::Graph& g, const IndexData& idx,
+                                     const VoronoiResult& vor,
+                                     const Params& params) {
+  params.validate();
+  return build_coarse_skeleton(g, idx, vor, params.coarse_params());
 }
 
 }  // namespace skelex::core

@@ -64,6 +64,13 @@ std::vector<std::vector<int>> cluster_within_hops(const net::Graph& g,
                                                   const std::vector<int>& nodes,
                                                   int merge_hops);
 
+// Primary implementation: reads only the CoarseParams slice — the stage
+// command's keyed input.
+CoarseSkeleton build_coarse_skeleton(const net::Graph& g, const IndexData& idx,
+                                     const VoronoiResult& vor,
+                                     const CoarseParams& params);
+
+// Full-Params wrapper (validates, then takes the slice).
 CoarseSkeleton build_coarse_skeleton(const net::Graph& g, const IndexData& idx,
                                      const VoronoiResult& vor,
                                      const Params& params);

@@ -5,7 +5,55 @@
 // algorithm is insensitive to k and l; bench_param_sensitivity sweeps them.
 #pragma once
 
+#include <cstdint>
+
 namespace skelex::core {
+
+// --- Per-stage parameter slices ----------------------------------------------
+// Each pipeline stage declares the subset of Params it actually reads.
+// The slices are what the stage commands (core/stage_cmd.h) hash into
+// their content-addressed keys: two Params differing only in fields a
+// stage never looks at produce the SAME slice, so the memo cache shares
+// the stage's output between them. Derived defaults (local_max_radius=0
+// meaning "use l", fake_pocket_min_size=0 meaning "2k^2") are RESOLVED
+// when the slice is taken, so a slice is a pure value — equal slices,
+// equal outputs.
+
+// Stage 1a (index computation): |N_k|, l-centrality, index.
+struct IndexParams {
+  int k = 4;
+  int l = 4;
+  bool centrality_includes_self = false;
+};
+
+// Stage 1b (critical-node identification): the locally-maximal test.
+struct IdentifyParams {
+  int local_max_radius = 2;  // resolved: never 0
+};
+
+// Stage 2 (Voronoi construction): the tie threshold.
+struct VoronoiParams {
+  int alpha = 1;
+};
+
+// Stage 3 (coarse skeleton): nerve construction reads alpha for the
+// junction-witness test.
+struct CoarseParams {
+  int alpha = 1;
+};
+
+// Stage 4a (loop clean-up).
+struct CleanupParams {
+  int fake_pocket_min_size = 32;  // resolved: never 0
+  double hole_khop_ratio = 0.72;
+  int thin_cycle_hops = 2;
+  double thin_cycle_ratio = 0.2;
+};
+
+// Stage 4b (pruning).
+struct PruneParams {
+  int prune_len = 6;
+};
 
 struct Params {
   // Radius (hops) of the neighborhood-size flood: |N_k(p)| (§III-A round 1).
@@ -59,6 +107,21 @@ struct Params {
   int effective_fake_pocket_min_size() const {
     return fake_pocket_min_size > 0 ? fake_pocket_min_size : 2 * k * k;
   }
+
+  // The per-stage slices, with derived defaults resolved.
+  IndexParams index_params() const {
+    return {k, l, centrality_includes_self};
+  }
+  IdentifyParams identify_params() const {
+    return {effective_local_max_radius()};
+  }
+  VoronoiParams voronoi_params() const { return {alpha}; }
+  CoarseParams coarse_params() const { return {alpha}; }
+  CleanupParams cleanup_params() const {
+    return {effective_fake_pocket_min_size(), hole_khop_ratio, thin_cycle_hops,
+            thin_cycle_ratio};
+  }
+  PruneParams prune_params() const { return {prune_len}; }
 
   // Throws std::invalid_argument when a field is out of range.
   void validate() const;

@@ -1,0 +1,64 @@
+#include "core/fingerprint.h"
+
+#include "core/pipeline.h"
+#include "core/skeleton_graph.h"
+
+namespace skelex::core {
+
+std::uint64_t graph_fingerprint(const net::CsrGraph& g) {
+  Fnv f;
+  const int n = g.n();
+  f.i32(n);
+  for (int v = 0; v < n; ++v) {
+    f.i32(g.degree(v));
+    for (int w : g.neighbors(v)) f.i32(w);
+  }
+  return f.h;
+}
+
+void hash_skeleton_graph(Fnv& f, const SkeletonGraph& sk) {
+  f.vec(sk.nodes());
+  for (int v : sk.nodes()) {
+    for (int w : sk.neighbors(v)) {
+      if (w > v) {
+        f.i32(v);
+        f.i32(w);
+      }
+    }
+  }
+}
+
+std::uint64_t result_fingerprint(const SkeletonResult& r) {
+  Fnv f;
+  // Stage 1.
+  f.vec(r.index().khop_size);
+  f.vecd(r.index().centrality);
+  f.vecd(r.index().index);
+  f.vec(r.critical_nodes);
+  // Stage 2.
+  const VoronoiResult& vor = r.voronoi();
+  f.vec(vor.sites);
+  f.vec(vor.site_of);
+  f.vec(vor.dist);
+  f.vec(vor.parent);
+  f.vec(vor.site2_of);
+  f.vec(vor.dist2);
+  f.vec(vor.via2);
+  f.vecc(vor.is_segment);
+  f.vecc(vor.is_voronoi_node);
+  // Stages 3-4: node and edge lists in canonical order.
+  hash_skeleton_graph(f, r.coarse());
+  hash_skeleton_graph(f, r.skeleton);
+  f.i32(r.fake_loops_removed);
+  f.i32(r.merge_rounds);
+  f.i32(r.thin_loops_collapsed);
+  f.i32(r.pruned_nodes);
+  // By-products.
+  f.vec(r.segmentation.segment_of);
+  f.vec(r.segmentation.segment_size);
+  f.vec(r.boundary.boundary_nodes);
+  f.vec(r.boundary.dist_to_skeleton);
+  return f.h;
+}
+
+}  // namespace skelex::core

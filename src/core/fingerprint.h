@@ -1,0 +1,78 @@
+// skelex/core/fingerprint.h
+//
+// Content fingerprints used across the stage-command pipeline:
+//
+//   * Fnv — the FNV-1a byte hasher every fingerprint in the repo is
+//     built from (formerly duplicated in tests);
+//   * graph_fingerprint — hash of a CsrGraph's LIVE content (n + each
+//     row's live neighbor prefix). Delta-maintained CSRs with different
+//     slack layouts but equal live rows hash equal, which is exactly
+//     the equivalence the pipeline cares about. This is the "graph" part
+//     of every stage-command key (core/stage_cmd.h).
+//   * result_fingerprint — FNV-1a over every field of a SkeletonResult,
+//     in the exact field order the golden test pinned before the CSR
+//     refactor (tests/test_csr_equivalence.cpp). The Window-scenario
+//     golden constant 0x75302e0b3de2a7f4 is computed by this function;
+//     the memoized and unmemoized drivers must both reproduce it.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "net/csr.h"
+
+namespace skelex::core {
+
+struct SkeletonResult;
+class SkeletonGraph;
+
+// FNV-1a over raw bytes, with typed helpers matching the historical
+// golden-field encoding (ints and vector lengths as 4 bytes, doubles as
+// their IEEE bit pattern).
+struct Fnv {
+  std::uint64_t h = 1469598103934665603ull;
+
+  void bytes(const void* p, std::size_t n) {
+    const unsigned char* c = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= c[i];
+      h *= 1099511628211ull;
+    }
+  }
+  void i32(int x) { bytes(&x, sizeof x); }
+  void u64(std::uint64_t x) { bytes(&x, sizeof x); }
+  void f64(double x) {
+    std::uint64_t b;
+    std::memcpy(&b, &x, sizeof b);
+    bytes(&b, sizeof b);
+  }
+  void vec(const std::vector<int>& v) {
+    i32(static_cast<int>(v.size()));
+    for (int x : v) i32(x);
+  }
+  void vecc(const std::vector<char>& v) {
+    i32(static_cast<int>(v.size()));
+    for (char x : v) i32(x);
+  }
+  void vecd(const std::vector<double>& v) {
+    i32(static_cast<int>(v.size()));
+    for (double x : v) f64(x);
+  }
+};
+
+// Hash of the live adjacency content of `g` (node count, per-row degree
+// and neighbor order). Two CSRs describing the same graph — one built
+// fresh, one maintained through apply_delta — fingerprint equal.
+std::uint64_t graph_fingerprint(const net::CsrGraph& g);
+
+// Canonical node+edge hash of a skeleton graph (nodes ascending, edges
+// u<w in node order) — the per-graph piece of result_fingerprint.
+void hash_skeleton_graph(Fnv& f, const SkeletonGraph& sk);
+
+// FNV-1a over every field of the extraction output: stage 1 (index,
+// critical nodes), stage 2 (all Voronoi arrays), stages 3-4 (coarse and
+// final skeleton node/edge lists, clean-up counters), and by-products.
+std::uint64_t result_fingerprint(const SkeletonResult& r);
+
+}  // namespace skelex::core

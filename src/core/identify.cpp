@@ -19,12 +19,11 @@ bool is_local_max(const net::Graph& g, const std::vector<double>& index, int v,
 std::vector<int> identify_critical_nodes(const net::CsrGraph& g,
                                          net::Workspace& ws,
                                          const IndexData& idx,
-                                         const Params& params) {
-  params.validate();
+                                         const IdentifyParams& params) {
   if (idx.index.size() != static_cast<std::size_t>(g.n())) {
     throw std::invalid_argument("IndexData does not match graph");
   }
-  const int r = params.effective_local_max_radius();
+  const int r = params.local_max_radius;
   std::vector<int> critical;
   net::KhopScanner scanner(g, ws);
   for (int v = 0; v < g.n(); ++v) {
@@ -37,6 +36,14 @@ std::vector<int> identify_critical_nodes(const net::CsrGraph& g,
     if (is_max) critical.push_back(v);
   }
   return critical;
+}
+
+std::vector<int> identify_critical_nodes(const net::CsrGraph& g,
+                                         net::Workspace& ws,
+                                         const IndexData& idx,
+                                         const Params& params) {
+  params.validate();
+  return identify_critical_nodes(g, ws, idx, params.identify_params());
 }
 
 std::vector<int> identify_critical_nodes(const net::Graph& g,

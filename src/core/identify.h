@@ -18,7 +18,14 @@ namespace skelex::core {
 
 // Primary implementation: returns the critical skeleton node ids in
 // ascending order, running one allocation-free r-hop scan per node on
-// the caller's workspace.
+// the caller's workspace. Reads only the IdentifyParams slice (with the
+// radius already resolved), so the stage command can key on it.
+std::vector<int> identify_critical_nodes(const net::CsrGraph& g,
+                                         net::Workspace& ws,
+                                         const IndexData& idx,
+                                         const IdentifyParams& params);
+
+// Full-Params wrapper (validates, then takes the resolved slice).
 std::vector<int> identify_critical_nodes(const net::CsrGraph& g,
                                          net::Workspace& ws,
                                          const IndexData& idx,

@@ -3,8 +3,7 @@
 namespace skelex::core {
 
 IndexData compute_index(const net::CsrGraph& g, net::Workspace& ws,
-                        const Params& params) {
-  params.validate();
+                        const IndexParams& params) {
   IndexData d;
   net::khop_sizes(g, params.k, ws, d.khop_size);
   net::l_centrality(g, d.khop_size, params.l, params.centrality_includes_self,
@@ -14,6 +13,12 @@ IndexData compute_index(const net::CsrGraph& g, net::Workspace& ws,
     d.index[v] = 0.5 * (static_cast<double>(d.khop_size[v]) + d.centrality[v]);
   }
   return d;
+}
+
+IndexData compute_index(const net::CsrGraph& g, net::Workspace& ws,
+                        const Params& params) {
+  params.validate();
+  return compute_index(g, ws, params.index_params());
 }
 
 IndexData compute_index(const net::Graph& g, const Params& params) {

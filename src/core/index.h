@@ -21,7 +21,12 @@ struct IndexData {
 };
 
 // Primary implementation: runs the two k-hop scans on the CSR view,
-// reusing the caller's workspace across all sources.
+// reusing the caller's workspace across all sources. Reads only the
+// IndexParams slice — the input half of the stage command's key.
+IndexData compute_index(const net::CsrGraph& g, net::Workspace& ws,
+                        const IndexParams& params);
+
+// Full-Params wrapper (validates, then takes the slice).
 IndexData compute_index(const net::CsrGraph& g, net::Workspace& ws,
                         const Params& params);
 

@@ -154,21 +154,21 @@ InvariantReport check_skeleton_invariants(const net::CsrGraph& csr,
     }
   }
 
-  for (int s : r.voronoi.sites) {
+  for (int s : r.voronoi().sites) {
     if (s < 0 || s >= n || !active[static_cast<std::size_t>(s)]) {
       ++rep.inactive_sites;
     }
   }
-  if (static_cast<int>(r.voronoi.site_of.size()) == n) {
+  if (static_cast<int>(r.voronoi().site_of.size()) == n) {
     for (int v = 0; v < n; ++v) {
       if (active[static_cast<std::size_t>(v)] &&
-          r.voronoi.site_of[static_cast<std::size_t>(v)] == -1) {
+          r.voronoi().site_of[static_cast<std::size_t>(v)] == -1) {
         ++rep.unassigned_active_nodes;
       }
     }
   } else if (active_count > 0) {
     rep.violations.push_back("voronoi site_of covers " +
-                             std::to_string(r.voronoi.site_of.size()) +
+                             std::to_string(r.voronoi().site_of.size()) +
                              " nodes, topology has " + std::to_string(n));
   }
 
@@ -234,18 +234,22 @@ SkeletonResult SkeletonMaintainer::canonical() const {
     SkeletonResult r;
     r.params = opt_.params;
     const std::size_t n = static_cast<std::size_t>(csr.n());
-    r.index.khop_size.assign(n, 0);
-    r.index.centrality.assign(n, 0.0);
-    r.index.index.assign(n, 0.0);
-    r.voronoi.site_of.assign(n, -1);
-    r.voronoi.dist.assign(n, net::kUnreached);
-    r.voronoi.parent.assign(n, -1);
-    r.voronoi.site2_of.assign(n, -1);
-    r.voronoi.dist2.assign(n, net::kUnreached);
-    r.voronoi.via2.assign(n, -1);
-    r.voronoi.is_segment.assign(n, 0);
-    r.voronoi.is_voronoi_node.assign(n, 0);
-    r.voronoi.nearby.assign(n, {});
+    IndexData idx;
+    idx.khop_size.assign(n, 0);
+    idx.centrality.assign(n, 0.0);
+    idx.index.assign(n, 0.0);
+    r.set_index(std::move(idx));
+    VoronoiResult vor;
+    vor.site_of.assign(n, -1);
+    vor.dist.assign(n, net::kUnreached);
+    vor.parent.assign(n, -1);
+    vor.site2_of.assign(n, -1);
+    vor.dist2.assign(n, net::kUnreached);
+    vor.via2.assign(n, -1);
+    vor.is_segment.assign(n, 0);
+    vor.is_voronoi_node.assign(n, 0);
+    vor.nearby.assign(n, {});
+    r.set_voronoi(std::move(vor));
     return r;
   }
   IndexData idx = compute_index(csr, ws_, opt_.params);
@@ -259,9 +263,9 @@ SkeletonResult SkeletonMaintainer::canonical() const {
 }
 
 void SkeletonMaintainer::adopt_full(SkeletonResult r) {
-  index_ = r.index;
+  index_ = r.index();
   critical_ = r.critical_nodes;
-  voronoi_ = r.voronoi;
+  voronoi_ = r.voronoi();
   is_critical_.assign(static_cast<std::size_t>(topo_.n()), 0);
   for (int v : critical_) is_critical_[static_cast<std::size_t>(v)] = 1;
   served_ = std::move(r);
@@ -803,9 +807,9 @@ RepairOutcome SkeletonMaintainer::run_repair(bool watchdog) {
   }
 
   if (tier == RepairTier::kLocalPatch) {
-    served_.index = index_;
+    served_.set_index(index_);
     served_.critical_nodes = critical_;
-    served_.voronoi = voronoi_;
+    served_.set_voronoi(voronoi_);
     const InvariantReport rep =
         check_skeleton_invariants(csr, topo_.active(), served_);
     if (rep.ok()) {
@@ -838,9 +842,9 @@ RepairOutcome SkeletonMaintainer::run_repair(bool watchdog) {
     } else {
       // Keep serving the last good skeleton, but adopt the canonical
       // stage-1/2 state so the cache still tracks the topology.
-      index_ = full.index;
+      index_ = full.index();
       critical_ = full.critical_nodes;
-      voronoi_ = full.voronoi;
+      voronoi_ = full.voronoi();
       is_critical_.assign(static_cast<std::size_t>(topo_.n()), 0);
       for (int v : critical_) is_critical_[static_cast<std::size_t>(v)] = 1;
       ++stats_.invariant_failures;

@@ -1,0 +1,104 @@
+#include "core/memo/stage_cache.h"
+
+#include "obs/metrics.h"
+
+namespace skelex::core::memo {
+
+StageCache::StageCache() : StageCache(Options{}) {}
+
+StageCache::StageCache(Options opt) : opt_(opt) {
+  if (opt_.max_entries == 0) opt_.max_entries = 1;
+}
+
+std::shared_ptr<const void> StageCache::find_erased(std::uint64_t key,
+                                                    const char* stage,
+                                                    TraceFacts* facts) {
+  std::shared_ptr<const void> value;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it == index_.end()) {
+      ++stats_.misses;
+    } else {
+      lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+      value = it->second->value;
+      if (facts != nullptr) *facts = it->second->facts;
+      ++stats_.hits;
+    }
+  }
+  count(stage, value ? "memo_hits" : "memo_misses");
+  return value;
+}
+
+std::shared_ptr<const void> StageCache::insert_erased(
+    std::uint64_t key, const char* stage, std::shared_ptr<const void> value,
+    std::size_t bytes, TraceFacts facts) {
+  if (value == nullptr) return value;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      // First writer wins: hand back the established shared copy so a
+      // concurrent duplicate computation converges on one allocation.
+      lru_.splice(lru_.begin(), lru_, it->second);
+      value = it->second->value;
+    } else if (bytes <= opt_.max_bytes) {
+      lru_.push_front(Entry{key, value, bytes, facts});
+      index_.emplace(key, lru_.begin());
+      bytes_ += bytes;
+      ++stats_.insertions;
+      inserted = true;
+      evict_to_budget_locked();
+      record_watermarks_locked();
+    }
+    stats_.bytes = bytes_;
+    stats_.entries = lru_.size();
+  }
+  if (inserted) count(stage, "memo_insertions");
+  return value;
+}
+
+void StageCache::evict_to_budget_locked() {
+  while (!lru_.empty() &&
+         (bytes_ > opt_.max_bytes || lru_.size() > opt_.max_entries)) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.bytes;
+    index_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+    obs::Registry::global().counter("memo_evictions").inc();
+  }
+}
+
+void StageCache::count(const char* stage, const char* what) {
+  auto& reg = obs::Registry::global();
+  reg.counter(what, {{"stage", stage}}).inc();
+}
+
+void StageCache::record_watermarks_locked() {
+  auto& reg = obs::Registry::global();
+  static const obs::Gauge bytes = reg.gauge("memo_bytes_watermark");
+  static const obs::Gauge entries = reg.gauge("memo_entries_watermark");
+  bytes.set(static_cast<double>(bytes_));
+  entries.set(static_cast<double>(lru_.size()));
+}
+
+CacheStats StageCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = stats_;
+  s.bytes = bytes_;
+  s.entries = lru_.size();
+  return s;
+}
+
+void StageCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+  stats_.bytes = 0;
+  stats_.entries = 0;
+}
+
+}  // namespace skelex::core::memo

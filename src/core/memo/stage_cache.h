@@ -1,0 +1,133 @@
+// skelex/core/memo/stage_cache.h
+//
+// Bounded, thread-safe memo cache for pipeline stage outputs.
+//
+// Keys are 64-bit content hashes produced by the stage commands
+// (core/stage_cmd.h): FNV-1a chains over (stage tag, graph fingerprint,
+// the stage's parameter slice, upstream stage keys). Because every
+// stage is a deterministic function of those inputs, a key equality IS
+// a value equality — the cache never has to compare payloads, and a
+// warm request's output is bit-identical to a cold one's.
+//
+// Values are type-erased shared_ptr<const void>: a hit hands out the
+// SAME shared value the producing request inserted (and possibly other
+// in-flight requests are reading) — stage outputs are immutable by
+// construction, so sharing needs no further synchronization. Each entry
+// also carries the producing run's StageTrace facts (nodes, messages),
+// so a warm request replays the exact trace numbers of the cold one.
+//
+// Eviction: least-recently-used, driven by BOTH a byte budget (entries
+// report their approximate payload size on insert) and an entry-count
+// cap. Hits refresh recency; inserts evict from the cold end until both
+// budgets hold. An oversized single value (> max_bytes) is returned to
+// the caller but not retained.
+//
+// Observability: hits / misses / insertions / evictions are mirrored
+// into the global obs metrics registry as counters labelled by stage
+// ("memo_hits{stage=index}", ...), plus high-watermark gauges for bytes
+// and entries. Local stats() reads the same numbers without the
+// registry (per-cache, not process-global).
+//
+// Concurrency: one mutex around the map + LRU list. Stage payload
+// computation happens OUTSIDE the lock (the cache only sees finished
+// values), so the critical sections are hash-map operations only. Two
+// concurrent requests that miss the same key both compute; the second
+// insert is dropped in favor of the first (values are equal by
+// determinism), so sharing still converges to one copy.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace skelex::core::memo {
+
+struct CacheStats {
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t insertions = 0;
+  std::int64_t evictions = 0;
+  std::size_t bytes = 0;    // current payload bytes
+  std::size_t entries = 0;  // current entry count
+};
+
+class StageCache {
+ public:
+  struct Options {
+    std::size_t max_bytes = std::size_t{256} << 20;  // 256 MiB
+    std::size_t max_entries = 4096;
+  };
+
+  // Trace facts replayed on a hit (what the producing run recorded).
+  struct TraceFacts {
+    int nodes = 0;
+    long long messages = 0;
+  };
+
+  StageCache();
+  explicit StageCache(Options opt);
+
+  StageCache(const StageCache&) = delete;
+  StageCache& operator=(const StageCache&) = delete;
+
+  // Typed find: returns the shared value for `key`, or null on miss.
+  // `stage` labels the hit/miss counters; `facts` (optional) receives
+  // the producing run's trace numbers.
+  template <typename T>
+  std::shared_ptr<const T> find(std::uint64_t key, const char* stage,
+                                TraceFacts* facts = nullptr) {
+    return std::static_pointer_cast<const T>(find_erased(key, stage, facts));
+  }
+
+  // Inserts `value` (approximate payload size `bytes`) under `key`,
+  // evicting LRU entries as needed. If the key is already present the
+  // existing value WINS (first writer) and is returned, so concurrent
+  // duplicate computations converge on one shared copy.
+  template <typename T>
+  std::shared_ptr<const T> insert(std::uint64_t key, const char* stage,
+                                  std::shared_ptr<const T> value,
+                                  std::size_t bytes, TraceFacts facts = {}) {
+    return std::static_pointer_cast<const T>(
+        insert_erased(key, stage, std::move(value), bytes, facts));
+  }
+
+  CacheStats stats() const;
+  void clear();
+
+  std::size_t max_bytes() const { return opt_.max_bytes; }
+  std::size_t max_entries() const { return opt_.max_entries; }
+
+ private:
+  struct Entry {
+    std::uint64_t key = 0;
+    std::shared_ptr<const void> value;
+    std::size_t bytes = 0;
+    TraceFacts facts;
+  };
+  using Lru = std::list<Entry>;  // front = most recent
+
+  std::shared_ptr<const void> find_erased(std::uint64_t key, const char* stage,
+                                          TraceFacts* facts);
+  std::shared_ptr<const void> insert_erased(std::uint64_t key,
+                                            const char* stage,
+                                            std::shared_ptr<const void> value,
+                                            std::size_t bytes,
+                                            TraceFacts facts);
+  void evict_to_budget_locked();
+  void count(const char* stage, const char* what);
+  void record_watermarks_locked();
+
+  Options opt_;
+  mutable std::mutex mu_;
+  Lru lru_;
+  std::unordered_map<std::uint64_t, Lru::iterator> index_;
+  std::size_t bytes_ = 0;
+  CacheStats stats_;
+};
+
+}  // namespace skelex::core::memo

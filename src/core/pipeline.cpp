@@ -1,8 +1,12 @@
 #include "core/pipeline.h"
 
+#include <memory>
 #include <string>
 #include <utility>
 
+#include "core/fingerprint.h"
+#include "core/memo/stage_cache.h"
+#include "core/stage_cmd.h"
 #include "obs/metrics.h"
 
 namespace skelex::core {
@@ -37,32 +41,54 @@ class PipelineStage {
   ScopedStage stage_;
 };
 
-// --- Stage 1 (§III-A): per-node index + critical skeleton nodes --------------
-
-void stage_index(PipelineContext& ctx, SkeletonResult& r) {
-  PipelineStage t(ctx, "index", ctx.g.n());
-  r.index = compute_index(ctx.csr, ctx.ws, ctx.params);
-}
-
-void stage_identify(PipelineContext& ctx, SkeletonResult& r) {
-  PipelineStage t(ctx, "identify", ctx.g.n());
-  r.critical_nodes =
-      identify_critical_nodes(ctx.csr, ctx.ws, r.index, ctx.params);
-}
-
-// --- Stage 2 (§III-B): Voronoi cells + segment nodes -------------------------
-
-void stage_voronoi(PipelineContext& ctx, SkeletonResult& r) {
-  PipelineStage t(ctx, "voronoi", ctx.g.n());
-  r.voronoi = build_voronoi(ctx.csr, ctx.ws, r.critical_nodes, ctx.params);
+// Runs one memoizable stage command: consult the cache (when given),
+// else compute under a PipelineStage span and publish. A hit replays the
+// producing run's trace facts (nodes, messages) through the same
+// ScopedStage path, so a warm run's StageTrace — and the stage_* metric
+// counters — are byte-identical to the cold run's, modulo wall time.
+template <typename T, typename Compute>
+std::shared_ptr<const T> run_stage(PipelineContext& ctx,
+                                   memo::StageCache* cache, const char* name,
+                                   int nodes, std::uint64_t key,
+                                   std::size_t (*approx_bytes)(const T&),
+                                   Compute compute) {
+  if (cache != nullptr) {
+    memo::StageCache::TraceFacts facts;
+    if (auto hit = cache->find<T>(key, name, &facts)) {
+      ScopedStage stage(ctx.trace, name, "pipeline");
+      stage.set_nodes(facts.nodes);
+      stage.set_messages(facts.messages);
+      return hit;
+    }
+  }
+  const long long scans0 = ctx.ws.edge_scans;
+  std::shared_ptr<const T> value;
+  {
+    PipelineStage t(ctx, name, nodes);
+    value = std::make_shared<const T>(compute());
+  }
+  if (cache != nullptr) {
+    const memo::StageCache::TraceFacts facts{nodes,
+                                             ctx.ws.edge_scans - scans0};
+    const std::size_t bytes = approx_bytes(*value);
+    value = cache->insert<T>(key, name, std::move(value), bytes, facts);
+  }
+  return value;
 }
 
 // --- Input assessment + graceful degradation ---------------------------------
 // Inspects what stages 1-2 delivered (they may have run on fault-depleted
 // data), patches a missing stage-1 result, and records diagnostics.
-// Returns the input components for reuse by the prune tidy-up.
+// Returns the input components for reuse by the prune tidy-up. A patch
+// REPLACES the result's shared Voronoi output (never mutates it — the
+// original may be a cache entry other requests are reading) and folds a
+// marker into `voronoi_key` so downstream commands chain off the patched
+// content. The patch itself is deterministic but always recomputed: its
+// flood cost must land in the assess span on warm runs too, or cold and
+// warm traces would diverge.
 
-net::Components stage_assess(PipelineContext& ctx, SkeletonResult& r) {
+net::Components stage_assess(PipelineContext& ctx, SkeletonResult& r,
+                             std::uint64_t* voronoi_key) {
   PipelineStage t(ctx, "assess", ctx.g.n());
   net::Components comps = net::connected_components(ctx.csr, ctx.ws);
   r.diagnostics.input_components = comps.count;
@@ -77,26 +103,36 @@ net::Components stage_assess(PipelineContext& ctx, SkeletonResult& r) {
     // Stage 1 produced no sites (possible when the identification ran on
     // fault-depleted data). A skeleton needs at least one node: fall back
     // to the max-index node — or node 0 if even the index is missing.
+    const IndexData& idx = r.index();
     int best = 0;
-    if (static_cast<int>(r.index.index.size()) == ctx.g.n()) {
+    if (static_cast<int>(idx.index.size()) == ctx.g.n()) {
       for (int v = 1; v < ctx.g.n(); ++v) {
-        if (r.index.index[static_cast<std::size_t>(v)] >
-            r.index.index[static_cast<std::size_t>(best)]) {
+        if (idx.index[static_cast<std::size_t>(v)] >
+            idx.index[static_cast<std::size_t>(best)]) {
           best = v;
         }
       }
     }
     r.critical_nodes.push_back(best);
-    r.voronoi = build_voronoi(ctx.csr, ctx.ws, r.critical_nodes, ctx.params);
+    r.set_voronoi(build_voronoi(ctx.csr, ctx.ws, r.critical_nodes,
+                                ctx.params.voronoi_params()));
+    if (voronoi_key != nullptr) {
+      Fnv f;
+      f.u64(*voronoi_key);
+      f.bytes("assess-fallback", 15);
+      f.i32(best);
+      *voronoi_key = f.h;
+    }
     r.diagnostics.empty_critical_fallback = true;
     r.diagnostics.warn("no critical nodes from stage 1; fell back to node " +
                        std::to_string(best) + " as the single site");
   }
 
-  if (static_cast<int>(r.voronoi.site_of.size()) == ctx.g.n()) {
-    std::vector<int> cell_size(r.voronoi.sites.size(), 0);
+  const VoronoiResult& vor = r.voronoi();
+  if (static_cast<int>(vor.site_of.size()) == ctx.g.n()) {
+    std::vector<int> cell_size(vor.sites.size(), 0);
     for (int v = 0; v < ctx.g.n(); ++v) {
-      const int s = r.voronoi.site_of[static_cast<std::size_t>(v)];
+      const int s = vor.site_of[static_cast<std::size_t>(v)];
       if (s == -1) {
         ++r.diagnostics.voronoi_unassigned;
       } else if (s >= 0 && s < static_cast<int>(cell_size.size())) {
@@ -124,23 +160,30 @@ net::Components stage_assess(PipelineContext& ctx, SkeletonResult& r) {
 }
 
 // --- Stage 3 (§III-C): coarse skeleton ---------------------------------------
-// Returns the coarse graph for the clean-up stage to consume.
 
-SkeletonGraph stage_coarse(PipelineContext& ctx, SkeletonResult& r) {
-  PipelineStage t(ctx, "coarse", r.voronoi.cell_count());
-  CoarseSkeleton coarse =
-      build_coarse_skeleton(ctx.g, r.index, r.voronoi, ctx.params);
-  r.coarse = coarse.graph;
-  return std::move(coarse.graph);
+void stage_coarse(PipelineContext& ctx, SkeletonResult& r,
+                  memo::StageCache* cache, std::uint64_t voronoi_key) {
+  CoarseCmd cmd;
+  cmd.voronoi_key = voronoi_key;
+  cmd.params = ctx.params.coarse_params();
+  cmd.g = &ctx.g;
+  cmd.index = &r.index();
+  cmd.voronoi = &r.voronoi();
+  r.coarse_out = run_stage<SkeletonGraph>(
+      ctx, cache, CoarseCmd::kName, r.voronoi().cell_count(), cmd.key(),
+      &CoarseCmd::approx_bytes, [&] { return cmd.run(); });
 }
 
 // --- Stage 4 (§III-D): loop clean-up + pruning -------------------------------
 
-void stage_cleanup(PipelineContext& ctx, SkeletonResult& r,
-                   SkeletonGraph coarse) {
-  PipelineStage t(ctx, "cleanup", coarse.node_count());
-  CleanupResult cleaned =
-      cleanup_loops(ctx.g, r.index, std::move(coarse), ctx.params, &r.voronoi);
+void stage_cleanup(PipelineContext& ctx, SkeletonResult& r) {
+  PipelineStage t(ctx, "cleanup", r.coarse().node_count());
+  CleanupCmd cmd;
+  cmd.params = ctx.params.cleanup_params();
+  cmd.g = &ctx.g;
+  cmd.index = &r.index();
+  cmd.voronoi = &r.voronoi();
+  CleanupResult cleaned = cmd.run(r.coarse());  // consumes a copy
   r.fake_loops_removed = cleaned.fake_loops_removed;
   r.merge_rounds = cleaned.merge_rounds;
   r.thin_loops_collapsed = cleaned.thin_loops_collapsed;
@@ -151,7 +194,9 @@ void stage_cleanup(PipelineContext& ctx, SkeletonResult& r,
 void stage_prune(PipelineContext& ctx, SkeletonResult& r,
                  const net::Components& comps) {
   PipelineStage t(ctx, "prune", r.skeleton.node_count());
-  r.pruned_nodes = prune_short_branches(r.skeleton, ctx.params.prune_len);
+  PruneCmd cmd;
+  cmd.params = ctx.params.prune_params();
+  r.pruned_nodes = cmd.run(r.skeleton);
 
   // Post-prune tidy-up with knowledge of the network: drop isolated
   // skeleton nodes whose network component already has skeleton
@@ -177,16 +222,22 @@ void stage_prune(PipelineContext& ctx, SkeletonResult& r,
 
 void stage_byproducts(PipelineContext& ctx, SkeletonResult& r) {
   PipelineStage t(ctx, "byproducts", ctx.g.n());
-  r.segmentation = segmentation_from_voronoi(r.voronoi);
-  r.boundary = extract_boundaries(ctx.g, r.skeleton, 1, &r.index.khop_size);
+  r.segmentation = segmentation_from_voronoi(r.voronoi());
+  r.boundary = extract_boundaries(ctx.g, r.skeleton, 1, &r.index().khop_size);
 }
 
 // Stage 3 onward, shared by the centralized front (extract_skeleton) and
 // the external-stage-1/2 front (complete_extraction): the context's trace
 // keeps accumulating, so the full run reads as one ordered stage list.
-void complete_with_context(PipelineContext& ctx, SkeletonResult& r) {
-  const net::Components comps = stage_assess(ctx, r);
-  stage_cleanup(ctx, r, stage_coarse(ctx, r));
+// `voronoi_key` is the chained content key of the Voronoi output (0 when
+// memoization is off); only the coarse stage is memoizable past this
+// point — cleanup onward produce the request's owned result half.
+void complete_with_context(PipelineContext& ctx, SkeletonResult& r,
+                           memo::StageCache* cache,
+                           std::uint64_t voronoi_key) {
+  const net::Components comps = stage_assess(ctx, r, &voronoi_key);
+  stage_coarse(ctx, r, cache, voronoi_key);
+  stage_cleanup(ctx, r);
   stage_prune(ctx, r, comps);
   stage_byproducts(ctx, r);
 }
@@ -210,7 +261,74 @@ void record_pipeline_metrics(const net::Graph& g, const SkeletonResult& r) {
   sites.observe(static_cast<double>(r.critical_nodes.size()));
 }
 
+// Stages 1-2 as memoizable commands, then the shared completion. The
+// whole driver is stage-command dispatch: each command declares its key
+// (graph fingerprint chained with its parameter slice and upstream
+// keys), run_stage consults the cache, and the result assembles the
+// shared outputs.
+void run_extraction(PipelineContext& ctx, SkeletonResult& r,
+                    memo::StageCache* cache) {
+  const std::uint64_t graph_fp =
+      cache != nullptr ? graph_fingerprint(ctx.csr) : 0;
+
+  IndexCmd index_cmd;
+  index_cmd.graph_fp = graph_fp;
+  index_cmd.params = ctx.params.index_params();
+  r.index_out = run_stage<IndexData>(
+      ctx, cache, IndexCmd::kName, ctx.g.n(), index_cmd.key(),
+      &IndexCmd::approx_bytes, [&] { return index_cmd.run(ctx.csr, ctx.ws); });
+
+  IdentifyCmd identify_cmd;
+  identify_cmd.index_key = index_cmd.key();
+  identify_cmd.params = ctx.params.identify_params();
+  identify_cmd.index = r.index_out.get();
+  const std::shared_ptr<const std::vector<int>> critical =
+      run_stage<std::vector<int>>(
+          ctx, cache, IdentifyCmd::kName, ctx.g.n(), identify_cmd.key(),
+          &IdentifyCmd::approx_bytes,
+          [&] { return identify_cmd.run(ctx.csr, ctx.ws); });
+  r.critical_nodes = *critical;  // owned: assess may patch it per request
+
+  VoronoiCmd voronoi_cmd;
+  voronoi_cmd.sites_key = identify_cmd.key();
+  voronoi_cmd.params = ctx.params.voronoi_params();
+  voronoi_cmd.sites = critical.get();
+  r.voronoi_out = run_stage<VoronoiResult>(
+      ctx, cache, VoronoiCmd::kName, ctx.g.n(), voronoi_cmd.key(),
+      &VoronoiCmd::approx_bytes,
+      [&] { return voronoi_cmd.run(ctx.csr, ctx.ws); });
+
+  complete_with_context(ctx, r, cache, voronoi_cmd.key());
+}
+
 }  // namespace
+
+const IndexData& SkeletonResult::index() const {
+  static const IndexData kEmpty;
+  return index_out ? *index_out : kEmpty;
+}
+
+const VoronoiResult& SkeletonResult::voronoi() const {
+  static const VoronoiResult kEmpty;
+  return voronoi_out ? *voronoi_out : kEmpty;
+}
+
+const SkeletonGraph& SkeletonResult::coarse() const {
+  static const SkeletonGraph kEmpty;
+  return coarse_out ? *coarse_out : kEmpty;
+}
+
+void SkeletonResult::set_index(IndexData v) {
+  index_out = std::make_shared<const IndexData>(std::move(v));
+}
+
+void SkeletonResult::set_voronoi(VoronoiResult v) {
+  voronoi_out = std::make_shared<const VoronoiResult>(std::move(v));
+}
+
+void SkeletonResult::set_coarse(SkeletonGraph v) {
+  coarse_out = std::make_shared<const SkeletonGraph>(std::move(v));
+}
 
 SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
                                    IndexData index,
@@ -219,11 +337,11 @@ SkeletonResult complete_extraction(const net::Graph& g, const Params& params,
   params.validate();
   SkeletonResult r;
   r.params = params;
-  r.index = std::move(index);
+  r.set_index(std::move(index));
   r.critical_nodes = std::move(critical_nodes);
-  r.voronoi = std::move(voronoi);
+  r.set_voronoi(std::move(voronoi));
   PipelineContext ctx(g, params, r);
-  complete_with_context(ctx, r);
+  complete_with_context(ctx, r, nullptr, 0);
   record_pipeline_metrics(g, r);
   return r;
 }
@@ -236,25 +354,42 @@ SkeletonResult complete_extraction(const net::Graph& g,
   params.validate();
   SkeletonResult r;
   r.params = params;
-  r.index = std::move(index);
+  r.set_index(std::move(index));
   r.critical_nodes = std::move(critical_nodes);
-  r.voronoi = std::move(voronoi);
+  r.set_voronoi(std::move(voronoi));
   PipelineContext ctx(g, csr, params, r);
-  complete_with_context(ctx, r);
+  complete_with_context(ctx, r, nullptr, 0);
   record_pipeline_metrics(g, r);
   return r;
 }
 
 SkeletonResult extract_skeleton(const net::Graph& g, const Params& params) {
+  return extract_skeleton(g, params, nullptr);
+}
+
+SkeletonResult extract_skeleton(const net::Graph& g, const Params& params,
+                                memo::StageCache* cache) {
   params.validate();
   SkeletonResult r;
   r.params = params;
   obs::ScopedSpan span("extract_skeleton", "pipeline");
   PipelineContext ctx(g, params, r);
-  stage_index(ctx, r);
-  stage_identify(ctx, r);
-  stage_voronoi(ctx, r);
-  complete_with_context(ctx, r);
+  run_extraction(ctx, r, cache);
+  record_pipeline_metrics(g, r);
+  span.arg("nodes", g.n());
+  span.arg("skeleton_nodes", r.skeleton.node_count());
+  return r;
+}
+
+SkeletonResult extract_skeleton(const net::Graph& g, const net::CsrGraph& csr,
+                                const Params& params,
+                                memo::StageCache* cache) {
+  params.validate();
+  SkeletonResult r;
+  r.params = params;
+  obs::ScopedSpan span("extract_skeleton", "pipeline");
+  PipelineContext ctx(g, csr, params, r);
+  run_extraction(ctx, r, cache);
   record_pipeline_metrics(g, r);
   span.arg("nodes", g.n());
   span.arg("skeleton_nodes", r.skeleton.node_count());

@@ -12,6 +12,7 @@
 // can inspect / visualize the pipeline.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@
 #include "core/voronoi.h"
 #include "net/csr.h"
 #include "net/graph.h"
+
+namespace skelex::core::memo {
+class StageCache;
+}
 
 namespace skelex::core {
 
@@ -47,18 +52,27 @@ struct Diagnostics {
   void warn(std::string message) { warnings.push_back(std::move(message)); }
 };
 
+// The extraction output: an ASSEMBLY of shared stage outputs. The
+// heavyweight intermediates (index data, Voronoi arrays, the coarse
+// skeleton) are produced by the stage commands (core/stage_cmd.h) as
+// immutable shared values — when a memo cache is in play they are
+// LITERALLY the cache's entries, shared with every other request that
+// hit the same key — while the per-request pieces (critical-node list
+// after the assess patch, the final pruned skeleton, diagnostics,
+// trace) stay owned values. Read the shared stages through the
+// reference accessors: r.index(), r.voronoi(), r.coarse().
 struct SkeletonResult {
   Params params;
 
   // Stage 1 (Fig. 1b): per-node index and the critical skeleton nodes.
-  IndexData index;
+  std::shared_ptr<const IndexData> index_out;
   std::vector<int> critical_nodes;
 
   // Stage 2 (Fig. 1c): Voronoi cells and segment nodes.
-  VoronoiResult voronoi;
+  std::shared_ptr<const VoronoiResult> voronoi_out;
 
   // Stage 3 (Fig. 1d): coarse skeleton.
-  SkeletonGraph coarse;
+  std::shared_ptr<const SkeletonGraph> coarse_out;
 
   // Stage 4 (Fig. 1e-h): clean-up diagnostics + final skeleton.
   int fake_loops_removed = 0;
@@ -80,6 +94,19 @@ struct SkeletonResult {
   // extract_skeleton records index/identify/voronoi plus the completion
   // stages; the distributed front prepends its per-protocol entries.
   StageTrace trace;
+
+  // Reference accessors over the shared stage outputs. Safe on a
+  // default-constructed result (they fall back to empty statics), so
+  // partially-filled results from degraded runs still read cleanly.
+  const IndexData& index() const;
+  const VoronoiResult& voronoi() const;
+  const SkeletonGraph& coarse() const;
+
+  // Setters that wrap a freshly computed value (the common way legacy
+  // fronts — protocols, tests — fill a result).
+  void set_index(IndexData v);
+  void set_voronoi(VoronoiResult v);
+  void set_coarse(SkeletonGraph v);
 
   // Convenience queries.
   int skeleton_cycle_rank() const { return skeleton.cycle_rank(); }
@@ -123,6 +150,23 @@ struct PipelineContext {
 // params; works on any graph (disconnected graphs are processed
 // per-component implicitly by the floods).
 SkeletonResult extract_skeleton(const net::Graph& g, const Params& params = {});
+
+// Memoized driver: identical output, but each cacheable stage command
+// (index, identify, voronoi, coarse) first consults `cache`, keyed by
+// the graph fingerprint chained with the stage's parameter slice. Two
+// requests differing only in cleanup/prune params share stages 1-3 for
+// free. `cache == nullptr` degrades to the plain driver. The memoized
+// and unmemoized results are bit-identical (same fingerprint).
+SkeletonResult extract_skeleton(const net::Graph& g, const Params& params,
+                                memo::StageCache* cache);
+
+// External-CSR front: traverses `csr` (an externally maintained
+// snapshot of `g`, e.g. one kept current by CsrGraph::apply_delta)
+// instead of Graph::csr()'s cached rebuild. Equivalent to
+// extract_skeleton(g, params) whenever csr describes g exactly.
+SkeletonResult extract_skeleton(const net::Graph& g, const net::CsrGraph& csr,
+                                const Params& params,
+                                memo::StageCache* cache = nullptr);
 
 // Completes the pipeline (stage 3 onward + by-products) from externally
 // computed stage-1/2 results — e.g. the message-passing protocols in

@@ -1,0 +1,119 @@
+#include "core/stage_cmd.h"
+
+#include <utility>
+
+#include "core/fingerprint.h"
+#include "core/prune.h"
+
+namespace skelex::core {
+
+namespace {
+
+// Every key chain starts from the stage's tag so two stages with
+// coincidentally equal inputs can never collide.
+Fnv chain(const char* tag, std::uint64_t upstream) {
+  Fnv f;
+  for (const char* c = tag; *c != '\0'; ++c) f.bytes(c, 1);
+  f.u64(upstream);
+  return f;
+}
+
+}  // namespace
+
+// --- IndexCmd ----------------------------------------------------------------
+
+std::uint64_t IndexCmd::key() const {
+  Fnv f = chain(kName, graph_fp);
+  f.i32(params.k);
+  f.i32(params.l);
+  f.i32(params.centrality_includes_self ? 1 : 0);
+  return f.h;
+}
+
+IndexData IndexCmd::run(const net::CsrGraph& g, net::Workspace& ws) const {
+  return compute_index(g, ws, params);
+}
+
+std::size_t IndexCmd::approx_bytes(const IndexData& d) {
+  return d.khop_size.size() * sizeof(int) +
+         d.centrality.size() * sizeof(double) +
+         d.index.size() * sizeof(double);
+}
+
+// --- IdentifyCmd -------------------------------------------------------------
+
+std::uint64_t IdentifyCmd::key() const {
+  Fnv f = chain(kName, index_key);
+  f.i32(params.local_max_radius);
+  return f.h;
+}
+
+std::vector<int> IdentifyCmd::run(const net::CsrGraph& g,
+                                  net::Workspace& ws) const {
+  return identify_critical_nodes(g, ws, *index, params);
+}
+
+std::size_t IdentifyCmd::approx_bytes(const std::vector<int>& critical) {
+  return critical.size() * sizeof(int);
+}
+
+// --- VoronoiCmd --------------------------------------------------------------
+
+std::uint64_t VoronoiCmd::key() const {
+  Fnv f = chain(kName, sites_key);
+  f.i32(params.alpha);
+  return f.h;
+}
+
+VoronoiResult VoronoiCmd::run(const net::CsrGraph& g,
+                              net::Workspace& ws) const {
+  return build_voronoi(g, ws, *sites, params);
+}
+
+std::size_t VoronoiCmd::approx_bytes(const VoronoiResult& vor) {
+  std::size_t b = vor.sites.size() * sizeof(int);
+  b += (vor.site_of.size() + vor.dist.size() + vor.parent.size() +
+        vor.site2_of.size() + vor.dist2.size() + vor.via2.size()) *
+       sizeof(int);
+  b += vor.is_segment.size() + vor.is_voronoi_node.size();
+  b += vor.nearby.size() * sizeof(std::vector<VoronoiResult::NearbySite>);
+  for (const auto& records : vor.nearby) {
+    b += records.size() * sizeof(VoronoiResult::NearbySite);
+  }
+  return b;
+}
+
+// --- CoarseCmd ---------------------------------------------------------------
+
+std::uint64_t CoarseCmd::key() const {
+  Fnv f = chain(kName, voronoi_key);
+  f.i32(params.alpha);
+  return f.h;
+}
+
+SkeletonGraph CoarseCmd::run() const {
+  CoarseSkeleton coarse = build_coarse_skeleton(*g, *index, *voronoi, params);
+  return std::move(coarse.graph);
+}
+
+std::size_t CoarseCmd::approx_bytes(const SkeletonGraph& sk) {
+  // capacity-sized present flags + adjacency headers, plus two directed
+  // entries per edge.
+  return static_cast<std::size_t>(sk.capacity()) *
+             (sizeof(char) + sizeof(std::vector<int>)) +
+         static_cast<std::size_t>(sk.edge_count()) * 2 * sizeof(int);
+}
+
+// --- CleanupCmd --------------------------------------------------------------
+
+CleanupResult CleanupCmd::run(SkeletonGraph coarse) const {
+  return cleanup_loops(*g, *index, std::move(coarse), params, voronoi);
+}
+
+// --- PruneCmd ----------------------------------------------------------------
+
+int PruneCmd::run(SkeletonGraph& skeleton) const {
+  return prune_short_branches(skeleton, params.prune_len);
+}
+
+}  // namespace skelex::core

@@ -1,0 +1,132 @@
+// skelex/core/stage_cmd.h
+//
+// First-class stage commands: each pipeline stage (Fig. 1 b-h) as an
+// object that DECLARES its hashable inputs and produces one owned,
+// immutable output.
+//
+//   * inputs — a 64-bit content key: FNV-1a over the stage's tag, the
+//     graph fingerprint (core/fingerprint.h), the parameter SLICE the
+//     stage actually reads (core/config.h's IndexParams & co. — not the
+//     whole Params), and the keys of the upstream stages it consumes.
+//     Determinism of the stage functions makes key equality a value
+//     equality, which is what lets core/memo's StageCache hand the same
+//     shared output to every request that chains the same inputs.
+//   * borrowed operands — pointers/refs to upstream outputs. Commands
+//     never own their inputs and never mutate them; upstream outputs
+//     stay shareable after the command runs.
+//   * output — the stage's result, returned by value from run(). The
+//     driver (core/pipeline.cpp) wraps it in shared_ptr<const T> and,
+//     when memoizing, publishes it in the cache under key().
+//
+// The driver decides which commands are memoized: index / identify /
+// voronoi / coarse (their inputs are fully captured by the key chain).
+// Assess, cleanup, prune and byproducts run per request — assess because
+// it writes diagnostics and may patch a degraded stage-1 result, the
+// rest because they produce the per-request owned half of the
+// SkeletonResult — but they are commands all the same, so every stage
+// has one place declaring what it reads.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/cleanup.h"
+#include "core/coarse.h"
+#include "core/config.h"
+#include "core/identify.h"
+#include "core/index.h"
+#include "core/skeleton_graph.h"
+#include "core/voronoi.h"
+#include "net/csr.h"
+#include "net/graph.h"
+
+namespace skelex::core {
+
+// --- Stage 1a: per-node index -----------------------------------------------
+
+struct IndexCmd {
+  static constexpr const char* kName = "index";
+
+  std::uint64_t graph_fp = 0;  // graph_fingerprint(csr)
+  IndexParams params;
+
+  std::uint64_t key() const;
+  IndexData run(const net::CsrGraph& g, net::Workspace& ws) const;
+  static std::size_t approx_bytes(const IndexData& d);
+};
+
+// --- Stage 1b: critical skeleton nodes --------------------------------------
+
+struct IdentifyCmd {
+  static constexpr const char* kName = "identify";
+
+  std::uint64_t index_key = 0;  // upstream IndexCmd::key()
+  IdentifyParams params;
+  const IndexData* index = nullptr;  // borrowed
+
+  std::uint64_t key() const;
+  std::vector<int> run(const net::CsrGraph& g, net::Workspace& ws) const;
+  static std::size_t approx_bytes(const std::vector<int>& critical);
+};
+
+// --- Stage 2: Voronoi cells + segment nodes ---------------------------------
+
+struct VoronoiCmd {
+  static constexpr const char* kName = "voronoi";
+
+  std::uint64_t sites_key = 0;  // IdentifyCmd::key(), or the assess patch key
+  VoronoiParams params;
+  const std::vector<int>* sites = nullptr;  // borrowed
+
+  std::uint64_t key() const;
+  VoronoiResult run(const net::CsrGraph& g, net::Workspace& ws) const;
+  static std::size_t approx_bytes(const VoronoiResult& vor);
+};
+
+// --- Stage 3: coarse skeleton -----------------------------------------------
+
+struct CoarseCmd {
+  static constexpr const char* kName = "coarse";
+
+  std::uint64_t voronoi_key = 0;  // effective (post-assess) Voronoi key
+  CoarseParams params;
+  const net::Graph* g = nullptr;         // borrowed
+  const IndexData* index = nullptr;      // borrowed
+  const VoronoiResult* voronoi = nullptr;  // borrowed
+
+  std::uint64_t key() const;
+  // The kept output is the coarse graph; bands/triangles are build
+  // internals (build_coarse_skeleton's CoarseSkeleton) not retained by
+  // the pipeline today.
+  SkeletonGraph run() const;
+  static std::size_t approx_bytes(const SkeletonGraph& sk);
+};
+
+// --- Stage 4a: loop clean-up (per request) ----------------------------------
+
+struct CleanupCmd {
+  static constexpr const char* kName = "cleanup";
+
+  CleanupParams params;
+  const net::Graph* g = nullptr;
+  const IndexData* index = nullptr;
+  const VoronoiResult* voronoi = nullptr;  // may be null (tests)
+
+  // Consumes a COPY of the shared coarse graph (clean-up mutates it into
+  // the refined skeleton).
+  CleanupResult run(SkeletonGraph coarse) const;
+};
+
+// --- Stage 4b: pruning (per request) ----------------------------------------
+
+struct PruneCmd {
+  static constexpr const char* kName = "prune";
+
+  PruneParams params;
+
+  // In-place on the request's owned skeleton; returns nodes removed.
+  int run(SkeletonGraph& skeleton) const;
+};
+
+}  // namespace skelex::core

@@ -30,8 +30,8 @@ std::vector<int> VoronoiResult::path_to_second_site(int v) const {
 }
 
 VoronoiResult build_voronoi(const net::CsrGraph& g, net::Workspace& ws,
-                            std::vector<int> sites, const Params& params) {
-  params.validate();
+                            std::vector<int> sites,
+                            const VoronoiParams& params) {
   std::sort(sites.begin(), sites.end());
   sites.erase(std::unique(sites.begin(), sites.end()), sites.end());
   if (!sites.empty() && (sites.front() < 0 || sites.back() >= g.n())) {
@@ -127,6 +127,12 @@ VoronoiResult build_voronoi(const net::CsrGraph& g, net::Workspace& ws,
               [](const auto& a, const auto& b) { return a.site < b.site; });
   }
   return r;
+}
+
+VoronoiResult build_voronoi(const net::CsrGraph& g, net::Workspace& ws,
+                            std::vector<int> sites, const Params& params) {
+  params.validate();
+  return build_voronoi(g, ws, std::move(sites), params.voronoi_params());
 }
 
 VoronoiResult build_voronoi(const net::Graph& g, std::vector<int> sites,

@@ -79,7 +79,13 @@ struct VoronoiResult {
 
 // Primary implementation: runs the Voronoi construction from the given
 // sites (critical skeleton node ids; they will be sorted and
-// deduplicated) on the CSR view, reusing the caller's workspace.
+// deduplicated) on the CSR view, reusing the caller's workspace. Reads
+// only the VoronoiParams slice — the stage command's keyed input.
+VoronoiResult build_voronoi(const net::CsrGraph& g, net::Workspace& ws,
+                            std::vector<int> sites,
+                            const VoronoiParams& params);
+
+// Full-Params wrapper (validates, then takes the slice).
 VoronoiResult build_voronoi(const net::CsrGraph& g, net::Workspace& ws,
                             std::vector<int> sites, const Params& params);
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -24,7 +25,7 @@ int default_thread_count() {
 
 ThreadPool::ThreadPool(int threads)
     : threads_(threads > 0 ? threads : default_thread_count()) {
-  // A 1-thread pool runs everything inline in parallel_for.
+  // A 1-thread pool runs everything inline in parallel_for / submit.
   for (int t = 1; t < threads_; ++t) {
     workers_.emplace_back([this] { worker_loop(); });
   }
@@ -39,22 +40,45 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-      if (queue_.empty()) return;  // stop_ and drained
-      task = std::move(queue_.back());
-      queue_.pop_back();
-    }
-    task();
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) done_cv_.notify_all();
-    }
+void ThreadPool::run_task(Task task, std::unique_lock<std::mutex>& lock) {
+  lock.unlock();
+  task.fn();
+  lock.lock();
+  if (task.group != nullptr && --task.group->remaining == 0) {
+    task.group->cv.notify_all();
   }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Idle workers BLOCK here — no polling, no yield loop — so an idle
+    // pool costs (near) zero CPU however long it lives.
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) return;  // stop_ and drained
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    run_task(std::move(task), lock);
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (workers_.empty()) {
+    // No workers to hand off to: run inline (documented 1-thread
+    // semantics; the service on a 1-core host serializes requests).
+    task();
+    return;
+  }
+  {
+    auto& reg = obs::Registry::global();
+    static const obs::Counter submits = reg.counter("exec_submits");
+    submits.inc();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(Task{std::move(task), nullptr});
+  }
+  work_cv_.notify_one();
 }
 
 void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {
@@ -117,31 +141,37 @@ void ThreadPool::parallel_chunks(int n, int chunks,
   if (chunks == 1 || workers_.empty()) {
     for (int c = 0; c < chunks; ++c) run_chunk(c);
   } else {
-    // Workers take chunks 1..; the calling thread runs chunk 0 and then
-    // helps drain the queue instead of blocking idle.
+    // Workers take chunks 1..; the calling thread runs chunk 0 first.
+    // Completion is tracked by THIS invocation's stack-local group, so
+    // concurrent parallel_chunks calls on the same pool never wait on
+    // each other's chunks.
+    Group group;
+    group.remaining = chunks - 1;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      in_flight_ += chunks - 1;
       for (int c = 1; c < chunks; ++c) {
-        queue_.push_back([&run_chunk, c] { run_chunk(c); });
+        queue_.push_back(Task{[&run_chunk, c] { run_chunk(c); }, &group});
       }
     }
     work_cv_.notify_all();
     run_chunk(0);
-    for (;;) {
-      std::function<void()> task;
-      {
-        std::unique_lock<std::mutex> lock(mu_);
-        if (queue_.empty()) break;
-        task = std::move(queue_.back());
-        queue_.pop_back();
-      }
-      task();
-      std::lock_guard<std::mutex> lock(mu_);
-      if (--in_flight_ == 0) done_cv_.notify_all();
-    }
+    // Help drain whatever is at the head of the shared queue until this
+    // group settles — running other invocations' tasks here is what
+    // keeps nested/overlapping calls deadlock-free. When the queue is
+    // empty but the group isn't settled, its last tasks are executing on
+    // workers: block until they land.
     std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    while (group.remaining != 0) {
+      if (!queue_.empty()) {
+        Task task = std::move(queue_.front());
+        queue_.pop_front();
+        run_task(std::move(task), lock);
+      } else {
+        group.cv.wait(lock, [&group, this] {
+          return group.remaining == 0 || !queue_.empty();
+        });
+      }
+    }
   }
   for (const std::exception_ptr& e : errors) {
     if (e) std::rethrow_exception(e);

@@ -1,6 +1,7 @@
 // skelex/exec/thread_pool.h
 //
-// Minimal fixed-size thread pool with a deterministic parallel_for.
+// Minimal fixed-size thread pool with a deterministic parallel_for and a
+// fire-and-forget submit() for daemon-style callers (svc/).
 //
 // Determinism contract: parallel_for(n, fn) calls fn(i) exactly once
 // for every i in [0, n), partitioned into contiguous chunks. Which
@@ -11,11 +12,24 @@
 // the property bench/bench_util.h's SweepRunner and the parallel sweep
 // benches rely on, and tests/test_exec.cpp asserts.
 //
+// Concurrency contract: the pool is fully shareable. Any number of
+// threads may call parallel_for / parallel_chunks / submit on the SAME
+// pool concurrently; each blocking call tracks completion through its
+// own per-invocation group (not pool-wide counters), so one call never
+// waits on another call's work. While a call's own chunks are pending
+// it helps drain the shared queue — whichever invocation's tasks are at
+// the head — which keeps nested parallelism deadlock-free. Idle workers
+// BLOCK on a condition variable (zero CPU between bursts — measured by
+// tests), which is what lets a long-lived extraction server keep a warm
+// pool without burning a core.
+//
 // Thread count: explicit argument > SKELEX_THREADS environment variable
 // > std::thread::hardware_concurrency(). A pool of 1 runs everything
 // inline on the calling thread (no workers are spawned).
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -59,21 +73,39 @@ class ThreadPool {
   void parallel_chunks(int n, int chunks,
                        const std::function<void(int, int, int)>& fn);
 
+  // Fire-and-forget: enqueues `task` for a worker and returns
+  // immediately. The task owns its error handling — an exception
+  // escaping it terminates (there is nowhere to rethrow). On a 1-thread
+  // pool (no workers) the task runs inline before returning. The
+  // destructor drains all submitted tasks before joining.
+  void submit(std::function<void()> task);
+
  private:
+  // Completion tracker for one blocking invocation. Lives on the
+  // caller's stack; `remaining` and the wait both run under mu_.
+  struct Group {
+    int remaining = 0;
+    std::condition_variable cv;
+  };
+  struct Task {
+    std::function<void()> fn;
+    Group* group = nullptr;  // null: fire-and-forget
+  };
+
   void worker_loop();
+  // Runs `task` outside the lock, then reacquires and settles its group.
+  void run_task(Task task, std::unique_lock<std::mutex>& lock);
 
   int threads_ = 1;
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::vector<std::function<void()>> queue_;
+  std::deque<Task> queue_;
   bool stop_ = false;
-  int in_flight_ = 0;
 };
 
-// Global pool used by the bench sweep runner; constructed on first use
-// with default_thread_count() threads.
+// Global pool used by the bench sweep runner and the extraction service;
+// constructed on first use with default_thread_count() threads.
 ThreadPool& shared_pool();
 
 // splitmix64 step: derives a statistically independent seed for cell

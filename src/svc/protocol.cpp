@@ -1,0 +1,180 @@
+#include "svc/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace skelex::svc {
+
+namespace {
+
+// send() with MSG_NOSIGNAL so a peer that hung up yields an error
+// return, not SIGPIPE; plain read() for the receive side.
+bool write_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+bool read_all(int fd, char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t r = ::read(fd, data, n);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (r == 0) return false;  // EOF
+    data += r;
+    n -= static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+}  // namespace
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrame) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  unsigned char hdr[4] = {static_cast<unsigned char>(len & 0xff),
+                          static_cast<unsigned char>((len >> 8) & 0xff),
+                          static_cast<unsigned char>((len >> 16) & 0xff),
+                          static_cast<unsigned char>((len >> 24) & 0xff)};
+  return write_all(fd, reinterpret_cast<const char*>(hdr), sizeof hdr) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+bool read_frame(int fd, std::string& payload) {
+  unsigned char hdr[4];
+  if (!read_all(fd, reinterpret_cast<char*>(hdr), sizeof hdr)) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(hdr[0]) |
+                            (static_cast<std::uint32_t>(hdr[1]) << 8) |
+                            (static_cast<std::uint32_t>(hdr[2]) << 16) |
+                            (static_cast<std::uint32_t>(hdr[3]) << 24);
+  if (len > kMaxFrame) return false;
+  payload.resize(len);
+  return len == 0 || read_all(fd, payload.data(), len);
+}
+
+namespace {
+
+long long parse_ll(const std::string& key, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const long long x = std::stoll(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return x;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer for '" + key + "': " + v);
+  }
+}
+
+double parse_d(const std::string& key, const std::string& v) {
+  try {
+    std::size_t pos = 0;
+    const double x = std::stod(v, &pos);
+    if (pos != v.size()) throw std::invalid_argument(v);
+    return x;
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad number for '" + key + "': " + v);
+  }
+}
+
+}  // namespace
+
+Request parse_request(const std::string& text) {
+  Request r;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw std::invalid_argument("malformed request line: " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string val = line.substr(eq + 1);
+    if (key == "cmd") {
+      if (val != "extract" && val != "stats" && val != "ping" &&
+          val != "shutdown") {
+        throw std::invalid_argument("unknown cmd: " + val);
+      }
+      r.cmd = val;
+    } else if (key == "id") {
+      r.id = parse_ll(key, val);
+    } else if (key == "shape") {
+      r.shape = val;
+    } else if (key == "nodes") {
+      r.nodes = static_cast<int>(parse_ll(key, val));
+    } else if (key == "avg_deg") {
+      r.avg_deg = parse_d(key, val);
+    } else if (key == "seed") {
+      r.seed = static_cast<std::uint64_t>(parse_ll(key, val));
+    } else if (key == "radio") {
+      r.radio = val;
+    } else if (key == "trace") {
+      r.with_trace = parse_ll(key, val) != 0;
+    } else if (key == "k") {
+      r.params.k = static_cast<int>(parse_ll(key, val));
+    } else if (key == "l") {
+      r.params.l = static_cast<int>(parse_ll(key, val));
+    } else if (key == "centrality_includes_self") {
+      r.params.centrality_includes_self = parse_ll(key, val) != 0;
+    } else if (key == "local_max_radius") {
+      r.params.local_max_radius = static_cast<int>(parse_ll(key, val));
+    } else if (key == "alpha") {
+      r.params.alpha = static_cast<int>(parse_ll(key, val));
+    } else if (key == "prune_len") {
+      r.params.prune_len = static_cast<int>(parse_ll(key, val));
+    } else if (key == "fake_pocket_min_size") {
+      r.params.fake_pocket_min_size = static_cast<int>(parse_ll(key, val));
+    } else if (key == "hole_khop_ratio") {
+      r.params.hole_khop_ratio = parse_d(key, val);
+    } else if (key == "thin_cycle_hops") {
+      r.params.thin_cycle_hops = static_cast<int>(parse_ll(key, val));
+    } else if (key == "thin_cycle_ratio") {
+      r.params.thin_cycle_ratio = parse_d(key, val);
+    } else {
+      throw std::invalid_argument("unknown request key: " + key);
+    }
+  }
+  return r;
+}
+
+std::string format_request(const Request& r) {
+  std::ostringstream out;
+  out.precision(17);  // doubles roundtrip exactly
+  out << "cmd=" << r.cmd << '\n';
+  out << "id=" << r.id << '\n';
+  out << "shape=" << r.shape << '\n';
+  out << "nodes=" << r.nodes << '\n';
+  out << "avg_deg=" << r.avg_deg << '\n';
+  out << "seed=" << r.seed << '\n';
+  out << "radio=" << r.radio << '\n';
+  out << "trace=" << (r.with_trace ? 1 : 0) << '\n';
+  out << "k=" << r.params.k << '\n';
+  out << "l=" << r.params.l << '\n';
+  out << "centrality_includes_self=" << (r.params.centrality_includes_self ? 1 : 0)
+      << '\n';
+  out << "local_max_radius=" << r.params.local_max_radius << '\n';
+  out << "alpha=" << r.params.alpha << '\n';
+  out << "prune_len=" << r.params.prune_len << '\n';
+  out << "fake_pocket_min_size=" << r.params.fake_pocket_min_size << '\n';
+  out << "hole_khop_ratio=" << r.params.hole_khop_ratio << '\n';
+  out << "thin_cycle_hops=" << r.params.thin_cycle_hops << '\n';
+  out << "thin_cycle_ratio=" << r.params.thin_cycle_ratio << '\n';
+  return out.str();
+}
+
+}  // namespace skelex::svc

@@ -1,0 +1,63 @@
+// skelex/svc/protocol.h
+//
+// Wire protocol of the extraction service: length-prefixed frames over a
+// stream socket, text requests, JSON responses.
+//
+//   frame    := u32-LE payload length, then that many payload bytes
+//   request  := newline-separated "key=value" lines (no JSON parser in
+//               this repo — requests stay trivially parsable text)
+//   response := one JSON object (io::JsonWriter — byte-stable key order,
+//               so cold and warm responses are diffable after stripping
+//               the wall-time "millis" fields)
+//
+// Request keys: cmd (extract | stats | ping | shutdown), id (echoed back
+// verbatim in the response), scenario selection (shape, nodes, avg_deg,
+// seed, radio = "udg" | "qudg:<alpha>:<p>"), trace (0/1), and any
+// core::Params field by name (k, l, alpha, prune_len, ...). Unknown keys
+// are an error — a typo'd parameter must not silently run the default.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/config.h"
+
+namespace skelex::svc {
+
+// --- framing -----------------------------------------------------------------
+
+// Max accepted payload; a service must bound what it will buffer.
+inline constexpr std::uint32_t kMaxFrame = 16u << 20;  // 16 MiB
+
+// Writes one frame; retries short writes. False on any socket error
+// (the caller drops the connection).
+bool write_frame(int fd, std::string_view payload);
+
+// Reads one frame into `payload`. False on EOF before/inside a frame,
+// on a socket error, or on an oversized length prefix.
+bool read_frame(int fd, std::string& payload);
+
+// --- requests ----------------------------------------------------------------
+
+struct Request {
+  std::string cmd = "extract";  // extract | stats | ping | shutdown
+  long long id = 0;             // echoed back; matches pipelined responses
+  // Scenario selection (cmd=extract).
+  std::string shape = "window";
+  int nodes = 600;
+  double avg_deg = 7.5;
+  std::uint64_t seed = 1;
+  std::string radio = "udg";  // "udg" or "qudg:<alpha>:<p>"
+  bool with_trace = true;     // include the per-stage trace in the response
+  core::Params params;        // defaults with any per-request overrides
+};
+
+// Parses the key=value text form. Throws std::invalid_argument on
+// malformed lines, unknown keys, or unparsable numbers.
+Request parse_request(const std::string& text);
+
+// The client-side inverse: every field, one per line, parse-roundtrips.
+std::string format_request(const Request& r);
+
+}  // namespace skelex::svc

@@ -1,0 +1,219 @@
+#include "svc/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "exec/thread_pool.h"
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "svc/protocol.h"
+
+namespace skelex::svc {
+
+namespace {
+
+sockaddr_in loopback(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+
+}  // namespace
+
+Server::Connection::~Connection() {
+  if (fd >= 0) ::close(fd);
+}
+
+Server::Server(ExtractionService& service, exec::ThreadPool& pool,
+               std::uint16_t port)
+    : service_(service), pool_(pool) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = loopback(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("cannot listen on 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+Server::~Server() { stop(); }
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by stop()
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back(
+        [this, conn = std::move(conn)]() mutable { reader_loop(std::move(conn)); });
+  }
+}
+
+void Server::reader_loop(std::shared_ptr<Connection> conn) {
+  std::string payload;
+  while (!stopping_.load() && read_frame(conn->fd, payload)) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++pending_;
+    }
+    const int now = in_flight_.fetch_add(1) + 1;
+    int peak = max_in_flight_.load();
+    while (now > peak && !max_in_flight_.compare_exchange_weak(peak, now)) {
+    }
+    // The reader goes straight back to read_frame after this submit, so
+    // a connection can pipeline an unbounded number of requests; the
+    // pool bounds how many execute at once.
+    pool_.submit([this, conn, payload]() mutable {
+      handle_frame(std::move(conn), std::move(payload));
+    });
+  }
+  ::shutdown(conn->fd, SHUT_RD);
+}
+
+void Server::handle_frame(std::shared_ptr<Connection> conn,
+                          std::string payload) {
+  bool shutdown_after = false;
+  std::string response;
+  try {
+    const Request req = parse_request(payload);
+    shutdown_after = req.cmd == "shutdown";
+    response = service_.handle(req);
+  } catch (const std::exception& e) {
+    // parse errors: the service never saw the request
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("id").value(0);
+    w.key("ok").value(false);
+    w.key("error").value(e.what());
+    w.end_object();
+    response = w.str();
+  }
+  {
+    std::lock_guard<std::mutex> write_lock(conn->write_mu);
+    write_frame(conn->fd, response);
+  }
+  {
+    auto& reg = obs::Registry::global();
+    static const obs::Counter served = reg.counter("svc_requests_served");
+    served.inc();
+  }
+  if (shutdown_after) {
+    // Client-driven shutdown: flip the flag and wake the listener BEFORE
+    // this request leaves the drain count, so stop() cannot finish its
+    // drain wait (and close listen_fd_) while this block still runs.
+    // Must not call stop() here — it joins threads, including possibly
+    // this task's own reader.
+    stopping_.store(true);
+    ::shutdown(listen_fd_, SHUT_RDWR);
+  }
+  in_flight_.fetch_sub(1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --pending_;
+  }
+  drained_cv_.notify_all();
+}
+
+void Server::stop() {
+  stopping_.store(true);
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Readers blocked inside read_frame need a nudge: shut their sockets
+  // down for reading so the blocked read() returns 0 (already-written
+  // and still-pending responses are unaffected — writes stay open).
+  std::vector<std::thread> readers;
+  std::vector<std::weak_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    readers.swap(conn_threads_);
+    conns.swap(conns_);
+  }
+  for (const std::weak_ptr<Connection>& weak : conns) {
+    if (auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RD);
+  }
+  for (std::thread& t : readers) {
+    if (t.joinable()) t.join();
+  }
+  {
+    // Every accepted request runs to completion before stop() returns.
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+void Server::serve_forever() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return stopping_.load(); });
+  }
+  stop();
+}
+
+Client::Client(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("socket() failed");
+  sockaddr_in addr = loopback(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("cannot connect to 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool Client::send(const Request& req) {
+  return write_frame(fd_, format_request(req));
+}
+
+bool Client::recv(std::string& response_json) {
+  return read_frame(fd_, response_json);
+}
+
+std::string Client::request(const Request& req) {
+  if (!send(req)) throw std::runtime_error("send failed (server gone?)");
+  std::string response;
+  if (!recv(response)) throw std::runtime_error("no response (server gone?)");
+  return response;
+}
+
+}  // namespace skelex::svc

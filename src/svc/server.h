@@ -1,0 +1,125 @@
+// skelex/svc/server.h
+//
+// The batched extraction server: a loopback TCP listener in front of an
+// ExtractionService, scheduling request handling onto a shared
+// exec::ThreadPool.
+//
+// Threading model:
+//   * one accept thread (blocking accept(2), woken by closing the
+//     listen socket on stop);
+//   * one reader thread per connection — it only parses frames and
+//     submits work, so a slow pipeline never stalls frame intake;
+//   * the actual extraction runs on the pool via submit(), so up to
+//     thread_count() requests are in flight at once and the rest queue
+//     in FIFO order. Any number of requests may be pipelined on one
+//     connection; responses carry the request's echoed `id` and may
+//     arrive out of order.
+//
+// Each connection serializes its response frames through a per-
+// connection write mutex (frames from concurrent pool tasks must not
+// interleave). Connections are shared_ptr-held so a task finishing
+// after the peer hung up writes into a dead-but-valid fd, not a freed
+// object.
+//
+// Shutdown (stop() or a client's cmd=shutdown): the listener closes, the
+// per-connection readers stop accepting frames, and stop() drains — it
+// waits for every in-flight request to finish writing before returning,
+// so no accepted request is ever silently dropped.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "svc/service.h"
+
+namespace skelex::exec {
+class ThreadPool;
+}
+
+namespace skelex::svc {
+
+class Server {
+ public:
+  // Binds and listens on 127.0.0.1:port (port 0 picks an ephemeral
+  // port — read it back via port()) and starts the accept thread.
+  // Requests run on `pool`. Throws std::runtime_error if binding fails.
+  Server(ExtractionService& service, exec::ThreadPool& pool,
+         std::uint16_t port = 0);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  // Idempotent: closes the listener, waits for in-flight requests to
+  // drain and for all connection threads to exit.
+  void stop();
+
+  // Blocks until stop() is triggered (by any thread or by a client's
+  // cmd=shutdown), then drains like stop().
+  void serve_forever();
+
+  // Observability for tests and the bench: current and peak number of
+  // requests accepted but not yet fully responded to.
+  int in_flight() const { return in_flight_.load(); }
+  int max_in_flight() const { return max_in_flight_.load(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;  // response frames must not interleave
+    ~Connection();        // last holder (reader or a late task) closes fd
+  };
+
+  void accept_loop();
+  void reader_loop(std::shared_ptr<Connection> conn);
+  void handle_frame(std::shared_ptr<Connection> conn, std::string payload);
+
+  ExtractionService& service_;
+  exec::ThreadPool& pool_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::thread accept_thread_;
+  std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::vector<std::thread> conn_threads_;  // joined in stop()
+  std::vector<std::weak_ptr<Connection>> conns_;  // for the stop() nudge
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> in_flight_{0};
+  std::atomic<int> max_in_flight_{0};
+  int pending_ = 0;  // in-flight requests, under mu_ (for the drain wait)
+};
+
+// Minimal blocking client for tests, the bench load generator, and the
+// command-line daemon's own smoke mode: connect, send requests, read
+// response frames.
+class Client {
+ public:
+  // Connects to 127.0.0.1:port; throws std::runtime_error on failure.
+  explicit Client(std::uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // One frame out / in. send() returns false when the peer hung up.
+  bool send(const Request& req);
+  bool recv(std::string& response_json);
+
+  // Convenience: send + wait for the matching response (responses may
+  // arrive out of order when requests are pipelined, so this must only
+  // be used on an otherwise-quiet connection).
+  std::string request(const Request& req);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace skelex::svc

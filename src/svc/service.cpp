@@ -1,0 +1,205 @@
+#include "svc/service.h"
+
+#include <cstdio>
+#include <exception>
+#include <memory>
+#include <utility>
+
+#include "core/fingerprint.h"
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "io/json.h"
+#include "radio/radio_model.h"
+#include "svc/protocol.h"
+
+namespace skelex::svc {
+
+namespace {
+
+// Approximate retained size of a scenario entry for the cache's byte
+// budget: positions + adjacency (ints both sides of every edge).
+std::size_t scenario_bytes(const deploy::Scenario& s) {
+  return sizeof(deploy::Scenario) +
+         static_cast<std::size_t>(s.graph.n()) * sizeof(geom::Vec2) +
+         static_cast<std::size_t>(s.graph.edge_count()) * 4 * sizeof(int);
+}
+
+// "qudg:<alpha>:<p>" → (alpha, p). Throws invalid_argument on anything
+// that is not "udg" or a well-formed qudg spec.
+bool parse_radio(const std::string& radio, double* alpha, double* p) {
+  if (radio == "udg") return false;
+  if (radio.rfind("qudg:", 0) == 0) {
+    const std::size_t colon = radio.find(':', 5);
+    if (colon != std::string::npos) {
+      try {
+        std::size_t pos = 0;
+        const std::string a = radio.substr(5, colon - 5);
+        const std::string b = radio.substr(colon + 1);
+        *alpha = std::stod(a, &pos);
+        if (pos != a.size()) throw std::invalid_argument(a);
+        *p = std::stod(b, &pos);
+        if (pos == b.size()) return true;
+      } catch (const std::exception&) {
+        // fall through to the throw below
+      }
+    }
+  }
+  throw std::invalid_argument("unknown radio model: " + radio);
+}
+
+std::string hex_fingerprint(std::uint64_t fp) {
+  char buf[19];
+  std::snprintf(buf, sizeof buf, "0x%016llx",
+                static_cast<unsigned long long>(fp));
+  return buf;
+}
+
+std::string error_response(long long id, const std::string& what) {
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("ok").value(false);
+  w.key("error").value(what);
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace
+
+ExtractionService::ExtractionService() : ExtractionService(Options{}) {}
+
+ExtractionService::ExtractionService(Options opt)
+    : cache_(core::memo::StageCache::Options{opt.cache_bytes,
+                                             opt.cache_entries}) {}
+
+std::string ExtractionService::handle(const std::string& request_text) {
+  Request req;
+  try {
+    req = parse_request(request_text);
+  } catch (const std::exception& e) {
+    return error_response(0, e.what());
+  }
+  return handle(req);
+}
+
+std::string ExtractionService::handle(const Request& req) {
+  try {
+    if (req.cmd == "extract") return handle_extract(req);
+    if (req.cmd == "stats") return handle_stats(req);
+    // ping and shutdown get a bare acknowledgement (the server layer
+    // implements shutdown's side effect; the service just echoes).
+    io::JsonWriter w;
+    w.begin_object();
+    w.key("id").value(req.id);
+    w.key("ok").value(true);
+    w.key("cmd").value(req.cmd);
+    w.end_object();
+    return w.str();
+  } catch (const std::exception& e) {
+    return error_response(req.id, e.what());
+  }
+}
+
+std::shared_ptr<const deploy::Scenario> ExtractionService::scenario_for(
+    const Request& req) {
+  if (req.nodes < 1 || req.nodes > 2'000'000) {
+    throw std::invalid_argument("nodes out of range");
+  }
+  double qudg_alpha = 0, qudg_p = 0;
+  const bool qudg = parse_radio(req.radio, &qudg_alpha, &qudg_p);
+
+  core::Fnv f;
+  f.bytes("scenario", 8);
+  f.bytes(req.shape.data(), req.shape.size());
+  f.i32(req.nodes);
+  f.f64(req.avg_deg);
+  f.u64(req.seed);
+  f.bytes(req.radio.data(), req.radio.size());
+  const std::uint64_t key = f.h;
+
+  if (auto hit = cache_.find<deploy::Scenario>(key, "scenario")) return hit;
+
+  const geom::Region region = geom::shapes::by_name(req.shape);
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = req.nodes;
+  spec.target_avg_deg = req.avg_deg;
+  spec.seed = req.seed;
+  deploy::Scenario s;
+  if (qudg) {
+    // Calibrate the nominal range on the deployment itself (the same
+    // positions make_scenario will regenerate from the same seed).
+    deploy::Rng rng(spec.seed);
+    const std::vector<geom::Vec2> pts =
+        deploy::scenario_positions(region, spec, rng);
+    const double range = deploy::calibrate_range(pts, spec.target_avg_deg);
+    const radio::QuasiUnitDiskModel model(range, qudg_alpha, qudg_p);
+    s = deploy::make_scenario(region, spec, model);
+  } else {
+    s = deploy::make_udg_scenario(region, spec);
+  }
+  // Pre-build the CSR (and thereby finalize) BEFORE publishing: cache
+  // values are shared across threads, and Graph's lazy finalize/csr
+  // mutate internal state on first read.
+  s.graph.csr();
+  auto value = std::make_shared<const deploy::Scenario>(std::move(s));
+  const std::size_t bytes = scenario_bytes(*value);
+  return cache_.insert<deploy::Scenario>(key, "scenario", std::move(value),
+                                         bytes);
+}
+
+std::string ExtractionService::handle_extract(const Request& req) {
+  const std::shared_ptr<const deploy::Scenario> scen = scenario_for(req);
+  const core::SkeletonResult r =
+      core::extract_skeleton(scen->graph, req.params, &cache_);
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(req.id);
+  w.key("ok").value(true);
+  w.key("n").value(scen->graph.n());
+  w.key("edges").value(scen->graph.edge_count());
+  w.key("critical").value(static_cast<int>(r.critical_nodes.size()));
+  w.key("skeleton_nodes").value(r.skeleton.node_count());
+  w.key("skeleton_edges").value(r.skeleton.edge_count());
+  w.key("cycle_rank").value(r.skeleton_cycle_rank());
+  w.key("components").value(r.skeleton_components());
+  w.key("fake_loops_removed").value(r.fake_loops_removed);
+  w.key("pruned_nodes").value(r.pruned_nodes);
+  w.key("fingerprint").value(hex_fingerprint(core::result_fingerprint(r)));
+  w.key("warnings").begin_array();
+  for (const std::string& msg : r.diagnostics.warnings) w.value(msg);
+  w.end_array();
+  if (req.with_trace) {
+    w.key("trace").begin_array();
+    for (const core::StageTrace::Stage& s : r.trace.stages) {
+      w.begin_object();
+      w.key("stage").value(s.name);
+      w.key("millis").value(s.millis);
+      w.key("nodes").value(s.nodes);
+      w.key("messages").value(s.messages);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string ExtractionService::handle_stats(const Request& req) {
+  const core::memo::CacheStats st = cache_.stats();
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(req.id);
+  w.key("ok").value(true);
+  w.key("hits").value(static_cast<long long>(st.hits));
+  w.key("misses").value(static_cast<long long>(st.misses));
+  w.key("insertions").value(static_cast<long long>(st.insertions));
+  w.key("evictions").value(static_cast<long long>(st.evictions));
+  w.key("bytes").value(static_cast<long long>(st.bytes));
+  w.key("entries").value(static_cast<long long>(st.entries));
+  w.end_object();
+  return w.str();
+}
+
+}  // namespace skelex::svc

@@ -1,0 +1,66 @@
+// skelex/svc/service.h
+//
+// The extraction service: request in, JSON response out. This is the
+// transport-free core of the daemon — svc/server.h runs it behind a
+// socket, tests and bench_service call handle() directly.
+//
+// Every extract request runs the full stage-command pipeline against a
+// process-wide core/memo StageCache, so concurrent requests for the
+// same deployment share stage outputs: two clients asking for the same
+// (shape, nodes, avg_deg, seed, radio) graph with different cleanup or
+// prune parameters share stages 1-3 outright, and repeated requests are
+// answered from warm stage outputs entirely. Deployment scenarios
+// (deploy + radio + largest component — the most expensive non-stage
+// work) are memoized in the same cache under a "scenario" stage tag.
+//
+// Responses are io::JsonWriter objects with byte-stable key order; the
+// only nondeterministic fields are the "millis" wall-time entries, so
+// cold and warm responses to one request are byte-identical after
+// stripping those — the invariant the CI memo-determinism gate diffs.
+//
+// Thread safety: handle() is fully reentrant — the scenario/stage
+// caches do their own locking and everything else is request-local.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "core/memo/stage_cache.h"
+#include "svc/protocol.h"
+
+namespace skelex::deploy {
+struct Scenario;
+}
+
+namespace skelex::svc {
+
+class ExtractionService {
+ public:
+  struct Options {
+    std::size_t cache_bytes = std::size_t{256} << 20;  // stage memo budget
+    std::size_t cache_entries = 4096;
+  };
+
+  ExtractionService();
+  explicit ExtractionService(Options opt);
+
+  ExtractionService(const ExtractionService&) = delete;
+  ExtractionService& operator=(const ExtractionService&) = delete;
+
+  // Parses and dispatches one request; never throws — malformed requests
+  // produce an {"ok": false, "error": ...} response.
+  std::string handle(const std::string& request_text);
+  std::string handle(const Request& req);
+
+  core::memo::CacheStats cache_stats() const { return cache_.stats(); }
+
+ private:
+  std::string handle_extract(const Request& req);
+  std::string handle_stats(const Request& req);
+  std::shared_ptr<const deploy::Scenario> scenario_for(const Request& req);
+
+  core::memo::StageCache cache_;
+};
+
+}  // namespace skelex::svc

@@ -13,6 +13,7 @@
 #include <queue>
 #include <vector>
 
+#include "core/fingerprint.h"
 #include "core/pipeline.h"
 #include "deploy/rng.h"
 #include "deploy/scenario.h"
@@ -243,75 +244,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, CsrEquivalenceTest,
 // it bit for bit (distances, tie-breaks, pruning order, floating-point
 // index values — everything).
 
-struct Fnv {
-  std::uint64_t h = 1469598103934665603ull;
-  void bytes(const void* p, std::size_t n) {
-    const unsigned char* c = static_cast<const unsigned char*>(p);
-    for (std::size_t i = 0; i < n; ++i) {
-      h ^= c[i];
-      h *= 1099511628211ull;
-    }
-  }
-  void i32(int x) { bytes(&x, sizeof x); }
-  void f64(double x) {
-    std::uint64_t b;
-    std::memcpy(&b, &x, sizeof b);
-    bytes(&b, sizeof b);
-  }
-  void vec(const std::vector<int>& v) {
-    i32(static_cast<int>(v.size()));
-    for (int x : v) i32(x);
-  }
-  void vecc(const std::vector<char>& v) {
-    i32(static_cast<int>(v.size()));
-    for (char x : v) i32(x);
-  }
-  void vecd(const std::vector<double>& v) {
-    i32(static_cast<int>(v.size()));
-    for (double x : v) f64(x);
-  }
-};
-
-std::uint64_t fingerprint(const core::SkeletonResult& r) {
-  Fnv f;
-  // Stage 1.
-  f.vec(r.index.khop_size);
-  f.vecd(r.index.centrality);
-  f.vecd(r.index.index);
-  f.vec(r.critical_nodes);
-  // Stage 2.
-  f.vec(r.voronoi.sites);
-  f.vec(r.voronoi.site_of);
-  f.vec(r.voronoi.dist);
-  f.vec(r.voronoi.parent);
-  f.vec(r.voronoi.site2_of);
-  f.vec(r.voronoi.dist2);
-  f.vec(r.voronoi.via2);
-  f.vecc(r.voronoi.is_segment);
-  f.vecc(r.voronoi.is_voronoi_node);
-  // Stages 3-4: node and edge lists in canonical order.
-  for (const core::SkeletonGraph* sk : {&r.coarse, &r.skeleton}) {
-    f.vec(sk->nodes());
-    for (int v : sk->nodes()) {
-      for (int w : sk->neighbors(v)) {
-        if (w > v) {
-          f.i32(v);
-          f.i32(w);
-        }
-      }
-    }
-  }
-  f.i32(r.fake_loops_removed);
-  f.i32(r.merge_rounds);
-  f.i32(r.thin_loops_collapsed);
-  f.i32(r.pruned_nodes);
-  // By-products.
-  f.vec(r.segmentation.segment_of);
-  f.vec(r.segmentation.segment_size);
-  f.vec(r.boundary.boundary_nodes);
-  f.vec(r.boundary.dist_to_skeleton);
-  return f.h;
-}
+// The hasher and field order moved to core/fingerprint.h
+// (core::result_fingerprint) so the memoized pipeline and the service can
+// assert the same bitwise identity; this test pins the golden constant.
 
 TEST(GoldenFingerprint, WindowScenarioBitwiseStable) {
   deploy::ScenarioSpec spec;
@@ -324,10 +259,10 @@ TEST(GoldenFingerprint, WindowScenarioBitwiseStable) {
   ASSERT_EQ(sc.graph.edge_count(), 7748);
   const core::SkeletonResult r =
       core::extract_skeleton(sc.graph, core::Params{});
-  EXPECT_EQ(fingerprint(r), 0x75302e0b3de2a7f4ull)
+  EXPECT_EQ(core::result_fingerprint(r), 0x75302e0b3de2a7f4ull)
       << "extract_skeleton output changed bitwise on the pinned Window "
          "scenario; if the change is intentional, re-record the constant "
-         "(see the Fnv hasher above for the field order).";
+         "(core/fingerprint.h documents the field order).";
 }
 
 }  // namespace

@@ -48,8 +48,8 @@ TEST_P(InvariantSweep, StructuralGuarantees) {
 
   // 3. Every site is part of the COARSE skeleton (pruning may later trim
   // whole limbs, so the final skeleton holds no such guarantee).
-  for (int s : r.voronoi.sites) {
-    EXPECT_TRUE(r.coarse.has_node(s)) << "site " << s;
+  for (int s : r.voronoi().sites) {
+    EXPECT_TRUE(r.coarse().has_node(s)) << "site " << s;
   }
 
   // 4. Segmentation partitions the graph.

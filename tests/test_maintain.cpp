@@ -71,20 +71,20 @@ sim::ChurnScript::RandomSpec churn_spec(double range, int rounds,
 void expect_stage12_matches_canonical(const SkeletonMaintainer& maint,
                                       const core::SkeletonResult& truth) {
   const core::SkeletonResult& served = maint.served();
-  EXPECT_EQ(served.index.khop_size, truth.index.khop_size);
-  EXPECT_EQ(served.index.centrality, truth.index.centrality);
-  EXPECT_EQ(served.index.index, truth.index.index);
+  EXPECT_EQ(served.index().khop_size, truth.index().khop_size);
+  EXPECT_EQ(served.index().centrality, truth.index().centrality);
+  EXPECT_EQ(served.index().index, truth.index().index);
   EXPECT_EQ(served.critical_nodes, truth.critical_nodes);
-  EXPECT_EQ(served.voronoi.sites, truth.voronoi.sites);
-  EXPECT_EQ(served.voronoi.site_of, truth.voronoi.site_of);
-  EXPECT_EQ(served.voronoi.dist, truth.voronoi.dist);
-  EXPECT_EQ(served.voronoi.parent, truth.voronoi.parent);
-  EXPECT_EQ(served.voronoi.site2_of, truth.voronoi.site2_of);
-  EXPECT_EQ(served.voronoi.dist2, truth.voronoi.dist2);
-  EXPECT_EQ(served.voronoi.via2, truth.voronoi.via2);
-  EXPECT_EQ(served.voronoi.is_segment, truth.voronoi.is_segment);
-  EXPECT_EQ(served.voronoi.is_voronoi_node, truth.voronoi.is_voronoi_node);
-  EXPECT_EQ(served.voronoi.nearby, truth.voronoi.nearby);
+  EXPECT_EQ(served.voronoi().sites, truth.voronoi().sites);
+  EXPECT_EQ(served.voronoi().site_of, truth.voronoi().site_of);
+  EXPECT_EQ(served.voronoi().dist, truth.voronoi().dist);
+  EXPECT_EQ(served.voronoi().parent, truth.voronoi().parent);
+  EXPECT_EQ(served.voronoi().site2_of, truth.voronoi().site2_of);
+  EXPECT_EQ(served.voronoi().dist2, truth.voronoi().dist2);
+  EXPECT_EQ(served.voronoi().via2, truth.voronoi().via2);
+  EXPECT_EQ(served.voronoi().is_segment, truth.voronoi().is_segment);
+  EXPECT_EQ(served.voronoi().is_voronoi_node, truth.voronoi().is_voronoi_node);
+  EXPECT_EQ(served.voronoi().nearby, truth.voronoi().nearby);
 }
 
 TEST(InvariantChecker, CleanExtractionPasses) {
@@ -138,7 +138,9 @@ TEST(InvariantChecker, DetectsFabricatedViolations) {
   // An empty skeleton over a live network.
   {
     core::SkeletonResult empty;
-    empty.voronoi.site_of.assign(static_cast<std::size_t>(topo.n()), -1);
+    core::VoronoiResult ev;
+    ev.site_of.assign(static_cast<std::size_t>(topo.n()), -1);
+    empty.set_voronoi(std::move(ev));
     const auto rep =
         core::check_skeleton_invariants(topo.csr(), topo.active(), empty);
     EXPECT_FALSE(rep.ok());

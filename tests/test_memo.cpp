@@ -1,0 +1,209 @@
+// The memo-cache contract: a memoized extraction is bit-identical to an
+// unmemoized one, warm requests share the producing request's stage
+// values (no copies), the trace replay matches cold numbers exactly
+// (modulo wall time), and the cache's LRU/budget/stats mechanics behave.
+#include "core/memo/stage_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/fingerprint.h"
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+
+namespace skelex::core {
+namespace {
+
+net::Graph window_graph(int nodes = 700, std::uint64_t seed = 5) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = nodes;
+  spec.target_avg_deg = 7.0;
+  spec.seed = seed;
+  return deploy::make_udg_scenario(geom::shapes::window(), spec).graph;
+}
+
+TEST(Memo, MemoizedEqualsUnmemoizedBitIdentical) {
+  const net::Graph g = window_graph();
+  const SkeletonResult plain = extract_skeleton(g, Params{});
+
+  memo::StageCache cache;
+  const SkeletonResult cold = extract_skeleton(g, Params{}, &cache);
+  const SkeletonResult warm = extract_skeleton(g, Params{}, &cache);
+
+  const std::uint64_t fp = result_fingerprint(plain);
+  EXPECT_EQ(result_fingerprint(cold), fp);
+  EXPECT_EQ(result_fingerprint(warm), fp);
+
+  const memo::CacheStats st = cache.stats();
+  EXPECT_GT(st.hits, 0) << "warm run should have hit cached stages";
+  EXPECT_GT(st.insertions, 0);
+}
+
+TEST(Memo, WarmRunSharesStageValuesWithCold) {
+  const net::Graph g = window_graph();
+  memo::StageCache cache;
+  const SkeletonResult cold = extract_skeleton(g, Params{}, &cache);
+  const SkeletonResult warm = extract_skeleton(g, Params{}, &cache);
+
+  // Not equal copies — the SAME shared immutable values.
+  EXPECT_EQ(cold.index_out.get(), warm.index_out.get());
+  EXPECT_EQ(cold.voronoi_out.get(), warm.voronoi_out.get());
+  EXPECT_EQ(cold.coarse_out.get(), warm.coarse_out.get());
+}
+
+TEST(Memo, RequestsDifferingOnlyInPruneShareStages13) {
+  const net::Graph g = window_graph();
+  memo::StageCache cache;
+  Params a;
+  Params b;
+  b.prune_len = 11;  // stage-4 param only
+  const SkeletonResult ra = extract_skeleton(g, a, &cache);
+  const SkeletonResult rb = extract_skeleton(g, b, &cache);
+
+  EXPECT_EQ(ra.index_out.get(), rb.index_out.get());
+  EXPECT_EQ(ra.voronoi_out.get(), rb.voronoi_out.get());
+  EXPECT_EQ(ra.coarse_out.get(), rb.coarse_out.get());
+
+  // And each equals its own unmemoized run.
+  EXPECT_EQ(result_fingerprint(ra), result_fingerprint(extract_skeleton(g, a)));
+  EXPECT_EQ(result_fingerprint(rb), result_fingerprint(extract_skeleton(g, b)));
+}
+
+TEST(Memo, StageParamChangeInvalidatesDownstreamOnly) {
+  const net::Graph g = window_graph();
+  memo::StageCache cache;
+  Params a;
+  Params b;
+  b.local_max_radius = 3;  // identify param: index may be shared, rest not
+  const SkeletonResult ra = extract_skeleton(g, a, &cache);
+  const SkeletonResult rb = extract_skeleton(g, b, &cache);
+
+  EXPECT_EQ(ra.index_out.get(), rb.index_out.get());
+  EXPECT_EQ(result_fingerprint(rb), result_fingerprint(extract_skeleton(g, b)));
+}
+
+TEST(Memo, WarmTraceMatchesColdModuloMillis) {
+  const net::Graph g = window_graph();
+  memo::StageCache cache;
+  const SkeletonResult cold = extract_skeleton(g, Params{}, &cache);
+  const SkeletonResult warm = extract_skeleton(g, Params{}, &cache);
+
+  ASSERT_EQ(cold.trace.stages.size(), warm.trace.stages.size());
+  for (std::size_t i = 0; i < cold.trace.stages.size(); ++i) {
+    const StageTrace::Stage& c = cold.trace.stages[i];
+    const StageTrace::Stage& w = warm.trace.stages[i];
+    EXPECT_EQ(c.name, w.name);
+    EXPECT_EQ(c.nodes, w.nodes) << c.name;
+    EXPECT_EQ(c.messages, w.messages) << c.name;
+  }
+}
+
+TEST(Memo, DifferentGraphsDoNotCollide) {
+  const net::Graph g1 = window_graph(700, 5);
+  const net::Graph g2 = window_graph(700, 6);  // same spec, different seed
+  memo::StageCache cache;
+  const SkeletonResult r1 = extract_skeleton(g1, Params{}, &cache);
+  const SkeletonResult r2 = extract_skeleton(g2, Params{}, &cache);
+  EXPECT_NE(r1.index_out.get(), r2.index_out.get());
+  EXPECT_EQ(result_fingerprint(r2), result_fingerprint(extract_skeleton(g2)));
+}
+
+// --- StageCache mechanics (no pipeline involved) -----------------------------
+
+TEST(StageCache, FindMissThenInsertThenHit) {
+  memo::StageCache cache;
+  EXPECT_EQ(cache.find<int>(42, "t"), nullptr);
+  auto in = std::make_shared<const int>(7);
+  auto kept = cache.insert<int>(42, "t", in, 100);
+  EXPECT_EQ(kept.get(), in.get());
+  memo::StageCache::TraceFacts facts;
+  auto hit = cache.find<int>(42, "t", &facts);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 7);
+
+  const memo::CacheStats st = cache.stats();
+  EXPECT_EQ(st.hits, 1);
+  EXPECT_EQ(st.misses, 1);
+  EXPECT_EQ(st.insertions, 1);
+  EXPECT_EQ(st.entries, 1u);
+  EXPECT_EQ(st.bytes, 100u);
+}
+
+TEST(StageCache, FirstWriterWinsOnDuplicateInsert) {
+  memo::StageCache cache;
+  auto first = std::make_shared<const int>(1);
+  auto second = std::make_shared<const int>(1);  // equal by determinism
+  cache.insert<int>(9, "t", first, 10);
+  auto kept = cache.insert<int>(9, "t", second, 10);
+  EXPECT_EQ(kept.get(), first.get());
+  EXPECT_EQ(cache.stats().entries, 1u);
+}
+
+TEST(StageCache, EvictsLeastRecentlyUsedByEntryBudget) {
+  memo::StageCache::Options opt;
+  opt.max_entries = 2;
+  memo::StageCache cache(opt);
+  cache.insert<int>(1, "t", std::make_shared<const int>(1), 8);
+  cache.insert<int>(2, "t", std::make_shared<const int>(2), 8);
+  ASSERT_NE(cache.find<int>(1, "t"), nullptr);  // refresh 1: now 2 is LRU
+  cache.insert<int>(3, "t", std::make_shared<const int>(3), 8);
+
+  EXPECT_NE(cache.find<int>(1, "t"), nullptr);
+  EXPECT_EQ(cache.find<int>(2, "t"), nullptr) << "LRU entry should be evicted";
+  EXPECT_NE(cache.find<int>(3, "t"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1);
+}
+
+TEST(StageCache, EvictsByByteBudget) {
+  memo::StageCache::Options opt;
+  opt.max_bytes = 100;
+  memo::StageCache cache(opt);
+  cache.insert<int>(1, "t", std::make_shared<const int>(1), 60);
+  cache.insert<int>(2, "t", std::make_shared<const int>(2), 60);
+  EXPECT_EQ(cache.find<int>(1, "t"), nullptr);
+  EXPECT_NE(cache.find<int>(2, "t"), nullptr);
+  EXPECT_LE(cache.stats().bytes, 100u);
+}
+
+TEST(StageCache, OversizedValueReturnedButNotRetained) {
+  memo::StageCache::Options opt;
+  opt.max_bytes = 100;
+  memo::StageCache cache(opt);
+  auto big = std::make_shared<const int>(5);
+  auto kept = cache.insert<int>(7, "t", big, 1000);
+  EXPECT_EQ(kept.get(), big.get());  // caller still gets its value
+  EXPECT_EQ(cache.find<int>(7, "t"), nullptr);
+  EXPECT_EQ(cache.stats().entries, 0u);
+}
+
+TEST(StageCache, TraceFactsRoundTrip) {
+  memo::StageCache cache;
+  memo::StageCache::TraceFacts in{123, 456789};
+  cache.insert<int>(5, "t", std::make_shared<const int>(0), 4, in);
+  memo::StageCache::TraceFacts out;
+  ASSERT_NE(cache.find<int>(5, "t", &out), nullptr);
+  EXPECT_EQ(out.nodes, 123);
+  EXPECT_EQ(out.messages, 456789);
+}
+
+TEST(StageCache, ClearEmptiesEverything) {
+  memo::StageCache cache;
+  cache.insert<int>(1, "t", std::make_shared<const int>(1), 8);
+  cache.clear();
+  EXPECT_EQ(cache.stats().entries, 0u);
+  EXPECT_EQ(cache.stats().bytes, 0u);
+  EXPECT_EQ(cache.find<int>(1, "t"), nullptr);
+}
+
+TEST(StageCache, GraphFingerprintDistinguishesLiveContent) {
+  const net::Graph g1 = window_graph(500, 1);
+  const net::Graph g2 = window_graph(500, 2);
+  EXPECT_NE(graph_fingerprint(g1.csr()), graph_fingerprint(g2.csr()));
+  EXPECT_EQ(graph_fingerprint(g1.csr()), graph_fingerprint(net::CsrGraph(g1)));
+}
+
+}  // namespace
+}  // namespace skelex::core

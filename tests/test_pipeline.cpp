@@ -54,10 +54,10 @@ TEST_P(PipelineTest, EndToEndInvariants) {
 
   // Intermediate stages are all populated.
   EXPECT_FALSE(r.critical_nodes.empty());
-  EXPECT_EQ(r.voronoi.cell_count(),
+  EXPECT_EQ(r.voronoi().cell_count(),
             static_cast<int>(r.critical_nodes.size()));
-  EXPECT_GE(r.coarse.node_count(), r.skeleton.node_count() ? 1 : 0);
-  EXPECT_EQ(static_cast<int>(r.index.index.size()), g.n());
+  EXPECT_GE(r.coarse().node_count(), r.skeleton.node_count() ? 1 : 0);
+  EXPECT_EQ(static_cast<int>(r.index().index.size()), g.n());
 }
 
 INSTANTIATE_TEST_SUITE_P(
@@ -100,11 +100,11 @@ TEST(Pipeline, SkeletonNodesHaveHighIndex) {
   const SkeletonResult r = extract_skeleton(sc.graph, Params{});
   double skel_mean = 0, all_mean = 0;
   for (int v : r.skeleton.nodes()) {
-    skel_mean += r.index.index[static_cast<std::size_t>(v)];
+    skel_mean += r.index().index[static_cast<std::size_t>(v)];
   }
   skel_mean /= r.skeleton.node_count();
-  for (double x : r.index.index) all_mean += x;
-  all_mean /= static_cast<double>(r.index.index.size());
+  for (double x : r.index().index) all_mean += x;
+  all_mean /= static_cast<double>(r.index().index.size());
   EXPECT_GT(skel_mean, all_mean);
 }
 

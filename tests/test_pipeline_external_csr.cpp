@@ -1,0 +1,120 @@
+// The external-CSR pipeline front: extract_skeleton(g, csr, ...) must
+// traverse the caller's CSR snapshot (never Graph::csr()'s cached
+// rebuild) and produce results identical to the plain driver — for a
+// fresh snapshot and, the case that motivates it, for a CSR maintained
+// through apply_delta across topology churn.
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "core/fingerprint.h"
+#include "core/memo/stage_cache.h"
+#include "core/pipeline.h"
+#include "deploy/scenario.h"
+#include "geometry/shapes.h"
+#include "net/csr.h"
+
+namespace skelex::core {
+namespace {
+
+net::Graph smile_graph(std::uint64_t seed = 3) {
+  deploy::ScenarioSpec spec;
+  spec.target_nodes = 600;
+  spec.target_avg_deg = 7.0;
+  spec.seed = seed;
+  return deploy::make_udg_scenario(geom::shapes::smile(), spec).graph;
+}
+
+// One churn event, mirrored into the Graph (in-place mutators) and the
+// externally maintained CSR (apply_delta): drop one existing edge, link
+// one currently non-adjacent pair.
+void churn_once(net::Graph& g, net::CsrGraph& csr, int anchor) {
+  const int old_nb = g.neighbors(anchor)[0];
+  int new_nb = -1;
+  for (int v = 0; v < g.n(); ++v) {
+    if (v != anchor && v != old_nb && !g.has_edge(anchor, v)) {
+      new_nb = v;
+      break;
+    }
+  }
+  ASSERT_GE(new_nb, 0);
+  net::GraphDelta d;
+  d.remove_edges.push_back({anchor, old_nb});
+  d.add_edges.push_back({anchor, new_nb});
+  g.remove_edge(anchor, old_nb);
+  g.add_edge_unique(anchor, new_nb);
+  csr.apply_delta(d);
+}
+
+TEST(ExternalCsr, FreshSnapshotMatchesPlainDriver) {
+  const net::Graph g = smile_graph();
+  const net::CsrGraph csr(g);
+  const SkeletonResult plain = extract_skeleton(g, Params{});
+  const SkeletonResult ext = extract_skeleton(g, csr, Params{});
+  EXPECT_EQ(result_fingerprint(ext), result_fingerprint(plain));
+}
+
+TEST(ExternalCsr, PipelineContextUsesTheGivenCsr) {
+  const net::Graph g = smile_graph();
+  const net::CsrGraph csr(g);
+  SkeletonResult r;
+  PipelineContext ctx(g, csr, r.params, r);
+  // The context must alias the caller's snapshot, not Graph::csr().
+  EXPECT_EQ(&ctx.csr, &csr);
+  EXPECT_EQ(ctx.csr.n(), g.n());
+}
+
+TEST(ExternalCsr, DeltaMaintainedCsrMatchesPlainDriverAfterChurn) {
+  net::Graph g = smile_graph();
+  net::CsrGraph csr(g);
+  for (int round = 0; round < 5; ++round) {
+    churn_once(g, csr, 7 * round + 1);
+  }
+  // The maintained CSR describes the mutated graph exactly...
+  EXPECT_EQ(graph_fingerprint(csr), graph_fingerprint(net::CsrGraph(g)));
+  // ...and extraction over it equals extraction over a fresh rebuild.
+  const SkeletonResult ext = extract_skeleton(g, csr, Params{});
+  const SkeletonResult plain = extract_skeleton(g, Params{});
+  EXPECT_EQ(result_fingerprint(ext), result_fingerprint(plain));
+}
+
+TEST(ExternalCsr, MemoHitsAcrossEquivalentCsrViews) {
+  net::Graph g = smile_graph();
+  net::CsrGraph maintained(g);
+  churn_once(g, maintained, 4);
+
+  memo::StageCache cache;
+  const net::CsrGraph rebuilt(g);
+  const SkeletonResult cold = extract_skeleton(g, rebuilt, Params{}, &cache);
+  // Same live content, different CSR object (and possibly different
+  // internal slack layout): the stage keys must match, so the second
+  // run is fully warm and shares the cold run's stage values.
+  const SkeletonResult warm = extract_skeleton(g, maintained, Params{}, &cache);
+  EXPECT_EQ(cold.index_out.get(), warm.index_out.get());
+  EXPECT_EQ(cold.voronoi_out.get(), warm.voronoi_out.get());
+  EXPECT_EQ(cold.coarse_out.get(), warm.coarse_out.get());
+  EXPECT_EQ(result_fingerprint(cold), result_fingerprint(warm));
+}
+
+TEST(ExternalCsr, GrowthDeltaWithNewNodeMatchesRebuild) {
+  net::Graph g = smile_graph(9);
+  net::CsrGraph csr(g);
+  // A join: one new node linked to three existing ones.
+  net::GraphDelta d;
+  d.add_node_count = 1;
+  const int joiner = g.n();
+  d.add_edges = {{joiner, 1}, {joiner, 2}, {joiner, 3}};
+  g.add_node(g.position(1));
+  g.add_edge_unique(joiner, 1);
+  g.add_edge_unique(joiner, 2);
+  g.add_edge_unique(joiner, 3);
+  csr.apply_delta(d);
+
+  EXPECT_EQ(graph_fingerprint(csr), graph_fingerprint(net::CsrGraph(g)));
+  const SkeletonResult ext = extract_skeleton(g, csr, Params{});
+  const SkeletonResult plain = extract_skeleton(g, Params{});
+  EXPECT_EQ(result_fingerprint(ext), result_fingerprint(plain));
+}
+
+}  // namespace
+}  // namespace skelex::core

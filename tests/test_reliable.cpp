@@ -112,7 +112,7 @@ TEST(Reliable, FullExtractionUnderLossMatchesLossless) {
 
   // Identical stage-1/2 data makes the rest of the pipeline identical.
   EXPECT_EQ(r.critical_nodes, lossless.critical_nodes);
-  EXPECT_EQ(r.voronoi.site_of, lossless.voronoi.site_of);
+  EXPECT_EQ(r.voronoi().site_of, lossless.voronoi().site_of);
   EXPECT_EQ(r.skeleton.nodes(), lossless.skeleton.nodes());
   EXPECT_EQ(r.skeleton.edge_count(), lossless.skeleton.edge_count());
   EXPECT_EQ(r.skeleton_cycle_rank(), lossless.skeleton_cycle_rank());

@@ -1,0 +1,216 @@
+// The extraction service end to end: wire protocol roundtrips, the
+// loopback server under concurrent pipelined load (the acceptance bar:
+// >= 64 requests in flight at once with zero invariant violations), and
+// clean shutdown semantics.
+#include "svc/server.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/thread_pool.h"
+#include "svc/protocol.h"
+#include "svc/service.h"
+
+namespace skelex::svc {
+namespace {
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(Protocol, RequestFormatParsesBackIdentically) {
+  Request r;
+  r.cmd = "extract";
+  r.id = 42;
+  r.shape = "flower";
+  r.nodes = 1234;
+  r.avg_deg = 6.125;
+  r.seed = 99;
+  r.radio = "qudg:0.4:0.3";
+  r.with_trace = false;
+  r.params.k = 5;
+  r.params.prune_len = 9;
+  r.params.hole_khop_ratio = 0.6543210987654321;
+
+  const Request back = parse_request(format_request(r));
+  EXPECT_EQ(back.cmd, r.cmd);
+  EXPECT_EQ(back.id, r.id);
+  EXPECT_EQ(back.shape, r.shape);
+  EXPECT_EQ(back.nodes, r.nodes);
+  EXPECT_EQ(back.avg_deg, r.avg_deg);
+  EXPECT_EQ(back.seed, r.seed);
+  EXPECT_EQ(back.radio, r.radio);
+  EXPECT_EQ(back.with_trace, r.with_trace);
+  EXPECT_EQ(back.params.k, r.params.k);
+  EXPECT_EQ(back.params.prune_len, r.params.prune_len);
+  EXPECT_EQ(back.params.hole_khop_ratio, r.params.hole_khop_ratio);
+}
+
+TEST(Protocol, UnknownKeysAndBadNumbersThrow) {
+  EXPECT_THROW(parse_request("cmd=extract\nprunelen=9\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_request("cmd=fly\n"), std::invalid_argument);
+  EXPECT_THROW(parse_request("nodes=abc\n"), std::invalid_argument);
+  EXPECT_THROW(parse_request("no equals sign"), std::invalid_argument);
+}
+
+// --- service (no sockets) ----------------------------------------------------
+
+TEST(Service, MalformedRequestYieldsErrorResponseNotThrow) {
+  ExtractionService service;
+  const std::string resp = service.handle("cmd=extract\nbogus_key=1\n");
+  EXPECT_NE(resp.find("\"ok\": false"), std::string::npos);
+  EXPECT_NE(resp.find("bogus_key"), std::string::npos);
+}
+
+TEST(Service, UnknownShapeYieldsErrorResponse) {
+  ExtractionService service;
+  Request req;
+  req.shape = "definitely-not-a-shape";
+  const std::string resp = service.handle(req);
+  EXPECT_NE(resp.find("\"ok\": false"), std::string::npos);
+}
+
+TEST(Service, WarmResponseByteIdenticalModuloMillis) {
+  ExtractionService service;
+  Request req;
+  req.nodes = 500;
+  req.seed = 11;
+  req.with_trace = false;  // without trace there is no millis field at all
+  const std::string cold = service.handle(req);
+  const std::string warm = service.handle(req);
+  EXPECT_EQ(cold, warm);
+  EXPECT_NE(cold.find("\"ok\": true"), std::string::npos);
+  EXPECT_GT(service.cache_stats().hits, 0);
+}
+
+// --- server ------------------------------------------------------------------
+
+TEST(Server, SustainsConcurrentPipelinedLoad) {
+  ExtractionService service;
+  exec::ThreadPool pool(4);
+  Server server(service, pool);
+  ASSERT_GT(server.port(), 0);
+
+  // Two connections, each pipelining half the batch without waiting for
+  // responses — the reader threads submit everything to the pool, so
+  // in-flight climbs to the full batch size.
+  constexpr int kClients = 2;
+  constexpr int kPerClient = 80;  // 160 total, acceptance bar is 64
+  std::atomic<int> bad{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Client client(server.port());
+      for (int i = 0; i < kPerClient; ++i) {
+        Request req;
+        req.id = c * kPerClient + i;
+        req.nodes = 400;
+        req.seed = 1 + i % 8;            // several distinct graphs
+        req.params.prune_len = 6 + i % 2;  // and param variants
+        req.with_trace = false;
+        if (!client.send(req)) {
+          ++bad;
+          return;
+        }
+      }
+      std::set<long long> ids;
+      std::string resp;
+      for (int i = 0; i < kPerClient; ++i) {
+        if (!client.recv(resp) ||
+            resp.find("\"ok\": true") == std::string::npos) {
+          ++bad;
+          continue;
+        }
+        const std::size_t id_pos = resp.find("\"id\": ");
+        ids.insert(std::stoll(resp.substr(id_pos + 6)));
+      }
+      // Every pipelined request got exactly one response (ids may
+      // arrive out of order but none are lost or duplicated).
+      if (static_cast<int>(ids.size()) != kPerClient) ++bad;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(bad.load(), 0);
+  EXPECT_GE(server.max_in_flight(), 64)
+      << "load did not reach the concurrency bar";
+  server.stop();
+  EXPECT_EQ(server.in_flight(), 0) << "stop() must drain";
+}
+
+TEST(Server, ResponsesMatchDirectServiceCalls) {
+  ExtractionService direct;  // reference responses, no sockets
+  ExtractionService served;
+  exec::ThreadPool pool(2);
+  Server server(served, pool);
+  Client client(server.port());
+
+  for (int seed = 1; seed <= 3; ++seed) {
+    Request req;
+    req.id = seed;
+    req.nodes = 450;
+    req.seed = static_cast<std::uint64_t>(seed);
+    req.with_trace = false;  // responses are then fully deterministic
+    EXPECT_EQ(client.request(req), direct.handle(req));
+  }
+}
+
+TEST(Server, ClientShutdownCommandStopsServeForever) {
+  ExtractionService service;
+  exec::ThreadPool pool(2);
+  Server server(service, pool);
+  std::thread daemon([&] { server.serve_forever(); });
+
+  Client client(server.port());
+  Request req;
+  req.cmd = "shutdown";
+  req.id = 1;
+  const std::string resp = client.request(req);
+  EXPECT_NE(resp.find("\"ok\": true"), std::string::npos);
+  daemon.join();  // serve_forever returns: the shutdown drained cleanly
+  EXPECT_EQ(server.in_flight(), 0);
+}
+
+TEST(Server, StopWithIdleConnectionsDoesNotHang) {
+  ExtractionService service;
+  exec::ThreadPool pool(2);
+  Server server(service, pool);
+  Client idle1(server.port());
+  Client idle2(server.port());
+  // Give the accept thread a moment to register both connections, then
+  // stop() must nudge their blocked readers and return.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.stop();
+  SUCCEED();
+}
+
+TEST(Server, StatsOverTheWire) {
+  ExtractionService service;
+  exec::ThreadPool pool(2);
+  Server server(service, pool);
+  Client client(server.port());
+
+  Request extract;
+  extract.id = 1;
+  extract.nodes = 400;
+  extract.with_trace = false;
+  client.request(extract);
+  client.request(extract);  // warm
+
+  Request stats;
+  stats.cmd = "stats";
+  stats.id = 2;
+  const std::string resp = client.request(stats);
+  EXPECT_NE(resp.find("\"hits\": "), std::string::npos);
+  EXPECT_EQ(resp.find("\"hits\": 0,"), std::string::npos)
+      << "second extract should have produced cache hits: " << resp;
+}
+
+}  // namespace
+}  // namespace skelex::svc

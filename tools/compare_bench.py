@@ -25,13 +25,22 @@ import json
 import sys
 
 
+# Keys whose values vary run-to-run or host-to-host: wall times in any
+# form ("millis", "_ms", "speedup", "req_per_s"), runner shape
+# ("host_threads"), and cache-scheduling artifacts (hit/miss counts
+# depend on request interleaving, so "hit_rate" and the raw counters).
+_VOLATILE = {"req_per_s", "hit_rate", "host_threads", "max_in_flight",
+             "hits", "misses", "insertions", "evictions", "bytes", "entries"}
+
+
 def strip_millis(obj):
-    """Recursively drop every key containing wall-clock time."""
+    """Recursively drop every key with run-varying (non-result) content."""
     if isinstance(obj, dict):
         return {
             k: strip_millis(v)
             for k, v in obj.items()
-            if "millis" not in k and k != "speedup"
+            if "millis" not in k and "speedup" not in k
+            and not k.endswith("_ms") and k not in _VOLATILE
         }
     if isinstance(obj, list):
         return [strip_millis(v) for v in obj]

@@ -5,7 +5,7 @@
 # (tools/compare_bench.py diffs two of them).
 #
 # Usage: tools/record_bench.sh [build-dir] [out-file]
-#   build-dir defaults to ./build, out-file to ./BENCH_5.json.
+#   build-dir defaults to ./build, out-file to ./BENCH_7.json.
 #
 # Schema (append-only — add keys, never rename):
 #   {
@@ -21,14 +21,20 @@
 #                "millis_threads1",            # largest thm5 cell, serial
 #                "millis_threads8",            # same cell, 8 engine threads
 #                "speedup"}                    # threads1 / threads8
+#     "service": {"host_threads",              # CI runner core count
+#                 "req_per_s", "p50_ms", "p99_ms",
+#                 "cold_ms", "warm_ms", "warm_speedup",  # memo payoff
+#                 "hit_rate", "max_in_flight", "failures"}
 #   }
 # Wall-times vary run to run; everything else is deterministic — the
 # engine rows' transmissions/rounds are asserted equal across thread
-# counts before the summary is written.
+# counts before the summary is written. Two perf gates run here too:
+# the memo cache must make warm service requests >= 3x faster than
+# cold, and on multi-core runners the 8-thread engine must beat serial.
 set -euo pipefail
 
 build_dir=${1:-build}
-out=${2:-BENCH_5.json}
+out=${2:-BENCH_7.json}
 
 if [[ ! -x "$build_dir/bench/bench_thm5_complexity" ]]; then
   echo "error: benches not built in $build_dir (cmake --build $build_dir)" >&2
@@ -47,6 +53,10 @@ cp "$build_dir/bench_out/thm5_complexity.json" "$build_dir/bench_out/thm5_et8.js
 (cd "$build_dir" && ./bench/bench_fig4_scenarios --threads 4 > /dev/null)
 (cd "$build_dir" && ./bench/bench_thm5_complexity --threads 4 --telemetry > /dev/null)
 
+# The extraction service under load: sustained req/s, latency
+# percentiles, and the memo cache's cold-vs-warm payoff.
+(cd "$build_dir" && ./bench/bench_service --threads 4 --clients 4 --rounds 10)
+
 python3 - "$build_dir" "$out" <<'EOF'
 import json
 import os
@@ -58,6 +68,7 @@ fig4 = json.load(open(f"{build_dir}/bench_out/fig4_scenarios.json"))
 thm5 = json.load(open(f"{build_dir}/bench_out/thm5_complexity.json"))
 et1 = json.load(open(f"{build_dir}/bench_out/thm5_et1.json"))
 et8 = json.load(open(f"{build_dir}/bench_out/thm5_et8.json"))
+svc = json.load(open(f"{build_dir}/bench_out/service_load.json"))
 
 def counters(report):
     out = {}
@@ -113,7 +124,35 @@ summary = {
         "millis_threads8": m8,
         "speedup": round(m1 / m8, 3) if m8 else None,
     },
+    "service": {
+        "host_threads": os.cpu_count(),
+        "pool_threads": svc["pool_threads"],
+        "clients": svc["clients"],
+        "requests": svc["requests"],
+        "failures": svc["failures"],
+        "max_in_flight": svc["max_in_flight"],
+        "req_per_s": round(svc["req_per_s"], 1),
+        "p50_ms": round(svc["p50_ms"], 3),
+        "p99_ms": round(svc["p99_ms"], 3),
+        "cold_ms": round(svc["cold_ms"], 3),
+        "warm_ms": round(svc["warm_ms"], 3),
+        "warm_speedup": round(svc["warm_speedup"], 2),
+        "hit_rate": round(svc["hit_rate"], 4),
+    },
 }
+
+# Perf gates. The memo cache must pay for itself: a fully warm service
+# request >= 3x faster than the cold one (sequential, like-for-like).
+assert svc["failures"] == 0, f"service requests failed: {svc['failures']}"
+assert svc["warm_speedup"] >= 3.0, (
+    f"memo cache payoff too small: warm_speedup {svc['warm_speedup']:.2f}x"
+    " < 3x")
+# On any multi-core runner, the 8-thread engine must beat serial on the
+# largest thm5 cell (the intra-round parallelism contract).
+if (os.cpu_count() or 1) >= 2:
+    assert m8 < m1, (
+        f"engine threads=8 ({m8} ms) not faster than serial ({m1} ms) "
+        f"on a {os.cpu_count()}-core runner")
 
 with open(out, "w") as f:
     json.dump(summary, f, indent=1)

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Smoke-test the extraction daemon over its real wire protocol.
+
+Usage: tools/service_smoke.py path/to/skelex_served
+
+Starts the daemon on an ephemeral port and checks the service contract
+end to end:
+
+  * ping round-trips;
+  * a cold and a warm extract of the SAME request are byte-identical
+    after stripping the wall-time "millis" fields — the memo-determinism
+    gate: a cache hit must change nothing but latency;
+  * a request differing only in a stage-4 parameter still matches the
+    cold request's stage-1 trace facts (shared upstream stages);
+  * cache stats report hits after the warm request;
+  * malformed requests produce ok=false errors, not dropped connections;
+  * cmd=shutdown makes the daemon drain and exit 0.
+"""
+import json
+import re
+import socket
+import struct
+import subprocess
+import sys
+
+
+def send_frame(sock, payload: str):
+    data = payload.encode()
+    sock.sendall(struct.pack("<I", len(data)) + data)
+
+
+def recv_frame(sock) -> str:
+    hdr = b""
+    while len(hdr) < 4:
+        chunk = sock.recv(4 - len(hdr))
+        if not chunk:
+            raise EOFError("connection closed mid-header")
+        hdr += chunk
+    (n,) = struct.unpack("<I", hdr)
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise EOFError("connection closed mid-frame")
+        buf += chunk
+    return buf.decode()
+
+
+def strip_millis(text: str) -> str:
+    return re.sub(r'"millis": [0-9.eE+-]+', '"millis": _', text)
+
+
+def fail(msg: str):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    daemon = subprocess.Popen(
+        [sys.argv[1], "--threads", "2"],
+        stdout=subprocess.PIPE, text=True)
+    line = daemon.stdout.readline()
+    m = re.match(r"listening on 127\.0\.0\.1:(\d+)", line)
+    if not m:
+        daemon.kill()
+        fail(f"no listening line, got: {line!r}")
+    port = int(m.group(1))
+
+    sock = socket.create_connection(("127.0.0.1", port))
+    try:
+        # ping
+        send_frame(sock, "cmd=ping\nid=1\n")
+        pong = json.loads(recv_frame(sock))
+        assert pong == {"id": 1, "ok": True, "cmd": "ping"}, pong
+
+        # memo-determinism gate: cold == warm modulo millis
+        extract = "cmd=extract\nid=2\nshape=window\nnodes=800\nseed=3\n"
+        send_frame(sock, extract)
+        cold = recv_frame(sock)
+        send_frame(sock, extract)
+        warm = recv_frame(sock)
+        if strip_millis(cold) != strip_millis(warm):
+            print("cold:", strip_millis(cold))
+            print("warm:", strip_millis(warm))
+            fail("warm response differs from cold beyond wall time")
+        cold_obj = json.loads(cold)
+        assert cold_obj["ok"] and cold_obj["fingerprint"].startswith("0x")
+
+        # a stage-4-only variant shares stages 1-3: same stage-1 trace facts
+        send_frame(sock, extract.replace("id=2", "id=3") + "prune_len=9\n")
+        variant = json.loads(recv_frame(sock))
+        assert variant["ok"], variant
+        cold_index = next(t for t in cold_obj["trace"] if t["stage"] == "index")
+        var_index = next(t for t in variant["trace"] if t["stage"] == "index")
+        assert (cold_index["nodes"], cold_index["messages"]) == \
+               (var_index["nodes"], var_index["messages"]), (cold_index,
+                                                             var_index)
+
+        # stats show the warm hits
+        send_frame(sock, "cmd=stats\nid=4\n")
+        stats = json.loads(recv_frame(sock))
+        assert stats["ok"] and stats["hits"] > 0, stats
+
+        # malformed request -> structured error, connection stays up
+        send_frame(sock, "cmd=extract\nid=5\nbogus=1\n")
+        err = json.loads(recv_frame(sock))
+        assert not err["ok"] and "bogus" in err["error"], err
+
+        # clean shutdown
+        send_frame(sock, "cmd=shutdown\nid=6\n")
+        bye = json.loads(recv_frame(sock))
+        assert bye["ok"], bye
+    finally:
+        sock.close()
+
+    rc = daemon.wait(timeout=30)
+    if rc != 0:
+        fail(f"daemon exited {rc} after shutdown")
+    print("OK: service smoke + memo-determinism gate passed "
+          f"(port {port}, fingerprint {cold_obj['fingerprint']})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

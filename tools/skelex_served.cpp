@@ -1,0 +1,73 @@
+// skelex_served — the long-lived extraction daemon.
+//
+//   skelex_served [--port N] [--threads N] [--cache-mb N]
+//
+// Listens on 127.0.0.1 (port 0 = pick an ephemeral port), prints one
+// "listening on 127.0.0.1:<port>" line to stdout (scripts parse it),
+// then serves until a client sends cmd=shutdown. See docs/service.md
+// for the wire protocol.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "exec/thread_pool.h"
+#include "svc/server.h"
+
+namespace {
+
+long long parse_arg(int argc, char** argv, int& i, const char* flag) {
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "%s needs a value\n", flag);
+    std::exit(2);
+  }
+  char* end = nullptr;
+  const long long v = std::strtoll(argv[++i], &end, 10);
+  if (end == argv[i] || *end != '\0' || v < 0) {
+    std::fprintf(stderr, "bad value for %s: %s\n", flag, argv[i]);
+    std::exit(2);
+  }
+  return v;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  int threads = 0;  // 0: default_thread_count()
+  long long cache_mb = 256;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0) {
+      port = static_cast<int>(parse_arg(argc, argv, i, "--port"));
+    } else if (std::strcmp(argv[i], "--threads") == 0) {
+      threads = static_cast<int>(parse_arg(argc, argv, i, "--threads"));
+    } else if (std::strcmp(argv[i], "--cache-mb") == 0) {
+      cache_mb = parse_arg(argc, argv, i, "--cache-mb");
+    } else {
+      std::fprintf(stderr,
+                   "usage: skelex_served [--port N] [--threads N] "
+                   "[--cache-mb N]\n");
+      return 2;
+    }
+  }
+  if (port > 65535) {
+    std::fprintf(stderr, "bad port %d\n", port);
+    return 2;
+  }
+
+  skelex::svc::ExtractionService::Options opt;
+  opt.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  skelex::svc::ExtractionService service(opt);
+  skelex::exec::ThreadPool pool(threads);
+  try {
+    skelex::svc::Server server(service, pool,
+                               static_cast<std::uint16_t>(port));
+    std::printf("listening on 127.0.0.1:%u\n", server.port());
+    std::fflush(stdout);  // scripts wait for this line
+    server.serve_forever();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "skelex_served: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
