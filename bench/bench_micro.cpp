@@ -12,6 +12,7 @@
 #include "core/pipeline.h"
 #include "core/protocols.h"
 #include "core/voronoi.h"
+#include "svc/service.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "deploy/scenario.h"
@@ -223,6 +224,26 @@ void BM_DistributedRoundSeries(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * sc.graph.n());
 }
 BENCHMARK(BM_DistributedRoundSeries)->Args({2000, 0})->Args({2000, 1});
+
+// Request-trace overhead on the serving path: a fully warm
+// ExtractionService::handle with span recording off (Arg 0) vs on
+// (Arg 1). The delta is what a traced request pays over tier-only
+// accounting — the <= 2% serving-path budget.
+void BM_ServiceWarmHandle(benchmark::State& state) {
+  svc::ExtractionService::Options opt;
+  opt.trace_requests = state.range(0) != 0;
+  svc::ExtractionService service(opt);
+  svc::Request req;
+  req.nodes = 1000;
+  req.with_trace = false;
+  req.id = 1;
+  benchmark::DoNotOptimize(service.handle(req));  // warm the cache
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(service.handle(req));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ServiceWarmHandle)->Arg(0)->Arg(1);
 
 // --- Engine round loop -------------------------------------------------------
 // Fixed per-round traffic that never quiesces: every node broadcasts a

@@ -14,7 +14,12 @@
 // numbers into BENCH_<N>.json, where the acceptance gate asserts warm
 // latency >= 3x below cold.
 //
+// The report also embeds the process's metric registry (JSON snapshot
+// plus the Prometheus exposition text) so a recorded bench carries the
+// serving-path counters alongside the latency numbers.
+//
 //   bench_service [--threads N] [--clients N] [--rounds N] [--nodes N]
+//                 [--request-trace 0|1]
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -26,6 +31,8 @@
 
 #include "exec/thread_pool.h"
 #include "io/json.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "svc/protocol.h"
 #include "svc/server.h"
 #include "svc/service.h"
@@ -81,8 +88,12 @@ int main(int argc, char** argv) {
   const int clients = arg_int(argc, argv, "--clients", 4);
   const int rounds = arg_int(argc, argv, "--rounds", 20);
   const int nodes = arg_int(argc, argv, "--nodes", 1000);
+  const bool trace_requests =
+      arg_int(argc, argv, "--request-trace", 1) != 0;
 
-  skelex::svc::ExtractionService service;
+  skelex::svc::ExtractionService::Options opt;
+  opt.trace_requests = trace_requests;
+  skelex::svc::ExtractionService service(opt);
   skelex::exec::ThreadPool pool(threads);
   skelex::svc::Server server(service, pool);
   const std::vector<Request> workloads = make_workloads(nodes);
@@ -199,6 +210,12 @@ int main(int argc, char** argv) {
   j.key("bytes").value(static_cast<long long>(st.bytes));
   j.key("entries").value(static_cast<long long>(st.entries));
   j.end_object();
+  j.key("request_trace").value(trace_requests);
+  const skelex::obs::MetricSnapshot snap =
+      skelex::obs::Registry::global().snapshot();
+  j.key("metrics");
+  snap.write_json(j);
+  j.key("exposition").value(skelex::obs::render_prometheus(snap));
   j.end_object();
   j.save("bench_out/service_load.json");
 

@@ -307,6 +307,11 @@ RepairOutcome SkeletonMaintainer::advance(const sim::ChurnScript& script,
   if (pending_events_ > 0) {
     ++staleness_;
     stats_.max_staleness = std::max(stats_.max_staleness, staleness_);
+    // Round-count fact, not a wall time: safe under the registry's
+    // determinism contract, and scrapeable while a daemon churns.
+    static const obs::Gauge stale_peak =
+        obs::Registry::global().gauge("maintain_staleness_peak");
+    stale_peak.set(static_cast<double>(staleness_));
     const bool watchdog = staleness_ >= opt_.staleness_bound;
     if (watchdog || staleness_ >= opt_.repair_interval) {
       if (watchdog) ++stats_.watchdog_forced;

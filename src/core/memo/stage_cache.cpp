@@ -1,8 +1,27 @@
 #include "core/memo/stage_cache.h"
 
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/trace.h"
 
 namespace skelex::core::memo {
+
+namespace {
+
+// Inside a served request, record a cache operation as a child span of
+// the request's tree ("memo.hit:index", "memo.miss:scenario",
+// "memo.insert:voronoi"). Outside a request this is a no-op.
+void request_span(obs::RequestContext* ctx, const char* what,
+                  const char* stage, double start_us) {
+  if (ctx == nullptr || !ctx->recording()) return;
+  std::string name = "memo.";
+  name += what;
+  name += ':';
+  name += stage;
+  ctx->add_complete_span(name, "memo", start_us, obs::Tracer::now_us());
+}
+
+}  // namespace
 
 StageCache::StageCache() : StageCache(Options{}) {}
 
@@ -13,6 +32,8 @@ StageCache::StageCache(Options opt) : opt_(opt) {
 std::shared_ptr<const void> StageCache::find_erased(std::uint64_t key,
                                                     const char* stage,
                                                     TraceFacts* facts) {
+  obs::RequestContext* ctx = obs::RequestContext::current();
+  const double t0 = ctx != nullptr ? obs::Tracer::now_us() : 0.0;
   std::shared_ptr<const void> value;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -27,6 +48,12 @@ std::shared_ptr<const void> StageCache::find_erased(std::uint64_t key,
     }
   }
   count(stage, value ? "memo_hits" : "memo_misses");
+  if (ctx != nullptr) {
+    // Finds (hits AND misses) feed the request's cache-tier accounting
+    // that labels the per-request latency histograms; inserts do not.
+    ctx->note_cache(stage, value != nullptr);
+    request_span(ctx, value ? "hit" : "miss", stage, t0);
+  }
   return value;
 }
 
@@ -34,6 +61,8 @@ std::shared_ptr<const void> StageCache::insert_erased(
     std::uint64_t key, const char* stage, std::shared_ptr<const void> value,
     std::size_t bytes, TraceFacts facts) {
   if (value == nullptr) return value;
+  obs::RequestContext* ctx = obs::RequestContext::current();
+  const double t0 = ctx != nullptr ? obs::Tracer::now_us() : 0.0;
   bool inserted = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -56,6 +85,7 @@ std::shared_ptr<const void> StageCache::insert_erased(
     stats_.entries = lru_.size();
   }
   if (inserted) count(stage, "memo_insertions");
+  request_span(ctx, "insert", stage, t0);
   return value;
 }
 

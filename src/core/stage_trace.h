@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
 #include "obs/trace.h"
 
 namespace skelex::core {
@@ -71,7 +72,15 @@ class ScopedStage {
       : trace_(trace),
         name_(std::move(name)),
         cat_(cat),
-        start_us_(obs::Tracer::now_us()) {}
+        start_us_(obs::Tracer::now_us()) {
+    // Inside a served request (obs/request_trace.h) the stage also
+    // becomes a child span of the request's tree; outside one this is a
+    // single thread-local read.
+    if (obs::RequestContext* ctx = obs::RequestContext::current()) {
+      ctx_ = ctx;
+      ctx_span_ = ctx->begin_span(name_, cat_);
+    }
+  }
 
   ScopedStage(const ScopedStage&) = delete;
   ScopedStage& operator=(const ScopedStage&) = delete;
@@ -81,6 +90,11 @@ class ScopedStage {
 
   ~ScopedStage() {
     const double dur_us = obs::Tracer::now_us() - start_us_;
+    if (ctx_ != nullptr) {
+      ctx_->span_arg(ctx_span_, "nodes", nodes_);
+      ctx_->span_arg(ctx_span_, "messages", messages_);
+      ctx_->end_span(ctx_span_);
+    }
     if (obs::TraceSink* sink = obs::Tracer::current()) {
       obs::TraceEvent e;
       e.name = name_;
@@ -105,6 +119,8 @@ class ScopedStage {
   std::string name_;
   const char* cat_;
   double start_us_;
+  obs::RequestContext* ctx_ = nullptr;
+  int ctx_span_ = -1;
   int nodes_ = 0;
   long long messages_ = 0;
 };

@@ -6,6 +6,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -40,9 +41,29 @@ ThreadPool::~ThreadPool() {
   for (std::thread& w : workers_) w.join();
 }
 
+namespace {
+
+// Request-count-invariant pool instruments: submit()/completion of
+// fire-and-forget tasks only. parallel_* chunks never touch these — a
+// chunk count depends on the thread count, a request count does not.
+const obs::Counter& pool_submitted() {
+  static const obs::Counter c =
+      obs::Registry::global().counter("exec_pool_submitted_total");
+  return c;
+}
+
+const obs::Counter& pool_completed() {
+  static const obs::Counter c =
+      obs::Registry::global().counter("exec_pool_completed_total");
+  return c;
+}
+
+}  // namespace
+
 void ThreadPool::run_task(Task task, std::unique_lock<std::mutex>& lock) {
   lock.unlock();
   task.fn();
+  if (task.group == nullptr) pool_completed().inc();
   lock.lock();
   if (task.group != nullptr && --task.group->remaining == 0) {
     task.group->cv.notify_all();
@@ -63,22 +84,43 @@ void ThreadPool::worker_loop() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  pool_submitted().inc();
   if (workers_.empty()) {
     // No workers to hand off to: run inline (documented 1-thread
     // semantics; the service on a 1-core host serializes requests).
     task();
+    pool_completed().inc();
     return;
   }
-  {
-    auto& reg = obs::Registry::global();
-    static const obs::Counter submits = reg.counter("exec_submits");
-    submits.inc();
-  }
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(Task{std::move(task), nullptr});
+    depth = queue_.size();
+  }
+  {
+    auto& reg = obs::Registry::global();
+    static const obs::Gauge peak = reg.gauge("exec_pool_queue_depth_peak");
+    peak.set(static_cast<double>(depth));
+  }
+  const int warn = queue_warn_depth_.load(std::memory_order_relaxed);
+  if (warn > 0 && depth >= static_cast<std::size_t>(warn)) {
+    // The logger rate-limits per event name, so a sustained backlog
+    // costs a token-bucket check, not a log line per submit.
+    obs::log_warn("pool_queue_deep",
+                  {{"depth", static_cast<std::int64_t>(depth)},
+                   {"limit", static_cast<std::int64_t>(warn)}});
   }
   work_cv_.notify_one();
+}
+
+void ThreadPool::set_queue_warn_depth(int depth) {
+  queue_warn_depth_.store(depth, std::memory_order_relaxed);
+}
+
+std::size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
 }
 
 void ThreadPool::parallel_for(int n, const std::function<void(int)>& fn) {

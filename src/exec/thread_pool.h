@@ -28,6 +28,7 @@
 // inline on the calling thread (no workers are spawned).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <exception>
@@ -78,7 +79,21 @@ class ThreadPool {
   // escaping it terminates (there is nowhere to rethrow). On a 1-thread
   // pool (no workers) the task runs inline before returning. The
   // destructor drains all submitted tasks before joining.
+  //
+  // Each submit records exec_pool_submitted_total / (on completion)
+  // exec_pool_completed_total and the exec_pool_queue_depth_peak
+  // watermark. These count REQUESTS, not chunks, so they stay
+  // thread-count-invariant; parallel_for/parallel_chunks work is
+  // deliberately excluded from completion counting.
   void submit(std::function<void()> task);
+
+  // Queue depth (fire-and-forget + pending chunks) at which submit()
+  // emits a rate-limited "pool_queue_deep" warning log. <= 0 disables.
+  void set_queue_warn_depth(int depth);
+
+  // Tasks currently waiting in the shared queue (diagnostic; racy by
+  // nature — by the time the caller looks, workers may have drained it).
+  std::size_t queue_depth() const;
 
  private:
   // Completion tracker for one blocking invocation. Lives on the
@@ -98,10 +113,11 @@ class ThreadPool {
 
   int threads_ = 1;
   std::vector<std::thread> workers_;
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable work_cv_;
   std::deque<Task> queue_;
   bool stop_ = false;
+  std::atomic<int> queue_warn_depth_{64};
 };
 
 // Global pool used by the bench sweep runner and the extraction service;

@@ -1,0 +1,172 @@
+#include "obs/export.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdint>
+
+namespace skelex::obs {
+
+namespace {
+
+void append_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "NaN";
+    return;
+  }
+  if (std::isinf(v)) {
+    out += v > 0 ? "+Inf" : "-Inf";
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+void append_int(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof buf, v);
+  out.append(buf, res.ptr);
+}
+
+// "{k1="v1",k2="v2"}" with exposition escaping; "" when no labels. An
+// extra label ("le") is appended when `le` is non-null.
+std::string label_block(const Labels& labels, const std::string* le) {
+  if (labels.empty() && le == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += prometheus_escape(v);
+    out += '"';
+  }
+  if (le != nullptr) {
+    if (!first) out += ',';
+    out += "le=\"";
+    out += *le;  // bound strings are numeric / "+Inf": nothing to escape
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const char* kind_name(char kind) {
+  switch (kind) {
+    case 'c': return "counter";
+    case 'g': return "gauge";
+    case 'h': return "histogram";
+    default: return "untyped";
+  }
+}
+
+}  // namespace
+
+Labels parse_canonical_labels(std::string_view canon) {
+  Labels out;
+  std::string key, value;
+  std::string* cur = &key;
+  for (std::size_t i = 0; i < canon.size(); ++i) {
+    const char c = canon[i];
+    if (c == '\\' && i + 1 < canon.size()) {
+      cur->push_back(canon[++i]);
+    } else if (c == '=' && cur == &key) {
+      cur = &value;
+    } else if (c == ',' && cur == &value) {
+      out.emplace_back(std::move(key), std::move(value));
+      key.clear();
+      value.clear();
+      cur = &key;
+    } else {
+      cur->push_back(c);
+    }
+  }
+  if (!key.empty() || cur == &value) {
+    out.emplace_back(std::move(key), std::move(value));
+  }
+  return out;
+}
+
+std::string prometheus_escape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string render_prometheus(const MetricSnapshot& snap) {
+  std::string out;
+  out.reserve(snap.entries.size() * 64);
+  const std::string* prev_name = nullptr;
+  for (const MetricSnapshot::Entry& e : snap.entries) {
+    // An unset high-watermark gauge has no observation to report; a
+    // family whose every label set is unset emits nothing (the TYPE
+    // header is only written when a sample follows in family order).
+    if (e.kind == 'g' && !e.gauge_set) continue;
+    if (prev_name == nullptr || *prev_name != e.name) {
+      out += "# TYPE ";
+      out += e.name;
+      out += ' ';
+      out += kind_name(e.kind);
+      out += '\n';
+      prev_name = &e.name;
+    }
+    const Labels labels = parse_canonical_labels(e.labels);
+    switch (e.kind) {
+      case 'c': {
+        out += e.name;
+        out += label_block(labels, nullptr);
+        out += ' ';
+        append_int(out, e.value);
+        out += '\n';
+        break;
+      }
+      case 'g': {
+        out += e.name;
+        out += label_block(labels, nullptr);
+        out += ' ';
+        append_double(out, e.gauge);
+        out += '\n';
+        break;
+      }
+      case 'h': {
+        std::int64_t cum = 0;
+        for (std::size_t b = 0; b < e.buckets.size(); ++b) {
+          cum += e.buckets[b];
+          std::string le;
+          if (b < e.bounds.size()) {
+            append_double(le, e.bounds[b]);
+          } else {
+            le = "+Inf";
+          }
+          out += e.name;
+          out += "_bucket";
+          out += label_block(labels, &le);
+          out += ' ';
+          append_int(out, cum);
+          out += '\n';
+        }
+        out += e.name;
+        out += "_count";
+        out += label_block(labels, nullptr);
+        out += ' ';
+        append_int(out, e.count);
+        out += '\n';
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace skelex::obs

@@ -1,0 +1,52 @@
+// skelex/obs/export.h
+//
+// Metrics exposition: render a merged MetricSnapshot as Prometheus /
+// OpenMetrics text, the format every scraping stack (Prometheus,
+// VictoriaMetrics, Grafana Agent, promtool) ingests natively.
+//
+//   # TYPE svc_request_ms histogram
+//   svc_request_ms_bucket{cmd="extract",tier="cold",le="1"} 0
+//   ...
+//   svc_request_ms_bucket{cmd="extract",tier="cold",le="+Inf"} 12
+//   svc_request_ms_count{cmd="extract",tier="cold"} 12
+//
+// Mapping from the registry's model (obs/metrics.h):
+//   * counters  → one sample per label set;
+//   * gauges    → high-watermark value; label sets never set() are
+//     skipped (a watermark with no observations has no meaningful 0);
+//   * histograms → CUMULATIVE `_bucket` samples ("le" upper bounds, the
+//     registry's per-bucket counts summed left to right), a terminal
+//     le="+Inf" bucket, and a `_count` sample equal to it. No `_sum` is
+//     emitted — the registry deliberately does not accumulate values
+//     (obs/metrics.h's determinism contract), and a fabricated sum would
+//     be worse than an absent one.
+//
+// Label values are escaped per the text-format spec (backslash, quote,
+// newline); the canonical "k=v,k2=v2" label strings coming out of the
+// snapshot are parsed with parse_canonical_labels, which understands
+// canonical_labels' backslash escapes for ','/'='/'\' inside values.
+//
+// tools/check_exposition.py lints a live daemon's cmd=metrics output
+// against this grammar in CI.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace skelex::obs {
+
+// Inverse of canonical_labels: splits a canonical label string back
+// into (key, value) pairs, honoring backslash escapes.
+Labels parse_canonical_labels(std::string_view canon);
+
+// Escapes a label VALUE for the exposition format: \ → \\, " → \",
+// newline → \n.
+std::string prometheus_escape(std::string_view value);
+
+// Renders the full snapshot. Deterministic byte-for-byte given equal
+// snapshots (entries are already sorted by name, then labels).
+std::string render_prometheus(const MetricSnapshot& snap);
+
+}  // namespace skelex::obs

@@ -1,0 +1,150 @@
+#include "obs/log.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "io/json.h"
+#include "obs/request_trace.h"
+#include "obs/trace.h"
+
+namespace skelex::obs {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kError: return "error";
+  }
+  return "info";
+}
+
+bool parse_log_level(std::string_view name, LogLevel* out) {
+  if (name == "debug") *out = LogLevel::kDebug;
+  else if (name == "info") *out = LogLevel::kInfo;
+  else if (name == "warn") *out = LogLevel::kWarn;
+  else if (name == "error") *out = LogLevel::kError;
+  else return false;
+  return true;
+}
+
+Logger::Logger() = default;
+
+Logger& Logger::global() {
+  static Logger* logger = new Logger();  // mirrors Registry::global():
+  return *logger;                        // never destroyed, usable at exit
+}
+
+void Logger::set_min_level(LogLevel level) {
+  std::lock_guard<std::mutex> lock(mu_);
+  min_level_ = level;
+}
+
+LogLevel Logger::min_level() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_level_;
+}
+
+void Logger::set_sink(std::function<void(std::string_view)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::set_rate_limit(double per_sec, int burst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  per_sec_ = per_sec;
+  burst_ = burst > 0 ? burst : 1;
+  buckets_.clear();
+}
+
+void Logger::set_clock_for_test(std::function<double()> now_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  now_us_ = std::move(now_us);
+  buckets_.clear();
+}
+
+bool Logger::log(LogLevel level, std::string_view event, LogFields fields) {
+  // The ambient request id is read outside the lock (thread-local).
+  const RequestContext* ctx = RequestContext::current();
+  const std::int64_t wall_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (level < min_level_) return false;
+
+  std::int64_t suppressed_before = 0;
+  if (per_sec_ > 0) {
+    const double now = now_us_ ? now_us_() : Tracer::now_us();
+    auto it = buckets_.find(event);
+    if (it == buckets_.end()) {
+      it = buckets_.emplace(std::string(event), Bucket{}).first;
+    }
+    Bucket& b = it->second;
+    if (!b.primed) {
+      b.tokens = static_cast<double>(burst_);
+      b.last_us = now;
+      b.primed = true;
+    } else {
+      b.tokens += (now - b.last_us) * 1e-6 * per_sec_;
+      if (b.tokens > static_cast<double>(burst_)) {
+        b.tokens = static_cast<double>(burst_);
+      }
+      b.last_us = now;
+    }
+    if (b.tokens < 1.0) {
+      ++b.suppressed;
+      ++counters_.suppressed;
+      return false;
+    }
+    b.tokens -= 1.0;
+    suppressed_before = b.suppressed;
+    b.suppressed = 0;
+  }
+
+  io::JsonWriter j;
+  j.begin_object();
+  j.key("ts_ms").value(static_cast<long long>(wall_ms));
+  j.key("level").value(log_level_name(level));
+  j.key("event").value(event);
+  if (ctx != nullptr) {
+    j.key("req").value(static_cast<long long>(ctx->id()));
+  }
+  if (suppressed_before > 0) {
+    j.key("suppressed").value(static_cast<long long>(suppressed_before));
+  }
+  for (const auto& [key, value] : fields) {
+    j.key(key);
+    switch (value.kind_) {
+      case LogValue::Kind::kInt:
+        j.value(static_cast<long long>(value.i_));
+        break;
+      case LogValue::Kind::kDouble:
+        j.value(value.d_);
+        break;
+      case LogValue::Kind::kBool:
+        j.value(value.b_);
+        break;
+      case LogValue::Kind::kString:
+        j.value(value.s_);
+        break;
+    }
+  }
+  j.end_object();
+
+  ++counters_.emitted;
+  if (sink_) {
+    sink_(j.str());
+  } else {
+    std::fprintf(stderr, "%s\n", j.str().c_str());
+  }
+  return true;
+}
+
+Logger::Counters Logger::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+}  // namespace skelex::obs

@@ -1,0 +1,147 @@
+// skelex/obs/log.h
+//
+// Leveled, structured, rate-limited logging for the serving path: one
+// JSON object per line, machine-parsable, stable key order
+// (ts_ms, level, event, req, then caller fields in call order).
+//
+//   obs::log_warn("pool_queue_deep", {{"depth", depth}, {"limit", limit}});
+//   → {"ts_ms": 1754650000123, "level": "warn", "event": "pool_queue_deep",
+//      "req": 42, "depth": 129, "limit": 128}
+//
+// The "req" field is stamped automatically from the ambient
+// obs::RequestContext (request_trace.h) whenever the log call happens
+// inside a request — correlating daemon logs with cmd=trace span trees
+// and response ids without any plumbing at the call sites.
+//
+// Rate limiting is per EVENT name (not global): each event gets a token
+// bucket (default 10/s, burst 20). A suppressed burst is not silent —
+// the next emitted line of that event carries a "suppressed": N field.
+// This is what makes it safe to log from per-request and per-frame
+// paths: a misbehaving client degrades the log to a sampled stream, not
+// a disk-filling firehose.
+//
+// Thread safety: one mutex per Logger around formatting + sink. Logging
+// is deliberately off the hot path (the service logs errors, slow
+// requests, and lifecycle events — not per-request chatter), so a mutex
+// is the right simplicity/perf trade.
+//
+// The default sink writes to stderr. Tests install a capturing sink and
+// an injected rate-limit clock (set_clock_for_test) to make suppression
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <initializer_list>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace skelex::obs {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* log_level_name(LogLevel level);
+// "debug" | "info" | "warn" | "error" → level; false on anything else.
+bool parse_log_level(std::string_view name, LogLevel* out);
+
+// Small value variant for structured fields.
+class LogValue {
+ public:
+  // Enumerate the fundamental integer types (int64_t/uint64_t are
+  // aliases of two of these, platform-dependently — listing typedefs
+  // alongside fundamentals double-declares an overload).
+  LogValue(long long v) : kind_(Kind::kInt), i_(static_cast<std::int64_t>(v)) {}
+  LogValue(long v) : LogValue(static_cast<long long>(v)) {}
+  LogValue(int v) : LogValue(static_cast<long long>(v)) {}
+  LogValue(unsigned long long v) : LogValue(static_cast<long long>(v)) {}
+  LogValue(unsigned long v) : LogValue(static_cast<long long>(v)) {}
+  LogValue(unsigned v) : LogValue(static_cast<long long>(v)) {}
+  LogValue(double v) : kind_(Kind::kDouble), d_(v) {}
+  LogValue(bool v) : kind_(Kind::kBool), b_(v) {}
+  LogValue(std::string_view v) : kind_(Kind::kString), s_(v) {}
+  LogValue(const char* v) : LogValue(std::string_view(v)) {}
+  LogValue(const std::string& v) : LogValue(std::string_view(v)) {}
+
+ private:
+  friend class Logger;
+  enum class Kind { kInt, kDouble, kBool, kString };
+  Kind kind_;
+  std::int64_t i_ = 0;
+  double d_ = 0;
+  bool b_ = false;
+  std::string s_;
+};
+
+using LogFields = std::initializer_list<std::pair<const char*, LogValue>>;
+
+class Logger {
+ public:
+  Logger();
+
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  // Process-wide logger the built-in instrumentation writes to.
+  static Logger& global();
+
+  void set_min_level(LogLevel level);
+  LogLevel min_level() const;
+
+  // nullptr restores the default stderr sink. The sink receives one
+  // complete JSON line (no trailing newline) per emitted record.
+  void set_sink(std::function<void(std::string_view)> sink);
+
+  // Per-event token bucket: sustained `per_sec` lines/s, bursts up to
+  // `burst`. per_sec <= 0 disables rate limiting.
+  void set_rate_limit(double per_sec, int burst);
+
+  // Test hook: microsecond clock driving the rate limiter (nullptr
+  // restores the real clock). Timestamps stay on the wall clock.
+  void set_clock_for_test(std::function<double()> now_us);
+
+  // Emits one record; returns false when filtered (level) or suppressed
+  // (rate limit).
+  bool log(LogLevel level, std::string_view event, LogFields fields = {});
+
+  struct Counters {
+    std::int64_t emitted = 0;
+    std::int64_t suppressed = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    double last_us = 0;
+    std::int64_t suppressed = 0;
+    bool primed = false;
+  };
+
+  mutable std::mutex mu_;
+  LogLevel min_level_ = LogLevel::kInfo;
+  std::function<void(std::string_view)> sink_;
+  std::function<double()> now_us_;
+  double per_sec_ = 10.0;
+  int burst_ = 20;
+  std::map<std::string, Bucket, std::less<>> buckets_;
+  Counters counters_;
+};
+
+// Convenience wrappers over Logger::global().
+inline bool log_debug(std::string_view event, LogFields fields = {}) {
+  return Logger::global().log(LogLevel::kDebug, event, fields);
+}
+inline bool log_info(std::string_view event, LogFields fields = {}) {
+  return Logger::global().log(LogLevel::kInfo, event, fields);
+}
+inline bool log_warn(std::string_view event, LogFields fields = {}) {
+  return Logger::global().log(LogLevel::kWarn, event, fields);
+}
+inline bool log_error(std::string_view event, LogFields fields = {}) {
+  return Logger::global().log(LogLevel::kError, event, fields);
+}
+
+}  // namespace skelex::obs

@@ -11,11 +11,21 @@ namespace skelex::obs {
 std::string canonical_labels(Labels labels) {
   std::sort(labels.begin(), labels.end());
   std::string out;
+  // Structural characters inside keys/values are backslash-escaped so
+  // the canonical string parses back unambiguously
+  // (obs/export.h's parse_canonical_labels) — a label value carrying
+  // ','/'=' must survive the round trip into the exposition format.
+  const auto append_escaped = [&out](const std::string& s) {
+    for (char c : s) {
+      if (c == '\\' || c == ',' || c == '=') out += '\\';
+      out += c;
+    }
+  };
   for (const auto& [k, v] : labels) {
     if (!out.empty()) out += ',';
-    out += k;
+    append_escaped(k);
     out += '=';
-    out += v;
+    append_escaped(v);
   }
   return out;
 }

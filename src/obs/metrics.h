@@ -38,8 +38,10 @@ class JsonWriter;
 
 namespace skelex::obs {
 
-// Label sets render canonically as "k1=v1,k2=v2" sorted by key; keys
-// and values must not contain ',' or '='.
+// Label sets render canonically as "k1=v1,k2=v2" sorted by key.
+// Structural characters (',' '=' '\') inside keys or values are
+// backslash-escaped, so any value round-trips through the canonical
+// string and back out via obs/export.h's parse_canonical_labels.
 using Labels = std::vector<std::pair<std::string, std::string>>;
 std::string canonical_labels(Labels labels);
 

@@ -1,0 +1,188 @@
+#include "obs/request_trace.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "io/json.h"
+
+namespace skelex::obs {
+
+namespace {
+thread_local RequestContext* g_current = nullptr;
+}  // namespace
+
+RequestContext::RequestContext(std::uint64_t id, bool record_spans)
+    : id_(id), record_spans_(record_spans), t0_us_(Tracer::now_us()) {
+  if (record_spans_) {
+    spans.reserve(16);
+    stack_.reserve(8);
+  }
+}
+
+RequestContext* RequestContext::current() { return g_current; }
+
+std::uint64_t RequestContext::next_id() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+int RequestContext::begin_span(std::string_view name, const char* cat) {
+  if (!record_spans_) return -1;
+  if (spans.size() >= kMaxSpans) {
+    ++dropped_spans;
+    return -1;
+  }
+  RequestSpanRecord rec;
+  rec.name = name;
+  rec.cat = cat;
+  rec.parent = stack_.empty() ? -1 : stack_.back();
+  rec.start_us = Tracer::now_us() - t0_us_;
+  const int idx = static_cast<int>(spans.size());
+  spans.push_back(std::move(rec));
+  stack_.push_back(idx);
+  return idx;
+}
+
+void RequestContext::span_arg(int idx, const char* key, std::int64_t v) {
+  if (idx < 0) return;
+  spans[static_cast<std::size_t>(idx)].args.emplace_back(key, v);
+}
+
+void RequestContext::end_span(int idx) {
+  if (idx < 0) return;
+  RequestSpanRecord& rec = spans[static_cast<std::size_t>(idx)];
+  rec.dur_us = Tracer::now_us() - t0_us_ - rec.start_us;
+  // RAII callers nest strictly; pop through idx defensively in case an
+  // inner span leaked past the cap.
+  while (!stack_.empty()) {
+    const int top = stack_.back();
+    stack_.pop_back();
+    if (top == idx) break;
+  }
+}
+
+int RequestContext::add_complete_span(std::string_view name, const char* cat,
+                                      double start_abs_us,
+                                      double end_abs_us) {
+  if (!record_spans_) return -1;
+  if (spans.size() >= kMaxSpans) {
+    ++dropped_spans;
+    return -1;
+  }
+  RequestSpanRecord rec;
+  rec.name = name;
+  rec.cat = cat;
+  rec.parent = stack_.empty() ? -1 : stack_.back();
+  rec.start_us = start_abs_us - t0_us_;
+  rec.dur_us = end_abs_us - start_abs_us;
+  const int idx = static_cast<int>(spans.size());
+  spans.push_back(std::move(rec));
+  return idx;
+}
+
+void RequestContext::note_cache(const char* stage, bool hit) {
+  if (std::strcmp(stage, "scenario") == 0) {
+    ++(hit ? scenario_hits : scenario_misses);
+  } else {
+    ++(hit ? stage_hits : stage_misses);
+  }
+}
+
+const char* RequestContext::tier() const {
+  if (scenario_misses > 0) return "cold";
+  if (stage_misses > 0) return "warm_scenario";
+  if (stage_hits > 0 || scenario_hits > 0) return "warm_stage";
+  return "none";
+}
+
+ScopedRequestContext::ScopedRequestContext(RequestContext* ctx)
+    : prev_(g_current) {
+  g_current = ctx;
+}
+
+ScopedRequestContext::~ScopedRequestContext() { g_current = prev_; }
+
+RequestSpan::RequestSpan(std::string_view name, const char* cat)
+    : ctx_(RequestContext::current()), sink_(Tracer::current()) {
+  if (ctx_ != nullptr) idx_ = ctx_->begin_span(name, cat);
+  if (sink_ != nullptr) {
+    ev_.name = name;
+    ev_.cat = cat;
+    ev_.ts_us = Tracer::now_us();
+  }
+}
+
+RequestSpan::~RequestSpan() {
+  if (ctx_ != nullptr) ctx_->end_span(idx_);
+  if (sink_ != nullptr) {
+    ev_.dur_us = Tracer::now_us() - ev_.ts_us;
+    ev_.tid = Tracer::tid();
+    if (ctx_ != nullptr) {
+      ev_.args.emplace_back("req", static_cast<std::int64_t>(ctx_->id()));
+    }
+    sink_->record(std::move(ev_));
+  }
+}
+
+void RequestSpan::arg(const char* key, std::int64_t v) {
+  if (ctx_ != nullptr) ctx_->span_arg(idx_, key, v);
+  if (sink_ != nullptr) ev_.args.emplace_back(key, v);
+}
+
+RequestTraceStore::RequestTraceStore(std::size_t capacity)
+    : cap_(capacity > 0 ? capacity : 1) {}
+
+void RequestTraceStore::add(Finished f) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.push_back(std::move(f));
+  while (ring_.size() > cap_) ring_.pop_front();
+}
+
+std::size_t RequestTraceStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+void RequestTraceStore::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+}
+
+void RequestTraceStore::write_json(io::JsonWriter& j, std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t count = n < ring_.size() ? n : ring_.size();
+  j.begin_array();
+  for (std::size_t i = ring_.size() - count; i < ring_.size(); ++i) {
+    const Finished& f = ring_[i];
+    j.begin_object();
+    j.key("request_id").value(static_cast<long long>(f.request_id));
+    j.key("cmd").value(f.cmd);
+    j.key("tier").value(f.tier);
+    j.key("total_us").value(f.total_us);
+    if (f.dropped_spans > 0) {
+      j.key("dropped_spans").value(f.dropped_spans);
+    }
+    j.key("spans").begin_array();
+    for (const RequestSpanRecord& s : f.spans) {
+      j.begin_object();
+      j.key("name").value(s.name);
+      j.key("cat").value(s.cat);
+      j.key("parent").value(s.parent);
+      j.key("start_us").value(s.start_us);
+      j.key("dur_us").value(s.dur_us);
+      if (!s.args.empty()) {
+        j.key("args").begin_object();
+        for (const auto& [k, v] : s.args) {
+          j.key(k).value(static_cast<long long>(v));
+        }
+        j.end_object();
+      }
+      j.end_object();
+    }
+    j.end_array();
+    j.end_object();
+  }
+  j.end_array();
+}
+
+}  // namespace skelex::obs

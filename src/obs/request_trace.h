@@ -1,0 +1,177 @@
+// skelex/obs/request_trace.h
+//
+// Request-scoped tracing for the serving path: one RequestContext per
+// service request, carrying the request id from the svc::Server
+// connection reader through ExtractionService::handle, the stage-command
+// pipeline, the memo cache, and the thread-pool queue wait — so a single
+// request yields a single parented span tree.
+//
+// The context is AMBIENT (a thread-local pointer installed by
+// ScopedRequestContext), because a request is handled start to finish on
+// one pool thread: the server installs the context before calling the
+// service, and every layer below — core::ScopedStage, the StageCache,
+// svc-internal RequestSpans — registers its span against whatever
+// context is current, with no plumbing through the intermediate APIs.
+//
+// Two independent costs, gated separately:
+//   * cache-tier accounting (note_cache → tier()) is a handful of int
+//     increments and ALWAYS on — the per-cmd latency histograms need the
+//     tier label even when span recording is off;
+//   * span recording (begin/end_span) allocates and is gated by the
+//     `record_spans` flag (ExtractionService::Options::trace_requests).
+//     With it off, begin_span returns -1 and the request costs one
+//     thread-local read per instrumentation site — the ≤2% hot-path
+//     budget guarded by bench_micro's BM_ServiceWarmHandle pair.
+//
+// Spans are stored pre-order with a parent index (-1 = root), capped at
+// kMaxSpans per request (overflow counts into dropped_spans instead of
+// growing without bound under a pathological request). Finished trees go
+// into a bounded RequestTraceStore ring that `cmd=trace` serves back.
+//
+// Span emission also mirrors to the ambient obs::Tracer sink (when one
+// is installed) with a "req" arg, so daemon traces land in the same
+// Chrome-JSON files as the computation spans.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace skelex::io {
+class JsonWriter;
+}
+
+namespace skelex::obs {
+
+struct RequestSpanRecord {
+  std::string name;
+  const char* cat = "";
+  int parent = -1;      // index into the request's span list, -1 = root
+  double start_us = 0;  // relative to the request's first span
+  double dur_us = 0;
+  std::vector<std::pair<const char*, std::int64_t>> args;
+};
+
+class RequestContext {
+ public:
+  static constexpr int kMaxSpans = 512;
+
+  RequestContext(std::uint64_t id, bool record_spans);
+
+  RequestContext(const RequestContext&) = delete;
+  RequestContext& operator=(const RequestContext&) = delete;
+
+  // The thread's ambient context (installed by ScopedRequestContext),
+  // or nullptr outside a request.
+  static RequestContext* current();
+  // Process-unique monotone request id.
+  static std::uint64_t next_id();
+
+  std::uint64_t id() const { return id_; }
+  bool recording() const { return record_spans_; }
+  double start_us() const { return t0_us_; }
+
+  // --- span tree (no-ops returning -1 when !recording()) --------------------
+  // Opens a span parented to the innermost open span; returns its index.
+  int begin_span(std::string_view name, const char* cat);
+  void span_arg(int idx, const char* key, std::int64_t v);
+  // Closes span `idx`, stamping its duration. Must nest (RAII callers).
+  void end_span(int idx);
+  // Records an already-elapsed span with explicit absolute timestamps on
+  // the Tracer clock (e.g. the pool queue wait, measured by the reader
+  // thread before this context existed).
+  int add_complete_span(std::string_view name, const char* cat,
+                        double start_abs_us, double end_abs_us);
+
+  // --- cache-tier accounting (always on) -------------------------------------
+  // The memo cache calls this on every lookup; `stage` is the cache's
+  // stage tag ("scenario", "index", ...).
+  void note_cache(const char* stage, bool hit);
+  // cold          — the scenario itself was computed this request;
+  // warm_scenario — scenario cached, but some stage output was computed;
+  // warm_stage    — every memoized lookup hit (the fully warm path);
+  // none          — the request touched no cache (stats/ping/...).
+  const char* tier() const;
+
+  int scenario_hits = 0;
+  int scenario_misses = 0;
+  int stage_hits = 0;
+  int stage_misses = 0;
+  int dropped_spans = 0;
+  std::vector<RequestSpanRecord> spans;  // pre-order
+
+ private:
+  std::uint64_t id_;
+  bool record_spans_;
+  double t0_us_;            // Tracer::now_us() at construction
+  std::vector<int> stack_;  // indices of open spans
+};
+
+// RAII installer of the ambient context (restores the previous one, so
+// nested service calls on one thread keep their own trees).
+class ScopedRequestContext {
+ public:
+  explicit ScopedRequestContext(RequestContext* ctx);
+  ~ScopedRequestContext();
+  ScopedRequestContext(const ScopedRequestContext&) = delete;
+  ScopedRequestContext& operator=(const ScopedRequestContext&) = delete;
+
+ private:
+  RequestContext* prev_;
+};
+
+// RAII span that registers with the ambient RequestContext AND emits to
+// the ambient TraceSink (with a "req" arg) — the svc-layer counterpart
+// of core::ScopedStage. Free when neither is active.
+class RequestSpan {
+ public:
+  RequestSpan(std::string_view name, const char* cat);
+  ~RequestSpan();
+  RequestSpan(const RequestSpan&) = delete;
+  RequestSpan& operator=(const RequestSpan&) = delete;
+
+  void arg(const char* key, std::int64_t v);
+
+ private:
+  RequestContext* ctx_;
+  TraceSink* sink_;
+  int idx_ = -1;
+  TraceEvent ev_;  // only filled when sink_ != nullptr
+};
+
+// Bounded ring of finished request span trees; `cmd=trace` renders the
+// last N. Thread-safe (requests finish on pool workers concurrently).
+class RequestTraceStore {
+ public:
+  struct Finished {
+    std::uint64_t request_id = 0;
+    std::string cmd;
+    std::string tier;
+    double total_us = 0;
+    int dropped_spans = 0;
+    std::vector<RequestSpanRecord> spans;
+  };
+
+  explicit RequestTraceStore(std::size_t capacity = 32);
+
+  void add(Finished f);
+  std::size_t size() const;
+  void clear();
+
+  // Appends the last min(n, size) finished requests, oldest first, as a
+  // JSON array at the writer's current value position.
+  void write_json(io::JsonWriter& j, std::size_t n) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Finished> ring_;
+  std::size_t cap_;
+};
+
+}  // namespace skelex::obs

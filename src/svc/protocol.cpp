@@ -106,13 +106,15 @@ Request parse_request(const std::string& text) {
     const std::string key = line.substr(0, eq);
     const std::string val = line.substr(eq + 1);
     if (key == "cmd") {
-      if (val != "extract" && val != "stats" && val != "ping" &&
-          val != "shutdown") {
+      if (val != "extract" && val != "stats" && val != "metrics" &&
+          val != "trace" && val != "ping" && val != "shutdown") {
         throw std::invalid_argument("unknown cmd: " + val);
       }
       r.cmd = val;
     } else if (key == "id") {
       r.id = parse_ll(key, val);
+    } else if (key == "last") {
+      r.trace_last = static_cast<int>(parse_ll(key, val));
     } else if (key == "shape") {
       r.shape = val;
     } else if (key == "nodes") {
@@ -163,6 +165,7 @@ std::string format_request(const Request& r) {
   out << "seed=" << r.seed << '\n';
   out << "radio=" << r.radio << '\n';
   out << "trace=" << (r.with_trace ? 1 : 0) << '\n';
+  out << "last=" << r.trace_last << '\n';
   out << "k=" << r.params.k << '\n';
   out << "l=" << r.params.l << '\n';
   out << "centrality_includes_self=" << (r.params.centrality_includes_self ? 1 : 0)

@@ -10,11 +10,13 @@
 //               so cold and warm responses are diffable after stripping
 //               the wall-time "millis" fields)
 //
-// Request keys: cmd (extract | stats | ping | shutdown), id (echoed back
-// verbatim in the response), scenario selection (shape, nodes, avg_deg,
-// seed, radio = "udg" | "qudg:<alpha>:<p>"), trace (0/1), and any
-// core::Params field by name (k, l, alpha, prune_len, ...). Unknown keys
-// are an error — a typo'd parameter must not silently run the default.
+// Request keys: cmd (extract | stats | metrics | trace | ping |
+// shutdown), id (echoed back verbatim in the response), scenario
+// selection (shape, nodes, avg_deg, seed, radio = "udg" |
+// "qudg:<alpha>:<p>"), trace (0/1), last (cmd=trace: how many recent
+// request span trees to return), and any core::Params field by name
+// (k, l, alpha, prune_len, ...). Unknown keys are an error — a typo'd
+// parameter must not silently run the default.
 #pragma once
 
 #include <cstdint>
@@ -41,7 +43,7 @@ bool read_frame(int fd, std::string& payload);
 // --- requests ----------------------------------------------------------------
 
 struct Request {
-  std::string cmd = "extract";  // extract | stats | ping | shutdown
+  std::string cmd = "extract";  // extract|stats|metrics|trace|ping|shutdown
   long long id = 0;             // echoed back; matches pipelined responses
   // Scenario selection (cmd=extract).
   std::string shape = "window";
@@ -50,6 +52,7 @@ struct Request {
   std::uint64_t seed = 1;
   std::string radio = "udg";  // "udg" or "qudg:<alpha>:<p>"
   bool with_trace = true;     // include the per-stage trace in the response
+  int trace_last = 16;        // cmd=trace: newest span trees to return
   core::Params params;        // defaults with any per-request overrides
 };
 

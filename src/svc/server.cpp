@@ -13,7 +13,10 @@
 
 #include "exec/thread_pool.h"
 #include "io/json.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/trace.h"
 #include "svc/protocol.h"
 
 namespace skelex::svc {
@@ -26,6 +29,14 @@ sockaddr_in loopback(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   return addr;
+}
+
+// svc_queue_wait_ms buckets: a healthy pool dequeues in microseconds;
+// the tail shows saturation.
+const std::vector<double>& queue_wait_bounds_ms() {
+  static const std::vector<double> b{0.05, 0.1, 0.25, 0.5, 1,
+                                     2.5,  5,   10,   25,  100};
+  return b;
 }
 
 }  // namespace
@@ -52,6 +63,8 @@ Server::Server(ExtractionService& service, exec::ThreadPool& pool,
   socklen_t len = sizeof addr;
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  obs::log_info("server_listening",
+                {{"port", static_cast<std::int64_t>(port_)}});
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -70,8 +83,13 @@ void Server::accept_loop() {
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    static std::atomic<std::uint64_t> next_conn_id{1};
     auto conn = std::make_shared<Connection>();
     conn->fd = fd;
+    conn->id = next_conn_id.fetch_add(1, std::memory_order_relaxed);
+    obs::Registry::global().counter("svc_connections_opened_total").inc();
+    obs::log_info("conn_accepted",
+                  {{"conn", static_cast<std::int64_t>(conn->id)}});
     std::lock_guard<std::mutex> lock(mu_);
     conns_.push_back(conn);
     conn_threads_.emplace_back(
@@ -90,26 +108,52 @@ void Server::reader_loop(std::shared_ptr<Connection> conn) {
     int peak = max_in_flight_.load();
     while (now > peak && !max_in_flight_.compare_exchange_weak(peak, now)) {
     }
+    {
+      static const obs::Gauge inflight =
+          obs::Registry::global().gauge("svc_inflight_peak");
+      inflight.set(static_cast<double>(now));
+    }
+    // The request id is assigned HERE, on the reader, so the queue wait
+    // it is about to incur belongs to the same span tree as the
+    // handling; the worker stamps dequeue_us when it picks the task up.
+    WireContext wire;
+    wire.request_id = obs::RequestContext::next_id();
+    wire.connection = conn->id;
+    wire.enqueue_us = obs::Tracer::now_us();
     // The reader goes straight back to read_frame after this submit, so
     // a connection can pipeline an unbounded number of requests; the
     // pool bounds how many execute at once.
-    pool_.submit([this, conn, payload]() mutable {
-      handle_frame(std::move(conn), std::move(payload));
+    pool_.submit([this, conn, payload, wire]() mutable {
+      handle_frame(std::move(conn), std::move(payload), wire);
     });
   }
   ::shutdown(conn->fd, SHUT_RD);
+  obs::Registry::global().counter("svc_connections_closed_total").inc();
+  obs::log_info("conn_closed",
+                {{"conn", static_cast<std::int64_t>(conn->id)}});
 }
 
 void Server::handle_frame(std::shared_ptr<Connection> conn,
-                          std::string payload) {
+                          std::string payload, WireContext wire) {
+  wire.dequeue_us = obs::Tracer::now_us();
+  {
+    auto& reg = obs::Registry::global();
+    static const obs::Histogram wait =
+        reg.histogram("svc_queue_wait_ms", queue_wait_bounds_ms());
+    wait.observe((wire.dequeue_us - wire.enqueue_us) / 1000.0);
+  }
   bool shutdown_after = false;
   std::string response;
   try {
     const Request req = parse_request(payload);
     shutdown_after = req.cmd == "shutdown";
-    response = service_.handle(req);
+    response = service_.handle(req, &wire);
   } catch (const std::exception& e) {
     // parse errors: the service never saw the request
+    obs::Registry::global().counter("svc_errors_total").inc();
+    obs::log_warn("bad_request",
+                  {{"conn", static_cast<std::int64_t>(conn->id)},
+                   {"error", e.what()}});
     io::JsonWriter w;
     w.begin_object();
     w.key("id").value(0);
@@ -133,6 +177,8 @@ void Server::handle_frame(std::shared_ptr<Connection> conn,
     // drain wait (and close listen_fd_) while this block still runs.
     // Must not call stop() here — it joins threads, including possibly
     // this task's own reader.
+    obs::log_info("shutdown_requested",
+                  {{"conn", static_cast<std::int64_t>(conn->id)}});
     stopping_.store(true);
     ::shutdown(listen_fd_, SHUT_RDWR);
   }
@@ -145,7 +191,11 @@ void Server::handle_frame(std::shared_ptr<Connection> conn,
 }
 
 void Server::stop() {
-  stopping_.store(true);
+  const bool was_stopping = stopping_.exchange(true);
+  if (!was_stopping) {
+    obs::log_info("server_stopping",
+                  {{"port", static_cast<std::int64_t>(port_)}});
+  }
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   if (accept_thread_.joinable()) accept_thread_.join();
   // Readers blocked inside read_frame need a nudge: shut their sockets
@@ -172,6 +222,8 @@ void Server::stop() {
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+    obs::log_info("server_drained",
+                  {{"port", static_cast<std::int64_t>(port_)}});
   }
 }
 

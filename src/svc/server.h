@@ -73,13 +73,17 @@ class Server {
  private:
   struct Connection {
     int fd = -1;
-    std::mutex write_mu;  // response frames must not interleave
-    ~Connection();        // last holder (reader or a late task) closes fd
+    std::uint64_t id = 0;  // accept ordinal, stamped into logs
+    std::mutex write_mu;   // response frames must not interleave
+    ~Connection();         // last holder (reader or a late task) closes fd
   };
 
   void accept_loop();
   void reader_loop(std::shared_ptr<Connection> conn);
-  void handle_frame(std::shared_ptr<Connection> conn, std::string payload);
+  // `wire` carries the reader-side request id and pool-hop timestamps
+  // into the service's span tree (svc/service.h WireContext).
+  void handle_frame(std::shared_ptr<Connection> conn, std::string payload,
+                    WireContext wire);
 
   ExtractionService& service_;
   exec::ThreadPool& pool_;

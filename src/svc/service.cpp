@@ -1,15 +1,22 @@
 #include "svc/service.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <exception>
 #include <memory>
 #include <utility>
+#include <vector>
 
 #include "core/fingerprint.h"
 #include "core/pipeline.h"
 #include "deploy/scenario.h"
 #include "geometry/shapes.h"
 #include "io/json.h"
+#include "obs/export.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/request_trace.h"
+#include "obs/trace.h"
 #include "radio/radio_model.h"
 #include "svc/protocol.h"
 
@@ -65,44 +72,117 @@ std::string error_response(long long id, const std::string& what) {
   return w.str();
 }
 
+// svc_request_ms bucket bounds: sub-millisecond warm hits through
+// second-scale cold extractions of large deployments.
+const std::vector<double>& latency_bounds_ms() {
+  static const std::vector<double> b{0.1, 0.25, 0.5,  1,   2.5, 5,
+                                     10,  25,   50,  100, 250, 1000};
+  return b;
+}
+
 }  // namespace
 
 ExtractionService::ExtractionService() : ExtractionService(Options{}) {}
 
 ExtractionService::ExtractionService(Options opt)
-    : cache_(core::memo::StageCache::Options{opt.cache_bytes,
-                                             opt.cache_entries}) {}
+    : opt_(opt),
+      cache_(core::memo::StageCache::Options{opt.cache_bytes,
+                                             opt.cache_entries}),
+      trace_store_(opt.trace_keep) {}
 
 std::string ExtractionService::handle(const std::string& request_text) {
   Request req;
   try {
     req = parse_request(request_text);
   } catch (const std::exception& e) {
+    obs::Registry::global().counter("svc_errors_total").inc();
+    obs::log_warn("bad_request", {{"error", e.what()}});
     return error_response(0, e.what());
   }
   return handle(req);
 }
 
-std::string ExtractionService::handle(const Request& req) {
-  try {
-    if (req.cmd == "extract") return handle_extract(req);
-    if (req.cmd == "stats") return handle_stats(req);
-    // ping and shutdown get a bare acknowledgement (the server layer
-    // implements shutdown's side effect; the service just echoes).
-    io::JsonWriter w;
-    w.begin_object();
-    w.key("id").value(req.id);
-    w.key("ok").value(true);
-    w.key("cmd").value(req.cmd);
-    w.end_object();
-    return w.str();
-  } catch (const std::exception& e) {
-    return error_response(req.id, e.what());
+std::string ExtractionService::handle(const Request& req,
+                                      const WireContext* wire) {
+  const std::uint64_t rid = (wire != nullptr && wire->request_id != 0)
+                                ? wire->request_id
+                                : obs::RequestContext::next_id();
+  obs::RequestContext ctx(rid, opt_.trace_requests);
+  obs::ScopedRequestContext install(&ctx);
+  const double t0 = obs::Tracer::now_us();
+
+  const int root = ctx.begin_span("svc.request", "svc");
+  if (root >= 0 && wire != nullptr && wire->dequeue_us > wire->enqueue_us) {
+    // The pool hop happened before this context existed; graft it into
+    // the tree with the reader thread's timestamps (its relative start
+    // is negative — the wait preceded handling).
+    ctx.add_complete_span("exec.queue_wait", "exec", wire->enqueue_us,
+                          wire->dequeue_us);
   }
+
+  bool ok = true;
+  std::string response;
+  try {
+    response = dispatch(req);
+  } catch (const std::exception& e) {
+    ok = false;
+    obs::log_error("request_failed", {{"cmd", req.cmd}, {"error", e.what()}});
+    response = error_response(req.id, e.what());
+  }
+  ctx.end_span(root);
+
+  const double total_us = obs::Tracer::now_us() - t0;
+  const double ms = total_us / 1000.0;
+  const char* tier = ctx.tier();
+  auto& reg = obs::Registry::global();
+  reg.counter("svc_requests_total", {{"cmd", req.cmd}}).inc();
+  if (!ok) reg.counter("svc_errors_total").inc();
+  reg.histogram("svc_request_ms", latency_bounds_ms(),
+                {{"cmd", req.cmd}, {"tier", tier}})
+      .observe(ms);
+  if (ok && opt_.slow_request_ms > 0 && ms >= opt_.slow_request_ms) {
+    reg.counter("svc_slow_requests_total").inc();
+    obs::log_warn("slow_request", {{"cmd", req.cmd},
+                                   {"tier", tier},
+                                   {"req_ms", ms},
+                                   {"threshold_ms", opt_.slow_request_ms}});
+  }
+
+  // Only extract trees are worth keeping: a periodic metrics scrape must
+  // not evict the interesting traces from the bounded ring.
+  if (ok && ctx.recording() && req.cmd == "extract") {
+    obs::RequestTraceStore::Finished f;
+    f.request_id = rid;
+    f.cmd = req.cmd;
+    f.tier = tier;
+    f.total_us = total_us;
+    f.dropped_spans = ctx.dropped_spans;
+    f.spans = std::move(ctx.spans);
+    trace_store_.add(std::move(f));
+  }
+  return response;
+}
+
+std::string ExtractionService::dispatch(const Request& req) {
+  if (req.cmd == "extract") return handle_extract(req);
+  if (req.cmd == "stats") return handle_stats(req);
+  if (req.cmd == "metrics") return handle_metrics(req);
+  if (req.cmd == "trace") return handle_trace(req);
+  // ping and shutdown get a bare acknowledgement (the server layer
+  // implements shutdown's side effect; the service just echoes).
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(req.id);
+  w.key("ok").value(true);
+  w.key("cmd").value(req.cmd);
+  w.end_object();
+  return w.str();
 }
 
 std::shared_ptr<const deploy::Scenario> ExtractionService::scenario_for(
     const Request& req) {
+  obs::RequestSpan span("svc.scenario", "svc");
+  span.arg("nodes", req.nodes);
   if (req.nodes < 1 || req.nodes > 2'000'000) {
     throw std::invalid_argument("nodes out of range");
   }
@@ -198,6 +278,34 @@ std::string ExtractionService::handle_stats(const Request& req) {
   w.key("evictions").value(static_cast<long long>(st.evictions));
   w.key("bytes").value(static_cast<long long>(st.bytes));
   w.key("entries").value(static_cast<long long>(st.entries));
+  w.end_object();
+  return w.str();
+}
+
+std::string ExtractionService::handle_metrics(const Request& req) {
+  const obs::MetricSnapshot snap = obs::Registry::global().snapshot();
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(req.id);
+  w.key("ok").value(true);
+  w.key("metrics");
+  snap.write_json(w);
+  w.key("exposition").value(obs::render_prometheus(snap));
+  w.end_object();
+  return w.str();
+}
+
+std::string ExtractionService::handle_trace(const Request& req) {
+  const std::size_t n =
+      static_cast<std::size_t>(std::max(0, req.trace_last));
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(req.id);
+  w.key("ok").value(true);
+  w.key("tracing").value(opt_.trace_requests);
+  w.key("kept").value(static_cast<long long>(trace_store_.size()));
+  w.key("requests");
+  trace_store_.write_json(w, n);
   w.end_object();
   return w.str();
 }

@@ -13,20 +13,32 @@
 // (deploy + radio + largest component — the most expensive non-stage
 // work) are memoized in the same cache under a "scenario" stage tag.
 //
+// Observability (obs/request_trace.h): handle() wraps every request in
+// a RequestContext, so the stage commands, memo cache, and queue wait
+// report into one parented span tree per request. Finished extract
+// trees land in a bounded store that cmd=trace serves back; cmd=metrics
+// renders the global registry as Prometheus text. Per-request latency
+// is recorded into svc_request_ms{cmd,tier} where tier classifies how
+// warm the caches were (cold | warm_scenario | warm_stage | none) —
+// tier accounting stays on even when span recording is disabled.
+//
 // Responses are io::JsonWriter objects with byte-stable key order; the
 // only nondeterministic fields are the "millis" wall-time entries, so
 // cold and warm responses to one request are byte-identical after
 // stripping those — the invariant the CI memo-determinism gate diffs.
 //
 // Thread safety: handle() is fully reentrant — the scenario/stage
-// caches do their own locking and everything else is request-local.
+// caches and the trace store do their own locking and everything else
+// is request-local (the RequestContext is installed thread-locally).
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 
 #include "core/memo/stage_cache.h"
+#include "obs/request_trace.h"
 #include "svc/protocol.h"
 
 namespace skelex::deploy {
@@ -35,11 +47,24 @@ struct Scenario;
 
 namespace skelex::svc {
 
+// Per-request facts measured by the transport before the service runs:
+// the reader thread stamps enqueue/dequeue times around the pool hop,
+// and assigns the request id that the whole span tree carries.
+struct WireContext {
+  std::uint64_t request_id = 0;  // 0: service assigns one
+  std::uint64_t connection = 0;  // server connection ordinal, 0 = none
+  double enqueue_us = 0;         // Tracer clock at submit to the pool
+  double dequeue_us = 0;         // Tracer clock when a worker picked it up
+};
+
 class ExtractionService {
  public:
   struct Options {
     std::size_t cache_bytes = std::size_t{256} << 20;  // stage memo budget
     std::size_t cache_entries = 4096;
+    bool trace_requests = true;     // record span trees (cmd=trace)
+    std::size_t trace_keep = 32;    // finished extract trees retained
+    double slow_request_ms = 250;   // warn-log threshold; <= 0 disables
   };
 
   ExtractionService();
@@ -51,16 +76,23 @@ class ExtractionService {
   // Parses and dispatches one request; never throws — malformed requests
   // produce an {"ok": false, "error": ...} response.
   std::string handle(const std::string& request_text);
-  std::string handle(const Request& req);
+  std::string handle(const Request& req, const WireContext* wire = nullptr);
 
   core::memo::CacheStats cache_stats() const { return cache_.stats(); }
+  const obs::RequestTraceStore& trace_store() const { return trace_store_; }
 
  private:
+  // The per-cmd dispatch, running inside the request's context.
+  std::string dispatch(const Request& req);
   std::string handle_extract(const Request& req);
   std::string handle_stats(const Request& req);
+  std::string handle_metrics(const Request& req);
+  std::string handle_trace(const Request& req);
   std::shared_ptr<const deploy::Scenario> scenario_for(const Request& req);
 
+  Options opt_;
   core::memo::StageCache cache_;
+  obs::RequestTraceStore trace_store_;
 };
 
 }  // namespace skelex::svc

@@ -1,0 +1,103 @@
+// Prometheus exposition rendering (obs/export.h): TYPE headers, sample
+// lines, cumulative histogram buckets, label escaping, and the
+// canonical-labels round trip that makes structural characters in label
+// values safe.
+#include "obs/export.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace obs = skelex::obs;
+
+namespace {
+
+TEST(Export, CanonicalLabelsEscapeStructuralChars) {
+  const std::string canon = obs::canonical_labels(
+      {{"cmd", "a,b"}, {"tier", "x=y"}, {"path", "c\\d"}});
+  // Sorted by key, with , = \ escaped inside values.
+  EXPECT_EQ(canon, "cmd=a\\,b,path=c\\\\d,tier=x\\=y");
+  const obs::Labels back = obs::parse_canonical_labels(canon);
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0], (std::pair<std::string, std::string>("cmd", "a,b")));
+  EXPECT_EQ(back[1], (std::pair<std::string, std::string>("path", "c\\d")));
+  EXPECT_EQ(back[2], (std::pair<std::string, std::string>("tier", "x=y")));
+}
+
+TEST(Export, PlainLabelsRoundTrip) {
+  const obs::Labels labels{{"cmd", "extract"}, {"tier", "cold"}};
+  const obs::Labels back =
+      obs::parse_canonical_labels(obs::canonical_labels(labels));
+  EXPECT_EQ(back, labels);
+}
+
+TEST(Export, PrometheusEscape) {
+  EXPECT_EQ(obs::prometheus_escape("plain"), "plain");
+  EXPECT_EQ(obs::prometheus_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::prometheus_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::prometheus_escape("a\nb"), "a\\nb");
+}
+
+TEST(Export, RendersCounterAndGauge) {
+  obs::Registry reg;
+  reg.counter("requests_total", {{"cmd", "extract"}}).inc(3);
+  reg.counter("requests_total", {{"cmd", "stats"}}).inc();
+  reg.gauge("depth_peak").set(7.5);
+  reg.gauge("never_set");  // registered but unset: must not render
+
+  const std::string text = obs::render_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE requests_total counter\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("requests_total{cmd=\"extract\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("requests_total{cmd=\"stats\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE depth_peak gauge\ndepth_peak 7.5\n"),
+            std::string::npos);
+  EXPECT_EQ(text.find("never_set"), std::string::npos);
+  // One TYPE header per family, not per label set.
+  EXPECT_EQ(text.find("# TYPE requests_total"),
+            text.rfind("# TYPE requests_total"));
+}
+
+TEST(Export, RendersCumulativeHistogram) {
+  obs::Registry reg;
+  const obs::Histogram h = reg.histogram("latency_ms", {1, 5, 10});
+  h.observe(0.5);   // bucket le=1
+  h.observe(3);     // le=5
+  h.observe(4);     // le=5
+  h.observe(100);   // +Inf
+
+  const std::string text = obs::render_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("# TYPE latency_ms histogram\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"1\"} 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"5\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"10\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find("latency_ms_bucket{le=\"+Inf\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("latency_ms_count 4\n"), std::string::npos);
+}
+
+TEST(Export, HistogramLabelsComposeWithLe) {
+  obs::Registry reg;
+  reg.histogram("req_ms", {1}, {{"cmd", "extract"}}).observe(0.2);
+  const std::string text = obs::render_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("req_ms_bucket{cmd=\"extract\",le=\"1\"} 1\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("req_ms_count{cmd=\"extract\"} 1\n"), std::string::npos);
+}
+
+TEST(Export, StructuralLabelValueSurvivesToExposition) {
+  // A label value carrying ',' and '=' must come out of the canonical
+  // string intact (the round trip the escaping exists for).
+  obs::Registry reg;
+  reg.counter("odd_total", {{"expr", "a=b,c"}}).inc();
+  const std::string text = obs::render_prometheus(reg.snapshot());
+  EXPECT_NE(text.find("odd_total{expr=\"a=b,c\"} 1\n"), std::string::npos)
+      << text;
+}
+
+}  // namespace

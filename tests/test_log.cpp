@@ -1,0 +1,129 @@
+// Structured logger (obs/log.h): JSON shape, level filtering, request-id
+// stamping from the ambient RequestContext, and deterministic
+// rate-limiting via the injected clock.
+#include "obs/log.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/request_trace.h"
+
+namespace obs = skelex::obs;
+
+namespace {
+
+// A fresh Logger per test (the global one is shared process state).
+struct CapturedLogger {
+  obs::Logger logger;
+  std::vector<std::string> lines;
+
+  CapturedLogger() {
+    logger.set_sink([this](std::string_view line) {
+      lines.emplace_back(line);
+    });
+  }
+};
+
+TEST(Log, EmitsStableKeyOrderJson) {
+  CapturedLogger cap;
+  ASSERT_TRUE(cap.logger.log(obs::LogLevel::kInfo, "unit_event",
+                             {{"count", 3}, {"name", "abc"}, {"ok", true}}));
+  ASSERT_EQ(cap.lines.size(), 1u);
+  const std::string& line = cap.lines[0];
+  EXPECT_NE(line.find("\"ts_ms\": "), std::string::npos) << line;
+  EXPECT_NE(line.find("\"level\": \"info\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"event\": \"unit_event\""), std::string::npos);
+  EXPECT_NE(line.find("\"count\": 3"), std::string::npos);
+  EXPECT_NE(line.find("\"name\": \"abc\""), std::string::npos);
+  EXPECT_NE(line.find("\"ok\": true"), std::string::npos);
+  // Keys come in the documented order: ts_ms, level, event, fields.
+  EXPECT_LT(line.find("\"ts_ms\""), line.find("\"level\""));
+  EXPECT_LT(line.find("\"level\""), line.find("\"event\""));
+  EXPECT_LT(line.find("\"event\""), line.find("\"count\""));
+}
+
+TEST(Log, LevelFilterDropsBelowMin) {
+  CapturedLogger cap;
+  cap.logger.set_min_level(obs::LogLevel::kWarn);
+  EXPECT_FALSE(cap.logger.log(obs::LogLevel::kInfo, "dropped"));
+  EXPECT_TRUE(cap.logger.log(obs::LogLevel::kWarn, "kept"));
+  EXPECT_TRUE(cap.logger.log(obs::LogLevel::kError, "kept_too"));
+  EXPECT_EQ(cap.lines.size(), 2u);
+}
+
+TEST(Log, ParseLogLevelRoundTrips) {
+  obs::LogLevel level;
+  ASSERT_TRUE(obs::parse_log_level("debug", &level));
+  EXPECT_EQ(level, obs::LogLevel::kDebug);
+  ASSERT_TRUE(obs::parse_log_level("error", &level));
+  EXPECT_EQ(level, obs::LogLevel::kError);
+  EXPECT_FALSE(obs::parse_log_level("loud", &level));
+  EXPECT_STREQ(obs::log_level_name(obs::LogLevel::kWarn), "warn");
+}
+
+TEST(Log, StampsAmbientRequestId) {
+  CapturedLogger cap;
+  {
+    obs::RequestContext ctx(777, /*record_spans=*/false);
+    obs::ScopedRequestContext install(&ctx);
+    ASSERT_TRUE(cap.logger.log(obs::LogLevel::kInfo, "inside"));
+  }
+  ASSERT_TRUE(cap.logger.log(obs::LogLevel::kInfo, "outside"));
+  ASSERT_EQ(cap.lines.size(), 2u);
+  EXPECT_NE(cap.lines[0].find("\"req\": 777"), std::string::npos)
+      << cap.lines[0];
+  EXPECT_EQ(cap.lines[1].find("\"req\""), std::string::npos) << cap.lines[1];
+  // The req key sits between event and the caller fields.
+  EXPECT_LT(cap.lines[0].find("\"event\""), cap.lines[0].find("\"req\""));
+}
+
+TEST(Log, RateLimitSuppressesAndRecovers) {
+  CapturedLogger cap;
+  double fake_now_us = 0;
+  cap.logger.set_clock_for_test([&fake_now_us] { return fake_now_us; });
+  cap.logger.set_rate_limit(/*per_sec=*/10, /*burst=*/2);
+
+  // Burst of 2 passes, the next 5 are suppressed.
+  EXPECT_TRUE(cap.logger.log(obs::LogLevel::kInfo, "spam"));
+  EXPECT_TRUE(cap.logger.log(obs::LogLevel::kInfo, "spam"));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(cap.logger.log(obs::LogLevel::kInfo, "spam"));
+  }
+  // An unrelated event has its own bucket.
+  EXPECT_TRUE(cap.logger.log(obs::LogLevel::kInfo, "other"));
+
+  // 150ms at 10/s refills 1.5 tokens (an exact-one refill can round a
+  // hair below 1.0 in double); the recovery line carries the count.
+  fake_now_us += 150'000;
+  EXPECT_TRUE(cap.logger.log(obs::LogLevel::kInfo, "spam"));
+  const std::string& recovery = cap.lines.back();
+  EXPECT_NE(recovery.find("\"suppressed\": 5"), std::string::npos) << recovery;
+  // And the counter is spent again.
+  EXPECT_FALSE(cap.logger.log(obs::LogLevel::kInfo, "spam"));
+
+  const obs::Logger::Counters counters = cap.logger.counters();
+  EXPECT_EQ(counters.emitted, 4);
+  EXPECT_EQ(counters.suppressed, 6);
+}
+
+TEST(Log, RateLimitDisabledPassesEverything) {
+  CapturedLogger cap;
+  cap.logger.set_rate_limit(0, 0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(cap.logger.log(obs::LogLevel::kInfo, "flood"));
+  }
+  EXPECT_EQ(cap.lines.size(), 100u);
+}
+
+TEST(Log, EscapesStringFields) {
+  CapturedLogger cap;
+  ASSERT_TRUE(cap.logger.log(obs::LogLevel::kInfo, "esc",
+                             {{"msg", "a\"b\\c\nd"}}));
+  EXPECT_NE(cap.lines[0].find("\"msg\": \"a\\\"b\\\\c\\nd\""),
+            std::string::npos)
+      << cap.lines[0];
+}
+
+}  // namespace

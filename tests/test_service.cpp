@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "exec/thread_pool.h"
+#include "obs/request_trace.h"
+#include "obs/trace.h"
 #include "svc/protocol.h"
 #include "svc/service.h"
 
@@ -210,6 +212,162 @@ TEST(Server, StatsOverTheWire) {
   EXPECT_NE(resp.find("\"hits\": "), std::string::npos);
   EXPECT_EQ(resp.find("\"hits\": 0,"), std::string::npos)
       << "second extract should have produced cache hits: " << resp;
+}
+
+// --- serving-path observability ---------------------------------------------
+
+TEST(Protocol, MetricsAndTraceCommandsParse) {
+  EXPECT_EQ(parse_request("cmd=metrics\n").cmd, "metrics");
+  const Request t = parse_request("cmd=trace\nlast=5\n");
+  EXPECT_EQ(t.cmd, "trace");
+  EXPECT_EQ(t.trace_last, 5);
+  EXPECT_EQ(parse_request("cmd=trace\n").trace_last, 16);
+}
+
+TEST(Service, MetricsCommandReturnsExposition) {
+  ExtractionService service;
+  Request extract;
+  extract.id = 1;
+  extract.nodes = 300;
+  extract.with_trace = false;
+  ASSERT_NE(service.handle(extract).find("\"ok\": true"), std::string::npos);
+
+  Request metrics;
+  metrics.cmd = "metrics";
+  metrics.id = 2;
+  const std::string resp = service.handle(metrics);
+  EXPECT_NE(resp.find("\"ok\": true"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"metrics\": ["), std::string::npos);
+  EXPECT_NE(resp.find("\"exposition\": \""), std::string::npos);
+  // The exposition text (JSON-escaped) carries TYPE headers and the
+  // per-tier request histogram populated by the extract above.
+  EXPECT_NE(resp.find("# TYPE"), std::string::npos);
+  EXPECT_NE(resp.find("svc_request_ms_bucket"), std::string::npos);
+  EXPECT_NE(resp.find("cmd=\\\"extract\\\""), std::string::npos) << resp;
+}
+
+TEST(Service, TraceCommandReturnsParentedSpanTree) {
+  ExtractionService service;
+  Request extract;
+  extract.id = 1;
+  extract.nodes = 300;
+  extract.with_trace = false;
+  ASSERT_NE(service.handle(extract).find("\"ok\": true"), std::string::npos);
+  ASSERT_NE(service.handle(extract).find("\"ok\": true"), std::string::npos);
+  EXPECT_EQ(service.trace_store().size(), 2u);
+
+  Request trace;
+  trace.cmd = "trace";
+  trace.id = 2;
+  trace.trace_last = 8;
+  const std::string resp = service.handle(trace);
+  EXPECT_NE(resp.find("\"tracing\": true"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"kept\": 2"), std::string::npos);
+  // One root per request: exactly two "parent": -1 spans, both named
+  // svc.request, plus the stage/cache children under them.
+  std::size_t roots = 0;
+  for (std::size_t at = resp.find("\"parent\": -1"); at != std::string::npos;
+       at = resp.find("\"parent\": -1", at + 1)) {
+    ++roots;
+  }
+  EXPECT_EQ(roots, 2u) << resp;
+  EXPECT_NE(resp.find("\"name\": \"svc.request\""), std::string::npos);
+  EXPECT_NE(resp.find("\"name\": \"svc.scenario\""), std::string::npos);
+  EXPECT_NE(resp.find("memo.hit:"), std::string::npos);
+  EXPECT_NE(resp.find("\"tier\": \"cold\""), std::string::npos);
+  EXPECT_NE(resp.find("\"tier\": \"warm_stage\""), std::string::npos);
+  // The trace request itself is not stored (extract trees only).
+  EXPECT_EQ(service.trace_store().size(), 2u);
+}
+
+TEST(Service, WireContextCarriesRequestIdAndQueueWait) {
+  ExtractionService service;
+  Request extract;
+  extract.id = 1;
+  extract.nodes = 300;
+  extract.with_trace = false;
+
+  WireContext wire;
+  wire.request_id = 424242;
+  wire.connection = 7;
+  wire.dequeue_us = skelex::obs::Tracer::now_us();
+  wire.enqueue_us = wire.dequeue_us - 1500;  // 1.5ms simulated queue wait
+  ASSERT_NE(service.handle(extract, &wire).find("\"ok\": true"),
+            std::string::npos);
+
+  Request trace;
+  trace.cmd = "trace";
+  trace.id = 2;
+  const std::string resp = service.handle(trace);
+  EXPECT_NE(resp.find("\"request_id\": 424242"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"name\": \"exec.queue_wait\""), std::string::npos);
+}
+
+TEST(Service, TracingOffKeepsServingButReturnsNoTrees) {
+  ExtractionService::Options opt;
+  opt.trace_requests = false;
+  ExtractionService service(opt);
+  Request extract;
+  extract.id = 1;
+  extract.nodes = 300;
+  extract.with_trace = false;
+  ASSERT_NE(service.handle(extract).find("\"ok\": true"), std::string::npos);
+  EXPECT_EQ(service.trace_store().size(), 0u);
+
+  Request trace;
+  trace.cmd = "trace";
+  trace.id = 2;
+  const std::string resp = service.handle(trace);
+  EXPECT_NE(resp.find("\"tracing\": false"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("\"requests\": []"), std::string::npos) << resp;
+}
+
+TEST(Service, TraceStoreRingEvictsOldest) {
+  ExtractionService::Options opt;
+  opt.trace_keep = 2;
+  ExtractionService service(opt);
+  Request extract;
+  extract.nodes = 300;
+  extract.with_trace = false;
+  for (int i = 1; i <= 4; ++i) {
+    extract.id = i;
+    ASSERT_NE(service.handle(extract).find("\"ok\": true"),
+              std::string::npos);
+  }
+  EXPECT_EQ(service.trace_store().size(), 2u);
+}
+
+TEST(RequestTrace, TierClassification) {
+  using skelex::obs::RequestContext;
+  {
+    RequestContext ctx(1, false);
+    EXPECT_STREQ(ctx.tier(), "none");
+    ctx.note_cache("scenario", /*hit=*/false);
+    EXPECT_STREQ(ctx.tier(), "cold");
+  }
+  {
+    RequestContext ctx(2, false);
+    ctx.note_cache("scenario", true);
+    ctx.note_cache("index", false);
+    EXPECT_STREQ(ctx.tier(), "warm_scenario");
+  }
+  {
+    RequestContext ctx(3, false);
+    ctx.note_cache("scenario", true);
+    ctx.note_cache("index", true);
+    EXPECT_STREQ(ctx.tier(), "warm_stage");
+  }
+}
+
+TEST(RequestTrace, SpanCapCountsDrops) {
+  skelex::obs::RequestContext ctx(9, true);
+  for (int i = 0; i < skelex::obs::RequestContext::kMaxSpans + 10; ++i) {
+    const int idx = ctx.begin_span("s", "t");
+    ctx.end_span(idx);
+  }
+  EXPECT_EQ(static_cast<int>(ctx.spans.size()),
+            skelex::obs::RequestContext::kMaxSpans);
+  EXPECT_EQ(ctx.dropped_spans, 10);
 }
 
 }  // namespace

@@ -1,0 +1,235 @@
+#!/usr/bin/env python3
+"""Validate the daemon's Prometheus exposition and request traces.
+
+Usage: tools/check_exposition.py path/to/skelex_served
+
+Starts the daemon on an ephemeral port, drives a cold + warm + variant
+extract so every cache tier is exercised, then checks:
+
+  * cmd=metrics returns an "exposition" text that lints as Prometheus:
+    every sample belongs to a family announced by a `# TYPE` line, every
+    sample line matches the exposition grammar, histogram `_bucket`
+    series are cumulative and end in a `+Inf` bucket equal to `_count`;
+  * the svc_request_ms{cmd="extract",...} histogram is populated for
+    tier="cold" AND tier="warm_stage" (the tier labelling works);
+  * serving-path families exist: svc_requests_total, svc_queue_wait_ms,
+    svc_connections_opened_total, exec_pool_submitted_total;
+  * cmd=trace returns the extract span trees: each has exactly one root
+    (parent == -1) named svc.request and every other span's parent
+    index points at an earlier span (a well-formed pre-order tree).
+"""
+import json
+import re
+import socket
+import struct
+import subprocess
+import sys
+from collections import defaultdict
+
+SAMPLE_RE = re.compile(
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (-?[0-9.eE+-]+|NaN|[+-]Inf)$')
+TYPE_RE = re.compile(
+    r'^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|untyped)$')
+
+
+def send_frame(sock, payload: str):
+    data = payload.encode()
+    sock.sendall(struct.pack("<I", len(data)) + data)
+
+
+def recv_frame(sock) -> str:
+    hdr = b""
+    while len(hdr) < 4:
+        chunk = sock.recv(4 - len(hdr))
+        if not chunk:
+            raise EOFError("connection closed mid-header")
+        hdr += chunk
+    (n,) = struct.unpack("<I", hdr)
+    buf = b""
+    while len(buf) < n:
+        chunk = sock.recv(n - len(buf))
+        if not chunk:
+            raise EOFError("connection closed mid-frame")
+        buf += chunk
+    return buf.decode()
+
+
+def fail(msg: str):
+    print(f"FAIL: {msg}")
+    sys.exit(1)
+
+
+def base_family(name: str) -> str:
+    for suffix in ("_bucket", "_count", "_sum"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def lint_exposition(text: str):
+    """Returns {family: type}; fails on any grammar violation."""
+    types = {}
+    samples = []  # (name, labels-or-None, value-string)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            fail(f"exposition line {lineno}: empty line")
+        m = TYPE_RE.match(line)
+        if m:
+            if m.group(1) in types:
+                fail(f"line {lineno}: duplicate TYPE for {m.group(1)}")
+            types[m.group(1)] = m.group(2)
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+        m = SAMPLE_RE.match(line)
+        if not m:
+            fail(f"exposition line {lineno} doesn't parse: {line!r}")
+        samples.append((m.group(1), m.group(2), m.group(3)))
+
+    if not samples:
+        fail("exposition has no samples")
+
+    buckets = defaultdict(list)   # (family, labels-minus-le) -> [(le, v)]
+    counts = {}
+    for name, labels, value in samples:
+        fam = base_family(name)
+        if fam not in types:
+            fail(f"sample {name} has no # TYPE header for {fam}")
+        if types[fam] == "histogram":
+            if name.endswith("_bucket"):
+                le = re.search(r'le="([^"]*)"', labels or "")
+                if not le:
+                    fail(f"histogram bucket without le label: {name}{labels}")
+                stripped = re.sub(r',?le="[^"]*"', "", labels)
+                if stripped == "{}":
+                    stripped = None  # an le-only block matches no-labels
+                buckets[(fam, stripped)].append((le.group(1), float(value)))
+            elif name.endswith("_count"):
+                counts[(fam, labels)] = float(value)
+        elif name != fam:
+            fail(f"suffix sample {name} on non-histogram family {fam}")
+
+    for (fam, labels), series in buckets.items():
+        values = [v for _, v in series]
+        if values != sorted(values):
+            fail(f"{fam}{labels}: buckets not cumulative: {values}")
+        if series[-1][0] != "+Inf":
+            fail(f"{fam}{labels}: last bucket is {series[-1][0]}, not +Inf")
+        if (fam, labels) not in counts:
+            fail(f"{fam}{labels}: histogram without _count sample")
+        if counts[(fam, labels)] != values[-1]:
+            fail(f"{fam}{labels}: +Inf bucket {values[-1]} != "
+                 f"_count {counts[(fam, labels)]}")
+    return types, samples
+
+
+def check_traces(trace_obj):
+    reqs = trace_obj["requests"]
+    if not reqs:
+        fail("cmd=trace returned no requests")
+    for req in reqs:
+        spans = req["spans"]
+        roots = [s for s in spans if s["parent"] == -1]
+        if len(roots) != 1:
+            fail(f"request {req['request_id']}: {len(roots)} roots, want 1")
+        if roots[0]["name"] != "svc.request":
+            fail(f"root span is {roots[0]['name']}, not svc.request")
+        for i, s in enumerate(spans):
+            if s["parent"] >= i:
+                fail(f"span {i} ({s['name']}) parent {s['parent']} "
+                     "is not an earlier span")
+        if req["tier"] not in ("cold", "warm_scenario", "warm_stage"):
+            fail(f"unexpected extract tier {req['tier']!r}")
+    names = {s["name"] for s in reqs[-1]["spans"]}
+    # The warm tree must still show the pipeline structure: stage spans
+    # from core::ScopedStage and memo lookups from the cache.
+    if not any(n.startswith("memo.") for n in names):
+        fail(f"warm tree has no memo spans: {sorted(names)}")
+    if "svc.scenario" not in names:
+        fail(f"warm tree has no svc.scenario span: {sorted(names)}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    daemon = subprocess.Popen(
+        [sys.argv[1], "--threads", "2", "--slow-ms", "0"],
+        stdout=subprocess.PIPE, text=True)
+    line = daemon.stdout.readline()
+    m = re.match(r"listening on 127\.0\.0\.1:(\d+)", line)
+    if not m:
+        daemon.kill()
+        fail(f"no listening line, got: {line!r}")
+    port = int(m.group(1))
+
+    try:
+        return run_checks(port, daemon)
+    finally:
+        # A failed assertion must not leave the daemon holding ctest's
+        # output pipe open (ctest waits for EOF, not just child exit).
+        if daemon.poll() is None:
+            daemon.kill()
+
+
+def run_checks(port, daemon):
+    sock = socket.create_connection(("127.0.0.1", port))
+    try:
+        extract = "cmd=extract\nid=1\nshape=window\nnodes=700\nseed=5\n"
+        # The k override changes every cached stage's key while the
+        # scenario still hits — the warm_scenario tier.
+        for i, req in enumerate((extract,               # cold
+                                 extract,               # warm_stage
+                                 extract + "k=3\n")):   # warm_scenario
+            send_frame(sock, req.replace("id=1", f"id={i + 1}"))
+            resp = json.loads(recv_frame(sock))
+            assert resp["ok"], resp
+
+        send_frame(sock, "cmd=metrics\nid=4\n")
+        metrics = json.loads(recv_frame(sock))
+        assert metrics["ok"], metrics
+        types, samples = lint_exposition(metrics["exposition"])
+
+        sample_names = {name for name, _, _ in samples}
+        for family in ("svc_requests_total", "svc_queue_wait_ms_bucket",
+                       "svc_connections_opened_total",
+                       "exec_pool_submitted_total", "svc_request_ms_bucket"):
+            if family not in sample_names:
+                fail(f"missing serving-path family: {family}")
+
+        def tier_count(tier):
+            total = 0.0
+            for name, labels, value in samples:
+                if (name == "svc_request_ms_count" and labels
+                        and 'cmd="extract"' in labels
+                        and f'tier="{tier}"' in labels):
+                    total += float(value)
+            return total
+
+        if tier_count("cold") < 1:
+            fail("no svc_request_ms observations with tier=cold")
+        if tier_count("warm_stage") < 1:
+            fail("no svc_request_ms observations with tier=warm_stage")
+        if tier_count("warm_scenario") < 1:
+            fail("no svc_request_ms observations with tier=warm_scenario")
+
+        send_frame(sock, "cmd=trace\nid=5\nlast=8\n")
+        trace = json.loads(recv_frame(sock))
+        assert trace["ok"] and trace["tracing"], trace
+        check_traces(trace)
+
+        send_frame(sock, "cmd=shutdown\nid=6\n")
+        assert json.loads(recv_frame(sock))["ok"]
+    finally:
+        sock.close()
+
+    rc = daemon.wait(timeout=30)
+    if rc != 0:
+        fail(f"daemon exited {rc} after shutdown")
+    print(f"OK: exposition lints ({len(types)} families), tiers labelled, "
+          f"span trees well-formed (port {port})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,7 @@
 # (tools/compare_bench.py diffs two of them).
 #
 # Usage: tools/record_bench.sh [build-dir] [out-file]
-#   build-dir defaults to ./build, out-file to ./BENCH_7.json.
+#   build-dir defaults to ./build, out-file to ./BENCH_8.json.
 #
 # Schema (append-only — add keys, never rename):
 #   {
@@ -24,7 +24,8 @@
 #     "service": {"host_threads",              # CI runner core count
 #                 "req_per_s", "p50_ms", "p99_ms",
 #                 "cold_ms", "warm_ms", "warm_speedup",  # memo payoff
-#                 "hit_rate", "max_in_flight", "failures"}
+#                 "hit_rate", "max_in_flight", "failures",
+#                 "counters": {<svc_*/exec_pool_* counter>: value}}
 #   }
 # Wall-times vary run to run; everything else is deterministic — the
 # engine rows' transmissions/rounds are asserted equal across thread
@@ -34,7 +35,7 @@
 set -euo pipefail
 
 build_dir=${1:-build}
-out=${2:-BENCH_7.json}
+out=${2:-BENCH_8.json}
 
 if [[ ! -x "$build_dir/bench/bench_thm5_complexity" ]]; then
   echo "error: benches not built in $build_dir (cmake --build $build_dir)" >&2
@@ -138,6 +139,16 @@ summary = {
         "warm_ms": round(svc["warm_ms"], 3),
         "warm_speedup": round(svc["warm_speedup"], 2),
         "hit_rate": round(svc["hit_rate"], 4),
+        # The serving-path counters (request/connection/pool totals) ride
+        # along so the trajectory shows request accounting, not just
+        # latency. Deterministic counters only: histograms/gauges are
+        # wall-time-ish, slow-request counts depend on the runner, and
+        # cache hit/miss splits depend on request interleaving.
+        "counters": {
+            k: v for k, v in counters(svc).items()
+            if (k.startswith(("svc_requests_total", "svc_connections_",
+                              "exec_pool_")))
+        },
     },
 }
 

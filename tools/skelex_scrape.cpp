@@ -1,0 +1,111 @@
+// skelex_scrape — one-shot Prometheus scrape of a running daemon.
+//
+//   skelex_scrape --port N [--json]
+//
+// Connects to 127.0.0.1:<port>, sends cmd=metrics over the wire
+// protocol, and prints the daemon's Prometheus/OpenMetrics exposition
+// text to stdout — the moral equivalent of `curl :port/metrics` for a
+// service whose only surface is the framed protocol. With --json the
+// raw JSON response (exposition + structured snapshot) is printed
+// instead. Exit 0 on success, 1 on any transport or response problem.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "svc/protocol.h"
+#include "svc/server.h"
+
+namespace {
+
+// Extracts and unescapes the JSON string value following `"key": "` in
+// `json`. The responses are produced by io::JsonWriter (stable key
+// order, known escape set), so a focused scan beats a JSON parser this
+// repo deliberately does not have.
+bool extract_string_field(const std::string& json, const std::string& key,
+                          std::string* out) {
+  const std::string needle = "\"" + key + "\": \"";
+  const std::size_t at = json.find(needle);
+  if (at == std::string::npos) return false;
+  out->clear();
+  for (std::size_t i = at + needle.size(); i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"') return true;
+    if (c != '\\') {
+      *out += c;
+      continue;
+    }
+    if (++i >= json.size()) return false;
+    switch (json[i]) {
+      case '"': *out += '"'; break;
+      case '\\': *out += '\\'; break;
+      case '/': *out += '/'; break;
+      case 'b': *out += '\b'; break;
+      case 'f': *out += '\f'; break;
+      case 'n': *out += '\n'; break;
+      case 'r': *out += '\r'; break;
+      case 't': *out += '\t'; break;
+      case 'u': {
+        if (i + 4 >= json.size()) return false;
+        const std::string hex = json.substr(i + 1, 4);
+        char* end = nullptr;
+        const long cp = std::strtol(hex.c_str(), &end, 16);
+        if (end != hex.c_str() + 4 || cp > 0xff) return false;
+        *out += static_cast<char>(cp);  // writer only escapes < 0x20
+        i += 4;
+        break;
+      }
+      default:
+        return false;
+    }
+  }
+  return false;  // unterminated string
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  bool raw_json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--port") == 0 && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      raw_json = true;
+    } else {
+      std::fprintf(stderr, "usage: skelex_scrape --port N [--json]\n");
+      return 2;
+    }
+  }
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "skelex_scrape: --port is required\n");
+    return 2;
+  }
+
+  try {
+    skelex::svc::Client client(static_cast<std::uint16_t>(port));
+    skelex::svc::Request req;
+    req.cmd = "metrics";
+    const std::string response = client.request(req);
+    if (response.find("\"ok\": true") == std::string::npos) {
+      std::fprintf(stderr, "skelex_scrape: daemon returned an error: %s\n",
+                   response.c_str());
+      return 1;
+    }
+    if (raw_json) {
+      std::fputs(response.c_str(), stdout);
+      std::fputc('\n', stdout);
+      return 0;
+    }
+    std::string text;
+    if (!extract_string_field(response, "exposition", &text)) {
+      std::fprintf(stderr, "skelex_scrape: no exposition in response\n");
+      return 1;
+    }
+    std::fputs(text.c_str(), stdout);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "skelex_scrape: %s\n", e.what());
+    return 1;
+  }
+}

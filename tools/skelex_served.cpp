@@ -1,17 +1,23 @@
 // skelex_served — the long-lived extraction daemon.
 //
 //   skelex_served [--port N] [--threads N] [--cache-mb N]
+//                 [--slow-ms N] [--no-request-trace] [--log-level L]
 //
 // Listens on 127.0.0.1 (port 0 = pick an ephemeral port), prints one
 // "listening on 127.0.0.1:<port>" line to stdout (scripts parse it),
-// then serves until a client sends cmd=shutdown. See docs/service.md
-// for the wire protocol.
+// then serves until a client sends cmd=shutdown. Structured JSON logs
+// go to stderr (--log-level debug|info|warn|error, default info);
+// --slow-ms sets the slow-request warning threshold (0 disables);
+// --no-request-trace turns off span recording (cmd=trace returns empty
+// trees; the per-tier latency metrics stay on). See docs/service.md
+// for the wire protocol and docs/observability.md for the telemetry.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
 #include "exec/thread_pool.h"
+#include "obs/log.h"
 #include "svc/server.h"
 
 namespace {
@@ -36,6 +42,8 @@ int main(int argc, char** argv) {
   int port = 0;
   int threads = 0;  // 0: default_thread_count()
   long long cache_mb = 256;
+  long long slow_ms = 250;
+  bool trace_requests = true;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--port") == 0) {
       port = static_cast<int>(parse_arg(argc, argv, i, "--port"));
@@ -43,10 +51,26 @@ int main(int argc, char** argv) {
       threads = static_cast<int>(parse_arg(argc, argv, i, "--threads"));
     } else if (std::strcmp(argv[i], "--cache-mb") == 0) {
       cache_mb = parse_arg(argc, argv, i, "--cache-mb");
+    } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
+      slow_ms = parse_arg(argc, argv, i, "--slow-ms");
+    } else if (std::strcmp(argv[i], "--no-request-trace") == 0) {
+      trace_requests = false;
+    } else if (std::strcmp(argv[i], "--log-level") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "--log-level needs a value\n");
+        return 2;
+      }
+      skelex::obs::LogLevel level;
+      if (!skelex::obs::parse_log_level(argv[++i], &level)) {
+        std::fprintf(stderr, "bad log level: %s\n", argv[i]);
+        return 2;
+      }
+      skelex::obs::Logger::global().set_min_level(level);
     } else {
       std::fprintf(stderr,
                    "usage: skelex_served [--port N] [--threads N] "
-                   "[--cache-mb N]\n");
+                   "[--cache-mb N] [--slow-ms N] [--no-request-trace] "
+                   "[--log-level debug|info|warn|error]\n");
       return 2;
     }
   }
@@ -57,6 +81,8 @@ int main(int argc, char** argv) {
 
   skelex::svc::ExtractionService::Options opt;
   opt.cache_bytes = static_cast<std::size_t>(cache_mb) << 20;
+  opt.trace_requests = trace_requests;
+  opt.slow_request_ms = static_cast<double>(slow_ms);
   skelex::svc::ExtractionService service(opt);
   skelex::exec::ThreadPool pool(threads);
   try {
