@@ -61,4 +61,48 @@ std::uint64_t result_fingerprint(const SkeletonResult& r) {
   return f.h;
 }
 
+std::uint64_t index_fingerprint(const IndexData& d) {
+  Fnv f;
+  f.vec(d.khop_size);
+  f.vecd(d.centrality);
+  f.vecd(d.index);
+  return f.h;
+}
+
+std::uint64_t voronoi_fingerprint(const VoronoiResult& v) {
+  Fnv f;
+  f.vec(v.sites);
+  f.vec(v.site_of);
+  f.vec(v.dist);
+  f.vec(v.parent);
+  f.vec(v.site2_of);
+  f.vec(v.dist2);
+  f.vec(v.via2);
+  f.vecc(v.is_segment);
+  f.vecc(v.is_voronoi_node);
+  f.i32(static_cast<int>(v.nearby.size()));
+  for (const auto& records : v.nearby) {
+    f.i32(static_cast<int>(records.size()));
+    for (const auto& r : records) {
+      f.i32(r.site);
+      f.i32(r.dist);
+      f.i32(r.via);
+    }
+  }
+  return f.h;
+}
+
+std::uint64_t stage12_fingerprint(const net::CsrGraph& csr,
+                                  const IndexData& idx,
+                                  const std::vector<int>& critical,
+                                  const VoronoiResult& vor) {
+  Fnv f;
+  f.bytes("stage12", 7);
+  f.u64(graph_fingerprint(csr));
+  f.u64(index_fingerprint(idx));
+  f.vec(critical);
+  f.u64(voronoi_fingerprint(vor));
+  return f.h;
+}
+
 }  // namespace skelex::core

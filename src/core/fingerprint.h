@@ -26,6 +26,8 @@ namespace skelex::core {
 
 struct SkeletonResult;
 class SkeletonGraph;
+struct IndexData;
+struct VoronoiResult;
 
 // FNV-1a over raw bytes, with typed helpers matching the historical
 // golden-field encoding (ints and vector lengths as 4 bytes, doubles as
@@ -74,5 +76,24 @@ void hash_skeleton_graph(Fnv& f, const SkeletonGraph& sk);
 // critical nodes), stage 2 (all Voronoi arrays), stages 3-4 (coarse and
 // final skeleton node/edge lists, clean-up counters), and by-products.
 std::uint64_t result_fingerprint(const SkeletonResult& r);
+
+// Content hash of a stage-1 index (khop sizes, centrality, index values).
+std::uint64_t index_fingerprint(const IndexData& d);
+
+// Content hash of a stage-2 Voronoi decomposition: sites, per-node
+// assignment/distance/parent arrays, secondary-site arrays, segment and
+// voronoi-node flags, and every nearby-site record.
+std::uint64_t voronoi_fingerprint(const VoronoiResult& v);
+
+// Combined content key for everything the tail stages (assess, coarse,
+// cleanup, prune, byproducts) consume: live graph + index + critical
+// nodes + voronoi. The maintainer uses this as the upstream key when it
+// drives the tail of the stage-command DAG, so repairs that leave the
+// stage-1/2 content untouched replay the tail from cache while any
+// regional re-flood changes the key (and thus every downstream key).
+std::uint64_t stage12_fingerprint(const net::CsrGraph& csr,
+                                  const IndexData& idx,
+                                  const std::vector<int>& critical,
+                                  const VoronoiResult& vor);
 
 }  // namespace skelex::core

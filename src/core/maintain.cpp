@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "core/fingerprint.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -258,8 +259,17 @@ SkeletonResult SkeletonMaintainer::canonical() const {
   // they must not become sites.
   std::erase_if(crit, [&](int v) { return !topo_.is_active(v); });
   VoronoiResult vor = build_voronoi(csr, ws_, crit, opt_.params);
+  const std::uint64_t tail_key = stage12_key(idx, crit, vor);
   return complete_extraction(topo_.graph(), csr, opt_.params, std::move(idx),
-                             std::move(crit), std::move(vor));
+                             std::move(crit), std::move(vor), opt_.cache,
+                             tail_key);
+}
+
+std::uint64_t SkeletonMaintainer::stage12_key(
+    const IndexData& idx, const std::vector<int>& critical,
+    const VoronoiResult& vor) const {
+  if (opt_.cache == nullptr) return 0;
+  return stage12_fingerprint(topo_.csr(), idx, critical, vor);
 }
 
 void SkeletonMaintainer::adopt_full(SkeletonResult r) {
@@ -824,8 +834,12 @@ RepairOutcome SkeletonMaintainer::run_repair(bool watchdog) {
       ++out.escalations;
     }
   } else if (tier == RepairTier::kRegionalReflood) {
-    SkeletonResult cand = complete_extraction(topo_.graph(), csr, opt_.params,
-                                              index_, critical_, voronoi_);
+    // The tail stages run as cache-keyed commands off the patched
+    // stage-1/2 content: a re-flood that converged back to previously
+    // seen content replays them, new content recomputes them.
+    SkeletonResult cand = complete_extraction(
+        topo_.graph(), csr, opt_.params, index_, critical_, voronoi_,
+        opt_.cache, stage12_key(index_, critical_, voronoi_));
     const InvariantReport rep =
         check_skeleton_invariants(csr, topo_.active(), cand);
     if (rep.ok()) {

@@ -64,6 +64,15 @@ struct MaintainOptions {
   int dirty_radius = 0;
   // Run every repair at the full-recompute tier (the bench baseline).
   bool force_full = false;
+  // Optional stage memo cache shared with the batch extraction path.
+  // When set, tier-1/2 repairs drive the tail of the stage-command DAG
+  // (assess/coarse/cleanup/prune/byproducts) through this cache, keyed
+  // by the stage-1/2 CONTENT fingerprint: repairs that leave the
+  // index/critical/voronoi state untouched replay the whole tail from
+  // cache, while a regional re-flood changes the fingerprint and
+  // recomputes exactly the downstream stages. Not owned; must outlive
+  // the maintainer.
+  memo::StageCache* cache = nullptr;
 };
 
 enum class RepairTier {
@@ -198,6 +207,11 @@ class SkeletonMaintainer {
   bool patch_voronoi(bool sites_changed, bool* records_changed);
   void adopt_full(SkeletonResult r);
   void clear_pending();
+  // Content key for the memoized tail stages (0 when no cache is
+  // configured — the plain completion path ignores it).
+  std::uint64_t stage12_key(const IndexData& idx,
+                            const std::vector<int>& critical,
+                            const VoronoiResult& vor) const;
 
   // Multi-source depth-bounded BFS from `seeds`; appends (node, depth)
   // to region_/region_depth_ and marks membership in mark_ at epoch_.

@@ -76,170 +76,99 @@ std::shared_ptr<const T> run_stage(PipelineContext& ctx,
   return value;
 }
 
-// --- Input assessment + graceful degradation ---------------------------------
-// Inspects what stages 1-2 delivered (they may have run on fault-depleted
-// data), patches a missing stage-1 result, and records diagnostics.
-// Returns the input components for reuse by the prune tidy-up. A patch
-// REPLACES the result's shared Voronoi output (never mutates it — the
-// original may be a cache entry other requests are reading) and folds a
-// marker into `voronoi_key` so downstream commands chain off the patched
-// content. The patch itself is deterministic but always recomputed: its
-// flood cost must land in the assess span on warm runs too, or cold and
-// warm traces would diverge.
-
-net::Components stage_assess(PipelineContext& ctx, SkeletonResult& r,
-                             std::uint64_t* voronoi_key) {
-  PipelineStage t(ctx, "assess", ctx.g.n());
-  net::Components comps = net::connected_components(ctx.csr, ctx.ws);
-  r.diagnostics.input_components = comps.count;
-  if (comps.count > 1) {
-    r.diagnostics.disconnected_input = true;
-    r.diagnostics.warn("input graph has " + std::to_string(comps.count) +
-                       " connected components; each is skeletonized "
-                       "independently");
-  }
-
-  if (r.critical_nodes.empty() && ctx.g.n() > 0) {
-    // Stage 1 produced no sites (possible when the identification ran on
-    // fault-depleted data). A skeleton needs at least one node: fall back
-    // to the max-index node — or node 0 if even the index is missing.
-    const IndexData& idx = r.index();
-    int best = 0;
-    if (static_cast<int>(idx.index.size()) == ctx.g.n()) {
-      for (int v = 1; v < ctx.g.n(); ++v) {
-        if (idx.index[static_cast<std::size_t>(v)] >
-            idx.index[static_cast<std::size_t>(best)]) {
-          best = v;
-        }
-      }
-    }
-    r.critical_nodes.push_back(best);
-    r.set_voronoi(build_voronoi(ctx.csr, ctx.ws, r.critical_nodes,
-                                ctx.params.voronoi_params()));
-    if (voronoi_key != nullptr) {
-      Fnv f;
-      f.u64(*voronoi_key);
-      f.bytes("assess-fallback", 15);
-      f.i32(best);
-      *voronoi_key = f.h;
-    }
-    r.diagnostics.empty_critical_fallback = true;
-    r.diagnostics.warn("no critical nodes from stage 1; fell back to node " +
-                       std::to_string(best) + " as the single site");
-  }
-
-  const VoronoiResult& vor = r.voronoi();
-  if (static_cast<int>(vor.site_of.size()) == ctx.g.n()) {
-    std::vector<int> cell_size(vor.sites.size(), 0);
-    for (int v = 0; v < ctx.g.n(); ++v) {
-      const int s = vor.site_of[static_cast<std::size_t>(v)];
-      if (s == -1) {
-        ++r.diagnostics.voronoi_unassigned;
-      } else if (s >= 0 && s < static_cast<int>(cell_size.size())) {
-        ++cell_size[static_cast<std::size_t>(s)];
-      }
-    }
-    if (r.diagnostics.voronoi_unassigned > 0) {
-      r.diagnostics.warn(std::to_string(r.diagnostics.voronoi_unassigned) +
-                         " node(s) were reached by no site flood and belong "
-                         "to no Voronoi cell");
-    }
-    for (int size : cell_size) {
-      if (size <= 1) ++r.diagnostics.degenerate_cells;
-    }
-    if (r.diagnostics.degenerate_cells > 0 &&
-        2 * r.diagnostics.degenerate_cells >
-            static_cast<int>(cell_size.size())) {
-      r.diagnostics.warn("over half of the Voronoi cells (" +
-                         std::to_string(r.diagnostics.degenerate_cells) +
-                         " of " + std::to_string(cell_size.size()) +
-                         ") are degenerate (<= 1 node)");
-    }
-  }
-  return comps;
-}
-
-// --- Stage 3 (§III-C): coarse skeleton ---------------------------------------
-
-void stage_coarse(PipelineContext& ctx, SkeletonResult& r,
-                  memo::StageCache* cache, std::uint64_t voronoi_key) {
-  CoarseCmd cmd;
-  cmd.voronoi_key = voronoi_key;
-  cmd.params = ctx.params.coarse_params();
-  cmd.g = &ctx.g;
-  cmd.index = &r.index();
-  cmd.voronoi = &r.voronoi();
-  r.coarse_out = run_stage<SkeletonGraph>(
-      ctx, cache, CoarseCmd::kName, r.voronoi().cell_count(), cmd.key(),
-      &CoarseCmd::approx_bytes, [&] { return cmd.run(); });
-}
-
-// --- Stage 4 (§III-D): loop clean-up + pruning -------------------------------
-
-void stage_cleanup(PipelineContext& ctx, SkeletonResult& r) {
-  PipelineStage t(ctx, "cleanup", r.coarse().node_count());
-  CleanupCmd cmd;
-  cmd.params = ctx.params.cleanup_params();
-  cmd.g = &ctx.g;
-  cmd.index = &r.index();
-  cmd.voronoi = &r.voronoi();
-  CleanupResult cleaned = cmd.run(r.coarse());  // consumes a copy
-  r.fake_loops_removed = cleaned.fake_loops_removed;
-  r.merge_rounds = cleaned.merge_rounds;
-  r.thin_loops_collapsed = cleaned.thin_loops_collapsed;
-  r.pockets = std::move(cleaned.pockets);
-  r.skeleton = std::move(cleaned.graph);
-}
-
-void stage_prune(PipelineContext& ctx, SkeletonResult& r,
-                 const net::Components& comps) {
-  PipelineStage t(ctx, "prune", r.skeleton.node_count());
-  PruneCmd cmd;
-  cmd.params = ctx.params.prune_params();
-  r.pruned_nodes = cmd.run(r.skeleton);
-
-  // Post-prune tidy-up with knowledge of the network: drop isolated
-  // skeleton nodes whose network component already has skeleton
-  // structure, but keep a lone site that is its component's only
-  // skeleton (the skeleton of a small blob IS a single node).
-  std::vector<int> skeleton_per_comp(static_cast<std::size_t>(comps.count), 0);
-  for (int v : r.skeleton.nodes()) {
-    ++skeleton_per_comp[static_cast<std::size_t>(
-        comps.label[static_cast<std::size_t>(v)])];
-  }
-  for (int v : r.skeleton.nodes()) {
-    const int c = comps.label[static_cast<std::size_t>(v)];
-    if (r.skeleton.degree(v) == 0 &&
-        skeleton_per_comp[static_cast<std::size_t>(c)] > 1) {
-      r.skeleton.remove_node(v);
-      --skeleton_per_comp[static_cast<std::size_t>(c)];
-      ++r.pruned_nodes;
-    }
-  }
-}
-
-// --- By-products (§III-E) ----------------------------------------------------
-
-void stage_byproducts(PipelineContext& ctx, SkeletonResult& r) {
-  PipelineStage t(ctx, "byproducts", ctx.g.n());
-  r.segmentation = segmentation_from_voronoi(r.voronoi());
-  r.boundary = extract_boundaries(ctx.g, r.skeleton, 1, &r.index().khop_size);
-}
-
-// Stage 3 onward, shared by the centralized front (extract_skeleton) and
-// the external-stage-1/2 front (complete_extraction): the context's trace
-// keeps accumulating, so the full run reads as one ordered stage list.
-// `voronoi_key` is the chained content key of the Voronoi output (0 when
-// memoization is off); only the coarse stage is memoizable past this
-// point — cleanup onward produce the request's owned result half.
+// Tail of the stage-command DAG (assess onward), shared by the
+// centralized front (extract_skeleton) and the external-stage-1/2 front
+// (complete_extraction): the context's trace keeps accumulating, so the
+// full run reads as one ordered stage list. Every tail stage is a keyed
+// command dispatched through run_stage — assess chains the upstream
+// voronoi key (and returns the EFFECTIVE key when its fallback patch
+// replaced the stage-1/2 content), coarse/cleanup/prune/byproducts chain
+// off each other — so with a cache, two requests differing only in
+// prune_len replay everything through cleanup and recompute exactly
+// prune + byproducts. The shared cache entries are standalone values;
+// the driver copies what the SkeletonResult owns out of them.
 void complete_with_context(PipelineContext& ctx, SkeletonResult& r,
                            memo::StageCache* cache,
                            std::uint64_t voronoi_key) {
-  const net::Components comps = stage_assess(ctx, r, &voronoi_key);
-  stage_coarse(ctx, r, cache, voronoi_key);
-  stage_cleanup(ctx, r);
-  stage_prune(ctx, r, comps);
-  stage_byproducts(ctx, r);
+  // Assessment + graceful degradation: inspects what stages 1-2
+  // delivered (they may have run on fault-depleted data), patches a
+  // missing stage-1 result, and records diagnostics. A patch REPLACES
+  // the result's shared Voronoi output (never mutates it — the original
+  // may be a cache entry other requests are reading).
+  AssessCmd assess_cmd;
+  assess_cmd.voronoi_key = voronoi_key;
+  assess_cmd.params = ctx.params.voronoi_params();
+  assess_cmd.index = &r.index();
+  assess_cmd.critical = &r.critical_nodes;
+  assess_cmd.voronoi = &r.voronoi();
+  const std::shared_ptr<const AssessOutput> assess = run_stage<AssessOutput>(
+      ctx, cache, AssessCmd::kName, ctx.g.n(), assess_cmd.key(),
+      &AssessCmd::approx_bytes, [&] { return assess_cmd.run(ctx.csr, ctx.ws); });
+  r.diagnostics.input_components = assess->input_components;
+  r.diagnostics.disconnected_input = assess->disconnected_input;
+  r.diagnostics.empty_critical_fallback = assess->empty_critical_fallback;
+  r.diagnostics.voronoi_unassigned = assess->voronoi_unassigned;
+  r.diagnostics.degenerate_cells = assess->degenerate_cells;
+  for (const std::string& w : assess->warnings) r.diagnostics.warn(w);
+  if (assess->patched) {
+    r.critical_nodes = assess->critical;
+    r.voronoi_out = assess->voronoi;
+  }
+  voronoi_key = assess->voronoi_key;  // effective (post-patch) key
+
+  // Stage 3 (§III-C): coarse skeleton.
+  CoarseCmd coarse_cmd;
+  coarse_cmd.voronoi_key = voronoi_key;
+  coarse_cmd.params = ctx.params.coarse_params();
+  coarse_cmd.g = &ctx.g;
+  coarse_cmd.index = &r.index();
+  coarse_cmd.voronoi = &r.voronoi();
+  r.coarse_out = run_stage<SkeletonGraph>(
+      ctx, cache, CoarseCmd::kName, r.voronoi().cell_count(), coarse_cmd.key(),
+      &CoarseCmd::approx_bytes, [&] { return coarse_cmd.run(); });
+
+  // Stage 4a (§III-D): loop clean-up.
+  CleanupCmd cleanup_cmd;
+  cleanup_cmd.coarse_key = coarse_cmd.key();
+  cleanup_cmd.params = ctx.params.cleanup_params();
+  cleanup_cmd.g = &ctx.g;
+  cleanup_cmd.index = &r.index();
+  cleanup_cmd.voronoi = &r.voronoi();
+  cleanup_cmd.coarse = &r.coarse();
+  const std::shared_ptr<const CleanupResult> cleaned = run_stage<CleanupResult>(
+      ctx, cache, CleanupCmd::kName, r.coarse().node_count(),
+      cleanup_cmd.key(), &CleanupCmd::approx_bytes,
+      [&] { return cleanup_cmd.run(); });
+  r.fake_loops_removed = cleaned->fake_loops_removed;
+  r.merge_rounds = cleaned->merge_rounds;
+  r.thin_loops_collapsed = cleaned->thin_loops_collapsed;
+  r.pockets = cleaned->pockets;
+
+  // Stage 4b (§III-D): pruning + component tidy-up.
+  PruneCmd prune_cmd;
+  prune_cmd.cleanup_key = cleanup_cmd.key();
+  prune_cmd.params = ctx.params.prune_params();
+  prune_cmd.skeleton = &cleaned->graph;
+  prune_cmd.comps = &assess->comps;
+  const std::shared_ptr<const PruneOutput> pruned = run_stage<PruneOutput>(
+      ctx, cache, PruneCmd::kName, cleaned->graph.node_count(),
+      prune_cmd.key(), &PruneCmd::approx_bytes, [&] { return prune_cmd.run(); });
+  r.skeleton = pruned->skeleton;
+  r.pruned_nodes = pruned->pruned_nodes;
+
+  // By-products (§III-E).
+  ByproductsCmd byp_cmd;
+  byp_cmd.prune_key = prune_cmd.key();
+  byp_cmd.g = &ctx.g;
+  byp_cmd.index = &r.index();
+  byp_cmd.voronoi = &r.voronoi();
+  byp_cmd.skeleton = &pruned->skeleton;
+  const std::shared_ptr<const ByproductsOutput> byp =
+      run_stage<ByproductsOutput>(ctx, cache, ByproductsCmd::kName, ctx.g.n(),
+                                  byp_cmd.key(), &ByproductsCmd::approx_bytes,
+                                  [&] { return byp_cmd.run(); });
+  r.segmentation = byp->segmentation;
+  r.boundary = byp->boundary;
 }
 
 // Whole-run accounting into the global registry: deterministic result
@@ -351,6 +280,18 @@ SkeletonResult complete_extraction(const net::Graph& g,
                                    const Params& params, IndexData index,
                                    std::vector<int> critical_nodes,
                                    VoronoiResult voronoi) {
+  return complete_extraction(g, csr, params, std::move(index),
+                             std::move(critical_nodes), std::move(voronoi),
+                             nullptr, 0);
+}
+
+SkeletonResult complete_extraction(const net::Graph& g,
+                                   const net::CsrGraph& csr,
+                                   const Params& params, IndexData index,
+                                   std::vector<int> critical_nodes,
+                                   VoronoiResult voronoi,
+                                   memo::StageCache* cache,
+                                   std::uint64_t stage12_key) {
   params.validate();
   SkeletonResult r;
   r.params = params;
@@ -358,7 +299,7 @@ SkeletonResult complete_extraction(const net::Graph& g,
   r.critical_nodes = std::move(critical_nodes);
   r.set_voronoi(std::move(voronoi));
   PipelineContext ctx(g, csr, params, r);
-  complete_with_context(ctx, r, nullptr, 0);
+  complete_with_context(ctx, r, cache, stage12_key);
   record_pipeline_metrics(g, r);
   return r;
 }

@@ -151,12 +151,14 @@ struct PipelineContext {
 // per-component implicitly by the floods).
 SkeletonResult extract_skeleton(const net::Graph& g, const Params& params = {});
 
-// Memoized driver: identical output, but each cacheable stage command
-// (index, identify, voronoi, coarse) first consults `cache`, keyed by
-// the graph fingerprint chained with the stage's parameter slice. Two
-// requests differing only in cleanup/prune params share stages 1-3 for
-// free. `cache == nullptr` degrades to the plain driver. The memoized
-// and unmemoized results are bit-identical (same fingerprint).
+// Memoized driver: identical output, but EVERY stage command (index,
+// identify, voronoi, assess, coarse, cleanup, prune, byproducts) first
+// consults `cache`, keyed by the graph fingerprint chained with the
+// stage's parameter slice and its upstream keys. Two requests differing
+// only in prune_len share every stage through cleanup for free; two
+// requests differing in cleanup params share stages 1-3 + assess.
+// `cache == nullptr` degrades to the plain driver. The memoized and
+// unmemoized results are bit-identical (same fingerprint).
 SkeletonResult extract_skeleton(const net::Graph& g, const Params& params,
                                 memo::StageCache* cache);
 
@@ -185,5 +187,22 @@ SkeletonResult complete_extraction(const net::Graph& g,
                                    const Params& params, IndexData index,
                                    std::vector<int> critical_nodes,
                                    VoronoiResult voronoi);
+
+// Memoized completion: same, but the tail stage commands (assess,
+// coarse, cleanup, prune, byproducts) consult `cache`, chained off
+// `stage12_key` — a CONTENT key covering everything the tail consumes
+// (graph + index + critical + voronoi; see stage12_fingerprint in
+// core/fingerprint.h). This is the maintainer's path onto the shared
+// stage DAG: repairs that leave the stage-1/2 content untouched replay
+// the whole tail from cache, while any regional re-flood changes the
+// key and recomputes exactly the downstream stages. `cache == nullptr`
+// (with any key) degrades to the unmemoized completion.
+SkeletonResult complete_extraction(const net::Graph& g,
+                                   const net::CsrGraph& csr,
+                                   const Params& params, IndexData index,
+                                   std::vector<int> critical_nodes,
+                                   VoronoiResult voronoi,
+                                   memo::StageCache* cache,
+                                   std::uint64_t stage12_key);
 
 }  // namespace skelex::core

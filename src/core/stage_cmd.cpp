@@ -83,6 +83,95 @@ std::size_t VoronoiCmd::approx_bytes(const VoronoiResult& vor) {
   return b;
 }
 
+// --- AssessCmd ---------------------------------------------------------------
+
+std::uint64_t AssessCmd::key() const {
+  // The upstream voronoi key transitively chains the graph fingerprint
+  // and every stage-1/2 parameter (including the patch's alpha), so the
+  // tag + upstream chain IS the complete input declaration.
+  return chain(kName, voronoi_key).h;
+}
+
+AssessOutput AssessCmd::run(const net::CsrGraph& g, net::Workspace& ws) const {
+  AssessOutput out;
+  out.voronoi_key = voronoi_key;
+  out.comps = net::connected_components(g, ws);
+  out.input_components = out.comps.count;
+  if (out.comps.count > 1) {
+    out.disconnected_input = true;
+    out.warnings.push_back("input graph has " +
+                           std::to_string(out.comps.count) +
+                           " connected components; each is skeletonized "
+                           "independently");
+  }
+
+  if (critical->empty() && g.n() > 0) {
+    // Stage 1 produced no sites (possible when the identification ran on
+    // fault-depleted data). A skeleton needs at least one node: fall back
+    // to the max-index node — or node 0 if even the index is missing.
+    int best = 0;
+    if (static_cast<int>(index->index.size()) == g.n()) {
+      for (int v = 1; v < g.n(); ++v) {
+        if (index->index[static_cast<std::size_t>(v)] >
+            index->index[static_cast<std::size_t>(best)]) {
+          best = v;
+        }
+      }
+    }
+    out.patched = true;
+    out.critical.push_back(best);
+    out.voronoi = std::make_shared<const VoronoiResult>(
+        build_voronoi(g, ws, out.critical, params));
+    Fnv f;
+    f.u64(voronoi_key);
+    f.bytes("assess-fallback", 15);
+    f.i32(best);
+    out.voronoi_key = f.h;
+    out.empty_critical_fallback = true;
+    out.warnings.push_back(
+        "no critical nodes from stage 1; fell back to node " +
+        std::to_string(best) + " as the single site");
+  }
+
+  const VoronoiResult& vor = out.patched ? *out.voronoi : *voronoi;
+  if (static_cast<int>(vor.site_of.size()) == g.n()) {
+    std::vector<int> cell_size(vor.sites.size(), 0);
+    for (int v = 0; v < g.n(); ++v) {
+      const int s = vor.site_of[static_cast<std::size_t>(v)];
+      if (s == -1) {
+        ++out.voronoi_unassigned;
+      } else if (s >= 0 && s < static_cast<int>(cell_size.size())) {
+        ++cell_size[static_cast<std::size_t>(s)];
+      }
+    }
+    if (out.voronoi_unassigned > 0) {
+      out.warnings.push_back(std::to_string(out.voronoi_unassigned) +
+                             " node(s) were reached by no site flood and "
+                             "belong to no Voronoi cell");
+    }
+    for (int size : cell_size) {
+      if (size <= 1) ++out.degenerate_cells;
+    }
+    if (out.degenerate_cells > 0 &&
+        2 * out.degenerate_cells > static_cast<int>(cell_size.size())) {
+      out.warnings.push_back("over half of the Voronoi cells (" +
+                             std::to_string(out.degenerate_cells) + " of " +
+                             std::to_string(cell_size.size()) +
+                             ") are degenerate (<= 1 node)");
+    }
+  }
+  return out;
+}
+
+std::size_t AssessCmd::approx_bytes(const AssessOutput& out) {
+  std::size_t b =
+      (out.comps.label.size() + out.comps.size.size()) * sizeof(int);
+  for (const std::string& w : out.warnings) b += w.size();
+  b += out.critical.size() * sizeof(int);
+  if (out.voronoi) b += VoronoiCmd::approx_bytes(*out.voronoi);
+  return b;
+}
+
 // --- CoarseCmd ---------------------------------------------------------------
 
 std::uint64_t CoarseCmd::key() const {
@@ -106,14 +195,95 @@ std::size_t CoarseCmd::approx_bytes(const SkeletonGraph& sk) {
 
 // --- CleanupCmd --------------------------------------------------------------
 
-CleanupResult CleanupCmd::run(SkeletonGraph coarse) const {
-  return cleanup_loops(*g, *index, std::move(coarse), params, voronoi);
+std::uint64_t CleanupCmd::key() const {
+  Fnv f = chain(kName, coarse_key);
+  f.i32(params.fake_pocket_min_size);
+  f.f64(params.hole_khop_ratio);
+  f.i32(params.thin_cycle_hops);
+  f.f64(params.thin_cycle_ratio);
+  return f.h;
+}
+
+CleanupResult CleanupCmd::run() const { return run(*coarse); }
+
+std::size_t CleanupCmd::approx_bytes(const CleanupResult& cleaned) {
+  std::size_t b = CoarseCmd::approx_bytes(cleaned.graph);
+  for (const Pocket& p : cleaned.pockets) {
+    b += (p.interior.size() + p.boundary.size()) * sizeof(int);
+  }
+  return b;
+}
+
+CleanupResult CleanupCmd::run(SkeletonGraph coarse_copy) const {
+  return cleanup_loops(*g, *index, std::move(coarse_copy), params, voronoi);
 }
 
 // --- PruneCmd ----------------------------------------------------------------
 
-int PruneCmd::run(SkeletonGraph& skeleton) const {
-  return prune_short_branches(skeleton, params.prune_len);
+std::uint64_t PruneCmd::key() const {
+  Fnv f = chain(kName, cleanup_key);
+  f.i32(params.prune_len);
+  return f.h;
+}
+
+PruneOutput PruneCmd::run() const {
+  PruneOutput out;
+  out.skeleton = *skeleton;  // cleaned skeleton stays shareable
+  out.pruned_nodes = prune_short_branches(out.skeleton, params.prune_len);
+
+  // Post-prune tidy-up with knowledge of the network: drop isolated
+  // skeleton nodes whose network component already has skeleton
+  // structure, but keep a lone site that is its component's only
+  // skeleton (the skeleton of a small blob IS a single node).
+  std::vector<int> skeleton_per_comp(
+      static_cast<std::size_t>(comps->count), 0);
+  for (int v : out.skeleton.nodes()) {
+    ++skeleton_per_comp[static_cast<std::size_t>(
+        comps->label[static_cast<std::size_t>(v)])];
+  }
+  for (int v : out.skeleton.nodes()) {
+    const int c = comps->label[static_cast<std::size_t>(v)];
+    if (out.skeleton.degree(v) == 0 &&
+        skeleton_per_comp[static_cast<std::size_t>(c)] > 1) {
+      out.skeleton.remove_node(v);
+      --skeleton_per_comp[static_cast<std::size_t>(c)];
+      ++out.pruned_nodes;
+    }
+  }
+  return out;
+}
+
+std::size_t PruneCmd::approx_bytes(const PruneOutput& out) {
+  return CoarseCmd::approx_bytes(out.skeleton) + sizeof(int);
+}
+
+int PruneCmd::run(SkeletonGraph& skeleton_in_place) const {
+  return prune_short_branches(skeleton_in_place, params.prune_len);
+}
+
+// --- ByproductsCmd -----------------------------------------------------------
+
+std::uint64_t ByproductsCmd::key() const {
+  // prune_key transitively chains every upstream stage and parameter the
+  // by-products read (segmentation: the effective voronoi; boundaries:
+  // graph + skeleton + index khop sizes).
+  return chain(kName, prune_key).h;
+}
+
+ByproductsOutput ByproductsCmd::run() const {
+  ByproductsOutput out;
+  out.segmentation = segmentation_from_voronoi(*voronoi);
+  out.boundary = extract_boundaries(*g, *skeleton, 1, &index->khop_size);
+  return out;
+}
+
+std::size_t ByproductsCmd::approx_bytes(const ByproductsOutput& out) {
+  return (out.segmentation.segment_of.size() +
+          out.segmentation.segment_size.size() +
+          out.boundary.boundary_nodes.size() +
+          out.boundary.dist_to_skeleton.size()) *
+             sizeof(int) +
+         out.boundary.is_boundary.size();
 }
 
 }  // namespace skelex::core

@@ -18,19 +18,25 @@
 //     driver (core/pipeline.cpp) wraps it in shared_ptr<const T> and,
 //     when memoizing, publishes it in the cache under key().
 //
-// The driver decides which commands are memoized: index / identify /
-// voronoi / coarse (their inputs are fully captured by the key chain).
-// Assess, cleanup, prune and byproducts run per request — assess because
-// it writes diagnostics and may patch a degraded stage-1 result, the
-// rest because they produce the per-request owned half of the
-// SkeletonResult — but they are commands all the same, so every stage
-// has one place declaring what it reads.
+// EVERY stage is memoizable: index / identify / voronoi / assess /
+// coarse / cleanup / prune / byproducts form one end-to-end key-chained
+// DAG. The assess command keys on the upstream voronoi key and returns
+// the *effective* downstream key (folding in its fallback patch when
+// stage 1 delivered no sites), so cleanup/prune chain off the patched
+// voronoi content; two requests differing only in prune_len share every
+// stage through cleanup. The driver (core/pipeline.cpp) copies the
+// shared tail outputs into the per-request owned half of the
+// SkeletonResult — cache entries are standalone immutable values, so
+// LRU eviction order can never corrupt a downstream entry.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "core/byproducts.h"
 #include "core/cleanup.h"
 #include "core/coarse.h"
 #include "core/config.h"
@@ -84,6 +90,43 @@ struct VoronoiCmd {
   static std::size_t approx_bytes(const VoronoiResult& vor);
 };
 
+// --- Stage 2b: input assessment + graceful degradation -----------------------
+
+// What the assess stage computes once per distinct upstream content:
+// input components (reused by the prune tidy-up), the degradation
+// diagnostics, and — when stage 1 delivered no sites — the fallback
+// single-site Voronoi patch plus the folded key the tail stages chain
+// from. `voronoi_key` is always set: untouched upstream key when no
+// patch happened, patched key otherwise.
+struct AssessOutput {
+  net::Components comps;
+  std::vector<std::string> warnings;
+  int input_components = 0;
+  bool disconnected_input = false;
+  bool empty_critical_fallback = false;
+  int voronoi_unassigned = 0;
+  int degenerate_cells = 0;
+
+  bool patched = false;
+  std::vector<int> critical;  // the patched site list (when patched)
+  std::shared_ptr<const VoronoiResult> voronoi;  // patched cells (when patched)
+  std::uint64_t voronoi_key = 0;  // effective key for downstream stages
+};
+
+struct AssessCmd {
+  static constexpr const char* kName = "assess";
+
+  std::uint64_t voronoi_key = 0;  // upstream VoronoiCmd::key()
+  VoronoiParams params;           // read only by the fallback patch
+  const IndexData* index = nullptr;            // borrowed
+  const std::vector<int>* critical = nullptr;  // borrowed
+  const VoronoiResult* voronoi = nullptr;      // borrowed
+
+  std::uint64_t key() const;
+  AssessOutput run(const net::CsrGraph& g, net::Workspace& ws) const;
+  static std::size_t approx_bytes(const AssessOutput& out);
+};
+
 // --- Stage 3: coarse skeleton -----------------------------------------------
 
 struct CoarseCmd {
@@ -103,30 +146,73 @@ struct CoarseCmd {
   static std::size_t approx_bytes(const SkeletonGraph& sk);
 };
 
-// --- Stage 4a: loop clean-up (per request) ----------------------------------
+// --- Stage 4a: loop clean-up -------------------------------------------------
 
 struct CleanupCmd {
   static constexpr const char* kName = "cleanup";
 
+  std::uint64_t coarse_key = 0;  // upstream CoarseCmd::key()
   CleanupParams params;
   const net::Graph* g = nullptr;
   const IndexData* index = nullptr;
   const VoronoiResult* voronoi = nullptr;  // may be null (tests)
+  const SkeletonGraph* coarse = nullptr;   // borrowed shared stage-3 output
 
-  // Consumes a COPY of the shared coarse graph (clean-up mutates it into
-  // the refined skeleton).
-  CleanupResult run(SkeletonGraph coarse) const;
+  std::uint64_t key() const;
+  // Clean-up mutates a COPY of the shared coarse graph into the refined
+  // skeleton (the CleanupResult owns it).
+  CleanupResult run() const;
+  static std::size_t approx_bytes(const CleanupResult& cleaned);
+
+  // Legacy front (tests, protocols): consume an explicit coarse copy.
+  CleanupResult run(SkeletonGraph coarse_copy) const;
 };
 
-// --- Stage 4b: pruning (per request) ----------------------------------------
+// --- Stage 4b: pruning -------------------------------------------------------
+
+struct PruneOutput {
+  SkeletonGraph skeleton;  // the final refined skeleton
+  int pruned_nodes = 0;
+};
 
 struct PruneCmd {
   static constexpr const char* kName = "prune";
 
+  std::uint64_t cleanup_key = 0;  // upstream CleanupCmd::key()
   PruneParams params;
+  const SkeletonGraph* skeleton = nullptr;  // borrowed cleaned skeleton
+  const net::Components* comps = nullptr;   // borrowed from AssessOutput
 
-  // In-place on the request's owned skeleton; returns nodes removed.
-  int run(SkeletonGraph& skeleton) const;
+  std::uint64_t key() const;
+  // Prunes a copy of the cleaned skeleton, then drops isolated skeleton
+  // nodes whose network component retains other skeleton structure.
+  PruneOutput run() const;
+  static std::size_t approx_bytes(const PruneOutput& out);
+
+  // Legacy front: in-place short-branch prune only (no component
+  // tidy-up); returns nodes removed.
+  int run(SkeletonGraph& skeleton_in_place) const;
+};
+
+// --- By-products (§III-E) ----------------------------------------------------
+
+struct ByproductsOutput {
+  Segmentation segmentation;
+  BoundaryResult boundary;
+};
+
+struct ByproductsCmd {
+  static constexpr const char* kName = "byproducts";
+
+  std::uint64_t prune_key = 0;  // upstream PruneCmd::key()
+  const net::Graph* g = nullptr;
+  const IndexData* index = nullptr;
+  const VoronoiResult* voronoi = nullptr;
+  const SkeletonGraph* skeleton = nullptr;  // the final skeleton
+
+  std::uint64_t key() const;
+  ByproductsOutput run() const;
+  static std::size_t approx_bytes(const ByproductsOutput& out);
 };
 
 }  // namespace skelex::core

@@ -107,12 +107,33 @@ Request parse_request(const std::string& text) {
     const std::string val = line.substr(eq + 1);
     if (key == "cmd") {
       if (val != "extract" && val != "stats" && val != "metrics" &&
-          val != "trace" && val != "ping" && val != "shutdown") {
+          val != "trace" && val != "ping" && val != "shutdown" &&
+          val != "session" && val != "churn" && val != "close") {
         throw std::invalid_argument("unknown cmd: " + val);
       }
       r.cmd = val;
     } else if (key == "id") {
       r.id = parse_ll(key, val);
+    } else if (key == "session") {
+      r.session_id = parse_ll(key, val);
+    } else if (key == "canonical") {
+      r.canonical = parse_ll(key, val) != 0;
+    } else if (key == "rounds") {
+      r.churn_rounds = static_cast<int>(parse_ll(key, val));
+    } else if (key == "join_rate") {
+      r.join_rate = parse_d(key, val);
+    } else if (key == "leave_rate") {
+      r.leave_rate = parse_d(key, val);
+    } else if (key == "link_add_rate") {
+      r.link_add_rate = parse_d(key, val);
+    } else if (key == "link_remove_rate") {
+      r.link_remove_rate = parse_d(key, val);
+    } else if (key == "churn_seed") {
+      r.churn_seed = static_cast<std::uint64_t>(parse_ll(key, val));
+    } else if (key == "repair_interval") {
+      r.repair_interval = static_cast<int>(parse_ll(key, val));
+    } else if (key == "staleness_bound") {
+      r.staleness_bound = static_cast<int>(parse_ll(key, val));
     } else if (key == "last") {
       r.trace_last = static_cast<int>(parse_ll(key, val));
     } else if (key == "shape") {
@@ -177,6 +198,16 @@ std::string format_request(const Request& r) {
   out << "hole_khop_ratio=" << r.params.hole_khop_ratio << '\n';
   out << "thin_cycle_hops=" << r.params.thin_cycle_hops << '\n';
   out << "thin_cycle_ratio=" << r.params.thin_cycle_ratio << '\n';
+  out << "session=" << r.session_id << '\n';
+  out << "canonical=" << (r.canonical ? 1 : 0) << '\n';
+  out << "rounds=" << r.churn_rounds << '\n';
+  out << "join_rate=" << r.join_rate << '\n';
+  out << "leave_rate=" << r.leave_rate << '\n';
+  out << "link_add_rate=" << r.link_add_rate << '\n';
+  out << "link_remove_rate=" << r.link_remove_rate << '\n';
+  out << "churn_seed=" << r.churn_seed << '\n';
+  out << "repair_interval=" << r.repair_interval << '\n';
+  out << "staleness_bound=" << r.staleness_bound << '\n';
   return out.str();
 }
 

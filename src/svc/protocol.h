@@ -11,12 +11,21 @@
 //               the wall-time "millis" fields)
 //
 // Request keys: cmd (extract | stats | metrics | trace | ping |
-// shutdown), id (echoed back verbatim in the response), scenario
-// selection (shape, nodes, avg_deg, seed, radio = "udg" |
-// "qudg:<alpha>:<p>"), trace (0/1), last (cmd=trace: how many recent
-// request span trees to return), and any core::Params field by name
-// (k, l, alpha, prune_len, ...). Unknown keys are an error — a typo'd
-// parameter must not silently run the default.
+// shutdown | session | churn | close), id (echoed back verbatim in the
+// response), scenario selection (shape, nodes, avg_deg, seed, radio =
+// "udg" | "qudg:<alpha>:<p>"), trace (0/1), last (cmd=trace: how many
+// recent request span trees to return), and any core::Params field by
+// name (k, l, alpha, prune_len, ...). Unknown keys are an error — a
+// typo'd parameter must not silently run the default.
+//
+// Dynamic-scenario sessions (maintainer-backed live topologies):
+// cmd=session creates one (scenario keys select the base topology;
+// repair_interval / staleness_bound tune the maintainer) and returns
+// its session id; cmd=churn with session=<id> applies a deterministic
+// random churn batch (rounds, join_rate, leave_rate, link_add_rate,
+// link_remove_rate, churn_seed); cmd=extract with session=<id> serves
+// the maintained skeleton (canonical=1 adds a from-scratch cross-check
+// fingerprint); cmd=close tears the session down.
 #pragma once
 
 #include <cstdint>
@@ -43,9 +52,9 @@ bool read_frame(int fd, std::string& payload);
 // --- requests ----------------------------------------------------------------
 
 struct Request {
-  std::string cmd = "extract";  // extract|stats|metrics|trace|ping|shutdown
+  std::string cmd = "extract";  // see the command list above
   long long id = 0;             // echoed back; matches pipelined responses
-  // Scenario selection (cmd=extract).
+  // Scenario selection (cmd=extract / cmd=session).
   std::string shape = "window";
   int nodes = 600;
   double avg_deg = 7.5;
@@ -54,6 +63,19 @@ struct Request {
   bool with_trace = true;     // include the per-stage trace in the response
   int trace_last = 16;        // cmd=trace: newest span trees to return
   core::Params params;        // defaults with any per-request overrides
+
+  // Dynamic-scenario sessions. session=0 means "no session": cmd=extract
+  // without it is the stateless scenario extraction.
+  long long session_id = 0;   // key "session"
+  bool canonical = false;     // cmd=extract: cross-check vs from-scratch
+  int churn_rounds = 8;       // key "rounds" (cmd=churn)
+  double join_rate = 0.5;
+  double leave_rate = 0.5;
+  double link_add_rate = 1.0;
+  double link_remove_rate = 1.0;
+  std::uint64_t churn_seed = 1;
+  int repair_interval = 1;    // cmd=session: maintainer cadence
+  int staleness_bound = 8;    // cmd=session: watchdog bound
 };
 
 // Parses the key=value text form. Throws std::invalid_argument on

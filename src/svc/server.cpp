@@ -47,7 +47,11 @@ Server::Connection::~Connection() {
 
 Server::Server(ExtractionService& service, exec::ThreadPool& pool,
                std::uint16_t port)
-    : service_(service), pool_(pool) {
+    : Server(service, pool, port, Options()) {}
+
+Server::Server(ExtractionService& service, exec::ThreadPool& pool,
+               std::uint16_t port, Options opt)
+    : service_(service), pool_(pool), opt_(opt) {
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
   const int one = 1;
@@ -97,9 +101,42 @@ void Server::accept_loop() {
   }
 }
 
+void Server::reject_busy(Connection& conn, const std::string& payload) {
+  rejected_.fetch_add(1, std::memory_order_relaxed);
+  obs::Registry::global().counter("svc_rejected_total").inc();
+  // Best-effort id echo so a pipelining client can match the rejection
+  // to its request; an unparsable frame still gets the busy response
+  // (with id 0) — the parse error surfaces on retry.
+  long long id = 0;
+  try {
+    id = parse_request(payload).id;
+  } catch (const std::exception&) {
+  }
+  obs::log_warn("request_rejected_busy",
+                {{"conn", static_cast<std::int64_t>(conn.id)},
+                 {"in_flight", static_cast<std::int64_t>(in_flight_.load())},
+                 {"max_queue", static_cast<std::int64_t>(opt_.max_queue)}});
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("ok").value(false);
+  w.key("error").value("busy");
+  w.key("retry_ms").value(opt_.busy_retry_ms);
+  w.end_object();
+  std::lock_guard<std::mutex> write_lock(conn.write_mu);
+  write_frame(conn.fd, w.str());
+}
+
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
   std::string payload;
   while (!stopping_.load() && read_frame(conn->fd, payload)) {
+    // Admission control: beyond max_queue admitted-but-unfinished
+    // requests, shed THIS frame right here on the reader — the pool's
+    // FIFO must not grow without bound under a pipelining client.
+    if (opt_.max_queue > 0 && in_flight_.load() >= opt_.max_queue) {
+      reject_busy(*conn, payload);
+      continue;
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       ++pending_;

@@ -21,6 +21,14 @@
 // after the peer hung up writes into a dead-but-valid fd, not a freed
 // object.
 //
+// Admission control: requests admitted but not yet responded to are
+// bounded by Options::max_queue. Once the bound is reached, further
+// frames are rejected immediately on the reader thread with a
+// structured busy response ({"ok": false, "error": "busy",
+// "retry_ms": ...}) instead of queueing without bound — a pipelining
+// client sees backpressure as data, not as latency. Rejections count
+// into svc_rejected_total.
+//
 // Shutdown (stop() or a client's cmd=shutdown): the listener closes, the
 // per-connection readers stop accepting frames, and stop() drains — it
 // waits for every in-flight request to finish writing before returning,
@@ -45,11 +53,24 @@ namespace skelex::svc {
 
 class Server {
  public:
+  struct Options {
+    // Max requests admitted but not yet fully responded to (queued +
+    // executing), across all connections. Over-limit frames get an
+    // immediate busy rejection. <= 0 disables the bound. The default is
+    // generous: it exists to stop unbounded memory growth under a
+    // runaway pipelining client, not to shed normal load.
+    int max_queue = 1024;
+    // The retry hint stamped into busy responses.
+    int busy_retry_ms = 50;
+  };
+
   // Binds and listens on 127.0.0.1:port (port 0 picks an ephemeral
   // port — read it back via port()) and starts the accept thread.
   // Requests run on `pool`. Throws std::runtime_error if binding fails.
   Server(ExtractionService& service, exec::ThreadPool& pool,
          std::uint16_t port = 0);
+  Server(ExtractionService& service, exec::ThreadPool& pool,
+         std::uint16_t port, Options opt);
   ~Server();
 
   Server(const Server&) = delete;
@@ -66,9 +87,11 @@ class Server {
   void serve_forever();
 
   // Observability for tests and the bench: current and peak number of
-  // requests accepted but not yet fully responded to.
+  // requests accepted but not yet fully responded to, plus how many
+  // frames admission control turned away.
   int in_flight() const { return in_flight_.load(); }
   int max_in_flight() const { return max_in_flight_.load(); }
+  long long rejected() const { return rejected_.load(); }
 
  private:
   struct Connection {
@@ -84,9 +107,13 @@ class Server {
   // into the service's span tree (svc/service.h WireContext).
   void handle_frame(std::shared_ptr<Connection> conn, std::string payload,
                     WireContext wire);
+  // Writes the structured busy rejection for an over-limit frame (on
+  // the reader thread — the pool is exactly what's saturated).
+  void reject_busy(Connection& conn, const std::string& payload);
 
   ExtractionService& service_;
   exec::ThreadPool& pool_;
+  Options opt_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
 
@@ -98,6 +125,7 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<int> in_flight_{0};
   std::atomic<int> max_in_flight_{0};
+  std::atomic<long long> rejected_{0};
   int pending_ = 0;  // in-flight requests, under mu_ (for the drain wait)
 };
 

@@ -82,6 +82,14 @@ const std::vector<double>& latency_bounds_ms() {
 
 }  // namespace
 
+ExtractionService::Session::Session(std::uint64_t sid,
+                                    std::shared_ptr<const deploy::Scenario> s,
+                                    core::MaintainOptions opt)
+    : id(sid),
+      scenario(std::move(s)),
+      topo(scenario->graph),
+      maint(topo, std::move(opt)) {}
+
 ExtractionService::ExtractionService() : ExtractionService(Options{}) {}
 
 ExtractionService::ExtractionService(Options opt)
@@ -164,10 +172,16 @@ std::string ExtractionService::handle(const Request& req,
 }
 
 std::string ExtractionService::dispatch(const Request& req) {
-  if (req.cmd == "extract") return handle_extract(req);
+  if (req.cmd == "extract") {
+    return req.session_id != 0 ? handle_session_extract(req)
+                               : handle_extract(req);
+  }
   if (req.cmd == "stats") return handle_stats(req);
   if (req.cmd == "metrics") return handle_metrics(req);
   if (req.cmd == "trace") return handle_trace(req);
+  if (req.cmd == "session") return handle_session(req);
+  if (req.cmd == "churn") return handle_churn(req);
+  if (req.cmd == "close") return handle_close(req);
   // ping and shutdown get a bare acknowledgement (the server layer
   // implements shutdown's side effect; the service just echoes).
   io::JsonWriter w;
@@ -264,6 +278,223 @@ std::string ExtractionService::handle_extract(const Request& req) {
   }
   w.end_object();
   return w.str();
+}
+
+namespace {
+
+// A deterministic random churn batch for a LIVE topology: the generator
+// (ChurnScript::random) assumes an all-active base with ids [0, n), so
+// it runs over the compacted active subgraph and the result is remapped
+// into the session's stable id space — surviving nodes back to their
+// stable ids, generated joins onto fresh ids past the current capacity
+// (DynamicTopology requires join ids to extend the stable space
+// contiguously, which the sequential remap preserves).
+sim::ChurnScript session_churn_script(const sim::DynamicTopology& topo,
+                                      double range, const Request& req) {
+  std::vector<int> orig_of_new;
+  const net::Graph compact = topo.active_subgraph(&orig_of_new);
+
+  sim::ChurnScript::RandomSpec spec;
+  spec.rounds = req.churn_rounds;
+  spec.join_rate = req.join_rate;
+  spec.leave_rate = req.leave_rate;
+  spec.link_add_rate = req.link_add_rate;
+  spec.link_remove_rate = req.link_remove_rate;
+  spec.range = range;
+  const sim::ChurnScript compact_script =
+      sim::ChurnScript::random(compact, spec, req.churn_seed);
+
+  const int compact_n = compact.n();
+  const int stable_n = topo.n();
+  const auto remap = [&](int v) {
+    return v < compact_n ? orig_of_new[static_cast<std::size_t>(v)]
+                         : stable_n + (v - compact_n);
+  };
+  sim::ChurnScript out;
+  for (sim::ChurnEvent e : compact_script.events()) {
+    if (e.node >= 0) e.node = remap(e.node);
+    for (int& t : e.links) t = remap(t);
+    if (e.u >= 0) e.u = remap(e.u);
+    if (e.v >= 0) e.v = remap(e.v);
+    out.add(std::move(e));
+  }
+  return out;
+}
+
+// The shared session response core: topology + skeleton shape + health.
+void write_session_state(io::JsonWriter& w, const sim::DynamicTopology& topo,
+                         const core::SkeletonMaintainer& maint) {
+  w.key("n").value(topo.n());
+  w.key("active").value(topo.active_count());
+  w.key("skeleton_nodes").value(maint.served().skeleton.node_count());
+  w.key("skeleton_edges").value(maint.served().skeleton.edge_count());
+  w.key("staleness").value(maint.staleness());
+  w.key("healthy").value(maint.healthy());
+  w.key("fingerprint").value(hex_fingerprint(maint.served_fingerprint()));
+}
+
+}  // namespace
+
+std::string ExtractionService::handle_session(const Request& req) {
+  obs::RequestSpan span("svc.session", "svc");
+  const std::shared_ptr<const deploy::Scenario> scen = scenario_for(req);
+
+  core::MaintainOptions mopt;
+  mopt.params = req.params;
+  mopt.repair_interval = req.repair_interval;
+  mopt.staleness_bound = req.staleness_bound;
+  mopt.cache = &cache_;
+
+  std::uint64_t sid = 0;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    sid = next_session_id_++;
+  }
+  auto session = std::make_shared<Session>(sid, scen, std::move(mopt));
+  session->maint.initialize();
+  span.arg("session", static_cast<std::int64_t>(sid));
+  span.arg("nodes", session->topo.n());
+
+  std::size_t open = 0;
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    sessions_[sid] = session;
+    open = sessions_.size();
+  }
+  auto& reg = obs::Registry::global();
+  reg.counter("svc_sessions_opened_total").inc();
+  reg.gauge("svc_sessions_open_peak").set(static_cast<double>(open));
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(req.id);
+  w.key("ok").value(true);
+  w.key("session").value(static_cast<long long>(sid));
+  write_session_state(w, session->topo, session->maint);
+  w.end_object();
+  return w.str();
+}
+
+std::string ExtractionService::handle_churn(const Request& req) {
+  obs::RequestSpan span("svc.churn", "svc");
+  const std::shared_ptr<Session> s = find_session(req.session_id);
+  if (s == nullptr) {
+    throw std::invalid_argument("unknown session: " +
+                                std::to_string(req.session_id));
+  }
+  if (req.churn_rounds < 1 || req.churn_rounds > 100000) {
+    throw std::invalid_argument("rounds out of range");
+  }
+  span.arg("session", req.session_id);
+  span.arg("rounds", req.churn_rounds);
+
+  std::lock_guard<std::mutex> lk(s->mu);
+  const core::MaintainStats before = s->maint.stats();
+  const sim::ChurnScript script =
+      session_churn_script(s->topo, s->scenario->range, req);
+  for (int r = 0; r < req.churn_rounds; ++r) s->maint.advance(script, r);
+  // Flush dirt a lazy cadence (repair_interval > 1) left pending, so
+  // every churn response describes a fully repaired skeleton.
+  s->maint.repair_now();
+
+  const core::MaintainStats& after = s->maint.stats();
+  s->rounds_total += req.churn_rounds;
+  s->events_total += after.events - before.events;
+  auto& reg = obs::Registry::global();
+  reg.counter("svc_session_churn_rounds_total").inc(req.churn_rounds);
+  reg.counter("svc_session_churn_events_total")
+      .inc(after.events - before.events);
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(req.id);
+  w.key("ok").value(true);
+  w.key("session").value(req.session_id);
+  w.key("rounds").value(req.churn_rounds);
+  w.key("events").value(after.events - before.events);
+  w.key("script_digest").value(hex_fingerprint(script.digest()));
+  w.key("repairs_local").value(after.repairs_local - before.repairs_local);
+  w.key("repairs_regional")
+      .value(after.repairs_regional - before.repairs_regional);
+  w.key("repairs_full").value(after.repairs_full - before.repairs_full);
+  w.key("escalations").value(after.escalations - before.escalations);
+  write_session_state(w, s->topo, s->maint);
+  w.end_object();
+  return w.str();
+}
+
+std::string ExtractionService::handle_session_extract(const Request& req) {
+  obs::RequestSpan span("svc.session_extract", "svc");
+  const std::shared_ptr<Session> s = find_session(req.session_id);
+  if (s == nullptr) {
+    throw std::invalid_argument("unknown session: " +
+                                std::to_string(req.session_id));
+  }
+  span.arg("session", req.session_id);
+
+  std::lock_guard<std::mutex> lk(s->mu);
+  const core::SkeletonResult& r = s->maint.served();
+  const core::InvariantReport rep = s->maint.check();
+
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(req.id);
+  w.key("ok").value(true);
+  w.key("session").value(req.session_id);
+  w.key("critical").value(static_cast<int>(r.critical_nodes.size()));
+  w.key("cycle_rank").value(r.skeleton_cycle_rank());
+  w.key("components").value(r.skeleton_components());
+  w.key("invariants_ok").value(rep.ok());
+  write_session_state(w, s->topo, s->maint);
+  if (req.canonical) {
+    // From-scratch cross-check on the current topology: the maintained
+    // skeleton must match the canonical extraction bit for bit.
+    const core::SkeletonResult canon = s->maint.canonical();
+    const std::uint64_t canon_fp =
+        core::skeleton_fingerprint(canon.skeleton);
+    w.key("canonical_fingerprint").value(hex_fingerprint(canon_fp));
+    w.key("matches_canonical")
+        .value(canon_fp == s->maint.served_fingerprint());
+  }
+  w.end_object();
+  return w.str();
+}
+
+std::string ExtractionService::handle_close(const Request& req) {
+  const std::shared_ptr<Session> s = find_session(req.session_id);
+  if (s == nullptr) {
+    throw std::invalid_argument("unknown session: " +
+                                std::to_string(req.session_id));
+  }
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    sessions_.erase(static_cast<std::uint64_t>(req.session_id));
+  }
+  obs::Registry::global().counter("svc_sessions_closed_total").inc();
+
+  std::lock_guard<std::mutex> lk(s->mu);
+  io::JsonWriter w;
+  w.begin_object();
+  w.key("id").value(req.id);
+  w.key("ok").value(true);
+  w.key("session").value(req.session_id);
+  w.key("closed").value(true);
+  w.key("rounds_total").value(s->rounds_total);
+  w.key("events_total").value(s->events_total);
+  w.end_object();
+  return w.str();
+}
+
+std::shared_ptr<ExtractionService::Session> ExtractionService::find_session(
+    long long id) const {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  const auto it = sessions_.find(static_cast<std::uint64_t>(id));
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::size_t ExtractionService::session_count() const {
+  std::lock_guard<std::mutex> lk(sessions_mu_);
+  return sessions_.size();
 }
 
 std::string ExtractionService::handle_stats(const Request& req) {

@@ -27,18 +27,36 @@
 // cold and warm responses to one request are byte-identical after
 // stripping those — the invariant the CI memo-determinism gate diffs.
 //
+// Dynamic-scenario sessions: cmd=session instantiates a
+// core::SkeletonMaintainer over a sim::DynamicTopology seeded from the
+// requested deployment; cmd=churn applies a deterministic random churn
+// batch (generated over the live topology, remapped into its stable id
+// space); cmd=extract with session=<id> serves the maintained —
+// invariant-checked, bounded-staleness — skeleton, optionally
+// cross-checked against the canonical from-scratch extraction. The
+// maintainer shares the service's StageCache, so its tail stages
+// (assess/coarse/cleanup/prune/byproducts) replay from cache whenever a
+// repair converges back to previously seen stage-1/2 content.
+//
 // Thread safety: handle() is fully reentrant — the scenario/stage
-// caches and the trace store do their own locking and everything else
-// is request-local (the RequestContext is installed thread-locally).
+// caches, the session table, and the trace store do their own locking
+// and everything else is request-local (the RequestContext is installed
+// thread-locally). Requests against ONE session serialize on the
+// session's mutex (a maintainer is inherently stateful); different
+// sessions proceed in parallel.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
+#include "core/maintain.h"
 #include "core/memo/stage_cache.h"
 #include "obs/request_trace.h"
+#include "sim/dynamics.h"
 #include "svc/protocol.h"
 
 namespace skelex::deploy {
@@ -80,19 +98,47 @@ class ExtractionService {
 
   core::memo::CacheStats cache_stats() const { return cache_.stats(); }
   const obs::RequestTraceStore& trace_store() const { return trace_store_; }
+  std::size_t session_count() const;
 
  private:
+  // One maintainer-backed live topology. The mutex serializes churn /
+  // extract / close against each other; the maintainer shares the
+  // service's stage cache (safe: StageCache does its own locking).
+  struct Session {
+    std::uint64_t id = 0;
+    std::shared_ptr<const deploy::Scenario> scenario;
+    sim::DynamicTopology topo;
+    core::SkeletonMaintainer maint;
+    long long rounds_total = 0;
+    long long events_total = 0;
+    std::mutex mu;
+
+    // Defined in service.cpp: needs the complete Scenario type.
+    Session(std::uint64_t sid, std::shared_ptr<const deploy::Scenario> s,
+            core::MaintainOptions opt);
+  };
+
   // The per-cmd dispatch, running inside the request's context.
   std::string dispatch(const Request& req);
   std::string handle_extract(const Request& req);
   std::string handle_stats(const Request& req);
   std::string handle_metrics(const Request& req);
   std::string handle_trace(const Request& req);
+  std::string handle_session(const Request& req);
+  std::string handle_churn(const Request& req);
+  std::string handle_session_extract(const Request& req);
+  std::string handle_close(const Request& req);
   std::shared_ptr<const deploy::Scenario> scenario_for(const Request& req);
+  std::shared_ptr<Session> find_session(long long id) const;
 
   Options opt_;
   core::memo::StageCache cache_;
   obs::RequestTraceStore trace_store_;
+
+  mutable std::mutex sessions_mu_;
+  std::uint64_t next_session_id_ = 1;  // sequential: responses stay
+                                       // deterministic across runs
+  std::map<std::uint64_t, std::shared_ptr<Session>> sessions_;
 };
 
 }  // namespace skelex::svc

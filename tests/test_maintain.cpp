@@ -11,6 +11,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/memo/stage_cache.h"
 #include "core/pipeline.h"
 #include "deploy/scenario.h"
 #include "geometry/shapes.h"
@@ -312,6 +313,74 @@ TEST(Maintainer, ValidatesOptions) {
   SkeletonMaintainer ok(topo, opt);
   // k + l + effective_local_max_radius with the paper defaults.
   EXPECT_EQ(ok.effective_dirty_radius(), 10);
+}
+
+// A cache-backed maintainer keys its tail stages (assess/coarse/cleanup/
+// prune/byproducts) on the stage-1/2 CONTENT fingerprint, so canonical
+// extractions over unchanged content replay from the shared cache.
+TEST(Maintainer, CanonicalWarmHitsTailCache) {
+  const auto scn = disk_scenario(250, 17);
+  sim::DynamicTopology topo(scn.graph);
+  core::memo::StageCache cache;
+  MaintainOptions opt;
+  opt.cache = &cache;
+  SkeletonMaintainer maint(topo, opt);
+
+  const core::SkeletonResult first = maint.canonical();
+  const auto cold = cache.stats();
+  EXPECT_EQ(cold.misses, 5);  // the five tail stages
+  EXPECT_EQ(cold.insertions, 5);
+
+  const core::SkeletonResult second = maint.canonical();
+  const auto warm = cache.stats();
+  EXPECT_EQ(warm.hits - cold.hits, 5);
+  EXPECT_EQ(warm.misses, cold.misses);
+
+  // And the cache changes nothing about WHAT is served.
+  SkeletonMaintainer plain(topo, {});
+  const std::uint64_t want =
+      core::skeleton_fingerprint(plain.canonical().skeleton);
+  EXPECT_EQ(core::skeleton_fingerprint(first.skeleton), want);
+  EXPECT_EQ(core::skeleton_fingerprint(second.skeleton), want);
+}
+
+// Under churn, the cache-backed maintainer serves bit-identical
+// skeletons to an uncached twin at every round — memoization must never
+// change repair outcomes, only skip recomputation.
+TEST(Maintainer, CacheBackedRepairsMatchUncached) {
+  const auto scn = corridor_scenario(500, 41);
+  const sim::ChurnScript script = sim::ChurnScript::random(
+      scn.graph, churn_spec(scn.range, 30, 0.25), 7);
+
+  sim::DynamicTopology topo_cached(scn.graph);
+  sim::DynamicTopology topo_plain(scn.graph);
+  core::memo::StageCache cache;
+  MaintainOptions cached_opt = regional_options();
+  cached_opt.cache = &cache;
+  SkeletonMaintainer cached(topo_cached, cached_opt);
+  SkeletonMaintainer plain(topo_plain, regional_options());
+  cached.initialize();
+  plain.initialize();
+  EXPECT_EQ(cached.served_fingerprint(), plain.served_fingerprint());
+
+  for (int round = 0; round < 30; ++round) {
+    (void)cached.advance(script, round);
+    (void)plain.advance(script, round);
+    ASSERT_EQ(cached.served_fingerprint(), plain.served_fingerprint())
+        << "round " << round;
+    ASSERT_TRUE(cached.check().ok()) << "round " << round;
+  }
+  EXPECT_GT(cache.stats().insertions, 0);
+
+  // Ground truths agree, and a repeated canonical() replays fully warm.
+  const core::SkeletonResult truth = cached.canonical();
+  EXPECT_EQ(core::skeleton_fingerprint(truth.skeleton),
+            core::skeleton_fingerprint(plain.canonical().skeleton));
+  const auto before = cache.stats();
+  (void)cached.canonical();
+  const auto after = cache.stats();
+  EXPECT_EQ(after.hits - before.hits, 5);
+  EXPECT_EQ(after.misses, before.misses);
 }
 
 // Randomized long-run soak: continuous mixed churn, invariants checked

@@ -11,6 +11,7 @@
 
 #include "core/fingerprint.h"
 #include "core/pipeline.h"
+#include "core/stage_cmd.h"
 #include "deploy/scenario.h"
 #include "geometry/shapes.h"
 
@@ -109,6 +110,170 @@ TEST(Memo, DifferentGraphsDoNotCollide) {
   const SkeletonResult r2 = extract_skeleton(g2, Params{}, &cache);
   EXPECT_NE(r1.index_out.get(), r2.index_out.get());
   EXPECT_EQ(result_fingerprint(r2), result_fingerprint(extract_skeleton(g2)));
+}
+
+// --- Tail-stage memoization (assess/cleanup/prune/byproducts) ----------------
+
+TEST(Memo, PruneVariantHitsEveryStageThroughCleanup) {
+  const net::Graph g = window_graph();
+  memo::StageCache cache;
+  Params a;
+  const SkeletonResult ra = extract_skeleton(g, a, &cache);
+  const memo::CacheStats cold = cache.stats();
+
+  Params b;
+  b.prune_len = 11;  // stage-4b param only
+  const SkeletonResult rb = extract_skeleton(g, b, &cache);
+  const memo::CacheStats warm = cache.stats();
+
+  // The full DAG is 8 keyed stages (index, identify, voronoi, assess,
+  // coarse, cleanup, prune, byproducts). A prune-only variant must
+  // replay the first six and recompute exactly prune + byproducts.
+  EXPECT_EQ(cold.misses, 8);
+  EXPECT_EQ(cold.insertions, 8);
+  EXPECT_EQ(warm.hits - cold.hits, 6);
+  EXPECT_EQ(warm.misses - cold.misses, 2);
+  EXPECT_EQ(warm.insertions - cold.insertions, 2);
+
+  // And both results equal their unmemoized runs bit for bit.
+  EXPECT_EQ(result_fingerprint(ra), result_fingerprint(extract_skeleton(g, a)));
+  EXPECT_EQ(result_fingerprint(rb), result_fingerprint(extract_skeleton(g, b)));
+}
+
+TEST(Memo, FullyWarmRunHitsAllEightStages) {
+  const net::Graph g = window_graph();
+  memo::StageCache cache;
+  const SkeletonResult cold = extract_skeleton(g, Params{}, &cache);
+  const memo::CacheStats st0 = cache.stats();
+  const SkeletonResult warm = extract_skeleton(g, Params{}, &cache);
+  const memo::CacheStats st1 = cache.stats();
+
+  EXPECT_EQ(st1.hits - st0.hits, 8);
+  EXPECT_EQ(st1.misses, st0.misses);
+
+  // The replayed tail stages (cleanup, prune, byproducts included) carry
+  // the cold run's node/message counts in the trace.
+  ASSERT_EQ(cold.trace.stages.size(), warm.trace.stages.size());
+  bool saw_cleanup = false, saw_prune = false, saw_byproducts = false;
+  for (std::size_t i = 0; i < cold.trace.stages.size(); ++i) {
+    const StageTrace::Stage& c = cold.trace.stages[i];
+    const StageTrace::Stage& w = warm.trace.stages[i];
+    EXPECT_EQ(c.name, w.name);
+    EXPECT_EQ(c.nodes, w.nodes) << c.name;
+    EXPECT_EQ(c.messages, w.messages) << c.name;
+    saw_cleanup |= c.name == "cleanup";
+    saw_prune |= c.name == "prune";
+    saw_byproducts |= c.name == "byproducts";
+  }
+  EXPECT_TRUE(saw_cleanup && saw_prune && saw_byproducts);
+
+  // Warm tail outputs are not recomputed copies: the final skeleton and
+  // by-products equal the cold ones exactly.
+  EXPECT_EQ(result_fingerprint(cold), result_fingerprint(warm));
+}
+
+// The key-chaining contract, on the commands themselves: upstream
+// changes propagate to every downstream key, parameter changes start
+// invalidation exactly at their stage.
+struct TailKeys {
+  std::uint64_t assess, coarse, cleanup, prune, byproducts;
+};
+
+TailKeys tail_keys(std::uint64_t voronoi_key, const Params& p) {
+  TailKeys k{};
+  AssessCmd assess;
+  assess.voronoi_key = voronoi_key;
+  assess.params = p.voronoi_params();
+  k.assess = assess.key();
+  CoarseCmd coarse;
+  coarse.voronoi_key = voronoi_key;  // effective key, unpatched input
+  coarse.params = p.coarse_params();
+  k.coarse = coarse.key();
+  CleanupCmd cleanup;
+  cleanup.coarse_key = k.coarse;
+  cleanup.params = p.cleanup_params();
+  k.cleanup = cleanup.key();
+  PruneCmd prune;
+  prune.cleanup_key = k.cleanup;
+  prune.params = p.prune_params();
+  k.prune = prune.key();
+  ByproductsCmd byp;
+  byp.prune_key = k.prune;
+  k.byproducts = byp.key();
+  return k;
+}
+
+TEST(Memo, KeyChainUpstreamChangePropagatesToEveryTailKey) {
+  const Params p;
+  const TailKeys k1 = tail_keys(0x1111, p);
+  const TailKeys k2 = tail_keys(0x2222, p);  // e.g. a regional re-flood
+  EXPECT_NE(k1.assess, k2.assess);
+  EXPECT_NE(k1.coarse, k2.coarse);
+  EXPECT_NE(k1.cleanup, k2.cleanup);
+  EXPECT_NE(k1.prune, k2.prune);
+  EXPECT_NE(k1.byproducts, k2.byproducts);
+}
+
+TEST(Memo, KeyChainPruneParamChangesExactlyTheDownstreamSuffix) {
+  Params a;
+  Params b;
+  b.prune_len = 11;
+  const TailKeys ka = tail_keys(0x1234, a);
+  const TailKeys kb = tail_keys(0x1234, b);
+  EXPECT_EQ(ka.assess, kb.assess);
+  EXPECT_EQ(ka.coarse, kb.coarse);
+  EXPECT_EQ(ka.cleanup, kb.cleanup);
+  EXPECT_NE(ka.prune, kb.prune);
+  EXPECT_NE(ka.byproducts, kb.byproducts);
+}
+
+TEST(Memo, KeyChainCleanupParamChangesCleanupOnward) {
+  Params a;
+  Params b;
+  b.thin_cycle_hops = 3;
+  const TailKeys ka = tail_keys(0x1234, a);
+  const TailKeys kb = tail_keys(0x1234, b);
+  EXPECT_EQ(ka.assess, kb.assess);
+  EXPECT_EQ(ka.coarse, kb.coarse);
+  EXPECT_NE(ka.cleanup, kb.cleanup);
+  EXPECT_NE(ka.prune, kb.prune);
+  EXPECT_NE(ka.byproducts, kb.byproducts);
+}
+
+TEST(Memo, TinyCacheEvictionNeverCorruptsResults) {
+  // Cache entries are standalone immutable values: evicting an upstream
+  // stage while a downstream entry survives (any LRU order) must never
+  // change what a request computes.
+  const net::Graph g = window_graph();
+  const std::uint64_t want = result_fingerprint(extract_skeleton(g, Params{}));
+  memo::StageCache::Options opt;
+  opt.max_entries = 3;  // forces upstream evictions mid-pipeline
+  memo::StageCache cache(opt);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(result_fingerprint(extract_skeleton(g, Params{}, &cache)), want)
+        << "run " << i;
+  }
+  EXPECT_GT(cache.stats().evictions, 0) << "cache too big for the test";
+}
+
+TEST(Memo, Stage12FingerprintTracksContent) {
+  const net::Graph g = window_graph(500, 3);
+  const SkeletonResult r = extract_skeleton(g, Params{});
+  const std::uint64_t base =
+      stage12_fingerprint(g.csr(), r.index(), r.critical_nodes, r.voronoi());
+  EXPECT_EQ(base, stage12_fingerprint(g.csr(), r.index(), r.critical_nodes,
+                                      r.voronoi()));
+
+  std::vector<int> crit2 = r.critical_nodes;
+  crit2.push_back(0);
+  EXPECT_NE(base,
+            stage12_fingerprint(g.csr(), r.index(), crit2, r.voronoi()));
+
+  VoronoiResult vor2 = r.voronoi();
+  ASSERT_FALSE(vor2.dist.empty());
+  vor2.dist[0] += 1;
+  EXPECT_NE(base,
+            stage12_fingerprint(g.csr(), r.index(), r.critical_nodes, vor2));
 }
 
 // --- StageCache mechanics (no pipeline involved) -----------------------------

@@ -214,6 +214,201 @@ TEST(Server, StatsOverTheWire) {
       << "second extract should have produced cache hits: " << resp;
 }
 
+// --- live scenario sessions ---------------------------------------------------
+
+TEST(Protocol, SessionFieldsRoundTrip) {
+  Request r;
+  r.cmd = "churn";
+  r.id = 9;
+  r.session_id = 7;
+  r.canonical = true;
+  r.churn_rounds = 12;
+  r.join_rate = 0.25;
+  r.leave_rate = 0.75;
+  r.link_add_rate = 1.5;
+  r.link_remove_rate = 0.125;
+  r.churn_seed = 31337;
+  r.repair_interval = 3;
+  r.staleness_bound = 9;
+
+  const Request back = parse_request(format_request(r));
+  EXPECT_EQ(back.cmd, r.cmd);
+  EXPECT_EQ(back.session_id, r.session_id);
+  EXPECT_EQ(back.canonical, r.canonical);
+  EXPECT_EQ(back.churn_rounds, r.churn_rounds);
+  EXPECT_EQ(back.join_rate, r.join_rate);
+  EXPECT_EQ(back.leave_rate, r.leave_rate);
+  EXPECT_EQ(back.link_add_rate, r.link_add_rate);
+  EXPECT_EQ(back.link_remove_rate, r.link_remove_rate);
+  EXPECT_EQ(back.churn_seed, r.churn_seed);
+  EXPECT_EQ(back.repair_interval, r.repair_interval);
+  EXPECT_EQ(back.staleness_bound, r.staleness_bound);
+
+  EXPECT_EQ(parse_request("cmd=session\n").cmd, "session");
+  EXPECT_EQ(parse_request("cmd=close\nsession=3\n").session_id, 3);
+}
+
+TEST(Service, SessionLifecycleServesMaintainedSkeleton) {
+  ExtractionService service;
+
+  Request open;
+  open.cmd = "session";
+  open.id = 1;
+  open.nodes = 400;
+  open.seed = 3;
+  const std::string opened = service.handle(open);
+  EXPECT_NE(opened.find("\"ok\": true"), std::string::npos) << opened;
+  EXPECT_NE(opened.find("\"session\": 1"), std::string::npos) << opened;
+  EXPECT_NE(opened.find("\"healthy\": true"), std::string::npos) << opened;
+  EXPECT_EQ(service.session_count(), 1u);
+
+  Request churn;
+  churn.cmd = "churn";
+  churn.id = 2;
+  churn.session_id = 1;
+  churn.churn_rounds = 6;
+  churn.churn_seed = 11;
+  const std::string churned = service.handle(churn);
+  EXPECT_NE(churned.find("\"ok\": true"), std::string::npos) << churned;
+  EXPECT_NE(churned.find("\"rounds\": 6"), std::string::npos);
+  EXPECT_NE(churned.find("\"script_digest\": \"0x"), std::string::npos);
+  EXPECT_NE(churned.find("\"healthy\": true"), std::string::npos) << churned;
+
+  // The served (maintained) skeleton passes the invariant checker and
+  // is bit-identical to a from-scratch extraction of the live topology.
+  Request ext;
+  ext.cmd = "extract";
+  ext.id = 3;
+  ext.session_id = 1;
+  ext.canonical = true;
+  const std::string extracted = service.handle(ext);
+  EXPECT_NE(extracted.find("\"ok\": true"), std::string::npos) << extracted;
+  EXPECT_NE(extracted.find("\"invariants_ok\": true"), std::string::npos)
+      << extracted;
+  EXPECT_NE(extracted.find("\"matches_canonical\": true"), std::string::npos)
+      << extracted;
+
+  Request close;
+  close.cmd = "close";
+  close.id = 4;
+  close.session_id = 1;
+  const std::string closed = service.handle(close);
+  EXPECT_NE(closed.find("\"closed\": true"), std::string::npos) << closed;
+  EXPECT_NE(closed.find("\"rounds_total\": 6"), std::string::npos) << closed;
+  EXPECT_EQ(service.session_count(), 0u);
+
+  // The session is gone: further commands against it are errors.
+  const std::string gone = service.handle(ext);
+  EXPECT_NE(gone.find("\"ok\": false"), std::string::npos) << gone;
+  EXPECT_NE(gone.find("unknown session"), std::string::npos) << gone;
+}
+
+TEST(Service, SessionResponsesDeterministicAcrossInstances) {
+  // Same command sequence against two fresh services: byte-identical
+  // responses (session ids are sequential, churn scripts are seeded, no
+  // timing fields in session responses).
+  const auto run = [](ExtractionService& service) {
+    std::vector<std::string> out;
+    Request open;
+    open.cmd = "session";
+    open.id = 1;
+    open.nodes = 350;
+    open.seed = 5;
+    out.push_back(service.handle(open));
+    Request churn;
+    churn.cmd = "churn";
+    churn.id = 2;
+    churn.session_id = 1;
+    churn.churn_rounds = 5;
+    churn.churn_seed = 77;
+    out.push_back(service.handle(churn));
+    out.push_back(service.handle(churn));  // churn continues the session
+    Request ext;
+    ext.cmd = "extract";
+    ext.id = 3;
+    ext.session_id = 1;
+    ext.canonical = true;
+    out.push_back(service.handle(ext));
+    return out;
+  };
+  ExtractionService a;
+  ExtractionService b;
+  const std::vector<std::string> ra = run(a);
+  const std::vector<std::string> rb = run(b);
+  ASSERT_EQ(ra.size(), rb.size());
+  for (std::size_t i = 0; i < ra.size(); ++i) {
+    EXPECT_EQ(ra[i], rb[i]) << "response " << i;
+  }
+}
+
+TEST(Service, MetricsExposeMaintainerTierCounters) {
+  ExtractionService service;
+  Request open;
+  open.cmd = "session";
+  open.id = 1;
+  open.nodes = 350;
+  open.seed = 5;
+  ASSERT_NE(service.handle(open).find("\"ok\": true"), std::string::npos);
+  Request churn;
+  churn.cmd = "churn";
+  churn.id = 2;
+  churn.session_id = 1;
+  churn.churn_rounds = 8;
+  ASSERT_NE(service.handle(churn).find("\"ok\": true"), std::string::npos);
+
+  Request metrics;
+  metrics.cmd = "metrics";
+  metrics.id = 3;
+  const std::string resp = service.handle(metrics);
+  EXPECT_NE(resp.find("maintain_repairs_"), std::string::npos) << resp;
+  EXPECT_NE(resp.find("svc_sessions_opened_total"), std::string::npos);
+  EXPECT_NE(resp.find("svc_session_churn_rounds_total"), std::string::npos);
+}
+
+// --- admission control --------------------------------------------------------
+
+TEST(Server, OverloadedQueueRejectsWithBusy) {
+  ExtractionService service;
+  // Two real workers (a 1-thread pool runs submit() inline on the
+  // reader, which can then never observe more than one in flight).
+  exec::ThreadPool pool(2);
+  Server::Options sopt;
+  sopt.max_queue = 2;
+  sopt.busy_retry_ms = 7;
+  Server server(service, pool, 0, sopt);
+  Client client(server.port());
+
+  // Pipeline a burst of distinct (never-warm) extracts without reading a
+  // single response: the reader must shed everything past the bound.
+  constexpr int kBurst = 24;
+  for (int i = 0; i < kBurst; ++i) {
+    Request req;
+    req.id = i + 1;
+    req.nodes = 500;
+    req.seed = static_cast<std::uint64_t>(100 + i);
+    req.with_trace = false;
+    ASSERT_TRUE(client.send(req));
+  }
+  int ok = 0, busy = 0;
+  std::string resp;
+  for (int i = 0; i < kBurst; ++i) {
+    ASSERT_TRUE(client.recv(resp)) << "response " << i;
+    if (resp.find("\"error\": \"busy\"") != std::string::npos) {
+      ++busy;
+      EXPECT_NE(resp.find("\"retry_ms\": 7"), std::string::npos) << resp;
+      EXPECT_NE(resp.find("\"ok\": false"), std::string::npos);
+    } else {
+      EXPECT_NE(resp.find("\"ok\": true"), std::string::npos) << resp;
+      ++ok;
+    }
+  }
+  EXPECT_EQ(ok + busy, kBurst);
+  EXPECT_GT(busy, 0) << "burst never tripped admission control";
+  EXPECT_GE(ok, 2) << "admitted requests must still be served";
+  EXPECT_EQ(server.rejected(), busy);
+  server.stop();
+}
+
 // --- serving-path observability ---------------------------------------------
 
 TEST(Protocol, MetricsAndTraceCommandsParse) {

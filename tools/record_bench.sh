@@ -5,7 +5,7 @@
 # (tools/compare_bench.py diffs two of them).
 #
 # Usage: tools/record_bench.sh [build-dir] [out-file]
-#   build-dir defaults to ./build, out-file to ./BENCH_8.json.
+#   build-dir defaults to ./build, out-file to ./BENCH_9.json.
 #
 # Schema (append-only — add keys, never rename):
 #   {
@@ -24,18 +24,21 @@
 #     "service": {"host_threads",              # CI runner core count
 #                 "req_per_s", "p50_ms", "p99_ms",
 #                 "cold_ms", "warm_ms", "warm_speedup",  # memo payoff
+#                 "tail_variant_ms", "tail_warm_speedup",  # keyed tail DAG
 #                 "hit_rate", "max_in_flight", "failures",
 #                 "counters": {<svc_*/exec_pool_* counter>: value}}
 #   }
 # Wall-times vary run to run; everything else is deterministic — the
 # engine rows' transmissions/rounds are asserted equal across thread
-# counts before the summary is written. Two perf gates run here too:
+# counts before the summary is written. Three perf gates run here too:
 # the memo cache must make warm service requests >= 3x faster than
-# cold, and on multi-core runners the 8-thread engine must beat serial.
+# cold, a never-seen prune_len (warm stages 1-6, fresh tail) must also
+# land >= 3x below cold, and on multi-core runners the 8-thread engine
+# must beat serial.
 set -euo pipefail
 
 build_dir=${1:-build}
-out=${2:-BENCH_8.json}
+out=${2:-BENCH_9.json}
 
 if [[ ! -x "$build_dir/bench/bench_thm5_complexity" ]]; then
   echo "error: benches not built in $build_dir (cmake --build $build_dir)" >&2
@@ -138,6 +141,8 @@ summary = {
         "cold_ms": round(svc["cold_ms"], 3),
         "warm_ms": round(svc["warm_ms"], 3),
         "warm_speedup": round(svc["warm_speedup"], 2),
+        "tail_variant_ms": round(svc["tail_variant_ms"], 3),
+        "tail_warm_speedup": round(svc["tail_warm_speedup"], 2),
         "hit_rate": round(svc["hit_rate"], 4),
         # The serving-path counters (request/connection/pool totals) ride
         # along so the trajectory shows request accounting, not just
@@ -158,6 +163,12 @@ assert svc["failures"] == 0, f"service requests failed: {svc['failures']}"
 assert svc["warm_speedup"] >= 3.0, (
     f"memo cache payoff too small: warm_speedup {svc['warm_speedup']:.2f}x"
     " < 3x")
+# The keyed tail DAG: a never-seen prune_len replays stages 1-6 from
+# cache and recomputes only prune + byproducts, so it too must land
+# >= 3x below cold.
+assert svc["tail_warm_speedup"] >= 3.0, (
+    f"tail-stage cache payoff too small: tail_warm_speedup "
+    f"{svc['tail_warm_speedup']:.2f}x < 3x")
 # On any multi-core runner, the 8-thread engine must beat serial on the
 # largest thm5 cell (the intra-round parallelism contract).
 if (os.cpu_count() or 1) >= 2:

@@ -14,7 +14,12 @@ end to end:
     cold request's stage-1 trace facts (shared upstream stages);
   * cache stats report hits after the warm request;
   * malformed requests produce ok=false errors, not dropped connections;
-  * cmd=shutdown makes the daemon drain and exit 0.
+  * cmd=shutdown makes the daemon drain and exit 0;
+  * churn-session determinism gate: the SAME session/churn/extract
+    sequence against a --threads 1 and a --threads 8 daemon produces
+    byte-identical responses (modulo millis), every probe's maintained
+    skeleton matches the canonical from-scratch extraction, and
+    cmd=metrics exposes the maintainer tier counters.
 """
 import json
 import re
@@ -55,19 +60,95 @@ def fail(msg: str):
     sys.exit(1)
 
 
-def main():
-    if len(sys.argv) != 2:
-        print(__doc__)
-        return 2
+def start_daemon(path: str, threads: int):
     daemon = subprocess.Popen(
-        [sys.argv[1], "--threads", "2"],
+        [path, "--threads", str(threads)],
         stdout=subprocess.PIPE, text=True)
     line = daemon.stdout.readline()
     m = re.match(r"listening on 127\.0\.0\.1:(\d+)", line)
     if not m:
         daemon.kill()
         fail(f"no listening line, got: {line!r}")
-    port = int(m.group(1))
+    return daemon, int(m.group(1))
+
+
+def session_sequence(sock):
+    """One scripted live-scenario session; returns the raw responses."""
+    out = []
+    send_frame(sock, "cmd=session\nid=10\nshape=window\nnodes=500\nseed=7\n")
+    out.append(recv_frame(sock))
+    for i in range(3):
+        send_frame(sock, f"cmd=churn\nid={11 + i}\nsession=1\nrounds=6\n"
+                         f"churn_seed={41 + i}\n")
+        out.append(recv_frame(sock))
+        send_frame(sock, f"cmd=extract\nid={20 + i}\nsession=1\ncanonical=1\n")
+        out.append(recv_frame(sock))
+    send_frame(sock, "cmd=close\nid=30\nsession=1\n")
+    out.append(recv_frame(sock))
+    return out
+
+
+def churn_session_gate(daemon_path: str):
+    """Same ChurnScript over the wire at 1 and 8 pool threads: the
+    maintained skeleton the daemon serves must be identical, and every
+    probe must match the canonical extraction bit for bit."""
+    runs = {}
+    for threads in (1, 8):
+        daemon, port = start_daemon(daemon_path, threads)
+        sock = socket.create_connection(("127.0.0.1", port))
+        try:
+            runs[threads] = session_sequence(sock)
+
+            if threads == 1:
+                # Maintainer tier counters are visible via cmd=metrics.
+                send_frame(sock, "cmd=metrics\nid=31\n")
+                metrics = json.loads(recv_frame(sock))
+                assert metrics["ok"], metrics
+                expo = metrics["exposition"]
+                for name in ("maintain_repairs_local",
+                             "maintain_repairs_regional",
+                             "maintain_repairs_full",
+                             "svc_sessions_opened_total",
+                             "svc_session_churn_rounds_total"):
+                    if name not in expo:
+                        fail(f"metrics exposition lacks {name}")
+
+            send_frame(sock, "cmd=shutdown\nid=39\n")
+            recv_frame(sock)
+        finally:
+            sock.close()
+        rc = daemon.wait(timeout=30)
+        if rc != 0:
+            fail(f"churn-gate daemon (threads={threads}) exited {rc}")
+
+    if [strip_millis(r) for r in runs[1]] != \
+       [strip_millis(r) for r in runs[8]]:
+        for a, b in zip(runs[1], runs[8]):
+            if strip_millis(a) != strip_millis(b):
+                print("threads=1:", strip_millis(a))
+                print("threads=8:", strip_millis(b))
+        fail("churn session diverges across pool thread counts")
+
+    extracts = [json.loads(r) for r in runs[1]
+                if '"matches_canonical"' in r]
+    assert len(extracts) == 3, runs[1]
+    for probe in extracts:
+        assert probe["ok"] and probe["invariants_ok"], probe
+        assert probe["healthy"], probe
+        if not probe["matches_canonical"]:
+            fail(f"served skeleton diverged from canonical: {probe}")
+        assert probe["fingerprint"] == probe["canonical_fingerprint"], probe
+    churns = [json.loads(r) for r in runs[1] if '"script_digest"' in r]
+    assert len(churns) == 3 and all(c["ok"] for c in churns), runs[1]
+    if not any(c["events"] > 0 for c in churns):
+        fail("churn rounds produced no events — the gate tested nothing")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    daemon, port = start_daemon(sys.argv[1], threads=2)
 
     sock = socket.create_connection(("127.0.0.1", port))
     try:
@@ -119,8 +200,11 @@ def main():
     rc = daemon.wait(timeout=30)
     if rc != 0:
         fail(f"daemon exited {rc} after shutdown")
-    print("OK: service smoke + memo-determinism gate passed "
-          f"(port {port}, fingerprint {cold_obj['fingerprint']})")
+
+    churn_session_gate(sys.argv[1])
+
+    print("OK: service smoke + memo-determinism + churn-session gates "
+          f"passed (port {port}, fingerprint {cold_obj['fingerprint']})")
     return 0
 
 

@@ -1,12 +1,15 @@
 // skelex_served — the long-lived extraction daemon.
 //
 //   skelex_served [--port N] [--threads N] [--cache-mb N]
-//                 [--slow-ms N] [--no-request-trace] [--log-level L]
+//                 [--max-queue N] [--slow-ms N] [--no-request-trace]
+//                 [--log-level L]
 //
 // Listens on 127.0.0.1 (port 0 = pick an ephemeral port), prints one
 // "listening on 127.0.0.1:<port>" line to stdout (scripts parse it),
 // then serves until a client sends cmd=shutdown. Structured JSON logs
 // go to stderr (--log-level debug|info|warn|error, default info);
+// --max-queue bounds admitted-but-unfinished requests (0 disables;
+// over-limit frames get {"error":"busy","retry_ms":...});
 // --slow-ms sets the slow-request warning threshold (0 disables);
 // --no-request-trace turns off span recording (cmd=trace returns empty
 // trees; the per-tier latency metrics stay on). See docs/service.md
@@ -42,6 +45,7 @@ int main(int argc, char** argv) {
   int port = 0;
   int threads = 0;  // 0: default_thread_count()
   long long cache_mb = 256;
+  long long max_queue = 1024;
   long long slow_ms = 250;
   bool trace_requests = true;
   for (int i = 1; i < argc; ++i) {
@@ -51,6 +55,8 @@ int main(int argc, char** argv) {
       threads = static_cast<int>(parse_arg(argc, argv, i, "--threads"));
     } else if (std::strcmp(argv[i], "--cache-mb") == 0) {
       cache_mb = parse_arg(argc, argv, i, "--cache-mb");
+    } else if (std::strcmp(argv[i], "--max-queue") == 0) {
+      max_queue = parse_arg(argc, argv, i, "--max-queue");
     } else if (std::strcmp(argv[i], "--slow-ms") == 0) {
       slow_ms = parse_arg(argc, argv, i, "--slow-ms");
     } else if (std::strcmp(argv[i], "--no-request-trace") == 0) {
@@ -69,7 +75,8 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: skelex_served [--port N] [--threads N] "
-                   "[--cache-mb N] [--slow-ms N] [--no-request-trace] "
+                   "[--cache-mb N] [--max-queue N] [--slow-ms N] "
+                   "[--no-request-trace] "
                    "[--log-level debug|info|warn|error]\n");
       return 2;
     }
@@ -85,9 +92,11 @@ int main(int argc, char** argv) {
   opt.slow_request_ms = static_cast<double>(slow_ms);
   skelex::svc::ExtractionService service(opt);
   skelex::exec::ThreadPool pool(threads);
+  skelex::svc::Server::Options sopt;
+  sopt.max_queue = static_cast<int>(max_queue);
   try {
     skelex::svc::Server server(service, pool,
-                               static_cast<std::uint16_t>(port));
+                               static_cast<std::uint16_t>(port), sopt);
     std::printf("listening on 127.0.0.1:%u\n", server.port());
     std::fflush(stdout);  // scripts wait for this line
     server.serve_forever();
