@@ -7,6 +7,13 @@
 // The ten scenarios are independent cells run in parallel (SweepRunner);
 // rows, SVGs, and the JSON report are emitted in scenario order after
 // the sweep, so output is identical at any --threads value.
+//
+// --large-n=N appends an eleventh cell: the window shape scaled to N
+// nodes at avg degree 8, deployed with the counter-based sampler (the
+// parallel-deterministic path the million-node tier uses). The ten
+// paper scenarios are untouched, so recorded baselines only GROW a row.
+#include <cstring>
+
 #include "bench_util.h"
 
 namespace {
@@ -17,13 +24,28 @@ struct Cell {
   skelex::net::Graph graph;
 };
 
+int parse_large_n(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--large-n=", 10) == 0) return std::atoi(a + 10);
+    if (std::strcmp(a, "--large-n") == 0 && i + 1 < argc) {
+      return std::atoi(argv[i + 1]);
+    }
+  }
+  return 0;  // 0: paper scenarios only
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace skelex;
   bench::SweepRunner sweep(argc, argv);
-  const std::vector<geom::shapes::NamedShape> shapes =
+  const int large_n = parse_large_n(argc, argv);
+  std::vector<geom::shapes::NamedShape> shapes =
       geom::shapes::paper_scenarios();
+  if (large_n > 0) {
+    shapes.push_back({"window_xl", geom::shapes::window(), large_n, 8.0});
+  }
 
   const std::vector<Cell> cells =
       sweep.run<Cell>(static_cast<int>(shapes.size()), [&](int i) {
@@ -36,6 +58,7 @@ int main(int argc, char** argv) {
         // whole at the same density (see DESIGN.md).
         spec.target_avg_deg = s.paper_avg_deg;
         spec.seed = 20260704;
+        spec.counter_sampling = s.name == "window_xl";
         deploy::Scenario sc = deploy::make_udg_scenario(s.region, spec);
         Cell cell;
         cell.name = s.name;

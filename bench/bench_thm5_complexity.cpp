@@ -15,7 +15,17 @@
 // table and the JSON report are emitted in size order after the sweep.
 //
 // Flags (besides SweepRunner's --threads / --trace-out):
-//   --max-n=N           drop sweep sizes above N (CI runs a reduced sweep)
+//   --max-n=N           drop sweep sizes above N (CI runs a reduced sweep).
+//                       Raising it ABOVE 16000 opts into the large-n tier:
+//                       n = 1e5 at --max-n 100000, n = 1e6 at --max-n
+//                       1000000. Large cells deploy with the counter-based
+//                       sampler (ScenarioSpec::counter_sampling), whose
+//                       point set parallelizes deterministically; the six
+//                       default sizes keep the stateful sampler so their
+//                       results — including the golden fingerprints — are
+//                       unchanged.
+//   --min-n=N           drop sweep sizes below N (the CI large-n smoke runs
+//                       exactly one cell with --min-n/--max-n 100000)
 //   --telemetry         record per-round time series (per-row "series" JSON)
 //   --engine-threads=T  intra-round parallelism per cell's engine
 //                       (results bit-identical at any T; only wall time
@@ -33,17 +43,21 @@ struct Cell {
   double avg_deg = 0.0;
   skelex::sim::RunStats total;
   skelex::core::StageTrace trace;
+  long long peak_rss_kb = 0;
 };
 
-int parse_max_n(int argc, char** argv) {
+int parse_int_flag(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
-    if (std::strncmp(a, "--max-n=", 8) == 0) return std::atoi(a + 8);
-    if (std::strcmp(a, "--max-n") == 0 && i + 1 < argc) {
+    if (std::strncmp(a, name, len) == 0 && a[len] == '=') {
+      return std::atoi(a + len + 1);
+    }
+    if (std::strcmp(a, name) == 0 && i + 1 < argc) {
       return std::atoi(argv[i + 1]);
     }
   }
-  return 0;  // 0: no cap
+  return 0;  // 0: no bound
 }
 
 bool parse_telemetry(int argc, char** argv) {
@@ -58,14 +72,26 @@ bool parse_telemetry(int argc, char** argv) {
 int main(int argc, char** argv) {
   using namespace skelex;
   bench::SweepRunner sweep(argc, argv);
-  const int max_n = parse_max_n(argc, argv);
+  const int max_n = parse_int_flag(argc, argv, "--max-n");
+  const int min_n = parse_int_flag(argc, argv, "--min-n");
   const bool telemetry = parse_telemetry(argc, argv);
   const geom::Region region = geom::shapes::window();
   const core::Params params;  // k = l = 4
   std::vector<int> sizes = {500, 1000, 2000, 4000, 8000, 16000};
+  // The large-n tier only joins the sweep when --max-n asks for it, so
+  // the default run (and every existing baseline) is untouched.
+  constexpr int kLargeTierFloor = 16000;
+  for (const int big : {100'000, 1'000'000}) {
+    if (max_n >= big) sizes.push_back(big);
+  }
   if (max_n > 0) {
     std::erase_if(sizes, [&](int n) { return n > max_n; });
     if (sizes.empty()) sizes.push_back(max_n);
+  }
+  if (min_n > 0) std::erase_if(sizes, [&](int n) { return n < min_n; });
+  if (sizes.empty()) {
+    std::fprintf(stderr, "no sweep sizes between --min-n and --max-n\n");
+    return 1;
   }
 
   const std::vector<Cell> cells =
@@ -74,6 +100,10 @@ int main(int argc, char** argv) {
         spec.target_nodes = sizes[static_cast<std::size_t>(i)];
         spec.target_avg_deg = 8.0;
         spec.seed = 3;
+        // Large tier: counter-based deployment (parallel, deterministic
+        // at any thread count). The default sizes keep the stateful
+        // sampler so their recorded results never move.
+        spec.counter_sampling = spec.target_nodes > kLargeTierFloor;
         const deploy::Scenario sc = deploy::make_udg_scenario(region, spec);
         sim::Engine engine(sc.graph);
         engine.set_threads(sweep.engine_threads());
@@ -85,6 +115,7 @@ int main(int argc, char** argv) {
         cell.avg_deg = sc.graph.avg_degree();
         cell.total = run.total();
         cell.trace = run.trace;
+        cell.peak_rss_kb = bench::read_peak_rss_kb();
         return cell;
       });
 
@@ -112,6 +143,7 @@ int main(int argc, char** argv) {
     json.key("tx_per_node").value(static_cast<double>(c.total.transmissions) /
                                   c.n);
     json.key("rounds").value(c.total.rounds);
+    json.key("peak_rss_kb").value(c.peak_rss_kb);
     bench::write_trace(json, c.trace);
     if (telemetry) bench::write_round_series(json, c.total.series);
     json.end_object();

@@ -8,6 +8,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -15,6 +16,10 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 #include "core/pipeline.h"
 #include "core/stage_trace.h"
@@ -32,6 +37,35 @@
 #include "viz/svg.h"
 
 namespace skelex::bench {
+
+// Peak resident set size of THIS PROCESS so far, in kB (VmHWM from
+// /proc/self/status, falling back to getrusage ru_maxrss — also kB on
+// Linux — where the kernel omits the VmHWM line), or 0 where neither
+// source exists. The high-water mark is process-wide and monotone, so a
+// per-cell reading taken when the cell finishes means "peak RSS up to
+// and including this cell" — on a size-ordered sweep the last row is
+// the sweep's memory budget, and the first jump past a row pinpoints
+// which size blew it.
+inline long long read_peak_rss_kb() {
+  long long kb = 0;
+  if (std::FILE* f = std::fopen("/proc/self/status", "r")) {
+    char line[256];
+    while (std::fgets(line, sizeof line, f) != nullptr) {
+      if (std::strncmp(line, "VmHWM:", 6) == 0) {
+        kb = std::atoll(line + 6);
+        break;
+      }
+    }
+    std::fclose(f);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  if (kb == 0) {
+    struct rusage ru {};
+    if (getrusage(RUSAGE_SELF, &ru) == 0) kb = ru.ru_maxrss;
+  }
+#endif
+  return kb;
+}
 
 // --- Stable JSON output ------------------------------------------------------
 // The byte-stable append-only writer lives in io/json.h now (shared with
@@ -81,6 +115,7 @@ inline void write_trace(JsonWriter& j, const core::StageTrace& trace) {
     j.key("millis").value(s.millis);
     j.key("nodes").value(s.nodes);
     j.key("messages").value(s.messages);
+    j.key("bytes").value(s.bytes);
     j.end_object();
   }
   j.end_array();
@@ -201,6 +236,7 @@ struct RunRow {
   double medial_max_R = 0.0;
   double coverage = 0.0;  // axis coverage at 3R
   double millis = 0.0;
+  long long peak_rss_kb = 0;  // process VmHWM when the cell finished
   core::SkeletonResult result;
 };
 
@@ -216,6 +252,7 @@ inline RunRow evaluate(const std::string& label, const geom::Region& region,
   row.result = core::extract_skeleton(g, params);
   const auto t1 = std::chrono::steady_clock::now();
   row.millis = std::chrono::duration<double, std::milli>(t1 - t0).count();
+  row.peak_rss_kb = read_peak_rss_kb();
   row.sites = static_cast<int>(row.result.critical_nodes.size());
   row.skeleton_nodes = row.result.skeleton.node_count();
   row.components = row.result.skeleton.component_count();
@@ -261,6 +298,9 @@ inline void write_row(JsonWriter& j, const RunRow& r) {
   j.key("medial_max_R").value(r.medial_max_R);
   j.key("coverage").value(r.coverage);
   j.key("millis").value(r.millis);
+  // Run-varying like millis: CI's determinism diffs and compare_bench.py
+  // both strip it.
+  j.key("peak_rss_kb").value(r.peak_rss_kb);
   write_trace(j, r.result.trace);
 }
 

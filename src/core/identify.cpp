@@ -26,12 +26,16 @@ std::vector<int> identify_critical_nodes(const net::CsrGraph& g,
   const int r = params.local_max_radius;
   std::vector<int> critical;
   net::KhopScanner scanner(g, ws);
+  const double* const index = idx.index.data();
   for (int v = 0; v < g.n(); ++v) {
-    const double iv = idx.index[static_cast<std::size_t>(v)];
+    const double iv = index[v];
+    // Branch-light accumulate: the scan always runs the full radius (the
+    // message count is the same whether or not v stays a candidate), so
+    // fold the comparison into a flag instead of branching per visit.
     bool is_max = true;
     scanner.scan(v, r, [&](int w) {
-      const double iw = idx.index[static_cast<std::size_t>(w)];
-      if (iw > iv || (iw == iv && w < v)) is_max = false;
+      const double iw = index[w];
+      is_max = is_max & !(iw > iv || (iw == iv && w < v));
     });
     if (is_max) critical.push_back(v);
   }

@@ -67,6 +67,7 @@ class StageCache {
   struct TraceFacts {
     int nodes = 0;
     long long messages = 0;
+    long long bytes = 0;  // kernel bytes-moved model (see Workspace)
   };
 
   StageCache();

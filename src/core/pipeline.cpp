@@ -24,6 +24,7 @@ class PipelineStage {
   PipelineStage(PipelineContext& ctx, std::string name, int nodes)
       : ctx_(ctx),
         scans0_(ctx.ws.edge_scans),
+        bytes0_(ctx.ws.bytes_touched),
         stage_(ctx.trace, std::move(name), "pipeline") {
     stage_.set_nodes(nodes);
   }
@@ -33,11 +34,15 @@ class PipelineStage {
 
   // Body runs before member destructors, so the edge-scan delta is in
   // place when stage_ records.
-  ~PipelineStage() { stage_.set_messages(ctx_.ws.edge_scans - scans0_); }
+  ~PipelineStage() {
+    stage_.set_messages(ctx_.ws.edge_scans - scans0_);
+    stage_.set_bytes(ctx_.ws.bytes_touched - bytes0_);
+  }
 
  private:
   PipelineContext& ctx_;
   long long scans0_;
+  long long bytes0_;
   ScopedStage stage_;
 };
 
@@ -58,10 +63,12 @@ std::shared_ptr<const T> run_stage(PipelineContext& ctx,
       ScopedStage stage(ctx.trace, name, "pipeline");
       stage.set_nodes(facts.nodes);
       stage.set_messages(facts.messages);
+      stage.set_bytes(facts.bytes);
       return hit;
     }
   }
   const long long scans0 = ctx.ws.edge_scans;
+  const long long bytes0 = ctx.ws.bytes_touched;
   std::shared_ptr<const T> value;
   {
     PipelineStage t(ctx, name, nodes);
@@ -69,7 +76,8 @@ std::shared_ptr<const T> run_stage(PipelineContext& ctx,
   }
   if (cache != nullptr) {
     const memo::StageCache::TraceFacts facts{nodes,
-                                             ctx.ws.edge_scans - scans0};
+                                             ctx.ws.edge_scans - scans0,
+                                             ctx.ws.bytes_touched - bytes0};
     const std::size_t bytes = approx_bytes(*value);
     value = cache->insert<T>(key, name, std::move(value), bytes, facts);
   }

@@ -33,6 +33,10 @@ struct StageTrace {
     int nodes = 0;              // nodes the stage operated on
     long long messages = 0;     // radio messages (distributed) or
                                 // adjacency scans (centralized proxy)
+    long long bytes = 0;        // deterministic bytes-moved model of the
+                                // stage's flood kernels (memory-bandwidth
+                                // attribution; 0 for stages that run no
+                                // workspace traversal)
   };
 
   std::vector<Stage> stages;
@@ -56,8 +60,9 @@ struct StageTrace {
     return nullptr;
   }
 
-  void add(std::string name, double millis, int nodes, long long messages) {
-    stages.push_back({std::move(name), millis, nodes, messages});
+  void add(std::string name, double millis, int nodes, long long messages,
+           long long bytes = 0) {
+    stages.push_back({std::move(name), millis, nodes, messages, bytes});
   }
 };
 
@@ -87,12 +92,18 @@ class ScopedStage {
 
   void set_nodes(int n) { nodes_ = n; }
   void set_messages(long long m) { messages_ = m; }
+  // Bytes ride the span args and the StageTrace (memory-bandwidth
+  // attribution for Perfetto), NOT the metrics registry: the stage_*
+  // counter set is a stable exposition surface that byte-compare gates
+  // pin down.
+  void set_bytes(long long b) { bytes_ = b; }
 
   ~ScopedStage() {
     const double dur_us = obs::Tracer::now_us() - start_us_;
     if (ctx_ != nullptr) {
       ctx_->span_arg(ctx_span_, "nodes", nodes_);
       ctx_->span_arg(ctx_span_, "messages", messages_);
+      ctx_->span_arg(ctx_span_, "bytes", bytes_);
       ctx_->end_span(ctx_span_);
     }
     if (obs::TraceSink* sink = obs::Tracer::current()) {
@@ -104,6 +115,7 @@ class ScopedStage {
       e.tid = obs::Tracer::tid();
       e.args.emplace_back("nodes", nodes_);
       e.args.emplace_back("messages", messages_);
+      e.args.emplace_back("bytes", bytes_);
       sink->record(std::move(e));
     }
     auto& reg = obs::Registry::global();
@@ -111,7 +123,7 @@ class ScopedStage {
     reg.counter("stage_runs", labels).inc();
     reg.counter("stage_nodes", labels).inc(nodes_);
     reg.counter("stage_messages", labels).inc(messages_);
-    trace_.add(std::move(name_), dur_us / 1000.0, nodes_, messages_);
+    trace_.add(std::move(name_), dur_us / 1000.0, nodes_, messages_, bytes_);
   }
 
  private:
@@ -123,6 +135,7 @@ class ScopedStage {
   int ctx_span_ = -1;
   int nodes_ = 0;
   long long messages_ = 0;
+  long long bytes_ = 0;
 };
 
 }  // namespace skelex::core

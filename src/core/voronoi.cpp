@@ -60,19 +60,41 @@ VoronoiResult build_voronoi(const net::CsrGraph& g, net::Workspace& ws,
   for (std::size_t i = 0; i < r.sites.size(); ++i) {
     r.site_of[static_cast<std::size_t>(r.sites[i])] = static_cast<int>(i);
   }
-  for (int v : ws.queue) {
-    const std::size_t vi = static_cast<std::size_t>(v);
-    if (r.dist[vi] <= 0) continue;  // site
-    ws.edge_scans += g.degree(v);
-    for (int w : g.neighbors(v)) {
-      const std::size_t wi = static_cast<std::size_t>(w);
-      if (r.dist[wi] != r.dist[vi] - 1) continue;
-      if (r.site_of[vi] == -1 || r.site_of[wi] < r.site_of[vi] ||
-          (r.site_of[wi] == r.site_of[vi] && w < r.parent[vi])) {
-        r.site_of[vi] = r.site_of[wi];
-        r.parent[vi] = w;
+  {
+    // SoA inner loop: the candidate scan reads only the flat dist /
+    // site_of arrays through raw pointers and keeps the running best in
+    // registers; the adoption rule and its tie-breaks are unchanged.
+    const int* const off = g.offsets_data();
+    const int* const degp = g.degrees_data();
+    const int* const tgt = g.targets_data();
+    const int* const dist = r.dist.data();
+    int* const site_of = r.site_of.data();
+    int* const parent = r.parent.data();
+    long long scans = 0, processed = 0;
+    for (int v : ws.queue) {
+      if (dist[v] <= 0) continue;  // site
+      ++processed;
+      const int want = dist[v] - 1;
+      const int dv = degp[v];
+      const int* const row = tgt + off[v];
+      scans += dv;
+      int best_site = site_of[v];  // -1 until first adopter
+      int best_par = parent[v];
+      for (int i = 0; i < dv; ++i) {
+        const int w = row[i];
+        if (dist[w] != want) continue;
+        const int sw = site_of[w];
+        if (best_site == -1 || sw < best_site ||
+            (sw == best_site && w < best_par)) {
+          best_site = sw;
+          best_par = w;
+        }
       }
+      site_of[v] = best_site;
+      parent[v] = best_par;
     }
+    ws.edge_scans += scans;
+    ws.bytes_touched += 8 * (scans + processed);
   }
 
   r.site2_of.assign(n, -1);
@@ -88,44 +110,63 @@ VoronoiResult build_voronoi(const net::CsrGraph& g, net::Workspace& ws,
   // per-site best is tracked in a flat scratch vector (a handful of
   // entries per node at most; sorted by site before publishing).
   std::vector<VoronoiResult::NearbySite> others;  // site -> best record
+  const int* const off = g.offsets_data();
+  const int* const degp = g.degrees_data();
+  const int* const tgt = g.targets_data();
+  const int* const dist = r.dist.data();
+  const int* const site_of = r.site_of.data();
+  int* const site2_of = r.site2_of.data();
+  int* const dist2 = r.dist2.data();
+  int* const via2 = r.via2.data();
+  long long scans = 0, processed = 0;
   for (int v = 0; v < g.n(); ++v) {
     const std::size_t vi = static_cast<std::size_t>(v);
-    if (r.site_of[vi] == -1) continue;  // disconnected from all sites
+    const int sv = site_of[v];
+    if (sv == -1) continue;  // disconnected from all sites
+    ++processed;
     others.clear();
-    ws.edge_scans += g.degree(v);
-    for (int w : g.neighbors(v)) {
-      const std::size_t wi = static_cast<std::size_t>(w);
-      if (r.site_of[wi] == -1 || r.site_of[wi] == r.site_of[vi]) continue;
-      const int d2 = r.dist[wi] + 1;
-      if (std::abs(d2 - r.dist[vi]) > params.alpha) continue;
+    const int dv = degp[v];
+    const int* const row = tgt + off[v];
+    scans += dv;
+    // Running second-site best, kept in registers across the scan.
+    int b_site = -1, b_dist = net::kUnreached, b_via = -1;
+    for (int i = 0; i < dv; ++i) {
+      const int w = row[i];
+      const int sw = site_of[w];
+      if (sw == -1 || sw == sv) continue;
+      const int d2 = dist[w] + 1;
+      if (std::abs(d2 - dist[v]) > params.alpha) continue;
       VoronoiResult::NearbySite* rec = nullptr;
       for (auto& o : others) {
-        if (o.site == r.site_of[wi]) { rec = &o; break; }
+        if (o.site == sw) { rec = &o; break; }
       }
       if (rec == nullptr) {
-        others.push_back({r.site_of[wi], d2, w});
+        others.push_back({sw, d2, w});
       } else if (d2 < rec->dist || (d2 == rec->dist && w < rec->via)) {
-        *rec = {r.site_of[wi], d2, w};
+        *rec = {sw, d2, w};
       }
-      const bool better =
-          r.site2_of[vi] == -1 || d2 < r.dist2[vi] ||
-          (d2 == r.dist2[vi] && r.site_of[wi] < r.site2_of[vi]) ||
-          (d2 == r.dist2[vi] && r.site_of[wi] == r.site2_of[vi] &&
-           w < r.via2[vi]);
+      const bool better = b_site == -1 || d2 < b_dist ||
+                          (d2 == b_dist && sw < b_site) ||
+                          (d2 == b_dist && sw == b_site && w < b_via);
       if (better) {
-        r.site2_of[vi] = r.site_of[wi];
-        r.dist2[vi] = d2;
-        r.via2[vi] = w;
+        b_site = sw;
+        b_dist = d2;
+        b_via = w;
       }
     }
-    if (r.site2_of[vi] != -1) r.is_segment[vi] = 1;
+    site2_of[v] = b_site;
+    dist2[v] = b_dist;
+    via2[v] = b_via;
+    if (b_site != -1) r.is_segment[vi] = 1;
     if (others.size() >= 2) r.is_voronoi_node[vi] = 1;
     r.nearby[vi].reserve(others.size() + 1);
-    r.nearby[vi].push_back({r.site_of[vi], r.dist[vi], r.parent[vi]});
+    r.nearby[vi].push_back({sv, dist[v], r.parent[vi]});
     for (const auto& rec : others) r.nearby[vi].push_back(rec);
     std::sort(r.nearby[vi].begin(), r.nearby[vi].end(),
               [](const auto& a, const auto& b) { return a.site < b.site; });
   }
+  ws.edge_scans += scans;
+  ws.bytes_touched += 8 * (scans + processed);
   return r;
 }
 

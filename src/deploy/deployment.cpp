@@ -1,8 +1,11 @@
 #include "deploy/deployment.h"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 #include <stdexcept>
+
+#include "exec/thread_pool.h"
 
 namespace skelex::deploy {
 
@@ -72,6 +75,70 @@ std::vector<Vec2> jittered_grid_in_region(const Region& region, double pitch,
       if (region.contains(p)) pts.push_back(p);
     }
   }
+  return pts;
+}
+
+std::vector<Vec2> counter_jittered_grid_in_region(const Region& region,
+                                                  double pitch, double jitter,
+                                                  std::uint64_t seed,
+                                                  exec::ThreadPool* pool) {
+  if (pitch <= 0) throw std::invalid_argument("pitch must be > 0");
+  Vec2 lo, hi;
+  region.bounding_box(lo, hi);
+  // Index-based cell centers (lo + pitch/2 + i*pitch) rather than an
+  // accumulating loop: every cell's center — and so every point — is a
+  // pure function of its (row, column), independent of which chunk
+  // computes it.
+  const auto axis_count = [&](double a, double b) {
+    int count = 0;
+    while (a + pitch / 2 + count * pitch <= b) ++count;
+    return count;
+  };
+  const int ny = axis_count(lo.y, hi.y);
+  const int nx = axis_count(lo.x, hi.x);
+  if (ny == 0 || nx == 0) return {};
+
+  const auto fill_rows = [&](int iy0, int iy1, std::vector<Vec2>& out) {
+    for (int iy = iy0; iy < iy1; ++iy) {
+      const double y = lo.y + pitch / 2 + iy * pitch;
+      const std::uint64_t prefix =
+          counter_prefix(seed, static_cast<std::uint64_t>(iy));
+      for (int ix = 0; ix < nx; ++ix) {
+        const double x = lo.x + pitch / 2 + ix * pitch;
+        // Two keyed draws per cell, mirroring the stateful sampler's
+        // uniform(-jitter, jitter) mapping.
+        const double ux =
+            counter_uniform_tail(prefix, 2 * static_cast<std::uint64_t>(ix));
+        const double uy = counter_uniform_tail(
+            prefix, 2 * static_cast<std::uint64_t>(ix) + 1);
+        const Vec2 p{x + (-jitter + 2 * jitter * ux) * pitch,
+                     y + (-jitter + 2 * jitter * uy) * pitch};
+        if (region.contains(p)) out.push_back(p);
+      }
+    }
+  };
+
+  exec::ThreadPool* p = pool;
+  if (p == nullptr && static_cast<long long>(nx) * ny >= 32768) {
+    p = &exec::shared_pool();
+  }
+  if (p == nullptr || p->thread_count() < 2 || ny < 2) {
+    std::vector<Vec2> pts;
+    fill_rows(0, ny, pts);
+    return pts;
+  }
+  const int chunks = std::min(p->thread_count(), ny);
+  std::vector<std::vector<Vec2>> per(static_cast<std::size_t>(chunks));
+  p->parallel_chunks(ny, chunks, [&](int c, int b, int e) {
+    fill_rows(b, e, per[static_cast<std::size_t>(c)]);
+  });
+  std::size_t total = 0;
+  for (const auto& v : per) total += v.size();
+  std::vector<Vec2> pts;
+  pts.reserve(total);
+  // Chunk-major merge of contiguous ascending row ranges == the serial
+  // row-major order, at any chunk count.
+  for (const auto& v : per) pts.insert(pts.end(), v.begin(), v.end());
   return pts;
 }
 

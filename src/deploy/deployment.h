@@ -5,12 +5,17 @@
 // distributions; we support a density function that biases acceptance.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "deploy/rng.h"
 #include "geometry/polygon.h"
 #include "geometry/vec2.h"
+
+namespace skelex::exec {
+class ThreadPool;
+}
 
 namespace skelex::deploy {
 
@@ -43,6 +48,19 @@ DensityFn horizontal_split_density(double x_split, double left_keep,
 std::vector<geom::Vec2> jittered_grid_in_region(const geom::Region& region,
                                                 double pitch, double jitter,
                                                 Rng& rng);
+
+// Counter-based jittered grid for large deployments: same geometry as
+// jittered_grid_in_region, but each grid cell's two jitter draws are
+// pure functions of (seed, row, column) via counter_uniform, and cell
+// centers are computed by index (not accumulation). With no RNG state
+// to thread, rows generate in parallel chunks with a chunk-major merge
+// — the point sequence is identical at any thread or chunk count (it is
+// NOT the same sequence as the stateful-Rng variant; pick one per
+// scenario and keep it). `pool` may be null: rows are chunked on the
+// shared pool above a size threshold, serially below it.
+std::vector<geom::Vec2> counter_jittered_grid_in_region(
+    const geom::Region& region, double pitch, double jitter,
+    std::uint64_t seed, exec::ThreadPool* pool = nullptr);
 
 // The UDG radio range that yields an expected average degree `target_deg`
 // for `count` nodes uniform in `region` (ignoring boundary effects):

@@ -85,4 +85,30 @@ double counter_uniform(std::uint64_t seed, std::uint64_t k0, std::uint64_t k1) {
   return static_cast<double>(counter_hash(seed, k0, k1) >> 11) * 0x1.0p-53;
 }
 
+std::uint64_t counter_prefix(std::uint64_t seed, std::uint64_t k0) {
+  return mix64(mix64(seed + 0x9e3779b97f4a7c15ULL) ^
+               (k0 + 0x9e3779b97f4a7c15ULL));
+}
+
+std::uint64_t counter_hash_tail(std::uint64_t prefix, std::uint64_t k1) {
+  return mix64(prefix ^ (k1 + 0x9e3779b97f4a7c15ULL));
+}
+
+double counter_uniform_tail(std::uint64_t prefix, std::uint64_t k1) {
+  return static_cast<double>(counter_hash_tail(prefix, k1) >> 11) * 0x1.0p-53;
+}
+
+void counter_uniform_batch(std::uint64_t prefix, std::uint64_t base_k1,
+                           const int* ids, int count, double* out) {
+  // One mix64 per element, no branches: the loop body is pure integer
+  // arithmetic on independent lanes, so the compiler is free to unroll
+  // and vectorize it.
+  for (int i = 0; i < count; ++i) {
+    const std::uint64_t k1 =
+        base_k1 | static_cast<std::uint32_t>(ids[i] + 1);
+    out[i] =
+        static_cast<double>(counter_hash_tail(prefix, k1) >> 11) * 0x1.0p-53;
+  }
+}
+
 }  // namespace skelex::deploy

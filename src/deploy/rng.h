@@ -53,4 +53,36 @@ std::uint64_t counter_hash(std::uint64_t seed, std::uint64_t k0,
 // counter_hash mapped to a uniform double in [0, 1).
 double counter_uniform(std::uint64_t seed, std::uint64_t k0, std::uint64_t k1);
 
+// --- Batched counter draws ---------------------------------------------------
+//
+// counter_hash(seed, k0, k1) mixes three words in sequence; when many
+// draws share (seed, k0) — e.g. every receiver of one broadcast shares
+// the (round, sender) half of the key — the first two mixes can be
+// hoisted and only the k1 mix paid per draw. The split is exact:
+//
+//   counter_hash(seed, k0, k1)
+//     == counter_hash_tail(counter_prefix(seed, k0), k1)
+//
+// bit for bit, so batched and scalar draws are interchangeable. The
+// tail is a single data-independent mix per element — a tight loop over
+// a receiver array that the compiler can unroll and vectorize.
+
+// The (seed, k0)-dependent half of counter_hash, hoisted.
+std::uint64_t counter_prefix(std::uint64_t seed, std::uint64_t k0);
+
+// Finishes a draw from a hoisted prefix. Identity above holds exactly.
+std::uint64_t counter_hash_tail(std::uint64_t prefix, std::uint64_t k1);
+
+// counter_hash_tail mapped to a uniform double in [0, 1) — bit-equal to
+// counter_uniform(seed, k0, k1) for the matching prefix.
+double counter_uniform_tail(std::uint64_t prefix, std::uint64_t k1);
+
+// Strided batch: out[i] = counter_uniform(seed, k0, base_k1 | (ids[i] + 1))
+// for i in [0, count), evaluated via one hoisted prefix and one mix per
+// element. This is the engine's per-delivery loss key shape (k1 packs
+// the emission index in the high word and receiver + 1 in the low word);
+// `out` must hold `count` doubles.
+void counter_uniform_batch(std::uint64_t prefix, std::uint64_t base_k1,
+                           const int* ids, int count, double* out);
+
 }  // namespace skelex::deploy

@@ -15,6 +15,10 @@ std::vector<geom::Vec2> scenario_positions(const geom::Region& region,
     return uniform_in_region(region, spec.target_nodes, rng);
   }
   const double pitch = std::sqrt(region.area() / spec.target_nodes);
+  if (spec.counter_sampling) {
+    return counter_jittered_grid_in_region(region, pitch, spec.jitter,
+                                           spec.seed);
+  }
   return jittered_grid_in_region(region, pitch, spec.jitter, rng);
 }
 
@@ -24,10 +28,10 @@ double calibrate_range(const std::vector<geom::Vec2>& positions,
   if (target_avg_deg <= 0) throw std::invalid_argument("bad target degree");
   const double n = static_cast<double>(positions.size());
   const auto avg_deg_at = [&](double r) {
+    // count_pairs sweeps cell rows in parallel at large n; the count is
+    // exact either way, so the bracketing probes are unchanged.
     const net::SpatialHash hash(positions, r);
-    long long pairs = 0;
-    hash.for_each_pair(r, [&](int, int) { ++pairs; });
-    return 2.0 * static_cast<double>(pairs) / n;
+    return 2.0 * static_cast<double>(hash.count_pairs(r)) / n;
   };
   // Bracket the target, starting from the mean nearest-grid spacing.
   geom::Vec2 lo_pt = positions.front(), hi_pt = positions.front();
@@ -53,10 +57,12 @@ double calibrate_range(const std::vector<geom::Vec2>& positions,
   std::vector<double> dist2s;
   {
     const net::SpatialHash hash(positions, hi);
-    hash.for_each_pair(hi, [&](int i, int j) {
+    const std::vector<std::pair<int, int>> pairs = hash.collect_pairs(hi);
+    dist2s.reserve(pairs.size());
+    for (const auto& [i, j] : pairs) {
       dist2s.push_back(geom::dist2(positions[static_cast<std::size_t>(i)],
                                    positions[static_cast<std::size_t>(j)]));
-    });
+    }
     std::sort(dist2s.begin(), dist2s.end());
   }
   const auto avg_deg_from_sorted = [&](double r) {

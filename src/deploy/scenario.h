@@ -34,6 +34,12 @@ struct ScenarioSpec {
   std::uint64_t seed = 1;
   Style style = Style::kJitterGrid;
   double jitter = 0.35;  // jitter fraction for kJitterGrid
+  // kJitterGrid only: draw the jitter with the counter-based sampler
+  // (deploy::counter_jittered_grid_in_region) so point generation runs
+  // in parallel chunks. Produces a DIFFERENT (equally valid) point set
+  // than the stateful sampler for the same seed — large-n sweeps opt in;
+  // the existing golden-fingerprint scenarios must keep it off.
+  bool counter_sampling = false;
 };
 
 struct Scenario {

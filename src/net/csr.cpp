@@ -161,26 +161,48 @@ void check_source(const CsrGraph& g, int source) {
 }
 }  // namespace
 
+// The flood kernels below all follow the same data-oriented shape: the
+// queue is a flat array sized to n up front (every node enqueues at
+// most once, so no growth checks in the loop), and the inner loop walks
+// the graph's raw offsets/targets/degree arrays through local pointers.
+// Visitation order, outputs, and the edge-scan totals are identical to
+// the span-based loops they replaced — only the per-edge bookkeeping is
+// gone. Each kernel leaves ws.queue holding exactly the visited nodes
+// in BFS order (callers rely on that, e.g. Voronoi adoption).
+
 void bfs_distances(const CsrGraph& g, int source, Workspace& ws,
                    int max_depth) {
   check_source(g, source);
   const std::size_t n = static_cast<std::size_t>(g.n());
   ws.dist.assign(n, kUnreached);
-  ws.queue.clear();
-  ws.dist[static_cast<std::size_t>(source)] = 0;
-  ws.queue.push_back(source);
-  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
-    const int v = ws.queue[head];
-    const int d = ws.dist[static_cast<std::size_t>(v)];
+  ws.queue.resize(n);
+  int* const dist = ws.dist.data();
+  int* const q = ws.queue.data();
+  const int* const off = g.offsets_data();
+  const int* const deg = g.degrees_data();
+  const int* const tgt = g.targets_data();
+  int tail = 0;
+  dist[source] = 0;
+  q[tail++] = source;
+  long long scans = 0;
+  for (int head = 0; head < tail; ++head) {
+    const int v = q[head];
+    const int d = dist[v];
     if (max_depth >= 0 && d >= max_depth) continue;
-    ws.edge_scans += g.degree(v);
-    for (int w : g.neighbors(v)) {
-      if (ws.dist[static_cast<std::size_t>(w)] == kUnreached) {
-        ws.dist[static_cast<std::size_t>(w)] = d + 1;
-        ws.queue.push_back(w);
+    const int dv = deg[v];
+    const int* const row = tgt + off[v];
+    scans += dv;
+    for (int i = 0; i < dv; ++i) {
+      const int w = row[i];
+      if (dist[w] == kUnreached) {
+        dist[w] = d + 1;
+        q[tail++] = w;
       }
     }
   }
+  ws.queue.resize(static_cast<std::size_t>(tail));
+  ws.edge_scans += scans;
+  ws.bytes_touched += 8 * (scans + 2 * static_cast<long long>(tail));
 }
 
 void multi_source_bfs(const CsrGraph& g, std::span<const int> sources,
@@ -190,28 +212,44 @@ void multi_source_bfs(const CsrGraph& g, std::span<const int> sources,
   ws.nearest.assign(n, kUnreached);
   ws.parent.assign(n, kUnreached);
   ws.queue.clear();
+  ws.queue.resize(n);
+  int* const dist = ws.dist.data();
+  int* const nearest = ws.nearest.data();
+  int* const parent = ws.parent.data();
+  int* const q = ws.queue.data();
+  const int* const off = g.offsets_data();
+  const int* const deg = g.degrees_data();
+  const int* const tgt = g.targets_data();
+  int tail = 0;
   for (std::size_t i = 0; i < sources.size(); ++i) {
     const int s = sources[i];
     check_source(g, s);
-    if (ws.dist[static_cast<std::size_t>(s)] == 0) continue;  // duplicate
-    ws.dist[static_cast<std::size_t>(s)] = 0;
-    ws.nearest[static_cast<std::size_t>(s)] = static_cast<int>(i);
-    ws.queue.push_back(s);
+    if (dist[s] == 0) continue;  // duplicate
+    dist[s] = 0;
+    nearest[s] = static_cast<int>(i);
+    q[tail++] = s;
   }
-  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
-    const int v = ws.queue[head];
-    ws.edge_scans += g.degree(v);
-    for (int w : g.neighbors(v)) {
-      if (ws.dist[static_cast<std::size_t>(w)] == kUnreached) {
-        ws.dist[static_cast<std::size_t>(w)] =
-            ws.dist[static_cast<std::size_t>(v)] + 1;
-        ws.nearest[static_cast<std::size_t>(w)] =
-            ws.nearest[static_cast<std::size_t>(v)];
-        ws.parent[static_cast<std::size_t>(w)] = v;
-        ws.queue.push_back(w);
+  long long scans = 0;
+  for (int head = 0; head < tail; ++head) {
+    const int v = q[head];
+    const int dv1 = dist[v] + 1;
+    const int nv = nearest[v];
+    const int dv = deg[v];
+    const int* const row = tgt + off[v];
+    scans += dv;
+    for (int i = 0; i < dv; ++i) {
+      const int w = row[i];
+      if (dist[w] == kUnreached) {
+        dist[w] = dv1;
+        nearest[w] = nv;
+        parent[w] = v;
+        q[tail++] = w;
       }
     }
   }
+  ws.queue.resize(static_cast<std::size_t>(tail));
+  ws.edge_scans += scans;
+  ws.bytes_touched += 8 * (scans + 2 * static_cast<long long>(tail));
 }
 
 void bfs_distances_masked(const CsrGraph& g, int source,
@@ -223,22 +261,35 @@ void bfs_distances_masked(const CsrGraph& g, int source,
   }
   const std::size_t n = static_cast<std::size_t>(g.n());
   ws.dist.assign(n, kUnreached);
-  ws.queue.clear();
-  ws.dist[static_cast<std::size_t>(source)] = 0;
-  ws.queue.push_back(source);
-  for (std::size_t head = 0; head < ws.queue.size(); ++head) {
-    const int v = ws.queue[head];
-    const int d = ws.dist[static_cast<std::size_t>(v)];
+  ws.queue.resize(n);
+  int* const dist = ws.dist.data();
+  int* const q = ws.queue.data();
+  const int* const off = g.offsets_data();
+  const int* const deg = g.degrees_data();
+  const int* const tgt = g.targets_data();
+  const char* const ok = allowed.data();
+  int tail = 0;
+  dist[source] = 0;
+  q[tail++] = source;
+  long long scans = 0;
+  for (int head = 0; head < tail; ++head) {
+    const int v = q[head];
+    const int d = dist[v];
     if (max_depth >= 0 && d >= max_depth) continue;
-    ws.edge_scans += g.degree(v);
-    for (int w : g.neighbors(v)) {
-      if (allowed[static_cast<std::size_t>(w)] &&
-          ws.dist[static_cast<std::size_t>(w)] == kUnreached) {
-        ws.dist[static_cast<std::size_t>(w)] = d + 1;
-        ws.queue.push_back(w);
+    const int dv = deg[v];
+    const int* const row = tgt + off[v];
+    scans += dv;
+    for (int i = 0; i < dv; ++i) {
+      const int w = row[i];
+      if (ok[w] && dist[w] == kUnreached) {
+        dist[w] = d + 1;
+        q[tail++] = w;
       }
     }
   }
+  ws.queue.resize(static_cast<std::size_t>(tail));
+  ws.edge_scans += scans;
+  ws.bytes_touched += 8 * (scans + 2 * static_cast<long long>(tail));
 }
 
 void khop_sizes(const CsrGraph& g, int k, Workspace& ws,
@@ -280,25 +331,38 @@ KhopScanner::KhopScanner(const CsrGraph& g, Workspace& ws) : g_(g), ws_(ws) {
 
 Components connected_components(const CsrGraph& g, Workspace& ws) {
   Components c;
-  c.label.assign(static_cast<std::size_t>(g.n()), -1);
-  for (int s = 0; s < g.n(); ++s) {
-    if (c.label[static_cast<std::size_t>(s)] != -1) continue;
+  const int n = g.n();
+  c.label.assign(static_cast<std::size_t>(n), -1);
+  ws.queue.resize(static_cast<std::size_t>(n));
+  int* const label = c.label.data();
+  int* const q = ws.queue.data();
+  const int* const off = g.offsets_data();
+  const int* const deg = g.degrees_data();
+  const int* const tgt = g.targets_data();
+  // One flat queue serves every component: each node enqueues exactly
+  // once across the whole pass, so the cursors just keep advancing.
+  int head = 0, tail = 0;
+  for (int s = 0; s < n; ++s) {
+    if (label[s] != -1) continue;
     const int id = c.count++;
     c.size.push_back(0);
-    c.label[static_cast<std::size_t>(s)] = id;
-    ws.queue.clear();
-    ws.queue.push_back(s);
-    for (std::size_t head = 0; head < ws.queue.size(); ++head) {
-      const int v = ws.queue[head];
+    label[s] = id;
+    q[tail++] = s;
+    for (; head < tail; ++head) {
+      const int v = q[head];
       ++c.size[static_cast<std::size_t>(id)];
-      for (int w : g.neighbors(v)) {
-        if (c.label[static_cast<std::size_t>(w)] == -1) {
-          c.label[static_cast<std::size_t>(w)] = id;
-          ws.queue.push_back(w);
+      const int dv = deg[v];
+      const int* const row = tgt + off[v];
+      for (int i = 0; i < dv; ++i) {
+        const int w = row[i];
+        if (label[w] == -1) {
+          label[w] = id;
+          q[tail++] = w;
         }
       }
     }
   }
+  ws.queue.resize(static_cast<std::size_t>(tail));
   for (int i = 0; i < c.count; ++i) {
     if (c.largest == -1 ||
         c.size[static_cast<std::size_t>(i)] >

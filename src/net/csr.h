@@ -27,6 +27,7 @@
 // code.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -68,6 +69,14 @@ class CsrGraph {
   }
   int degree(int v) const { return deg_[static_cast<std::size_t>(v)]; }
 
+  // Raw SoA views for kernel inner loops: row v's neighbors are
+  // targets_data()[offsets_data()[v] .. +degrees_data()[v]). The
+  // span/degree accessors above are the same data; these skip the span
+  // construction and bounds bookkeeping in tight per-edge loops.
+  const int* offsets_data() const { return offsets_.data(); }
+  const int* targets_data() const { return targets_.data(); }
+  const int* degrees_data() const { return deg_.data(); }
+
   // Applies `delta` in place: removals compact each touched row (keeping
   // the survivors' relative order), new nodes start with empty rows, and
   // additions append at the end of each endpoint's row — exactly where a
@@ -107,8 +116,10 @@ struct Workspace {
 
   // Epoch-stamped visitation for the k-hop kernels: stamp[v] == epoch
   // means "visited in the current scan" — no O(n) clear per source.
-  std::vector<long long> stamp;
-  long long epoch = 0;
+  // u32 stamps halve the footprint of the hottest random-access array
+  // (one cache line covers 16 nodes); next_epoch() handles wraparound.
+  std::vector<std::uint32_t> stamp;
+  std::uint32_t epoch = 0;
   std::vector<int> frontier;
   std::vector<int> next;
 
@@ -116,6 +127,25 @@ struct Workspace {
   // centralized proxy for radio messages. Never reset by the kernels;
   // callers (e.g. the pipeline's StageTrace) read deltas around a stage.
   long long edge_scans = 0;
+
+  // Deterministic bytes-moved model for the flood kernels, for
+  // memory-bandwidth attribution in stage traces: 8 bytes per adjacency
+  // entry examined (target read + state probe), 8 per node expanded
+  // (queue/frontier slot + its state), 8 per node newly labelled (state
+  // write + queue write). A fixed lower-bound proxy — independent of
+  // thread count, cache behaviour, and allocator noise — maintained as
+  // a running total like edge_scans (callers read deltas).
+  long long bytes_touched = 0;
+
+  // Advances and returns the visitation epoch; on u32 wraparound all
+  // stamps are cleared so no stale stamp can alias the restarted epoch.
+  std::uint32_t next_epoch() {
+    if (++epoch == 0) {
+      stamp.assign(stamp.size(), 0u);
+      epoch = 1;
+    }
+    return epoch;
+  }
 
   // Grows the persistent buffers for an n-node graph (outputs are
   // (re)initialized by each kernel; this only reserves capacity).
@@ -160,27 +190,42 @@ class KhopScanner {
   KhopScanner(const CsrGraph& g, Workspace& ws);
 
   // Calls fn(w) for every node w within k hops of v (w != v), in BFS
-  // wave order (neighbors in adjacency order within a wave).
+  // wave order (neighbors in adjacency order within a wave). The inner
+  // loop runs on the graph's raw SoA arrays and the workspace's u32
+  // stamp array; visitation order, callback order, and the edge-scan
+  // total are identical to the span-based loop it replaced.
   template <typename Fn>
   void scan(int v, int k, Fn&& fn) {
-    ++ws_.epoch;
+    const std::uint32_t epoch = ws_.next_epoch();
+    std::uint32_t* const stamp = ws_.stamp.data();
+    const int* const off = g_.offsets_data();
+    const int* const deg = g_.degrees_data();
+    const int* const tgt = g_.targets_data();
     ws_.frontier.clear();
     ws_.frontier.push_back(v);
-    ws_.stamp[static_cast<std::size_t>(v)] = ws_.epoch;
+    stamp[static_cast<std::size_t>(v)] = epoch;
+    long long scans = 0, expanded = 0, labelled = 0;
     for (int depth = 0; depth < k && !ws_.frontier.empty(); ++depth) {
       ws_.next.clear();
       for (int u : ws_.frontier) {
-        ws_.edge_scans += g_.degree(u);
-        for (int w : g_.neighbors(u)) {
-          if (ws_.stamp[static_cast<std::size_t>(w)] != ws_.epoch) {
-            ws_.stamp[static_cast<std::size_t>(w)] = ws_.epoch;
+        const int du = deg[static_cast<std::size_t>(u)];
+        const int* const row = tgt + off[static_cast<std::size_t>(u)];
+        scans += du;
+        for (int i = 0; i < du; ++i) {
+          const int w = row[i];
+          if (stamp[static_cast<std::size_t>(w)] != epoch) {
+            stamp[static_cast<std::size_t>(w)] = epoch;
             ws_.next.push_back(w);
             fn(w);
           }
         }
       }
+      expanded += static_cast<long long>(ws_.frontier.size());
+      labelled += static_cast<long long>(ws_.next.size());
       ws_.frontier.swap(ws_.next);
     }
+    ws_.edge_scans += scans;
+    ws_.bytes_touched += 8 * (scans + expanded + labelled);
   }
 
  private:

@@ -130,9 +130,23 @@ Graph build_graph(std::vector<geom::Vec2> positions,
   const double range = model.max_range();
   SpatialHash hash(positions, range);
   Graph g(std::move(positions));
-  hash.for_each_pair(range, [&](int i, int j) {
-    if (model.link(g.position(i), g.position(j), rng)) g.add_edge(i, j);
-  });
+  if (model.deterministic()) {
+    // Stateless link decisions: sweep the candidate pairs in parallel
+    // (collect_pairs reproduces the serial emission order at any chunk
+    // count), then apply the link filter and insert serially in that
+    // order — adjacency lists come out byte-identical to the serial
+    // sweep's.
+    const std::vector<std::pair<int, int>> pairs = hash.collect_pairs(range);
+    for (const auto& [i, j] : pairs) {
+      if (model.link(g.position(i), g.position(j), rng)) g.add_edge(i, j);
+    }
+  } else {
+    // Stateful RNG threads through every link decision in emission
+    // order; the sweep must stay serial to preserve the draw sequence.
+    hash.for_each_pair(range, [&](int i, int j) {
+      if (model.link(g.position(i), g.position(j), rng)) g.add_edge(i, j);
+    });
+  }
   g.finalize();
   return g;
 }

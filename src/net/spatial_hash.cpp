@@ -5,22 +5,75 @@
 #include <limits>
 #include <stdexcept>
 
+#include "exec/thread_pool.h"
+
 namespace skelex::net {
 
 using geom::Vec2;
 
-SpatialHash::SpatialHash(const std::vector<Vec2>& points, double cell)
+namespace {
+
+// Below this many points the build/sweep passes run serially even with
+// no explicit pool: chunk bookkeeping costs more than it saves.
+constexpr std::size_t kParallelThreshold = 32768;
+
+// Per-chunk cell-count matrices are bounded to this many ints; grids
+// sparse enough to exceed it fall back to a serial scatter (the count
+// and index passes stay parallel).
+constexpr std::size_t kMaxCountMatrix = std::size_t{1} << 23;
+
+exec::ThreadPool* resolve_pool(exec::ThreadPool* pool, std::size_t n) {
+  if (pool != nullptr) return pool->thread_count() > 1 ? pool : nullptr;
+  if (n < kParallelThreshold) return nullptr;
+  exec::ThreadPool& shared = exec::shared_pool();
+  return shared.thread_count() > 1 ? &shared : nullptr;
+}
+
+}  // namespace
+
+SpatialHash::SpatialHash(const std::vector<Vec2>& points, double cell,
+                         exec::ThreadPool* pool)
     : points_(points), cell_(cell) {
   if (cell <= 0) throw std::invalid_argument("cell size must be > 0");
-  Vec2 hi{-std::numeric_limits<double>::infinity(),
-          -std::numeric_limits<double>::infinity()};
-  lo_ = {std::numeric_limits<double>::infinity(),
-         std::numeric_limits<double>::infinity()};
-  for (const Vec2& p : points_) {
-    lo_.x = std::min(lo_.x, p.x);
-    lo_.y = std::min(lo_.y, p.y);
-    hi.x = std::max(hi.x, p.x);
-    hi.y = std::max(hi.y, p.y);
+  const std::size_t n = points_.size();
+  const int in = static_cast<int>(n);
+  exec::ThreadPool* p = resolve_pool(pool, n);
+  const int chunks =
+      p != nullptr ? std::min(p->thread_count(), std::max(1, in)) : 1;
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  Vec2 hi{-kInf, -kInf};
+  lo_ = {kInf, kInf};
+  if (chunks > 1) {
+    // Chunk-local boxes merged chunk-major; min/max over doubles is
+    // exact, so the merged box equals the serial scan's bit for bit.
+    std::vector<Vec2> clo(static_cast<std::size_t>(chunks), {kInf, kInf});
+    std::vector<Vec2> chi(static_cast<std::size_t>(chunks), {-kInf, -kInf});
+    p->parallel_chunks(in, chunks, [&](int c, int b, int e) {
+      Vec2 l{kInf, kInf}, h{-kInf, -kInf};
+      for (int i = b; i < e; ++i) {
+        const Vec2& q = points_[static_cast<std::size_t>(i)];
+        l.x = std::min(l.x, q.x);
+        l.y = std::min(l.y, q.y);
+        h.x = std::max(h.x, q.x);
+        h.y = std::max(h.y, q.y);
+      }
+      clo[static_cast<std::size_t>(c)] = l;
+      chi[static_cast<std::size_t>(c)] = h;
+    });
+    for (int c = 0; c < chunks; ++c) {
+      lo_.x = std::min(lo_.x, clo[static_cast<std::size_t>(c)].x);
+      lo_.y = std::min(lo_.y, clo[static_cast<std::size_t>(c)].y);
+      hi.x = std::max(hi.x, chi[static_cast<std::size_t>(c)].x);
+      hi.y = std::max(hi.y, chi[static_cast<std::size_t>(c)].y);
+    }
+  } else {
+    for (const Vec2& q : points_) {
+      lo_.x = std::min(lo_.x, q.x);
+      lo_.y = std::min(lo_.y, q.y);
+      hi.x = std::max(hi.x, q.x);
+      hi.y = std::max(hi.y, q.y);
+    }
   }
   if (points_.empty()) {
     lo_ = {0, 0};
@@ -33,10 +86,69 @@ SpatialHash::SpatialHash(const std::vector<Vec2>& points, double cell)
                     (hi.y - lo_.y) / kMaxCellsPerAxis});
   nx_ = std::max(1, static_cast<int>((hi.x - lo_.x) / cell_) + 1);
   ny_ = std::max(1, static_cast<int>((hi.y - lo_.y) / cell_) + 1);
-  cells_.assign(static_cast<std::size_t>(nx_) * ny_, {});
-  for (std::size_t i = 0; i < points_.size(); ++i) {
-    cells_[static_cast<std::size_t>(cell_of(points_[i]))].push_back(
-        static_cast<int>(i));
+  const std::size_t ncells = static_cast<std::size_t>(nx_) * ny_;
+
+  // Counting sort into the CSR cell layout. Each point's cell index is
+  // a pure function of its position, so the index pass chunks freely;
+  // the scatter preserves ascending point order within every cell
+  // (chunk sub-ranges are laid out chunk-major, and chunks are
+  // contiguous ascending point ranges).
+  std::vector<int> cidx(n);
+  if (chunks > 1) {
+    p->parallel_chunks(in, chunks, [&](int, int b, int e) {
+      for (int i = b; i < e; ++i) {
+        cidx[static_cast<std::size_t>(i)] =
+            cell_of(points_[static_cast<std::size_t>(i)]);
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) cidx[i] = cell_of(points_[i]);
+  }
+
+  cell_start_.assign(ncells + 1, 0);
+  cell_points_.resize(n);
+  if (chunks > 1 &&
+      ncells * static_cast<std::size_t>(chunks) <= kMaxCountMatrix) {
+    std::vector<int> counts(ncells * static_cast<std::size_t>(chunks), 0);
+    p->parallel_chunks(in, chunks, [&](int c, int b, int e) {
+      int* const mine = counts.data() + static_cast<std::size_t>(c) * ncells;
+      for (int i = b; i < e; ++i) {
+        ++mine[static_cast<std::size_t>(cidx[static_cast<std::size_t>(i)])];
+      }
+    });
+    // Serial prefix over (cell-major, chunk-minor): counts becomes each
+    // chunk's write cursor into its reserved sub-range of the cell.
+    int run = 0;
+    for (std::size_t cell = 0; cell < ncells; ++cell) {
+      cell_start_[cell] = run;
+      for (int c = 0; c < chunks; ++c) {
+        int& slot = counts[static_cast<std::size_t>(c) * ncells + cell];
+        const int cnt = slot;
+        slot = run;
+        run += cnt;
+      }
+    }
+    cell_start_[ncells] = run;
+    p->parallel_chunks(in, chunks, [&](int c, int b, int e) {
+      int* const at = counts.data() + static_cast<std::size_t>(c) * ncells;
+      for (int i = b; i < e; ++i) {
+        const std::size_t cell =
+            static_cast<std::size_t>(cidx[static_cast<std::size_t>(i)]);
+        cell_points_[static_cast<std::size_t>(at[cell]++)] = i;
+      }
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) {
+      ++cell_start_[static_cast<std::size_t>(cidx[i]) + 1];
+    }
+    for (std::size_t cell = 0; cell < ncells; ++cell) {
+      cell_start_[cell + 1] += cell_start_[cell];
+    }
+    std::vector<int> at(cell_start_.begin(), cell_start_.end() - 1);
+    for (std::size_t i = 0; i < n; ++i) {
+      cell_points_[static_cast<std::size_t>(
+          at[static_cast<std::size_t>(cidx[i])]++)] = static_cast<int>(i);
+    }
   }
 }
 
@@ -58,7 +170,9 @@ std::vector<int> SpatialHash::query(Vec2 p, double radius) const {
   const double r2 = radius * radius;
   for (int cy = cy0; cy <= cy1; ++cy) {
     for (int cx = cx0; cx <= cx1; ++cx) {
-      for (int idx : cells_[static_cast<std::size_t>(cy) * nx_ + cx]) {
+      const std::size_t cell = static_cast<std::size_t>(cy) * nx_ + cx;
+      for (int a = cell_start_[cell]; a < cell_start_[cell + 1]; ++a) {
+        const int idx = cell_points_[static_cast<std::size_t>(a)];
         if (geom::dist2(points_[static_cast<std::size_t>(idx)], p) <= r2) {
           out.push_back(idx);
         }
@@ -68,33 +182,41 @@ std::vector<int> SpatialHash::query(Vec2 p, double radius) const {
   return out;
 }
 
-void SpatialHash::for_each_pair(double radius,
-                                const std::function<void(int, int)>& fn) const {
-  const double r2 = radius * radius;
-  for (int cy = 0; cy < ny_; ++cy) {
+template <typename Fn>
+void SpatialHash::pairs_in_rows(int cy0, int cy1, double r2, Fn&& fn) const {
+  const Vec2* const pts = points_.data();
+  const int* const cs = cell_start_.data();
+  const int* const cp = cell_points_.data();
+  for (int cy = cy0; cy < cy1; ++cy) {
     for (int cx = 0; cx < nx_; ++cx) {
-      const auto& cell = cells_[static_cast<std::size_t>(cy) * nx_ + cx];
-      // Pairs within the cell.
-      for (std::size_t a = 0; a < cell.size(); ++a) {
-        for (std::size_t b = a + 1; b < cell.size(); ++b) {
-          if (geom::dist2(points_[static_cast<std::size_t>(cell[a])],
-                          points_[static_cast<std::size_t>(cell[b])]) <= r2) {
-            fn(std::min(cell[a], cell[b]), std::max(cell[a], cell[b]));
+      const std::size_t cell = static_cast<std::size_t>(cy) * nx_ + cx;
+      const int b0 = cs[cell], e0 = cs[cell + 1];
+      // Pairs within the cell (ascending point order, so i < j).
+      for (int a = b0; a < e0; ++a) {
+        const int i = cp[a];
+        for (int b = a + 1; b < e0; ++b) {
+          const int j = cp[b];
+          if (geom::dist2(pts[i], pts[j]) <= r2) {
+            fn(std::min(i, j), std::max(i, j));
           }
         }
       }
       // Pairs against the 4 forward-neighbor cells (E, SW, S, SE pattern
-      // covers each unordered cell pair exactly once).
+      // covers each unordered cell pair exactly once). Every neighbor is
+      // in this row or the next, so partitioning the sweep by rows keeps
+      // each pair owned by exactly one row range.
       static constexpr int kDx[4] = {1, -1, 0, 1};
       static constexpr int kDy[4] = {0, 1, 1, 1};
       for (int d = 0; d < 4; ++d) {
         const int ox = cx + kDx[d], oy = cy + kDy[d];
         if (ox < 0 || ox >= nx_ || oy < 0 || oy >= ny_) continue;
-        const auto& other = cells_[static_cast<std::size_t>(oy) * nx_ + ox];
-        for (int i : cell) {
-          for (int j : other) {
-            if (geom::dist2(points_[static_cast<std::size_t>(i)],
-                            points_[static_cast<std::size_t>(j)]) <= r2) {
+        const std::size_t other = static_cast<std::size_t>(oy) * nx_ + ox;
+        const int b1 = cs[other], e1 = cs[other + 1];
+        for (int a = b0; a < e0; ++a) {
+          const int i = cp[a];
+          for (int b = b1; b < e1; ++b) {
+            const int j = cp[b];
+            if (geom::dist2(pts[i], pts[j]) <= r2) {
               fn(std::min(i, j), std::max(i, j));
             }
           }
@@ -102,6 +224,58 @@ void SpatialHash::for_each_pair(double radius,
       }
     }
   }
+}
+
+void SpatialHash::for_each_pair(double radius,
+                                const std::function<void(int, int)>& fn) const {
+  pairs_in_rows(0, ny_, radius * radius, fn);
+}
+
+long long SpatialHash::count_pairs(double radius,
+                                   exec::ThreadPool* pool) const {
+  const double r2 = radius * radius;
+  exec::ThreadPool* p = resolve_pool(pool, points_.size());
+  if (p == nullptr || ny_ < 2) {
+    long long count = 0;
+    pairs_in_rows(0, ny_, r2, [&](int, int) { ++count; });
+    return count;
+  }
+  const int chunks = std::min(p->thread_count(), ny_);
+  std::vector<long long> per(static_cast<std::size_t>(chunks), 0);
+  p->parallel_chunks(ny_, chunks, [&](int c, int b, int e) {
+    long long count = 0;
+    pairs_in_rows(b, e, r2, [&](int, int) { ++count; });
+    per[static_cast<std::size_t>(c)] = count;
+  });
+  long long total = 0;
+  for (long long c : per) total += c;
+  return total;
+}
+
+std::vector<std::pair<int, int>> SpatialHash::collect_pairs(
+    double radius, exec::ThreadPool* pool) const {
+  const double r2 = radius * radius;
+  std::vector<std::pair<int, int>> out;
+  exec::ThreadPool* p = resolve_pool(pool, points_.size());
+  if (p == nullptr || ny_ < 2) {
+    pairs_in_rows(0, ny_, r2,
+                  [&](int i, int j) { out.emplace_back(i, j); });
+    return out;
+  }
+  const int chunks = std::min(p->thread_count(), ny_);
+  std::vector<std::vector<std::pair<int, int>>> per(
+      static_cast<std::size_t>(chunks));
+  p->parallel_chunks(ny_, chunks, [&](int c, int b, int e) {
+    auto& mine = per[static_cast<std::size_t>(c)];
+    pairs_in_rows(b, e, r2, [&](int i, int j) { mine.emplace_back(i, j); });
+  });
+  std::size_t total = 0;
+  for (const auto& v : per) total += v.size();
+  out.reserve(total);
+  // Chunk-major concatenation of contiguous ascending row ranges ==
+  // the serial row-major emission order, at any chunk count.
+  for (const auto& v : per) out.insert(out.end(), v.begin(), v.end());
+  return out;
 }
 
 }  // namespace skelex::net

@@ -3,20 +3,36 @@
 // Uniform-grid spatial index over node positions. Turns the O(n^2)
 // all-pairs link test into O(n * expected-neighbors) by only testing
 // pairs within one cell ring of each other (cell size = query radius).
+//
+// Layout: the cells are a CSR pair (cell_start_, cell_points_) rather
+// than a vector-of-vectors — one contiguous payload array, no per-cell
+// allocations. Construction is a counting sort; at large n the count,
+// bounding-box, and scatter passes run as deterministic parallel chunks
+// (chunk-major merge over contiguous ascending point ranges), so the
+// built index is byte-identical at any thread or chunk count.
 #pragma once
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "geometry/vec2.h"
+
+namespace skelex::exec {
+class ThreadPool;
+}
 
 namespace skelex::net {
 
 class SpatialHash {
  public:
   // Index `points` with grid cells of size `cell` (normally the radio
-  // model's max range).
-  SpatialHash(const std::vector<geom::Vec2>& points, double cell);
+  // model's max range). `pool` runs the build passes in parallel; pass
+  // nullptr to let the hash decide (the shared pool above a size
+  // threshold, serial below it). The built index is identical either
+  // way.
+  SpatialHash(const std::vector<geom::Vec2>& points, double cell,
+              exec::ThreadPool* pool = nullptr);
 
   // All indices j with dist(points[j], p) <= radius. `radius` must be
   // <= the construction cell size for completeness.
@@ -26,16 +42,37 @@ class SpatialHash {
   void for_each_pair(double radius,
                      const std::function<void(int, int)>& fn) const;
 
+  // Number of pairs for_each_pair would visit. Sweeps cell rows in
+  // parallel chunks when a pool applies (same nullptr heuristic as the
+  // constructor); the count is exact and thread-count-invariant.
+  long long count_pairs(double radius, exec::ThreadPool* pool = nullptr) const;
+
+  // The pairs for_each_pair would visit, in exactly its emission order
+  // (pairs are owned by the cell of their row-major-first endpoint, so
+  // chunking by cell rows and concatenating chunk-major reproduces the
+  // serial order at any chunk count).
+  std::vector<std::pair<int, int>> collect_pairs(
+      double radius, exec::ThreadPool* pool = nullptr) const;
+
  private:
   std::vector<geom::Vec2> points_;
   geom::Vec2 lo_{};
   double cell_ = 1.0;
   int nx_ = 0, ny_ = 0;
-  std::vector<std::vector<int>> cells_;
+  // CSR cells: cell c's points are cell_points_[cell_start_[c] ..
+  // cell_start_[c+1]), in ascending point index.
+  std::vector<int> cell_start_;
+  std::vector<int> cell_points_;
 
   int cell_of(geom::Vec2 p) const;
   int clamp_cx(double x) const;
   int clamp_cy(double y) const;
+
+  // Emits every qualifying pair owned by cell rows [cy0, cy1), in
+  // row-major cell order — the shared core of for_each_pair /
+  // count_pairs / collect_pairs.
+  template <typename Fn>
+  void pairs_in_rows(int cy0, int cy1, double r2, Fn&& fn) const;
 };
 
 }  // namespace skelex::net

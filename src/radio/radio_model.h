@@ -36,6 +36,12 @@ class RadioModel {
   // builder uses it to bound neighbor queries.
   virtual double max_range() const = 0;
 
+  // True when link() never reads `rng` (the decision is a pure function
+  // of the two positions). The graph builder uses this to batch the
+  // candidate-pair sweep across threads: with no RNG state to thread,
+  // link decisions can be made in any order with identical results.
+  virtual bool deterministic() const { return false; }
+
   virtual std::string name() const = 0;
 };
 
@@ -44,6 +50,7 @@ class UnitDiskModel final : public RadioModel {
   explicit UnitDiskModel(double range);
   bool link(geom::Vec2 a, geom::Vec2 b, deploy::Rng& rng) const override;
   double max_range() const override { return range_; }
+  bool deterministic() const override { return true; }
   std::string name() const override { return "UDG"; }
   double range() const { return range_; }
 

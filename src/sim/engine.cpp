@@ -237,13 +237,33 @@ void Engine::do_broadcast(EmitSink& s, int from, Message m) {
     ++s.queued;
     return;
   }
-  for (int w : graph_.neighbors(from)) {
+  const std::span<const int> nbrs = graph_.neighbors(from);
+  // Lossy radio: every receiver's drop draw shares the (round, sender)
+  // key half, so hoist that prefix once and batch the per-receiver tail
+  // mixes over the neighbor array. Values are bit-equal to the scalar
+  // dropped() draws; drawing for a receiver later filtered by a link
+  // fault is harmless (draws are pure, keyed, and order-independent).
+  const double* uni = nullptr;
+  if (loss_ > 0.0 && !nbrs.empty()) {
+    s.loss_scratch.resize(nbrs.size());
+    const std::uint64_t k0 =
+        (static_cast<std::uint64_t>(static_cast<std::uint32_t>(fault_clock()))
+         << 32) |
+        static_cast<std::uint32_t>(from);
+    deploy::counter_uniform_batch(deploy::counter_prefix(loss_seed_, k0),
+                                  static_cast<std::uint64_t>(emit) << 32,
+                                  nbrs.data(), static_cast<int>(nbrs.size()),
+                                  s.loss_scratch.data());
+    uni = s.loss_scratch.data();
+  }
+  for (std::size_t i = 0; i < nbrs.size(); ++i) {
+    const int w = nbrs[i];
     ++s.receptions;
     if (have_faults_ && !faults_.link_up(from, w, fault_clock())) {
       ++s.faults_rx_linkdown;
       continue;
     }
-    if (dropped(from, w, emit)) continue;
+    if (uni != nullptr && uni[i] < loss_) continue;
     out.singles.push_back({w, false, m});
     ++s.queued;
   }
@@ -352,7 +372,7 @@ RunStats Engine::run(Protocol& protocol, int max_rounds) {
   }
   for (Chunk& ch : chunks_) {
     for (Bucket& b : ch.staged) b.clear();  // defensive: a prior run threw
-    ch.sink = EmitSink{};
+    ch.sink.reset();  // keeps the loss-draw scratch arena warm
   }
   for (int c = 0; c < chunk_count; ++c) {
     Chunk& ch = chunks_[static_cast<std::size_t>(c)];

@@ -256,6 +256,27 @@ class Engine {
     std::int64_t retransmissions = 0;
     int node = -1;                  // node currently emitting
     std::uint32_t emit_seq = 0;     // per-(node, round) emission index
+    // Per-frame loss draws for one broadcast's receivers, batched
+    // through deploy::counter_uniform_batch (values bit-equal to the
+    // scalar per-receiver draws). Chunk-local scratch, reused across
+    // rounds and runs.
+    std::vector<double> loss_scratch;
+
+    // Reset for a new run, keeping the scratch arena's capacity.
+    void reset() {
+      staged = nullptr;
+      staged_hi = -1;
+      queued = 0;
+      transmissions = 0;
+      receptions = 0;
+      faults_tx_suppressed = 0;
+      faults_rx_crashed = 0;
+      faults_rx_sleeping = 0;
+      faults_rx_linkdown = 0;
+      retransmissions = 0;
+      node = -1;
+      emit_seq = 0;
+    }
   };
   struct Chunk {
     std::vector<Bucket> staged;

@@ -52,6 +52,19 @@ Server::Server(ExtractionService& service, exec::ThreadPool& pool,
 Server::Server(ExtractionService& service, exec::ThreadPool& pool,
                std::uint16_t port, Options opt)
     : service_(service), pool_(pool), opt_(opt) {
+  // Admission control needs real workers behind submit(): a 1-thread
+  // pool runs tasks inline on the reader thread, so the reader never
+  // gets back to read_frame while a request executes and in_flight can
+  // never exceed the worker count — the busy rejection would be dead
+  // code that silently never fires. Refuse the misconfiguration at
+  // startup instead.
+  if (opt_.max_queue > 0 && pool.thread_count() < 2) {
+    throw std::invalid_argument(
+        "svc::Server: max_queue > 0 requires a pool with >= 2 workers "
+        "(a 1-thread pool runs submit() inline on the reader, so the "
+        "busy rejection can never fire); use a bigger pool or disable "
+        "admission control with max_queue <= 0");
+  }
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) throw std::runtime_error("socket() failed");
   const int one = 1;

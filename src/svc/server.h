@@ -27,7 +27,11 @@
 // structured busy response ({"ok": false, "error": "busy",
 // "retry_ms": ...}) instead of queueing without bound — a pipelining
 // client sees backpressure as data, not as latency. Rejections count
-// into svc_rejected_total.
+// into svc_rejected_total. Admission control requires a pool with at
+// least 2 workers: on a 1-thread pool submit() runs inline on the
+// reader, so the queue can never grow and rejection would silently be
+// dead code — the constructor throws std::invalid_argument for that
+// combination (see Options::max_queue).
 //
 // Shutdown (stop() or a client's cmd=shutdown): the listener closes, the
 // per-connection readers stop accepting frames, and stop() drains — it
@@ -59,6 +63,13 @@ class Server {
     // immediate busy rejection. <= 0 disables the bound. The default is
     // generous: it exists to stop unbounded memory growth under a
     // runaway pipelining client, not to shed normal load.
+    //
+    // Enabling the bound requires pool.thread_count() >= 2 — with one
+    // worker submit() executes inline on the reader thread, requests
+    // can never pile up behind the pool, and the rejection path would
+    // be unreachable. The Server constructor enforces this floor with
+    // std::invalid_argument rather than shipping a limit that cannot
+    // trigger.
     int max_queue = 1024;
     // The retry hint stamped into busy responses.
     int busy_retry_ms = 50;

@@ -265,4 +265,78 @@ TEST(GoldenFingerprint, WindowScenarioBitwiseStable) {
          "(core/fingerprint.h documents the field order).";
 }
 
+// --- large-n overflow safety -------------------------------------------------
+// The SoA kernels keep their visitation stamps in u32 and their
+// frontiers in flat int queues; a W x H 4-neighbor lattice pushes node
+// and edge counts past 2^16 while keeping O(n + m) oracles (hop
+// distance from a corner is the Manhattan distance, and the generic
+// queue oracles above stay linear), so the overflow check runs in
+// test-suite time rather than oracle-quadratic time.
+
+TEST(LargeN, LatticeKernelsPast64kNodesAndEdges) {
+  const int W = 300, H = 220;  // 66,000 nodes; 131,480 edges — both > 2^16
+  net::Graph g(W * H);
+  const auto id = [W](int x, int y) { return y * W + x; };
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      if (x + 1 < W) g.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < H) g.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  g.finalize();
+  ASSERT_GT(g.n(), 1 << 16);
+  ASSERT_GT(g.edge_count(), static_cast<long long>(1) << 16);
+  const net::CsrGraph& csr = g.csr();
+  net::Workspace ws;
+
+  // Single-source BFS from the corner == Manhattan distance.
+  net::bfs_distances(csr, 0, ws);
+  int bad = 0;
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      if (ws.dist[static_cast<std::size_t>(id(x, y))] != x + y) ++bad;
+    }
+  }
+  EXPECT_EQ(bad, 0) << "corner BFS disagrees with Manhattan distance";
+
+  // Multi-source from opposite corners, against the queue oracle.
+  const std::vector<int> sources = {id(0, 0), id(W - 1, H - 1)};
+  const net::MultiSourceBfs want = oracle_msbfs(g, sources);
+  net::multi_source_bfs(csr, sources, ws);
+  EXPECT_EQ(ws.nearest, want.nearest);
+  EXPECT_EQ(ws.dist, want.dist);
+  EXPECT_EQ(ws.parent, want.parent);
+
+  // One connected component, every node labelled.
+  const net::Components comps = net::connected_components(csr, ws);
+  EXPECT_EQ(comps.count, 1);
+  EXPECT_EQ(comps.size[0], W * H);
+
+  // k-hop counts: an interior node (>= k from every border) sees the
+  // Manhattan ball minus itself, |{(dx,dy) : 0 < |dx|+|dy| <= k}| =
+  // 2k(k+1). Borders are checked against a per-node oracle BFS on a
+  // sampled set (the all-nodes oracle would be quadratic here).
+  const int k = 4;
+  std::vector<int> khop;
+  net::khop_sizes(csr, k, ws, khop);
+  bad = 0;
+  for (int y = k; y < H - k; ++y) {
+    for (int x = k; x < W - k; ++x) {
+      if (khop[static_cast<std::size_t>(id(x, y))] != 2 * k * (k + 1)) ++bad;
+    }
+  }
+  EXPECT_EQ(bad, 0) << "interior k-hop counts disagree with 2k(k+1)";
+  for (const int v : {id(0, 0), id(W - 1, 0), id(3, 0), id(0, H / 2),
+                      id(W - 1, H - 1), id(W / 2, H - 1)}) {
+    const std::vector<int> dist = oracle_bfs(g, v, k);
+    int count = 0;
+    for (int w = 0; w < g.n(); ++w) {
+      if (w != v && dist[static_cast<std::size_t>(w)] != net::kUnreached) {
+        ++count;
+      }
+    }
+    EXPECT_EQ(khop[static_cast<std::size_t>(v)], count) << "border node " << v;
+  }
+}
+
 }  // namespace

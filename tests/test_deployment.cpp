@@ -6,6 +6,7 @@
 #include <numbers>
 
 #include "deploy/scenario.h"
+#include "exec/thread_pool.h"
 #include "geometry/shapes.h"
 #include "net/graph.h"
 
@@ -137,6 +138,73 @@ TEST(CalibrateRange, ExactOnKnownConfiguration) {
   const double r = calibrate_range(pts, 1.0);
   EXPECT_GE(r, 1.0);
   EXPECT_LT(r, 2.0);
+}
+
+// --- counter-based grid (the large-n deployment path) ------------------------
+
+TEST(CounterGrid, PointsInsideAndRoughCount) {
+  const Region r = geom::shapes::window();
+  const double pitch = std::sqrt(r.area() / 2000.0);
+  const auto pts = counter_jittered_grid_in_region(r, pitch, 0.35, 6);
+  for (const Vec2& p : pts) EXPECT_TRUE(r.contains(p));
+  EXPECT_NEAR(static_cast<double>(pts.size()), 2000.0, 200.0);
+  EXPECT_THROW(counter_jittered_grid_in_region(r, 0.0, 0.1, 1),
+               std::invalid_argument);
+}
+
+TEST(CounterGrid, BitIdenticalAcrossPoolSizesPast64kCells) {
+  // A grid with > 2^16 cells (271 x 271 = 73,441), so the chunked path
+  // crosses the 16-bit boundary with a row count not divisible by any
+  // of the pool sizes. The pure-counter draws make every point a
+  // function of (seed, row, column) only — the sequence must come out
+  // byte-identical serially and at any worker count.
+  const Region r = geom::shapes::rect(300, 300);
+  const double pitch = 300.0 / 271.0;
+  exec::ThreadPool serial(1);
+  const auto want = counter_jittered_grid_in_region(r, pitch, 0.4, 99, &serial);
+  EXPECT_GT(static_cast<int>(want.size()), 1 << 16);
+  for (int threads : {2, 8}) {
+    exec::ThreadPool pool(threads);
+    const auto got =
+        counter_jittered_grid_in_region(r, pitch, 0.4, 99, &pool);
+    ASSERT_EQ(got.size(), want.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < want.size(); ++i) {
+      ASSERT_EQ(got[i].x, want[i].x) << "threads=" << threads << " i=" << i;
+      ASSERT_EQ(got[i].y, want[i].y) << "threads=" << threads << " i=" << i;
+    }
+  }
+  // The implicit-pool path (the size heuristic picks the shared pool)
+  // must agree with the explicit-pool runs too.
+  const auto implicit = counter_jittered_grid_in_region(r, pitch, 0.4, 99);
+  ASSERT_EQ(implicit.size(), want.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    ASSERT_EQ(implicit[i].x, want[i].x) << "i=" << i;
+    ASSERT_EQ(implicit[i].y, want[i].y) << "i=" << i;
+  }
+}
+
+TEST(CounterGrid, ScenarioOptInSelectsCounterSampler) {
+  const Region r = geom::shapes::window();
+  ScenarioSpec spec;
+  spec.target_nodes = 900;
+  spec.seed = 21;
+  Rng rng(spec.seed);
+  const double pitch = std::sqrt(r.area() / spec.target_nodes);
+  spec.counter_sampling = true;
+  const auto via_spec = scenario_positions(r, spec, rng);
+  const auto direct =
+      counter_jittered_grid_in_region(r, pitch, spec.jitter, spec.seed);
+  EXPECT_EQ(via_spec.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    ASSERT_EQ(via_spec[i].x, direct[i].x) << i;
+    ASSERT_EQ(via_spec[i].y, direct[i].y) << i;
+  }
+  // And the default stays on the stateful sampler (a different set).
+  spec.counter_sampling = false;
+  Rng rng2(spec.seed);
+  const auto stateful = scenario_positions(r, spec, rng2);
+  Rng rng3(spec.seed);
+  EXPECT_EQ(stateful, jittered_grid_in_region(r, pitch, spec.jitter, rng3));
 }
 
 }  // namespace

@@ -72,6 +72,42 @@ TEST(ThreadPool, ReusableAcrossCalls) {
   EXPECT_EQ(total, 20LL * (63 * 64 / 2));
 }
 
+TEST(ThreadPool, ParallelChunksCoverAwkwardSizesPast64k) {
+  // Work sizes past 2^16 with chunk counts that do not divide n: the
+  // chunk boundaries must depend only on (n, chunks) — the property the
+  // parallel spatial-hash build and counter-grid deployment use to make
+  // chunk-major merges thread-count-invariant — and must concatenate to
+  // exactly [0, n) with no gap or overlap at any pool size.
+  for (int threads : {1, 2, 8}) {
+    exec::ThreadPool pool(threads);
+    for (int n : {65537, 70013}) {
+      for (int chunks : {1, 2, 3, 7, 8}) {
+        std::mutex mu;
+        std::vector<std::pair<int, int>> ranges(
+            static_cast<std::size_t>(chunks), {-1, -1});
+        pool.parallel_chunks(n, chunks, [&](int c, int b, int e) {
+          std::lock_guard<std::mutex> lock(mu);
+          ranges[static_cast<std::size_t>(c)] = {b, e};
+        });
+        int expect_begin = 0;
+        for (int c = 0; c < chunks; ++c) {
+          const auto [b, e] = ranges[static_cast<std::size_t>(c)];
+          EXPECT_EQ(b, expect_begin)
+              << "threads=" << threads << " n=" << n << " chunk " << c;
+          // The documented formula, computed in 64-bit to rule out
+          // intermediate overflow at large n * chunks.
+          EXPECT_EQ(b, static_cast<int>(static_cast<long long>(c) * n / chunks));
+          EXPECT_EQ(e, static_cast<int>(
+                           static_cast<long long>(c + 1) * n / chunks));
+          expect_begin = e;
+        }
+        EXPECT_EQ(expect_begin, n) << "threads=" << threads << " n=" << n
+                                   << " chunks=" << chunks;
+      }
+    }
+  }
+}
+
 TEST(ThreadPool, FirstExceptionInChunkOrderPropagates) {
   for (int threads : {1, 4}) {
     exec::ThreadPool pool(threads);

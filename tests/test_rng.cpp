@@ -96,5 +96,42 @@ TEST(Rng, SplitProducesIndependentStream) {
   EXPECT_LT(overlap, 2);
 }
 
+TEST(CounterRng, PrefixTailSplitMatchesFullHash) {
+  const std::uint64_t seeds[] = {0, 1, 42, 0x9e3779b97f4a7c15ULL,
+                                 ~std::uint64_t{0}};
+  const std::uint64_t keys[] = {0, 1, 7, 0xffffffffULL, 0x123456789abcdefULL,
+                                ~std::uint64_t{0}};
+  for (std::uint64_t seed : seeds) {
+    for (std::uint64_t k0 : keys) {
+      const std::uint64_t prefix = counter_prefix(seed, k0);
+      for (std::uint64_t k1 : keys) {
+        EXPECT_EQ(counter_hash_tail(prefix, k1), counter_hash(seed, k0, k1));
+        EXPECT_EQ(counter_uniform_tail(prefix, k1),
+                  counter_uniform(seed, k0, k1));
+      }
+    }
+  }
+}
+
+TEST(CounterRng, BatchMatchesScalarDraws) {
+  // The engine's loss-key shape: k0 = (round, sender), k1 packs the
+  // emission index in the high word and receiver + 1 in the low word.
+  const std::uint64_t seed = 0xfeedface12345678ULL;
+  const std::uint64_t k0 = (std::uint64_t{3} << 32) | 17u;
+  const std::uint64_t base_k1 = std::uint64_t{5} << 32;
+  std::vector<int> ids = {0, 1, 2, 99, 70000, 12, 5, 1 << 20};
+  std::vector<double> out(ids.size(), -1.0);
+  counter_uniform_batch(counter_prefix(seed, k0), base_k1, ids.data(),
+                        static_cast<int>(ids.size()), out.data());
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    const std::uint64_t k1 =
+        base_k1 | static_cast<std::uint32_t>(ids[i] + 1);
+    EXPECT_EQ(out[i], counter_uniform(seed, k0, k1)) << "i=" << i;
+  }
+  // Empty batch is a no-op.
+  counter_uniform_batch(counter_prefix(seed, k0), base_k1, ids.data(), 0,
+                        out.data());
+}
+
 }  // namespace
 }  // namespace skelex::deploy

@@ -409,6 +409,39 @@ TEST(Server, OverloadedQueueRejectsWithBusy) {
   server.stop();
 }
 
+// PR-9 caveat, now enforced: with a single worker, submit() runs inline
+// on the reader thread, so admission control could never trigger — the
+// server must refuse that configuration at startup instead of shipping
+// an unreachable rejection path.
+TEST(Server, SingleWorkerWithAdmissionControlRefusedAtStartup) {
+  ExtractionService service;
+  exec::ThreadPool pool(1);
+  Server::Options sopt;
+  sopt.max_queue = 2;
+  EXPECT_THROW(Server(service, pool, 0, sopt), std::invalid_argument);
+}
+
+// The escape hatch: a single worker is fine once the bound is disabled
+// (max_queue <= 0 means "no admission control"), and the server still
+// serves requests.
+TEST(Server, SingleWorkerAllowedWithoutAdmissionControl) {
+  ExtractionService service;
+  exec::ThreadPool pool(1);
+  Server::Options sopt;
+  sopt.max_queue = 0;
+  Server server(service, pool, 0, sopt);
+  Client client(server.port());
+  Request req;
+  req.id = 1;
+  req.nodes = 400;
+  req.seed = 11;
+  req.with_trace = false;
+  const std::string resp = client.request(req);
+  EXPECT_NE(resp.find("\"ok\": true"), std::string::npos) << resp;
+  EXPECT_EQ(server.rejected(), 0);
+  server.stop();
+}
+
 // --- serving-path observability ---------------------------------------------
 
 TEST(Protocol, MetricsAndTraceCommandsParse) {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "deploy/rng.h"
+#include "exec/thread_pool.h"
 
 namespace skelex::net {
 namespace {
@@ -103,6 +104,44 @@ TEST(SpatialHash, CoincidentPoints) {
   int pairs = 0;
   hash.for_each_pair(0.5, [&](int, int) { ++pairs; });
   EXPECT_EQ(pairs, 10);
+}
+
+// --- parallel build & sweeps (the large-n path) ------------------------------
+// 70,001 points crosses 2^16 with a count not divisible by any pool
+// size. The chunk-major merges must reproduce the serial build's cell
+// layout and the serial sweep's pair emission order byte for byte at
+// any worker count — the contract net::build_graph leans on for
+// deterministic-model graphs.
+
+TEST(SpatialHash, ParallelBuildAndSweepsBitIdenticalPast64kPoints) {
+  const int n = 70'001;
+  const auto pts = random_points(n, 300.0, 42);
+  const double radius = 2.0;
+  exec::ThreadPool serial(1);
+  const SpatialHash ref(pts, radius, &serial);
+  std::vector<std::pair<int, int>> want_pairs;
+  ref.for_each_pair(radius, [&](int a, int b) { want_pairs.push_back({a, b}); });
+  EXPECT_EQ(ref.count_pairs(radius, &serial),
+            static_cast<long long>(want_pairs.size()));
+  EXPECT_EQ(ref.collect_pairs(radius, &serial), want_pairs);
+
+  for (int threads : {2, 8}) {
+    exec::ThreadPool pool(threads);
+    const SpatialHash hash(pts, radius, &pool);
+    // Identical cell layout: every query must return the same ids in
+    // the same order as the serial build's.
+    deploy::Rng qrng(7);
+    for (int q = 0; q < 10; ++q) {
+      const Vec2 p{qrng.uniform(0, 300), qrng.uniform(0, 300)};
+      EXPECT_EQ(hash.query(p, radius), ref.query(p, radius))
+          << "threads=" << threads;
+    }
+    EXPECT_EQ(hash.count_pairs(radius, &pool),
+              static_cast<long long>(want_pairs.size()))
+        << "threads=" << threads;
+    EXPECT_EQ(hash.collect_pairs(radius, &pool), want_pairs)
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -27,10 +27,13 @@ import sys
 
 # Keys whose values vary run-to-run or host-to-host: wall times in any
 # form ("millis", "_ms", "speedup", "req_per_s"), runner shape
-# ("host_threads"), and cache-scheduling artifacts (hit/miss counts
-# depend on request interleaving, so "hit_rate" and the raw counters).
+# ("host_threads"), memory high-water marks ("peak_rss_kb"), the
+# host-dependent speedup-gate record ("gate", a whole subtree), and
+# cache-scheduling artifacts (hit/miss counts depend on request
+# interleaving, so "hit_rate" and the raw counters).
 _VOLATILE = {"req_per_s", "hit_rate", "host_threads", "max_in_flight",
-             "hits", "misses", "insertions", "evictions", "bytes", "entries"}
+             "hits", "misses", "insertions", "evictions", "bytes", "entries",
+             "peak_rss_kb", "gate"}
 
 
 def strip_millis(obj):
@@ -40,11 +43,33 @@ def strip_millis(obj):
             k: strip_millis(v)
             for k, v in obj.items()
             if "millis" not in k and "speedup" not in k
+            and "gb_per_s" not in k
             and not k.endswith("_ms") and k not in _VOLATILE
         }
     if isinstance(obj, list):
         return [strip_millis(v) for v in obj]
     return obj
+
+
+# Row lists that grow as sweeps gain sizes/scenarios: compare them as
+# maps keyed by the named field, so a baseline recorded before a new
+# sweep tier still matches (rows only in `cur` are schema growth, like
+# keys only in `cur`). Paths are matched on the dotted prefix.
+_KEYED_LISTS = {
+    "thm5.rows": "n",
+    "thm5_large.rows": "n",
+    "fig4.scenarios": "scenario",
+    "fig4_large.stages": "stage",
+}
+
+
+def _key_rows(rows, field):
+    keyed = {}
+    for r in rows:
+        if not isinstance(r, dict) or field not in r:
+            return None  # malformed; fall back to positional comparison
+        keyed[f"{field}={r[field]}"] = r
+    return keyed if len(keyed) == len(rows) else None
 
 
 def diff_result_fields(base, cur, path=""):
@@ -62,6 +87,12 @@ def diff_result_fields(base, cur, path=""):
                 yield from diff_result_fields(base[k], cur[k], p)
         return
     if isinstance(base, list) and isinstance(cur, list):
+        field = _KEYED_LISTS.get(path)
+        if field:
+            b_keyed, c_keyed = _key_rows(base, field), _key_rows(cur, field)
+            if b_keyed is not None and c_keyed is not None:
+                yield from diff_result_fields(b_keyed, c_keyed, path)
+                return
         if len(base) != len(cur):
             yield f"length changed at {path}: {len(base)} -> {len(cur)}"
             return

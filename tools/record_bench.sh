@@ -5,7 +5,7 @@
 # (tools/compare_bench.py diffs two of them).
 #
 # Usage: tools/record_bench.sh [build-dir] [out-file]
-#   build-dir defaults to ./build, out-file to ./BENCH_9.json.
+#   build-dir defaults to ./build, out-file to ./BENCH_10.json.
 #
 # Schema (append-only — add keys, never rename):
 #   {
@@ -15,12 +15,25 @@
 #               "total_millis": ...},
 #     "thm5":  {"rows": [{n, transmissions, tx_per_node, rounds,
 #                         millis}...]},
+#     "thm5_large": {"rows": [{n, transmissions, tx_per_node, rounds,
+#                              millis, peak_rss_kb}...]},  # n=1e5 tier
 #     "metrics": {"fig4": {<name>: <counter value>, ...},
 #                 "thm5": {...}},  # per-bench (each process's registry)
 #     "engine": {"n", "host_threads",          # intra-round parallelism:
 #                "millis_threads1",            # largest thm5 cell, serial
 #                "millis_threads8",            # same cell, 8 engine threads
 #                "speedup"}                    # threads1 / threads8
+#     "engine_large": {"n", "host_threads", "millis_threads1",
+#                      "millis_threads8", "speedup", "peak_rss_kb",
+#                      "gate": {required_speedup, host_threads, enforced,
+#                               observed_speedup, justification}}
+#     "fig4_large": {"scenario", "nodes", "skeleton_nodes", "cycles",
+#                    "coverage", "millis", "peak_rss_kb",
+#                    "stages": [{stage, bytes, millis, gb_per_s}...]}
+#                    # per-stage memory-bandwidth attribution: the flood
+#                    # kernels' bytes-touched counters (net::Workspace's
+#                    # model, the same values riding the Perfetto spans)
+#                    # over that stage's span time
 #     "service": {"host_threads",              # CI runner core count
 #                 "req_per_s", "p50_ms", "p99_ms",
 #                 "cold_ms", "warm_ms", "warm_speedup",  # memo payoff
@@ -30,15 +43,18 @@
 #   }
 # Wall-times vary run to run; everything else is deterministic — the
 # engine rows' transmissions/rounds are asserted equal across thread
-# counts before the summary is written. Three perf gates run here too:
-# the memo cache must make warm service requests >= 3x faster than
-# cold, a never-seen prune_len (warm stages 1-6, fresh tail) must also
-# land >= 3x below cold, and on multi-core runners the 8-thread engine
-# must beat serial.
+# counts before the summary is written. Perf gates run here too: the
+# memo cache must make warm service requests >= 3x faster than cold, a
+# never-seen prune_len (warm stages 1-6, fresh tail) must also land
+# >= 3x below cold, on multi-core runners the 8-thread engine must beat
+# serial, and on hosts with >= 4 cores the n=1e5 cell must show a >= 2x
+# 8-thread speedup. On smaller hosts that last gate cannot be meaningful,
+# so instead of silently passing it records a machine-readable
+# justification under engine_large.gate and prints a loud warning.
 set -euo pipefail
 
 build_dir=${1:-build}
-out=${2:-BENCH_9.json}
+out=${2:-BENCH_10.json}
 
 if [[ ! -x "$build_dir/bench/bench_thm5_complexity" ]]; then
   echo "error: benches not built in $build_dir (cmake --build $build_dir)" >&2
@@ -53,6 +69,23 @@ fi
 cp "$build_dir/bench_out/thm5_complexity.json" "$build_dir/bench_out/thm5_et1.json"
 (cd "$build_dir" && ./bench/bench_thm5_complexity --threads 1 --engine-threads 8 > /dev/null)
 cp "$build_dir/bench_out/thm5_complexity.json" "$build_dir/bench_out/thm5_et8.json"
+
+# The large-n tier: one n=1e5 cell (counter-sampled deployment), serial
+# vs 8 engine threads. This is the row the multi-core speedup claim is
+# measured on — big enough that the flood kernels stream memory instead
+# of living in cache.
+(cd "$build_dir" && ./bench/bench_thm5_complexity --threads 1 --engine-threads 1 \
+  --min-n 100000 --max-n 100000 > /dev/null)
+cp "$build_dir/bench_out/thm5_complexity.json" "$build_dir/bench_out/thm5_large_et1.json"
+(cd "$build_dir" && ./bench/bench_thm5_complexity --threads 1 --engine-threads 8 \
+  --min-n 100000 --max-n 100000 > /dev/null)
+cp "$build_dir/bench_out/thm5_complexity.json" "$build_dir/bench_out/thm5_large_et8.json"
+
+# A 100k-node centralized extraction (the window shape scaled up): its
+# stage trace carries the flood kernels' bytes-touched counters, giving
+# per-stage effective memory bandwidth for the large tier.
+(cd "$build_dir" && ./bench/bench_fig4_scenarios --threads 1 --large-n 100000 > /dev/null)
+cp "$build_dir/bench_out/fig4_scenarios.json" "$build_dir/bench_out/fig4_large.json"
 
 (cd "$build_dir" && ./bench/bench_fig4_scenarios --threads 4 > /dev/null)
 (cd "$build_dir" && ./bench/bench_thm5_complexity --threads 4 --telemetry > /dev/null)
@@ -72,6 +105,9 @@ fig4 = json.load(open(f"{build_dir}/bench_out/fig4_scenarios.json"))
 thm5 = json.load(open(f"{build_dir}/bench_out/thm5_complexity.json"))
 et1 = json.load(open(f"{build_dir}/bench_out/thm5_et1.json"))
 et8 = json.load(open(f"{build_dir}/bench_out/thm5_et8.json"))
+large1 = json.load(open(f"{build_dir}/bench_out/thm5_large_et1.json"))
+large8 = json.load(open(f"{build_dir}/bench_out/thm5_large_et8.json"))
+fig4_large = json.load(open(f"{build_dir}/bench_out/fig4_large.json"))
 svc = json.load(open(f"{build_dir}/bench_out/service_load.json"))
 
 def counters(report):
@@ -89,7 +125,7 @@ def row_millis(row):
 
 # The engine's determinism contract: identical results at any engine
 # thread count. Assert it on the raw reports before recording timings.
-for r1, r8 in zip(et1["rows"], et8["rows"]):
+for r1, r8 in zip(et1["rows"] + large1["rows"], et8["rows"] + large8["rows"]):
     for key in ("n", "transmissions", "tx_per_node", "rounds"):
         assert r1[key] == r8[key], (
             f"engine-threads result mismatch at n={r1['n']}: "
@@ -97,6 +133,48 @@ for r1, r8 in zip(et1["rows"], et8["rows"]):
 
 big1, big8 = et1["rows"][-1], et8["rows"][-1]
 m1, m8 = row_millis(big1), row_millis(big8)
+xl1, xl8 = large1["rows"][-1], large8["rows"][-1]
+xm1, xm8 = row_millis(xl1), row_millis(xl8)
+
+# Memory-bandwidth attribution for the large centralized extraction,
+# stage by stage: the flood kernels count the bytes they touch (see
+# net::Workspace's model) into the same Perfetto spans the trace
+# records, so GB/s here is the kernels' effective streaming rate, not a
+# whole-process guess. Bytes are deterministic; only the rates vary.
+wxl = next(s for s in fig4_large["scenarios"] if s["scenario"] == "window_xl")
+stages = [
+    {
+        "stage": t["stage"],
+        "bytes": t["bytes"],
+        "millis": round(t["millis"], 3),
+        "gb_per_s": round(t["bytes"] / max(t["millis"], 1e-9) / 1e6, 3),
+    }
+    for t in wxl["trace"]
+    if t["bytes"] > 0
+]
+
+cpu = os.cpu_count() or 1
+xl_speedup = round(xm1 / xm8, 3) if xm8 else None
+# The headline claim — ">= 2x at 8 engine threads" — is only meaningful
+# with >= 4 physical cores behind the pool. Enforce it there; elsewhere
+# record WHY it was not enforced, machine-readably, and say so loudly.
+gate = {
+    "required_speedup": 2.0,
+    "host_threads": cpu,
+    "enforced": cpu >= 4,
+    "observed_speedup": xl_speedup,
+    "justification": None,
+}
+if gate["enforced"]:
+    assert xl_speedup is not None and xl_speedup >= 2.0, (
+        f"multi-core gate FAILED: n={xl1['n']} engine speedup "
+        f"{xl_speedup} < 2.0x at 8 threads on a {cpu}-core host")
+else:
+    gate["justification"] = (
+        f"host has {cpu} hardware threads (< 4): an 8-thread engine "
+        f"cannot be expected to reach 2x; observed {xl_speedup}x")
+    print(f"WARNING: multi-core speedup gate NOT ENFORCED: "
+          f"{gate['justification']}", file=sys.stderr)
 
 summary = {
     "schema": 1,
@@ -120,6 +198,19 @@ summary = {
             for r in thm5["rows"]
         ],
     },
+    "thm5_large": {
+        "rows": [
+            {
+                "n": r["n"],
+                "transmissions": r["transmissions"],
+                "tx_per_node": r["tx_per_node"],
+                "rounds": r["rounds"],
+                "millis": row_millis(r),
+                "peak_rss_kb": r["peak_rss_kb"],
+            }
+            for r in large1["rows"]
+        ],
+    },
     "metrics": {"fig4": counters(fig4), "thm5": counters(thm5)},
     "engine": {
         "n": big1["n"],
@@ -127,6 +218,25 @@ summary = {
         "millis_threads1": m1,
         "millis_threads8": m8,
         "speedup": round(m1 / m8, 3) if m8 else None,
+    },
+    "engine_large": {
+        "n": xl1["n"],
+        "host_threads": cpu,
+        "millis_threads1": xm1,
+        "millis_threads8": xm8,
+        "speedup": xl_speedup,
+        "peak_rss_kb": max(xl1["peak_rss_kb"], xl8["peak_rss_kb"]),
+        "gate": gate,
+    },
+    "fig4_large": {
+        "scenario": wxl["scenario"],
+        "nodes": wxl["nodes"],
+        "skeleton_nodes": wxl["skeleton_nodes"],
+        "cycles": wxl["cycles"],
+        "coverage": wxl["coverage"],
+        "millis": wxl["millis"],
+        "peak_rss_kb": wxl["peak_rss_kb"],
+        "stages": stages,
     },
     "service": {
         "host_threads": os.cpu_count(),

@@ -91,7 +91,20 @@ int main(int argc, char** argv) {
   opt.trace_requests = trace_requests;
   opt.slow_request_ms = static_cast<double>(slow_ms);
   skelex::svc::ExtractionService service(opt);
-  skelex::exec::ThreadPool pool(threads);
+  // Admission control (max_queue > 0) needs >= 2 pool workers — the
+  // Server constructor rejects a 1-thread pool because its inline
+  // submit() makes the busy rejection unreachable. A daemon on a
+  // 1-core host (where --threads 0 resolves to 1) should still start,
+  // so clamp up rather than die, and say so.
+  int resolved = threads > 0 ? threads : skelex::exec::default_thread_count();
+  if (max_queue > 0 && resolved < 2) {
+    std::fprintf(stderr,
+                 "skelex_served: --max-queue %lld needs >= 2 workers; "
+                 "raising --threads %d -> 2\n",
+                 max_queue, resolved);
+    resolved = 2;
+  }
+  skelex::exec::ThreadPool pool(resolved);
   skelex::svc::Server::Options sopt;
   sopt.max_queue = static_cast<int>(max_queue);
   try {
